@@ -1,0 +1,51 @@
+// Ablation: modulated block size vs detection. The paper notes "the size
+// of the IP module must be significant to generate strong enough
+// watermark power"; this sweep quantifies it by shrinking the gated
+// register bank from 1024 down to 32 registers.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  bench::print_header("abl_block_size — rho vs modulated registers",
+                      "quantifies paper Sec. II sizing remark");
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_block_size.csv");
+  csv.text_row({"registers", "wm_active_mw", "peak_rho", "peak_z",
+                "detected"});
+
+  std::cout << "\n" << std::setw(11) << "registers" << std::setw(14)
+            << "wm power[mW]" << std::setw(12) << "peak rho"
+            << std::setw(10) << "z" << std::setw(10) << "detected" << "\n";
+  for (const std::size_t words : {32u, 16u, 8u, 4u, 2u, 1u}) {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = cycles;
+    cfg.watermark.words = words;
+    sim::Scenario scenario(cfg);
+    const auto exp = sim::run_detection(scenario, 0);
+    const auto& ss = exp.detection.spectrum;
+    const double amp = scenario.characterization().mean_active_w;
+    std::cout << std::setw(11) << words * 32 << std::setw(14) << std::fixed
+              << std::setprecision(3) << amp * 1e3 << std::setw(12)
+              << std::setprecision(4) << ss.peak_value << std::setw(10)
+              << std::setprecision(1) << ss.peak_z << std::setw(10)
+              << (exp.detection.detected ? "yes" : "no") << "\n";
+    csv.text_row({std::to_string(words * 32),
+                  util::format_double(amp * 1e3, 6),
+                  util::format_double(ss.peak_value, 6),
+                  util::format_double(ss.peak_z, 6),
+                  exp.detection.detected ? "1" : "0"});
+  }
+  std::cout << "\n(rho scales linearly with the modulated clock-tree size; "
+               "the watermark power budget can be tailored to the system, "
+               "as the paper's Sec. V notes)\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation: two coexisting watermarks keyed by Gold codes. The test-chip
+// WGC contains *two* sequence generators; with a preferred-pair Gold
+// family, two differently-keyed clock-modulation watermarks (e.g. two IP
+// vendors on one SoC) can be embedded simultaneously and detected
+// independently — each vendor's code finds its own peak and nobody
+// else's.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cpa/detector.h"
+#include "cpu/programs.h"
+#include "measure/acquisition.h"
+#include "sequence/gold.h"
+#include "soc/chip1.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+std::vector<double> tile_power(const std::vector<bool>& code,
+                               std::size_t cycles, std::size_t phase,
+                               double amplitude_w) {
+  std::vector<double> p(cycles);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    p[i] = code[(i + phase) % code.size()] ? amplitude_w : 0.0;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 150000));
+  const unsigned width = 10;           // Gold family width (period 1023)
+  const std::size_t period = 1023;
+  const double amplitude = 1.5e-3;     // per-watermark modulated power
+
+  bench::print_header(
+      "abl_dual_watermark — two Gold-keyed watermarks on one die",
+      "extension of the paper's two-generator WGC (Sec. IV)");
+
+  // Three codes from the family: vendor A, vendor B, and an outsider's
+  // key C that was never embedded.
+  const auto code_a = sequence::gold_code(width, 3, period);
+  const auto code_b = sequence::gold_code(width, 77, period);
+  const auto code_c = sequence::gold_code(width, 500, period);
+
+  soc::Chip1Config m0;
+  m0.program = cpu::dhrystone_like_source();
+  soc::Chip1Soc chip(m0);
+  auto total = chip.run(cycles, "background");
+  total += power::PowerTrace(tile_power(code_a, cycles, 400, amplitude),
+                             total.clock_hz(), "wm_a");
+  total += power::PowerTrace(tile_power(code_b, cycles, 900, amplitude),
+                             total.clock_hz(), "wm_b");
+
+  measure::AcquisitionConfig acq;
+  acq.noise_seed = 0xD0A1;
+  const auto y = measure::AcquisitionChain(acq).measure(total);
+
+  const cpa::Detector detector;
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_dual_watermark.csv");
+  csv.text_row({"key", "embedded", "peak_rho", "peak_rotation", "z",
+                "detected"});
+
+  struct Probe {
+    const char* name;
+    const std::vector<bool>* code;
+    bool embedded;
+    std::size_t phase;
+  };
+  const Probe probes[] = {{"vendor A key", &code_a, true, 400},
+                          {"vendor B key", &code_b, true, 900},
+                          {"outsider key C", &code_c, false, 0}};
+
+  std::cout << "\n" << std::setw(16) << "key" << std::setw(12)
+            << "peak rho" << std::setw(10) << "rot" << std::setw(9) << "z"
+            << std::setw(11) << "detected" << std::setw(10) << "expect"
+            << "\n";
+  bool all_correct = true;
+  for (const auto& p : probes) {
+    const auto result = detector.detect(
+        y.per_cycle_power_w, cpa::to_model_pattern(*p.code));
+    const auto& ss = result.spectrum;
+    const bool correct =
+        result.detected == p.embedded &&
+        (!p.embedded ||
+         (ss.peak_rotation + period - p.phase) % period <= 2 ||
+         (p.phase + period - ss.peak_rotation) % period <= 2);
+    all_correct = all_correct && correct;
+    std::cout << std::setw(16) << p.name << std::setw(12) << std::fixed
+              << std::setprecision(4) << ss.peak_value << std::setw(10)
+              << ss.peak_rotation << std::setw(9) << std::setprecision(1)
+              << ss.peak_z << std::setw(11)
+              << (result.detected ? "yes" : "no") << std::setw(10)
+              << (p.embedded ? "yes" : "no") << "\n";
+    csv.text_row({p.name, p.embedded ? "1" : "0",
+                  util::format_double(ss.peak_value, 6),
+                  std::to_string(ss.peak_rotation),
+                  util::format_double(ss.peak_z, 6),
+                  result.detected ? "1" : "0"});
+  }
+  std::cout << "\n" << (all_correct
+                            ? "both embedded keys detected at their phases; "
+                              "the outsider key finds nothing — Gold cross-"
+                              "correlation bounds hold through the power "
+                              "side channel"
+                            : "!!! unexpected detection outcome")
+            << "\n";
+  return all_correct ? 0 : 1;
+}

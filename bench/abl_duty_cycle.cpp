@@ -1,0 +1,71 @@
+// Ablation: duty-cycled watermark (the paper's synchronization remark —
+// a watermark that only modulates part of the time, e.g. within idle
+// windows or a power budget). The effective CPA correlation shrinks
+// roughly linearly with the duty cycle; this sweep shows how much duty a
+// given cycle budget can afford.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cpa/detector.h"
+#include "sim/scenario.h"
+#include "util/csv.h"
+#include "watermark/scheduler.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  bench::print_header("abl_duty_cycle — partially active watermark",
+                      "extends paper Sec. II synchronization remark");
+
+  auto cfg = sim::chip1_default();
+  cfg.trace_cycles = cycles;
+  sim::Scenario scenario(cfg);
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_duty_cycle.csv");
+  csv.text_row({"duty", "peak_rho", "peak_z", "detected"});
+
+  std::cout << "\n" << std::setw(8) << "duty" << std::setw(12)
+            << "peak rho" << std::setw(10) << "z" << std::setw(10)
+            << "detected" << "\n";
+  const cpa::Detector detector;
+  for (const double duty : {1.0, 0.75, 0.5, 0.35, 0.25, 0.15, 0.08}) {
+    auto r = scenario.run(0);
+
+    watermark::ScheduleConfig sched;
+    sched.policy = watermark::SchedulePolicy::kDutyCycled;
+    sched.window_cycles = 4096;  // coprime-ish with the 4095 period
+    sched.duty = duty;
+    const auto enabled = watermark::build_schedule(sched, cycles);
+    const auto gated = watermark::apply_schedule(
+        std::vector<double>(r.watermark_power.values()), enabled,
+        scenario.characterization().leakage_w);
+
+    power::PowerTrace total = r.background_power;
+    total += power::PowerTrace(gated, total.clock_hz(), "wm-scheduled");
+    measure::AcquisitionConfig acq = cfg.acquisition;
+    acq.noise_seed = 0xD07 + static_cast<std::uint64_t>(duty * 1000);
+    const auto y = measure::AcquisitionChain(acq).measure(total);
+
+    const auto verdict =
+        detector.detect(y.per_cycle_power_w, r.pattern);
+    const auto& ss = verdict.spectrum;
+    std::cout << std::setw(8) << std::fixed << std::setprecision(2) << duty
+              << std::setw(12) << std::setprecision(4) << ss.peak_value
+              << std::setw(10) << std::setprecision(1) << ss.peak_z
+              << std::setw(10) << (verdict.detected ? "yes" : "no")
+              << "\n";
+    csv.text_row({util::format_double(duty, 4),
+                  util::format_double(ss.peak_value, 6),
+                  util::format_double(ss.peak_z, 6),
+                  verdict.detected ? "1" : "0"});
+  }
+  std::cout << "\n(rho scales ~linearly with duty; with the paper's 300k-"
+               "cycle budget the watermark tolerates substantial off-time "
+               "before the peak sinks into the noise floor — extend the "
+               "capture to win it back)\n";
+  return 0;
+}

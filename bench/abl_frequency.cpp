@@ -1,0 +1,74 @@
+// Ablation: operating point (DVFS). The chips run at 10 MHz / 1.2 V;
+// this sweep re-derives the technology library at other clock rates and
+// voltages and re-runs the detection. Faster clocks give the scope fewer
+// samples per cycle to average (500 MS/s fixed); lower voltage shrinks
+// the watermark's CV^2 energy quadratically.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  bench::print_header("abl_frequency — operating-point sweep",
+                      "extends paper Sec. IV (10 MHz / 1.2 V fixed)");
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_frequency.csv");
+  csv.text_row({"clock_mhz", "vdd_v", "samples_per_cycle", "wm_active_mw",
+                "peak_rho", "peak_z", "detected"});
+
+  struct Point {
+    double mhz;
+    double vdd;
+  };
+  const Point points[] = {{2.0, 1.2},  {5.0, 1.2},  {10.0, 1.2},
+                          {25.0, 1.2}, {50.0, 1.2}, {10.0, 1.0},
+                          {10.0, 0.8}};
+
+  std::cout << "\n" << std::setw(10) << "clock" << std::setw(8) << "vdd"
+            << std::setw(10) << "smp/cyc" << std::setw(13) << "wm[mW]"
+            << std::setw(12) << "peak rho" << std::setw(9) << "z"
+            << std::setw(10) << "detected" << "\n";
+  for (const auto& pt : points) {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = cycles;
+    cfg.tech = cfg.tech.at_operating_point(pt.mhz * 1e6, pt.vdd);
+    const double scope_rate = cfg.acquisition.scope.sample_rate_hz;
+    cfg.acquisition.waveform.samples_per_cycle = std::max<std::size_t>(
+        2, static_cast<std::size_t>(scope_rate / (pt.mhz * 1e6)));
+    sim::Scenario scenario(cfg);
+    const auto exp = sim::run_detection(scenario, 0);
+    const auto& ss = exp.detection.spectrum;
+    const double wm_mw = scenario.characterization().mean_active_w * 1e3;
+    std::cout << std::setw(7) << std::fixed << std::setprecision(0)
+              << pt.mhz << "MHz" << std::setw(8) << std::setprecision(1)
+              << pt.vdd << std::setw(10)
+              << cfg.acquisition.waveform.samples_per_cycle
+              << std::setw(13) << std::setprecision(3) << wm_mw
+              << std::setw(12) << std::setprecision(4) << ss.peak_value
+              << std::setw(9) << std::setprecision(1) << ss.peak_z
+              << std::setw(10) << (exp.detection.detected ? "yes" : "no")
+              << "\n";
+    csv.text_row({util::format_double(pt.mhz, 4),
+                  util::format_double(pt.vdd, 3),
+                  std::to_string(cfg.acquisition.waveform.samples_per_cycle),
+                  util::format_double(wm_mw, 5),
+                  util::format_double(ss.peak_value, 6),
+                  util::format_double(ss.peak_z, 6),
+                  exp.detection.detected ? "1" : "0"});
+  }
+  std::cout << "\n(watermark power scales with f and V^2, but rho is set "
+               "by the board's decoupling: slower clocks put more of the "
+               "sequence energy below the PDN cutoff, so rho RISES as the "
+               "clock drops; at the fastest point the PDN's memory spans "
+               "tens of cycles and smears the peak across neighbouring "
+               "rotations until the isolation criterion rejects it — the "
+               "detectability limit is the board, not the silicon)\n";
+  return 0;
+}

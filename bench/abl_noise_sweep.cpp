@@ -1,0 +1,48 @@
+// Ablation: detection vs measurement noise. Sweeps the oscilloscope
+// front-end noise to find the crossover where the watermark sinks below
+// the CPA noise floor at the paper's 300k-cycle budget.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 150000));
+  bench::print_header("abl_noise_sweep — rho vs scope noise",
+                      "stress test of paper Sec. III-IV detection");
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_noise_sweep.csv");
+  csv.text_row({"scope_noise_mv", "peak_rho", "peak_z", "detected"});
+
+  std::cout << "\n" << std::setw(16) << "scope noise[mV]" << std::setw(12)
+            << "peak rho" << std::setw(10) << "z" << std::setw(10)
+            << "detected" << "\n";
+  for (const double noise_mv :
+       {1.0, 2.0, 4.0, 6.0, 9.0, 14.0, 20.0, 30.0, 45.0}) {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = cycles;
+    cfg.acquisition.scope.noise_v_rms = noise_mv * 1e-3;
+    sim::Scenario scenario(cfg);
+    const auto exp = sim::run_detection(scenario, 0);
+    const auto& ss = exp.detection.spectrum;
+    std::cout << std::setw(16) << std::fixed << std::setprecision(1)
+              << noise_mv << std::setw(12) << std::setprecision(4)
+              << ss.peak_value << std::setw(10) << std::setprecision(1)
+              << ss.peak_z << std::setw(10)
+              << (exp.detection.detected ? "yes" : "no") << "\n";
+    csv.text_row({util::format_double(noise_mv, 4),
+                  util::format_double(ss.peak_value, 6),
+                  util::format_double(ss.peak_z, 6),
+                  exp.detection.detected ? "1" : "0"});
+  }
+  std::cout << "\n(rho scales ~1/noise; detection fails once the peak's z "
+               "drops below the detector threshold — more cycles buy back "
+               "margin, cf. abl_trace_length)\n";
+  return 0;
+}

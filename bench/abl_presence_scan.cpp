@@ -1,0 +1,119 @@
+// Ablation: the presence-scan attack. An attacker without the key tries
+// every (width, polynomial) hypothesis against a captured trace; because
+// the CPA sweep covers all rotations, each hypothesis costs one spread
+// spectrum. Three experiments:
+//   1. Default-key watermark: the scan finds it AND identifies width +
+//      polynomial + phase — LFSR watermark keys are enumerable.
+//   2. The defender rotates to a different primitive polynomial of the
+//      same width: the table scan (one polynomial per width) misses it;
+//      a full scan must enumerate phi(2^w-1)/w polynomials.
+//   3. The enumeration-cost table: why 32-bit (or Gold-code) keys put
+//      the scan out of reach.
+#include <iomanip>
+#include <iostream>
+
+#include "attack/presence.h"
+#include "bench_common.h"
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "sim/scenario.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+/// Finds a primitive polynomial of the given width different from the
+/// library's table entry, by brute force (maximal period check).
+std::uint32_t find_alternate_taps(unsigned width) {
+  const std::uint32_t table_taps = sequence::maximal_taps(width);
+  const std::uint32_t mask = (1u << width) - 1u;
+  const auto period = static_cast<std::size_t>(
+      sequence::maximal_period(width));
+  for (std::uint32_t taps = 3; taps <= mask; taps += 2) {  // bit0 always
+    if (taps == table_taps) continue;
+    sequence::Lfsr lfsr(width, taps, 1);
+    if (lfsr.measure_period() == period) return taps;
+  }
+  return table_taps;  // unreachable for width >= 3
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 150000));
+  bench::print_header("abl_presence_scan — key-space enumeration attack",
+                      "extends paper Sec. VI (detectability by others)");
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_presence_scan.csv");
+  csv.text_row({"experiment", "width", "peak_z", "found"});
+
+  // --- 1. default key: the scan wins -----------------------------------
+  {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = cycles;
+    sim::Scenario scenario(cfg);
+    const auto r = scenario.run(0);
+    const auto scan =
+        attack::scan_for_watermark(r.acquisition.per_cycle_power_w, 7, 14);
+    std::cout << "\n[1] watermark keyed with the table polynomial of "
+                 "width 12:\n";
+    for (const auto& c : scan.candidates) {
+      std::cout << "    width " << std::setw(2) << c.width << ": z="
+                << std::fixed << std::setprecision(1) << std::setw(6)
+                << c.peak_z << (c.detected ? "  <-- FOUND" : "") << "\n";
+      csv.text_row({"default_key", std::to_string(c.width),
+                    util::format_double(c.peak_z, 4),
+                    c.detected ? "1" : "0"});
+    }
+    const auto& best = scan.candidates[scan.best];
+    std::cout << "    attacker learns: width=" << best.width
+              << ", polynomial=0x" << std::hex << best.taps << std::dec
+              << ", phase=" << best.peak_rotation << " -> "
+              << (scan.watermark_found ? "watermark EXPOSED"
+                                       : "nothing found")
+              << "\n";
+  }
+
+  // --- 2. rotated key: the table scan loses ----------------------------
+  {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = cycles;
+    cfg.watermark.wgc.taps = find_alternate_taps(12);
+    sim::Scenario scenario(cfg);
+    const auto r = scenario.run(0);
+    const auto scan =
+        attack::scan_for_watermark(r.acquisition.per_cycle_power_w, 7, 14);
+    std::cout << "\n[2] defender rotates to alternate primitive "
+                 "polynomial 0x"
+              << std::hex << cfg.watermark.wgc.taps << std::dec
+              << " (same width):\n    table scan result: "
+              << (scan.watermark_found
+                      ? "FOUND (unexpected)"
+                      : "nothing found — attacker must enumerate the "
+                        "whole polynomial family")
+              << "\n";
+    csv.text_row({"rotated_key", "12", "-",
+                  scan.watermark_found ? "1" : "0"});
+  }
+
+  // --- 3. enumeration cost ----------------------------------------------
+  std::cout << "\n[3] full-enumeration cost (primitive polynomials per "
+               "width, phi(2^w-1)/w):\n";
+  std::cout << std::setw(8) << "width" << std::setw(16) << "polynomials"
+            << std::setw(22) << "scan cost (sweeps)" << "\n";
+  for (const unsigned w : {8u, 12u, 16u, 20u, 24u, 32u}) {
+    const auto polys = attack::primitive_polynomial_count(w);
+    std::cout << std::setw(8) << w << std::setw(16) << polys
+              << std::setw(22) << polys << "\n";
+    csv.text_row({"enumeration_cost", std::to_string(w),
+                  std::to_string(polys), "-"});
+  }
+  std::cout << "\n(the paper's WGC supports 32-bit generators: ~67 million "
+               "polynomial candidates per capture — enumeration becomes "
+               "impractical, and Gold-code keys, cf. abl_dual_watermark, "
+               "grow the space further)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: spectral view of the supply current. An m-sequence-modulated
+// watermark spreads its energy over a comb of lines at multiples of
+// f_clk / P — a spread-spectrum signature far below the background, which
+// is exactly why time-domain inspection misses it and CPA (a matched
+// filter) finds it. Compares the power spectrum of the per-cycle trace
+// with the watermark active vs inactive.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/fft.h"
+#include "dsp/window.h"
+#include "sim/scenario.h"
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+std::vector<double> spectrum_db(const std::vector<double>& trace) {
+  // Hann-windowed, mean-removed power spectrum in dB.
+  std::vector<double> x = trace;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (auto& v : x) v -= mean;
+  const auto w = dsp::make_window(dsp::WindowKind::kHann, x.size());
+  dsp::apply_window(x, w);
+  auto p = dsp::power_spectrum(x);
+  for (auto& v : p) v = 10.0 * std::log10(v + 1e-30);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 32768));
+  bench::print_header("abl_spectrum — supply-current spectra",
+                      "spread-spectrum view of the Sec. III embedding");
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_spectrum.csv");
+  csv.text_row({"bin", "active_db", "inactive_db"});
+
+  std::vector<std::vector<double>> spectra;
+  for (const bool active : {true, false}) {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = cycles;
+    cfg.watermark_active = active;
+    sim::Scenario scenario(cfg);
+    const auto r = scenario.run(0);
+    spectra.push_back(spectrum_db(r.acquisition.per_cycle_power_w));
+  }
+
+  util::ChartOptions opts;
+  opts.width = 100;
+  opts.height = 10;
+  opts.x_label = "frequency bin (0 .. f_clk/2)";
+  std::cout << util::multi_panel_chart(
+      {{"watermark ACTIVE — measured per-cycle power spectrum (dB)",
+        spectra[0]},
+       {"watermark INACTIVE", spectra[1]}},
+      opts);
+
+  // Aggregate: total in-band energy difference.
+  double active_sum = 0.0, inactive_sum = 0.0;
+  const std::size_t bins = std::min(spectra[0].size(), spectra[1].size());
+  for (std::size_t k = 1; k < bins; ++k) {
+    active_sum += std::pow(10.0, spectra[0][k] / 10.0);
+    inactive_sum += std::pow(10.0, spectra[1][k] / 10.0);
+    csv.row({static_cast<double>(k), spectra[0][k], spectra[1][k]});
+  }
+  std::cout << "\nbroadband (AC) energy ratio active/inactive: "
+            << active_sum / inactive_sum
+            << "  — the watermark raises the floor only slightly; no "
+               "single line stands out (spread spectrum), so CPA's "
+               "matched filter is needed to pull it out\n";
+  return 0;
+}

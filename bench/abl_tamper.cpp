@@ -1,0 +1,102 @@
+// Ablation: the bypass (tamper) attack and its countermeasure. Stronger
+// than removal (Sec. VI): the attacker rewires the modulated clock-gate
+// enables back to their original CLK_CTRL signals, restoring function
+// while silencing the watermark. Finding the modulation points is the
+// hard part — the naive embedding leaks them through the WMARK net's
+// fan-out signature; stage-diversified embedding does not.
+#include <iomanip>
+#include <iostream>
+
+#include "attack/tamper.h"
+#include "bench_common.h"
+#include "util/csv.h"
+#include "watermark/embedder.h"
+
+using namespace clockmark;
+
+namespace {
+
+struct Design {
+  rtl::Netlist nl;
+  rtl::NetId clk = 0;
+  watermark::DemoIpBlock ip;
+};
+
+Design make_ip(std::size_t groups, std::size_t regs) {
+  Design d;
+  d.clk = d.nl.add_net("clk");
+  d.ip = watermark::build_demo_ip_block(d.nl, "soc/ip", d.clk,
+                                        {groups, regs});
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto groups = static_cast<std::size_t>(args.get_int("groups", 6));
+  const auto regs = static_cast<std::size_t>(args.get_int("regs", 48));
+  bench::print_header("abl_tamper — bypass attack vs embeddings",
+                      "extends paper Sec. VI (tampering, not removal)");
+
+  wgc::WgcConfig key;
+  key.width = 12;
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_tamper.csv");
+  csv.text_row({"embedding", "suspects", "bypassed", "function_restored",
+                "watermark_still_wired"});
+
+  struct Row {
+    const char* name;
+    attack::TamperOutcome outcome;
+  };
+  std::vector<Row> rows;
+
+  {
+    Design wm = make_ip(groups, regs);
+    watermark::embed_clock_modulation(wm.nl, "soc/wgc", wm.clk, key,
+                                      wm.ip.icgs);
+    Design ref = make_ip(groups, regs);
+    rows.push_back({"naive (single WMARK net)",
+                    attack::bypass_attack(wm.nl, ref.nl, wm.clk, ref.clk,
+                                          wm.ip.data_out, ref.ip.data_out,
+                                          "soc/wgc")});
+  }
+  {
+    Design wm = make_ip(groups, regs);
+    watermark::embed_clock_modulation_diversified(wm.nl, "soc/wgc", wm.clk,
+                                                  key, wm.ip.icgs);
+    Design ref = make_ip(groups, regs);
+    rows.push_back({"diversified (per-stage nets)",
+                    attack::bypass_attack(wm.nl, ref.nl, wm.clk, ref.clk,
+                                          wm.ip.data_out, ref.ip.data_out,
+                                          "soc/wgc")});
+  }
+
+  std::cout << "\n" << std::left << std::setw(32) << "embedding"
+            << std::right << std::setw(10) << "suspects" << std::setw(10)
+            << "bypassed" << std::setw(12) << "restored?" << std::setw(14)
+            << "wm wired?" << "\n";
+  for (const auto& row : rows) {
+    const auto& o = row.outcome;
+    std::cout << std::left << std::setw(32) << row.name << std::right
+              << std::setw(10) << o.suspects_found << std::setw(10)
+              << o.gates_bypassed << std::setw(12)
+              << (o.function_restored ? "yes" : "no") << std::setw(14)
+              << (o.watermark_still_wired ? "yes" : "no") << "\n";
+    csv.text_row({row.name, std::to_string(o.suspects_found),
+                  std::to_string(o.gates_bypassed),
+                  o.function_restored ? "1" : "0",
+                  o.watermark_still_wired ? "1" : "0"});
+  }
+
+  std::cout
+      << "\nreading: against the naive embedding the attacker finds the "
+         "high-fanout WMARK net, bypasses every modulation AND, restores "
+         "original behaviour and silences the watermark. The diversified "
+         "embedding (each ICG driven from a different WGC stage) removes "
+         "the fan-out signature; the attack finds nothing, the watermark "
+         "keeps gating the clocks, and the vendor detects with the "
+         "composite model vector (tests: DiversifiedModel.*)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: detection quality vs trace length. The paper fixes 300,000
+// cycles per correlation; this sweep shows how the peak z-score grows as
+// sqrt(N) and where detection first becomes reliable.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::print_header("abl_trace_length — rho/z vs number of cycles",
+                      "extends paper Sec. IV (fixed 300k cycles)");
+
+  const std::size_t lengths[] = {8190,   16380,  40950,  81900,
+                                 163800, 300000, 600000};
+
+  util::CsvWriter csv(bench::output_dir(args) + "/abl_trace_length.csv");
+  csv.text_row({"cycles", "peak_rho", "peak_z", "noise_std", "detected"});
+
+  std::cout << "\n" << std::setw(10) << "cycles" << std::setw(12)
+            << "peak rho" << std::setw(10) << "z" << std::setw(14)
+            << "noise sigma" << std::setw(12) << "1/sqrt(N)"
+            << std::setw(10) << "detected" << "\n";
+  for (const std::size_t n : lengths) {
+    auto cfg = sim::chip1_default();
+    cfg.trace_cycles = n;
+    sim::Scenario scenario(cfg);
+    const auto exp = sim::run_detection(scenario, 0);
+    const auto& ss = exp.detection.spectrum;
+    std::cout << std::setw(10) << n << std::setw(12) << std::setprecision(4)
+              << std::fixed << ss.peak_value << std::setw(10)
+              << std::setprecision(1) << ss.peak_z << std::setw(14)
+              << std::setprecision(5) << ss.noise_std << std::setw(12)
+              << 1.0 / std::sqrt(static_cast<double>(n)) << std::setw(10)
+              << (exp.detection.detected ? "yes" : "no") << "\n";
+    csv.text_row({std::to_string(n), util::format_double(ss.peak_value, 6),
+                  util::format_double(ss.peak_z, 6),
+                  util::format_double(ss.noise_std, 6),
+                  exp.detection.detected ? "1" : "0"});
+  }
+  std::cout << "\n(noise sigma tracks 1/sqrt(N): the off-peak correlation "
+               "floor is pure estimation noise; rho itself is length-"
+               "independent)\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the bench binaries: output directory handling and a
+// uniform header print.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/args.h"
+
+namespace clockmark::bench {
+
+/// Resolves (and creates) the CSV output directory. Default:
+/// ./bench_results, override with --out=<dir>.
+inline std::string output_dir(const util::Args& args) {
+  const std::string dir = args.get("out", "bench_results");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "====================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "====================================================\n";
+}
+
+}  // namespace clockmark::bench

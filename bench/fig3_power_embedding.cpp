@@ -1,0 +1,54 @@
+// Fig. 3 reproduction: the watermark power signal is deeply embedded in
+// the device total power. Three panels (as in the paper): embedded-system
+// power, watermark power, device total power — rendered over a short
+// window so the structure is visible.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/scenario.h"
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto window = static_cast<std::size_t>(args.get_int("cycles", 400));
+
+  bench::print_header("fig3_power_embedding — power trace composition",
+                      "paper Fig. 3 (system / watermark / total power)");
+
+  auto cfg = sim::chip1_default();
+  cfg.trace_cycles = window;
+  sim::Scenario scenario(cfg);
+  const auto r = scenario.run(0);
+
+  util::ChartOptions opts;
+  opts.width = 100;
+  opts.height = 9;
+  opts.x_label = "clock cycle";
+  std::cout << util::multi_panel_chart(
+      {{"embedded system power (W)",
+        std::vector<double>(r.background_power.values())},
+       {"watermark power (W)",
+        std::vector<double>(r.watermark_power.values())},
+       {"device total power (W)",
+        std::vector<double>(r.total_power.values())}},
+      opts);
+
+  const double wm_amp = scenario.characterization().mean_active_w -
+                        scenario.characterization().mean_idle_w;
+  std::cout << "\nwatermark amplitude: " << wm_amp * 1e3
+            << " mW over a background of "
+            << r.background_power.average_w() * 1e3
+            << " mW (ratio " << wm_amp / r.background_power.average_w()
+            << ") — a weak but deterministic signal, as in the paper\n";
+
+  util::CsvWriter csv(bench::output_dir(args) + "/fig3_power_embedding.csv");
+  csv.header({"cycle", "system_w", "watermark_w", "total_w"});
+  for (std::size_t i = 0; i < window; ++i) {
+    csv.row({static_cast<double>(i), r.background_power[i],
+             r.watermark_power[i], r.total_power[i]});
+  }
+  return 0;
+}

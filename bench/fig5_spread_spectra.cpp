@@ -1,0 +1,78 @@
+// Fig. 5 reproduction: spread spectra of CPA correlation results on both
+// chips, with the watermark active and inactive — four panels:
+//   (a) chip I  active    -> single peak near rotation 3800
+//   (b) chip I  inactive  -> no peak
+//   (c) chip II active    -> single (slightly lower) peak near 2400
+//   (d) chip II inactive  -> no peak
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+struct Panel {
+  std::string name;
+  std::string paper;
+  sim::ChipModel chip;
+  bool active;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 300000));
+
+  bench::print_header("fig5_spread_spectra — CPA spread spectra",
+                      "paper Fig. 5(a-d), 300,000 cycles per rho");
+
+  const Panel panels[] = {
+      {"(a) chip I, watermark active",
+       "peak ~0.015-0.02 near rotation 3800", sim::ChipModel::kChip1, true},
+      {"(b) chip I, watermark inactive", "no peak",
+       sim::ChipModel::kChip1, false},
+      {"(c) chip II, watermark active",
+       "peak (slightly lower) near rotation 2400", sim::ChipModel::kChip2,
+       true},
+      {"(d) chip II, watermark inactive", "no peak",
+       sim::ChipModel::kChip2, false},
+  };
+
+  util::CsvWriter csv(bench::output_dir(args) + "/fig5_spread_spectra.csv");
+  csv.text_row({"panel", "rotation", "rho"});
+
+  for (const auto& p : panels) {
+    auto cfg = p.chip == sim::ChipModel::kChip1 ? sim::chip1_default()
+                                                : sim::chip2_default();
+    cfg.trace_cycles = cycles;
+    cfg.watermark_active = p.active;
+    sim::Scenario scenario(cfg);
+    const auto exp = sim::run_detection(scenario, 0);
+    const auto& ss = exp.detection.spectrum;
+
+    util::ChartOptions opts;
+    opts.width = 100;
+    opts.height = 12;
+    opts.title = "Fig. 5 " + p.name + "   [paper: " + p.paper + "]";
+    opts.x_label = "watermark sequence rotation (0..4094)";
+    std::cout << "\n" << util::line_chart(ss.rho, opts);
+    std::cout << "  peak rho = " << ss.peak_value << " at rotation "
+              << ss.peak_rotation << " (z = " << ss.peak_z
+              << ", noise floor sigma = " << ss.noise_std << ")\n  "
+              << (exp.detection.detected ? "WATERMARK DETECTED"
+                                         : "no watermark detected")
+              << " — " << exp.detection.reason << "\n";
+
+    for (std::size_t r = 0; r < ss.rho.size(); ++r) {
+      csv.text_row({p.name, std::to_string(r),
+                    util::format_double(ss.rho[r], 8)});
+    }
+  }
+  return 0;
+}

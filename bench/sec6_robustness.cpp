@@ -1,0 +1,59 @@
+// Section VI reproduction: removal-attack robustness. Builds the same
+// functional IP protected by (a) the stand-alone load-circuit watermark
+// and (b) the embedded clock-modulation watermark, then runs the
+// attacker's stand-alone-circuit analysis and the removal attack on both.
+#include <iostream>
+
+#include "attack/report.h"
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::print_header("sec6_robustness — removal attack study",
+                      "paper Section VI (improved robustness)");
+
+  attack::RobustnessStudyConfig cfg;
+  cfg.ip.groups = static_cast<std::size_t>(args.get_int("groups", 4));
+  cfg.ip.registers_per_group =
+      static_cast<std::size_t>(args.get_int("regs", 64));
+  cfg.load_registers =
+      static_cast<std::size_t>(args.get_int("load_regs", 576));
+  cfg.compare_cycles =
+      static_cast<std::size_t>(args.get_int("compare_cycles", 256));
+
+  const auto report = attack::run_robustness_study(cfg);
+  std::cout << "\n" << attack::to_string(report);
+
+  std::cout << "paper's conclusions, checked:\n"
+            << "  [" << (report.load_circuit.attacker_recall == 1.0 ? "x" : " ")
+            << "] load-circuit watermark is a stand-alone circuit — fully "
+               "identified by RTL inspection\n"
+            << "  ["
+            << (report.load_circuit.removal.functionally_intact() ? "x" : " ")
+            << "] removing it has no impact on system function\n"
+            << "  ["
+            << (report.clock_modulation.attacker_recall == 0.0 ? "x" : " ")
+            << "] clock-modulation watermark is NOT a stand-alone circuit "
+               "(invisible to the same analysis)\n"
+            << "  ["
+            << (!report.clock_modulation.removal.functionally_intact() ? "x"
+                                                                        : " ")
+            << "] removing it greatly impairs the system's functionality\n";
+
+  util::CsvWriter csv(bench::output_dir(args) + "/sec6_robustness.csv");
+  csv.text_row({"architecture", "wm_cells", "wm_registers",
+                "attacker_recall", "unclocked_regs_after_removal",
+                "output_mismatch_cycles", "functionally_intact"});
+  for (const auto* a : {&report.load_circuit, &report.clock_modulation}) {
+    csv.text_row({a->architecture, std::to_string(a->watermark_cells),
+                  std::to_string(a->watermark_registers),
+                  util::format_double(a->attacker_recall, 4),
+                  std::to_string(a->removal.unclocked_registers),
+                  std::to_string(a->removal.output_mismatch_cycles),
+                  a->removal.functionally_intact() ? "yes" : "no"});
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Table I reproduction: power consumption of the placed-and-routed
+// clock-modulated load circuit, measured by gate-level simulation +
+// activity-based power estimation (our PrimeTime-PX equivalent).
+// Rows: buffers-only (no data switching), then 256 / 512 / 1024 switching
+// registers. Columns: dynamic, static, total, and the load circuit's
+// share of total watermark dynamic power.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "power/estimator.h"
+#include "rtl/simulator.h"
+#include "util/csv.h"
+#include "watermark/clock_modulation.h"
+#include "watermark/embedder.h"
+
+using namespace clockmark;
+
+namespace {
+
+struct Row {
+  std::string label;
+  std::size_t switching;
+  double paper_dynamic_mw;
+  double paper_share_pct;
+};
+
+struct Measured {
+  double dynamic_w = 0.0;   // load circuit (bank) dynamic
+  double static_w = 0.0;    // load circuit leakage
+  double share_pct = 0.0;   // of total watermark dynamic power
+};
+
+Measured measure(std::size_t switching_registers) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  watermark::ClockModConfig cfg;  // 32 x 32, 12-bit WGC
+  cfg.switching_registers = switching_registers;
+  const auto wm =
+      build_clock_modulation_watermark(nl, "wm", clk, cfg);
+
+  // Average power over WMARK = 1 cycles only (the load circuit is
+  // inert in the gated half; Table I reports the active-load power).
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  power::PowerEstimator est(nl, power::tsmc65lp_like());
+
+  // Split the watermark module into "bank" (the load circuit: registers
+  // + their clock network) and "everything else" (WGC + ICG overhead)
+  // by cell identity: the WGC cells are known from the build result.
+  std::vector<bool> is_wgc_cell(nl.cell_count(), false);
+  for (const auto id : wm.wgc.flops) is_wgc_cell[id] = true;
+  for (const auto id : wm.wgc.xor_gates) is_wgc_cell[id] = true;
+  for (const auto id : wm.wgc.clock_cells) is_wgc_cell[id] = true;
+
+  const std::size_t cycles = 4095;
+  double total_dynamic_j = 0.0;
+  double bank_dynamic_j = 0.0;
+  std::size_t active_cycles = 0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const bool wmark = sim.net_value(wm.wmark);
+    const auto& act = sim.step();
+    const double all = est.dynamic_cycle_energy(act.total);
+    if (!wmark) continue;
+    ++active_cycles;
+    // The feedback inverters are a modelling artifact (the paper's
+    // 1.126 uW per switching register already includes the downstream
+    // load), so their energy is excluded everywhere.
+    const double inverter_j = static_cast<double>(wm.inverters.size()) *
+                              est.library().comb_toggle_j;
+    total_dynamic_j += all - inverter_j;
+    // Bank share: subtract the WGC's own switching. The WGC burns its
+    // clock leaves every cycle + ~half its flops toggle + XOR gates.
+    rtl::ModuleActivity wgc_act;
+    wgc_act.active_buffers = wm.wgc.clock_cells.size();
+    // Count actual WGC flop toggles this cycle is not directly split per
+    // cell; approximate with the behavioural expectation (half toggle).
+    wgc_act.flop_toggles = wm.wgc.flops.size() / 2;
+    wgc_act.comb_toggles = wm.wgc.xor_gates.size();
+    bank_dynamic_j += all - inverter_j - est.dynamic_cycle_energy(wgc_act) -
+                      static_cast<double>(act.total.active_icgs) *
+                          est.library().icg_active_cycle_j;
+  }
+  Measured m;
+  const double t = static_cast<double>(active_cycles) /
+                   est.library().clock_hz;
+  const double bank_dyn_w = bank_dynamic_j / t;
+  const double total_dyn_w = total_dynamic_j / t;
+  m.dynamic_w = bank_dyn_w;
+  m.share_pct = 100.0 * bank_dyn_w / total_dyn_w;
+  // Static power of the register bank (1024 flops + their buffers).
+  m.static_w = 1024 * est.library().flop_leak_w;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::print_header("table1_load_power — placed-and-routed load power",
+                      "paper Table I");
+
+  const Row rows[] = {
+      {"Clock Buffers Modulation / No Data Switching", 0, 1.51, 95.6},
+      {"Clock Buffers Modulation / 256 Switching Registers", 256, 1.80,
+       96.8},
+      {"Clock Buffers Modulation / 512 Switching Registers", 512, 2.09,
+       97.2},
+      {"Clock Buffers Modulation / 1024 Switching Registers", 1024, 2.66,
+       98.0},
+  };
+
+  util::CsvWriter csv(bench::output_dir(args) + "/table1_load_power.csv");
+  csv.text_row({"implementation", "dynamic_mw_measured",
+                "dynamic_mw_paper", "static_uw_measured",
+                "share_pct_measured", "share_pct_paper"});
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "\n"
+            << std::left << std::setw(55) << "Load Circuit Implementation"
+            << std::right << std::setw(10) << "dyn[mW]" << std::setw(10)
+            << "paper" << std::setw(11) << "stat[uW]" << std::setw(9)
+            << "share%" << std::setw(9) << "paper%" << "\n";
+  for (const auto& row : rows) {
+    const Measured m = measure(row.switching);
+    std::cout << std::left << std::setw(55) << row.label << std::right
+              << std::setw(10) << m.dynamic_w * 1e3 << std::setw(10)
+              << row.paper_dynamic_mw << std::setw(11) << m.static_w * 1e6
+              << std::setw(9) << m.share_pct << std::setw(9)
+              << row.paper_share_pct << "\n";
+    csv.text_row({row.label, util::format_double(m.dynamic_w * 1e3, 4),
+                  util::format_double(row.paper_dynamic_mw, 4),
+                  util::format_double(m.static_w * 1e6, 4),
+                  util::format_double(m.share_pct, 4),
+                  util::format_double(row.paper_share_pct, 4)});
+  }
+  std::cout << "\n(per-register constants: clock buffer 1.476 uW, data "
+               "switching 1.126 uW at 10 MHz — the paper's measured "
+               "values)\n";
+  return 0;
+}

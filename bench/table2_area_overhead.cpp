@@ -1,0 +1,76 @@
+// Table II reproduction: number of load-circuit registers needed for a
+// target detectable load power, N = P_load / (1.126 uW + 1.476 uW), and
+// the resulting area-overhead increase N / (N + WGC registers) — which is
+// exactly the area reduction the clock-modulation technique achieves by
+// deleting the load circuit and keeping only the 12-register WGC.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "power/tech65.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  bench::print_header("table2_area_overhead — load circuit sizing",
+                      "paper Table II");
+
+  const power::TechLibrary lib = power::tsmc65lp_like();
+  const std::size_t wgc_registers =
+      static_cast<std::size_t>(args.get_int("wgc", 12));
+
+  struct Row {
+    double p_load_mw;
+    std::size_t paper_registers;
+    double paper_overhead_pct;
+  };
+  const Row rows[] = {{0.25, 96, 88.9}, {0.5, 192, 94.1},
+                      {1.0, 384, 96.9}, {1.5, 576, 98.0},
+                      {5.0, 1921, 99.4}, {10.0, 3843, 99.7}};
+
+  const double per_register_uw =
+      (lib.flop_data_toggle_j + lib.clock_buffer_cycle_j) * lib.clock_hz *
+      1e6;
+  std::cout << "\nN = P_load / (" << std::fixed << std::setprecision(3)
+            << lib.data_switching_power_w(1) * 1e6 << " uW + "
+            << lib.clock_buffer_power_w(1) * 1e6 << " uW) = P_load / "
+            << per_register_uw << " uW;  WGC = " << wgc_registers
+            << " registers\n\n";
+
+  util::CsvWriter csv(bench::output_dir(args) + "/table2_area_overhead.csv");
+  csv.text_row({"p_load_mw", "registers_measured", "registers_paper",
+                "overhead_pct_measured", "overhead_pct_paper"});
+
+  std::cout << std::setw(12) << "P_load[mW]" << std::setw(12) << "N(ours)"
+            << std::setw(12) << "N(paper)" << std::setw(14) << "ovh%(ours)"
+            << std::setw(14) << "ovh%(paper)" << "\n";
+  std::cout << std::setprecision(1);
+  for (const auto& row : rows) {
+    const std::size_t n =
+        power::load_circuit_registers_for_power(lib, row.p_load_mw * 1e-3);
+    const double overhead =
+        power::area_overhead_increase(n, wgc_registers) * 100.0;
+    std::cout << std::setw(12) << row.p_load_mw << std::setw(12) << n
+              << std::setw(12) << row.paper_registers << std::setw(14)
+              << overhead << std::setw(14) << row.paper_overhead_pct
+              << "\n";
+    csv.row({row.p_load_mw, static_cast<double>(n),
+             static_cast<double>(row.paper_registers), overhead,
+             row.paper_overhead_pct});
+  }
+
+  std::cout << "\nheadline: at the test chips' 1.5 mW operating point the "
+               "clock-modulation technique removes "
+            << power::load_circuit_registers_for_power(lib, 1.5e-3)
+            << " load registers and keeps only the " << wgc_registers
+            << "-register WGC — a "
+            << std::setprecision(0)
+            << power::area_overhead_increase(
+                   power::load_circuit_registers_for_power(lib, 1.5e-3),
+                   wgc_registers) *
+                   100.0
+            << " % area overhead reduction (paper: 98 %)\n";
+  return 0;
+}

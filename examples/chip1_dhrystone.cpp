@@ -1,0 +1,58 @@
+// Chip I walkthrough: the paper's first silicon experiment, end to end,
+// with full visibility into every stage — the Dhrystone-like workload
+// running on the EM0 core, the watermark block's gate-level power, the
+// measurement chain, and the CPA spread spectrum.
+//
+//   $ ./chip1_dhrystone [--cycles=300000] [--listing]
+#include <iostream>
+
+#include "cpu/decoder.h"
+#include "cpu/programs.h"
+#include "sim/experiment.h"
+#include "util/args.h"
+#include "util/ascii_chart.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+
+  // The workload: a from-scratch Dhrystone-flavoured benchmark (integer
+  // arithmetic, string ops, logic decisions, memory accesses).
+  const std::string program = cpu::dhrystone_like_source();
+  if (args.has("listing")) {
+    const auto assembled = cpu::assemble_program(program);
+    std::cout << "--- workload disassembly ---\n"
+              << cpu::disassemble(assembled.image) << "\n";
+  }
+
+  sim::ScenarioConfig config = sim::chip1_default();
+  config.trace_cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 300000));
+
+  sim::Scenario scenario(config);
+  const auto& ch = scenario.characterization();
+  std::cout << "chip I setup (paper Sec. IV):\n"
+            << "  watermark: 32 words x 32 registers behind WMARK-gated "
+               "ICGs, 12-bit LFSR WGC\n"
+            << "  active power " << ch.mean_active_w * 1e3
+            << " mW / idle " << ch.mean_idle_w * 1e3 << " mW / leakage "
+            << ch.leakage_w * 1e6 << " uW\n"
+            << "  scope: 500 MS/s, 8 bit; shunt 270 mOhm; clock 10 MHz "
+               "(50 samples per cycle)\n\n";
+
+  const auto exp = sim::run_detection(scenario);
+
+  std::cout << "background (M0 SoC running Dhrystone-like code): "
+            << exp.scenario.background_power.average_w() * 1e3
+            << " mW mean\n";
+
+  util::ChartOptions opts;
+  opts.width = 100;
+  opts.height = 14;
+  opts.title = "CPA spread spectrum (cf. paper Fig. 5a)";
+  opts.x_label = "watermark sequence rotation";
+  std::cout << util::line_chart(exp.detection.spectrum.rho, opts);
+  std::cout << exp.detection.reason << "\n";
+  return exp.detection.detected ? 0 : 1;
+}

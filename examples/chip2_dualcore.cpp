@@ -1,0 +1,53 @@
+// Chip II walkthrough: the paper's second silicon experiment — the same
+// M0 SoC sharing the die with a dual-core A5-class subsystem whose cores
+// are clocked but idle. The extra background makes the detection harder;
+// the watermark is still recovered.
+//
+//   $ ./chip2_dualcore [--cycles=300000]
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "util/args.h"
+#include "util/ascii_chart.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+
+  sim::ScenarioConfig config = sim::chip2_default();
+  config.trace_cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 300000));
+
+  sim::Scenario scenario(config);
+  const auto exp = sim::run_detection(scenario);
+
+  std::cout << "chip II setup (paper Sec. IV):\n"
+            << "  dual A5-class cores: clocked, executing nothing — "
+            << 2 * config.a5_core.register_count
+            << " registers of idle clock tree + cache housekeeping\n"
+            << "  background: "
+            << exp.scenario.background_power.average_w() * 1e3
+            << " mW (vs ~1.3 mW on chip I) — the significant portion of "
+               "background noise the paper mentions\n\n";
+
+  util::ChartOptions opts;
+  opts.width = 100;
+  opts.height = 14;
+  opts.title = "CPA spread spectrum (cf. paper Fig. 5c)";
+  opts.x_label = "watermark sequence rotation";
+  std::cout << util::line_chart(exp.detection.spectrum.rho, opts);
+  std::cout << exp.detection.reason << "\n";
+
+  // Side-by-side with chip I at the same settings.
+  sim::ScenarioConfig c1 = sim::chip1_default();
+  c1.trace_cycles = config.trace_cycles;
+  sim::Scenario s1(c1);
+  const auto e1 = sim::run_detection(s1);
+  std::cout << "\ncomparison:  chip I peak rho = "
+            << e1.detection.spectrum.peak_value
+            << "  |  chip II peak rho = "
+            << exp.detection.spectrum.peak_value
+            << "  (chip II slightly lower, as in the paper)\n";
+  return exp.detection.detected ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// The IP-vendor flow, start to finish: the scenario the paper's
+// introduction motivates. An IP vendor ships a soft IP block with an
+// embedded clock-modulation watermark; later, they audit a finished
+// product from the outside — supply current only, no access to ports or
+// internals — and prove their IP is inside.
+//
+//   $ ./ip_vendor_flow [--cycles=120000] [--pirate]
+//
+// --pirate simulates a product that does NOT contain the vendor's IP
+// (same SoC, no watermark): the audit must come back negative.
+#include <iostream>
+
+#include "cpa/detector.h"
+#include "cpu/programs.h"
+#include "measure/acquisition.h"
+#include "sim/scenario.h"
+#include "util/args.h"
+#include "wgc/wgc.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 120000));
+  const bool pirate = args.has("pirate");
+
+  // ------------------------------------------------------------------
+  // Design time (vendor side): pick a secret watermark key — LFSR width,
+  // polynomial and seed. Only the vendor knows it.
+  // ------------------------------------------------------------------
+  wgc::WgcConfig key;
+  key.width = 12;
+  key.seed = 0x6b5;  // the vendor's secret
+  std::cout << "[vendor] watermark key: " << key.width
+            << "-bit LFSR, taps=0x" << std::hex << key.effective_taps()
+            << ", seed=0x" << key.seed << std::dec << "\n";
+
+  // The RTL deliverable: IP block + WGC wired into its clock gates. For
+  // the audit model below we use the scenario abstraction, which owns
+  // exactly this construction (gate-level, characterised).
+  sim::ScenarioConfig product = sim::chip1_default();
+  product.watermark.wgc = key;
+  product.trace_cycles = cycles;
+  product.phase_offset.reset();  // the vendor can't control the phase
+  product.watermark_active = !pirate;
+  product.seed = 0xFEED;
+
+  // ------------------------------------------------------------------
+  // Audit time (lab side): buy the product, put it on a test board,
+  // measure the supply current, run CPA with the secret key's sequence.
+  // ------------------------------------------------------------------
+  std::cout << "[lab] measuring " << cycles
+            << " clock cycles of supply current (500 MS/s, 270 mOhm "
+               "shunt)...\n";
+  sim::Scenario device(product);
+  const auto capture = device.run(/*repetition=*/1);
+
+  std::cout << "[lab] device mean power: "
+            << capture.acquisition.mean_power_w * 1e3 << " mW\n";
+
+  // Regenerate the expected WMARK sequence from the key alone.
+  wgc::WgcSequence expected(key);
+  const auto pattern =
+      cpa::to_model_pattern(expected.one_period());
+
+  const cpa::Detector detector;
+  const auto verdict =
+      detector.detect(capture.acquisition.per_cycle_power_w, pattern);
+  std::cout << "[lab] " << verdict.reason << "\n";
+
+  if (verdict.detected) {
+    std::cout << "[vendor] AUDIT POSITIVE: our IP is in this product "
+                 "(correlation peak at rotation "
+              << verdict.spectrum.peak_rotation
+              << ") — grounds to escalate to de-encapsulation / legal.\n";
+  } else {
+    std::cout << "[vendor] audit negative: no trace of our watermark in "
+                 "this product.\n";
+  }
+
+  // Exit code communicates whether the verdict matched reality.
+  const bool correct = verdict.detected == !pirate;
+  if (!correct) std::cout << "!!! verdict does not match ground truth\n";
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Soft-IP exchange flow: the vendor builds the watermarked IP, serialises
+// it as a text netlist (the deliverable), the integrator parses it back,
+// and both sides verify: structural equality, identical gate-level
+// behaviour, identical power characterisation — then the integrator's
+// RTL-inspection tooling (Section VI) finds nothing removable.
+//
+//   $ ./netlist_exchange [--out=/tmp/ip.netlist]
+#include <fstream>
+#include <iostream>
+
+#include "attack/analysis.h"
+#include "power/estimator.h"
+#include "rtl/netlist_io.h"
+#include "rtl/simulator.h"
+#include "util/args.h"
+#include "watermark/embedder.h"
+
+using namespace clockmark;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string path = args.get("out", "ip_deliverable.netlist");
+
+  // ---- vendor side -------------------------------------------------
+  rtl::Netlist vendor_nl;
+  const rtl::NetId clk = vendor_nl.add_net("clk");
+  const auto ip = watermark::build_demo_ip_block(vendor_nl, "ip", clk,
+                                                 {4, 32});
+  wgc::WgcConfig key;
+  key.width = 12;
+  key.seed = 0x2a7;
+  watermark::embed_clock_modulation(vendor_nl, "ip/wgc", clk, key,
+                                    ip.icgs);
+  {
+    std::ofstream out(path);
+    rtl::write_netlist(out, vendor_nl);
+  }
+  std::cout << "[vendor] wrote " << path << ": " << vendor_nl.cell_count()
+            << " cells, " << vendor_nl.register_count()
+            << " registers (watermark adds only "
+            << vendor_nl.register_count("ip/wgc") << ")\n";
+
+  // ---- integrator side ----------------------------------------------
+  std::ifstream in(path);
+  rtl::Netlist integ_nl = rtl::read_netlist(in);
+  std::cout << "[integrator] parsed back: structurally equal = "
+            << (rtl::structurally_equal(vendor_nl, integ_nl) ? "yes"
+                                                             : "NO")
+            << "\n";
+
+  // Behavioural equivalence check over a window.
+  rtl::Simulator a(vendor_nl);
+  a.set_clock_source(clk);
+  rtl::Simulator b(integ_nl);
+  b.set_clock_source(*integ_nl.find_net("clk"));
+  const rtl::NetId out_b = *integ_nl.find_net(
+      vendor_nl.net_name(ip.data_out));
+  std::size_t mismatches = 0;
+  for (int i = 0; i < 512; ++i) {
+    a.step();
+    b.step();
+    if (a.net_value(ip.data_out) != b.net_value(out_b)) ++mismatches;
+  }
+  std::cout << "[integrator] gate-level equivalence over 512 cycles: "
+            << mismatches << " mismatches\n";
+
+  // Power characterisation matches too (the integrator's signoff).
+  const power::PowerEstimator est_a(vendor_nl, power::tsmc65lp_like());
+  const power::PowerEstimator est_b(integ_nl, power::tsmc65lp_like());
+  std::cout << "[integrator] leakage signoff: vendor "
+            << est_a.leakage_power() * 1e6 << " uW vs parsed "
+            << est_b.leakage_power() * 1e6 << " uW\n";
+
+  // And the attacker's tooling finds nothing to strip.
+  const auto suspicious = attack::find_standalone_circuits(integ_nl);
+  std::cout << "[attacker] stand-alone circuit scan on the deliverable: "
+            << suspicious.size() << " found — the watermark is invisible\n";
+  return mismatches == 0 ? 0 : 1;
+}

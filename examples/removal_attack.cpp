@@ -1,0 +1,89 @@
+// Removal-attack demo (paper Section VI): play the attacker. Inspect a
+// soft-IP netlist for stand-alone circuits, delete what you find, and see
+// what breaks — against both watermark architectures.
+//
+//   $ ./removal_attack [--load_regs=576]
+#include <iostream>
+
+#include "attack/analysis.h"
+#include "attack/removal.h"
+#include "util/args.h"
+#include "watermark/embedder.h"
+#include "watermark/load_circuit.h"
+
+using namespace clockmark;
+
+namespace {
+
+void attack_design(const std::string& title, rtl::Netlist& nl,
+                   rtl::NetId clk, rtl::NetId observe) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "netlist: " << nl.cell_count() << " cells, "
+            << nl.register_count() << " registers\n";
+
+  // Step 1: the attacker's RTL inspection — find stand-alone circuits.
+  const auto suspicious = attack::find_standalone_circuits(nl);
+  std::cout << "stand-alone circuit scan: " << suspicious.size()
+            << " suspicious circuit(s)\n";
+  for (const auto& sc : suspicious) {
+    std::cout << "  -> " << sc.size() << " cells, " << sc.register_count
+              << " registers, modules:";
+    for (const auto& m : sc.module_paths) std::cout << " " << m;
+    std::cout << "\n";
+  }
+
+  // Step 2: delete the watermark module (the attacker knows which module
+  // they suspect — worst case for the defender).
+  const auto victims = attack::cells_under_module(nl, "soc/watermark");
+  const auto outcome =
+      attack::simulate_removal_attack(nl, victims, clk, observe, 256);
+  std::cout << "removal attack: deleted " << outcome.cells_removed
+            << " cells\n"
+            << "  functional registers left unclocked: "
+            << outcome.unclocked_registers << "\n"
+            << "  output mismatches: " << outcome.output_mismatch_cycles
+            << "/" << outcome.compared_cycles << " cycles\n"
+            << "  verdict: "
+            << (outcome.functionally_intact()
+                    ? "design still works — the watermark was free to "
+                      "remove"
+                    : "design destroyed — removal is self-defeating")
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto load_regs =
+      static_cast<std::size_t>(args.get_int("load_regs", 576));
+  wgc::WgcConfig wgc_cfg;  // 12-bit LFSR as on the chips
+
+  {
+    rtl::Netlist nl;
+    const rtl::NetId clk = nl.add_net("clk");
+    const auto ip = watermark::build_demo_ip_block(nl, "soc/ip", clk);
+    watermark::LoadCircuitConfig lc;
+    lc.wgc = wgc_cfg;
+    lc.load_registers = load_regs;
+    build_load_circuit_watermark(nl, "soc/watermark", clk, lc);
+    attack_design("design A: state-of-the-art load-circuit watermark", nl,
+                  clk, ip.data_out);
+  }
+  {
+    rtl::Netlist nl;
+    const rtl::NetId clk = nl.add_net("clk");
+    const auto ip = watermark::build_demo_ip_block(nl, "soc/ip", clk);
+    watermark::embed_clock_modulation(nl, "soc/watermark", clk, wgc_cfg,
+                                      ip.icgs);
+    attack_design("design B: proposed clock-modulation watermark "
+                  "(embedded in the IP's clock gates)",
+                  nl, clk, ip.data_out);
+  }
+
+  std::cout << "\nconclusion (paper Sec. VI): the load circuit is a "
+               "stand-alone subcircuit — easily found and freely removed; "
+               "the clock-modulation watermark is invisible to the same "
+               "analysis and removing it severs the IP's own clocks.\n";
+  return 0;
+}

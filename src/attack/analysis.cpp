@@ -1,0 +1,65 @@
+#include "attack/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace clockmark::attack {
+
+std::vector<SuspiciousCircuit> find_standalone_circuits(
+    const rtl::Netlist& netlist, std::size_t min_cells) {
+  const rtl::ConnectivityGraph graph(netlist);
+  const std::vector<bool> reaches = graph.reaches_primary_output();
+
+  // Group dead cells by weakly-connected component of the full graph,
+  // then keep only components made entirely of dead cells — a component
+  // with any live cell is part of the functional design.
+  std::size_t component_count = 0;
+  const auto comp = graph.weakly_connected_components(&component_count);
+
+  std::vector<bool> component_all_dead(component_count, true);
+  std::vector<std::vector<rtl::CellId>> members(component_count);
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const std::size_t c = comp[i];
+    members[c].push_back(static_cast<rtl::CellId>(i));
+    if (reaches[i]) component_all_dead[c] = false;
+  }
+
+  std::vector<SuspiciousCircuit> out;
+  for (std::size_t c = 0; c < component_count; ++c) {
+    if (!component_all_dead[c] || members[c].size() < min_cells) continue;
+    SuspiciousCircuit sc;
+    sc.cells = members[c];
+    std::set<std::string> mods;
+    for (const rtl::CellId id : sc.cells) {
+      const auto& cell = netlist.cell(id);
+      if (rtl::is_sequential(cell.kind)) ++sc.register_count;
+      mods.insert(netlist.module_path(cell.module));
+    }
+    sc.module_paths.assign(mods.begin(), mods.end());
+    out.push_back(std::move(sc));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SuspiciousCircuit& a, const SuspiciousCircuit& b) {
+              return a.size() > b.size();
+            });
+  return out;
+}
+
+double attacker_recall(const std::vector<SuspiciousCircuit>& found,
+                       const std::vector<rtl::CellId>& watermark_cells) {
+  if (watermark_cells.empty()) return 0.0;
+  std::unordered_set<rtl::CellId> flagged;
+  for (const auto& sc : found) {
+    flagged.insert(sc.cells.begin(), sc.cells.end());
+  }
+  std::size_t hit = 0;
+  for (const rtl::CellId id : watermark_cells) {
+    if (flagged.count(id) > 0) ++hit;
+  }
+  return static_cast<double>(hit) /
+         static_cast<double>(watermark_cells.size());
+}
+
+}  // namespace clockmark::attack

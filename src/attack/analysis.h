@@ -1,0 +1,38 @@
+// Removal-attack analysis (paper Section VI). A third party inspecting
+// soft IP at the RTL level hunts for *stand-alone circuits*: logic whose
+// outputs never influence a primary output, which can therefore be
+// deleted with no functional impact. The state-of-the-art load-circuit
+// watermark is exactly such a circuit; the clock-modulation watermark is
+// woven into functional clock gating and is not.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtl/connectivity.h"
+#include "rtl/netlist.h"
+
+namespace clockmark::attack {
+
+/// A connected group of cells that never reaches a primary output.
+struct SuspiciousCircuit {
+  std::vector<rtl::CellId> cells;
+  std::size_t register_count = 0;
+  std::vector<std::string> module_paths;  ///< distinct modules touched
+
+  std::size_t size() const noexcept { return cells.size(); }
+};
+
+/// Finds stand-alone circuits: weakly-connected components consisting
+/// entirely of cells that cannot reach any primary output. Components
+/// smaller than min_cells are ignored (isolated stubs, tie cells).
+std::vector<SuspiciousCircuit> find_standalone_circuits(
+    const rtl::Netlist& netlist, std::size_t min_cells = 4);
+
+/// Fraction of the given watermark cells that appear in any suspicious
+/// circuit — the attacker's recall when targeting this watermark.
+double attacker_recall(const std::vector<SuspiciousCircuit>& found,
+                       const std::vector<rtl::CellId>& watermark_cells);
+
+}  // namespace clockmark::attack

@@ -1,0 +1,66 @@
+#include "attack/presence.h"
+
+#include <algorithm>
+
+#include "cpa/correlation.h"
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+
+namespace clockmark::attack {
+namespace {
+
+std::uint64_t euler_phi(std::uint64_t n) {
+  std::uint64_t result = n;
+  for (std::uint64_t p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      while (n % p == 0) n /= p;
+      result -= result / p;
+    }
+  }
+  if (n > 1) result -= result / n;
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t primitive_polynomial_count(unsigned width) {
+  if (width == 0 || width > 63) return 0;
+  const std::uint64_t order = (1ULL << width) - 1ULL;
+  return euler_phi(order) / width;
+}
+
+PresenceScanResult scan_for_watermark(std::span<const double> measurement,
+                                      unsigned min_width,
+                                      unsigned max_width,
+                                      const cpa::DetectorPolicy& policy) {
+  PresenceScanResult result;
+  const cpa::Detector detector(policy);
+  for (unsigned w = std::max(2u, min_width);
+       w <= std::min(20u, max_width); ++w) {
+    const std::size_t period = (1u << w) - 1u;
+    if (measurement.size() < period) continue;  // cannot resolve rotations
+    sequence::Lfsr lfsr(w, sequence::maximal_taps(w), 1);
+    std::vector<double> pattern(period);
+    for (auto& v : pattern) v = lfsr.step() ? 1.0 : 0.0;
+
+    const auto verdict = detector.detect(measurement, pattern);
+    PresenceCandidate c;
+    c.width = w;
+    c.taps = sequence::maximal_taps(w);
+    c.peak_rho = verdict.spectrum.peak_value;
+    c.peak_z = verdict.spectrum.peak_z;
+    c.peak_rotation = verdict.spectrum.peak_rotation;
+    c.detected = verdict.detected;
+    result.candidates.push_back(c);
+  }
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const PresenceCandidate& a, const PresenceCandidate& b) {
+              return a.peak_z > b.peak_z;
+            });
+  result.watermark_found =
+      !result.candidates.empty() && result.candidates.front().detected;
+  result.best = 0;
+  return result;
+}
+
+}  // namespace clockmark::attack

@@ -1,0 +1,52 @@
+// Presence-scan attack: a third party without the watermark key tries to
+// *discover* that a power watermark exists. The LFSR key space is small —
+// for width w there are phi(2^w - 1)/w primitive polynomials and the CPA
+// rotation sweep already covers every seed — so an attacker can simply
+// try every (width, polynomial) candidate against a captured trace. A
+// significant peak for any candidate reveals the watermark *and* its
+// polynomial (the seed/phase only sets where the peak lands).
+//
+// This is the classic argument for upgrading LFSR watermark keys to
+// larger widths or Gold-code keys: the defender's key space must be too
+// large to enumerate. abl_presence_scan quantifies the scan cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpa/detector.h"
+
+namespace clockmark::attack {
+
+struct PresenceCandidate {
+  unsigned width = 0;
+  std::uint32_t taps = 0;
+  double peak_rho = 0.0;
+  double peak_z = 0.0;
+  std::size_t peak_rotation = 0;
+  bool detected = false;
+};
+
+struct PresenceScanResult {
+  std::vector<PresenceCandidate> candidates;  ///< all tried, best first
+  bool watermark_found = false;
+  /// Index into candidates of the winning hypothesis (if found).
+  std::size_t best = 0;
+};
+
+/// Scans the measurement against the maximal-length sequence of every
+/// width in [min_width, max_width] (one representative primitive
+/// polynomial per width — the library's table; a determined attacker
+/// would enumerate all of them, which scales the cost by ~phi(2^w-1)/w).
+PresenceScanResult scan_for_watermark(std::span<const double> measurement,
+                                      unsigned min_width,
+                                      unsigned max_width,
+                                      const cpa::DetectorPolicy& policy = {});
+
+/// Number of primitive polynomials of degree w over GF(2):
+/// phi(2^w - 1) / w. The attacker's full enumeration cost per width.
+std::uint64_t primitive_polynomial_count(unsigned width);
+
+}  // namespace clockmark::attack

@@ -1,0 +1,73 @@
+#include "attack/removal.h"
+
+#include <unordered_set>
+
+#include "rtl/simulator.h"
+
+namespace clockmark::attack {
+
+std::vector<rtl::CellId> cells_under_module(const rtl::Netlist& netlist,
+                                            const std::string& prefix) {
+  std::vector<rtl::CellId> out;
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    if (netlist.cell_in_module(id, prefix)) out.push_back(id);
+  }
+  return out;
+}
+
+RemovalOutcome simulate_removal_attack(
+    const rtl::Netlist& netlist, const std::vector<rtl::CellId>& victim_cells,
+    rtl::NetId root_clock, rtl::NetId observe_net,
+    std::size_t compare_cycles) {
+  RemovalOutcome outcome;
+  outcome.cells_removed = victim_cells.size();
+  outcome.compared_cycles = compare_cycles;
+
+  rtl::Netlist attacked = netlist;
+  attacked.remove_cells(victim_cells);
+
+  // Structural damage: surviving flops whose clock net lost its driver
+  // chain back to the root clock. A net is "clock-alive" if it is the
+  // root or is driven by a clock cell whose own clock input is alive.
+  {
+    // Iteratively propagate liveness through clock cells.
+    std::unordered_set<rtl::NetId> alive{root_clock};
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < attacked.cell_count(); ++i) {
+        const auto& c = attacked.cell(static_cast<rtl::CellId>(i));
+        if (!rtl::is_clock_cell(c.kind)) continue;
+        if (c.clock != rtl::kInvalidNet && alive.count(c.clock) > 0 &&
+            c.output != rtl::kInvalidNet && alive.count(c.output) == 0) {
+          alive.insert(c.output);
+          changed = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < attacked.cell_count(); ++i) {
+      const auto& c = attacked.cell(static_cast<rtl::CellId>(i));
+      if (rtl::is_sequential(c.kind) &&
+          (c.clock == rtl::kInvalidNet || alive.count(c.clock) == 0)) {
+        ++outcome.unclocked_registers;
+      }
+    }
+  }
+
+  // Behavioural damage: compare the observed net cycle by cycle.
+  rtl::Simulator reference(netlist);
+  reference.set_clock_source(root_clock);
+  rtl::Simulator mutated(attacked);
+  mutated.set_clock_source(root_clock);
+  for (std::size_t i = 0; i < compare_cycles; ++i) {
+    reference.step();
+    mutated.step();
+    if (reference.net_value(observe_net) != mutated.net_value(observe_net)) {
+      ++outcome.output_mismatch_cycles;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace clockmark::attack

@@ -1,0 +1,44 @@
+// Removal-attack simulation: delete a set of cells from a copy of the
+// netlist and quantify the damage — structurally (functional registers
+// that lose their clock) and behaviourally (does a functional output
+// still produce the same waveform?).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace clockmark::attack {
+
+struct RemovalOutcome {
+  std::size_t cells_removed = 0;
+  /// Surviving flip-flops whose clock net is no longer driven by any
+  /// clock source (their state is frozen after the attack).
+  std::size_t unclocked_registers = 0;
+  /// Cycles (out of the compared window) where the reference output net
+  /// differs from the attacked design's output.
+  std::size_t output_mismatch_cycles = 0;
+  std::size_t compared_cycles = 0;
+  bool functionally_intact() const noexcept {
+    return output_mismatch_cycles == 0;
+  }
+};
+
+/// Removes `victim_cells` from a copy of `netlist`, then
+///  * counts surviving registers with an undriven clock, and
+///  * simulates reference vs attacked design for `compare_cycles`
+///    cycles, comparing the value of `observe_net` each cycle.
+/// `root_clock` is the free-running clock source net.
+RemovalOutcome simulate_removal_attack(const rtl::Netlist& netlist,
+                                       const std::vector<rtl::CellId>& victim_cells,
+                                       rtl::NetId root_clock,
+                                       rtl::NetId observe_net,
+                                       std::size_t compare_cycles = 256);
+
+/// All cells under a module-path prefix — the typical victim set when an
+/// attacker deletes "the watermark module".
+std::vector<rtl::CellId> cells_under_module(const rtl::Netlist& netlist,
+                                            const std::string& prefix);
+
+}  // namespace clockmark::attack

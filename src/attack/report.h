@@ -1,0 +1,43 @@
+// The Section VI study as a runnable comparison: build the same
+// functional IP twice, protect it with (a) the state-of-the-art
+// load-circuit watermark and (b) the proposed clock-modulation watermark
+// embedded into the IP's own clock gates, then attack both designs and
+// tabulate detectability and removal impact.
+#pragma once
+
+#include <string>
+
+#include "attack/analysis.h"
+#include "attack/removal.h"
+#include "watermark/embedder.h"
+#include "watermark/load_circuit.h"
+
+namespace clockmark::attack {
+
+struct ArchitectureRobustness {
+  std::string architecture;
+  std::size_t watermark_cells = 0;
+  std::size_t watermark_registers = 0;
+  std::size_t suspicious_circuits_found = 0;
+  double attacker_recall = 0.0;  ///< wm cells flagged / wm cells
+  RemovalOutcome removal;        ///< consequences of deleting the wm
+};
+
+struct RobustnessReport {
+  ArchitectureRobustness load_circuit;
+  ArchitectureRobustness clock_modulation;
+};
+
+struct RobustnessStudyConfig {
+  watermark::DemoIpConfig ip;
+  wgc::WgcConfig wgc;
+  std::size_t load_registers = 576;
+  std::size_t compare_cycles = 256;
+};
+
+RobustnessReport run_robustness_study(const RobustnessStudyConfig& config);
+
+/// Formats the report as the bench/sec6 table.
+std::string to_string(const RobustnessReport& report);
+
+}  // namespace clockmark::attack

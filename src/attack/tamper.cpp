@@ -1,0 +1,123 @@
+#include "attack/tamper.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "rtl/connectivity.h"
+#include "rtl/simulator.h"
+
+namespace clockmark::attack {
+
+std::vector<FanoutSuspect> find_wmark_fanout_signature(
+    const rtl::Netlist& netlist, std::size_t min_fanout) {
+  // Which cells are ICGs, and which nets drive their enables?
+  std::unordered_set<rtl::NetId> icg_enable_nets;
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto& c = netlist.cell(static_cast<rtl::CellId>(i));
+    if (c.kind == rtl::CellKind::kIcg && !c.inputs.empty()) {
+      icg_enable_nets.insert(c.inputs[0]);
+    }
+  }
+  // AND gates whose output is an ICG enable, grouped by each input net.
+  std::map<rtl::NetId, FanoutSuspect> by_net;
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    const auto& c = netlist.cell(id);
+    if (c.kind != rtl::CellKind::kAnd2) continue;
+    if (icg_enable_nets.count(c.output) == 0) continue;
+    for (const rtl::NetId in : c.inputs) {
+      auto& suspect = by_net[in];
+      suspect.net = in;
+      suspect.and_gates.push_back(id);
+      ++suspect.icgs_reached;
+    }
+  }
+  std::vector<FanoutSuspect> out;
+  for (auto& [net, suspect] : by_net) {
+    if (suspect.and_gates.size() >= min_fanout) {
+      out.push_back(std::move(suspect));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FanoutSuspect& a, const FanoutSuspect& b) {
+              return a.and_gates.size() > b.and_gates.size();
+            });
+  return out;
+}
+
+TamperOutcome bypass_attack(const rtl::Netlist& watermarked,
+                            const rtl::Netlist& reference,
+                            rtl::NetId root_clock_watermarked,
+                            rtl::NetId root_clock_reference,
+                            rtl::NetId observe_watermarked,
+                            rtl::NetId observe_reference,
+                            const std::string& wgc_prefix,
+                            std::size_t min_fanout,
+                            std::size_t compare_cycles) {
+  TamperOutcome outcome;
+  outcome.compared_cycles = compare_cycles;
+
+  const auto suspects =
+      find_wmark_fanout_signature(watermarked, min_fanout);
+  outcome.suspects_found = suspects.size();
+
+  rtl::Netlist tampered = watermarked;
+  for (const auto& suspect : suspects) {
+    for (const rtl::CellId and_id : suspect.and_gates) {
+      const rtl::Cell& and_gate = tampered.cell(and_id);
+      // The AND's other input is the original CLK_CTRL.
+      rtl::NetId original = rtl::kInvalidNet;
+      for (const rtl::NetId in : and_gate.inputs) {
+        if (in != suspect.net) original = in;
+      }
+      if (original == rtl::kInvalidNet) continue;
+      // Rewire every ICG fed by this AND back to the original control.
+      for (std::size_t i = 0; i < tampered.cell_count(); ++i) {
+        auto& c = tampered.cell(static_cast<rtl::CellId>(i));
+        if (c.kind == rtl::CellKind::kIcg && !c.inputs.empty() &&
+            c.inputs[0] == and_gate.output) {
+          c.inputs[0] = original;
+          ++outcome.gates_bypassed;
+        }
+      }
+    }
+  }
+
+  // Behavioural comparison against the clean reference.
+  rtl::Simulator ref(reference);
+  ref.set_clock_source(root_clock_reference);
+  rtl::Simulator tam(tampered);
+  tam.set_clock_source(root_clock_watermarked);
+  for (std::size_t i = 0; i < compare_cycles; ++i) {
+    ref.step();
+    tam.step();
+    if (ref.net_value(observe_reference) !=
+        tam.net_value(observe_watermarked)) {
+      ++outcome.output_mismatch_cycles;
+    }
+  }
+  outcome.function_restored = outcome.output_mismatch_cycles == 0;
+
+  // Structural check: does the WGC still influence any ICG?
+  const rtl::ConnectivityGraph graph(tampered);
+  std::vector<rtl::CellId> wgc_cells;
+  for (std::size_t i = 0; i < tampered.cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    if (tampered.cell_in_module(id, wgc_prefix)) wgc_cells.push_back(id);
+  }
+  const auto cone = graph.fanout_cone(wgc_cells);
+  outcome.watermark_still_wired = false;
+  for (std::size_t i = 0; i < tampered.cell_count(); ++i) {
+    const auto& c = tampered.cell(static_cast<rtl::CellId>(i));
+    if (c.kind == rtl::CellKind::kIcg && cone[i] &&
+        !tampered.cell_in_module(static_cast<rtl::CellId>(i),
+                                 wgc_prefix)) {
+      outcome.watermark_still_wired = true;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace clockmark::attack

@@ -1,0 +1,61 @@
+// Tampering (bypass) attack — the stronger follow-up to removal. Instead
+// of deleting the watermark, the attacker *neutralises* it: rewire each
+// WMARK-modulated clock-gate enable back to its original CLK_CTRL signal
+// (bypassing the AND gate), restoring the design's un-watermarked
+// behaviour while silencing the power signature.
+//
+// The attack's hard part is *finding* the modulation points. The naive
+// embedding has a tell-tale structural signature: one net (WMARK) fans
+// out to many AND gates that all feed ICG enables. find_wmark_fanout_
+// signature() implements that detector; diversified embedding
+// (embedder.h: embed_clock_modulation_diversified) removes the signature
+// by driving every ICG from a different WGC stage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace clockmark::attack {
+
+/// A net suspected to be a watermark sequence line: it feeds at least
+/// `min_fanout` AND gates whose outputs drive ICG enables.
+struct FanoutSuspect {
+  rtl::NetId net = rtl::kInvalidNet;
+  std::vector<rtl::CellId> and_gates;  ///< the modulation points
+  std::size_t icgs_reached = 0;
+};
+
+std::vector<FanoutSuspect> find_wmark_fanout_signature(
+    const rtl::Netlist& netlist, std::size_t min_fanout = 3);
+
+/// Outcome of bypassing the suspected modulation points.
+struct TamperOutcome {
+  std::size_t suspects_found = 0;
+  std::size_t gates_bypassed = 0;
+  /// Does the tampered design behave exactly like the un-watermarked
+  /// reference over the compared window?
+  bool function_restored = false;
+  std::size_t output_mismatch_cycles = 0;
+  std::size_t compared_cycles = 0;
+  /// Do any ICG enables still depend (structurally) on the WGC?
+  bool watermark_still_wired = true;
+};
+
+/// Runs the full attack: find suspects, bypass every suspect AND gate
+/// (rewire each dependent ICG's enable to the AND's other input), then
+/// compare the result against `reference` (the same IP without any
+/// watermark) on `observe_net` for `compare_cycles`, and check whether
+/// the cells under `wgc_prefix` still reach any ICG.
+TamperOutcome bypass_attack(const rtl::Netlist& watermarked,
+                            const rtl::Netlist& reference,
+                            rtl::NetId root_clock_watermarked,
+                            rtl::NetId root_clock_reference,
+                            rtl::NetId observe_watermarked,
+                            rtl::NetId observe_reference,
+                            const std::string& wgc_prefix,
+                            std::size_t min_fanout = 3,
+                            std::size_t compare_cycles = 256);
+
+}  // namespace clockmark::attack

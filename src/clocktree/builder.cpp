@@ -1,0 +1,56 @@
+#include "clocktree/builder.h"
+
+#include <stdexcept>
+
+namespace clockmark::clocktree {
+
+BankClocking build_bank_clocking(rtl::Netlist& netlist, std::uint32_t module,
+                                 rtl::NetId root_clock, rtl::NetId enable,
+                                 const std::string& name,
+                                 const BankClockingOptions& options) {
+  if (options.words == 0 || options.bits_per_word == 0) {
+    throw std::invalid_argument(
+        "build_bank_clocking: words and bits_per_word must be > 0");
+  }
+  BankClocking bank;
+
+  // Spine: distribute the root clock to the word ICGs with fan-out-
+  // limited buffers.
+  std::vector<rtl::NetId> icg_feeds;
+  const unsigned fanout = options.tree.max_fanout;
+  rtl::NetId spine_source = root_clock;
+  if (options.words > fanout) {
+    // One intermediate level is enough for the geometries we model
+    // (words <= fanout^2); deeper spines would need recursion.
+    if (options.words > static_cast<std::size_t>(fanout) * fanout) {
+      throw std::invalid_argument(
+          "build_bank_clocking: too many words for a two-level spine");
+    }
+    const std::size_t branches =
+        (options.words + fanout - 1) / fanout;
+    std::vector<rtl::NetId> branch_nets;
+    for (std::size_t b = 0; b < branches; ++b) {
+      const rtl::NetId bn =
+          netlist.add_net(name + "_spine" + std::to_string(b));
+      bank.spine_buffers.push_back(netlist.add_clock_buffer(
+          name + "_sb" + std::to_string(b), module, spine_source, bn));
+      branch_nets.push_back(bn);
+    }
+    for (std::size_t w = 0; w < options.words; ++w) {
+      icg_feeds.push_back(branch_nets[w / fanout]);
+    }
+  } else {
+    icg_feeds.assign(options.words, spine_source);
+  }
+
+  for (std::size_t w = 0; w < options.words; ++w) {
+    GatedClockGroup group = build_gated_group(
+        netlist, module, icg_feeds[w], enable, options.bits_per_word,
+        name + "_w" + std::to_string(w), options.tree);
+    bank.leaf_nets.push_back(group.tree.leaf_nets);
+    bank.words.push_back(std::move(group));
+  }
+  return bank;
+}
+
+}  // namespace clockmark::clocktree

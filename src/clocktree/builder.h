@@ -1,0 +1,36 @@
+// Higher-level clocking plans. Fig. 4(a) of the paper clocks a redundant
+// block of 1024 registers as 32 words of 32 bits, each word behind its
+// own ICG whose enable is the WMARK signal. This builder replicates that
+// word-bank structure for arbitrary geometry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clocktree/tree.h"
+
+namespace clockmark::clocktree {
+
+struct BankClockingOptions {
+  std::size_t words = 32;          ///< number of gated words
+  std::size_t bits_per_word = 32;  ///< sinks behind each ICG
+  ClockTreeOptions tree;           ///< per-word subtree shape
+};
+
+/// Clocking for a word bank: a small spine of root buffers distributing
+/// the root clock to per-word ICGs, each gating a subtree for one word.
+struct BankClocking {
+  std::vector<rtl::CellId> spine_buffers;  ///< root distribution buffers
+  std::vector<GatedClockGroup> words;      ///< one gated group per word
+  /// leaf_nets[w][b] = clock net for bit b of word w.
+  std::vector<std::vector<rtl::NetId>> leaf_nets;
+};
+
+/// Builds the bank clocking inside `module`. All word ICGs share the same
+/// `enable` net (the WMARK-controlled enable in the watermark usage).
+BankClocking build_bank_clocking(rtl::Netlist& netlist, std::uint32_t module,
+                                 rtl::NetId root_clock, rtl::NetId enable,
+                                 const std::string& name,
+                                 const BankClockingOptions& options = {});
+
+}  // namespace clockmark::clocktree

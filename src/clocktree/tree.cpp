@@ -1,0 +1,86 @@
+#include "clocktree/tree.h"
+
+#include <stdexcept>
+
+namespace clockmark::clocktree {
+namespace {
+
+// Recursively splits `count` sinks below `parent` until a buffer can
+// legally drive them, appending created buffers/leaves to the tree.
+void build_level(rtl::Netlist& nl, std::uint32_t module, rtl::NetId parent,
+                 std::size_t count, const ClockTreeOptions& opt,
+                 unsigned level, ClockTree& tree, std::size_t& name_counter) {
+  tree.levels = std::max(tree.levels, level);
+  if (count == 0) return;
+
+  const bool parent_can_drive_leaves = count <= opt.max_fanout;
+  if (parent_can_drive_leaves) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (opt.leaf_buffer_per_sink) {
+        const rtl::NetId leaf = nl.add_net(
+            opt.name_prefix + "_leaf" + std::to_string(name_counter));
+        const rtl::CellId buf = nl.add_clock_buffer(
+            opt.name_prefix + "_lb" + std::to_string(name_counter), module,
+            parent, leaf);
+        ++name_counter;
+        tree.buffers.push_back(buf);
+        tree.leaf_nets.push_back(leaf);
+      } else {
+        tree.leaf_nets.push_back(parent);
+      }
+    }
+    return;
+  }
+
+  // Split into up to max_fanout branches, each an intermediate buffer.
+  const std::size_t branches = opt.max_fanout;
+  const std::size_t base = count / branches;
+  std::size_t remainder = count % branches;
+  for (std::size_t b = 0; b < branches; ++b) {
+    std::size_t share = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    if (share == 0) continue;
+    const rtl::NetId branch_net = nl.add_net(
+        opt.name_prefix + "_n" + std::to_string(name_counter));
+    const rtl::CellId buf = nl.add_clock_buffer(
+        opt.name_prefix + "_b" + std::to_string(name_counter), module,
+        parent, branch_net);
+    ++name_counter;
+    tree.buffers.push_back(buf);
+    build_level(nl, module, branch_net, share, opt, level + 1, tree,
+                name_counter);
+  }
+}
+
+}  // namespace
+
+ClockTree build_clock_tree(rtl::Netlist& netlist, std::uint32_t module,
+                           rtl::NetId root_clock, std::size_t sink_count,
+                           const ClockTreeOptions& options) {
+  if (options.max_fanout < 2) {
+    throw std::invalid_argument("build_clock_tree: max_fanout must be >= 2");
+  }
+  ClockTree tree;
+  tree.root = root_clock;
+  std::size_t name_counter = 0;
+  build_level(netlist, module, root_clock, sink_count, options, 1, tree,
+              name_counter);
+  return tree;
+}
+
+GatedClockGroup build_gated_group(rtl::Netlist& netlist, std::uint32_t module,
+                                  rtl::NetId root_clock, rtl::NetId enable,
+                                  std::size_t sink_count,
+                                  const std::string& name,
+                                  const ClockTreeOptions& options) {
+  GatedClockGroup group;
+  const rtl::NetId gated = netlist.add_net(name + "_gclk");
+  group.icg = netlist.add_icg(name + "_icg", module, root_clock, enable,
+                              gated);
+  ClockTreeOptions opt = options;
+  opt.name_prefix = name + "_" + options.name_prefix;
+  group.tree = build_clock_tree(netlist, module, gated, sink_count, opt);
+  return group;
+}
+
+}  // namespace clockmark::clocktree

@@ -1,0 +1,54 @@
+// Clock distribution network model. The paper attributes the majority of
+// the watermark's dynamic power to clock-tree buffers (each clock net
+// switches twice per cycle); this module builds balanced, fan-out-limited
+// buffer trees over a netlist so that activity — and therefore power —
+// can be accounted per buffer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace clockmark::clocktree {
+
+struct ClockTreeOptions {
+  unsigned max_fanout = 16;        ///< max sinks driven by one buffer
+  std::string name_prefix = "ctb"; ///< instance-name prefix for buffers
+  bool leaf_buffer_per_sink = true;
+  ///< model the clock buffer embedded in each register (the 1.476 uW
+  ///< per-register cost measured in the paper) as an explicit leaf buffer
+};
+
+/// The built tree: the nets sinks should use as their clock pins, plus
+/// bookkeeping about the inserted buffers.
+struct ClockTree {
+  rtl::NetId root = rtl::kInvalidNet;
+  std::vector<rtl::CellId> buffers;   ///< all inserted clock buffers
+  std::vector<rtl::NetId> leaf_nets;  ///< one per requested sink
+  unsigned levels = 0;                ///< depth of the buffer tree
+};
+
+/// Builds a balanced buffer tree from root_clock fanning out to
+/// `sink_count` leaf nets inside `module`. Leaf nets are returned in
+/// order; attach flip-flop/ICG clock pins to them.
+ClockTree build_clock_tree(rtl::Netlist& netlist, std::uint32_t module,
+                           rtl::NetId root_clock, std::size_t sink_count,
+                           const ClockTreeOptions& options = {});
+
+/// Convenience: builds a gated clock group — one ICG fed from
+/// `root_clock` and controlled by `enable`, then a buffer tree under the
+/// ICG for `sink_count` sinks. Mirrors Fig. 4(a): the clock signal to
+/// each 32-bit word is gated by one ICG cell.
+struct GatedClockGroup {
+  rtl::CellId icg = 0;
+  ClockTree tree;
+};
+GatedClockGroup build_gated_group(rtl::Netlist& netlist, std::uint32_t module,
+                                  rtl::NetId root_clock, rtl::NetId enable,
+                                  std::size_t sink_count,
+                                  const std::string& name,
+                                  const ClockTreeOptions& options = {});
+
+}  // namespace clockmark::clocktree

@@ -1,0 +1,49 @@
+#include "cpa/confidence.h"
+
+#include <cmath>
+
+namespace clockmark::cpa {
+
+double normal_tail(double z) noexcept {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+double false_positive_probability(double z,
+                                  std::size_t rotations) noexcept {
+  if (rotations == 0) return 0.0;
+  // Two-sided per-rotation tail (the detector peaks on |rho|).
+  const double per_rotation = 2.0 * normal_tail(z);
+  if (per_rotation >= 1.0) return 1.0;
+  // 1 - (1 - p)^P computed stably via log1p/expm1.
+  const double log_term =
+      static_cast<double>(rotations) * std::log1p(-per_rotation);
+  return -std::expm1(log_term);
+}
+
+double expected_noise_peak_z(std::size_t rotations) noexcept {
+  if (rotations < 2) return 0.0;
+  return std::sqrt(2.0 * std::log(static_cast<double>(rotations)));
+}
+
+double detection_confidence(const SpreadSpectrum& spectrum) noexcept {
+  if (spectrum.rho.empty() || spectrum.noise_std <= 0.0) return 0.0;
+  return 1.0 - false_positive_probability(spectrum.peak_z,
+                                          spectrum.rho.size());
+}
+
+double z_threshold_for_alpha(double alpha, std::size_t rotations) noexcept {
+  if (alpha <= 0.0 || alpha >= 1.0 || rotations == 0) return 0.0;
+  // Bisection on the monotone false_positive_probability.
+  double lo = 0.0, hi = 12.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (false_positive_probability(mid, rotations) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace clockmark::cpa

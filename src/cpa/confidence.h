@@ -1,0 +1,36 @@
+// Statistical confidence of a CPA detection. Off-peak correlation values
+// over N cycles are approximately N(0, 1/N); the spread spectrum takes
+// the maximum over P rotations, so the false-positive probability of a
+// peak with z-score z is
+//   P_fp = 1 - (1 - Q(z))^(P-1)  ~  (P-1) * Q(z)   for small Q(z),
+// with Q the standard normal tail. These helpers turn a spread spectrum
+// into an explicit confidence statement (and justify the default
+// detector threshold of z = 5.5 for P = 4095).
+#pragma once
+
+#include <cstddef>
+
+#include "cpa/spread_spectrum.h"
+
+namespace clockmark::cpa {
+
+/// Standard normal upper-tail probability Q(z) = P(X > z).
+double normal_tail(double z) noexcept;
+
+/// Probability that pure noise produces at least one |rho| with z-score
+/// >= z across `rotations` independent rotations (two-sided).
+double false_positive_probability(double z, std::size_t rotations) noexcept;
+
+/// Expected maximum z-score of pure noise across `rotations` rotations
+/// (approximation sqrt(2 ln P) — where the noise floor's own peaks sit).
+double expected_noise_peak_z(std::size_t rotations) noexcept;
+
+/// Detection confidence = 1 - false-positive probability of the observed
+/// peak, using the spectrum's own noise statistics.
+double detection_confidence(const SpreadSpectrum& spectrum) noexcept;
+
+/// Smallest z threshold whose family-wise false-positive probability is
+/// below alpha for the given number of rotations.
+double z_threshold_for_alpha(double alpha, std::size_t rotations) noexcept;
+
+}  // namespace clockmark::cpa

@@ -1,0 +1,40 @@
+#include "cpa/correlation.h"
+
+#include <stdexcept>
+
+#include "dsp/correlate.h"
+#include "util/stats.h"
+
+namespace clockmark::cpa {
+
+std::vector<double> to_model_pattern(const std::vector<bool>& bits) {
+  std::vector<double> p(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) p[i] = bits[i] ? 1.0 : 0.0;
+  return p;
+}
+
+std::vector<double> correlate_rotations(std::span<const double> measurement,
+                                        std::span<const double> pattern,
+                                        CorrelationMethod method) {
+  switch (method) {
+    case CorrelationMethod::kNaive:
+      return dsp::rotation_correlation_naive(measurement, pattern);
+    case CorrelationMethod::kFolded:
+      return dsp::rotation_correlation_folded(measurement, pattern);
+    case CorrelationMethod::kFft:
+      return dsp::rotation_correlation_fft(measurement, pattern);
+  }
+  throw std::invalid_argument("correlate_rotations: bad method");
+}
+
+double correlate_at(std::span<const double> measurement,
+                    std::span<const double> pattern, std::size_t rotation) {
+  const std::size_t p = pattern.size();
+  std::vector<double> model(measurement.size());
+  for (std::size_t i = 0; i < measurement.size(); ++i) {
+    model[i] = pattern[(i + rotation) % p];
+  }
+  return util::pearson(model, measurement);
+}
+
+}  // namespace clockmark::cpa

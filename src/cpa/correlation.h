@@ -1,0 +1,32 @@
+// Correlation Power Analysis front door (paper Section III). Computes
+// the Pearson correlation — equation (1) — between the measured per-cycle
+// power vector Y and every cyclic rotation of the binary watermark model
+// vector X. Three interchangeable implementations with identical output:
+//   kNaive  O(N*P)        reference, validates the fast paths
+//   kFolded O(N + P^2)    per-phase partial sums
+//   kFft    O(N + PlogP)  folded sums correlated via FFT
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace clockmark::cpa {
+
+enum class CorrelationMethod { kNaive, kFolded, kFft };
+
+/// Converts a WMARK bit pattern to the numeric model pattern (0/1).
+std::vector<double> to_model_pattern(const std::vector<bool>& bits);
+
+/// rho[r] for r = 0 .. pattern.size()-1, rotating the periodic pattern
+/// against the measurement.
+std::vector<double> correlate_rotations(
+    std::span<const double> measurement, std::span<const double> pattern,
+    CorrelationMethod method = CorrelationMethod::kFft);
+
+/// Single-rotation Pearson correlation (model = pattern rotated by r,
+/// tiled over the measurement length).
+double correlate_at(std::span<const double> measurement,
+                    std::span<const double> pattern, std::size_t rotation);
+
+}  // namespace clockmark::cpa

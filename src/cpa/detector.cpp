@@ -1,0 +1,43 @@
+#include "cpa/detector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "cpa/confidence.h"
+
+namespace clockmark::cpa {
+
+Detector::Detector(const DetectorPolicy& policy) : policy_(policy) {}
+
+DetectionResult Detector::decide(SpreadSpectrum spectrum) const {
+  DetectionResult result;
+  result.spectrum = std::move(spectrum);
+  const SpreadSpectrum& ss = result.spectrum;
+
+  std::ostringstream why;
+  const bool z_ok = ss.peak_z >= policy_.min_peak_z;
+  const bool isolated =
+      ss.second_peak == 0.0 ||
+      std::fabs(ss.peak_value) >= policy_.min_isolation * ss.second_peak;
+  result.detected = z_ok && isolated;
+  why << "peak rho=" << ss.peak_value << " at rotation "
+      << ss.peak_rotation << ", z=" << ss.peak_z
+      << (z_ok ? " >= " : " < ") << policy_.min_peak_z
+      << "; isolation=" << ss.isolation()
+      << (isolated ? " >= " : " < ") << policy_.min_isolation << " -> "
+      << (result.detected ? "DETECTED" : "not detected");
+  if (result.detected) {
+    why << " (confidence " << detection_confidence(ss) * 100.0 << " %)";
+  }
+  result.reason = why.str();
+  return result;
+}
+
+DetectionResult Detector::detect(std::span<const double> measurement,
+                                 std::span<const double> pattern,
+                                 CorrelationMethod method) const {
+  return decide(
+      compute_spread_spectrum(measurement, pattern, method, policy_.guard));
+}
+
+}  // namespace clockmark::cpa

@@ -1,0 +1,51 @@
+// Watermark detection decision. The paper regards a watermark as
+// detected when "a single significant correlation coefficient can be
+// resolved" in the spread spectrum. We operationalise that as a z-score
+// threshold against the off-peak noise floor plus an isolation
+// requirement against the second-largest peak.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "cpa/spread_spectrum.h"
+
+namespace clockmark::cpa {
+
+struct DetectorPolicy {
+  /// Peak must stand this many noise-floor sigmas above the mean.
+  /// With P ~ 4095 rotations, a Gaussian noise floor's maximum is about
+  /// sqrt(2 ln P) ~ 4.1 sigma, so 5.5 keeps the false-positive rate low.
+  double min_peak_z = 5.5;
+  /// |peak| must exceed the second peak by this factor.
+  double min_isolation = 1.25;
+  /// Rotations around the peak excluded from noise statistics.
+  std::size_t guard = 8;
+};
+
+struct DetectionResult {
+  bool detected = false;
+  SpreadSpectrum spectrum;
+  std::string reason;  ///< human-readable explanation of the decision
+};
+
+class Detector {
+ public:
+  explicit Detector(const DetectorPolicy& policy = {});
+
+  DetectionResult detect(std::span<const double> measurement,
+                         std::span<const double> pattern,
+                         CorrelationMethod method =
+                             CorrelationMethod::kFft) const;
+
+  /// Decision on an already-computed spectrum.
+  DetectionResult decide(SpreadSpectrum spectrum) const;
+
+  const DetectorPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  DetectorPolicy policy_;
+};
+
+}  // namespace clockmark::cpa

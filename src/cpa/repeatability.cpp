@@ -1,0 +1,44 @@
+#include "cpa/repeatability.h"
+
+#include <cmath>
+
+namespace clockmark::cpa {
+
+RepeatabilityResult run_repeatability(
+    std::size_t repetitions,
+    const std::function<RepetitionOutcome(std::size_t)>& experiment,
+    std::size_t guard) {
+  RepeatabilityResult result;
+  result.repetitions = repetitions;
+  std::vector<double> in_phase;
+  std::vector<double> off_phase;
+  in_phase.reserve(repetitions);
+
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const RepetitionOutcome outcome = experiment(rep);
+    const auto& rho = outcome.spectrum.rho;
+    RepetitionSample sample;
+    if (!rho.empty()) {
+      const std::size_t n = rho.size();
+      const std::size_t truth = outcome.true_rotation % n;
+      sample.in_phase_rho = rho[truth];
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t d = i > truth ? i - truth : truth - i;
+        if (std::min(d, n - d) <= guard) continue;
+        sample.max_off_phase =
+            std::max(sample.max_off_phase, std::fabs(rho[i]));
+        off_phase.push_back(rho[i]);
+      }
+    }
+    sample.detected = outcome.detected;
+    if (sample.detected) ++result.detections;
+    in_phase.push_back(sample.in_phase_rho);
+    result.samples.push_back(sample);
+  }
+
+  result.in_phase = util::box_plot(in_phase);
+  result.off_phase = util::box_plot(off_phase);
+  return result;
+}
+
+}  // namespace clockmark::cpa

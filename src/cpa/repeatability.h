@@ -1,0 +1,46 @@
+// Repeatability study (paper Fig. 6): run the full
+// simulate-measure-correlate experiment many times with independent
+// noise, collect the correlation at the true phase ("in phase") and the
+// off-phase values, and summarise both as the paper's 95 % box plots.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "cpa/spread_spectrum.h"
+#include "util/stats.h"
+
+namespace clockmark::cpa {
+
+/// One repetition's contribution.
+struct RepetitionSample {
+  double in_phase_rho = 0.0;   ///< rho at the true rotation
+  double max_off_phase = 0.0;  ///< largest |rho| away from the true phase
+  bool detected = false;
+};
+
+struct RepeatabilityResult {
+  std::vector<RepetitionSample> samples;
+  util::BoxPlot in_phase;      ///< Fig. 6: the distinctive peak box
+  util::BoxPlot off_phase;     ///< Fig. 6: the near-zero boxes
+  std::size_t detections = 0;  ///< how many repetitions detected
+  std::size_t repetitions = 0;
+};
+
+/// Runs `experiment` `repetitions` times. The callback receives the
+/// repetition index and must return that run's spread spectrum together
+/// with the true rotation (phase) of the embedded watermark and the
+/// detection verdict.
+struct RepetitionOutcome {
+  SpreadSpectrum spectrum;
+  std::size_t true_rotation = 0;
+  bool detected = false;
+};
+
+RepeatabilityResult run_repeatability(
+    std::size_t repetitions,
+    const std::function<RepetitionOutcome(std::size_t)>& experiment,
+    std::size_t guard = 8);
+
+}  // namespace clockmark::cpa

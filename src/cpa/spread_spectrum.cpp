@@ -1,0 +1,58 @@
+#include "cpa/spread_spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clockmark::cpa {
+
+SpreadSpectrum summarize_sweep(std::vector<double> rho, std::size_t guard) {
+  SpreadSpectrum ss;
+  ss.rho = std::move(rho);
+  if (ss.rho.empty()) return ss;
+  const std::size_t n = ss.rho.size();
+
+  // Peak by absolute value (an inverted watermark correlates at -1).
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::fabs(ss.rho[i]) > std::fabs(ss.rho[peak])) peak = i;
+  }
+  ss.peak_rotation = peak;
+  ss.peak_value = ss.rho[peak];
+
+  auto in_guard = [&](std::size_t i) {
+    // Circular distance to the peak.
+    const std::size_t d = i > peak ? i - peak : peak - i;
+    return std::min(d, n - d) <= guard;
+  };
+
+  double sum = 0.0, sum_sq = 0.0, second = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_guard(i)) continue;
+    sum += ss.rho[i];
+    sum_sq += ss.rho[i] * ss.rho[i];
+    second = std::max(second, std::fabs(ss.rho[i]));
+    ++count;
+  }
+  if (count > 0) {
+    ss.noise_mean = sum / static_cast<double>(count);
+    const double var =
+        sum_sq / static_cast<double>(count) - ss.noise_mean * ss.noise_mean;
+    ss.noise_std = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  ss.second_peak = second;
+  ss.peak_z = ss.noise_std > 0.0
+                  ? (std::fabs(ss.peak_value) - ss.noise_mean) / ss.noise_std
+                  : 0.0;
+  return ss;
+}
+
+SpreadSpectrum compute_spread_spectrum(std::span<const double> measurement,
+                                       std::span<const double> pattern,
+                                       CorrelationMethod method,
+                                       std::size_t guard) {
+  return summarize_sweep(correlate_rotations(measurement, pattern, method),
+                         guard);
+}
+
+}  // namespace clockmark::cpa

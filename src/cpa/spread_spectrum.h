@@ -1,0 +1,41 @@
+// Spread-spectrum representation of the CPA sweep (paper Fig. 5): the
+// correlation coefficient at every rotation of the watermark sequence,
+// plus the summary statistics the detection decision uses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpa/correlation.h"
+
+namespace clockmark::cpa {
+
+struct SpreadSpectrum {
+  std::vector<double> rho;        ///< correlation per rotation
+  std::size_t peak_rotation = 0;
+  double peak_value = 0.0;
+  double second_peak = 0.0;       ///< largest |rho| outside the peak window
+  double noise_mean = 0.0;        ///< mean of rho outside the peak window
+  double noise_std = 0.0;         ///< std of rho outside the peak window
+  double peak_z = 0.0;            ///< (peak - noise_mean) / noise_std
+
+  /// Peak-to-second-peak ratio (absolute values); > 1 means resolvable.
+  double isolation() const noexcept {
+    return second_peak != 0.0 ? peak_value / second_peak : 0.0;
+  }
+};
+
+/// Computes the spread spectrum of a measurement against the watermark
+/// pattern. `guard` rotations on each side of the peak are excluded from
+/// the noise statistics (the PDN filter smears the peak slightly).
+SpreadSpectrum compute_spread_spectrum(
+    std::span<const double> measurement, std::span<const double> pattern,
+    CorrelationMethod method = CorrelationMethod::kFft,
+    std::size_t guard = 8);
+
+/// Summarises an already-computed rho sweep.
+SpreadSpectrum summarize_sweep(std::vector<double> rho, std::size_t guard);
+
+}  // namespace clockmark::cpa

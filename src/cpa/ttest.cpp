@@ -1,0 +1,113 @@
+#include "cpa/ttest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clockmark::cpa {
+namespace {
+
+struct SquaredFold {
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::vector<std::size_t> count;
+};
+
+SquaredFold fold(std::span<const double> y, std::size_t period) {
+  SquaredFold f;
+  f.sum.assign(period, 0.0);
+  f.sum_sq.assign(period, 0.0);
+  f.count.assign(period, 0);
+  std::size_t p = 0;
+  for (const double v : y) {
+    f.sum[p] += v;
+    f.sum_sq[p] += v * v;
+    ++f.count[p];
+    if (++p == period) p = 0;
+  }
+  return f;
+}
+
+WelchResult welch_from_groups(double sum_h, double sumsq_h, std::size_t n_h,
+                              double sum_l, double sumsq_l,
+                              std::size_t n_l) {
+  WelchResult r;
+  r.n_high = n_h;
+  r.n_low = n_l;
+  if (n_h < 2 || n_l < 2) return r;
+  r.mean_high = sum_h / static_cast<double>(n_h);
+  r.mean_low = sum_l / static_cast<double>(n_l);
+  const double var_h =
+      (sumsq_h - static_cast<double>(n_h) * r.mean_high * r.mean_high) /
+      static_cast<double>(n_h - 1);
+  const double var_l =
+      (sumsq_l - static_cast<double>(n_l) * r.mean_low * r.mean_low) /
+      static_cast<double>(n_l - 1);
+  const double denom = var_h / static_cast<double>(n_h) +
+                       var_l / static_cast<double>(n_l);
+  if (denom <= 0.0) return r;
+  r.t = (r.mean_high - r.mean_low) / std::sqrt(denom);
+  return r;
+}
+
+}  // namespace
+
+WelchResult welch_t_test(std::span<const double> measurement,
+                         std::span<const double> pattern,
+                         std::size_t rotation) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("welch_t_test: empty pattern");
+  }
+  const std::size_t period = pattern.size();
+  double sum_h = 0.0, sumsq_h = 0.0, sum_l = 0.0, sumsq_l = 0.0;
+  std::size_t n_h = 0, n_l = 0;
+  for (std::size_t i = 0; i < measurement.size(); ++i) {
+    const bool high = pattern[(i + rotation) % period] != 0.0;
+    const double v = measurement[i];
+    if (high) {
+      sum_h += v;
+      sumsq_h += v * v;
+      ++n_h;
+    } else {
+      sum_l += v;
+      sumsq_l += v * v;
+      ++n_l;
+    }
+  }
+  return welch_from_groups(sum_h, sumsq_h, n_h, sum_l, sumsq_l, n_l);
+}
+
+std::vector<double> t_sweep(std::span<const double> measurement,
+                            std::span<const double> pattern) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("t_sweep: empty pattern");
+  }
+  const std::size_t period = pattern.size();
+  const SquaredFold f = fold(measurement, period);
+  std::vector<double> out(period, 0.0);
+  for (std::size_t r = 0; r < period; ++r) {
+    double sum_h = 0.0, sumsq_h = 0.0, sum_l = 0.0, sumsq_l = 0.0;
+    std::size_t n_h = 0, n_l = 0;
+    for (std::size_t p = 0; p < period; ++p) {
+      const bool high = pattern[(p + r) % period] != 0.0;
+      if (high) {
+        sum_h += f.sum[p];
+        sumsq_h += f.sum_sq[p];
+        n_h += f.count[p];
+      } else {
+        sum_l += f.sum[p];
+        sumsq_l += f.sum_sq[p];
+        n_l += f.count[p];
+      }
+    }
+    out[r] = std::fabs(
+        welch_from_groups(sum_h, sumsq_h, n_h, sum_l, sumsq_l, n_l).t);
+  }
+  return out;
+}
+
+double t_from_rho(double rho, std::size_t n) noexcept {
+  if (n < 3 || std::fabs(rho) >= 1.0) return 0.0;
+  return rho * std::sqrt(static_cast<double>(n - 2) / (1.0 - rho * rho));
+}
+
+}  // namespace clockmark::cpa

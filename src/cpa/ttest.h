@@ -1,0 +1,39 @@
+// Welch's t-test detection — the TVLA-style alternative to Pearson CPA.
+// Partitions the per-cycle measurements by the hypothesised WMARK bit
+// (at a given rotation) and tests whether the two groups' means differ.
+// For a binary model vector the t statistic and the Pearson rho carry the
+// same information (t = rho * sqrt((N-2)/(1-rho^2))), but the t-test
+// formulation is the standard leakage-assessment idiom, so both are
+// provided and cross-checked in the tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::cpa {
+
+struct WelchResult {
+  double t = 0.0;            ///< Welch's t statistic
+  double mean_high = 0.0;    ///< mean of samples where the model bit is 1
+  double mean_low = 0.0;
+  std::size_t n_high = 0;
+  std::size_t n_low = 0;
+};
+
+/// Welch's t-test of measurement samples split by the rotated periodic
+/// binary pattern.
+WelchResult welch_t_test(std::span<const double> measurement,
+                         std::span<const double> pattern,
+                         std::size_t rotation);
+
+/// |t| for every rotation of the pattern (the t-test analogue of the
+/// spread spectrum). O(N + P^2) via the same phase-folding trick as the
+/// CPA sweep.
+std::vector<double> t_sweep(std::span<const double> measurement,
+                            std::span<const double> pattern);
+
+/// The expected equivalence: t implied by a Pearson rho over N samples.
+double t_from_rho(double rho, std::size_t n) noexcept;
+
+}  // namespace clockmark::cpa

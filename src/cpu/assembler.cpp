@@ -1,0 +1,499 @@
+#include "cpu/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace clockmark::cpu {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string strip_comment(const std::string& line) {
+  std::string out;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ';') break;
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    out += line[i];
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Splits an operand list on commas, respecting {...} groups.
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : s) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+std::optional<unsigned> parse_register(const std::string& t) {
+  const std::string s = lower(trim(t));
+  if (s == "sp") return kSp;
+  if (s == "lr") return kLr;
+  if (s == "pc") return kPc;
+  if (s.size() >= 2 && s[0] == 'r') {
+    unsigned value = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return std::nullopt;
+      }
+      value = value * 10 + static_cast<unsigned>(s[i] - '0');
+    }
+    if (value < kNumRegisters) return value;
+  }
+  return std::nullopt;
+}
+
+/// One source statement after pass-1 layout.
+struct Statement {
+  std::size_t line_no = 0;
+  std::string mnemonic;             // lowercased
+  std::vector<std::string> operands;
+  std::uint32_t address = 0;
+  unsigned words = 1;               // encoded size
+  bool is_data = false;             // .word
+};
+
+struct Parser {
+  const std::map<std::string, std::uint32_t>& symbols;
+  std::vector<std::string>& errors;
+  std::size_t line_no = 0;
+
+  void error(const std::string& msg) {
+    errors.push_back("line " + std::to_string(line_no) + ": " + msg);
+  }
+
+  unsigned reg(const std::string& t) {
+    const auto r = parse_register(t);
+    if (!r.has_value()) {
+      error("expected register, got '" + t + "'");
+      return 0;
+    }
+    return *r;
+  }
+
+  /// Parses a numeric literal or symbol (no leading '#').
+  std::optional<std::int64_t> value(const std::string& raw) {
+    const std::string t = trim(raw);
+    if (t.empty()) return std::nullopt;
+    // Symbol?
+    const auto it = symbols.find(t);
+    if (it != symbols.end()) return static_cast<std::int64_t>(it->second);
+    // Number (dec, hex, negative, char literal).
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(t, &pos, 0);
+      if (pos == t.size()) return v;
+    } catch (...) {
+    }
+    if (t.size() == 3 && t.front() == '\'' && t.back() == '\'') {
+      return static_cast<std::int64_t>(t[1]);
+    }
+    return std::nullopt;
+  }
+
+  /// Parses '#imm' or '#symbol'.
+  std::optional<std::int64_t> immediate(const std::string& raw) {
+    std::string t = trim(raw);
+    if (!t.empty() && t[0] == '#') t = t.substr(1);
+    return value(t);
+  }
+
+  /// Parses '[rn]' or '[rn, #imm]'. Returns {rn, offset}.
+  std::optional<std::pair<unsigned, std::int32_t>> mem_operand(
+      const std::string& raw) {
+    const std::string t = trim(raw);
+    if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+      return std::nullopt;
+    }
+    const auto inner = split_operands(t.substr(1, t.size() - 2));
+    if (inner.empty() || inner.size() > 2) return std::nullopt;
+    const auto rn = parse_register(inner[0]);
+    if (!rn.has_value()) return std::nullopt;
+    std::int32_t offset = 0;
+    if (inner.size() == 2) {
+      const auto imm = immediate(inner[1]);
+      if (!imm.has_value()) return std::nullopt;
+      offset = static_cast<std::int32_t>(*imm);
+    }
+    return std::make_pair(*rn, offset);
+  }
+
+  /// Parses '{r4, r5-r7, lr}' into a push/pop mask (bit 15 = lr/pc).
+  std::optional<std::uint32_t> reg_list(const std::string& raw,
+                                        bool pop_context) {
+    const std::string t = trim(raw);
+    if (t.size() < 2 || t.front() != '{' || t.back() != '}') {
+      return std::nullopt;
+    }
+    std::uint32_t mask = 0;
+    for (const auto& item : split_operands(t.substr(1, t.size() - 2))) {
+      const auto dash = item.find('-');
+      if (dash != std::string::npos) {
+        const auto lo = parse_register(item.substr(0, dash));
+        const auto hi = parse_register(item.substr(dash + 1));
+        if (!lo || !hi || *lo > *hi || *hi > 12) return std::nullopt;
+        for (unsigned r = *lo; r <= *hi; ++r) mask |= 1u << r;
+        continue;
+      }
+      const auto r = parse_register(item);
+      if (!r.has_value()) return std::nullopt;
+      if (*r <= 12) {
+        mask |= 1u << *r;
+      } else if ((*r == kLr && !pop_context) || (*r == kPc && pop_context)) {
+        mask |= 0x8000u;
+      } else {
+        return std::nullopt;
+      }
+    }
+    return mask;
+  }
+};
+
+const std::map<std::string, Cond>& cond_table() {
+  static const std::map<std::string, Cond> table = {
+      {"eq", Cond::kEq}, {"ne", Cond::kNe}, {"cs", Cond::kCs},
+      {"hs", Cond::kCs}, {"cc", Cond::kCc}, {"lo", Cond::kCc},
+      {"mi", Cond::kMi}, {"pl", Cond::kPl}, {"vs", Cond::kVs},
+      {"vc", Cond::kVc}, {"hi", Cond::kHi}, {"ls", Cond::kLs},
+      {"ge", Cond::kGe}, {"lt", Cond::kLt}, {"gt", Cond::kGt},
+      {"le", Cond::kLe},
+  };
+  return table;
+}
+
+}  // namespace
+
+AssemblyResult assemble(const std::string& source,
+                        std::uint32_t base_address) {
+  std::vector<std::string> errors;
+  std::map<std::string, std::uint32_t> symbols;
+  std::vector<Statement> statements;
+
+  // ---- Pass 1: layout, labels, .equ --------------------------------------
+  {
+    std::istringstream in(source);
+    std::string raw;
+    std::size_t line_no = 0;
+    std::uint32_t pc = base_address;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string line = trim(strip_comment(raw));
+      // Labels (possibly several on one line).
+      while (true) {
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) break;
+        const std::string head = trim(line.substr(0, colon));
+        // Only treat as label if head looks like an identifier.
+        const bool ident =
+            !head.empty() &&
+            std::all_of(head.begin(), head.end(), [](unsigned char c) {
+              return std::isalnum(c) || c == '_' || c == '.';
+            });
+        if (!ident) break;
+        if (symbols.count(head) > 0) {
+          errors.push_back("line " + std::to_string(line_no) +
+                           ": duplicate label '" + head + "'");
+        }
+        symbols[head] = pc;
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      Statement st;
+      st.line_no = line_no;
+      const auto space = line.find_first_of(" \t");
+      st.mnemonic = lower(space == std::string::npos
+                              ? line
+                              : line.substr(0, space));
+      const std::string rest =
+          space == std::string::npos ? "" : trim(line.substr(space + 1));
+      st.operands = split_operands(rest);
+      st.address = pc;
+
+      if (st.mnemonic == ".equ") {
+        if (st.operands.size() != 2) {
+          errors.push_back("line " + std::to_string(line_no) +
+                           ": .equ needs name, value");
+          continue;
+        }
+        try {
+          symbols[st.operands[0]] = static_cast<std::uint32_t>(
+              std::stoll(st.operands[1], nullptr, 0));
+        } catch (...) {
+          errors.push_back("line " + std::to_string(line_no) +
+                           ": bad .equ value");
+        }
+        continue;  // no layout
+      }
+      if (st.mnemonic == ".word") {
+        st.is_data = true;
+        st.words = static_cast<unsigned>(std::max<std::size_t>(
+            st.operands.size(), 1));
+      } else if (st.mnemonic == ".space") {
+        st.is_data = true;
+        try {
+          st.words = static_cast<unsigned>(
+              (std::stoul(st.operands.at(0), nullptr, 0) + 3) / 4);
+        } catch (...) {
+          errors.push_back("line " + std::to_string(line_no) +
+                           ": bad .space size");
+          st.words = 0;
+        }
+      } else if (st.mnemonic == "li") {
+        st.words = 2;  // mov + movt, fixed size for deterministic layout
+      }
+      pc += st.words * 4;
+      statements.push_back(std::move(st));
+    }
+  }
+
+  // ---- Pass 2: encoding ---------------------------------------------------
+  AssemblyResult result;
+  result.image.base_address = base_address;
+  Parser p{symbols, errors};
+
+  auto emit = [&](const Instruction& inst) {
+    try {
+      result.image.words.push_back(encode(inst));
+    } catch (const std::exception& e) {
+      p.error(e.what());
+      result.image.words.push_back(0);
+    }
+  };
+  auto branch_offset = [&](const Statement& st,
+                           const std::string& target) -> std::int32_t {
+    const auto v = p.value(target);
+    if (!v.has_value()) {
+      p.error("unknown branch target '" + target + "'");
+      return 0;
+    }
+    const std::int64_t delta =
+        static_cast<std::int64_t>(*v) -
+        (static_cast<std::int64_t>(st.address) + 4);
+    if (delta % 4 != 0) p.error("misaligned branch target");
+    return static_cast<std::int32_t>(delta / 4);
+  };
+
+  for (const auto& st : statements) {
+    p.line_no = st.line_no;
+    const std::string& m = st.mnemonic;
+    const auto& ops = st.operands;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        p.error(m + ": expected " + std::to_string(n) + " operands, got " +
+                std::to_string(ops.size()));
+        return false;
+      }
+      return true;
+    };
+
+    if (st.is_data) {
+      if (m == ".word") {
+        for (const auto& op : ops) {
+          const auto v = p.value(op);
+          if (!v.has_value()) p.error("bad .word value '" + op + "'");
+          result.image.words.push_back(
+              static_cast<std::uint32_t>(v.value_or(0)));
+        }
+        if (ops.empty()) result.image.words.push_back(0);
+      } else {  // .space
+        for (unsigned i = 0; i < st.words; ++i) {
+          result.image.words.push_back(0);
+        }
+      }
+      continue;
+    }
+
+    Instruction inst;
+    if (m == "nop") {
+      inst.opcode = Opcode::kNop;
+      emit(inst);
+    } else if (m == "halt") {
+      inst.opcode = Opcode::kHalt;
+      emit(inst);
+    } else if (m == "wfi") {
+      inst.opcode = Opcode::kWfi;
+      emit(inst);
+    } else if (m == "li") {
+      if (!need(2)) continue;
+      const auto v = p.value(ops[1][0] == '#' ? ops[1].substr(1) : ops[1]);
+      if (!v.has_value()) {
+        p.error("li: bad immediate '" + ops[1] + "'");
+        continue;
+      }
+      const auto u = static_cast<std::uint32_t>(*v);
+      const unsigned rd = p.reg(ops[0]);
+      inst = Instruction{Opcode::kMovImm, static_cast<std::uint8_t>(rd), 0,
+                         0, static_cast<std::int32_t>(u & 0xffffu),
+                         Cond::kAl};
+      emit(inst);
+      inst = Instruction{Opcode::kMovTop, static_cast<std::uint8_t>(rd), 0,
+                         0, static_cast<std::int32_t>(u >> 16u), Cond::kAl};
+      emit(inst);
+    } else if (m == "mov" || m == "movt" || m == "mvn") {
+      if (!need(2)) continue;
+      inst.rd = static_cast<std::uint8_t>(p.reg(ops[0]));
+      const auto rn = parse_register(ops[1]);
+      if (rn.has_value() && m == "mov") {
+        inst.opcode = Opcode::kMovReg;
+        inst.rn = static_cast<std::uint8_t>(*rn);
+      } else if (rn.has_value() && m == "mvn") {
+        inst.opcode = Opcode::kMvn;
+        inst.rn = static_cast<std::uint8_t>(*rn);
+      } else {
+        const auto imm = p.immediate(ops[1]);
+        if (!imm.has_value()) {
+          p.error(m + ": bad operand '" + ops[1] + "'");
+          continue;
+        }
+        inst.opcode = m == "movt" ? Opcode::kMovTop : Opcode::kMovImm;
+        inst.imm = static_cast<std::int32_t>(*imm & 0xffff);
+      }
+      emit(inst);
+    } else if (m == "add" || m == "sub" || m == "adc" || m == "sbc" ||
+               m == "rsb" || m == "mul" || m == "and" || m == "orr" ||
+               m == "eor" || m == "bic" || m == "lsl" || m == "lsr" ||
+               m == "asr") {
+      if (!need(3)) continue;
+      inst.rd = static_cast<std::uint8_t>(p.reg(ops[0]));
+      inst.rn = static_cast<std::uint8_t>(p.reg(ops[1]));
+      const auto rm = parse_register(ops[2]);
+      const bool has_reg = rm.has_value();
+      if (has_reg) inst.rm = static_cast<std::uint8_t>(*rm);
+      std::int64_t imm = 0;
+      if (!has_reg) {
+        const auto v = p.immediate(ops[2]);
+        if (!v.has_value()) {
+          p.error(m + ": bad operand '" + ops[2] + "'");
+          continue;
+        }
+        imm = *v;
+        inst.imm = static_cast<std::int32_t>(imm);
+      }
+      if (m == "add") inst.opcode = has_reg ? Opcode::kAdd : Opcode::kAddImm;
+      else if (m == "sub") inst.opcode = has_reg ? Opcode::kSub : Opcode::kSubImm;
+      else if (m == "lsl") inst.opcode = has_reg ? Opcode::kLsl : Opcode::kLslImm;
+      else if (m == "lsr") inst.opcode = has_reg ? Opcode::kLsr : Opcode::kLsrImm;
+      else if (m == "asr") inst.opcode = has_reg ? Opcode::kAsr : Opcode::kAsrImm;
+      else if (!has_reg) {
+        p.error(m + ": immediate form not supported");
+        continue;
+      } else if (m == "adc") inst.opcode = Opcode::kAdc;
+      else if (m == "sbc") inst.opcode = Opcode::kSbc;
+      else if (m == "rsb") inst.opcode = Opcode::kRsb;
+      else if (m == "mul") inst.opcode = Opcode::kMul;
+      else if (m == "and") inst.opcode = Opcode::kAnd;
+      else if (m == "orr") inst.opcode = Opcode::kOrr;
+      else if (m == "eor") inst.opcode = Opcode::kEor;
+      else if (m == "bic") inst.opcode = Opcode::kBic;
+      emit(inst);
+    } else if (m == "cmp" || m == "tst") {
+      if (!need(2)) continue;
+      inst.rn = static_cast<std::uint8_t>(p.reg(ops[0]));
+      const auto rm = parse_register(ops[1]);
+      if (rm.has_value()) {
+        inst.opcode = m == "cmp" ? Opcode::kCmp : Opcode::kTst;
+        inst.rm = static_cast<std::uint8_t>(*rm);
+      } else if (m == "cmp") {
+        const auto v = p.immediate(ops[1]);
+        if (!v.has_value()) {
+          p.error("cmp: bad operand '" + ops[1] + "'");
+          continue;
+        }
+        inst.opcode = Opcode::kCmpImm;
+        inst.imm = static_cast<std::int32_t>(*v);
+      } else {
+        p.error("tst: immediate form not supported");
+        continue;
+      }
+      emit(inst);
+    } else if (m == "ldr" || m == "ldrh" || m == "ldrb" || m == "str" ||
+               m == "strh" || m == "strb") {
+      if (!need(2)) continue;
+      inst.rd = static_cast<std::uint8_t>(p.reg(ops[0]));
+      const auto mem = p.mem_operand(ops[1]);
+      if (!mem.has_value()) {
+        p.error(m + ": bad memory operand '" + ops[1] + "'");
+        continue;
+      }
+      inst.rn = static_cast<std::uint8_t>(mem->first);
+      inst.imm = mem->second;
+      if (m == "ldr") inst.opcode = Opcode::kLdr;
+      else if (m == "ldrh") inst.opcode = Opcode::kLdrh;
+      else if (m == "ldrb") inst.opcode = Opcode::kLdrb;
+      else if (m == "str") inst.opcode = Opcode::kStr;
+      else if (m == "strh") inst.opcode = Opcode::kStrh;
+      else inst.opcode = Opcode::kStrb;
+      emit(inst);
+    } else if (m == "push" || m == "pop") {
+      if (!need(1)) continue;
+      const auto mask = p.reg_list(ops[0], m == "pop");
+      if (!mask.has_value()) {
+        p.error(m + ": bad register list '" + ops[0] + "'");
+        continue;
+      }
+      inst.opcode = m == "push" ? Opcode::kPush : Opcode::kPop;
+      inst.imm = static_cast<std::int32_t>(*mask);
+      emit(inst);
+    } else if (m == "b" || m == "bl") {
+      if (!need(1)) continue;
+      inst.opcode = m == "b" ? Opcode::kB : Opcode::kBl;
+      inst.imm = branch_offset(st, ops[0]);
+      emit(inst);
+    } else if (m == "bx") {
+      if (!need(1)) continue;
+      inst.opcode = Opcode::kBx;
+      inst.rn = static_cast<std::uint8_t>(p.reg(ops[0]));
+      emit(inst);
+    } else if (m.size() > 1 && m[0] == 'b' &&
+               cond_table().count(m.substr(1)) > 0) {
+      if (!need(1)) continue;
+      inst.opcode = Opcode::kBc;
+      inst.cond = cond_table().at(m.substr(1));
+      inst.imm = branch_offset(st, ops[0]);
+      emit(inst);
+    } else {
+      p.error("unknown mnemonic '" + m + "'");
+    }
+  }
+
+  if (!errors.empty()) {
+    std::string all = "assembly failed:\n";
+    for (const auto& e : errors) all += "  " + e + "\n";
+    throw AssemblyError(all);
+  }
+  result.symbols = std::move(symbols);
+  return result;
+}
+
+}  // namespace clockmark::cpu

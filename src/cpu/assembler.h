@@ -1,0 +1,56 @@
+// Two-pass assembler for the EM0 ISA. The Dhrystone-like workload and
+// the test programs are written in assembly text; the assembler resolves
+// labels, expands pseudo-instructions and produces a ProgramImage.
+//
+// Syntax overview:
+//   ; comment         // comment
+//   label:
+//       mov   r0, #42          ; imm16 move (sets NZ)
+//       li    r1, 0xdeadbeef   ; pseudo: mov + movt, always 2 words
+//       li    r2, table        ; label address as immediate
+//       add   r2, r1, r0       ; 3-register ALU
+//       add   r2, r1, #8       ; immediate ALU (simm12)
+//       lsl   r3, r2, #3       ; immediate shift
+//       cmp   r1, r2
+//       ldr   r0, [r1, #8]     ; word load, offset optional
+//       strb  r0, [r1]
+//       push  {r4, r5, lr}
+//       pop   {r4, r5, pc}
+//       beq   label            ; conditional branch
+//       bl    function
+//       bx    lr
+//       halt
+//       .word 0x12345678       ; literal data (also accepts labels)
+//       .equ  NAME, 123        ; symbolic constant
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cpu/decoder.h"
+#include "cpu/isa.h"
+
+namespace clockmark::cpu {
+
+/// Assembly failure: message includes source line numbers.
+class AssemblyError : public std::runtime_error {
+ public:
+  explicit AssemblyError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Result of assembling a source string.
+struct AssemblyResult {
+  ProgramImage image;
+  std::map<std::string, std::uint32_t> symbols;  ///< labels and .equ values
+};
+
+/// Assembles source text loaded at base_address. Throws AssemblyError on
+/// the first batch of errors (all collected, reported together).
+AssemblyResult assemble(const std::string& source,
+                        std::uint32_t base_address = 0);
+
+}  // namespace clockmark::cpu

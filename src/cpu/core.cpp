@@ -1,0 +1,391 @@
+#include "cpu/core.h"
+
+#include <bit>
+#include <sstream>
+
+namespace clockmark::cpu {
+
+Em0Core::Em0Core(BusInterface& bus) : bus_(bus) {}
+
+void Em0Core::reset(std::uint32_t pc, std::uint32_t sp) {
+  regs_.fill(0);
+  regs_[kPc] = pc;
+  regs_[kSp] = sp;
+  n_ = z_ = c_ = v_ = false;
+  halted_ = sleeping_ = faulted_ = false;
+  stall_cycles_ = 0;
+  retired_ = 0;
+  cycles_ = 0;
+  activity_ = CpuActivity{};
+}
+
+bool Em0Core::condition_passed(Cond cond) const noexcept {
+  switch (cond) {
+    case Cond::kEq: return z_;
+    case Cond::kNe: return !z_;
+    case Cond::kCs: return c_;
+    case Cond::kCc: return !c_;
+    case Cond::kMi: return n_;
+    case Cond::kPl: return !n_;
+    case Cond::kVs: return v_;
+    case Cond::kVc: return !v_;
+    case Cond::kHi: return c_ && !z_;
+    case Cond::kLs: return !c_ || z_;
+    case Cond::kGe: return n_ == v_;
+    case Cond::kLt: return n_ != v_;
+    case Cond::kGt: return !z_ && n_ == v_;
+    case Cond::kLe: return z_ || n_ != v_;
+    case Cond::kAl: return true;
+  }
+  return true;
+}
+
+void Em0Core::write_reg(unsigned index, std::uint32_t value) {
+  const std::uint32_t old = regs_[index];
+  regs_[index] = value;
+  ++activity_.regfile_writes;
+  activity_.data_toggle_bits +=
+      static_cast<unsigned>(std::popcount(old ^ value));
+}
+
+void Em0Core::set_nz(std::uint32_t result) noexcept {
+  n_ = (result & 0x80000000u) != 0u;
+  z_ = result == 0u;
+}
+
+std::uint32_t Em0Core::add_with_carry(std::uint32_t a, std::uint32_t b,
+                                      bool carry_in) noexcept {
+  const std::uint64_t wide = static_cast<std::uint64_t>(a) +
+                             static_cast<std::uint64_t>(b) +
+                             (carry_in ? 1u : 0u);
+  const auto result = static_cast<std::uint32_t>(wide);
+  c_ = wide > 0xffffffffull;
+  const bool sa = (a & 0x80000000u) != 0u;
+  const bool sb = (b & 0x80000000u) != 0u;
+  const bool sr = (result & 0x80000000u) != 0u;
+  v_ = (sa == sb) && (sr != sa);
+  set_nz(result);
+  return result;
+}
+
+const CpuActivity& Em0Core::step() {
+  activity_ = CpuActivity{};
+  ++cycles_;
+
+  if (halted_ || faulted_) {
+    activity_.halted = true;
+    return activity_;
+  }
+  if (sleeping_) {
+    activity_.sleeping = true;
+    return activity_;
+  }
+  if (stall_cycles_ > 0) {
+    --stall_cycles_;
+    activity_.active = true;
+    activity_.stall = true;
+    return activity_;
+  }
+
+  // Fetch.
+  activity_.active = true;
+  activity_.fetch = true;
+  const auto fetch = bus_.read(regs_[kPc], 4);
+  if (fetch.fault) {
+    faulted_ = true;
+    activity_.halted = true;
+    return activity_;
+  }
+  const auto inst = decode(fetch.data);
+  if (!inst.has_value()) {
+    faulted_ = true;
+    activity_.halted = true;
+    return activity_;
+  }
+  activity_.opcode = inst->opcode;
+  regs_[kPc] += 4;
+  execute(*inst);
+  if (!faulted_) ++retired_;
+  stall_cycles_ += fetch.wait_cycles;
+  return activity_;
+}
+
+void Em0Core::execute(const Instruction& inst) {
+  auto mem_read = [&](std::uint32_t addr, unsigned bytes) -> std::uint32_t {
+    const auto acc = bus_.read(addr, bytes);
+    if (acc.fault) {
+      faulted_ = true;
+      return 0;
+    }
+    activity_.mem_read = true;
+    stall_cycles_ += 1 + acc.wait_cycles;  // base load cost: 2 cycles
+    return acc.data;
+  };
+  auto mem_write = [&](std::uint32_t addr, std::uint32_t value,
+                       unsigned bytes) {
+    const auto acc = bus_.write(addr, value, bytes);
+    if (acc.fault) faulted_ = true;
+    activity_.mem_write = true;
+    stall_cycles_ += 1 + acc.wait_cycles;  // base store cost: 2 cycles
+  };
+  auto branch_to = [&](std::uint32_t target) {
+    regs_[kPc] = target;
+    activity_.branch_taken = true;
+    stall_cycles_ += 1;  // pipeline refill
+  };
+
+  const std::uint32_t rn_v = regs_[inst.rn];
+  const std::uint32_t rm_v = regs_[inst.rm];
+
+  switch (inst.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      halted_ = true;
+      break;
+    case Opcode::kWfi:
+      sleeping_ = true;
+      break;
+    case Opcode::kMovImm:
+      write_reg(inst.rd, static_cast<std::uint32_t>(inst.imm));
+      set_nz(regs_[inst.rd]);
+      activity_.alu_used = true;
+      break;
+    case Opcode::kMovTop:
+      write_reg(inst.rd, (regs_[inst.rd] & 0xffffu) |
+                             (static_cast<std::uint32_t>(inst.imm) << 16u));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kMovReg:
+      write_reg(inst.rd, rn_v);
+      set_nz(rn_v);
+      activity_.alu_used = true;
+      break;
+    case Opcode::kMvn:
+      write_reg(inst.rd, ~rn_v);
+      set_nz(~rn_v);
+      activity_.alu_used = true;
+      break;
+    case Opcode::kAdd:
+      write_reg(inst.rd, add_with_carry(rn_v, rm_v, false));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kAddImm:
+      write_reg(inst.rd, add_with_carry(
+                             rn_v, static_cast<std::uint32_t>(inst.imm),
+                             false));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kAdc:
+      write_reg(inst.rd, add_with_carry(rn_v, rm_v, c_));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kSub:
+      write_reg(inst.rd, add_with_carry(rn_v, ~rm_v, true));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kSubImm:
+      write_reg(inst.rd,
+                add_with_carry(
+                    rn_v, ~static_cast<std::uint32_t>(inst.imm), true));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kSbc:
+      write_reg(inst.rd, add_with_carry(rn_v, ~rm_v, c_));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kRsb:
+      write_reg(inst.rd, add_with_carry(rm_v, ~rn_v, true));
+      activity_.alu_used = true;
+      break;
+    case Opcode::kMul: {
+      const std::uint32_t r = rn_v * rm_v;
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.multiplier_used = true;
+      break;
+    }
+    case Opcode::kAnd: {
+      const std::uint32_t r = rn_v & rm_v;
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.alu_used = true;
+      break;
+    }
+    case Opcode::kOrr: {
+      const std::uint32_t r = rn_v | rm_v;
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.alu_used = true;
+      break;
+    }
+    case Opcode::kEor: {
+      const std::uint32_t r = rn_v ^ rm_v;
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.alu_used = true;
+      break;
+    }
+    case Opcode::kBic: {
+      const std::uint32_t r = rn_v & ~rm_v;
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.alu_used = true;
+      break;
+    }
+    case Opcode::kLsl:
+    case Opcode::kLslImm: {
+      const unsigned sh = inst.opcode == Opcode::kLsl
+                              ? (rm_v & 0xffu)
+                              : static_cast<unsigned>(inst.imm & 31);
+      std::uint32_t r = rn_v;
+      if (sh >= 32) {
+        c_ = sh == 32 && (rn_v & 1u);
+        r = 0;
+      } else if (sh > 0) {
+        c_ = (rn_v >> (32u - sh)) & 1u;
+        r = rn_v << sh;
+      }
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.shifter_used = true;
+      break;
+    }
+    case Opcode::kLsr:
+    case Opcode::kLsrImm: {
+      const unsigned sh = inst.opcode == Opcode::kLsr
+                              ? (rm_v & 0xffu)
+                              : static_cast<unsigned>(inst.imm & 31);
+      std::uint32_t r = rn_v;
+      if (sh >= 32) {
+        c_ = sh == 32 && (rn_v & 0x80000000u);
+        r = 0;
+      } else if (sh > 0) {
+        c_ = (rn_v >> (sh - 1u)) & 1u;
+        r = rn_v >> sh;
+      }
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.shifter_used = true;
+      break;
+    }
+    case Opcode::kAsr:
+    case Opcode::kAsrImm: {
+      const unsigned sh = inst.opcode == Opcode::kAsr
+                              ? (rm_v & 0xffu)
+                              : static_cast<unsigned>(inst.imm & 31);
+      const auto sv = static_cast<std::int32_t>(rn_v);
+      std::uint32_t r = rn_v;
+      if (sh >= 32) {
+        r = static_cast<std::uint32_t>(sv >> 31);
+        c_ = (r & 1u) != 0u;
+      } else if (sh > 0) {
+        c_ = (static_cast<std::uint32_t>(sv) >> (sh - 1u)) & 1u;
+        r = static_cast<std::uint32_t>(sv >> sh);
+      }
+      write_reg(inst.rd, r);
+      set_nz(r);
+      activity_.shifter_used = true;
+      break;
+    }
+    case Opcode::kCmp:
+      add_with_carry(rn_v, ~rm_v, true);
+      activity_.alu_used = true;
+      break;
+    case Opcode::kCmpImm:
+      add_with_carry(rn_v, ~static_cast<std::uint32_t>(inst.imm), true);
+      activity_.alu_used = true;
+      break;
+    case Opcode::kTst:
+      set_nz(rn_v & rm_v);
+      activity_.alu_used = true;
+      break;
+    case Opcode::kLdr:
+      write_reg(inst.rd,
+                mem_read(rn_v + static_cast<std::uint32_t>(inst.imm), 4));
+      break;
+    case Opcode::kLdrh:
+      write_reg(inst.rd,
+                mem_read(rn_v + static_cast<std::uint32_t>(inst.imm), 2));
+      break;
+    case Opcode::kLdrb:
+      write_reg(inst.rd,
+                mem_read(rn_v + static_cast<std::uint32_t>(inst.imm), 1));
+      break;
+    case Opcode::kStr:
+      mem_write(rn_v + static_cast<std::uint32_t>(inst.imm),
+                regs_[inst.rd], 4);
+      break;
+    case Opcode::kStrh:
+      mem_write(rn_v + static_cast<std::uint32_t>(inst.imm),
+                regs_[inst.rd] & 0xffffu, 2);
+      break;
+    case Opcode::kStrb:
+      mem_write(rn_v + static_cast<std::uint32_t>(inst.imm),
+                regs_[inst.rd] & 0xffu, 1);
+      break;
+    case Opcode::kPush: {
+      const auto mask = static_cast<std::uint32_t>(inst.imm);
+      std::uint32_t sp = regs_[kSp];
+      // Store lr (bit 15) then high-to-low registers, full-descending.
+      if (mask & 0x8000u) {
+        sp -= 4;
+        mem_write(sp, regs_[kLr], 4);
+      }
+      for (int r = 12; r >= 0; --r) {
+        if (mask & (1u << r)) {
+          sp -= 4;
+          mem_write(sp, regs_[static_cast<unsigned>(r)], 4);
+        }
+      }
+      write_reg(kSp, sp);
+      break;
+    }
+    case Opcode::kPop: {
+      const auto mask = static_cast<std::uint32_t>(inst.imm);
+      std::uint32_t sp = regs_[kSp];
+      for (int r = 0; r <= 12; ++r) {
+        if (mask & (1u << r)) {
+          write_reg(static_cast<unsigned>(r), mem_read(sp, 4));
+          sp += 4;
+        }
+      }
+      if (mask & 0x8000u) {  // pop pc: return
+        const std::uint32_t target = mem_read(sp, 4);
+        sp += 4;
+        write_reg(kSp, sp);
+        branch_to(target & ~3u);
+        break;
+      }
+      write_reg(kSp, sp);
+      break;
+    }
+    case Opcode::kB:
+      branch_to(regs_[kPc] + static_cast<std::uint32_t>(inst.imm * 4));
+      break;
+    case Opcode::kBc:
+      activity_.alu_used = true;
+      if (condition_passed(inst.cond)) {
+        branch_to(regs_[kPc] + static_cast<std::uint32_t>(inst.imm * 4));
+      }
+      break;
+    case Opcode::kBl:
+      write_reg(kLr, regs_[kPc]);
+      branch_to(regs_[kPc] + static_cast<std::uint32_t>(inst.imm * 4));
+      break;
+    case Opcode::kBx:
+      branch_to(rn_v & ~3u);
+      break;
+  }
+}
+
+std::string Em0Core::state_string() const {
+  std::ostringstream os;
+  for (unsigned i = 0; i < kNumRegisters; ++i) {
+    os << 'r' << i << "=0x" << std::hex << regs_[i] << std::dec << ' ';
+  }
+  os << "NZCV=" << n_ << z_ << c_ << v_;
+  return os.str();
+}
+
+}  // namespace clockmark::cpu

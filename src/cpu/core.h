@@ -1,0 +1,108 @@
+// EM0 core model: cycle-approximate interpreter with per-cycle activity
+// reporting. The activity stream — which functional units switched, how
+// many register-file bits toggled, whether memory was touched — is what
+// the SoC power model consumes to synthesise the processor's share of
+// the supply-current trace (the "background noise" the watermark must be
+// detected underneath, Sections III-IV of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cpu/isa.h"
+
+namespace clockmark::cpu {
+
+/// Abstract memory/bus port. Implemented by soc::Bus; kept abstract so
+/// the core library has no dependency on the SoC assembly.
+class BusInterface {
+ public:
+  virtual ~BusInterface() = default;
+
+  struct Access {
+    std::uint32_t data = 0;      ///< read data (ignored for writes)
+    unsigned wait_cycles = 0;    ///< extra cycles beyond the base cost
+    bool fault = false;          ///< unmapped address / bad size
+  };
+
+  /// bytes in {1, 2, 4}; addr must be size-aligned.
+  virtual Access read(std::uint32_t addr, unsigned bytes) = 0;
+  virtual Access write(std::uint32_t addr, std::uint32_t data,
+                       unsigned bytes) = 0;
+};
+
+/// What the core did during one clock cycle.
+struct CpuActivity {
+  bool active = false;           ///< clocked and doing work
+  bool sleeping = false;         ///< WFI: core clock-gated
+  bool halted = false;           ///< simulation stop
+  bool fetch = false;            ///< instruction fetch issued
+  bool stall = false;            ///< multi-cycle instruction continuing
+  bool alu_used = false;
+  bool shifter_used = false;
+  bool multiplier_used = false;
+  bool mem_read = false;
+  bool mem_write = false;
+  bool branch_taken = false;
+  unsigned regfile_writes = 0;   ///< registers written this cycle
+  unsigned data_toggle_bits = 0; ///< Hamming distance of written values
+  Opcode opcode = Opcode::kNop;  ///< instruction occupying execute
+};
+
+/// Architectural + simple microarchitectural state.
+class Em0Core {
+ public:
+  explicit Em0Core(BusInterface& bus);
+
+  /// Resets the core: clears registers/flags, sets pc and sp.
+  void reset(std::uint32_t pc, std::uint32_t sp);
+
+  /// Advances one clock cycle.
+  const CpuActivity& step();
+
+  /// Releases a WFI sleep (e.g. timer interrupt pin).
+  void wake() noexcept { sleeping_ = false; }
+
+  bool halted() const noexcept { return halted_; }
+  bool sleeping() const noexcept { return sleeping_; }
+  bool faulted() const noexcept { return faulted_; }
+
+  std::uint32_t reg(unsigned index) const { return regs_.at(index); }
+  void set_reg(unsigned index, std::uint32_t value) {
+    regs_.at(index) = value;
+  }
+  std::uint32_t pc() const noexcept { return regs_[kPc]; }
+
+  bool flag_n() const noexcept { return n_; }
+  bool flag_z() const noexcept { return z_; }
+  bool flag_c() const noexcept { return c_; }
+  bool flag_v() const noexcept { return v_; }
+
+  std::uint64_t instructions_retired() const noexcept { return retired_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Debug string: registers + flags on one line.
+  std::string state_string() const;
+
+ private:
+  bool condition_passed(Cond cond) const noexcept;
+  void write_reg(unsigned index, std::uint32_t value);
+  void set_nz(std::uint32_t result) noexcept;
+  std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b,
+                               bool carry_in) noexcept;
+  void execute(const Instruction& inst);
+
+  BusInterface& bus_;
+  std::array<std::uint32_t, kNumRegisters> regs_{};
+  bool n_ = false, z_ = false, c_ = false, v_ = false;
+  bool halted_ = false;
+  bool sleeping_ = false;
+  bool faulted_ = false;
+  unsigned stall_cycles_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t cycles_ = 0;
+  CpuActivity activity_{};
+};
+
+}  // namespace clockmark::cpu

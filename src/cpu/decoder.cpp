@@ -1,0 +1,58 @@
+#include "cpu/decoder.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace clockmark::cpu {
+
+std::uint32_t branch_target(std::uint32_t address, const Instruction& inst) {
+  // Offset is relative to the next instruction, in words.
+  return address + 4u + static_cast<std::uint32_t>(inst.imm * 4);
+}
+
+std::string disassemble(const ProgramImage& image) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < image.words.size(); ++i) {
+    const std::uint32_t addr =
+        image.base_address + static_cast<std::uint32_t>(i) * 4u;
+    const std::uint32_t word = image.words[i];
+    os << std::hex << std::setw(8) << std::setfill('0') << addr << ":  "
+       << std::setw(8) << word << std::dec << std::setfill(' ') << "   ";
+    const auto inst = decode(word);
+    if (inst.has_value()) {
+      os << to_string(*inst);
+      if (is_branch(inst->opcode) && inst->opcode != Opcode::kBx) {
+        os << "   ; -> 0x" << std::hex << branch_target(addr, *inst)
+           << std::dec;
+      }
+    } else {
+      os << ".word 0x" << std::hex << word << std::dec;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<ValidationIssue> validate(const ProgramImage& image) {
+  std::vector<ValidationIssue> issues;
+  for (std::size_t i = 0; i < image.words.size(); ++i) {
+    const std::uint32_t addr =
+        image.base_address + static_cast<std::uint32_t>(i) * 4u;
+    const auto inst = decode(image.words[i]);
+    if (!inst.has_value()) {
+      issues.push_back({addr, "undecodable instruction word"});
+      continue;
+    }
+    if (is_branch(inst->opcode) && inst->opcode != Opcode::kBx) {
+      const std::uint32_t target = branch_target(addr, *inst);
+      if (target < image.base_address || target >= image.end_address()) {
+        issues.push_back({addr, "branch target outside image"});
+      } else if ((target & 3u) != 0u) {
+        issues.push_back({addr, "misaligned branch target"});
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace clockmark::cpu

@@ -1,0 +1,42 @@
+// Program images and static decoding utilities: disassembly listings and
+// a lightweight static validator (used by tests and by the workload
+// generator to sanity-check emitted code before it runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace clockmark::cpu {
+
+/// A loaded program: raw instruction words plus the address they load at.
+struct ProgramImage {
+  std::uint32_t base_address = 0;
+  std::vector<std::uint32_t> words;
+
+  std::uint32_t end_address() const noexcept {
+    return base_address + static_cast<std::uint32_t>(words.size()) * 4u;
+  }
+};
+
+/// Disassembles the image into one line per word:
+///   00000010:  22000005   add r2, r0, #5
+std::string disassemble(const ProgramImage& image);
+
+/// Static validation issues found in an image.
+struct ValidationIssue {
+  std::uint32_t address = 0;
+  std::string message;
+};
+
+/// Checks that every word decodes and that every direct branch target
+/// lands inside the image on a word boundary.
+std::vector<ValidationIssue> validate(const ProgramImage& image);
+
+/// Resolves the target address of a direct branch at `address` (kB, kBc,
+/// kBl). Offsets are in words relative to the *next* instruction.
+std::uint32_t branch_target(std::uint32_t address, const Instruction& inst);
+
+}  // namespace clockmark::cpu

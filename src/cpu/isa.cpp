@@ -1,0 +1,293 @@
+#include "cpu/isa.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace clockmark::cpu {
+namespace {
+
+constexpr std::uint8_t kLastOpcode = static_cast<std::uint8_t>(Opcode::kBx);
+
+bool uses_imm16(Opcode op) noexcept {
+  return op == Opcode::kMovImm || op == Opcode::kMovTop ||
+         op == Opcode::kPush || op == Opcode::kPop;
+}
+
+bool uses_simm20(Opcode op) noexcept {
+  return op == Opcode::kB || op == Opcode::kBc || op == Opcode::kBl;
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& inst) {
+  const auto op = static_cast<std::uint32_t>(inst.opcode);
+  if (inst.rd >= kNumRegisters || inst.rn >= kNumRegisters ||
+      inst.rm >= kNumRegisters) {
+    throw std::invalid_argument("encode: register index out of range");
+  }
+  std::uint32_t word = op << 24u;
+  if (uses_simm20(inst.opcode)) {
+    if (inst.opcode == Opcode::kBc) {
+      // Conditional branches carry the condition in bits [23:20], leaving
+      // a signed 16-bit word offset.
+      if (inst.imm < -(1 << 15) || inst.imm >= (1 << 15)) {
+        throw std::invalid_argument("encode: branch offset out of simm16");
+      }
+      word |= static_cast<std::uint32_t>(inst.cond) << 20u;
+      word |= static_cast<std::uint32_t>(inst.imm) & 0xffffu;
+      return word;
+    }
+    if (inst.imm < -(1 << 19) || inst.imm >= (1 << 19)) {
+      throw std::invalid_argument("encode: branch offset out of simm20");
+    }
+    word |= static_cast<std::uint32_t>(inst.imm) & 0xfffffu;
+    return word;
+  }
+  word |= static_cast<std::uint32_t>(inst.rd) << 20u;
+  if (uses_imm16(inst.opcode)) {
+    if (inst.imm < 0 || inst.imm > 0xffff) {
+      throw std::invalid_argument("encode: imm16 out of range");
+    }
+    word |= static_cast<std::uint32_t>(inst.imm) & 0xffffu;
+    return word;
+  }
+  word |= static_cast<std::uint32_t>(inst.rn) << 16u;
+  word |= static_cast<std::uint32_t>(inst.rm) << 12u;
+  if (inst.imm < -(1 << 11) || inst.imm >= (1 << 11)) {
+    throw std::invalid_argument("encode: imm12 out of range");
+  }
+  word |= static_cast<std::uint32_t>(inst.imm) & 0xfffu;
+  return word;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  const auto op_raw = static_cast<std::uint8_t>(word >> 24u);
+  if (op_raw > kLastOpcode) return std::nullopt;
+  Instruction inst;
+  inst.opcode = static_cast<Opcode>(op_raw);
+  if (uses_simm20(inst.opcode)) {
+    std::uint32_t raw = word & 0xfffffu;
+    // Sign-extend 20 bits.
+    if (raw & 0x80000u) raw |= 0xfff00000u;
+    inst.imm = static_cast<std::int32_t>(raw);
+    if (inst.opcode == Opcode::kBc) {
+      const auto c = static_cast<std::uint8_t>((word >> 20u) & 0xfu);
+      inst.cond = static_cast<Cond>(c);
+      // The cond field overlaps simm20's top bits; re-extract the low 16
+      // bits as the offset for conditional branches.
+      std::uint32_t off = word & 0xffffu;
+      if (off & 0x8000u) off |= 0xffff0000u;
+      inst.imm = static_cast<std::int32_t>(off);
+    }
+    return inst;
+  }
+  inst.rd = static_cast<std::uint8_t>((word >> 20u) & 0xfu);
+  if (uses_imm16(inst.opcode)) {
+    inst.imm = static_cast<std::int32_t>(word & 0xffffu);
+    return inst;
+  }
+  inst.rn = static_cast<std::uint8_t>((word >> 16u) & 0xfu);
+  inst.rm = static_cast<std::uint8_t>((word >> 12u) & 0xfu);
+  std::uint32_t raw = word & 0xfffu;
+  if (raw & 0x800u) raw |= 0xfffff000u;  // sign-extend 12 bits
+  inst.imm = static_cast<std::int32_t>(raw);
+  return inst;
+}
+
+std::string_view mnemonic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kWfi: return "wfi";
+    case Opcode::kMovImm: return "mov";
+    case Opcode::kMovTop: return "movt";
+    case Opcode::kMovReg: return "mov";
+    case Opcode::kMvn: return "mvn";
+    case Opcode::kAdd: return "add";
+    case Opcode::kAddImm: return "add";
+    case Opcode::kAdc: return "adc";
+    case Opcode::kSub: return "sub";
+    case Opcode::kSubImm: return "sub";
+    case Opcode::kSbc: return "sbc";
+    case Opcode::kRsb: return "rsb";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOrr: return "orr";
+    case Opcode::kEor: return "eor";
+    case Opcode::kBic: return "bic";
+    case Opcode::kLsl: return "lsl";
+    case Opcode::kLsr: return "lsr";
+    case Opcode::kAsr: return "asr";
+    case Opcode::kLslImm: return "lsl";
+    case Opcode::kLsrImm: return "lsr";
+    case Opcode::kAsrImm: return "asr";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kCmpImm: return "cmp";
+    case Opcode::kTst: return "tst";
+    case Opcode::kLdr: return "ldr";
+    case Opcode::kLdrh: return "ldrh";
+    case Opcode::kLdrb: return "ldrb";
+    case Opcode::kStr: return "str";
+    case Opcode::kStrh: return "strh";
+    case Opcode::kStrb: return "strb";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kB: return "b";
+    case Opcode::kBc: return "b";
+    case Opcode::kBl: return "bl";
+    case Opcode::kBx: return "bx";
+  }
+  return "?";
+}
+
+std::string_view cond_name(Cond c) noexcept {
+  switch (c) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kCs: return "cs";
+    case Cond::kCc: return "cc";
+    case Cond::kMi: return "mi";
+    case Cond::kPl: return "pl";
+    case Cond::kVs: return "vs";
+    case Cond::kVc: return "vc";
+    case Cond::kHi: return "hi";
+    case Cond::kLs: return "ls";
+    case Cond::kGe: return "ge";
+    case Cond::kLt: return "lt";
+    case Cond::kGt: return "gt";
+    case Cond::kLe: return "le";
+    case Cond::kAl: return "al";
+  }
+  return "?";
+}
+
+std::string to_string(const Instruction& inst) {
+  std::ostringstream os;
+  os << mnemonic(inst.opcode);
+  if (inst.opcode == Opcode::kBc) os << cond_name(inst.cond);
+  auto reg = [](unsigned r) {
+    if (r == kSp) return std::string("sp");
+    if (r == kLr) return std::string("lr");
+    if (r == kPc) return std::string("pc");
+    return "r" + std::to_string(r);
+  };
+  switch (inst.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kWfi:
+      break;
+    case Opcode::kMovImm:
+    case Opcode::kMovTop:
+      os << ' ' << reg(inst.rd) << ", #" << inst.imm;
+      break;
+    case Opcode::kMovReg:
+    case Opcode::kMvn:
+      os << ' ' << reg(inst.rd) << ", " << reg(inst.rn);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kAdc:
+    case Opcode::kSub:
+    case Opcode::kSbc:
+    case Opcode::kRsb:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOrr:
+    case Opcode::kEor:
+    case Opcode::kBic:
+    case Opcode::kLsl:
+    case Opcode::kLsr:
+    case Opcode::kAsr:
+      os << ' ' << reg(inst.rd) << ", " << reg(inst.rn) << ", "
+         << reg(inst.rm);
+      break;
+    case Opcode::kAddImm:
+    case Opcode::kSubImm:
+    case Opcode::kLslImm:
+    case Opcode::kLsrImm:
+    case Opcode::kAsrImm:
+      os << ' ' << reg(inst.rd) << ", " << reg(inst.rn) << ", #" << inst.imm;
+      break;
+    case Opcode::kCmp:
+    case Opcode::kTst:
+      os << ' ' << reg(inst.rn) << ", " << reg(inst.rm);
+      break;
+    case Opcode::kCmpImm:
+      os << ' ' << reg(inst.rn) << ", #" << inst.imm;
+      break;
+    case Opcode::kLdr:
+    case Opcode::kLdrh:
+    case Opcode::kLdrb:
+    case Opcode::kStr:
+    case Opcode::kStrh:
+    case Opcode::kStrb:
+      os << ' ' << reg(inst.rd) << ", [" << reg(inst.rn) << ", #" << inst.imm
+         << ']';
+      break;
+    case Opcode::kPush:
+    case Opcode::kPop:
+      os << " {mask=0x" << std::hex << inst.imm << std::dec << '}';
+      break;
+    case Opcode::kB:
+    case Opcode::kBc:
+    case Opcode::kBl:
+      os << ' ' << inst.imm;
+      break;
+    case Opcode::kBx:
+      os << ' ' << reg(inst.rn);
+      break;
+  }
+  return os.str();
+}
+
+bool writes_rd(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kWfi:
+    case Opcode::kCmp:
+    case Opcode::kCmpImm:
+    case Opcode::kTst:
+    case Opcode::kStr:
+    case Opcode::kStrh:
+    case Opcode::kStrb:
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kB:
+    case Opcode::kBc:
+    case Opcode::kBl:
+    case Opcode::kBx:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_memory(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLdr:
+    case Opcode::kLdrh:
+    case Opcode::kLdrb:
+    case Opcode::kStr:
+    case Opcode::kStrh:
+    case Opcode::kStrb:
+    case Opcode::kPush:
+    case Opcode::kPop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kB:
+    case Opcode::kBc:
+    case Opcode::kBl:
+    case Opcode::kBx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace clockmark::cpu

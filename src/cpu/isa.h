@@ -1,0 +1,106 @@
+// EM0 instruction set. A from-scratch Thumb-flavoured 32-bit-encoded RISC
+// ISA standing in for the ARM Cortex-M0 of the paper's test chips: 16
+// registers (r13 = sp, r14 = lr, r15 = pc), NZCV flags, load/store
+// architecture, and the instruction classes Dhrystone exercises (integer
+// arithmetic, logic, shifts, byte/half/word memory access, compares,
+// branches and calls).
+//
+// Encoding (fixed 32-bit):
+//   [31:24] opcode   [23:20] rd   [19:16] rn   [15:12] rm   [11:0] imm12
+// Wide-immediate forms (kMovImm, kMovTop, kPush, kPop) use [15:0] imm16.
+// Branch forms use [19:0] simm20 (signed word offset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace clockmark::cpu {
+
+inline constexpr unsigned kNumRegisters = 16;
+inline constexpr unsigned kSp = 13;
+inline constexpr unsigned kLr = 14;
+inline constexpr unsigned kPc = 15;
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,     ///< stop simulation (test bench convenience)
+  kWfi,      ///< sleep; core clock-gates itself until wakeup
+  // moves
+  kMovImm,   ///< rd = imm16 (zero-extended)
+  kMovTop,   ///< rd = (rd & 0xffff) | (imm16 << 16)
+  kMovReg,   ///< rd = rn, sets NZ
+  kMvn,      ///< rd = ~rn, sets NZ
+  // arithmetic (set NZCV)
+  kAdd,      ///< rd = rn + rm
+  kAddImm,   ///< rd = rn + simm12
+  kAdc,      ///< rd = rn + rm + C
+  kSub,      ///< rd = rn - rm
+  kSubImm,   ///< rd = rn - simm12
+  kSbc,      ///< rd = rn - rm - !C
+  kRsb,      ///< rd = rm - rn
+  kMul,      ///< rd = rn * rm (low 32 bits, sets NZ)
+  // logic (set NZ)
+  kAnd, kOrr, kEor, kBic,
+  // shifts (set NZC)
+  kLsl, kLsr, kAsr,          ///< rd = rn shifted by rm[7:0]
+  kLslImm, kLsrImm, kAsrImm, ///< rd = rn shifted by imm12[4:0]
+  // compares (flags only)
+  kCmp,      ///< flags(rn - rm)
+  kCmpImm,   ///< flags(rn - simm12)
+  kTst,      ///< flags(rn & rm), NZ only
+  // memory (address = rn + simm12)
+  kLdr, kLdrh, kLdrb,
+  kStr, kStrh, kStrb,
+  // stack (imm16 = register mask; bit 15 means pc/lr per Thumb custom)
+  kPush,     ///< descending full stack, stores mask + (bit15: lr)
+  kPop,      ///< loads mask + (bit15: pc -> return)
+  // control flow (simm20 word offset relative to next instruction)
+  kB,        ///< unconditional
+  kBc,       ///< conditional on rd field = Cond
+  kBl,       ///< lr = return address, branch
+  kBx,       ///< branch to rn (bit 0 ignored)
+};
+
+enum class Cond : std::uint8_t {
+  kEq = 0, kNe, kCs, kCc, kMi, kPl, kVs, kVc,
+  kHi, kLs, kGe, kLt, kGt, kLe, kAl,
+};
+
+/// Decoded instruction fields.
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rn = 0;
+  std::uint8_t rm = 0;
+  std::int32_t imm = 0;        ///< sign- or zero-extended per opcode
+  Cond cond = Cond::kAl;       ///< for kBc
+};
+
+/// Encodes the instruction into its 32-bit word. Throws
+/// std::invalid_argument if a field is out of range for the opcode.
+std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word. Returns std::nullopt for an invalid opcode.
+std::optional<Instruction> decode(std::uint32_t word);
+
+/// Mnemonic of an opcode ("add", "ldr", ...).
+std::string_view mnemonic(Opcode op) noexcept;
+
+/// Condition suffix ("eq", "ne", ...).
+std::string_view cond_name(Cond c) noexcept;
+
+/// Pretty-prints a decoded instruction for disassembly listings.
+std::string to_string(const Instruction& inst);
+
+/// True if the opcode writes rd.
+bool writes_rd(Opcode op) noexcept;
+
+/// True if the opcode accesses memory.
+bool is_memory(Opcode op) noexcept;
+
+/// True if the opcode is a branch/call/return.
+bool is_branch(Opcode op) noexcept;
+
+}  // namespace clockmark::cpu

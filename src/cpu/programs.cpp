@@ -1,0 +1,336 @@
+#include "cpu/programs.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace clockmark::cpu {
+
+std::string dhrystone_like_source() {
+  return R"(
+; Dhrystone-flavoured synthetic benchmark for EM0.
+; Register conventions: r9 = global base, r8 = software LFSR state,
+; r10 = iteration counter. Runs forever.
+.equ RAM,       0x20000000
+.equ STACK_TOP, 0x20010000
+.equ REC_DST,   0x20000100
+.equ STR_DST,   0x20000140
+.equ SCRATCH,   0x20000200
+.equ RESULTS,   0x20000240
+
+start:
+    li   sp, STACK_TOP
+    li   r9, RAM
+    li   r8, 0xACE1          ; software LFSR seed (never zero)
+    mov  r10, #0
+
+main_loop:
+    bl   proc_copy_block
+    bl   proc_string_copy
+    bl   proc_string_compare
+    bl   proc_arith
+    bl   proc_divide
+    bl   proc_branch_chain
+    add  r10, r10, #1
+    b    main_loop
+
+; ---- copy a 12-word record (Dhrystone Proc_1 style) --------------------
+proc_copy_block:
+    push {r4, r5, r6, lr}
+    li   r4, rom_block
+    li   r5, REC_DST
+    mov  r6, #12
+cb_loop:
+    ldr  r0, [r4]
+    str  r0, [r5]
+    add  r4, r4, #4
+    add  r5, r5, #4
+    sub  r6, r6, #1
+    bne  cb_loop
+    pop  {r4, r5, r6, pc}
+
+; ---- byte-wise string copy until NUL (Str_Copy style) ------------------
+proc_string_copy:
+    push {r4, r5, lr}
+    li   r4, rom_string
+    li   r5, STR_DST
+sc_loop:
+    ldrb r0, [r4]
+    strb r0, [r5]
+    add  r4, r4, #1
+    add  r5, r5, #1
+    cmp  r0, #0
+    bne  sc_loop
+    pop  {r4, r5, pc}
+
+; ---- string comparison (Str_Comp style) --------------------------------
+proc_string_compare:
+    push {r4, r5, lr}
+    li   r4, rom_string
+    li   r5, STR_DST
+scmp_loop:
+    ldrb r0, [r4]
+    ldrb r1, [r5]
+    cmp  r0, r1
+    bne  scmp_diff
+    cmp  r0, #0
+    beq  scmp_equal
+    add  r4, r4, #1
+    add  r5, r5, #1
+    b    scmp_loop
+scmp_diff:
+    mov  r0, #1
+    b    scmp_done
+scmp_equal:
+    mov  r0, #0
+scmp_done:
+    li   r5, RESULTS
+    str  r0, [r5]
+    pop  {r4, r5, pc}
+
+; ---- integer arithmetic soup seeded by a software LFSR -----------------
+proc_arith:
+    push {r4, r5, lr}
+    ; r8 = galois_lfsr16(r8)
+    mov  r4, #1
+    and  r5, r8, r4
+    lsr  r8, r8, #1
+    cmp  r5, #0
+    beq  pa_no_tap
+    li   r5, 0xB400
+    eor  r8, r8, r5
+pa_no_tap:
+    mov  r0, r8
+    add  r1, r0, r0
+    mul  r2, r1, r0
+    sub  r3, r2, r1
+    asr  r3, r3, #3
+    eor  r0, r3, r2
+    orr  r1, r0, r8
+    bic  r2, r1, r0
+    lsl  r2, r2, #2
+    li   r4, SCRATCH
+    str  r2, [r4]
+    ldr  r5, [r4]
+    add  r0, r5, r2
+    str  r0, [r4, #4]
+    pop  {r4, r5, pc}
+
+; ---- unsigned division by repeated subtraction (data-dependent) --------
+proc_divide:
+    push {r4, r5, lr}
+    ; dividend = (r8 & 0xff) + 64; divisor = ((r8 >> 8) & 7) + 1
+    lsl  r0, r8, #24
+    lsr  r0, r0, #24
+    add  r0, r0, #64
+    lsr  r1, r8, #8
+    lsl  r1, r1, #29
+    lsr  r1, r1, #29
+    add  r1, r1, #1
+    mov  r4, #0              ; quotient
+div_loop:
+    cmp  r0, r1
+    blo  div_done
+    sub  r0, r0, r1
+    add  r4, r4, #1
+    b    div_loop
+div_done:
+    li   r5, RESULTS
+    str  r4, [r5, #4]
+    str  r0, [r5, #8]        ; remainder
+    pop  {r4, r5, pc}
+
+; ---- branch chain over LFSR bits (logic decisions) ---------------------
+proc_branch_chain:
+    push {r4, lr}
+    li   r4, RESULTS
+    mov  r0, #1
+    tst  r8, r0
+    beq  bc_bit0_clear
+    mov  r1, #11
+    b    bc_bit1
+bc_bit0_clear:
+    mov  r1, #22
+bc_bit1:
+    mov  r0, #2
+    tst  r8, r0
+    beq  bc_bit1_clear
+    add  r1, r1, #100
+    b    bc_bit2
+bc_bit1_clear:
+    sub  r1, r1, #7
+bc_bit2:
+    mov  r0, #4
+    tst  r8, r0
+    beq  bc_store
+    lsl  r1, r1, #1
+bc_store:
+    str  r1, [r4, #12]
+    pop  {r4, pc}
+
+; ---- read-only data -----------------------------------------------------
+rom_block:
+    .word 0x11111111, 0x22222222, 0x33333333, 0x44444444
+    .word 0x55555555, 0x66666666, 0x77777777, 0x88888888
+    .word 0x99999999, 0xaaaaaaaa, 0xbbbbbbbb, 0xcccccccc
+rom_string:
+    ; "DHRYSTONE PROGRAM, SOME STRING" + NUL, packed little-endian
+    .word 0x59524844, 0x4e4f5453, 0x52502045, 0x4152474f
+    .word 0x53202c4d, 0x20454d4f, 0x49525453, 0x0000474e
+)";
+}
+
+std::string fibonacci_source() {
+  return R"(
+; fib(n): n in r0 at entry, result in r0, then halt.
+start:
+    mov  r1, #0          ; fib(i)
+    mov  r2, #1          ; fib(i+1)
+    cmp  r0, #0
+    beq  done_zero
+loop:
+    add  r3, r1, r2
+    mov  r1, r2
+    mov  r2, r3
+    sub  r0, r0, #1
+    bne  loop
+    mov  r0, r1
+    halt
+done_zero:
+    mov  r0, #0
+    halt
+)";
+}
+
+std::string memcpy_source() {
+  return R"(
+; memcpy(dst=r0, src=r1, len=r2), byte-wise; halts when done.
+start:
+    cmp  r2, #0
+    beq  done
+loop:
+    ldrb r3, [r1]
+    strb r3, [r0]
+    add  r0, r0, #1
+    add  r1, r1, #1
+    sub  r2, r2, #1
+    bne  loop
+done:
+    halt
+)";
+}
+
+std::string hello_uart_source() {
+  return R"(
+.equ UART_TX, 0x40000000
+start:
+    li   r4, UART_TX
+    li   r1, msg
+loop:
+    ldrb r0, [r1]
+    cmp  r0, #0
+    beq  done
+    str  r0, [r4]
+    add  r1, r1, #1
+    b    loop
+done:
+    halt
+msg:
+    ; "HELLO\n" + NUL
+    .word 0x4c4c4548, 0x00000a4f
+)";
+}
+
+std::string duty_cycled_workload_source() {
+  return R"(
+; Burst of integer work, then WFI until the timer-wake fires. Repeats
+; forever. r8 = software LFSR state for data variety.
+.equ SCRATCH, 0x20000300
+start:
+    li   sp, 0x20010000
+    li   r7, SCRATCH
+    li   r8, 0xBEEF
+main_loop:
+    mov  r6, #200            ; burst length (instructions-ish)
+burst:
+    mov  r4, #1
+    and  r5, r8, r4
+    lsr  r8, r8, #1
+    cmp  r5, #0
+    beq  no_tap
+    li   r5, 0xB400
+    eor  r8, r8, r5
+no_tap:
+    mul  r0, r8, r8
+    add  r1, r0, r8
+    str  r1, [r7]
+    ldr  r2, [r7]
+    sub  r6, r6, #1
+    bne  burst
+    wfi                      ; sleep until the timer wakes us
+    b    main_loop
+)";
+}
+
+std::string generate_workload_source(const WorkloadMix& mix) {
+  util::Pcg32 rng(mix.seed, 0x9e3779b97f4a7c15ULL);
+  const double total = mix.alu + mix.mem + mix.mul + mix.branch;
+  const double p_alu = mix.alu / total;
+  const double p_mem = p_alu + mix.mem / total;
+  const double p_mul = p_mem + mix.mul / total;
+
+  std::ostringstream os;
+  os << "; generated workload (seed " << mix.seed << ")\n";
+  os << ".equ SCRATCH, 0x20000400\n";
+  os << "start:\n";
+  os << "    li   sp, 0x20010000\n";
+  os << "    li   r7, SCRATCH\n";
+  os << "    li   r6, 0x12345678\n";
+  os << "    mov  r5, #1\n";
+  os << "loop_top:\n";
+
+  unsigned skip_label = 0;
+  for (unsigned i = 0; i < mix.block_instructions; ++i) {
+    const double roll = rng.uniform();
+    const unsigned rd = rng.bounded(5);        // r0..r4
+    const unsigned rn = rng.bounded(5);
+    const unsigned rm = rng.bounded(5);
+    if (roll < p_alu) {
+      static constexpr const char* kOps[] = {"add", "sub", "eor",
+                                             "orr", "and", "lsl"};
+      const char* op = kOps[rng.bounded(6)];
+      if (std::string(op) == "lsl") {
+        os << "    lsl  r" << rd << ", r" << rn << ", #"
+           << (1 + rng.bounded(7)) << "\n";
+      } else {
+        os << "    " << op << "  r" << rd << ", r" << rn << ", r" << rm
+           << "\n";
+      }
+    } else if (roll < p_mem) {
+      const unsigned off = rng.bounded(16) * 4;
+      if (rng.bernoulli(0.5)) {
+        os << "    ldr  r" << rd << ", [r7, #" << off << "]\n";
+      } else {
+        os << "    str  r" << rd << ", [r7, #" << off << "]\n";
+      }
+    } else if (roll < p_mul) {
+      os << "    mul  r" << rd << ", r" << rn << ", r" << rm << "\n";
+    } else {
+      // Short forward conditional skip over one ALU instruction.
+      os << "    tst  r" << rn << ", r5\n";
+      os << "    beq  skip" << skip_label << "\n";
+      os << "    add  r" << rd << ", r" << rd << ", r6\n";
+      os << "skip" << skip_label << ":\n";
+      ++skip_label;
+    }
+  }
+  os << "    b    loop_top\n";
+  return os.str();
+}
+
+AssemblyResult assemble_program(const std::string& source,
+                                std::uint32_t base) {
+  return assemble(source, base);
+}
+
+}  // namespace clockmark::cpu

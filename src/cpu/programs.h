@@ -1,0 +1,66 @@
+// Workload programs for the EM0 core. The paper detects the watermark
+// while the Cortex-M0 runs Dhrystone — "integer arithmetic, string
+// operations, logic decisions and memory accesses in a general computing
+// application". dhrystone_like_source() is a from-scratch benchmark with
+// the same instruction-class mix; the generator produces randomized
+// workloads with a configurable mix for the noise-sensitivity ablations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/assembler.h"
+
+namespace clockmark::cpu {
+
+/// Memory map shared by all bundled programs (matches soc::Bus defaults).
+inline constexpr std::uint32_t kRomBase = 0x00000000u;
+inline constexpr std::uint32_t kRamBase = 0x20000000u;
+inline constexpr std::uint32_t kRamSize = 0x00010000u;
+inline constexpr std::uint32_t kStackTop = kRamBase + kRamSize;
+inline constexpr std::uint32_t kUartTx = 0x40000000u;
+inline constexpr std::uint32_t kTimerCount = 0x40000100u;
+
+/// The Dhrystone-flavoured benchmark: an endless loop of record copies,
+/// string copy/compare, integer arithmetic seeded by a software LFSR,
+/// shift-subtract division and branch chains. Runs forever (the harness
+/// stops after the desired number of trace cycles).
+std::string dhrystone_like_source();
+
+/// Computes fib(n) iteratively; n in r0 at entry (set by test), result in
+/// r0, then halts. Used by CPU correctness tests.
+std::string fibonacci_source();
+
+/// Copies `len` bytes from `src` to `dst` (r0=dst, r1=src, r2=len), then
+/// halts. Used by CPU/memory tests.
+std::string memcpy_source();
+
+/// Prints "HELLO\n" to the UART and halts; exercises the peripheral path.
+std::string hello_uart_source();
+
+/// Alternates bursts of integer work with WFI sleep (woken by the SoC's
+/// timer-wake model, soc::Chip1Config::timer_wake_period). Used for
+/// idle-window watermark scheduling experiments.
+std::string duty_cycled_workload_source();
+
+/// Instruction-mix parameters for generated workloads. Fractions need
+/// not sum to 1; they are normalised.
+struct WorkloadMix {
+  double alu = 0.50;
+  double mem = 0.22;
+  double mul = 0.08;
+  double branch = 0.20;
+  unsigned block_instructions = 96;  ///< loop body size
+  std::uint64_t seed = 1;
+};
+
+/// Emits an endless-loop program whose body draws instructions from the
+/// given mix. All generated code is valid (registers r0-r7, in-range
+/// addresses inside RAM scratch space).
+std::string generate_workload_source(const WorkloadMix& mix);
+
+/// Convenience: assemble at the ROM base and throw on error.
+AssemblyResult assemble_program(const std::string& source,
+                                std::uint32_t base = kRomBase);
+
+}  // namespace clockmark::cpu

@@ -1,0 +1,123 @@
+#include "dsp/correlate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "util/stats.h"
+
+namespace clockmark::dsp {
+namespace {
+
+void check_inputs(std::span<const double> y, std::span<const double> pattern) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("rotation_correlation: empty pattern");
+  }
+  if (y.size() < pattern.size()) {
+    throw std::invalid_argument(
+        "rotation_correlation: trace shorter than one pattern period");
+  }
+}
+
+// Assembles Pearson coefficients for every rotation from the per-rotation
+// model sums. sxy/sx/sxx are indexed by rotation r.
+std::vector<double> assemble(const PhaseFold& fold,
+                             std::span<const double> sxy,
+                             std::span<const double> sx,
+                             std::span<const double> sxx) {
+  const auto n = static_cast<double>(fold.n);
+  const double sy = fold.total;
+  const double syy = fold.total_sq;
+  const double denom_y = n * syy - sy * sy;
+  std::vector<double> rho(sxy.size(), 0.0);
+  if (denom_y <= 0.0) return rho;  // constant trace: no relationship
+  const double sqrt_denom_y = std::sqrt(denom_y);
+  for (std::size_t r = 0; r < sxy.size(); ++r) {
+    const double denom_x = n * sxx[r] - sx[r] * sx[r];
+    if (denom_x <= 0.0) continue;  // constant model vector
+    rho[r] = (n * sxy[r] - sx[r] * sy) / (std::sqrt(denom_x) * sqrt_denom_y);
+  }
+  return rho;
+}
+
+}  // namespace
+
+PhaseFold fold_by_phase(std::span<const double> y, std::size_t period) {
+  if (period == 0) {
+    throw std::invalid_argument("fold_by_phase: period must be > 0");
+  }
+  PhaseFold fold;
+  fold.sums.assign(period, 0.0);
+  fold.counts.assign(period, 0);
+  fold.n = y.size();
+  std::size_t p = 0;
+  for (const double v : y) {
+    fold.sums[p] += v;
+    ++fold.counts[p];
+    fold.total += v;
+    fold.total_sq += v * v;
+    if (++p == period) p = 0;
+  }
+  return fold;
+}
+
+std::vector<double> rotation_correlation_folded(
+    std::span<const double> y, std::span<const double> pattern) {
+  check_inputs(y, pattern);
+  const std::size_t period = pattern.size();
+  const PhaseFold fold = fold_by_phase(y, period);
+
+  std::vector<double> sxy(period, 0.0);
+  std::vector<double> sx(period, 0.0);
+  std::vector<double> sxx(period, 0.0);
+  for (std::size_t r = 0; r < period; ++r) {
+    double a = 0.0, b = 0.0, c = 0.0;
+    for (std::size_t p = 0; p < period; ++p) {
+      const double xv = pattern[(p + r) % period];
+      a += xv * fold.sums[p];
+      const auto cnt = static_cast<double>(fold.counts[p]);
+      b += xv * cnt;
+      c += xv * xv * cnt;
+    }
+    sxy[r] = a;
+    sx[r] = b;
+    sxx[r] = c;
+  }
+  return assemble(fold, sxy, sx, sxx);
+}
+
+std::vector<double> rotation_correlation_fft(std::span<const double> y,
+                                             std::span<const double> pattern) {
+  check_inputs(y, pattern);
+  const std::size_t period = pattern.size();
+  const PhaseFold fold = fold_by_phase(y, period);
+
+  std::vector<double> counts_d(period);
+  std::vector<double> pattern_sq(period);
+  for (std::size_t p = 0; p < period; ++p) {
+    counts_d[p] = static_cast<double>(fold.counts[p]);
+    pattern_sq[p] = pattern[p] * pattern[p];
+  }
+  // r[k] = sum_p a[p] * b[(p + k) mod P] — matches the model-sum shape.
+  const auto sxy = circular_cross_correlation(fold.sums, pattern);
+  const auto sx = circular_cross_correlation(counts_d, pattern);
+  const auto sxx = circular_cross_correlation(counts_d, pattern_sq);
+  return assemble(fold, sxy, sx, sxx);
+}
+
+std::vector<double> rotation_correlation_naive(
+    std::span<const double> y, std::span<const double> pattern) {
+  check_inputs(y, pattern);
+  const std::size_t period = pattern.size();
+  std::vector<double> model(y.size());
+  std::vector<double> rho(period, 0.0);
+  for (std::size_t r = 0; r < period; ++r) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      model[i] = pattern[(i + r) % period];
+    }
+    rho[r] = util::pearson(model, y);
+  }
+  return rho;
+}
+
+}  // namespace clockmark::dsp

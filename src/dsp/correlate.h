@@ -1,0 +1,45 @@
+// Folded rotation-correlation: the core numerical trick behind the fast
+// CPA sweep. The watermark model vector X is periodic with period P, so
+// the Pearson correlation against all P rotations of X over N >> P cycles
+// can be computed exactly from per-phase partial sums of Y in O(N + P^2),
+// or O(N + P log P) with the FFT, instead of the naive O(N * P).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::dsp {
+
+/// Per-phase fold of a long vector y against period P:
+///   sums[p]   = sum of y[i] for i ≡ p (mod P)
+///   counts[p] = number of such i
+struct PhaseFold {
+  std::vector<double> sums;
+  std::vector<std::size_t> counts;
+  double total = 0.0;        ///< sum of all y[i]
+  double total_sq = 0.0;     ///< sum of all y[i]^2
+  std::size_t n = 0;         ///< original length
+};
+
+PhaseFold fold_by_phase(std::span<const double> y, std::size_t period);
+
+/// Pearson correlation of y against every rotation r of the periodic
+/// binary pattern x (length P), where the model vector is
+///   X_r[i] = x[(i + r) mod P], i = 0..N-1.
+/// Exact — handles N not divisible by P. Cost O(N + P^2).
+std::vector<double> rotation_correlation_folded(
+    std::span<const double> y, std::span<const double> pattern);
+
+/// Same result via FFT circular correlation of the folded sums.
+/// Exact when N is divisible by P; otherwise it uses the per-phase counts
+/// to correct the cross terms, remaining exact. Cost O(N + P log P).
+std::vector<double> rotation_correlation_fft(std::span<const double> y,
+                                             std::span<const double> pattern);
+
+/// Reference implementation: materialises each rotated model vector and
+/// calls Pearson directly. O(N * P); used to validate the fast paths.
+std::vector<double> rotation_correlation_naive(
+    std::span<const double> y, std::span<const double> pattern);
+
+}  // namespace clockmark::dsp

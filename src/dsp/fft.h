@@ -1,0 +1,50 @@
+// FFT kernels used by the fast CPA correlator and by spectral analysis of
+// simulated power traces. Radix-2 Cooley-Tukey for power-of-two sizes and
+// Bluestein's chirp-z algorithm for arbitrary sizes (the watermark period
+// 2^k - 1 is never a power of two).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::dsp {
+
+using cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n) noexcept;
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n) noexcept;
+
+/// In-place radix-2 DIT FFT. data.size() must be a power of two.
+/// inverse = true computes the unnormalised inverse transform; divide by
+/// N yourself (fft_inverse below does it for you).
+void fft_pow2(std::span<cplx> data, bool inverse);
+
+/// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). Returns a new vector of the same length.
+std::vector<cplx> fft(std::span<const cplx> input);
+
+/// Inverse DFT of arbitrary length, normalised by 1/N.
+std::vector<cplx> ifft(std::span<const cplx> input);
+
+/// Forward DFT of a real signal; returns full complex spectrum.
+std::vector<cplx> fft_real(std::span<const double> input);
+
+/// Power spectrum |X[k]|^2 of a real signal, first N/2+1 bins.
+std::vector<double> power_spectrum(std::span<const double> input);
+
+/// Circular cross-correlation via FFT:
+///   r[k] = sum_i a[i] * b[(i + k) mod N]
+/// a and b must have the same length N; runs in O(N log N).
+std::vector<double> circular_cross_correlation(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Direct O(N^2) circular cross-correlation, for testing the FFT path.
+std::vector<double> circular_cross_correlation_direct(
+    std::span<const double> a, std::span<const double> b);
+
+}  // namespace clockmark::dsp

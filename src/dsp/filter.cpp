@@ -1,0 +1,94 @@
+#include "dsp/filter.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace clockmark::dsp {
+
+OnePoleLowPass::OnePoleLowPass(double cutoff_hz, double sample_rate_hz) {
+  if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0) {
+    throw std::invalid_argument(
+        "OnePoleLowPass: cutoff must be in (0, fs/2)");
+  }
+  // Exact pole mapping: y[n] = y[n-1] + alpha * (x[n] - y[n-1]).
+  const double dt = 1.0 / sample_rate_hz;
+  const double rc = 1.0 / (2.0 * std::numbers::pi * cutoff_hz);
+  alpha_ = dt / (rc + dt);
+}
+
+double OnePoleLowPass::step(double x) noexcept {
+  y_ += alpha_ * (x - y_);
+  return y_;
+}
+
+void OnePoleLowPass::process(std::span<double> signal) noexcept {
+  for (auto& v : signal) v = step(v);
+}
+
+Biquad Biquad::low_pass(double f0_hz, double q, double sample_rate_hz) {
+  const double w0 = 2.0 * std::numbers::pi * f0_hz / sample_rate_hz;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  Coefficients c{};
+  c.b0 = (1.0 - cw) / 2.0 / a0;
+  c.b1 = (1.0 - cw) / a0;
+  c.b2 = (1.0 - cw) / 2.0 / a0;
+  c.a1 = -2.0 * cw / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return Biquad(c);
+}
+
+Biquad Biquad::peaking(double f0_hz, double q, double gain_db,
+                       double sample_rate_hz) {
+  const double a = std::pow(10.0, gain_db / 40.0);
+  const double w0 = 2.0 * std::numbers::pi * f0_hz / sample_rate_hz;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha / a;
+  Coefficients c{};
+  c.b0 = (1.0 + alpha * a) / a0;
+  c.b1 = -2.0 * cw / a0;
+  c.b2 = (1.0 - alpha * a) / a0;
+  c.a1 = -2.0 * cw / a0;
+  c.a2 = (1.0 - alpha / a) / a0;
+  return Biquad(c);
+}
+
+double Biquad::step(double x) noexcept {
+  const double y =
+      c_.b0 * x + c_.b1 * x1_ + c_.b2 * x2_ - c_.a1 * y1_ - c_.a2 * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Biquad::reset() noexcept { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+void Biquad::process(std::span<double> signal) noexcept {
+  for (auto& v : signal) v = step(v);
+}
+
+std::vector<double> block_average(std::span<const double> signal,
+                                  std::size_t factor) {
+  if (factor == 0) {
+    throw std::invalid_argument("block_average: factor must be > 0");
+  }
+  const std::size_t blocks = signal.size() / factor;
+  std::vector<double> out(blocks, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < factor; ++i) {
+      s += signal[b * factor + i];
+    }
+    out[b] = s / static_cast<double>(factor);
+  }
+  return out;
+}
+
+}  // namespace clockmark::dsp

@@ -1,0 +1,62 @@
+// IIR filters used by the measurement chain: the active differential probe
+// and the oscilloscope front-end are modelled as single-pole low-pass
+// stages; a biquad is provided for board-level supply resonances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::dsp {
+
+/// First-order (single-pole) low-pass filter, bilinear-transform design.
+/// Models the -3 dB bandwidth of a probe or scope front-end.
+class OnePoleLowPass {
+ public:
+  /// cutoff_hz must be in (0, sample_rate_hz / 2).
+  OnePoleLowPass(double cutoff_hz, double sample_rate_hz);
+
+  double step(double x) noexcept;
+  void reset(double state = 0.0) noexcept { y_ = state; }
+  void process(std::span<double> signal) noexcept;
+
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double y_ = 0.0;
+};
+
+/// Direct-form-I biquad. Used to model an underdamped PDN (power delivery
+/// network) resonance that colours the supply-current waveform.
+class Biquad {
+ public:
+  struct Coefficients {
+    double b0, b1, b2;  // feed-forward
+    double a1, a2;      // feedback (a0 normalised to 1)
+  };
+
+  explicit Biquad(const Coefficients& c) noexcept : c_(c) {}
+
+  /// RBJ cookbook resonant low-pass.
+  static Biquad low_pass(double f0_hz, double q, double sample_rate_hz);
+  /// RBJ cookbook peaking filter (gain_db at f0).
+  static Biquad peaking(double f0_hz, double q, double gain_db,
+                        double sample_rate_hz);
+
+  double step(double x) noexcept;
+  void reset() noexcept;
+  void process(std::span<double> signal) noexcept;
+
+ private:
+  Coefficients c_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Averages consecutive blocks of `factor` samples — exactly what the
+/// paper does to turn 500 MS/s scope samples into one power value per
+/// 10 MHz clock cycle (factor 50). Trailing partial blocks are dropped.
+std::vector<double> block_average(std::span<const double> signal,
+                                  std::size_t factor);
+
+}  // namespace clockmark::dsp

@@ -1,0 +1,49 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace clockmark::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    const double two_pi_x = 2.0 * std::numbers::pi * x;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 * (1.0 - std::cos(two_pi_x));
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(two_pi_x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(two_pi_x) +
+               0.08 * std::cos(2.0 * two_pi_x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::span<double> signal, std::span<const double> window) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+double coherent_gain(std::span<const double> window) noexcept {
+  if (window.empty()) return 1.0;
+  double s = 0.0;
+  for (const double v : window) s += v;
+  return s / static_cast<double>(window.size());
+}
+
+}  // namespace clockmark::dsp

@@ -1,0 +1,22 @@
+// Window functions for spectral analysis of simulated power traces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::dsp {
+
+enum class WindowKind { kRectangular, kHann, kHamming, kBlackman };
+
+/// Returns the window coefficients of the given kind and length.
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Multiplies the signal by the window in place (sizes must match).
+void apply_window(std::span<double> signal, std::span<const double> window);
+
+/// Coherent gain of a window (mean of coefficients); used to renormalise
+/// amplitude estimates taken from a windowed spectrum.
+double coherent_gain(std::span<const double> window) noexcept;
+
+}  // namespace clockmark::dsp

@@ -1,0 +1,66 @@
+// End-to-end acquisition pipeline — the simulator-side equivalent of the
+// paper's test bench (Fig. 4(b)): chip current -> PDN decoupling ->
+// 270 mOhm shunt -> active probe -> oscilloscope ADC -> per-cycle
+// averaging into the CPA measurement vector Y.
+//
+// The PDN (power delivery network) stage matters: on-board decoupling
+// capacitance low-passes the current seen by the shunt, attenuating the
+// cycle-rate watermark square wave by more than an order of magnitude.
+// This — together with ADC quantisation — is why the paper's correlation
+// peaks are ~0.015 rather than ~0.5 even though the watermark block draws
+// milliwatts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/filter.h"
+#include "measure/oscilloscope.h"
+#include "measure/probe.h"
+#include "measure/shunt.h"
+#include "power/trace.h"
+#include "power/waveform.h"
+
+namespace clockmark::measure {
+
+struct AcquisitionConfig {
+  power::WaveformOptions waveform;  ///< sub-cycle current synthesis
+  double vdd_v = 1.2;
+  /// PDN low-pass cutoff seen by the shunt (board decoupling).
+  double pdn_cutoff_hz = 400.0e3;
+  bool enable_pdn_filter = true;
+  ShuntResistor shunt{0.270};
+  ProbeConfig probe;
+  OscilloscopeConfig scope;
+  bool scope_auto_range = true;
+  /// Simulate an arbitrary capture start inside a clock cycle (as a real
+  /// un-triggered single-shot capture would have) and recover alignment
+  /// with the software edge trigger (measure/trigger.h). The averaged
+  /// trace then loses up to one cycle at the front.
+  bool simulate_trigger_offset = false;
+  std::uint64_t noise_seed = 1;
+};
+
+/// The acquired measurement, ready for CPA.
+struct Acquisition {
+  std::vector<double> per_cycle_power_w;  ///< Y: 50-sample averages
+  double mean_power_w = 0.0;
+  double lsb_power_w = 0.0;  ///< one ADC code expressed as chip power
+};
+
+class AcquisitionChain {
+ public:
+  explicit AcquisitionChain(const AcquisitionConfig& config);
+
+  /// Measures a device power trace: expands to a sample-rate current
+  /// waveform, runs the analog chain + ADC, block-averages back to one
+  /// power value per clock cycle.
+  Acquisition measure(const power::PowerTrace& device_power);
+
+  const AcquisitionConfig& config() const noexcept { return config_; }
+
+ private:
+  AcquisitionConfig config_;
+};
+
+}  // namespace clockmark::measure

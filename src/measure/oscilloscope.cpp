@@ -1,0 +1,54 @@
+#include "measure/oscilloscope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace clockmark::measure {
+
+Oscilloscope::Oscilloscope(const OscilloscopeConfig& config, util::Pcg32 rng)
+    : config_(config), rng_(rng) {
+  if (config_.resolution_bits < 2 || config_.resolution_bits > 16) {
+    throw std::invalid_argument("Oscilloscope: resolution must be 2..16 bit");
+  }
+  if (config_.full_scale_v <= 0.0) {
+    throw std::invalid_argument("Oscilloscope: full scale must be > 0");
+  }
+}
+
+double Oscilloscope::lsb_v() const noexcept {
+  return config_.full_scale_v /
+         static_cast<double>(1u << config_.resolution_bits);
+}
+
+void Oscilloscope::auto_range(std::span<const double> volts) {
+  if (volts.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(volts.begin(), volts.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = std::max(hi - lo, 1e-9);
+  config_.offset_v = (hi + lo) / 2.0;
+  config_.full_scale_v = span / 0.8;  // waveform fills ~80 % of the screen
+}
+
+std::vector<double> Oscilloscope::acquire(std::span<const double> volts) {
+  const double lsb = lsb_v();
+  const double half_scale = config_.full_scale_v / 2.0;
+  const auto max_code =
+      static_cast<long>((1u << config_.resolution_bits) - 1u);
+  std::vector<double> out(volts.size());
+  for (std::size_t i = 0; i < volts.size(); ++i) {
+    const double noisy =
+        volts[i] + rng_.gaussian(0.0, config_.noise_v_rms) -
+        config_.offset_v;
+    // Clip to the screen, quantise to the code grid, reconstruct.
+    const double clipped = std::clamp(noisy, -half_scale, half_scale - lsb);
+    long code = static_cast<long>(std::floor((clipped + half_scale) / lsb));
+    code = std::clamp(code, 0L, max_code);
+    out[i] = (static_cast<double>(code) + 0.5) * lsb - half_scale +
+             config_.offset_v;
+  }
+  return out;
+}
+
+}  // namespace clockmark::measure

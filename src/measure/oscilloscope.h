@@ -1,0 +1,50 @@
+// Oscilloscope front-end model (paper: Agilent MSO6032A at 500 MS/s):
+// vertical-range selection, additive front-end noise, and 8-bit
+// quantisation. The quantiser is the dominant information bottleneck of
+// the real measurement — the watermark's per-cycle amplitude is a small
+// fraction of one LSB and only survives because averaging over many
+// samples and cycles dithers it back out.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace clockmark::measure {
+
+struct OscilloscopeConfig {
+  double sample_rate_hz = 500.0e6;
+  unsigned resolution_bits = 8;
+  /// Full-scale vertical range (volts, total span). The operator chooses
+  /// this to fit the signal; auto_range picks it from the waveform.
+  double full_scale_v = 0.2;
+  /// Front-end noise referred to the input.
+  double noise_v_rms = 9.0e-3;
+  /// Vertical offset subtracted before quantisation (screen centring).
+  double offset_v = 0.0;
+};
+
+class Oscilloscope {
+ public:
+  Oscilloscope(const OscilloscopeConfig& config, util::Pcg32 rng);
+
+  /// Chooses offset and full-scale so the waveform occupies ~80 % of the
+  /// screen, as an operator would.
+  void auto_range(std::span<const double> volts);
+
+  /// Adds front-end noise and quantises each sample to the ADC grid.
+  /// Returns the *reconstructed* voltage (code centre), i.e. what the
+  /// scope hands to post-processing.
+  std::vector<double> acquire(std::span<const double> volts);
+
+  double lsb_v() const noexcept;
+  const OscilloscopeConfig& config() const noexcept { return config_; }
+
+ private:
+  OscilloscopeConfig config_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace clockmark::measure

@@ -1,0 +1,17 @@
+#include "measure/probe.h"
+
+namespace clockmark::measure {
+
+Probe::Probe(const ProbeConfig& config, util::Pcg32 rng)
+    : config_(config),
+      filter_(config.bandwidth_hz, config.sample_rate_hz),
+      rng_(rng) {}
+
+void Probe::process(std::span<double> volts) {
+  for (auto& v : volts) {
+    v = filter_.step(v) * config_.gain +
+        rng_.gaussian(0.0, config_.noise_v_rms);
+  }
+}
+
+}  // namespace clockmark::measure

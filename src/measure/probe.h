@@ -1,0 +1,36 @@
+// Active differential probe model (paper: Agilent 1130A). A gain stage,
+// a single-pole bandwidth limit and additive input-referred Gaussian
+// noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/filter.h"
+#include "util/rng.h"
+
+namespace clockmark::measure {
+
+struct ProbeConfig {
+  double gain = 1.0;
+  double bandwidth_hz = 120.0e6;   ///< -3 dB, well above the clock
+  double noise_v_rms = 1.0e-3;     ///< input-referred
+  double sample_rate_hz = 500.0e6;
+};
+
+class Probe {
+ public:
+  Probe(const ProbeConfig& config, util::Pcg32 rng);
+
+  /// Processes a voltage waveform in place: bandwidth limit, gain, noise.
+  void process(std::span<double> volts);
+
+  const ProbeConfig& config() const noexcept { return config_; }
+
+ private:
+  ProbeConfig config_;
+  dsp::OnePoleLowPass filter_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace clockmark::measure

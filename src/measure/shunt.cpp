@@ -1,0 +1,22 @@
+#include "measure/shunt.h"
+
+#include <stdexcept>
+
+namespace clockmark::measure {
+
+ShuntResistor::ShuntResistor(double resistance_ohm) : r_(resistance_ohm) {
+  if (r_ <= 0.0) {
+    throw std::invalid_argument("ShuntResistor: resistance must be > 0");
+  }
+}
+
+std::vector<double> ShuntResistor::sense(
+    std::span<const double> current_a) const {
+  std::vector<double> v(current_a.size());
+  for (std::size_t i = 0; i < current_a.size(); ++i) {
+    v[i] = current_a[i] * r_;
+  }
+  return v;
+}
+
+}  // namespace clockmark::measure

@@ -1,0 +1,29 @@
+// Shunt-resistor current sensing (paper Fig. 4(b): all power domains
+// joined by jumpers, total chip current measured across a 270 mOhm shunt).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace clockmark::measure {
+
+class ShuntResistor {
+ public:
+  explicit ShuntResistor(double resistance_ohm = 0.270);
+
+  double resistance_ohm() const noexcept { return r_; }
+
+  /// Voltage developed by a current (V = I * R).
+  double voltage(double current_a) const noexcept { return current_a * r_; }
+
+  /// Converts a current waveform (A) to the sensed voltage waveform (V).
+  std::vector<double> sense(std::span<const double> current_a) const;
+
+  /// Inverse: recovers current from a sensed voltage.
+  double current(double voltage_v) const noexcept { return voltage_v / r_; }
+
+ private:
+  double r_;
+};
+
+}  // namespace clockmark::measure

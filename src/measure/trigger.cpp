@@ -1,0 +1,48 @@
+#include "measure/trigger.h"
+
+#include <stdexcept>
+
+namespace clockmark::measure {
+
+std::size_t estimate_trigger_phase(std::span<const double> waveform,
+                                   std::size_t samples_per_cycle) {
+  if (samples_per_cycle == 0) {
+    throw std::invalid_argument("estimate_trigger_phase: zero spc");
+  }
+  if (waveform.size() < 2 * samples_per_cycle) {
+    return 0;  // too short to estimate; assume aligned
+  }
+  // Fold the first-difference (edge energy) by phase; the rising clock
+  // edge is the largest positive step in the cycle.
+  std::vector<double> edge(samples_per_cycle, 0.0);
+  for (std::size_t i = 1; i < waveform.size(); ++i) {
+    const double d = waveform[i] - waveform[i - 1];
+    if (d > 0.0) edge[i % samples_per_cycle] += d;
+  }
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < samples_per_cycle; ++p) {
+    if (edge[p] > edge[best]) best = p;
+  }
+  return best;
+}
+
+std::vector<double> align_to_trigger(std::span<const double> waveform,
+                                     std::size_t samples_per_cycle,
+                                     std::size_t phase) {
+  if (samples_per_cycle == 0) {
+    throw std::invalid_argument("align_to_trigger: zero spc");
+  }
+  phase %= samples_per_cycle;
+  if (phase >= waveform.size()) return {};
+  return std::vector<double>(waveform.begin() + static_cast<long>(phase),
+                             waveform.end());
+}
+
+std::vector<double> auto_align(std::span<const double> waveform,
+                               std::size_t samples_per_cycle) {
+  return align_to_trigger(
+      waveform, samples_per_cycle,
+      estimate_trigger_phase(waveform, samples_per_cycle));
+}
+
+}  // namespace clockmark::measure

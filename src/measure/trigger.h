@@ -1,0 +1,31 @@
+// Clock-phase trigger recovery. A real capture starts at an arbitrary
+// point inside a clock cycle; block-averaging only recovers per-cycle
+// power if the 50-sample windows are aligned to cycle boundaries. This
+// module estimates the sample offset of the clock edge from the current
+// waveform itself (the edge pulses are the strongest periodic feature),
+// the software equivalent of the scope's edge trigger.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::measure {
+
+/// Estimates the phase (0..samples_per_cycle-1) of the cycle boundary in
+/// the waveform by folding it modulo samples_per_cycle and locating the
+/// rising-edge energy peak.
+std::size_t estimate_trigger_phase(std::span<const double> waveform,
+                                   std::size_t samples_per_cycle);
+
+/// Rotates the waveform so cycle boundaries land on multiples of
+/// samples_per_cycle (drops up to one partial cycle at the front).
+std::vector<double> align_to_trigger(std::span<const double> waveform,
+                                     std::size_t samples_per_cycle,
+                                     std::size_t phase);
+
+/// Convenience: estimate + align.
+std::vector<double> auto_align(std::span<const double> waveform,
+                               std::size_t samples_per_cycle);
+
+}  // namespace clockmark::measure

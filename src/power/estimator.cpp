@@ -1,0 +1,113 @@
+#include "power/estimator.h"
+
+#include <algorithm>
+
+namespace clockmark::power {
+
+PowerEstimator::PowerEstimator(const rtl::Netlist& netlist,
+                               TechLibrary library)
+    : netlist_(netlist), lib_(library) {}
+
+double PowerEstimator::dynamic_cycle_energy(
+    const rtl::ModuleActivity& a) const noexcept {
+  double e = 0.0;
+  e += static_cast<double>(a.active_buffers) * lib_.clock_buffer_cycle_j;
+  e += static_cast<double>(a.flop_toggles) * lib_.flop_data_toggle_j;
+  e += static_cast<double>(a.clocked_flops) * lib_.flop_clock_cycle_j;
+  e += static_cast<double>(a.active_icgs) * lib_.icg_active_cycle_j;
+  e += static_cast<double>(a.gated_icgs) * lib_.icg_idle_cycle_j;
+  e += static_cast<double>(a.comb_toggles) * lib_.comb_toggle_j;
+  return e;
+}
+
+double PowerEstimator::leakage_power(const std::string& module_prefix) const {
+  double w = 0.0;
+  for (std::size_t i = 0; i < netlist_.cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    if (netlist_.cell_in_module(id, module_prefix)) {
+      w += lib_.leakage_w(netlist_.cell(id).kind);
+    }
+  }
+  return w;
+}
+
+double PowerEstimator::area(const std::string& module_prefix) const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < netlist_.cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    if (netlist_.cell_in_module(id, module_prefix)) {
+      a += lib_.area_um2(netlist_.cell(id).kind);
+    }
+  }
+  return a;
+}
+
+double PowerEstimator::average_power(
+    std::span<const rtl::CycleActivity> cycles) const {
+  if (cycles.empty()) return leakage_power();
+  double energy = 0.0;
+  for (const auto& c : cycles) energy += dynamic_cycle_energy(c.total);
+  const double time_s =
+      static_cast<double>(cycles.size()) / lib_.clock_hz;
+  return energy / time_s + leakage_power();
+}
+
+std::vector<ModulePowerReport> PowerEstimator::report(
+    std::span<const rtl::CycleActivity> cycles) const {
+  const std::size_t modules = netlist_.module_count();
+  std::vector<double> energy(modules, 0.0);
+  for (const auto& c : cycles) {
+    const std::size_t n = std::min(modules, c.per_module.size());
+    for (std::size_t m = 0; m < n; ++m) {
+      energy[m] += dynamic_cycle_energy(c.per_module[m]);
+    }
+  }
+  const double time_s =
+      cycles.empty() ? 1.0
+                     : static_cast<double>(cycles.size()) / lib_.clock_hz;
+
+  std::vector<double> leak(modules, 0.0);
+  for (std::size_t i = 0; i < netlist_.cell_count(); ++i) {
+    const auto& cell = netlist_.cell(static_cast<rtl::CellId>(i));
+    leak[cell.module] += lib_.leakage_w(cell.kind);
+  }
+
+  std::vector<ModulePowerReport> out;
+  for (std::size_t m = 0; m < modules; ++m) {
+    ModulePowerReport r;
+    r.path = netlist_.module_path(static_cast<std::uint32_t>(m));
+    r.dynamic_w = energy[m] / time_s;
+    r.static_w = leak[m];
+    if (r.dynamic_w > 0.0 || r.static_w > 0.0) out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ModulePowerReport& a, const ModulePowerReport& b) {
+              return a.total_w() > b.total_w();
+            });
+  return out;
+}
+
+std::vector<double> PowerEstimator::power_trace(
+    std::span<const rtl::CycleActivity> cycles,
+    const std::string& module_prefix) const {
+  // Which modules match the prefix?
+  const std::size_t modules = netlist_.module_count();
+  std::vector<bool> match(modules, false);
+  for (std::size_t m = 0; m < modules; ++m) {
+    match[m] = netlist_.module_path(static_cast<std::uint32_t>(m))
+                   .rfind(module_prefix, 0) == 0;
+  }
+  const double leak = leakage_power(module_prefix);
+  std::vector<double> trace(cycles.size(), 0.0);
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    double e = 0.0;
+    const std::size_t n = std::min(modules, cycles[i].per_module.size());
+    for (std::size_t m = 0; m < n; ++m) {
+      if (match[m]) e += dynamic_cycle_energy(cycles[i].per_module[m]);
+    }
+    trace[i] = e * lib_.clock_hz + leak;
+  }
+  return trace;
+}
+
+}  // namespace clockmark::power

@@ -1,0 +1,49 @@
+#include "power/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace clockmark::power {
+
+std::string format_power_report(const PowerEstimator& estimator,
+                                std::span<const rtl::CycleActivity> cycles,
+                                const ReportOptions& options) {
+  const auto rows = estimator.report(cycles);
+  double total_dyn = 0.0, total_stat = 0.0;
+  for (const auto& r : rows) {
+    total_dyn += r.dynamic_w;
+    total_stat += r.static_w;
+  }
+  const double total = total_dyn + total_stat;
+
+  std::ostringstream os;
+  os << "---- " << options.title << " (" << cycles.size()
+     << " cycles @ " << estimator.library().clock_hz / 1e6 << " MHz, "
+     << estimator.library().vdd_v << " V) ----\n";
+  os << std::left << std::setw(options.name_width) << "module"
+     << std::right << std::setw(12) << "dynamic[uW]" << std::setw(12)
+     << "static[uW]" << std::setw(12) << "total[uW]" << std::setw(8)
+     << "%";
+  if (options.show_area) os << std::setw(12) << "area[um2]";
+  os << "\n";
+  os << std::fixed << std::setprecision(3);
+  for (const auto& r : rows) {
+    const std::string name = r.path.empty() ? "<top>" : r.path;
+    os << std::left << std::setw(options.name_width) << name << std::right
+       << std::setw(12) << r.dynamic_w * 1e6 << std::setw(12)
+       << r.static_w * 1e6 << std::setw(12) << r.total_w() * 1e6
+       << std::setw(8) << std::setprecision(1)
+       << (total > 0.0 ? 100.0 * r.total_w() / total : 0.0)
+       << std::setprecision(3);
+    if (options.show_area) {
+      os << std::setw(12) << estimator.area(r.path);
+    }
+    os << "\n";
+  }
+  os << std::left << std::setw(options.name_width) << "TOTAL" << std::right
+     << std::setw(12) << total_dyn * 1e6 << std::setw(12)
+     << total_stat * 1e6 << std::setw(12) << total * 1e6 << "\n";
+  return os.str();
+}
+
+}  // namespace clockmark::power

@@ -1,0 +1,24 @@
+// PrimeTime-PX-style text power report: hierarchical per-module dynamic /
+// static / total power with percentages — the report format Section V's
+// numbers come from.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "power/estimator.h"
+
+namespace clockmark::power {
+
+struct ReportOptions {
+  std::string title = "power report";
+  bool show_area = true;
+  int name_width = 36;
+};
+
+/// Renders the estimator's per-module report for a run of cycles.
+std::string format_power_report(const PowerEstimator& estimator,
+                                std::span<const rtl::CycleActivity> cycles,
+                                const ReportOptions& options = {});
+
+}  // namespace clockmark::power

@@ -1,0 +1,89 @@
+#include "power/tech65.h"
+
+#include <cmath>
+
+namespace clockmark::power {
+
+double TechLibrary::leakage_w(rtl::CellKind kind) const noexcept {
+  using rtl::CellKind;
+  switch (kind) {
+    case CellKind::kDff:
+    case CellKind::kDffEn:
+      return flop_leak_w;
+    case CellKind::kClockBuffer:
+      return clock_buffer_leak_w;
+    case CellKind::kIcg:
+      return icg_leak_w;
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return 0.0;
+    default:
+      return comb_leak_w;
+  }
+}
+
+double TechLibrary::area_um2(rtl::CellKind kind) const noexcept {
+  using rtl::CellKind;
+  switch (kind) {
+    case CellKind::kDff:
+    case CellKind::kDffEn:
+      return flop_area_um2;
+    case CellKind::kClockBuffer:
+      return clock_buffer_area_um2;
+    case CellKind::kIcg:
+      return icg_area_um2;
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return 0.0;
+    default:
+      return comb_area_um2;
+  }
+}
+
+double TechLibrary::clock_buffer_power_w(std::size_t n) const noexcept {
+  return static_cast<double>(n) * clock_buffer_cycle_j * clock_hz;
+}
+
+double TechLibrary::data_switching_power_w(std::size_t n) const noexcept {
+  return static_cast<double>(n) * flop_data_toggle_j * clock_hz;
+}
+
+TechLibrary TechLibrary::at_operating_point(
+    double new_clock_hz, double new_vdd_v) const noexcept {
+  TechLibrary lib = *this;
+  const double ve = (new_vdd_v / vdd_v) * (new_vdd_v / vdd_v);
+  const double vl = new_vdd_v / vdd_v;
+  lib.clock_buffer_cycle_j *= ve;
+  lib.flop_data_toggle_j *= ve;
+  lib.icg_active_cycle_j *= ve;
+  lib.icg_idle_cycle_j *= ve;
+  lib.comb_toggle_j *= ve;
+  lib.flop_clock_cycle_j *= ve;
+  lib.flop_leak_w *= vl;
+  lib.clock_buffer_leak_w *= vl;
+  lib.icg_leak_w *= vl;
+  lib.comb_leak_w *= vl;
+  lib.vdd_v = new_vdd_v;
+  lib.clock_hz = new_clock_hz;
+  return lib;
+}
+
+TechLibrary tsmc65lp_like() { return TechLibrary{}; }
+
+std::size_t load_circuit_registers_for_power(const TechLibrary& lib,
+                                             double p_load_w) noexcept {
+  const double per_register_w =
+      (lib.flop_data_toggle_j + lib.clock_buffer_cycle_j) * lib.clock_hz;
+  if (per_register_w <= 0.0 || p_load_w <= 0.0) return 0;
+  return static_cast<std::size_t>(p_load_w / per_register_w);
+}
+
+double area_overhead_increase(std::size_t load_registers,
+                              std::size_t wgc_registers) noexcept {
+  const double n = static_cast<double>(load_registers);
+  const double w = static_cast<double>(wgc_registers);
+  if (n + w <= 0.0) return 0.0;
+  return n / (n + w);
+}
+
+}  // namespace clockmark::power

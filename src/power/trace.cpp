@@ -1,0 +1,62 @@
+#include "power/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clockmark::power {
+
+PowerTrace::PowerTrace(std::vector<double> cycle_power_w, double clock_hz,
+                       std::string label)
+    : power_w_(std::move(cycle_power_w)),
+      clock_hz_(clock_hz),
+      label_(std::move(label)) {
+  if (clock_hz_ <= 0.0) {
+    throw std::invalid_argument("PowerTrace: clock_hz must be positive");
+  }
+}
+
+PowerTrace& PowerTrace::operator+=(const PowerTrace& other) {
+  if (other.power_w_.size() != power_w_.size()) {
+    throw std::invalid_argument("PowerTrace: length mismatch in +=");
+  }
+  if (other.clock_hz_ != clock_hz_) {
+    throw std::invalid_argument("PowerTrace: clock mismatch in +=");
+  }
+  for (std::size_t i = 0; i < power_w_.size(); ++i) {
+    power_w_[i] += other.power_w_[i];
+  }
+  return *this;
+}
+
+void PowerTrace::add_constant(double watts) noexcept {
+  for (auto& p : power_w_) p += watts;
+}
+
+void PowerTrace::scale(double factor) noexcept {
+  for (auto& p : power_w_) p *= factor;
+}
+
+double PowerTrace::average_w() const noexcept {
+  if (power_w_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double p : power_w_) s += p;
+  return s / static_cast<double>(power_w_.size());
+}
+
+double PowerTrace::peak_w() const noexcept {
+  if (power_w_.empty()) return 0.0;
+  return *std::max_element(power_w_.begin(), power_w_.end());
+}
+
+std::vector<double> PowerTrace::current_a(double vdd_v) const {
+  if (vdd_v <= 0.0) {
+    throw std::invalid_argument("PowerTrace: vdd must be positive");
+  }
+  std::vector<double> i(power_w_.size());
+  for (std::size_t k = 0; k < power_w_.size(); ++k) {
+    i[k] = power_w_[k] / vdd_v;
+  }
+  return i;
+}
+
+}  // namespace clockmark::power

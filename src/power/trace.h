@@ -1,0 +1,55 @@
+// Per-cycle power traces and composition. The device total power seen at
+// the supply rail (paper Fig. 3) is the sum of independent per-subsystem
+// traces: CPU + SoC background + watermark block. Traces carry their
+// clock frequency so current conversion and sub-cycle expansion are
+// unambiguous.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clockmark::power {
+
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+  PowerTrace(std::vector<double> cycle_power_w, double clock_hz,
+             std::string label = "");
+
+  std::size_t cycles() const noexcept { return power_w_.size(); }
+  double clock_hz() const noexcept { return clock_hz_; }
+  const std::string& label() const noexcept { return label_; }
+  const std::vector<double>& values() const noexcept { return power_w_; }
+  std::span<const double> span() const noexcept { return power_w_; }
+  double operator[](std::size_t i) const { return power_w_.at(i); }
+
+  /// Element-wise sum; lengths and clocks must match.
+  PowerTrace& operator+=(const PowerTrace& other);
+  friend PowerTrace operator+(PowerTrace a, const PowerTrace& b) {
+    a += b;
+    return a;
+  }
+
+  /// Adds a constant (e.g. leakage floor) to every cycle.
+  void add_constant(double watts) noexcept;
+
+  /// Scales every cycle (e.g. voltage-domain adjustment).
+  void scale(double factor) noexcept;
+
+  /// Average power over the trace.
+  double average_w() const noexcept;
+  /// Peak cycle power.
+  double peak_w() const noexcept;
+
+  /// Supply current trace I = P / V at the given rail voltage.
+  std::vector<double> current_a(double vdd_v) const;
+
+ private:
+  std::vector<double> power_w_;
+  double clock_hz_ = 0.0;
+  std::string label_;
+};
+
+}  // namespace clockmark::power

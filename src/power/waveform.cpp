@@ -1,0 +1,65 @@
+#include "power/waveform.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clockmark::power {
+
+std::vector<double> cycle_pulse_template(const WaveformOptions& options) {
+  const std::size_t s = options.samples_per_cycle;
+  if (s == 0) {
+    throw std::invalid_argument("cycle_pulse_template: need >= 1 sample");
+  }
+  std::vector<double> tpl(s, 0.0);
+
+  // Flat baseline share.
+  const double baseline = options.baseline_fraction / static_cast<double>(s);
+  for (auto& v : tpl) v = baseline;
+
+  const double edge_energy = 1.0 - options.baseline_fraction;
+  const double rising = edge_energy * options.rising_edge_fraction;
+  const double falling = edge_energy - rising;
+  const std::size_t fall_start = s / 2;
+
+  auto add_pulse = [&](std::size_t start, double energy) {
+    // Exponentially decaying pulse truncated at the cycle end, then
+    // normalised so the pulse integrates exactly to `energy`.
+    double norm = 0.0;
+    for (std::size_t i = start; i < s; ++i) {
+      norm += std::exp(-static_cast<double>(i - start) /
+                       options.decay_samples);
+    }
+    if (norm <= 0.0) return;
+    for (std::size_t i = start; i < s; ++i) {
+      tpl[i] += energy *
+                std::exp(-static_cast<double>(i - start) /
+                         options.decay_samples) /
+                norm;
+    }
+  };
+  add_pulse(0, rising);
+  add_pulse(fall_start, falling);
+  return tpl;
+}
+
+std::vector<double> expand_to_current_waveform(
+    const PowerTrace& trace, double vdd_v, const WaveformOptions& options) {
+  if (vdd_v <= 0.0) {
+    throw std::invalid_argument("expand_to_current_waveform: vdd must be > 0");
+  }
+  const auto tpl = cycle_pulse_template(options);
+  const std::size_t s = options.samples_per_cycle;
+  std::vector<double> wave(trace.cycles() * s, 0.0);
+  for (std::size_t c = 0; c < trace.cycles(); ++c) {
+    // Cycle average current; template sums to 1, so multiplying by
+    // (avg_current * s) preserves the per-cycle mean exactly.
+    const double avg_current = trace[c] / vdd_v;
+    const double scale = avg_current * static_cast<double>(s);
+    for (std::size_t i = 0; i < s; ++i) {
+      wave[c * s + i] = scale * tpl[i];
+    }
+  }
+  return wave;
+}
+
+}  // namespace clockmark::power

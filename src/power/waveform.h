@@ -1,0 +1,43 @@
+// Sub-cycle current waveform synthesis. The oscilloscope samples the
+// supply current far faster than the clock (500 MS/s vs 10 MHz in the
+// paper = 50 samples per cycle); within a cycle the current is not flat
+// but spikes at the clock edges as the clock tree and logic switch. This
+// module expands a per-cycle power trace into a sample-rate current
+// waveform with a double-pulse (rising + falling edge) profile, which the
+// measurement chain then filters, digitises and averages back down.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "power/trace.h"
+
+namespace clockmark::power {
+
+struct WaveformOptions {
+  std::size_t samples_per_cycle = 50;  ///< f_s / f_clk (500 MHz / 10 MHz)
+  /// Fraction of a cycle's switching energy released at the rising edge;
+  /// the remainder is released at the falling edge (clock buffers switch
+  /// on both edges — Section II of the paper).
+  double rising_edge_fraction = 0.62;
+  /// Current pulse decay time constant, in samples.
+  double decay_samples = 4.0;
+  /// Fraction of cycle energy drawn as a flat baseline rather than edge
+  /// pulses (leakage + slow analog loads).
+  double baseline_fraction = 0.12;
+};
+
+/// Expands per-cycle average power (W) into a current waveform (A) at
+/// vdd_v. Each cycle contributes samples_per_cycle samples whose mean
+/// equals the cycle's average current, preserving what CPA sees after
+/// block-averaging.
+std::vector<double> expand_to_current_waveform(const PowerTrace& trace,
+                                               double vdd_v,
+                                               const WaveformOptions& options);
+
+/// The normalised per-cycle pulse template used by the expansion (sums
+/// to 1 over one cycle). Exposed for tests and for Fig. 3 rendering.
+std::vector<double> cycle_pulse_template(const WaveformOptions& options);
+
+}  // namespace clockmark::power

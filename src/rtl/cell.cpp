@@ -1,0 +1,59 @@
+#include "rtl/cell.h"
+
+namespace clockmark::rtl {
+
+unsigned input_count(CellKind kind) noexcept {
+  switch (kind) {
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return 0;
+    case CellKind::kBuf:
+    case CellKind::kInv:
+    case CellKind::kDff:
+      return 1;
+    case CellKind::kClockBuffer:
+      return 0;  // its single input is the clock pin, not a data input
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kDffEn:
+      return 2;
+    case CellKind::kMux2:
+      return 3;
+    case CellKind::kIcg:
+      return 1;  // enable
+  }
+  return 0;
+}
+
+bool is_clock_cell(CellKind kind) noexcept {
+  return kind == CellKind::kClockBuffer || kind == CellKind::kIcg;
+}
+
+bool is_sequential(CellKind kind) noexcept {
+  return kind == CellKind::kDff || kind == CellKind::kDffEn;
+}
+
+std::string_view kind_name(CellKind kind) noexcept {
+  switch (kind) {
+    case CellKind::kConst0: return "CONST0";
+    case CellKind::kConst1: return "CONST1";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kInv: return "INV";
+    case CellKind::kAnd2: return "AND2";
+    case CellKind::kOr2: return "OR2";
+    case CellKind::kXor2: return "XOR2";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kDffEn: return "DFFE";
+    case CellKind::kClockBuffer: return "CLKBUF";
+    case CellKind::kIcg: return "ICG";
+  }
+  return "?";
+}
+
+}  // namespace clockmark::rtl

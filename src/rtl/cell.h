@@ -1,0 +1,60 @@
+// Structural cell model. The netlist is deliberately small — just the
+// cell types needed to build watermark circuits, clock trees and the WGC
+// at gate level: flip-flops, integrated clock gates (ICG), clock buffers
+// and basic combinational gates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clockmark::rtl {
+
+using NetId = std::uint32_t;
+using CellId = std::uint32_t;
+
+inline constexpr NetId kInvalidNet = 0xffffffffu;
+
+enum class CellKind : std::uint8_t {
+  kConst0,      ///< constant 0 driver, no inputs
+  kConst1,      ///< constant 1 driver, no inputs
+  kBuf,         ///< data buffer, 1 input
+  kInv,         ///< inverter, 1 input
+  kAnd2,        ///< 2-input AND
+  kOr2,         ///< 2-input OR
+  kXor2,        ///< 2-input XOR
+  kNand2,       ///< 2-input NAND
+  kNor2,        ///< 2-input NOR
+  kMux2,        ///< inputs {sel, a, b}: out = sel ? b : a
+  kDff,         ///< inputs {d}; clocked by clock_net; output q
+  kDffEn,       ///< inputs {d, en}; holds q when en = 0
+  kClockBuffer, ///< clock-tree buffer, 1 clock input, clock output
+  kIcg,         ///< integrated clock gate: clock input + inputs {en}
+};
+
+/// Number of data inputs each kind expects (clock pins are separate).
+unsigned input_count(CellKind kind) noexcept;
+
+/// True for cells that live on the clock network (their output is a
+/// clock net, not a data net).
+bool is_clock_cell(CellKind kind) noexcept;
+
+/// True for state-holding cells.
+bool is_sequential(CellKind kind) noexcept;
+
+/// Human-readable kind name for reports.
+std::string_view kind_name(CellKind kind) noexcept;
+
+/// One instantiated cell. Plain aggregate; the Netlist owns all of them
+/// contiguously and refers to nets by index.
+struct Cell {
+  CellKind kind = CellKind::kBuf;
+  std::string name;                ///< instance name, unique within module
+  std::uint32_t module = 0;        ///< index into Netlist module table
+  std::vector<NetId> inputs;       ///< data inputs, see CellKind comments
+  NetId output = kInvalidNet;      ///< data or gated-clock output
+  NetId clock = kInvalidNet;       ///< clock pin (kDff*, kIcg, kClockBuffer)
+  bool init_state = false;         ///< power-on Q value for flip-flops
+};
+
+}  // namespace clockmark::rtl

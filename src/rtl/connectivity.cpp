@@ -1,0 +1,159 @@
+#include "rtl/connectivity.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace clockmark::rtl {
+
+ConnectivityGraph::ConnectivityGraph(const Netlist& netlist)
+    : netlist_(netlist) {
+  const std::size_t n = netlist.cell_count();
+  succ_.resize(n);
+  pred_.resize(n);
+
+  std::unordered_map<NetId, std::vector<CellId>> driver_map;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& c = netlist.cell(static_cast<CellId>(i));
+    if (c.output != kInvalidNet) {
+      driver_map[c.output].push_back(static_cast<CellId>(i));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<CellId>(i);
+    const Cell& c = netlist.cell(id);
+    auto link = [&](NetId net) {
+      const auto it = driver_map.find(net);
+      if (it == driver_map.end()) return;
+      for (const CellId d : it->second) {
+        succ_[d].push_back(id);
+        pred_[id].push_back(d);
+      }
+    };
+    for (const NetId net : c.inputs) link(net);
+    if (c.clock != kInvalidNet) link(c.clock);
+  }
+  for (auto& v : succ_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  for (auto& v : pred_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  for (const NetId out : netlist.primary_outputs()) {
+    const auto it = driver_map.find(out);
+    if (it == driver_map.end()) continue;
+    output_drivers_.insert(output_drivers_.end(), it->second.begin(),
+                           it->second.end());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<CellId>(i);
+    const Cell& c = netlist.cell(id);
+    for (const NetId in : netlist.primary_inputs()) {
+      const bool loads =
+          std::find(c.inputs.begin(), c.inputs.end(), in) != c.inputs.end() ||
+          c.clock == in;
+      if (loads) {
+        input_loads_.push_back(id);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<bool> ConnectivityGraph::reverse_reach(
+    const std::vector<CellId>& roots) const {
+  std::vector<bool> seen(netlist_.cell_count(), false);
+  std::queue<CellId> work;
+  for (const CellId r : roots) {
+    if (!seen[r]) {
+      seen[r] = true;
+      work.push(r);
+    }
+  }
+  while (!work.empty()) {
+    const CellId id = work.front();
+    work.pop();
+    for (const CellId p : pred_[id]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        work.push(p);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> ConnectivityGraph::forward_reach(
+    const std::vector<CellId>& roots) const {
+  std::vector<bool> seen(netlist_.cell_count(), false);
+  std::queue<CellId> work;
+  for (const CellId r : roots) {
+    if (!seen[r]) {
+      seen[r] = true;
+      work.push(r);
+    }
+  }
+  while (!work.empty()) {
+    const CellId id = work.front();
+    work.pop();
+    for (const CellId s : succ_[id]) {
+      if (!seen[s]) {
+        seen[s] = true;
+        work.push(s);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> ConnectivityGraph::reaches_primary_output() const {
+  return reverse_reach(output_drivers_);
+}
+
+std::vector<bool> ConnectivityGraph::reachable_from_primary_inputs() const {
+  return forward_reach(input_loads_);
+}
+
+std::vector<bool> ConnectivityGraph::fanin_cone(
+    const std::vector<CellId>& roots) const {
+  return reverse_reach(roots);
+}
+
+std::vector<bool> ConnectivityGraph::fanout_cone(
+    const std::vector<CellId>& roots) const {
+  return forward_reach(roots);
+}
+
+std::vector<std::size_t> ConnectivityGraph::weakly_connected_components(
+    std::size_t* count) const {
+  const std::size_t n = netlist_.cell_count();
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp(n, kUnassigned);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (comp[i] != kUnassigned) continue;
+    const std::size_t c = next++;
+    std::queue<CellId> work;
+    work.push(static_cast<CellId>(i));
+    comp[i] = c;
+    while (!work.empty()) {
+      const CellId id = work.front();
+      work.pop();
+      auto visit = [&](CellId other) {
+        if (comp[other] == kUnassigned) {
+          comp[other] = c;
+          work.push(other);
+        }
+      };
+      for (const CellId s : succ_[id]) visit(s);
+      for (const CellId p : pred_[id]) visit(p);
+    }
+  }
+  if (count != nullptr) *count = next;
+  return comp;
+}
+
+}  // namespace clockmark::rtl

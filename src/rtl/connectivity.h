@@ -1,0 +1,56 @@
+// Netlist connectivity analysis. This is the substrate for the removal-
+// attack study (Section VI): an attacker inspecting soft IP at RTL looks
+// for stand-alone subcircuits — logic that never influences a primary
+// output — because those can be deleted without breaking the design.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace clockmark::rtl {
+
+/// Directed cell graph derived from a netlist: an edge a -> b exists when
+/// a's output net feeds any input or clock pin of b.
+class ConnectivityGraph {
+ public:
+  explicit ConnectivityGraph(const Netlist& netlist);
+
+  /// Cells whose output value can (transitively) influence a primary
+  /// output. Everything else is functionally dead weight.
+  std::vector<bool> reaches_primary_output() const;
+
+  /// Cells reachable (transitively) from any primary input.
+  std::vector<bool> reachable_from_primary_inputs() const;
+
+  /// Cells transitively in the fan-in cone of the given cells.
+  std::vector<bool> fanin_cone(const std::vector<CellId>& roots) const;
+
+  /// Cells transitively in the fan-out cone of the given cells.
+  std::vector<bool> fanout_cone(const std::vector<CellId>& roots) const;
+
+  /// Weakly connected components; returns a component id per cell.
+  std::vector<std::size_t> weakly_connected_components(
+      std::size_t* count = nullptr) const;
+
+  const std::vector<std::vector<CellId>>& successors() const noexcept {
+    return succ_;
+  }
+  const std::vector<std::vector<CellId>>& predecessors() const noexcept {
+    return pred_;
+  }
+  const Netlist& netlist() const noexcept { return netlist_; }
+
+ private:
+  std::vector<bool> reverse_reach(const std::vector<CellId>& roots) const;
+  std::vector<bool> forward_reach(const std::vector<CellId>& roots) const;
+
+  const Netlist& netlist_;
+  std::vector<std::vector<CellId>> succ_;
+  std::vector<std::vector<CellId>> pred_;
+  std::vector<CellId> output_drivers_;  // cells driving primary outputs
+  std::vector<CellId> input_loads_;     // cells loading primary inputs
+};
+
+}  // namespace clockmark::rtl

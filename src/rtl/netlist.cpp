@@ -1,0 +1,177 @@
+#include "rtl/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clockmark::rtl {
+
+Netlist::Netlist() {
+  modules_.push_back("");  // module 0: top
+  module_index_[""] = 0;
+}
+
+std::uint32_t Netlist::module(const std::string& path) {
+  const auto it = module_index_.find(path);
+  if (it != module_index_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(modules_.size());
+  modules_.push_back(path);
+  module_index_[path] = idx;
+  return idx;
+}
+
+const std::string& Netlist::module_path(std::uint32_t index) const {
+  return modules_.at(index);
+}
+
+NetId Netlist::add_net(const std::string& name) {
+  if (net_index_.count(name) > 0) {
+    throw std::invalid_argument("Netlist: duplicate net name " + name);
+  }
+  const auto id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(name);
+  net_index_[name] = id;
+  return id;
+}
+
+const std::string& Netlist::net_name(NetId id) const {
+  return net_names_.at(id);
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  const auto it = net_index_.find(name);
+  if (it == net_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Netlist::mark_input(NetId id) { inputs_.push_back(id); }
+void Netlist::mark_output(NetId id) { outputs_.push_back(id); }
+
+CellId Netlist::add_gate(CellKind kind, const std::string& name,
+                         std::uint32_t module_idx,
+                         const std::vector<NetId>& inputs, NetId output) {
+  if (is_sequential(kind) || is_clock_cell(kind)) {
+    throw std::invalid_argument("add_gate: use add_flop/add_icg for " +
+                                std::string(kind_name(kind)));
+  }
+  if (inputs.size() != input_count(kind)) {
+    throw std::invalid_argument("add_gate: wrong input count for " +
+                                std::string(kind_name(kind)));
+  }
+  Cell c;
+  c.kind = kind;
+  c.name = name;
+  c.module = module_idx;
+  c.inputs = inputs;
+  c.output = output;
+  cells_.push_back(std::move(c));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+CellId Netlist::add_flop(CellKind kind, const std::string& name,
+                         std::uint32_t module_idx,
+                         const std::vector<NetId>& inputs, NetId q,
+                         NetId clock, bool init_state) {
+  if (!is_sequential(kind)) {
+    throw std::invalid_argument("add_flop: not a sequential kind");
+  }
+  if (inputs.size() != input_count(kind)) {
+    throw std::invalid_argument("add_flop: wrong input count");
+  }
+  Cell c;
+  c.kind = kind;
+  c.name = name;
+  c.module = module_idx;
+  c.inputs = inputs;
+  c.output = q;
+  c.clock = clock;
+  c.init_state = init_state;
+  cells_.push_back(std::move(c));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+CellId Netlist::add_clock_buffer(const std::string& name,
+                                 std::uint32_t module_idx, NetId clock_in,
+                                 NetId clock_out) {
+  Cell c;
+  c.kind = CellKind::kClockBuffer;
+  c.name = name;
+  c.module = module_idx;
+  c.clock = clock_in;
+  c.output = clock_out;
+  cells_.push_back(std::move(c));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+CellId Netlist::add_icg(const std::string& name, std::uint32_t module_idx,
+                        NetId clock_in, NetId enable, NetId gated_clock) {
+  Cell c;
+  c.kind = CellKind::kIcg;
+  c.name = name;
+  c.module = module_idx;
+  c.clock = clock_in;
+  c.inputs = {enable};
+  c.output = gated_clock;
+  cells_.push_back(std::move(c));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+void Netlist::remove_cells(const std::vector<CellId>& ids) {
+  std::vector<bool> dead(cells_.size(), false);
+  for (const CellId id : ids) {
+    if (id < cells_.size()) dead[id] = true;
+  }
+  std::vector<Cell> kept;
+  kept.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(cells_[i]));
+  }
+  cells_ = std::move(kept);
+}
+
+std::vector<CellId> Netlist::drivers_of(NetId net) const {
+  std::vector<CellId> out;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].output == net) out.push_back(static_cast<CellId>(i));
+  }
+  return out;
+}
+
+std::vector<CellId> Netlist::loads_of(NetId net) const {
+  std::vector<CellId> out;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    const bool on_input =
+        std::find(c.inputs.begin(), c.inputs.end(), net) != c.inputs.end();
+    if (on_input || c.clock == net) out.push_back(static_cast<CellId>(i));
+  }
+  return out;
+}
+
+bool Netlist::cell_in_module(CellId id, const std::string& prefix) const {
+  const std::string& path = modules_.at(cells_.at(id).module);
+  return path.rfind(prefix, 0) == 0;
+}
+
+std::unordered_map<CellKind, std::size_t> Netlist::census(
+    const std::string& module_prefix) const {
+  std::unordered_map<CellKind, std::size_t> counts;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cell_in_module(static_cast<CellId>(i), module_prefix)) {
+      ++counts[cells_[i].kind];
+    }
+  }
+  return counts;
+}
+
+std::size_t Netlist::register_count(const std::string& module_prefix) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (is_sequential(cells_[i].kind) &&
+        cell_in_module(static_cast<CellId>(i), module_prefix)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,97 @@
+// Flat structural netlist with a lightweight module hierarchy. Watermark
+// circuits, clock trees and the WGC are built directly on this API; the
+// removal-attack analysis (Section VI of the paper) operates on the same
+// data structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/cell.h"
+
+namespace clockmark::rtl {
+
+class Netlist {
+ public:
+  Netlist();
+
+  // --- module hierarchy -------------------------------------------------
+  /// Registers (or finds) a hierarchical module path such as
+  /// "soc/watermark/wgc". Returns its index for use in add_* calls.
+  std::uint32_t module(const std::string& path);
+  const std::string& module_path(std::uint32_t index) const;
+  std::size_t module_count() const noexcept { return modules_.size(); }
+
+  // --- nets ---------------------------------------------------------------
+  NetId add_net(const std::string& name);
+  const std::string& net_name(NetId id) const;
+  std::size_t net_count() const noexcept { return net_names_.size(); }
+  std::optional<NetId> find_net(const std::string& name) const;
+
+  /// Marks a net as a primary input / output of the design.
+  void mark_input(NetId id);
+  void mark_output(NetId id);
+  const std::vector<NetId>& primary_inputs() const noexcept { return inputs_; }
+  const std::vector<NetId>& primary_outputs() const noexcept {
+    return outputs_;
+  }
+
+  // --- cells ----------------------------------------------------------
+  /// Adds a combinational cell. inputs must match input_count(kind).
+  CellId add_gate(CellKind kind, const std::string& name,
+                  std::uint32_t module, const std::vector<NetId>& inputs,
+                  NetId output);
+
+  /// Adds a flip-flop (kDff or kDffEn).
+  CellId add_flop(CellKind kind, const std::string& name,
+                  std::uint32_t module, const std::vector<NetId>& inputs,
+                  NetId q, NetId clock, bool init_state = false);
+
+  /// Adds a clock buffer: clock_in -> clock_out.
+  CellId add_clock_buffer(const std::string& name, std::uint32_t module,
+                          NetId clock_in, NetId clock_out);
+
+  /// Adds an integrated clock gate: gated = clock_in when enable is 1.
+  CellId add_icg(const std::string& name, std::uint32_t module,
+                 NetId clock_in, NetId enable, NetId gated_clock);
+
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  Cell& cell(CellId id) { return cells_.at(id); }
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  const std::vector<Cell>& cells() const noexcept { return cells_; }
+
+  /// Removes the given cells from the netlist (used by removal attacks).
+  /// Nets are left in place; dangling loads simply see an undriven net.
+  void remove_cells(const std::vector<CellId>& ids);
+
+  /// Cells whose output drives the given net (usually 0 or 1).
+  std::vector<CellId> drivers_of(NetId net) const;
+
+  /// Cells that consume the given net on any input or clock pin.
+  std::vector<CellId> loads_of(NetId net) const;
+
+  /// Counts cells per kind under a module path prefix ("" = whole design).
+  std::unordered_map<CellKind, std::size_t> census(
+      const std::string& module_prefix = "") const;
+
+  /// Number of flip-flops under a module path prefix — the paper's area
+  /// unit ("number of registers").
+  std::size_t register_count(const std::string& module_prefix = "") const;
+
+  /// True if the cell's module path starts with the given prefix.
+  bool cell_in_module(CellId id, const std::string& prefix) const;
+
+ private:
+  std::vector<std::string> modules_;
+  std::unordered_map<std::string, std::uint32_t> module_index_;
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_index_;
+  std::vector<Cell> cells_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+};
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,218 @@
+#include "rtl/netlist_io.h"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace clockmark::rtl {
+namespace {
+
+constexpr char kNone = '-';
+
+std::optional<CellKind> kind_from_name(const std::string& name) {
+  static const std::map<std::string, CellKind> table = {
+      {"CONST0", CellKind::kConst0}, {"CONST1", CellKind::kConst1},
+      {"BUF", CellKind::kBuf},       {"INV", CellKind::kInv},
+      {"AND2", CellKind::kAnd2},     {"OR2", CellKind::kOr2},
+      {"XOR2", CellKind::kXor2},     {"NAND2", CellKind::kNand2},
+      {"NOR2", CellKind::kNor2},     {"MUX2", CellKind::kMux2},
+      {"DFF", CellKind::kDff},       {"DFFE", CellKind::kDffEn},
+      {"CLKBUF", CellKind::kClockBuffer},
+      {"ICG", CellKind::kIcg},
+  };
+  const auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& out, const Netlist& netlist) {
+  out << "# clockmark structural netlist\n";
+  for (std::size_t i = 0; i < netlist.net_count(); ++i) {
+    out << "net " << netlist.net_name(static_cast<NetId>(i)) << '\n';
+  }
+  for (const NetId in : netlist.primary_inputs()) {
+    out << "input " << netlist.net_name(in) << '\n';
+  }
+  for (const NetId o : netlist.primary_outputs()) {
+    out << "output " << netlist.net_name(o) << '\n';
+  }
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const Cell& c = netlist.cell(static_cast<CellId>(i));
+    out << "cell " << kind_name(c.kind) << ' ' << c.name << ' ';
+    const std::string& mod = netlist.module_path(c.module);
+    out << (mod.empty() ? std::string(1, kNone) : mod) << ' ';
+    out << (c.output == kInvalidNet ? std::string(1, kNone)
+                                    : netlist.net_name(c.output))
+        << ' ';
+    out << (c.clock == kInvalidNet ? std::string(1, kNone)
+                                   : netlist.net_name(c.clock))
+        << ' ';
+    out << (c.init_state ? '1' : '0') << ' ';
+    if (c.inputs.empty()) {
+      out << kNone;
+    } else {
+      for (std::size_t k = 0; k < c.inputs.size(); ++k) {
+        if (k > 0) out << ',';
+        out << netlist.net_name(c.inputs[k]);
+      }
+    }
+    out << '\n';
+  }
+}
+
+std::string netlist_to_string(const Netlist& netlist) {
+  std::ostringstream os;
+  write_netlist(os, netlist);
+  return os.str();
+}
+
+Netlist read_netlist(std::istream& in) {
+  Netlist nl;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("netlist line " + std::to_string(line_no) +
+                             ": " + msg);
+  };
+  auto net_by_name = [&](const std::string& name) -> NetId {
+    const auto id = nl.find_net(name);
+    if (!id.has_value()) fail("unknown net '" + name + "'");
+    return *id;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == "net") {
+      std::string name;
+      if (!(ls >> name)) fail("net: missing name");
+      nl.add_net(name);
+    } else if (keyword == "input" || keyword == "output") {
+      std::string name;
+      if (!(ls >> name)) fail(keyword + ": missing net name");
+      const NetId id = net_by_name(name);
+      if (keyword == "input") {
+        nl.mark_input(id);
+      } else {
+        nl.mark_output(id);
+      }
+    } else if (keyword == "cell") {
+      std::string kind_s, name, module_s, out_s, clock_s, init_s, ins_s;
+      if (!(ls >> kind_s >> name >> module_s >> out_s >> clock_s >>
+            init_s >> ins_s)) {
+        fail("cell: expected 7 fields");
+      }
+      const auto kind = kind_from_name(kind_s);
+      if (!kind.has_value()) fail("unknown cell kind '" + kind_s + "'");
+      const std::uint32_t module =
+          module_s == std::string(1, kNone) ? 0 : nl.module(module_s);
+      const NetId out_net = out_s == std::string(1, kNone)
+                                ? kInvalidNet
+                                : net_by_name(out_s);
+      const NetId clock_net = clock_s == std::string(1, kNone)
+                                  ? kInvalidNet
+                                  : net_by_name(clock_s);
+      const bool init = init_s == "1";
+      std::vector<NetId> inputs;
+      if (ins_s != std::string(1, kNone)) {
+        for (const auto& n : split(ins_s, ',')) {
+          inputs.push_back(net_by_name(n));
+        }
+      }
+      if (inputs.size() != input_count(*kind)) {
+        fail("cell " + name + ": wrong input count for " + kind_s);
+      }
+      if (is_sequential(*kind)) {
+        if (clock_net == kInvalidNet) fail("flop without clock");
+        nl.add_flop(*kind, name, module, inputs, out_net, clock_net, init);
+      } else if (*kind == CellKind::kClockBuffer) {
+        if (clock_net == kInvalidNet) fail("clock buffer without clock");
+        nl.add_clock_buffer(name, module, clock_net, out_net);
+      } else if (*kind == CellKind::kIcg) {
+        if (clock_net == kInvalidNet) fail("ICG without clock");
+        nl.add_icg(name, module, clock_net, inputs.at(0), out_net);
+      } else {
+        nl.add_gate(*kind, name, module, inputs, out_net);
+      }
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  return nl;
+}
+
+Netlist netlist_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_netlist(is);
+}
+
+bool structurally_equal(const Netlist& a, const Netlist& b) {
+  if (a.net_count() != b.net_count() || a.cell_count() != b.cell_count()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.net_count(); ++i) {
+    if (a.net_name(static_cast<NetId>(i)) !=
+        b.net_name(static_cast<NetId>(i))) {
+      return false;
+    }
+  }
+  auto port_names = [](const Netlist& nl, const std::vector<NetId>& ids) {
+    std::vector<std::string> names;
+    for (const NetId id : ids) names.push_back(nl.net_name(id));
+    return names;
+  };
+  if (port_names(a, a.primary_inputs()) != port_names(b, b.primary_inputs()) ||
+      port_names(a, a.primary_outputs()) !=
+          port_names(b, b.primary_outputs())) {
+    return false;
+  }
+  auto net_name_or_none = [](const Netlist& nl, NetId id) {
+    return id == kInvalidNet ? std::string("-") : nl.net_name(id);
+  };
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    const Cell& ca = a.cell(static_cast<CellId>(i));
+    const Cell& cb = b.cell(static_cast<CellId>(i));
+    if (ca.kind != cb.kind || ca.name != cb.name ||
+        ca.init_state != cb.init_state ||
+        a.module_path(ca.module) != b.module_path(cb.module) ||
+        net_name_or_none(a, ca.output) != net_name_or_none(b, cb.output) ||
+        net_name_or_none(a, ca.clock) != net_name_or_none(b, cb.clock) ||
+        ca.inputs.size() != cb.inputs.size()) {
+      return false;
+    }
+    for (std::size_t k = 0; k < ca.inputs.size(); ++k) {
+      if (a.net_name(ca.inputs[k]) != b.net_name(cb.inputs[k])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace clockmark::rtl

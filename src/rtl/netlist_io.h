@@ -1,0 +1,34 @@
+// Structural netlist serialisation — the "soft IP deliverable". A vendor
+// ships the watermarked design as a text netlist; the SoC integrator (or
+// an attacker, Section VI) reads it back. Round-trip safe.
+//
+// Format (one statement per line, '#' comments):
+//   net <name>
+//   input <net-name>
+//   output <net-name>
+//   cell <KIND> <name> <module-path|-> <out-net|-> <clock-net|->
+//        <init:0|1> <in1,in2,...|->
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace clockmark::rtl {
+
+/// Serialises the netlist. Stable output: nets in id order, cells in id
+/// order.
+void write_netlist(std::ostream& out, const Netlist& netlist);
+std::string netlist_to_string(const Netlist& netlist);
+
+/// Parses a netlist written by write_netlist (or by hand). Throws
+/// std::runtime_error with a line number on malformed input.
+Netlist read_netlist(std::istream& in);
+Netlist netlist_from_string(const std::string& text);
+
+/// Structural equality: same nets (by name), same cells (kind, name,
+/// module path, connections by net name, init state) in the same order.
+bool structurally_equal(const Netlist& a, const Netlist& b);
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,237 @@
+#include "rtl/simulator.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace clockmark::rtl {
+namespace {
+
+// Kahn topological sort of a cell subset. `deps(cell) -> nets` gives the
+// nets the cell waits on; only dependencies driven by cells inside the
+// subset create ordering edges.
+template <typename DepsFn>
+std::vector<CellId> topo_sort(const Netlist& nl,
+                              const std::vector<CellId>& subset,
+                              DepsFn deps, const char* what) {
+  std::unordered_map<NetId, CellId> driver_in_subset;
+  for (const CellId id : subset) {
+    const Cell& c = nl.cell(id);
+    if (c.output == kInvalidNet) continue;
+    if (driver_in_subset.count(c.output) > 0) {
+      throw std::invalid_argument(std::string("Simulator: net '") +
+                                  nl.net_name(c.output) +
+                                  "' is multiply driven");
+    }
+    driver_in_subset[c.output] = id;
+  }
+  std::unordered_map<CellId, std::size_t> indegree;
+  std::unordered_map<CellId, std::vector<CellId>> fanout;
+  for (const CellId id : subset) indegree[id] = 0;
+  for (const CellId id : subset) {
+    for (const NetId net : deps(nl.cell(id))) {
+      const auto it = driver_in_subset.find(net);
+      if (it != driver_in_subset.end()) {
+        fanout[it->second].push_back(id);
+        ++indegree[id];
+      }
+    }
+  }
+  std::queue<CellId> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.push(id);
+  }
+  std::vector<CellId> order;
+  order.reserve(subset.size());
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (const CellId next : fanout[id]) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  if (order.size() != subset.size()) {
+    throw std::invalid_argument(std::string("Simulator: cycle detected in ") +
+                                what + " network");
+  }
+  return order;
+}
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  net_values_.assign(netlist.net_count(), false);
+  clock_active_.assign(netlist.net_count(), false);
+  is_clock_source_.assign(netlist.net_count(), false);
+  flop_states_.assign(netlist.cell_count(), false);
+
+  std::vector<CellId> comb_cells;
+  std::vector<CellId> clock_cells;
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    const Cell& c = netlist.cell(id);
+    if (is_sequential(c.kind)) {
+      flops_.push_back(id);
+      flop_states_[id] = c.init_state;
+    } else if (is_clock_cell(c.kind)) {
+      clock_cells.push_back(id);
+    } else {
+      comb_cells.push_back(id);
+    }
+  }
+
+  comb_order_ = topo_sort(
+      netlist_, comb_cells,
+      [](const Cell& c) -> const std::vector<NetId>& { return c.inputs; },
+      "combinational");
+  clock_order_ = topo_sort(
+      netlist_, clock_cells,
+      [](const Cell& c) { return std::vector<NetId>{c.clock}; }, "clock");
+
+  activity_.per_module.resize(netlist.module_count());
+  settle();
+}
+
+void Simulator::set_input(NetId net, bool value) {
+  net_values_.at(net) = value;
+}
+
+void Simulator::set_clock_source(NetId net) {
+  is_clock_source_.at(net) = true;
+}
+
+bool Simulator::eval_gate(const Cell& c) const {
+  const auto in = [&](std::size_t i) {
+    return static_cast<bool>(net_values_[c.inputs[i]]);
+  };
+  switch (c.kind) {
+    case CellKind::kConst0: return false;
+    case CellKind::kConst1: return true;
+    case CellKind::kBuf: return in(0);
+    case CellKind::kInv: return !in(0);
+    case CellKind::kAnd2: return in(0) && in(1);
+    case CellKind::kOr2: return in(0) || in(1);
+    case CellKind::kXor2: return in(0) != in(1);
+    case CellKind::kNand2: return !(in(0) && in(1));
+    case CellKind::kNor2: return !(in(0) || in(1));
+    case CellKind::kMux2: return in(0) ? in(2) : in(1);
+    default:
+      throw std::logic_error("eval_gate: non-combinational cell");
+  }
+}
+
+void Simulator::settle() {
+  // Flop outputs first, then combinational logic in dependency order.
+  for (const CellId id : flops_) {
+    const Cell& c = netlist_.cell(id);
+    if (c.output != kInvalidNet) net_values_[c.output] = flop_states_[id];
+  }
+  for (const CellId id : comb_order_) {
+    const Cell& c = netlist_.cell(id);
+    if (c.output != kInvalidNet) net_values_[c.output] = eval_gate(c);
+  }
+}
+
+void Simulator::propagate_clocks() {
+  std::fill(clock_active_.begin(), clock_active_.end(), false);
+  for (std::size_t n = 0; n < clock_active_.size(); ++n) {
+    if (is_clock_source_[n]) clock_active_[n] = true;
+  }
+  for (const CellId id : clock_order_) {
+    const Cell& c = netlist_.cell(id);
+    const bool in_active =
+        c.clock != kInvalidNet && clock_active_[c.clock];
+    bool out_active = in_active;
+    if (c.kind == CellKind::kIcg) {
+      // Latch-based ICG: enable sampled while the clock is low, i.e. the
+      // settled combinational value of this cycle.
+      out_active = in_active && net_values_[c.inputs[0]];
+    }
+    if (c.output != kInvalidNet) clock_active_[c.output] = out_active;
+  }
+}
+
+const CycleActivity& Simulator::step() {
+  // 1. Combinational settle with the current flop states and inputs;
+  //    count comb output toggles against the previous settled values.
+  activity_.total = ModuleActivity{};
+  for (auto& m : activity_.per_module) m = ModuleActivity{};
+
+  std::vector<bool> prev_values = net_values_;
+  settle();
+  for (const CellId id : comb_order_) {
+    const Cell& c = netlist_.cell(id);
+    if (c.output != kInvalidNet &&
+        net_values_[c.output] != prev_values[c.output]) {
+      ++activity_.total.comb_toggles;
+      ++activity_.per_module[c.module].comb_toggles;
+    }
+  }
+
+  // 2. Clock propagation + clock-cell activity.
+  propagate_clocks();
+  for (const CellId id : clock_order_) {
+    const Cell& c = netlist_.cell(id);
+    ModuleActivity& mod = activity_.per_module[c.module];
+    if (c.kind == CellKind::kClockBuffer) {
+      if (c.output != kInvalidNet && clock_active_[c.output]) {
+        ++activity_.total.active_buffers;
+        ++mod.active_buffers;
+      }
+    } else {  // ICG
+      const bool in_active = c.clock != kInvalidNet && clock_active_[c.clock];
+      if (in_active && c.output != kInvalidNet && clock_active_[c.output]) {
+        ++activity_.total.active_icgs;
+        ++mod.active_icgs;
+      } else {
+        ++activity_.total.gated_icgs;
+        ++mod.gated_icgs;
+      }
+    }
+  }
+
+  // 3. Sequential update on the (conceptual) rising edge.
+  std::vector<bool> next_states(flop_states_);
+  for (const CellId id : flops_) {
+    const Cell& c = netlist_.cell(id);
+    if (c.clock == kInvalidNet || !clock_active_[c.clock]) continue;
+    ModuleActivity& mod = activity_.per_module[c.module];
+    ++activity_.total.clocked_flops;
+    ++mod.clocked_flops;
+    bool d = net_values_[c.inputs[0]];
+    if (c.kind == CellKind::kDffEn && !net_values_[c.inputs[1]]) {
+      d = flop_states_[id];  // enable low: hold
+    }
+    if (d != static_cast<bool>(flop_states_[id])) {
+      ++activity_.total.flop_toggles;
+      ++mod.flop_toggles;
+    }
+    next_states[id] = d;
+  }
+  flop_states_ = std::move(next_states);
+
+  // Publish new flop outputs so net_value() reflects post-edge state.
+  for (const CellId id : flops_) {
+    const Cell& c = netlist_.cell(id);
+    if (c.output != kInvalidNet) net_values_[c.output] = flop_states_[id];
+  }
+  ++cycle_;
+  return activity_;
+}
+
+std::vector<CycleActivity> Simulator::run(std::size_t n) {
+  std::vector<CycleActivity> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(step());
+  return out;
+}
+
+bool Simulator::net_value(NetId net) const { return net_values_.at(net); }
+
+bool Simulator::clock_active(NetId net) const {
+  return clock_active_.at(net);
+}
+
+bool Simulator::flop_state(CellId id) const { return flop_states_.at(id); }
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,84 @@
+// Cycle-based gate-level simulator with clock-network activity
+// accounting. One step() = one full clock cycle: combinational settle,
+// clock propagation through buffers and ICGs (counting which clock cells
+// toggle — clock nets switch twice per cycle, which is why clock power
+// dominates, cf. Section II of the paper), then the sequential update.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace clockmark::rtl {
+
+/// Activity of one module (by module index) during one clock cycle.
+struct ModuleActivity {
+  std::size_t clocked_flops = 0;   ///< flops that received a clock edge
+  std::size_t flop_toggles = 0;    ///< flops whose Q changed
+  std::size_t active_buffers = 0;  ///< clock buffers that propagated clock
+  std::size_t active_icgs = 0;     ///< ICGs that were enabled
+  std::size_t gated_icgs = 0;      ///< ICGs present but disabled
+  std::size_t comb_toggles = 0;    ///< combinational outputs that changed
+};
+
+/// Whole-design activity during one clock cycle, plus per-module detail.
+struct CycleActivity {
+  ModuleActivity total;
+  std::vector<ModuleActivity> per_module;  ///< indexed by module id
+};
+
+class Simulator {
+ public:
+  /// Builds evaluation orders and initial state. Throws on multiply
+  /// driven nets or combinational loops.
+  explicit Simulator(const Netlist& netlist);
+
+  /// Declares a primary-input value (held until changed).
+  void set_input(NetId net, bool value);
+
+  /// Declares a net as a free-running clock source (toggles every cycle).
+  void set_clock_source(NetId net);
+
+  /// Evaluates combinational logic only (no clock edge). Useful to
+  /// observe net values before the first cycle.
+  void settle();
+
+  /// Runs one full clock cycle and returns the activity it generated.
+  const CycleActivity& step();
+
+  /// Runs n cycles, accumulating activity into the returned vector.
+  std::vector<CycleActivity> run(std::size_t n);
+
+  /// Value of a data net after the last settle/step.
+  bool net_value(NetId net) const;
+
+  /// True if the clock net received edges during the last step.
+  bool clock_active(NetId net) const;
+
+  /// Current state of a flip-flop cell.
+  bool flop_state(CellId id) const;
+
+  std::size_t cycle() const noexcept { return cycle_; }
+
+  const Netlist& netlist() const noexcept { return netlist_; }
+
+ private:
+  bool eval_gate(const Cell& c) const;
+  void propagate_clocks();
+
+  const Netlist& netlist_;
+  std::vector<bool> net_values_;
+  std::vector<bool> clock_active_;      // per net
+  std::vector<bool> is_clock_source_;   // per net
+  std::vector<bool> flop_states_;       // per cell (indexed by CellId)
+  std::vector<CellId> comb_order_;      // topological order of comb cells
+  std::vector<CellId> clock_order_;     // topological order of clock cells
+  std::vector<CellId> flops_;
+  CycleActivity activity_;
+  std::size_t cycle_ = 0;
+};
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,62 @@
+#include "rtl/vcd.h"
+
+#include <stdexcept>
+
+namespace clockmark::rtl {
+
+std::string VcdWriter::identifier(std::size_t index) {
+  // Printable VCD identifier characters: '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+VcdWriter::VcdWriter(const std::string& path, const Simulator& simulator,
+                     std::vector<Signal> signals, unsigned timescale_ns)
+    : simulator_(simulator),
+      signals_(std::move(signals)),
+      last_values_(signals_.size(), -1),
+      out_(path),
+      timescale_ns_(timescale_ns) {
+  if (!out_) {
+    throw std::runtime_error("VcdWriter: cannot open " + path);
+  }
+  out_ << "$date clockmark simulation $end\n"
+       << "$version clockmark 1.0 $end\n"
+       << "$timescale " << timescale_ns_ << "ns $end\n"
+       << "$scope module clockmark $end\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    out_ << "$var wire 1 " << identifier(i) << ' ' << signals_[i].name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample() {
+  bool stamped = false;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const char v = simulator_.net_value(signals_[i].net) ? 1 : 0;
+    if (v == last_values_[i]) continue;
+    if (!stamped) {
+      out_ << '#' << sample_count_ << '\n';
+      stamped = true;
+    }
+    out_ << (v != 0 ? '1' : '0') << identifier(i) << '\n';
+    last_values_[i] = v;
+  }
+  ++sample_count_;
+}
+
+void VcdWriter::close() {
+  if (out_.is_open()) {
+    out_ << '#' << sample_count_ << '\n';
+    out_.close();
+  }
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,52 @@
+// VCD (Value Change Dump) waveform writer. Lets any simulation run be
+// inspected in GTKWave & co. — the Fig. 2 functional waveforms, WGC
+// bring-up, or attack-analysis before/after traces.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/simulator.h"
+
+namespace clockmark::rtl {
+
+/// Records selected nets of a running Simulator into an IEEE 1364 VCD
+/// file. Usage:
+///   VcdWriter vcd("trace.vcd", sim, {{"wmark", wmark_net}, ...});
+///   for (...) { sim.step(); vcd.sample(); }
+class VcdWriter {
+ public:
+  struct Signal {
+    std::string name;
+    NetId net;
+  };
+
+  /// Opens the file and writes the header. timescale_ns is the length of
+  /// one clock cycle in nanoseconds (100 ns at the paper's 10 MHz).
+  VcdWriter(const std::string& path, const Simulator& simulator,
+            std::vector<Signal> signals, unsigned timescale_ns = 100);
+
+  /// Emits value changes for the current simulator state at the current
+  /// cycle (call once per step()).
+  void sample();
+
+  /// Flushes and closes; also invoked by the destructor.
+  void close();
+
+  ~VcdWriter();
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+ private:
+  static std::string identifier(std::size_t index);
+
+  const Simulator& simulator_;
+  std::vector<Signal> signals_;
+  std::vector<char> last_values_;  // -1 = never sampled
+  std::ofstream out_;
+  unsigned timescale_ns_;
+  std::size_t sample_count_ = 0;
+};
+
+}  // namespace clockmark::rtl

@@ -1,0 +1,91 @@
+#include "sequence/berlekamp.h"
+
+#include <algorithm>
+
+namespace clockmark::sequence {
+
+LfsrDescription berlekamp_massey(const std::vector<bool>& bits) {
+  const std::size_t n = bits.size();
+  std::vector<bool> c(n + 1, false);  // current connection polynomial
+  std::vector<bool> b(n + 1, false);  // previous connection polynomial
+  c[0] = b[0] = true;
+  std::size_t l = 0;   // current linear complexity
+  std::size_t m = 1;   // steps since last length change
+  for (std::size_t i = 0; i < n; ++i) {
+    // Discrepancy d = s_i + sum_{j=1..L} c_j s_{i-j}.
+    bool d = bits[i];
+    for (std::size_t j = 1; j <= l; ++j) {
+      if (c[j] && bits[i - j]) d = !d;
+    }
+    if (!d) {
+      ++m;
+      continue;
+    }
+    const std::vector<bool> t = c;
+    // c(x) += b(x) * x^m
+    for (std::size_t j = 0; j + m <= n; ++j) {
+      if (b[j]) c[j + m] = !c[j + m];
+    }
+    if (2 * l <= i) {
+      l = i + 1 - l;
+      b = t;
+      m = 1;
+    } else {
+      ++m;
+    }
+  }
+  LfsrDescription out;
+  out.length = l;
+  out.connection.assign(c.begin(), c.begin() + static_cast<long>(l) + 1);
+  return out;
+}
+
+std::vector<bool> predict_continuation(const LfsrDescription& lfsr,
+                                       const std::vector<bool>& bits,
+                                       std::size_t extra) {
+  std::vector<bool> s = bits;
+  const std::size_t l = lfsr.length;
+  for (std::size_t k = 0; k < extra; ++k) {
+    bool next = false;
+    for (std::size_t j = 1; j <= l && j < lfsr.connection.size(); ++j) {
+      if (lfsr.connection[j] && s.size() >= j && s[s.size() - j]) {
+        next = !next;
+      }
+    }
+    s.push_back(next);
+  }
+  return std::vector<bool>(s.begin() + static_cast<long>(bits.size()),
+                           s.end());
+}
+
+KeyRecoveryResult attempt_key_recovery(const std::vector<bool>& observed,
+                                       std::size_t train_bits,
+                                       unsigned true_width) {
+  KeyRecoveryResult result;
+  train_bits = std::min(train_bits, observed.size());
+  const std::vector<bool> train(observed.begin(),
+                                observed.begin() +
+                                    static_cast<long>(train_bits));
+  result.recovered = berlekamp_massey(train);
+
+  const std::size_t holdout = observed.size() - train_bits;
+  if (holdout > 0 && result.recovered.length > 0) {
+    const auto predicted =
+        predict_continuation(result.recovered, train, holdout);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < holdout; ++i) {
+      if (predicted[i] == observed[train_bits + i]) ++correct;
+    }
+    result.prediction_accuracy =
+        static_cast<double>(correct) / static_cast<double>(holdout);
+  }
+  // The key counts as recovered when BM identifies an LFSR of exactly
+  // the true width that predicts (essentially) the whole held-out
+  // continuation — a stray bit flip in the holdout does not unrecover
+  // the key.
+  result.exact = result.recovered.length == true_width &&
+                 result.prediction_accuracy >= 0.999;
+  return result;
+}
+
+}  // namespace clockmark::sequence

@@ -1,0 +1,45 @@
+// Berlekamp-Massey over GF(2): recovers the shortest LFSR generating a
+// bit sequence. This is the *attacker's* tool — if the WMARK stream can
+// be observed cleanly for 2L bits, the watermark key (polynomial + state)
+// falls out. The abl_key_recovery bench uses it to show that the power
+// side channel, as measured through the paper's acquisition chain, does
+// NOT leak a clean enough WMARK stream for this attack at realistic
+// noise (the per-cycle SNR is far below one LSB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clockmark::sequence {
+
+struct LfsrDescription {
+  /// Linear complexity: length of the shortest generating LFSR.
+  std::size_t length = 0;
+  /// Connection polynomial C(x) = 1 + c1 x + ... + cL x^L as a bit
+  /// vector, c[0] always 1. s_t = sum_{i=1..L} c_i * s_{t-i} (mod 2).
+  std::vector<bool> connection;
+};
+
+/// Runs Berlekamp-Massey on the bit sequence.
+LfsrDescription berlekamp_massey(const std::vector<bool>& bits);
+
+/// Continues the sequence: given its first `bits`, predicts the next
+/// `extra` bits using the recovered LFSR. Undefined if bits.size() < 2L.
+std::vector<bool> predict_continuation(const LfsrDescription& lfsr,
+                                       const std::vector<bool>& bits,
+                                       std::size_t extra);
+
+/// Convenience for the attack bench: tries to recover the generator from
+/// a (possibly noisy) bit stream and reports how well the recovered LFSR
+/// predicts a held-out continuation.
+struct KeyRecoveryResult {
+  LfsrDescription recovered;
+  double prediction_accuracy = 0.0;  ///< on the held-out suffix
+  bool exact = false;  ///< linear complexity == true width and 100 % acc.
+};
+
+KeyRecoveryResult attempt_key_recovery(const std::vector<bool>& observed,
+                                       std::size_t train_bits,
+                                       unsigned true_width);
+
+}  // namespace clockmark::sequence

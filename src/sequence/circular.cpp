@@ -1,0 +1,35 @@
+#include "sequence/circular.h"
+
+#include <stdexcept>
+
+namespace clockmark::sequence {
+
+CircularShiftRegister::CircularShiftRegister(unsigned width,
+                                             std::uint32_t pattern)
+    : width_(width),
+      mask_(width >= 32 ? 0xffffffffu : ((1u << width) - 1u)),
+      state_(pattern & mask_) {
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument(
+        "CircularShiftRegister: width must be in [1, 32]");
+  }
+}
+
+bool CircularShiftRegister::step() noexcept {
+  const bool out = (state_ & 1u) != 0u;
+  const std::uint32_t lsb = state_ & 1u;
+  state_ = ((state_ >> 1u) | (lsb << (width_ - 1u))) & mask_;
+  return out;
+}
+
+void CircularShiftRegister::reset(std::uint32_t pattern) noexcept {
+  state_ = pattern & mask_;
+}
+
+std::vector<bool> CircularShiftRegister::generate(std::size_t n) {
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = step();
+  return bits;
+}
+
+}  // namespace clockmark::sequence

@@ -1,0 +1,35 @@
+// Circular shift register — the WGC's alternative sequence-generator
+// configuration ("simple 32-bit circular shift registers" in the paper).
+// The loaded pattern rotates forever, so an arbitrary fixed watermark
+// signature of up to 32 bits can be emitted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clockmark::sequence {
+
+class CircularShiftRegister {
+ public:
+  /// width in [1, 32]; pattern is the initial register contents (bit 0
+  /// is emitted first).
+  CircularShiftRegister(unsigned width, std::uint32_t pattern);
+
+  /// Output bit for the current cycle, then rotate by one.
+  bool step() noexcept;
+
+  bool output() const noexcept { return (state_ & 1u) != 0u; }
+  unsigned width() const noexcept { return width_; }
+  std::uint32_t state() const noexcept { return state_; }
+
+  void reset(std::uint32_t pattern) noexcept;
+
+  std::vector<bool> generate(std::size_t n);
+
+ private:
+  unsigned width_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+}  // namespace clockmark::sequence

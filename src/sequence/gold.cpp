@@ -1,0 +1,76 @@
+#include "sequence/gold.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clockmark::sequence {
+namespace {
+
+// Tap exponents below follow the same convention as polynomials.cpp:
+// p(x) = x^w + (tap bits), constant term at bit 0.
+constexpr std::uint32_t poly_taps(std::initializer_list<unsigned> exponents) {
+  std::uint32_t mask = 1u;  // x^0
+  for (const unsigned e : exponents) mask |= 1u << e;
+  return mask;
+}
+
+}  // namespace
+
+PreferredPair preferred_pair(unsigned width) {
+  switch (width) {
+    case 5:
+      // x^5+x^2+1  /  x^5+x^4+x^3+x^2+1
+      return {poly_taps({2}), poly_taps({4, 3, 2})};
+    case 6:
+      // x^6+x+1  /  x^6+x^5+x^2+x+1
+      return {poly_taps({1}), poly_taps({5, 2, 1})};
+    case 7:
+      // x^7+x^3+1  /  x^7+x^3+x^2+x+1
+      return {poly_taps({3}), poly_taps({3, 2, 1})};
+    case 9:
+      // x^9+x^4+1  /  x^9+x^6+x^4+x^3+1
+      return {poly_taps({4}), poly_taps({6, 4, 3})};
+    case 10:
+      // The GPS C/A pair: x^10+x^3+1  /  x^10+x^9+x^8+x^6+x^3+x^2+1
+      return {poly_taps({3}), poly_taps({9, 8, 6, 3, 2})};
+    case 11:
+      // x^11+x^2+1  /  x^11+x^8+x^5+x^2+1
+      return {poly_taps({2}), poly_taps({8, 5, 2})};
+    default:
+      throw std::out_of_range(
+          "preferred_pair: supported widths are 5, 6, 7, 9, 10, 11");
+  }
+}
+
+std::vector<bool> gold_code(unsigned width, std::uint32_t shift,
+                            std::size_t length) {
+  const PreferredPair pair = preferred_pair(width);
+  Lfsr a(width, pair.taps_a, 0xffffffffu);
+  Lfsr b(width, pair.taps_b, 0xffffffffu);
+  for (std::uint32_t i = 0; i < shift; ++i) b.step();
+  std::vector<bool> g(length);
+  for (std::size_t i = 0; i < length; ++i) g[i] = a.step() ^ b.step();
+  return g;
+}
+
+double peak_cross_correlation(const std::vector<bool>& a,
+                              const std::vector<bool>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument(
+        "peak_cross_correlation: sequences must be nonempty and equal");
+  }
+  const std::size_t n = a.size();
+  double peak = 0.0;
+  for (std::size_t shift = 0; shift < n; ++shift) {
+    long acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int xa = a[i] ? 1 : -1;
+      const int xb = b[(i + shift) % n] ? 1 : -1;
+      acc += xa * xb;
+    }
+    peak = std::max(peak, std::fabs(static_cast<double>(acc)));
+  }
+  return peak;
+}
+
+}  // namespace clockmark::sequence

@@ -1,0 +1,37 @@
+// Gold code generation. The WGC on the test chips contains *two* sequence
+// generators; combining a preferred pair of m-sequences yields Gold codes
+// with bounded cross-correlation, which lets several differently-keyed
+// watermarks coexist in one SoC and be detected independently (exercised
+// by bench/abl_dual_watermark).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sequence/lfsr.h"
+
+namespace clockmark::sequence {
+
+/// Preferred-pair tap masks for Gold code construction at a given width.
+/// Supported widths: 5, 6, 7, 9, 10, 11 (widths ≡ 0 mod 4 have no
+/// preferred pairs). Throws std::out_of_range for other widths.
+struct PreferredPair {
+  std::uint32_t taps_a;
+  std::uint32_t taps_b;
+};
+PreferredPair preferred_pair(unsigned width);
+
+/// Generates the Gold code g_k = a XOR (b shifted by k) of the given
+/// length from a preferred pair of width-bit LFSRs. shift selects which
+/// of the 2^width + 1 codes in the family is produced (shift in
+/// [0, 2^width - 2]); the two underlying m-sequences themselves are also
+/// family members but are not produced by this helper.
+std::vector<bool> gold_code(unsigned width, std::uint32_t shift,
+                            std::size_t length);
+
+/// Peak absolute periodic cross-correlation between two ±1 mapped binary
+/// sequences of equal length (in samples, not normalised).
+double peak_cross_correlation(const std::vector<bool>& a,
+                              const std::vector<bool>& b);
+
+}  // namespace clockmark::sequence

@@ -1,0 +1,57 @@
+#include "sequence/lfsr.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace clockmark::sequence {
+
+Lfsr::Lfsr(unsigned width, std::uint32_t taps, std::uint32_t seed)
+    : width_(width),
+      taps_(taps),
+      mask_(width >= 32 ? 0xffffffffu : ((1u << width) - 1u)),
+      state_(seed & mask_) {
+  if (width < 2 || width > 32) {
+    throw std::invalid_argument("Lfsr: width must be in [2, 32]");
+  }
+  if ((taps & mask_) == 0) {
+    throw std::invalid_argument("Lfsr: taps must select at least one bit");
+  }
+  if (state_ == 0) {
+    throw std::invalid_argument("Lfsr: seed must be nonzero (lock-up state)");
+  }
+  taps_ &= mask_;
+}
+
+bool Lfsr::step() {
+  const bool out = (state_ & 1u) != 0u;
+  const auto feedback =
+      static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+  state_ = (state_ >> 1u) | (feedback << (width_ - 1u));
+  return out;
+}
+
+void Lfsr::reset(std::uint32_t seed) {
+  seed &= mask_;
+  if (seed == 0) {
+    throw std::invalid_argument("Lfsr: seed must be nonzero (lock-up state)");
+  }
+  state_ = seed;
+}
+
+std::vector<bool> Lfsr::generate(std::size_t n) {
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = step();
+  return bits;
+}
+
+std::size_t Lfsr::measure_period() {
+  const std::uint32_t start = state_;
+  std::size_t period = 0;
+  do {
+    step();
+    ++period;
+  } while (state_ != start);
+  return period;
+}
+
+}  // namespace clockmark::sequence

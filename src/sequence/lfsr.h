@@ -1,0 +1,52 @@
+// Linear feedback shift registers. The paper's Watermark Generation
+// Circuit configures a 32-bit sequence generator as a 12-bit maximal-
+// length LFSR whose output bit stream is the WMARK signal (period
+// 2^12 - 1 = 4095 cycles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clockmark::sequence {
+
+/// Fibonacci-style LFSR: feedback is the XOR of the tapped state bits,
+/// shifted in at the MSB; output is the LSB. This matches the shift-
+/// register hardware the WGC implements.
+class Lfsr {
+ public:
+  /// width: number of state bits, 2..32.
+  /// taps: feedback polynomial as a bitmask over state bits (bit i set =>
+  ///       state bit i participates in the XOR feedback). Use
+  ///       maximal_taps(width) for a maximum-length sequence.
+  /// seed: initial state, must be nonzero (all-zero is the LFSR lock-up
+  ///       state); it is masked to `width` bits.
+  Lfsr(unsigned width, std::uint32_t taps, std::uint32_t seed);
+
+  /// Output bit for the current cycle, then advance one cycle.
+  bool step();
+
+  /// Current output bit (LSB of the state) without advancing.
+  bool output() const noexcept { return (state_ & 1u) != 0u; }
+
+  std::uint32_t state() const noexcept { return state_; }
+  unsigned width() const noexcept { return width_; }
+  std::uint32_t taps() const noexcept { return taps_; }
+
+  /// Resets to the given seed (masked, must be nonzero).
+  void reset(std::uint32_t seed);
+
+  /// Generates the next n output bits (advances the state).
+  std::vector<bool> generate(std::size_t n);
+
+  /// The full period of this LFSR's state sequence, found by stepping
+  /// until the seed state recurs. 2^width - 1 for maximal polynomials.
+  std::size_t measure_period();
+
+ private:
+  unsigned width_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+}  // namespace clockmark::sequence

@@ -1,0 +1,73 @@
+#include "sequence/polynomials.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace clockmark::sequence {
+namespace {
+
+// Primitive feedback polynomials for maximal-length LFSRs, per the classic
+// Xilinx XAPP052 table: entry {n, a, b, c} denotes
+//   p(x) = x^n + x^a + x^b + x^c + 1
+// (two-tap entries have b = c = 0). With the Lfsr recurrence
+//   o(t + n) = sum of o(t + e) over tap exponents e,
+// a primitive p(x) gives the full period 2^n - 1.
+struct TapEntry {
+  std::array<std::uint8_t, 4> stages;
+};
+
+constexpr std::array<TapEntry, 33> kTaps = {{
+    {{0, 0, 0, 0}},      // width 0 (unused)
+    {{0, 0, 0, 0}},      // width 1 (unused)
+    {{2, 1, 0, 0}},      // 2
+    {{3, 2, 0, 0}},      // 3
+    {{4, 3, 0, 0}},      // 4
+    {{5, 3, 0, 0}},      // 5
+    {{6, 5, 0, 0}},      // 6
+    {{7, 6, 0, 0}},      // 7
+    {{8, 6, 5, 4}},      // 8
+    {{9, 5, 0, 0}},      // 9
+    {{10, 7, 0, 0}},     // 10
+    {{11, 9, 0, 0}},     // 11
+    {{12, 6, 4, 1}},     // 12 — the configuration used on both test chips
+    {{13, 4, 3, 1}},     // 13
+    {{14, 5, 3, 1}},     // 14
+    {{15, 14, 0, 0}},    // 15
+    {{16, 15, 13, 4}},   // 16
+    {{17, 14, 0, 0}},    // 17
+    {{18, 11, 0, 0}},    // 18
+    {{19, 6, 2, 1}},     // 19
+    {{20, 17, 0, 0}},    // 20
+    {{21, 19, 0, 0}},    // 21
+    {{22, 21, 0, 0}},    // 22
+    {{23, 18, 0, 0}},    // 23
+    {{24, 23, 22, 17}},  // 24
+    {{25, 22, 0, 0}},    // 25
+    {{26, 6, 2, 1}},     // 26
+    {{27, 5, 2, 1}},     // 27
+    {{28, 25, 0, 0}},    // 28
+    {{29, 27, 0, 0}},    // 29
+    {{30, 6, 4, 1}},     // 30
+    {{31, 28, 0, 0}},    // 31
+    {{32, 22, 2, 1}},    // 32
+}};
+
+}  // namespace
+
+std::uint32_t maximal_taps(unsigned width) {
+  if (width < 2 || width > 32) {
+    throw std::out_of_range("maximal_taps: width must be in [2, 32]");
+  }
+  // Constant term x^0 is always present in the feedback polynomial.
+  std::uint32_t mask = 1u;
+  for (const std::uint8_t stage : kTaps[width].stages) {
+    if (stage != 0 && stage < width) mask |= 1u << stage;
+  }
+  return mask;
+}
+
+std::uint64_t maximal_period(unsigned width) noexcept {
+  return (width >= 64) ? ~0ULL : ((1ULL << width) - 1ULL);
+}
+
+}  // namespace clockmark::sequence

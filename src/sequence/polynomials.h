@@ -1,0 +1,17 @@
+// Table of maximal-length LFSR feedback polynomials for widths 2..32.
+#pragma once
+
+#include <cstdint>
+
+namespace clockmark::sequence {
+
+/// Returns a tap mask producing a maximal-length sequence (period
+/// 2^width - 1) for the given register width in [2, 32]. Throws
+/// std::out_of_range otherwise. Bit i of the mask corresponds to state
+/// bit i (LSB = bit 0) feeding the XOR network.
+std::uint32_t maximal_taps(unsigned width);
+
+/// Period of a maximal-length sequence of the given width: 2^width - 1.
+std::uint64_t maximal_period(unsigned width) noexcept;
+
+}  // namespace clockmark::sequence

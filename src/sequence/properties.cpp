@@ -1,0 +1,65 @@
+#include "sequence/properties.h"
+
+#include <algorithm>
+
+namespace clockmark::sequence {
+
+long balance(const std::vector<bool>& seq) noexcept {
+  long d = 0;
+  for (const bool b : seq) d += b ? 1 : -1;
+  return d;
+}
+
+std::vector<std::size_t> run_lengths(const std::vector<bool>& seq) {
+  std::vector<std::size_t> runs;
+  if (seq.empty()) return runs;
+  std::size_t len = 1;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i] == seq[i - 1]) {
+      ++len;
+    } else {
+      runs.push_back(len);
+      len = 1;
+    }
+  }
+  runs.push_back(len);
+  return runs;
+}
+
+long periodic_autocorrelation(const std::vector<bool>& seq,
+                              std::size_t shift) noexcept {
+  const std::size_t n = seq.size();
+  if (n == 0) return 0;
+  long acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int a = seq[i] ? 1 : -1;
+    const int b = seq[(i + shift) % n] ? 1 : -1;
+    acc += a * b;
+  }
+  return acc;
+}
+
+std::vector<long> autocorrelation_spectrum(const std::vector<bool>& seq) {
+  std::vector<long> out(seq.size(), 0);
+  for (std::size_t s = 0; s < seq.size(); ++s) {
+    out[s] = periodic_autocorrelation(seq, s);
+  }
+  return out;
+}
+
+bool is_m_sequence_period(const std::vector<bool>& seq) {
+  const std::size_t p = seq.size();
+  // Period of an m-sequence is 2^k - 1.
+  if (p < 3) return false;
+  std::size_t pow2 = p + 1;
+  if ((pow2 & (pow2 - 1)) != 0) return false;
+  if (balance(seq) != 1) return false;
+  // Two-valued autocorrelation: P at shift 0, -1 elsewhere. Checking all
+  // shifts is O(P^2); fine for the widths we use in tests (<= 12 bits).
+  for (std::size_t s = 1; s < p; ++s) {
+    if (periodic_autocorrelation(seq, s) != -1) return false;
+  }
+  return true;
+}
+
+}  // namespace clockmark::sequence

@@ -1,0 +1,35 @@
+// Statistical properties of binary sequences. Maximal-length sequences
+// have three classic properties (balance, run-length distribution, two-
+// valued autocorrelation) that make them ideal watermark carriers: the
+// CPA noise floor away from the true phase is minimised because the
+// off-peak autocorrelation is exactly -1/P.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clockmark::sequence {
+
+/// Number of ones minus number of zeros. Exactly +1 for one period of an
+/// m-sequence.
+long balance(const std::vector<bool>& seq) noexcept;
+
+/// Lengths of maximal runs of equal bits, in order of appearance
+/// (treating the sequence as linear, not circular).
+std::vector<std::size_t> run_lengths(const std::vector<bool>& seq);
+
+/// Periodic autocorrelation of the ±1-mapped sequence at the given shift
+/// (unnormalised). For one period of an m-sequence: P at shift 0, -1
+/// at every other shift.
+long periodic_autocorrelation(const std::vector<bool>& seq,
+                              std::size_t shift) noexcept;
+
+/// Full periodic autocorrelation for all shifts 0..P-1.
+std::vector<long> autocorrelation_spectrum(const std::vector<bool>& seq);
+
+/// True if one period of seq satisfies all three m-sequence properties:
+/// balance = +1, run-length distribution halves per extra bit, and
+/// two-valued autocorrelation {P, -1}.
+bool is_m_sequence_period(const std::vector<bool>& seq);
+
+}  // namespace clockmark::sequence

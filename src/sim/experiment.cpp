@@ -1,0 +1,34 @@
+#include "sim/experiment.h"
+
+namespace clockmark::sim {
+
+DetectionExperiment run_detection(Scenario& scenario, std::size_t repetition,
+                                  const cpa::DetectorPolicy& policy) {
+  DetectionExperiment exp;
+  exp.scenario = scenario.run(repetition);
+  const cpa::Detector detector(policy);
+  exp.detection = detector.detect(exp.scenario.acquisition.per_cycle_power_w,
+                                  exp.scenario.pattern);
+  return exp;
+}
+
+cpa::RepeatabilityResult run_repeatability_study(
+    Scenario& scenario, std::size_t repetitions,
+    const cpa::DetectorPolicy& policy) {
+  const cpa::Detector detector(policy);
+  return cpa::run_repeatability(
+      repetitions,
+      [&](std::size_t rep) {
+        const ScenarioResult r = scenario.run(rep);
+        cpa::RepetitionOutcome outcome;
+        outcome.spectrum = cpa::compute_spread_spectrum(
+            r.acquisition.per_cycle_power_w, r.pattern,
+            cpa::CorrelationMethod::kFft, policy.guard);
+        outcome.true_rotation = r.true_rotation;
+        outcome.detected = detector.decide(outcome.spectrum).detected;
+        return outcome;
+      },
+      policy.guard);
+}
+
+}  // namespace clockmark::sim

@@ -1,0 +1,29 @@
+// High-level experiment drivers used by the benches and examples: one
+// detection run (Fig. 5 panels) and the 100-repetition study (Fig. 6).
+#pragma once
+
+#include <cstddef>
+
+#include "cpa/detector.h"
+#include "cpa/repeatability.h"
+#include "sim/scenario.h"
+
+namespace clockmark::sim {
+
+struct DetectionExperiment {
+  ScenarioResult scenario;
+  cpa::DetectionResult detection;
+};
+
+/// Runs one scenario repetition and the CPA detector on its Y vector.
+DetectionExperiment run_detection(Scenario& scenario,
+                                  std::size_t repetition = 0,
+                                  const cpa::DetectorPolicy& policy = {});
+
+/// Runs the paper's Fig. 6 study: `repetitions` independent runs of the
+/// scenario, box-plotting in-phase vs off-phase correlation.
+cpa::RepeatabilityResult run_repeatability_study(
+    Scenario& scenario, std::size_t repetitions,
+    const cpa::DetectorPolicy& policy = {});
+
+}  // namespace clockmark::sim

@@ -1,0 +1,96 @@
+// Experiment scenarios mirroring the paper's silicon setups. A Scenario
+// owns the watermark netlist (characterised at gate level once), the chip
+// model (background power) and the measurement chain, and produces the
+// CPA measurement vector Y for a given repetition.
+//
+//   chip I  : EM0 SoC running the Dhrystone-like workload; watermark block
+//             on its own power domain (paper: hard macro).
+//   chip II : the same SoC plus two clocked-but-idle A5-class cores and
+//             the always-on fabric (paper: RTL-embedded watermark).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "measure/acquisition.h"
+#include "power/trace.h"
+#include "rtl/netlist.h"
+#include "soc/chip1.h"
+#include "soc/chip2.h"
+#include "watermark/clock_modulation.h"
+#include "watermark/embedder.h"
+
+namespace clockmark::sim {
+
+enum class ChipModel { kChip1, kChip2 };
+
+struct ScenarioConfig {
+  ChipModel chip = ChipModel::kChip1;
+  bool watermark_active = true;
+  std::size_t trace_cycles = 300000;  ///< paper: 300,000 cycles per rho
+  /// Rotation at which the true correlation peak should appear. The
+  /// paper observed ~3800 on chip I and ~2400 on chip II (arbitrary
+  /// trigger alignment). nullopt = derive pseudo-randomly per repetition.
+  std::optional<std::size_t> phase_offset;
+  watermark::ClockModConfig watermark;
+  measure::AcquisitionConfig acquisition;
+  /// Operating point / technology constants. Change via
+  /// tech.at_operating_point() for DVFS studies; the acquisition's
+  /// samples_per_cycle should be scope_rate / tech.clock_hz.
+  power::TechLibrary tech;
+  std::string program;          ///< empty = Dhrystone-like benchmark
+  std::uint64_t seed = 1;       ///< master seed (noise, phase derivation)
+
+  /// Chip II extras.
+  soc::IdleCoreConfig a5_core;
+  double fabric_power_w = 0.9e-3;
+  double fabric_jitter = 0.05;
+};
+
+/// Everything one repetition produces.
+struct ScenarioResult {
+  measure::Acquisition acquisition;      ///< Y vector + metadata
+  std::vector<double> pattern;           ///< one period of WMARK (0/1)
+  std::size_t true_rotation = 0;         ///< where the peak should be
+  power::PowerTrace background_power;    ///< chip background (per cycle)
+  power::PowerTrace watermark_power;     ///< watermark block (per cycle)
+  power::PowerTrace total_power;         ///< device total (per cycle)
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  /// Runs one repetition. Noise streams, and the phase if not pinned,
+  /// derive from (config.seed, repetition).
+  ScenarioResult run(std::size_t repetition = 0);
+
+  /// The gate-level characterisation (computed once in the constructor).
+  const watermark::WatermarkCharacterization& characterization() const {
+    return characterization_;
+  }
+
+  /// The watermark netlist (for area/attack analysis).
+  const rtl::Netlist& watermark_netlist() const { return netlist_; }
+  const watermark::ClockModWatermark& watermark() const {
+    return watermark_;
+  }
+
+  const ScenarioConfig& config() const noexcept { return config_; }
+
+ private:
+  power::PowerTrace run_background(std::size_t repetition);
+
+  ScenarioConfig config_;
+  rtl::Netlist netlist_;
+  watermark::ClockModWatermark watermark_;
+  watermark::WatermarkCharacterization characterization_;
+};
+
+/// Default configurations reproducing the paper's two chips.
+ScenarioConfig chip1_default();
+ScenarioConfig chip2_default();
+
+}  // namespace clockmark::sim

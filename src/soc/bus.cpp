@@ -1,0 +1,70 @@
+#include "soc/bus.h"
+
+#include <stdexcept>
+
+namespace clockmark::soc {
+
+void Bus::map(std::uint32_t base, std::uint32_t size,
+              std::shared_ptr<Device> device, unsigned extra_wait_states) {
+  if (size == 0 || device == nullptr) {
+    throw std::invalid_argument("Bus::map: empty region or null device");
+  }
+  for (const auto& r : regions_) {
+    const bool overlap = base < r.base + r.size && r.base < base + size;
+    if (overlap) {
+      throw std::invalid_argument("Bus::map: region overlaps " +
+                                  r.device->name());
+    }
+  }
+  regions_.push_back({base, size, std::move(device), extra_wait_states});
+}
+
+const Bus::Region* Bus::decode(std::uint32_t addr, unsigned bytes) const {
+  if (bytes != 1 && bytes != 2 && bytes != 4) return nullptr;
+  if ((addr & (bytes - 1u)) != 0u) return nullptr;  // alignment fault
+  for (const auto& r : regions_) {
+    if (addr >= r.base && addr - r.base + bytes <= r.size) return &r;
+  }
+  return nullptr;
+}
+
+cpu::BusInterface::Access Bus::read(std::uint32_t addr, unsigned bytes) {
+  const Region* r = decode(addr, bytes);
+  if (r == nullptr) {
+    ++stats_.faults;
+    return {0, 0, true};
+  }
+  auto acc = r->device->read(addr - r->base, bytes);
+  acc.wait_cycles += r->wait_states;
+  ++stats_.reads;
+  stats_.wait_cycles += acc.wait_cycles;
+  ++cycle_transactions_;
+  return acc;
+}
+
+cpu::BusInterface::Access Bus::write(std::uint32_t addr, std::uint32_t data,
+                                     unsigned bytes) {
+  const Region* r = decode(addr, bytes);
+  if (r == nullptr) {
+    ++stats_.faults;
+    return {0, 0, true};
+  }
+  auto acc = r->device->write(addr - r->base, data, bytes);
+  acc.wait_cycles += r->wait_states;
+  ++stats_.writes;
+  stats_.wait_cycles += acc.wait_cycles;
+  ++cycle_transactions_;
+  return acc;
+}
+
+void Bus::tick() {
+  for (auto& r : regions_) r.device->tick();
+}
+
+std::uint64_t Bus::take_cycle_transactions() noexcept {
+  const std::uint64_t n = cycle_transactions_;
+  cycle_transactions_ = 0;
+  return n;
+}
+
+}  // namespace clockmark::soc

@@ -1,0 +1,72 @@
+// AHB-lite-flavoured system bus: single master port (the EM0 core), an
+// address-decoded set of slave devices, per-access wait states and
+// activity counters for the power model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+
+namespace clockmark::soc {
+
+/// A bus slave. Offsets passed to read/write are relative to the
+/// device's base address.
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual cpu::BusInterface::Access read(std::uint32_t offset,
+                                         unsigned bytes) = 0;
+  virtual cpu::BusInterface::Access write(std::uint32_t offset,
+                                          std::uint32_t data,
+                                          unsigned bytes) = 0;
+  /// Called once per system clock cycle.
+  virtual void tick() {}
+  virtual std::string name() const = 0;
+};
+
+/// Bus traffic counters (reset per trace window by the caller).
+struct BusStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t wait_cycles = 0;
+};
+
+class Bus final : public cpu::BusInterface {
+ public:
+  /// Maps a device at [base, base + size). Regions must not overlap.
+  void map(std::uint32_t base, std::uint32_t size,
+           std::shared_ptr<Device> device, unsigned extra_wait_states = 0);
+
+  Access read(std::uint32_t addr, unsigned bytes) override;
+  Access write(std::uint32_t addr, std::uint32_t data,
+               unsigned bytes) override;
+
+  /// Ticks all devices one clock cycle.
+  void tick();
+
+  const BusStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = BusStats{}; }
+
+  /// Transactions issued during the most recent cycle window since
+  /// last_cycle_transactions() was called (used by the power model).
+  std::uint64_t take_cycle_transactions() noexcept;
+
+ private:
+  struct Region {
+    std::uint32_t base = 0;
+    std::uint32_t size = 0;
+    std::shared_ptr<Device> device;
+    unsigned wait_states = 0;
+  };
+  const Region* decode(std::uint32_t addr, unsigned bytes) const;
+
+  std::vector<Region> regions_;
+  BusStats stats_;
+  std::uint64_t cycle_transactions_ = 0;
+};
+
+}  // namespace clockmark::soc

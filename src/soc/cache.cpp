@@ -1,0 +1,67 @@
+#include "soc/cache.h"
+
+#include <stdexcept>
+
+namespace clockmark::soc {
+namespace {
+
+bool power_of_two(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (!power_of_two(config.line_bytes) || !power_of_two(config.ways) ||
+      config.size_bytes % (config.line_bytes * config.ways) != 0) {
+    throw std::invalid_argument("Cache: invalid geometry");
+  }
+  sets_ = config.size_bytes / (config.line_bytes * config.ways);
+  if (!power_of_two(sets_)) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  lines_.assign(static_cast<std::size_t>(sets_) * config.ways, Line{});
+}
+
+bool Cache::access(std::uint32_t address, bool dirty) {
+  const std::uint32_t line_addr = address / config_.line_bytes;
+  const std::uint32_t set = line_addr & (sets_ - 1u);
+  const std::uint32_t tag = line_addr / sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  ++use_counter_;
+
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = use_counter_;
+      line.dirty = line.dirty || dirty;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+
+  // Choose victim: first invalid way, else least-recently used.
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag = tag;
+  victim->lru = use_counter_;
+  return false;
+}
+
+void Cache::invalidate() {
+  for (auto& line : lines_) line = Line{};
+}
+
+}  // namespace clockmark::soc

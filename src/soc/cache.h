@@ -1,0 +1,63 @@
+// Set-associative cache model with LRU replacement. On chip II the
+// Cortex-A5 caches are present and clocked even though the cores execute
+// nothing; the cache model provides both a functional lookup path (used
+// by tests and the extended examples) and activity statistics that feed
+// the idle-core power model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clockmark::soc {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  double hit_rate() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up an address; on miss, fills the line (LRU victim). Returns
+  /// true on hit. `dirty` marks the line dirty (a store).
+  bool access(std::uint32_t address, bool dirty);
+
+  /// Invalidates the whole cache.
+  void invalidate();
+
+  const CacheConfig& config() const noexcept { return config_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+  std::uint32_t sets() const noexcept { return sets_; }
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< last-use stamp
+  };
+
+  CacheConfig config_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  ///< sets_ * ways, row-major by set
+  std::uint64_t use_counter_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace clockmark::soc

@@ -1,0 +1,79 @@
+#include "soc/chip1.h"
+
+namespace clockmark::soc {
+
+double CpuPowerModel::cycle_energy_j(
+    const cpu::CpuActivity& a) const noexcept {
+  if (a.halted) return halt_j;
+  if (a.sleeping) return sleep_j;
+  double e = soc_base_j;
+  if (a.stall) {
+    e += stall_j;
+    return e;
+  }
+  if (a.active) e += active_base_j;
+  if (a.alu_used) e += alu_j;
+  if (a.shifter_used) e += shifter_j;
+  if (a.multiplier_used) e += mul_j;
+  if (a.mem_read) e += mem_read_j;
+  if (a.mem_write) e += mem_write_j;
+  if (a.branch_taken) e += branch_j;
+  e += static_cast<double>(a.data_toggle_bits) * per_toggle_bit_j;
+  return e;
+}
+
+Chip1Soc::Chip1Soc(const Chip1Config& config) : config_(config) {
+  const auto assembled = cpu::assemble_program(config_.program);
+  rom_ = std::make_shared<Rom>(config_.rom_size);
+  rom_->load(assembled.image);
+  ram_ = std::make_shared<Ram>(config_.ram_size);
+  uart_ = std::make_shared<Uart>();
+  timer_ = std::make_shared<Timer>();
+
+  bus_.map(cpu::kRomBase, config_.rom_size, rom_, /*extra_wait_states=*/0);
+  bus_.map(cpu::kRamBase, config_.ram_size, ram_, 0);
+  bus_.map(cpu::kUartTx, 0x100, uart_, 1);
+  bus_.map(cpu::kTimerCount, 0x100, timer_, 1);
+
+  core_ = std::make_unique<cpu::Em0Core>(bus_);
+  core_->reset(cpu::kRomBase, cpu::kRamBase + config_.ram_size);
+}
+
+double Chip1Soc::step() {
+  bus_.tick();
+  // Timer "interrupt": wake a sleeping core on the configured period.
+  if (config_.timer_wake_period > 0 && core_->sleeping() &&
+      timer_->count() % config_.timer_wake_period == 0) {
+    core_->wake();
+  }
+  const cpu::CpuActivity& a = core_->step();
+  last_idle_ = a.sleeping;
+  const std::uint64_t transactions = bus_.take_cycle_transactions();
+  double energy = config_.cpu_power.cycle_energy_j(a);
+  energy += static_cast<double>(transactions) *
+            config_.cpu_power.per_bus_transaction_j;
+  ++cycles_;
+  return energy * config_.tech.clock_hz + config_.cpu_power.leakage_w;
+}
+
+power::PowerTrace Chip1Soc::run(std::size_t n, const std::string& label) {
+  std::vector<double> power(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) power[i] = step();
+  return power::PowerTrace(std::move(power), config_.tech.clock_hz, label);
+}
+
+Chip1Soc::RunWithIdle Chip1Soc::run_with_idle(std::size_t n,
+                                              const std::string& label) {
+  RunWithIdle out;
+  std::vector<double> power(n, 0.0);
+  out.idle.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    power[i] = step();
+    out.idle[i] = last_idle_;
+  }
+  out.power =
+      power::PowerTrace(std::move(power), config_.tech.clock_hz, label);
+  return out;
+}
+
+}  // namespace clockmark::soc

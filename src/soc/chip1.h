@@ -1,0 +1,102 @@
+// Chip I model: the ARM Cortex-M0 SoC of the paper's first test chip —
+// EM0 core + on-chip bus + ROM/SRAM + peripherals, running the
+// Dhrystone-like workload. Produces the per-cycle *background* power
+// trace (everything except the watermark block, which chip I keeps on a
+// separate power domain and the experiment layer adds in).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cpu/core.h"
+#include "cpu/programs.h"
+#include "power/tech65.h"
+#include "power/trace.h"
+#include "soc/bus.h"
+#include "soc/memory.h"
+#include "soc/peripherals.h"
+
+namespace clockmark::soc {
+
+/// Per-cycle energy coefficients of the EM0 + SoC fabric. Values sized
+/// so the M0 SoC averages ~1.5-2 mW at 10 MHz in 65 nm LP — the right
+/// order for the paper's chip I background.
+struct CpuPowerModel {
+  double active_base_j = 95e-12;   ///< un-gated core clock tree + fetch
+  double stall_j = 55e-12;         ///< multi-cycle op: clock on, issue idle
+  double sleep_j = 14e-12;         ///< WFI: most of the tree gated
+  double halt_j = 3e-12;           ///< simulation-halt (clock stopped)
+  double alu_j = 2.1e-12;
+  double shifter_j = 1.7e-12;
+  double mul_j = 5.5e-12;
+  double mem_read_j = 7.5e-12;
+  double mem_write_j = 6.8e-12;
+  double branch_j = 1.6e-12;
+  double per_toggle_bit_j = 48e-15;  ///< register-file datapath toggles
+  double soc_base_j = 40e-12;        ///< bus clock + peripherals idle
+  double per_bus_transaction_j = 4.2e-12;
+  double leakage_w = 9e-6;           ///< whole-SoC leakage floor
+
+  /// Energy of one core cycle (excluding bus transactions).
+  double cycle_energy_j(const cpu::CpuActivity& a) const noexcept;
+};
+
+struct Chip1Config {
+  std::string program;              ///< assembly source (ROM image)
+  power::TechLibrary tech;          ///< operating point / constants
+  CpuPowerModel cpu_power;
+  std::uint32_t rom_size = 0x10000;
+  std::uint32_t ram_size = cpu::kRamSize;
+  /// Timer-interrupt model: when > 0, a WFI-sleeping core is woken
+  /// whenever the free-running timer count is a multiple of this value.
+  /// Lets workloads alternate compute and sleep (idle-window watermark
+  /// scheduling, cf. watermark/scheduler.h).
+  std::uint32_t timer_wake_period = 0;
+};
+
+class Chip1Soc {
+ public:
+  /// Assembles the program, builds the memory map, resets the core.
+  explicit Chip1Soc(const Chip1Config& config);
+
+  /// Advances one clock cycle; returns total background power (W) for
+  /// that cycle (dynamic + leakage).
+  double step();
+
+  /// Runs n cycles and returns the background power trace.
+  power::PowerTrace run(std::size_t n, const std::string& label = "chip1");
+
+  /// Like run(), but also captures the per-cycle idle mask (core in WFI)
+  /// for idle-window watermark scheduling.
+  struct RunWithIdle {
+    power::PowerTrace power;
+    std::vector<bool> idle;
+  };
+  RunWithIdle run_with_idle(std::size_t n,
+                            const std::string& label = "chip1");
+
+  /// True if the core spent the most recent cycle sleeping.
+  bool last_cycle_idle() const noexcept { return last_idle_; }
+
+  const cpu::Em0Core& core() const noexcept { return *core_; }
+  cpu::Em0Core& core() noexcept { return *core_; }
+  const Uart& uart() const noexcept { return *uart_; }
+  Bus& bus() noexcept { return bus_; }
+  const power::TechLibrary& tech() const noexcept { return config_.tech; }
+
+  std::uint64_t cycles_run() const noexcept { return cycles_; }
+
+ private:
+  Chip1Config config_;
+  Bus bus_;
+  std::shared_ptr<Rom> rom_;
+  std::shared_ptr<Ram> ram_;
+  std::shared_ptr<Uart> uart_;
+  std::shared_ptr<Timer> timer_;
+  std::unique_ptr<cpu::Em0Core> core_;
+  std::uint64_t cycles_ = 0;
+  bool last_idle_ = false;
+};
+
+}  // namespace clockmark::soc

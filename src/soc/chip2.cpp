@@ -1,0 +1,31 @@
+#include "soc/chip2.h"
+
+namespace clockmark::soc {
+
+Chip2Soc::Chip2Soc(const Chip2Config& config)
+    : config_(config), rng_(config.noise_seed, 0xa5a5a5a5u) {
+  m0_ = std::make_unique<Chip1Soc>(config_.m0_soc);
+  IdleCoreConfig c0 = config_.a5_core;
+  c0.name = "a5_core0";
+  IdleCoreConfig c1 = config_.a5_core;
+  c1.name = "a5_core1";
+  a5_[0] = std::make_unique<IdleCore>(c0, m0_->tech(), rng_.fork(0));
+  a5_[1] = std::make_unique<IdleCore>(c1, m0_->tech(), rng_.fork(1));
+}
+
+double Chip2Soc::step() {
+  double p = m0_->step();
+  p += a5_[0]->step();
+  p += a5_[1]->step();
+  p += config_.fabric_power_w *
+       (1.0 + config_.fabric_jitter * rng_.gaussian());
+  return p;
+}
+
+power::PowerTrace Chip2Soc::run(std::size_t n, const std::string& label) {
+  std::vector<double> power(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) power[i] = step();
+  return power::PowerTrace(std::move(power), tech().clock_hz, label);
+}
+
+}  // namespace clockmark::soc

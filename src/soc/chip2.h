@@ -1,0 +1,47 @@
+// Chip II model: the paper's second test chip — a dual-core Cortex-A5
+// class subsystem (cores clocked but idle, caches present) sharing the
+// die with the Cortex-M0 SoC that runs Dhrystone. The extra always-on
+// logic raises the background power and its cycle-to-cycle variance,
+// which is why chip II's correlation peak is lower than chip I's
+// (paper Fig. 5c vs 5a).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "soc/chip1.h"
+#include "soc/idle_core.h"
+
+namespace clockmark::soc {
+
+struct Chip2Config {
+  Chip1Config m0_soc;              ///< the embedded M0 SoC (runs Dhrystone)
+  IdleCoreConfig a5_core;          ///< per-core idle model (two instanced)
+  double fabric_power_w = 0.9e-3;  ///< AXI fabric + L2 interface, constant
+  /// Cycle-to-cycle fabric jitter (relative sigma of fabric power).
+  double fabric_jitter = 0.05;
+  std::uint64_t noise_seed = 0x5eedc0de;
+};
+
+class Chip2Soc {
+ public:
+  explicit Chip2Soc(const Chip2Config& config);
+
+  /// One clock cycle; returns total background power (W).
+  double step();
+
+  power::PowerTrace run(std::size_t n, const std::string& label = "chip2");
+
+  Chip1Soc& m0_soc() noexcept { return *m0_; }
+  const Chip1Soc& m0_soc() const noexcept { return *m0_; }
+  const IdleCore& a5(unsigned index) const { return *a5_[index & 1]; }
+  const power::TechLibrary& tech() const noexcept { return m0_->tech(); }
+
+ private:
+  Chip2Config config_;
+  std::unique_ptr<Chip1Soc> m0_;
+  std::unique_ptr<IdleCore> a5_[2];
+  util::Pcg32 rng_;
+};
+
+}  // namespace clockmark::soc

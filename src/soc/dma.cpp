@@ -1,0 +1,82 @@
+#include "soc/dma.h"
+
+namespace clockmark::soc {
+
+DmaEngine::DmaEngine(Bus& bus, unsigned bytes_per_cycle)
+    : bus_(bus), bytes_per_cycle_(bytes_per_cycle == 0 ? 4
+                                                       : bytes_per_cycle) {}
+
+cpu::BusInterface::Access DmaEngine::read(std::uint32_t offset,
+                                          unsigned bytes) {
+  (void)bytes;
+  switch (offset) {
+    case 0x0: return {src_, 0, false};
+    case 0x4: return {dst_, 0, false};
+    case 0x8: return {remaining_, 0, false};
+    case 0xC: return {busy() ? 1u : 0u, 0, false};
+    default: return {0, 0, true};
+  }
+}
+
+cpu::BusInterface::Access DmaEngine::write(std::uint32_t offset,
+                                           std::uint32_t data,
+                                           unsigned bytes) {
+  (void)bytes;
+  switch (offset) {
+    case 0x0:
+      src_ = data;
+      return {0, 0, false};
+    case 0x4:
+      dst_ = data;
+      return {0, 0, false};
+    case 0x8:
+      remaining_ = data;
+      return {0, 0, false};
+    case 0xC:
+      // Writing CTRL with bit0 set (re)arms the transfer of LEN bytes.
+      if ((data & 1u) == 0u) remaining_ = 0;
+      return {0, 0, false};
+    default:
+      return {0, 0, true};
+  }
+}
+
+void DmaEngine::tick() {
+  last_beats_ = 0;
+  if (remaining_ == 0) return;
+  unsigned budget = bytes_per_cycle_;
+  while (budget >= 4 && remaining_ >= 4) {
+    const auto rd = bus_.read(src_, 4);
+    if (rd.fault) {  // abort on fault
+      remaining_ = 0;
+      return;
+    }
+    const auto wr = bus_.write(dst_, rd.data, 4);
+    if (wr.fault) {
+      remaining_ = 0;
+      return;
+    }
+    src_ += 4;
+    dst_ += 4;
+    remaining_ -= 4;
+    budget -= 4;
+    ++last_beats_;
+  }
+  // Tail smaller than a word: move byte-wise in one cycle.
+  while (budget > 0 && remaining_ > 0 && remaining_ < 4) {
+    const auto rd = bus_.read(src_, 1);
+    if (rd.fault) {
+      remaining_ = 0;
+      return;
+    }
+    bus_.write(dst_, rd.data, 1);
+    ++src_;
+    ++dst_;
+    --remaining_;
+    --budget;
+    ++last_beats_;
+  }
+  if (remaining_ == 0) ++done_;
+}
+
+}  // namespace clockmark::soc

@@ -1,0 +1,67 @@
+// Clocked-but-idle application core macro model. On chip II the paper's
+// dual Cortex-A5 "did not execute any program [but] both cores, along
+// with the on-chip bus were active, which accounted for a significant
+// portion of background noise". We model each idle core as:
+//   * a large register population whose un-gated fraction keeps the clock
+//     tree switching every cycle (deterministic mean power), plus
+//   * stochastic housekeeping activity (cache maintenance sweeps, bus
+//     snoops, debug logic) producing cycle-to-cycle power variation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "power/tech65.h"
+#include "soc/cache.h"
+#include "util/rng.h"
+
+namespace clockmark::soc {
+
+struct IdleCoreConfig {
+  std::string name = "a5";
+  /// Total flip-flops in the core (A5-class integer core + L1 control).
+  std::size_t register_count = 28000;
+  /// Fraction of the clock tree that remains un-gated while idle.
+  double ungated_fraction = 0.12;
+  /// Mean housekeeping events per cycle (each event clocks a burst of
+  /// extra registers: snoop lookups, retention sweeps, timers).
+  double housekeeping_rate = 0.08;
+  /// Registers clocked by one housekeeping event.
+  std::size_t housekeeping_burst = 600;
+  /// L1 data cache geometry. Housekeeping events run short maintenance
+  /// sweeps through it (tag reads / occasional dirty-line writebacks),
+  /// adding data-dependent energy on top of the clocked registers.
+  CacheConfig cache;
+  /// Cache lines touched per housekeeping event.
+  std::size_t cache_lines_per_event = 8;
+  /// Energy of one cache array access (tag + data read).
+  double cache_access_j = 2.0e-12;
+};
+
+/// Per-cycle power model of one idle core.
+class IdleCore {
+ public:
+  IdleCore(const IdleCoreConfig& config, const power::TechLibrary& lib,
+           util::Pcg32 rng);
+
+  /// Power (W) consumed during the next cycle.
+  double step();
+
+  /// Deterministic mean idle power (W) — the DC component.
+  double mean_power_w() const noexcept;
+
+  /// Leakage of the whole macro (W), always present.
+  double leakage_w() const noexcept;
+
+  const IdleCoreConfig& config() const noexcept { return config_; }
+  const CacheStats& cache_stats() const noexcept { return cache_.stats(); }
+
+ private:
+  IdleCoreConfig config_;
+  power::TechLibrary lib_;
+  util::Pcg32 rng_;
+  Cache cache_;
+  std::uint32_t sweep_cursor_ = 0;
+};
+
+}  // namespace clockmark::soc

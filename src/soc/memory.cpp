@@ -1,0 +1,67 @@
+#include "soc/memory.h"
+
+#include <stdexcept>
+
+namespace clockmark::soc {
+namespace {
+
+cpu::BusInterface::Access read_le(const std::vector<std::uint8_t>& bytes,
+                                  std::uint32_t offset, unsigned n) {
+  if (offset + n > bytes.size()) return {0, 0, true};
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[offset + i]) << (8u * i);
+  }
+  return {v, 0, false};
+}
+
+}  // namespace
+
+Ram::Ram(std::uint32_t size, std::string name)
+    : bytes_(size, 0), name_(std::move(name)) {}
+
+cpu::BusInterface::Access Ram::read(std::uint32_t offset, unsigned bytes) {
+  ++stats_.reads;
+  return read_le(bytes_, offset, bytes);
+}
+
+cpu::BusInterface::Access Ram::write(std::uint32_t offset, std::uint32_t data,
+                                     unsigned bytes) {
+  if (offset + bytes > bytes_.size()) return {0, 0, true};
+  ++stats_.writes;
+  for (unsigned i = 0; i < bytes; ++i) {
+    bytes_[offset + i] = static_cast<std::uint8_t>(data >> (8u * i));
+  }
+  return {0, 0, false};
+}
+
+Rom::Rom(std::uint32_t size, std::string name)
+    : bytes_(size, 0), name_(std::move(name)) {}
+
+void Rom::load(const cpu::ProgramImage& image, std::uint32_t rom_base) {
+  const std::size_t needed = rom_base + image.words.size() * 4;
+  if (needed > bytes_.size()) {
+    throw std::out_of_range("Rom::load: image does not fit");
+  }
+  for (std::size_t i = 0; i < image.words.size(); ++i) {
+    const std::uint32_t w = image.words[i];
+    for (unsigned b = 0; b < 4; ++b) {
+      bytes_[rom_base + i * 4 + b] = static_cast<std::uint8_t>(w >> (8u * b));
+    }
+  }
+}
+
+cpu::BusInterface::Access Rom::read(std::uint32_t offset, unsigned bytes) {
+  ++stats_.reads;
+  return read_le(bytes_, offset, bytes);
+}
+
+cpu::BusInterface::Access Rom::write(std::uint32_t offset, std::uint32_t data,
+                                     unsigned bytes) {
+  (void)offset;
+  (void)data;
+  (void)bytes;
+  return {0, 0, true};  // ROM is not writable
+}
+
+}  // namespace clockmark::soc

@@ -1,0 +1,68 @@
+// On-chip memories: RAM and ROM bus slaves with access counting for the
+// power model (each array access costs energy; ROM additionally models
+// one wait state like a typical embedded flash/ROM macro).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/decoder.h"
+#include "soc/bus.h"
+
+namespace clockmark::soc {
+
+struct MemoryStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class Ram final : public Device {
+ public:
+  explicit Ram(std::uint32_t size, std::string name = "sram");
+
+  cpu::BusInterface::Access read(std::uint32_t offset,
+                                 unsigned bytes) override;
+  cpu::BusInterface::Access write(std::uint32_t offset, std::uint32_t data,
+                                  unsigned bytes) override;
+  std::string name() const override { return name_; }
+
+  const MemoryStats& stats() const noexcept { return stats_; }
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
+  /// Direct backdoor access for tests.
+  std::uint8_t peek(std::uint32_t offset) const { return bytes_.at(offset); }
+  void poke(std::uint32_t offset, std::uint8_t value) {
+    bytes_.at(offset) = value;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::string name_;
+  MemoryStats stats_;
+};
+
+class Rom final : public Device {
+ public:
+  explicit Rom(std::uint32_t size, std::string name = "rom");
+
+  /// Loads a program image at its base offset within the ROM.
+  void load(const cpu::ProgramImage& image, std::uint32_t rom_base = 0);
+
+  cpu::BusInterface::Access read(std::uint32_t offset,
+                                 unsigned bytes) override;
+  cpu::BusInterface::Access write(std::uint32_t offset, std::uint32_t data,
+                                  unsigned bytes) override;
+  std::string name() const override { return name_; }
+
+  const MemoryStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::string name_;
+  MemoryStats stats_;
+};
+
+}  // namespace clockmark::soc

@@ -1,0 +1,46 @@
+#include "soc/peripherals.h"
+
+namespace clockmark::soc {
+
+cpu::BusInterface::Access Uart::read(std::uint32_t offset, unsigned bytes) {
+  (void)bytes;
+  if (offset == 0x4) return {1, 0, false};  // STATUS: always ready
+  return {0, 0, false};
+}
+
+cpu::BusInterface::Access Uart::write(std::uint32_t offset,
+                                      std::uint32_t data, unsigned bytes) {
+  (void)bytes;
+  if (offset == 0x0) {
+    tx_.push_back(static_cast<char>(data & 0xffu));
+    return {0, 0, false};
+  }
+  return {0, 0, true};
+}
+
+cpu::BusInterface::Access Timer::read(std::uint32_t offset, unsigned bytes) {
+  (void)bytes;
+  if (offset == 0x0) return {count_, 0, false};
+  if (offset == 0x4) return {enabled_ ? 1u : 0u, 0, false};
+  return {0, 0, true};
+}
+
+cpu::BusInterface::Access Timer::write(std::uint32_t offset,
+                                       std::uint32_t data, unsigned bytes) {
+  (void)bytes;
+  if (offset == 0x0) {
+    count_ = data;
+    return {0, 0, false};
+  }
+  if (offset == 0x4) {
+    enabled_ = (data & 1u) != 0u;
+    return {0, 0, false};
+  }
+  return {0, 0, true};
+}
+
+void Timer::tick() {
+  if (enabled_) ++count_;
+}
+
+}  // namespace clockmark::soc

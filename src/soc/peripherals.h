@@ -1,0 +1,46 @@
+// Minimal peripheral set: a UART transmitter (collects bytes for test
+// inspection) and a free-running timer. Register maps:
+//   UART:  +0x0 TXDATA (w)     +0x4 STATUS (r, always ready)
+//   TIMER: +0x0 COUNT (r/w)    +0x4 CTRL (bit0 = enable)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "soc/bus.h"
+
+namespace clockmark::soc {
+
+class Uart final : public Device {
+ public:
+  cpu::BusInterface::Access read(std::uint32_t offset,
+                                 unsigned bytes) override;
+  cpu::BusInterface::Access write(std::uint32_t offset, std::uint32_t data,
+                                  unsigned bytes) override;
+  std::string name() const override { return "uart"; }
+
+  const std::string& output() const noexcept { return tx_; }
+  void clear() noexcept { tx_.clear(); }
+
+ private:
+  std::string tx_;
+};
+
+class Timer final : public Device {
+ public:
+  cpu::BusInterface::Access read(std::uint32_t offset,
+                                 unsigned bytes) override;
+  cpu::BusInterface::Access write(std::uint32_t offset, std::uint32_t data,
+                                  unsigned bytes) override;
+  void tick() override;
+  std::string name() const override { return "timer"; }
+
+  std::uint32_t count() const noexcept { return count_; }
+  bool enabled() const noexcept { return enabled_; }
+
+ private:
+  std::uint32_t count_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace clockmark::soc

@@ -1,0 +1,63 @@
+#include "util/args.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace clockmark::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      named_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      named_[body] = argv[++i];
+    } else {
+      named_[body] = "";  // bare flag
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return named_.count(name) > 0;
+}
+
+std::optional<std::string> Args::lookup(const std::string& name) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  return lookup(name).value_or(fallback);
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 0);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  return false;
+}
+
+}  // namespace clockmark::util

@@ -1,0 +1,39 @@
+// Tiny command-line argument parser for the example and bench binaries.
+// Supports --name=value and --name value forms plus boolean flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clockmark::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if --name was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Name of the executable (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> lookup(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace clockmark::util

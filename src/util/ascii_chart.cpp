@@ -1,0 +1,182 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace clockmark::util {
+namespace {
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+Range value_range(std::span<const double> y) {
+  double lo = y.empty() ? 0.0 : y[0];
+  double hi = lo;
+  for (const double v : y) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) {  // flat series: widen so it renders mid-panel
+    lo -= 1.0;
+    hi += 1.0;
+  }
+  return {lo, hi};
+}
+
+int to_row(double v, const Range& r, int height) {
+  const double norm = (v - r.lo) / (r.hi - r.lo);
+  const int row = static_cast<int>(std::lround(norm * (height - 1)));
+  return std::clamp(row, 0, height - 1);
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  std::string s = os.str();
+  if (s.size() > 10) s.resize(10);
+  return s;
+}
+
+}  // namespace
+
+std::string line_chart(std::span<const double> y, const ChartOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  if (y.empty()) {
+    out << "(empty series)\n";
+    return out.str();
+  }
+  const int width = std::max(opts.width, 10);
+  const int height = std::max(opts.height, 4);
+  const Range r = value_range(y);
+
+  // Min/max binning: each column keeps the extremes of its bin so single
+  // sample spikes are never lost to downsampling.
+  std::vector<Range> cols(static_cast<std::size_t>(width),
+                          Range{r.hi, r.lo});
+  const double samples_per_col =
+      static_cast<double>(y.size()) / static_cast<double>(width);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    auto c = static_cast<std::size_t>(static_cast<double>(i) /
+                                      std::max(samples_per_col, 1e-12));
+    c = std::min(c, static_cast<std::size_t>(width - 1));
+    cols[c].lo = std::min(cols[c].lo, y[i]);
+    cols[c].hi = std::max(cols[c].hi, y[i]);
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  if (opts.y_zero_line && r.lo < 0.0 && r.hi > 0.0) {
+    const int zr = to_row(0.0, r, height);
+    grid[static_cast<std::size_t>(zr)]
+        .assign(static_cast<std::size_t>(width), '-');
+  }
+  for (int c = 0; c < width; ++c) {
+    const auto& cr = cols[static_cast<std::size_t>(c)];
+    if (cr.lo > cr.hi) continue;  // empty column
+    const int r0 = to_row(cr.lo, r, height);
+    const int r1 = to_row(cr.hi, r, height);
+    for (int row = r0; row <= r1; ++row) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] =
+          (row == r0 && row == r1) ? '*' : '|';
+    }
+  }
+
+  const std::string hi_tick = format_tick(r.hi);
+  const std::string lo_tick = format_tick(r.lo);
+  for (int row = height - 1; row >= 0; --row) {
+    std::string tick(10, ' ');
+    if (row == height - 1) tick = hi_tick + std::string(10 - std::min<std::size_t>(10, hi_tick.size()), ' ');
+    if (row == 0) tick = lo_tick + std::string(10 - std::min<std::size_t>(10, lo_tick.size()), ' ');
+    tick.resize(10, ' ');
+    out << tick << '|' << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  if (!opts.x_label.empty()) {
+    out << std::string(10, ' ') << ' ' << opts.x_label << "  (n="
+        << y.size() << ")\n";
+  }
+  return out.str();
+}
+
+std::string multi_panel_chart(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const ChartOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  for (const auto& [name, y] : series) {
+    ChartOptions panel = opts;
+    panel.title = "-- " + name + " --";
+    out << line_chart(y, panel);
+  }
+  return out.str();
+}
+
+std::string digital_waveform(
+    const std::vector<std::pair<std::string, std::vector<bool>>>& signals,
+    int max_cycles) {
+  std::ostringstream out;
+  std::size_t label_width = 0;
+  for (const auto& [name, bits] : signals) {
+    label_width = std::max(label_width, name.size());
+  }
+  for (const auto& [name, bits] : signals) {
+    const std::size_t n =
+        std::min<std::size_t>(bits.size(), static_cast<std::size_t>(max_cycles));
+    std::string lane;
+    bool prev = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool cur = bits[i];
+      // Edge marker, then two characters of level.
+      if (i > 0 && cur != prev) {
+        lane += '|';
+      } else {
+        lane += cur ? '~' : '_';
+      }
+      lane += cur ? "~~" : "__";
+      prev = cur;
+    }
+    std::string label = name;
+    label.resize(label_width + 2, ' ');
+    out << label << lane << '\n';
+  }
+  return out.str();
+}
+
+std::string box_plot_row(const std::string& label, const BoxPlot& bp,
+                         double lo, double hi, int width) {
+  std::ostringstream out;
+  width = std::max(width, 20);
+  if (hi <= lo) hi = lo + 1.0;
+  auto col = [&](double v) {
+    const double norm = (v - lo) / (hi - lo);
+    return std::clamp(static_cast<int>(std::lround(norm * (width - 1))), 0,
+                      width - 1);
+  };
+  std::string lane(static_cast<std::size_t>(width), ' ');
+  for (int c = col(bp.whisker_low); c <= col(bp.q_low); ++c) {
+    lane[static_cast<std::size_t>(c)] = '-';
+  }
+  for (int c = col(bp.q_high); c <= col(bp.whisker_high); ++c) {
+    lane[static_cast<std::size_t>(c)] = '-';
+  }
+  for (int c = col(bp.q_low); c <= col(bp.q_high); ++c) {
+    lane[static_cast<std::size_t>(c)] = '=';
+  }
+  lane[static_cast<std::size_t>(col(bp.median))] = 'M';
+  for (const double o : bp.outliers) {
+    const auto c = static_cast<std::size_t>(col(o));
+    if (lane[c] == ' ') lane[c] = 'o';
+  }
+  std::string padded = label;
+  padded.resize(std::max<std::size_t>(padded.size(), 16), ' ');
+  out << padded << '[' << lane << ']';
+  return out.str();
+}
+
+}  // namespace clockmark::util

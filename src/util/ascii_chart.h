@@ -1,0 +1,47 @@
+// Terminal rendering of the paper's figures: line charts (spread spectra,
+// power traces), digital waveforms (Fig. 2), and box plots (Fig. 6).
+// The bench binaries print these so the reproduction is inspectable
+// without any plotting toolchain.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace clockmark::util {
+
+struct ChartOptions {
+  int width = 100;          ///< plot area width in characters
+  int height = 20;          ///< plot area height in characters
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_zero_line = true;  ///< draw a line at y = 0 when it is in range
+};
+
+/// Renders y-vs-index as an ASCII line chart. Values are downsampled by
+/// min/max binning so narrow peaks (e.g. a single correlation spike among
+/// 4095 rotations) remain visible at any terminal width.
+std::string line_chart(std::span<const double> y, const ChartOptions& opts);
+
+/// Renders several series on a shared x-axis, one panel per series.
+std::string multi_panel_chart(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const ChartOptions& opts);
+
+/// Renders binary signals as digital waveforms, e.g.
+///   CLK        _|~|_|~|_|~|_|~|
+///   WMARK      ___|~~~~~~~|____
+/// One row per named signal; each clock cycle is two characters wide.
+std::string digital_waveform(
+    const std::vector<std::pair<std::string, std::vector<bool>>>& signals,
+    int max_cycles = 40);
+
+/// Renders a labelled horizontal box plot row (median, 95 % box, whiskers)
+/// mapped onto [lo, hi].
+std::string box_plot_row(const std::string& label, const BoxPlot& bp,
+                         double lo, double hi, int width = 80);
+
+}  // namespace clockmark::util

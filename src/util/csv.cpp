@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace clockmark::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  std::vector<std::string> fields;
+  fields.reserve(names.size());
+  for (const auto n : names) fields.emplace_back(n);
+  write_fields(fields);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  write_fields(names);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_double(v));
+  write_fields(fields);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_double(v));
+  write_fields(fields);
+}
+
+void CsvWriter::text_row(const std::vector<std::string>& fields) {
+  write_fields(fields);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::vector<double> read_series(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_series: cannot open " + path);
+  }
+  std::vector<double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto comma = line.find(',');
+    if (comma != std::string::npos) line.resize(comma);
+    std::istringstream ls(line);
+    double v = 0.0;
+    if (ls >> v) values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace clockmark::util

@@ -1,0 +1,50 @@
+// Minimal CSV writer used by the bench harnesses to dump the series behind
+// every reproduced figure (so plots can be regenerated outside the repo).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clockmark::util {
+
+/// Writes rows of doubles/strings to a CSV file. Fields containing commas,
+/// quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens the file for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row.
+  void header(std::initializer_list<std::string_view> names);
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one row of numeric fields.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  /// Writes one row of already-formatted string fields.
+  void text_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+  static std::string escape(std::string_view field);
+
+  std::ofstream out_;
+};
+
+/// Formats a double with the given precision (default: shortest round-trip
+/// style with 6 significant digits, matching the tables in the paper).
+std::string format_double(double v, int precision = 6);
+
+/// Reads a numeric series from a text file: one value per line (leading
+/// value of a comma-separated line is used), '#' comments and blank
+/// lines ignored. Throws std::runtime_error if the file cannot be opened.
+std::vector<double> read_series(const std::string& path);
+
+}  // namespace clockmark::util

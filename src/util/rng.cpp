@@ -1,0 +1,86 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace clockmark::util {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0u), inc_((stream << 1u) | 1u) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+Pcg32::result_type Pcg32::operator()() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) noexcept {
+  // Lemire's nearly-divisionless technique.
+  std::uint64_t m = static_cast<std::uint64_t>((*this)()) * bound;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>((*this)()) * bound;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32u);
+}
+
+double Pcg32::uniform() noexcept {
+  // 32 random bits scaled into [0, 1).
+  return static_cast<double>((*this)()) * 0x1p-32;
+}
+
+double Pcg32::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+double Pcg32::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Pcg32::gaussian(double mean, double sigma) noexcept {
+  return mean + sigma * gaussian();
+}
+
+bool Pcg32::bernoulli(double p) noexcept { return uniform() < p; }
+
+Pcg32 Pcg32::fork(std::uint64_t salt) noexcept {
+  std::uint64_t s = state_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t child_seed = splitmix64(s);
+  const std::uint64_t child_stream = splitmix64(s);
+  return Pcg32(child_seed, child_stream);
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30u)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27u)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31u);
+}
+
+}  // namespace clockmark::util

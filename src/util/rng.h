@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic parts of the simulator (program data, measurement noise,
+// phase offsets) draw from a Pcg32 stream seeded per-experiment, so every
+// figure and table in EXPERIMENTS.md can be regenerated bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace clockmark::util {
+
+/// PCG-XSH-RR 64/32 generator (O'Neill, 2014). Small state, good
+/// statistical quality, cheap to fork into independent streams.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Seeds the generator. Distinct (seed, stream) pairs give
+  /// statistically independent sequences.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 32 uniform random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t bounded(std::uint32_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal variate (Box-Muller with caching).
+  double gaussian() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  double gaussian(double mean, double sigma) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child generator. Useful for giving each
+  /// subsystem (CPU data, scope noise, ...) its own stream so adding a
+  /// consumer does not perturb the draws seen by the others.
+  Pcg32 fork(std::uint64_t salt) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// SplitMix64: used to expand a single user seed into the 64-bit seeds
+/// consumed by Pcg32 streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace clockmark::util

@@ -1,0 +1,69 @@
+// Descriptive statistics used throughout the detector and the experiment
+// harnesses: running moments, Pearson correlation, quantiles, and the
+// box-plot summary that reproduces the paper's Fig. 6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clockmark::util {
+
+/// Single-pass accumulator for mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const noexcept;
+  /// Sample variance (divides by n - 1); 0 for fewer than two samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient between two equal-length vectors,
+/// exactly equation (1) of the paper. Returns 0 when either vector has
+/// zero variance (no relationship can be resolved).
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Linearly interpolated quantile of an unsorted sample, q in [0, 1].
+double quantile(std::span<const double> sample, double q);
+
+/// Five-number + whisker summary of a sample, matching the convention the
+/// paper uses in Fig. 6: the box covers 95 % of all values (2.5th..97.5th
+/// percentile), the median splits it, whiskers are min/max, and values
+/// outside the box are reported as outliers.
+struct BoxPlot {
+  double median = 0.0;
+  double q_low = 0.0;    ///< 2.5th percentile (bottom of the 95 % box)
+  double q_high = 0.0;   ///< 97.5th percentile (top of the 95 % box)
+  double whisker_low = 0.0;
+  double whisker_high = 0.0;
+  std::vector<double> outliers;
+};
+
+BoxPlot box_plot(std::span<const double> sample);
+
+/// Mean of a vector (0 for an empty vector).
+double mean(std::span<const double> v) noexcept;
+
+/// Population standard deviation of a vector.
+double stddev(std::span<const double> v) noexcept;
+
+/// z-score of value against the sample's mean/stddev; 0 if sigma == 0.
+double z_score(double value, std::span<const double> sample) noexcept;
+
+}  // namespace clockmark::util

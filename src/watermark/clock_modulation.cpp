@@ -1,0 +1,60 @@
+#include "watermark/clock_modulation.h"
+
+#include <stdexcept>
+
+namespace clockmark::watermark {
+
+ClockModWatermark build_clock_modulation_watermark(
+    rtl::Netlist& netlist, const std::string& module_path,
+    rtl::NetId root_clock, const ClockModConfig& config) {
+  const std::size_t total = config.words * config.bits_per_word;
+  if (total == 0) {
+    throw std::invalid_argument(
+        "build_clock_modulation_watermark: empty register bank");
+  }
+  if (config.switching_registers > total) {
+    throw std::invalid_argument(
+        "build_clock_modulation_watermark: switching_registers > bank size");
+  }
+  ClockModWatermark wm;
+  const std::uint32_t module = netlist.module(module_path);
+  const std::string base =
+      module_path.empty() ? std::string("cmw") : module_path + "/cmw";
+
+  wm.wgc = wgc::build_wgc(netlist, module, root_clock, config.wgc);
+  wm.wmark = wm.wgc.wmark;
+  wm.wgc_registers = wm.wgc.register_count;
+
+  clocktree::BankClockingOptions bank_opt;
+  bank_opt.words = config.words;
+  bank_opt.bits_per_word = config.bits_per_word;
+  bank_opt.tree.max_fanout = 32;  // one ICG drives a 32-leaf word directly
+  wm.bank = clocktree::build_bank_clocking(netlist, module, root_clock,
+                                           wm.wmark, base, bank_opt);
+
+  // Redundant registers: first `switching_registers` toggle every clocked
+  // cycle (D = ~Q); the rest retain state (D = Q) so their only dynamic
+  // power is the clock network — exactly the chip configuration.
+  std::size_t built = 0;
+  for (std::size_t w = 0; w < config.words; ++w) {
+    for (std::size_t b = 0; b < config.bits_per_word; ++b, ++built) {
+      const std::string name =
+          base + "_r" + std::to_string(w) + "_" + std::to_string(b);
+      const rtl::NetId q = netlist.add_net(name + "_q");
+      rtl::NetId d = q;
+      if (built < config.switching_registers) {
+        d = netlist.add_net(name + "_d");
+        wm.inverters.push_back(netlist.add_gate(
+            rtl::CellKind::kInv, name + "_inv", module, {q}, d));
+      }
+      wm.flops.push_back(netlist.add_flop(rtl::CellKind::kDff, name, module,
+                                          {d}, q, wm.bank.leaf_nets[w][b],
+                                          /*init_state=*/false));
+    }
+  }
+
+  wm.total_registers = wm.wgc_registers + total;
+  return wm;
+}
+
+}  // namespace clockmark::watermark

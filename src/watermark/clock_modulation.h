@@ -1,0 +1,51 @@
+// The paper's proposed clock-modulation watermark (Fig. 1(b) / Fig. 4(a)).
+// The WGC's WMARK output drives the enables of the ICGs gating an IP
+// block's clock tree; when WMARK = 1 the clock propagates and the block's
+// clock buffers burn dynamic power, when WMARK = 0 the clock is stopped.
+// No load circuit exists — the watermark reuses switching that is
+// intrinsic to the system.
+//
+// Two usage forms are provided:
+//  * build_clock_modulation_watermark(): the test-chip configuration —
+//    a redundant register bank (default 32 words x 32 bits) whose ICG
+//    enables are WMARK. Registers hold their value (D = Q), so dynamic
+//    power is consumed entirely by clock buffers; a configurable number
+//    of registers can instead toggle every cycle (D = ~Q) to reproduce
+//    the Table I sweep.
+//  * embedder.h: modulating an *existing* IP block's clock gates
+//    (enable = CLK_CTRL AND WMARK), the intended end application.
+#pragma once
+
+#include <cstddef>
+
+#include "clocktree/builder.h"
+#include "rtl/netlist.h"
+#include "wgc/wgc.h"
+
+namespace clockmark::watermark {
+
+struct ClockModConfig {
+  wgc::WgcConfig wgc;
+  std::size_t words = 32;          ///< gated words (Fig. 4(a): 32)
+  std::size_t bits_per_word = 32;  ///< registers per word (32)
+  /// Number of registers built with D = ~Q (toggle when clocked); the
+  /// rest hold state (D = Q, clock-buffer power only). Paper Table I
+  /// sweeps 0 / 256 / 512 / 1024.
+  std::size_t switching_registers = 0;
+};
+
+struct ClockModWatermark {
+  wgc::WgcHardware wgc;
+  clocktree::BankClocking bank;          ///< ICGs + clock subtrees
+  std::vector<rtl::CellId> flops;        ///< the redundant registers
+  std::vector<rtl::CellId> inverters;    ///< for switching registers
+  rtl::NetId wmark = rtl::kInvalidNet;
+  std::size_t total_registers = 0;       ///< WGC + bank registers
+  std::size_t wgc_registers = 0;         ///< area that CPA detection needs
+};
+
+ClockModWatermark build_clock_modulation_watermark(
+    rtl::Netlist& netlist, const std::string& module_path,
+    rtl::NetId root_clock, const ClockModConfig& config);
+
+}  // namespace clockmark::watermark

@@ -1,0 +1,260 @@
+#include "watermark/embedder.h"
+
+#include <stdexcept>
+
+#include "clocktree/tree.h"
+
+namespace clockmark::watermark {
+
+DemoIpBlock build_demo_ip_block(rtl::Netlist& netlist,
+                                const std::string& module_path,
+                                rtl::NetId root_clock,
+                                const DemoIpConfig& config) {
+  if (config.groups == 0 || config.groups > 8 ||
+      config.registers_per_group == 0) {
+    throw std::invalid_argument("build_demo_ip_block: bad geometry");
+  }
+  DemoIpBlock ip;
+  const std::uint32_t module = netlist.module(module_path);
+  const std::string base =
+      module_path.empty() ? std::string("ip") : module_path + "/ip";
+
+  // Free-running 3-bit mode counter (ungated): c = c + 1 each cycle.
+  clocktree::ClockTreeOptions cnt_tree;
+  cnt_tree.max_fanout = 8;
+  cnt_tree.name_prefix = base + "_cntct";
+  const auto cnt_clk =
+      clocktree::build_clock_tree(netlist, module, root_clock, 3, cnt_tree);
+  std::vector<rtl::NetId> c(3);
+  for (unsigned i = 0; i < 3; ++i) {
+    c[i] = netlist.add_net(base + "_c" + std::to_string(i));
+  }
+  // Increment logic: d0 = ~c0; d1 = c1 ^ c0; d2 = c2 ^ (c1 & c0).
+  const rtl::NetId d0 = netlist.add_net(base + "_d0");
+  netlist.add_gate(rtl::CellKind::kInv, base + "_inv0", module, {c[0]}, d0);
+  const rtl::NetId d1 = netlist.add_net(base + "_d1");
+  netlist.add_gate(rtl::CellKind::kXor2, base + "_xor1", module,
+                   {c[1], c[0]}, d1);
+  const rtl::NetId carry = netlist.add_net(base + "_carry");
+  netlist.add_gate(rtl::CellKind::kAnd2, base + "_and1", module,
+                   {c[1], c[0]}, carry);
+  const rtl::NetId d2 = netlist.add_net(base + "_d2");
+  netlist.add_gate(rtl::CellKind::kXor2, base + "_xor2", module,
+                   {c[2], carry}, d2);
+  const rtl::NetId d[3] = {d0, d1, d2};
+  for (unsigned i = 0; i < 3; ++i) {
+    ip.flops.push_back(netlist.add_flop(
+        rtl::CellKind::kDff, base + "_cnt" + std::to_string(i), module,
+        {d[i]}, c[i], cnt_clk.leaf_nets[i], false));
+  }
+
+  // Per-group enables (CLK_CTRL): group g is enabled when the counter is
+  // >= g in a thermometer pattern — cheap decode with real toggling.
+  // ctrl_g = c[g % 3] OR c[(g+1) % 3] for variety (never all-off).
+  for (std::size_t g = 0; g < config.groups; ++g) {
+    const rtl::NetId ctrl = netlist.add_net(base + "_ctrl" +
+                                            std::to_string(g));
+    netlist.add_gate(rtl::CellKind::kOr2,
+                     base + "_ctrlor" + std::to_string(g), module,
+                     {c[g % 3], c[(g + 1) % 3]}, ctrl);
+    ip.ctrl_nets.push_back(ctrl);
+
+    auto group = clocktree::build_gated_group(
+        netlist, module, root_clock, ctrl, config.registers_per_group,
+        base + "_g" + std::to_string(g),
+        clocktree::ClockTreeOptions{32, "ct", true});
+    ip.icgs.push_back(group.icg);
+
+    // Pipeline: stage i loads stage i-1; stage 0 loads counter parity.
+    const rtl::NetId seed = netlist.add_net(base + "_seed" +
+                                            std::to_string(g));
+    netlist.add_gate(rtl::CellKind::kXor2,
+                     base + "_seedx" + std::to_string(g), module,
+                     {c[0], c[g % 3 == 0 ? 1 : g % 3]}, seed);
+    rtl::NetId prev = seed;
+    for (std::size_t r = 0; r < config.registers_per_group; ++r) {
+      const rtl::NetId q = netlist.add_net(
+          base + "_g" + std::to_string(g) + "_q" + std::to_string(r));
+      ip.flops.push_back(netlist.add_flop(
+          rtl::CellKind::kDff,
+          base + "_g" + std::to_string(g) + "_ff" + std::to_string(r),
+          module, {prev}, q, group.tree.leaf_nets[r], (r % 2) == 0));
+      prev = q;
+    }
+    // Fold the group tail into the output parity chain below.
+    ip.ctrl_nets.back() = ctrl;
+    if (g == 0) {
+      ip.data_out = prev;
+    } else {
+      const rtl::NetId folded = netlist.add_net(base + "_fold" +
+                                                std::to_string(g));
+      netlist.add_gate(rtl::CellKind::kXor2,
+                       base + "_foldx" + std::to_string(g), module,
+                       {ip.data_out, prev}, folded);
+      ip.data_out = folded;
+    }
+  }
+  netlist.mark_output(ip.data_out);
+  return ip;
+}
+
+EmbedResult embed_clock_modulation(rtl::Netlist& netlist,
+                                   const std::string& wgc_module_path,
+                                   rtl::NetId root_clock,
+                                   const wgc::WgcConfig& config,
+                                   std::span<const rtl::CellId> target_icgs) {
+  if (target_icgs.empty()) {
+    throw std::invalid_argument("embed_clock_modulation: no target ICGs");
+  }
+  EmbedResult result;
+  const std::uint32_t module = netlist.module(wgc_module_path);
+  result.wgc = wgc::build_wgc(netlist, module, root_clock, config);
+  result.wmark = result.wgc.wmark;
+
+  const std::string base =
+      wgc_module_path.empty() ? std::string("embed") : wgc_module_path;
+  std::size_t idx = 0;
+  for (const rtl::CellId icg_id : target_icgs) {
+    rtl::Cell& icg = netlist.cell(icg_id);
+    if (icg.kind != rtl::CellKind::kIcg) {
+      throw std::invalid_argument(
+          "embed_clock_modulation: target is not an ICG");
+    }
+    const rtl::NetId original_enable = icg.inputs.at(0);
+    const rtl::NetId modulated = netlist.add_net(
+        base + "_en" + std::to_string(idx));
+    result.and_gates.push_back(netlist.add_gate(
+        rtl::CellKind::kAnd2, base + "_and" + std::to_string(idx),
+        icg.module, {original_enable, result.wmark}, modulated));
+    icg.inputs[0] = modulated;
+    ++idx;
+  }
+  return result;
+}
+
+DiversifiedEmbedResult embed_clock_modulation_diversified(
+    rtl::Netlist& netlist, const std::string& wgc_module_path,
+    rtl::NetId root_clock, const wgc::WgcConfig& config,
+    std::span<const rtl::CellId> target_icgs) {
+  if (target_icgs.empty()) {
+    throw std::invalid_argument(
+        "embed_clock_modulation_diversified: no target ICGs");
+  }
+  DiversifiedEmbedResult result;
+  const std::uint32_t module = netlist.module(wgc_module_path);
+  result.wgc = wgc::build_wgc(netlist, module, root_clock, config);
+
+  // Stage s output net: the WGC flop named ..._ff<s> drives q<s>; the
+  // build result keeps flops in stage order, so stage s = flops[s].output.
+  const std::string base =
+      wgc_module_path.empty() ? std::string("dembed") : wgc_module_path;
+  std::size_t idx = 0;
+  for (const rtl::CellId icg_id : target_icgs) {
+    rtl::Cell& icg = netlist.cell(icg_id);
+    if (icg.kind != rtl::CellKind::kIcg) {
+      throw std::invalid_argument(
+          "embed_clock_modulation_diversified: target is not an ICG");
+    }
+    const auto stage = static_cast<unsigned>(idx % config.width);
+    const rtl::NetId stage_net =
+        netlist.cell(result.wgc.flops[stage]).output;
+    const rtl::NetId original_enable = icg.inputs.at(0);
+    const rtl::NetId modulated =
+        netlist.add_net(base + "_den" + std::to_string(idx));
+    result.and_gates.push_back(netlist.add_gate(
+        rtl::CellKind::kAnd2, base + "_dand" + std::to_string(idx),
+        icg.module, {original_enable, stage_net}, modulated));
+    icg.inputs[0] = modulated;
+    result.stage_of_icg.push_back(stage);
+    ++idx;
+  }
+  return result;
+}
+
+std::vector<double> diversified_model_pattern(
+    const wgc::WgcConfig& config, std::span<const unsigned> stages) {
+  wgc::WgcSequence seq(config);
+  const auto base = seq.one_period();
+  const std::size_t period = base.size();
+  std::vector<double> pattern(period, 0.0);
+  for (std::size_t i = 0; i < period; ++i) {
+    for (const unsigned s : stages) {
+      if (base[(i + s) % period]) pattern[i] += 1.0;
+    }
+  }
+  return pattern;
+}
+
+WatermarkCharacterization characterize_watermark(
+    const rtl::Netlist& netlist, rtl::NetId root_clock, rtl::NetId wmark,
+    const std::string& module_prefix, std::size_t period,
+    const power::TechLibrary& tech) {
+  if (period == 0) {
+    throw std::invalid_argument("characterize_watermark: zero period");
+  }
+  rtl::Simulator sim(netlist);
+  sim.set_clock_source(root_clock);
+  power::PowerEstimator estimator(netlist, tech);
+  const double leak = estimator.leakage_power(module_prefix);
+
+  WatermarkCharacterization ch;
+  ch.period = period;
+  ch.leakage_w = leak;
+  ch.wmark_bits.resize(period);
+  ch.power_w.resize(period);
+
+  // Which modules belong to the watermark?
+  const std::size_t modules = netlist.module_count();
+  std::vector<bool> match(modules, false);
+  for (std::size_t m = 0; m < modules; ++m) {
+    match[m] = netlist.module_path(static_cast<std::uint32_t>(m))
+                   .rfind(module_prefix, 0) == 0;
+  }
+
+  double active_sum = 0.0, idle_sum = 0.0;
+  std::size_t active_n = 0, idle_n = 0;
+  for (std::size_t i = 0; i < period; ++i) {
+    // WMARK's settled value *before* the edge is the cycle-i bit.
+    ch.wmark_bits[i] = sim.net_value(wmark);
+    const auto& act = sim.step();
+    double energy = 0.0;
+    const std::size_t n = std::min(modules, act.per_module.size());
+    for (std::size_t m = 0; m < n; ++m) {
+      if (match[m]) energy += estimator.dynamic_cycle_energy(act.per_module[m]);
+    }
+    ch.power_w[i] = energy * tech.clock_hz + leak;
+    if (ch.wmark_bits[i]) {
+      active_sum += ch.power_w[i];
+      ++active_n;
+    } else {
+      idle_sum += ch.power_w[i];
+      ++idle_n;
+    }
+  }
+  ch.mean_active_w = active_n > 0 ? active_sum / static_cast<double>(active_n)
+                                  : 0.0;
+  ch.mean_idle_w =
+      idle_n > 0 ? idle_sum / static_cast<double>(idle_n) : 0.0;
+  return ch;
+}
+
+std::vector<double> tile_watermark_power(
+    const WatermarkCharacterization& ch, std::size_t n,
+    std::size_t phase_offset) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ch.power_w[(i + phase_offset) % ch.period];
+  }
+  return out;
+}
+
+std::vector<bool> tile_wmark_bits(const WatermarkCharacterization& ch,
+                                  std::size_t n, std::size_t phase_offset) {
+  std::vector<bool> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ch.wmark_bits[(i + phase_offset) % ch.period];
+  }
+  return out;
+}
+
+}  // namespace clockmark::watermark

@@ -1,0 +1,114 @@
+// Embedding the clock-modulation watermark into *existing* logic — the
+// paper's intended end application (Fig. 1(b)): the original clock-gate
+// control CLK_CTRL is ANDed with WMARK, so the IP block's own clock tree
+// becomes the watermark's power source and the watermark stops being a
+// removable stand-alone circuit (Section VI).
+//
+// Also provides:
+//  * a demo functional IP block with clock-gated register groups to embed
+//    into (used by examples, tests and the robustness bench), and
+//  * gate-level power characterisation of a watermark module over one
+//    full WMARK period, which the experiment layer tiles into long traces.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "power/estimator.h"
+#include "rtl/netlist.h"
+#include "rtl/simulator.h"
+#include "wgc/wgc.h"
+
+namespace clockmark::watermark {
+
+/// A small functional IP block: a free-running mode counter decodes into
+/// per-group clock-gate enables (the "CLK_CTRL" signals); each group is a
+/// register pipeline whose XOR-reduced parity drives a primary output.
+struct DemoIpBlock {
+  std::vector<rtl::CellId> icgs;       ///< functional clock gates
+  std::vector<rtl::NetId> ctrl_nets;   ///< original enable (CLK_CTRL) nets
+  std::vector<rtl::CellId> flops;      ///< functional registers
+  rtl::NetId data_out = rtl::kInvalidNet;  ///< reaches a primary output
+};
+
+struct DemoIpConfig {
+  std::size_t groups = 4;
+  std::size_t registers_per_group = 64;
+};
+
+DemoIpBlock build_demo_ip_block(rtl::Netlist& netlist,
+                                const std::string& module_path,
+                                rtl::NetId root_clock,
+                                const DemoIpConfig& config = {});
+
+/// Result of weaving a WGC into existing clock gates.
+struct EmbedResult {
+  wgc::WgcHardware wgc;
+  std::vector<rtl::CellId> and_gates;  ///< CLK_CTRL AND WMARK per ICG
+  rtl::NetId wmark = rtl::kInvalidNet;
+};
+
+/// Builds a WGC under `wgc_module_path` and rewires each target ICG's
+/// enable to (original_enable AND WMARK). The target ICGs keep their
+/// functional role; the watermark merely modulates them.
+EmbedResult embed_clock_modulation(rtl::Netlist& netlist,
+                                   const std::string& wgc_module_path,
+                                   rtl::NetId root_clock,
+                                   const wgc::WgcConfig& config,
+                                   std::span<const rtl::CellId> target_icgs);
+
+/// Diversified embedding — the countermeasure to the fanout-signature
+/// tamper attack (attack/tamper.h): instead of fanning one WMARK net out
+/// to every modulation AND, ICG g is driven from WGC *stage* g mod width.
+/// Each stage emits the same m-sequence advanced by its index, so no
+/// single net has the tell-tale high fan-out, while the vendor — who
+/// knows the stage assignment — detects with the composite model vector
+/// from diversified_model_pattern().
+struct DiversifiedEmbedResult {
+  wgc::WgcHardware wgc;
+  std::vector<rtl::CellId> and_gates;
+  std::vector<unsigned> stage_of_icg;  ///< WGC stage feeding each target
+};
+
+DiversifiedEmbedResult embed_clock_modulation_diversified(
+    rtl::Netlist& netlist, const std::string& wgc_module_path,
+    rtl::NetId root_clock, const wgc::WgcConfig& config,
+    std::span<const rtl::CellId> target_icgs);
+
+/// The CPA model vector for a diversified embedding: one period of
+///   pattern[i] = sum_g base[(i + stage_g) mod P]
+/// (stage s of the shift register carries the output sequence advanced
+/// by s cycles). Non-binary; the rotation correlators accept it as-is.
+std::vector<double> diversified_model_pattern(
+    const wgc::WgcConfig& config, std::span<const unsigned> stages);
+
+/// Gate-level power characterisation of a watermark module over one full
+/// WMARK period. The experiment layer tiles `power_w` (aligned with
+/// `wmark_bits`) to synthesise arbitrarily long watermark power traces
+/// exactly, without re-running gate-level simulation.
+struct WatermarkCharacterization {
+  std::vector<bool> wmark_bits;   ///< WMARK value in each cycle
+  std::vector<double> power_w;    ///< module power in each cycle (dyn+leak)
+  double mean_active_w = 0.0;     ///< average over WMARK = 1 cycles
+  double mean_idle_w = 0.0;       ///< average over WMARK = 0 cycles
+  double leakage_w = 0.0;
+  std::size_t period = 0;
+};
+
+WatermarkCharacterization characterize_watermark(
+    const rtl::Netlist& netlist, rtl::NetId root_clock, rtl::NetId wmark,
+    const std::string& module_prefix, std::size_t period,
+    const power::TechLibrary& tech);
+
+/// Tiles a characterised period into an n-cycle power trace starting at
+/// `phase_offset` cycles into the period.
+std::vector<double> tile_watermark_power(
+    const WatermarkCharacterization& ch, std::size_t n,
+    std::size_t phase_offset);
+
+/// Tiles the WMARK bit pattern the same way (model vector for CPA).
+std::vector<bool> tile_wmark_bits(const WatermarkCharacterization& ch,
+                                  std::size_t n, std::size_t phase_offset);
+
+}  // namespace clockmark::watermark

@@ -1,0 +1,47 @@
+#include "watermark/load_circuit.h"
+
+#include <stdexcept>
+
+namespace clockmark::watermark {
+
+LoadCircuitWatermark build_load_circuit_watermark(
+    rtl::Netlist& netlist, const std::string& module_path,
+    rtl::NetId root_clock, const LoadCircuitConfig& config) {
+  if (config.load_registers < 2) {
+    throw std::invalid_argument(
+        "build_load_circuit_watermark: need at least 2 load registers");
+  }
+  LoadCircuitWatermark wm;
+  const std::uint32_t module = netlist.module(module_path);
+  const std::string base =
+      module_path.empty() ? std::string("lc") : module_path + "/lc";
+
+  wm.wgc = wgc::build_wgc(netlist, module, root_clock, config.wgc);
+  wm.wmark = wm.wgc.wmark;
+
+  // One ICG gates the whole load ring; its enable is WMARK.
+  auto group = clocktree::build_gated_group(
+      netlist, module, root_clock, wm.wmark, config.load_registers, base,
+      clocktree::ClockTreeOptions{/*max_fanout=*/32, "ct", true});
+  wm.icg = group.icg;
+  wm.clock_cells = group.tree.buffers;
+
+  // Ring of registers initialised 1010...: each stage loads its
+  // neighbour, so every enabled shift toggles every register.
+  std::vector<rtl::NetId> q(config.load_registers);
+  for (std::size_t i = 0; i < config.load_registers; ++i) {
+    q[i] = netlist.add_net(base + "_q" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < config.load_registers; ++i) {
+    const rtl::NetId d = q[(i + 1) % config.load_registers];
+    const bool init = (i % 2) == 0;  // 1010... pattern
+    wm.load_flops.push_back(netlist.add_flop(
+        rtl::CellKind::kDff, base + "_ff" + std::to_string(i), module, {d},
+        q[i], group.tree.leaf_nets[i], init));
+  }
+
+  wm.total_registers = wm.wgc.register_count + config.load_registers;
+  return wm;
+}
+
+}  // namespace clockmark::watermark

@@ -1,0 +1,39 @@
+// State-of-the-art power watermark baseline (paper Fig. 1(a); Becker et
+// al. HOST'10, Ziener & Teich FPT'06): the WGC drives the shift-enable of
+// a load circuit — a ring of registers initialised with a 1010... pattern
+// so that every enabled shift toggles every register, maximising dynamic
+// power while WMARK is '1'. As synthesis maps enable-registers onto clock
+// gating, the load ring sits behind one ICG controlled by WMARK, so each
+// active register burns clock-buffer *and* data-switching energy — the
+// (1.476 uW + 1.126 uW) per register that Table II divides by.
+#pragma once
+
+#include <cstddef>
+
+#include "clocktree/tree.h"
+#include "rtl/netlist.h"
+#include "wgc/wgc.h"
+
+namespace clockmark::watermark {
+
+struct LoadCircuitConfig {
+  wgc::WgcConfig wgc;
+  std::size_t load_registers = 576;  ///< ~1.5 mW worth (paper Table II)
+};
+
+struct LoadCircuitWatermark {
+  wgc::WgcHardware wgc;
+  rtl::CellId icg = 0;                     ///< WMARK-controlled clock gate
+  std::vector<rtl::CellId> load_flops;     ///< the ring registers
+  std::vector<rtl::CellId> clock_cells;    ///< load-ring clock buffers
+  rtl::NetId wmark = rtl::kInvalidNet;
+  std::size_t total_registers = 0;         ///< WGC + load (area unit)
+};
+
+/// Builds the complete baseline watermark under module path
+/// `module_path` (created if needed), clocked from root_clock.
+LoadCircuitWatermark build_load_circuit_watermark(
+    rtl::Netlist& netlist, const std::string& module_path,
+    rtl::NetId root_clock, const LoadCircuitConfig& config);
+
+}  // namespace clockmark::watermark

@@ -1,0 +1,60 @@
+#include "watermark/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clockmark::watermark {
+
+std::vector<bool> build_schedule(const ScheduleConfig& config,
+                                 std::size_t cycles,
+                                 const std::vector<bool>& idle) {
+  std::vector<bool> enabled(cycles, false);
+  switch (config.policy) {
+    case SchedulePolicy::kAlwaysOn:
+      std::fill(enabled.begin(), enabled.end(), true);
+      break;
+    case SchedulePolicy::kDutyCycled: {
+      if (config.window_cycles == 0) {
+        throw std::invalid_argument("build_schedule: zero window");
+      }
+      const double duty = std::clamp(config.duty, 0.0, 1.0);
+      const auto active = static_cast<std::size_t>(
+          duty * static_cast<double>(config.window_cycles));
+      for (std::size_t i = 0; i < cycles; ++i) {
+        enabled[i] = (i % config.window_cycles) < active;
+      }
+      break;
+    }
+    case SchedulePolicy::kIdleWindows: {
+      if (idle.size() < cycles) {
+        throw std::invalid_argument(
+            "build_schedule: idle mask shorter than trace");
+      }
+      for (std::size_t i = 0; i < cycles; ++i) enabled[i] = idle[i];
+      break;
+    }
+  }
+  return enabled;
+}
+
+std::vector<double> apply_schedule(const std::vector<double>& watermark_w,
+                                   const std::vector<bool>& enabled,
+                                   double idle_power_w) {
+  if (watermark_w.size() != enabled.size()) {
+    throw std::invalid_argument("apply_schedule: length mismatch");
+  }
+  std::vector<double> out(watermark_w.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = enabled[i] ? watermark_w[i] : idle_power_w;
+  }
+  return out;
+}
+
+double effective_duty(const std::vector<bool>& enabled) noexcept {
+  if (enabled.empty()) return 0.0;
+  std::size_t on = 0;
+  for (const bool e : enabled) on += e ? 1 : 0;
+  return static_cast<double>(on) / static_cast<double>(enabled.size());
+}
+
+}  // namespace clockmark::watermark

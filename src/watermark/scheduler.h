@@ -1,0 +1,47 @@
+// Watermark activity scheduling. The paper notes that modulating a
+// *functional* IP block "may require an additional synchronization
+// between the watermark modulated and other IP blocks to ensure data is
+// not corrupted", and that the watermark can instead run "while the
+// entire system is inactive". This module provides that policy layer:
+// a duty-cycled / idle-window gate on top of the WMARK stream.
+//
+// When the watermark is only active a fraction of the time, the CPA
+// correlation shrinks proportionally to the duty cycle (the model vector
+// still covers all cycles); abl_duty_cycle quantifies the trade-off.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clockmark::watermark {
+
+enum class SchedulePolicy {
+  kAlwaysOn,     ///< modulate every cycle (the test-chip configuration)
+  kDutyCycled,   ///< periodic on/off windows (e.g. thermal/power budget)
+  kIdleWindows,  ///< modulate only inside externally supplied idle spans
+};
+
+struct ScheduleConfig {
+  SchedulePolicy policy = SchedulePolicy::kAlwaysOn;
+  /// kDutyCycled: window period in cycles and the active fraction.
+  std::size_t window_cycles = 2048;
+  double duty = 1.0;  ///< fraction of each window the watermark runs
+};
+
+/// Computes the per-cycle watermark-enable mask for `cycles` cycles.
+/// `idle` (only used by kIdleWindows) flags externally detected idle
+/// cycles (e.g. the CPU in WFI, bus quiescent).
+std::vector<bool> build_schedule(const ScheduleConfig& config,
+                                 std::size_t cycles,
+                                 const std::vector<bool>& idle = {});
+
+/// Applies a schedule to a watermark power trace: scheduled-off cycles
+/// fall back to the idle power level.
+std::vector<double> apply_schedule(const std::vector<double>& watermark_w,
+                                   const std::vector<bool>& enabled,
+                                   double idle_power_w);
+
+/// Effective duty cycle of a schedule (fraction of enabled cycles).
+double effective_duty(const std::vector<bool>& enabled) noexcept;
+
+}  // namespace clockmark::watermark

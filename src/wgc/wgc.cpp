@@ -1,0 +1,99 @@
+#include "wgc/wgc.h"
+
+#include <stdexcept>
+
+#include "clocktree/tree.h"
+
+namespace clockmark::wgc {
+
+WgcSequence::WgcSequence(const WgcConfig& config)
+    : config_(config),
+      period_(config.mode == WgcMode::kLfsr
+                  ? static_cast<std::size_t>(
+                        sequence::maximal_period(config.width))
+                  : config.width),
+      lfsr_(config.width,
+            config.mode == WgcMode::kLfsr ? config.effective_taps()
+                                          : sequence::maximal_taps(config.width),
+            config.seed == 0 ? 1u : config.seed),
+      circular_(config.width, config.seed) {}
+
+bool WgcSequence::step() {
+  return config_.mode == WgcMode::kLfsr ? lfsr_.step() : circular_.step();
+}
+
+std::vector<bool> WgcSequence::generate(std::size_t n) {
+  return config_.mode == WgcMode::kLfsr ? lfsr_.generate(n)
+                                        : circular_.generate(n);
+}
+
+std::vector<bool> WgcSequence::one_period() {
+  WgcSequence fresh(config_);
+  return fresh.generate(period_);
+}
+
+WgcHardware build_wgc(rtl::Netlist& netlist, std::uint32_t module,
+                      rtl::NetId root_clock, const WgcConfig& config) {
+  if (config.width < 2 || config.width > 32) {
+    throw std::invalid_argument("build_wgc: width must be in [2, 32]");
+  }
+  if (config.seed == 0 && config.mode == WgcMode::kLfsr) {
+    throw std::invalid_argument("build_wgc: LFSR seed must be nonzero");
+  }
+  WgcHardware hw;
+  const std::string prefix = netlist.module_path(module);
+  const std::string base =
+      prefix.empty() ? std::string("wgc") : prefix + "/wgc";
+
+  // Per-stage clock leaves (the WGC clock is never gated).
+  clocktree::ClockTreeOptions tree_opt;
+  tree_opt.max_fanout = 32;
+  tree_opt.name_prefix = base + "_ct";
+  const auto tree = clocktree::build_clock_tree(netlist, module, root_clock,
+                                                config.width, tree_opt);
+  hw.clock_cells = tree.buffers;
+
+  // Stage outputs.
+  std::vector<rtl::NetId> q(config.width);
+  for (unsigned i = 0; i < config.width; ++i) {
+    q[i] = netlist.add_net(base + "_q" + std::to_string(i));
+  }
+
+  // Feedback network.
+  rtl::NetId msb_d = rtl::kInvalidNet;
+  if (config.mode == WgcMode::kLfsr) {
+    // XOR chain over tapped state bits.
+    const std::uint32_t taps = config.effective_taps();
+    std::vector<rtl::NetId> tapped;
+    for (unsigned i = 0; i < config.width; ++i) {
+      if (taps & (1u << i)) tapped.push_back(q[i]);
+    }
+    rtl::NetId acc = tapped.front();
+    for (std::size_t i = 1; i < tapped.size(); ++i) {
+      const rtl::NetId out =
+          netlist.add_net(base + "_fb" + std::to_string(i));
+      hw.xor_gates.push_back(netlist.add_gate(
+          rtl::CellKind::kXor2, base + "_xor" + std::to_string(i), module,
+          {acc, tapped[i]}, out));
+      acc = out;
+    }
+    msb_d = acc;
+  } else {
+    msb_d = q[0];  // circular rotate
+  }
+
+  // Shift-register stages: bit i loads bit i+1; the MSB loads feedback.
+  for (unsigned i = 0; i < config.width; ++i) {
+    const rtl::NetId d = (i + 1 < config.width) ? q[i + 1] : msb_d;
+    const bool init = ((config.seed >> i) & 1u) != 0u;
+    hw.flops.push_back(netlist.add_flop(
+        rtl::CellKind::kDff, base + "_ff" + std::to_string(i), module, {d},
+        q[i], tree.leaf_nets[i], init));
+  }
+
+  hw.wmark = q[0];
+  hw.register_count = config.width;
+  return hw;
+}
+
+}  // namespace clockmark::wgc

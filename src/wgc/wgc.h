@@ -1,0 +1,75 @@
+// Watermark Generation Circuit (WGC). The paper's WGC contains two
+// sequence generators configurable as 32-bit LFSRs or circular shift
+// registers; the experiments use a single generator configured as a
+// 12-bit maximal-length LFSR. This module provides both a behavioural
+// model (fast bit stream for long traces) and a gate-level realisation
+// (for functional simulation, power characterisation and the removal-
+// attack analysis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.h"
+#include "sequence/circular.h"
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+
+namespace clockmark::wgc {
+
+enum class WgcMode {
+  kLfsr,      ///< maximal-length LFSR (paper's configuration)
+  kCircular,  ///< circular shift register with a fixed signature
+};
+
+struct WgcConfig {
+  WgcMode mode = WgcMode::kLfsr;
+  unsigned width = 12;      ///< register stages used (2..32)
+  std::uint32_t taps = 0;   ///< 0 = sequence::maximal_taps(width)
+  std::uint32_t seed = 1;   ///< initial state / circular pattern
+
+  std::uint32_t effective_taps() const {
+    return taps != 0 ? taps : sequence::maximal_taps(width);
+  }
+};
+
+/// Behavioural WGC: emits the WMARK bit stream.
+class WgcSequence {
+ public:
+  explicit WgcSequence(const WgcConfig& config);
+
+  bool step();
+  std::vector<bool> generate(std::size_t n);
+
+  /// Sequence period: 2^width - 1 for a maximal LFSR, width for a
+  /// circular register (upper bound; actual may divide it).
+  std::size_t period() const noexcept { return period_; }
+
+  const WgcConfig& config() const noexcept { return config_; }
+
+  /// One full period of the sequence, from the configured seed.
+  std::vector<bool> one_period();
+
+ private:
+  WgcConfig config_;
+  std::size_t period_;
+  sequence::Lfsr lfsr_;
+  sequence::CircularShiftRegister circular_;
+};
+
+/// Gate-level WGC built into a netlist.
+struct WgcHardware {
+  std::vector<rtl::CellId> flops;       ///< shift-register stages
+  std::vector<rtl::CellId> xor_gates;   ///< feedback network (LFSR mode)
+  std::vector<rtl::CellId> clock_cells; ///< leaf clock buffers
+  rtl::NetId wmark = rtl::kInvalidNet;  ///< the WMARK output net
+  std::size_t register_count = 0;       ///< paper's area unit
+};
+
+/// Builds the WGC under `module`, clocked (un-gated — the WGC itself
+/// always runs) from root_clock. The gate-level sequence matches
+/// WgcSequence bit-for-bit.
+WgcHardware build_wgc(rtl::Netlist& netlist, std::uint32_t module,
+                      rtl::NetId root_clock, const WgcConfig& config);
+
+}  // namespace clockmark::wgc

@@ -1,0 +1,166 @@
+#include "attack/analysis.h"
+#include "attack/removal.h"
+#include "attack/report.h"
+
+#include <gtest/gtest.h>
+
+#include "watermark/clock_modulation.h"
+#include "watermark/embedder.h"
+#include "watermark/load_circuit.h"
+
+namespace clockmark::attack {
+namespace {
+
+wgc::WgcConfig small_wgc() {
+  wgc::WgcConfig cfg;
+  cfg.width = 6;
+  return cfg;
+}
+
+struct TwoDesigns {
+  rtl::Netlist load_nl;
+  rtl::NetId load_clk = 0;
+  rtl::NetId load_out = 0;
+
+  rtl::Netlist embed_nl;
+  rtl::NetId embed_clk = 0;
+  rtl::NetId embed_out = 0;
+};
+
+TwoDesigns build_designs() {
+  TwoDesigns d;
+  {
+    d.load_clk = d.load_nl.add_net("clk");
+    const auto ip = watermark::build_demo_ip_block(d.load_nl, "soc/ip",
+                                                   d.load_clk, {2, 16});
+    d.load_out = ip.data_out;
+    watermark::LoadCircuitConfig lc;
+    lc.wgc = small_wgc();
+    lc.load_registers = 32;
+    watermark::build_load_circuit_watermark(d.load_nl, "soc/watermark",
+                                            d.load_clk, lc);
+  }
+  {
+    d.embed_clk = d.embed_nl.add_net("clk");
+    const auto ip = watermark::build_demo_ip_block(d.embed_nl, "soc/ip",
+                                                   d.embed_clk, {2, 16});
+    d.embed_out = ip.data_out;
+    watermark::embed_clock_modulation(d.embed_nl, "soc/watermark",
+                                      d.embed_clk, small_wgc(), ip.icgs);
+  }
+  return d;
+}
+
+TEST(StandaloneAnalysis, LoadCircuitWatermarkIsFlagged) {
+  const auto d = build_designs();
+  const auto found = find_standalone_circuits(d.load_nl);
+  ASSERT_GE(found.size(), 1u);
+  // The biggest suspicious circuit is the watermark: WGC + load ring.
+  const auto& sc = found.front();
+  EXPECT_GE(sc.register_count, 32u + 6u);
+  bool names_watermark = false;
+  for (const auto& m : sc.module_paths) {
+    if (m.find("watermark") != std::string::npos) names_watermark = true;
+  }
+  EXPECT_TRUE(names_watermark);
+  const auto wm_cells = cells_under_module(d.load_nl, "soc/watermark");
+  EXPECT_DOUBLE_EQ(attacker_recall(found, wm_cells), 1.0);
+}
+
+TEST(StandaloneAnalysis, EmbeddedWatermarkIsInvisible) {
+  const auto d = build_designs();
+  const auto found = find_standalone_circuits(d.embed_nl);
+  const auto wm_cells = cells_under_module(d.embed_nl, "soc/watermark");
+  ASSERT_FALSE(wm_cells.empty());
+  // The WGC feeds functional clock gates, so it reaches the primary
+  // output and is never flagged.
+  EXPECT_DOUBLE_EQ(attacker_recall(found, wm_cells), 0.0);
+}
+
+TEST(StandaloneAnalysis, MinCellsFiltersStubs) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.add_net("a");
+  const rtl::NetId b = nl.add_net("b");
+  const rtl::NetId out = nl.add_net("out");
+  nl.mark_output(out);
+  nl.add_gate(rtl::CellKind::kInv, "live", 0, {a}, out);
+  nl.add_gate(rtl::CellKind::kInv, "stub", 0, {a}, b);  // 1-cell island
+  EXPECT_TRUE(find_standalone_circuits(nl, 4).empty());
+  EXPECT_EQ(find_standalone_circuits(nl, 1).size(), 1u);
+}
+
+TEST(AttackerRecall, EmptyWatermarkIsZero) {
+  EXPECT_EQ(attacker_recall({}, {}), 0.0);
+}
+
+TEST(Removal, LoadCircuitRemovalLeavesFunctionIntact) {
+  const auto d = build_designs();
+  const auto victims = cells_under_module(d.load_nl, "soc/watermark");
+  const auto outcome = simulate_removal_attack(d.load_nl, victims,
+                                               d.load_clk, d.load_out, 200);
+  EXPECT_EQ(outcome.cells_removed, victims.size());
+  EXPECT_EQ(outcome.output_mismatch_cycles, 0u);
+  EXPECT_TRUE(outcome.functionally_intact());
+  EXPECT_EQ(outcome.unclocked_registers, 0u);
+}
+
+TEST(Removal, EmbeddedRemovalBreaksTheDesign) {
+  const auto d = build_designs();
+  const auto victims = cells_under_module(d.embed_nl, "soc/watermark");
+  const auto outcome = simulate_removal_attack(
+      d.embed_nl, victims, d.embed_clk, d.embed_out, 200);
+  // Deleting the WGC leaves every functional ICG enable undriven-low:
+  // the pipelines never clock again and the output diverges.
+  EXPECT_GT(outcome.output_mismatch_cycles, 0u);
+  EXPECT_FALSE(outcome.functionally_intact());
+}
+
+TEST(Removal, RemovingIcgsUnclocksRegisters) {
+  // Directly deleting the functional clock gates strands their flops.
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  const auto ip = watermark::build_demo_ip_block(nl, "ip", clk, {2, 16});
+  const auto outcome = simulate_removal_attack(
+      nl, std::vector<rtl::CellId>(ip.icgs.begin(), ip.icgs.end()), clk,
+      ip.data_out, 64);
+  // 2 groups x 16 registers behind the deleted ICGs (the leaf buffers
+  // below them are also stranded).
+  EXPECT_GE(outcome.unclocked_registers, 32u);
+}
+
+TEST(Removal, EmptyVictimSetIsNoOp) {
+  const auto d = build_designs();
+  const auto outcome =
+      simulate_removal_attack(d.load_nl, {}, d.load_clk, d.load_out, 64);
+  EXPECT_EQ(outcome.cells_removed, 0u);
+  EXPECT_TRUE(outcome.functionally_intact());
+}
+
+TEST(RobustnessStudy, ReproducesSectionSixConclusions) {
+  RobustnessStudyConfig cfg;
+  cfg.ip = {2, 16};
+  cfg.wgc = small_wgc();
+  cfg.load_registers = 32;
+  cfg.compare_cycles = 128;
+  const auto report = run_robustness_study(cfg);
+
+  // State of the art: fully visible, freely removable.
+  EXPECT_DOUBLE_EQ(report.load_circuit.attacker_recall, 1.0);
+  EXPECT_TRUE(report.load_circuit.removal.functionally_intact());
+
+  // Proposed: invisible to stand-alone analysis, removal destroys the IP.
+  EXPECT_DOUBLE_EQ(report.clock_modulation.attacker_recall, 0.0);
+  EXPECT_FALSE(report.clock_modulation.removal.functionally_intact());
+
+  // Area: the clock-modulation watermark adds only the WGC.
+  EXPECT_LT(report.clock_modulation.watermark_registers,
+            report.load_circuit.watermark_registers);
+
+  const std::string text = to_string(report);
+  EXPECT_NE(text.find("clock modulation"), std::string::npos);
+  EXPECT_NE(text.find("BROKEN"), std::string::npos);
+  EXPECT_NE(text.find("removable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clockmark::attack

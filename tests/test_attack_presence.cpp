@@ -1,0 +1,95 @@
+#include "attack/presence.h"
+
+#include <gtest/gtest.h>
+
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "util/rng.h"
+
+namespace clockmark::attack {
+namespace {
+
+std::vector<double> watermarked_trace(unsigned width, std::size_t n,
+                                      std::size_t phase, double amplitude,
+                                      double sigma, std::uint64_t seed) {
+  sequence::Lfsr lfsr(width, sequence::maximal_taps(width), 1);
+  const std::size_t period = (1u << width) - 1u;
+  std::vector<bool> bits(period);
+  for (auto&& b : bits) b = lfsr.step();
+  util::Pcg32 rng(seed);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = (bits[(i + phase) % period] ? amplitude : 0.0) +
+           rng.gaussian(2.0, sigma);
+  }
+  return y;
+}
+
+TEST(PresenceScan, FindsWatermarkAndItsWidth) {
+  const auto y = watermarked_trace(10, 60000, 321, 0.4, 1.0, 1);
+  const auto result = scan_for_watermark(y, 7, 12);
+  ASSERT_TRUE(result.watermark_found);
+  const auto& best = result.candidates[result.best];
+  EXPECT_EQ(best.width, 10u);
+  EXPECT_EQ(best.peak_rotation, 321u);
+  EXPECT_TRUE(best.detected);
+  // No other width should beat it.
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i].peak_z, best.peak_z);
+  }
+}
+
+TEST(PresenceScan, QuietTraceFindsNothing) {
+  util::Pcg32 rng(7);
+  std::vector<double> y(60000);
+  for (auto& v : y) v = rng.gaussian(2.0, 1.0);
+  const auto result = scan_for_watermark(y, 7, 12);
+  EXPECT_FALSE(result.watermark_found);
+  for (const auto& c : result.candidates) {
+    EXPECT_FALSE(c.detected) << "false positive at width " << c.width;
+  }
+}
+
+TEST(PresenceScan, WrongPolynomialFamilyIsNotFound) {
+  // Watermark driven by the second polynomial of a preferred pair: the
+  // scan (which only knows the library's table polynomial) must miss it.
+  // This is precisely the defender's key-space argument.
+  const unsigned w = 9;
+  const std::size_t period = 511;
+  sequence::Lfsr other(w, 0x59u /* x^9+x^6+x^4+x^3+1 */, 1);
+  std::vector<bool> bits(period);
+  for (auto&& b : bits) b = other.step();
+  util::Pcg32 rng(3);
+  std::vector<double> y(60000);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = (bits[i % period] ? 0.4 : 0.0) + rng.gaussian(2.0, 1.0);
+  }
+  const auto result = scan_for_watermark(y, 9, 9);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_FALSE(result.candidates[0].detected);
+}
+
+TEST(PresenceScan, ShortTraceSkipsUnresolvableWidths) {
+  const auto y = watermarked_trace(8, 300, 10, 0.4, 0.5, 9);
+  // Width 12 needs 4095 cycles of trace; only widths up to 8 fit 300.
+  const auto result = scan_for_watermark(y, 7, 12);
+  for (const auto& c : result.candidates) {
+    EXPECT_LE(c.width, 8u);
+  }
+}
+
+TEST(PrimitivePolynomialCount, KnownValues) {
+  // phi(2^w - 1)/w: 2 -> 1, 3 -> 2, 4 -> 2, 5 -> 6, 8 -> 16, 12 -> 144.
+  EXPECT_EQ(primitive_polynomial_count(2), 1u);
+  EXPECT_EQ(primitive_polynomial_count(3), 2u);
+  EXPECT_EQ(primitive_polynomial_count(4), 2u);
+  EXPECT_EQ(primitive_polynomial_count(5), 6u);
+  EXPECT_EQ(primitive_polynomial_count(8), 16u);
+  EXPECT_EQ(primitive_polynomial_count(12), 144u);
+  EXPECT_EQ(primitive_polynomial_count(0), 0u);
+  // Key space grows fast: a 32-bit LFSR already has ~67M polynomials.
+  EXPECT_GT(primitive_polynomial_count(32), 60000000u);
+}
+
+}  // namespace
+}  // namespace clockmark::attack

@@ -1,0 +1,149 @@
+#include "attack/tamper.h"
+
+#include <gtest/gtest.h>
+
+#include "cpa/detector.h"
+#include "rtl/simulator.h"
+#include "util/rng.h"
+#include "watermark/embedder.h"
+
+namespace clockmark::attack {
+namespace {
+
+wgc::WgcConfig small_wgc() {
+  wgc::WgcConfig cfg;
+  cfg.width = 6;
+  return cfg;
+}
+
+struct Design {
+  rtl::Netlist nl;
+  rtl::NetId clk = 0;
+  watermark::DemoIpBlock ip;
+};
+
+Design clean_ip() {
+  Design d;
+  d.clk = d.nl.add_net("clk");
+  d.ip = watermark::build_demo_ip_block(d.nl, "soc/ip", d.clk, {4, 16});
+  return d;
+}
+
+TEST(FanoutSignature, NaiveEmbeddingIsFlagged) {
+  Design d = clean_ip();
+  const auto embed = watermark::embed_clock_modulation(
+      d.nl, "soc/wgc", d.clk, small_wgc(), d.ip.icgs);
+  const auto suspects = find_wmark_fanout_signature(d.nl, 3);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].net, embed.wmark);
+  EXPECT_EQ(suspects[0].and_gates.size(), 4u);
+}
+
+TEST(FanoutSignature, DiversifiedEmbeddingIsInvisible) {
+  Design d = clean_ip();
+  watermark::embed_clock_modulation_diversified(d.nl, "soc/wgc", d.clk,
+                                                small_wgc(), d.ip.icgs);
+  // Each WGC stage feeds at most one modulation AND: no net reaches the
+  // fan-out threshold.
+  EXPECT_TRUE(find_wmark_fanout_signature(d.nl, 3).empty());
+}
+
+TEST(FanoutSignature, CleanDesignHasNoSuspects) {
+  Design d = clean_ip();
+  EXPECT_TRUE(find_wmark_fanout_signature(d.nl, 2).empty());
+}
+
+TEST(BypassAttack, NeutralisesNaiveEmbedding) {
+  Design wm = clean_ip();
+  watermark::embed_clock_modulation(wm.nl, "soc/wgc", wm.clk, small_wgc(),
+                                    wm.ip.icgs);
+  Design ref = clean_ip();
+  const auto outcome = bypass_attack(
+      wm.nl, ref.nl, wm.clk, ref.clk, wm.ip.data_out, ref.ip.data_out,
+      "soc/wgc", 3, 256);
+  EXPECT_EQ(outcome.suspects_found, 1u);
+  EXPECT_EQ(outcome.gates_bypassed, 4u);
+  EXPECT_TRUE(outcome.function_restored);
+  EXPECT_FALSE(outcome.watermark_still_wired);
+}
+
+TEST(BypassAttack, FailsAgainstDiversifiedEmbedding) {
+  Design wm = clean_ip();
+  watermark::embed_clock_modulation_diversified(wm.nl, "soc/wgc", wm.clk,
+                                                small_wgc(), wm.ip.icgs);
+  Design ref = clean_ip();
+  const auto outcome = bypass_attack(
+      wm.nl, ref.nl, wm.clk, ref.clk, wm.ip.data_out, ref.ip.data_out,
+      "soc/wgc", 3, 256);
+  EXPECT_EQ(outcome.suspects_found, 0u);
+  EXPECT_EQ(outcome.gates_bypassed, 0u);
+  // Nothing bypassed: the watermark still gates the functional clocks,
+  // so the design does NOT behave like the clean reference...
+  EXPECT_FALSE(outcome.function_restored);
+  // ...and the WGC still drives the ICGs.
+  EXPECT_TRUE(outcome.watermark_still_wired);
+}
+
+TEST(DiversifiedModel, PatternSumsStageShifts) {
+  wgc::WgcConfig cfg = small_wgc();  // period 63
+  const std::vector<unsigned> stages = {0, 2, 5};
+  const auto pattern =
+      watermark::diversified_model_pattern(cfg, stages);
+  ASSERT_EQ(pattern.size(), 63u);
+  wgc::WgcSequence seq(cfg);
+  const auto base = seq.one_period();
+  for (std::size_t i = 0; i < 63; ++i) {
+    double expected = 0.0;
+    for (const unsigned s : stages) {
+      if (base[(i + s) % 63]) expected += 1.0;
+    }
+    EXPECT_DOUBLE_EQ(pattern[i], expected) << "cycle " << i;
+  }
+}
+
+TEST(DiversifiedModel, DetectableWithCompositePattern) {
+  // Gate-level diversified design: characterise the modulated power per
+  // cycle over one period, tile + noise, and verify the composite model
+  // finds the phase while the plain WMARK model does worse.
+  Design d = clean_ip();
+  const auto embed = watermark::embed_clock_modulation_diversified(
+      d.nl, "soc/wgc", d.clk, small_wgc(), d.ip.icgs);
+
+  // Period of the full system: WGC period 63 x counter period 8 = 504;
+  // characterise power over 504 cycles (a whole joint period).
+  rtl::Simulator sim(d.nl);
+  sim.set_clock_source(d.clk);
+  power::PowerEstimator est(d.nl, power::tsmc65lp_like());
+  const std::size_t joint = 504;
+  std::vector<double> cycle_power(joint);
+  for (std::size_t i = 0; i < joint; ++i) {
+    const auto& act = sim.step();
+    cycle_power[i] = est.dynamic_cycle_energy(act.total);
+  }
+
+  // Long noisy trace by tiling the joint period.
+  util::Pcg32 rng(11);
+  const std::size_t n = 40000;
+  const double sigma = 2e-12;
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = cycle_power[i % joint] + rng.gaussian(0.0, sigma);
+  }
+
+  const auto composite = watermark::diversified_model_pattern(
+      small_wgc(), embed.stage_of_icg);
+  const cpa::Detector detector;
+  const auto with_composite = detector.detect(y, composite);
+  EXPECT_TRUE(with_composite.detected) << with_composite.reason;
+  EXPECT_EQ(with_composite.spectrum.peak_rotation, 0u);
+
+  // The plain single-stage model correlates strictly worse.
+  wgc::WgcSequence seq(small_wgc());
+  const auto plain = cpa::to_model_pattern(seq.one_period());
+  const auto with_plain = detector.detect(y, plain);
+  EXPECT_GT(std::abs(with_composite.spectrum.peak_value),
+            std::abs(with_plain.spectrum.peak_value));
+}
+
+}  // namespace
+}  // namespace clockmark::attack

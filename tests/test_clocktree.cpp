@@ -1,0 +1,153 @@
+#include "clocktree/builder.h"
+#include "clocktree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rtl/simulator.h"
+
+namespace clockmark::clocktree {
+namespace {
+
+using rtl::CellKind;
+using rtl::Netlist;
+using rtl::NetId;
+
+// Verifies no clock cell output drives more than max_fanout loads.
+void expect_fanout_bounded(const Netlist& nl, unsigned max_fanout) {
+  std::map<NetId, std::size_t> load_count;
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) {
+    const auto& c = nl.cell(static_cast<rtl::CellId>(i));
+    if (c.clock != rtl::kInvalidNet) ++load_count[c.clock];
+    for (const NetId in : c.inputs) ++load_count[in];
+  }
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) {
+    const auto& c = nl.cell(static_cast<rtl::CellId>(i));
+    if (rtl::is_clock_cell(c.kind) && c.output != rtl::kInvalidNet) {
+      EXPECT_LE(load_count[c.output], max_fanout)
+          << "cell " << c.name << " overloads its output";
+    }
+  }
+}
+
+class TreeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSizes, OneLeafPerSink) {
+  const std::size_t sinks = GetParam();
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const auto tree = build_clock_tree(nl, 0, clk, sinks);
+  EXPECT_EQ(tree.leaf_nets.size(), sinks);
+  EXPECT_GE(tree.buffers.size(), sinks);  // at least the leaf buffers
+  expect_fanout_bounded(nl, 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSizes,
+                         ::testing::Values(1, 2, 15, 16, 17, 32, 100, 1024));
+
+TEST(ClockTree, ZeroSinksEmptyTree) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const auto tree = build_clock_tree(nl, 0, clk, 0);
+  EXPECT_TRUE(tree.leaf_nets.empty());
+  EXPECT_TRUE(tree.buffers.empty());
+}
+
+TEST(ClockTree, BadFanoutThrows) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  ClockTreeOptions opt;
+  opt.max_fanout = 1;
+  EXPECT_THROW(build_clock_tree(nl, 0, clk, 4, opt), std::invalid_argument);
+}
+
+TEST(ClockTree, NoLeafBuffersOption) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  ClockTreeOptions opt;
+  opt.leaf_buffer_per_sink = false;
+  const auto tree = build_clock_tree(nl, 0, clk, 8, opt);
+  EXPECT_EQ(tree.leaf_nets.size(), 8u);
+  EXPECT_TRUE(tree.buffers.empty());  // 8 <= fanout: root drives directly
+  for (const NetId leaf : tree.leaf_nets) EXPECT_EQ(leaf, clk);
+}
+
+TEST(ClockTree, ClockPropagatesToAllLeaves) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const auto tree = build_clock_tree(nl, 0, clk, 40);
+  // Attach a toggling flop to every leaf; all must clock each cycle.
+  std::vector<NetId> qs;
+  for (std::size_t i = 0; i < tree.leaf_nets.size(); ++i) {
+    const NetId q = nl.add_net("q" + std::to_string(i));
+    const NetId nq = nl.add_net("nq" + std::to_string(i));
+    nl.add_gate(CellKind::kInv, "i" + std::to_string(i), 0, {q}, nq);
+    nl.add_flop(CellKind::kDff, "f" + std::to_string(i), 0, {nq}, q,
+                tree.leaf_nets[i], false);
+    qs.push_back(q);
+  }
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  const auto act = sim.step();
+  EXPECT_EQ(act.total.clocked_flops, 40u);
+  EXPECT_EQ(act.total.active_buffers, tree.buffers.size());
+  for (const NetId q : qs) EXPECT_TRUE(sim.net_value(q));
+}
+
+TEST(GatedGroup, IcgControlsSubtree) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId en = nl.add_net("en");
+  nl.mark_input(en);
+  const auto group = build_gated_group(nl, 0, clk, en, 8, "grp");
+  // Put a toggler on one leaf.
+  const NetId q = nl.add_net("q");
+  const NetId nq = nl.add_net("nq");
+  nl.add_gate(CellKind::kInv, "i", 0, {q}, nq);
+  nl.add_flop(CellKind::kDff, "f", 0, {nq}, q, group.tree.leaf_nets[0],
+              false);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  sim.set_input(en, false);
+  auto act = sim.step();
+  EXPECT_EQ(act.total.clocked_flops, 0u);
+  EXPECT_EQ(act.total.active_buffers, 0u);  // whole subtree silent
+  sim.set_input(en, true);
+  act = sim.step();
+  EXPECT_EQ(act.total.clocked_flops, 1u);
+  EXPECT_EQ(act.total.active_buffers, group.tree.buffers.size());
+}
+
+TEST(BankClocking, PaperGeometry32x32) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId en = nl.add_net("en");
+  BankClockingOptions opt;
+  opt.words = 32;
+  opt.bits_per_word = 32;
+  opt.tree.max_fanout = 32;
+  const auto bank = build_bank_clocking(nl, 0, clk, en, "bank", opt);
+  EXPECT_EQ(bank.words.size(), 32u);
+  EXPECT_EQ(bank.leaf_nets.size(), 32u);
+  std::size_t leaves = 0;
+  for (const auto& word : bank.leaf_nets) leaves += word.size();
+  EXPECT_EQ(leaves, 1024u);
+  // 32 ICGs exist.
+  const auto census = nl.census();
+  EXPECT_EQ(census.at(CellKind::kIcg), 32u);
+  // Exactly one leaf clock buffer per register slot.
+  EXPECT_EQ(census.at(CellKind::kClockBuffer), 1024u + bank.spine_buffers.size());
+}
+
+TEST(BankClocking, InvalidGeometryThrows) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId en = nl.add_net("en");
+  EXPECT_THROW(build_bank_clocking(nl, 0, clk, en, "b",
+                                   BankClockingOptions{0, 32, {}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clockmark::clocktree

@@ -1,0 +1,199 @@
+#include "cpa/correlation.h"
+#include "cpa/detector.h"
+#include "cpa/repeatability.h"
+#include "cpa/spread_spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "util/rng.h"
+
+namespace clockmark::cpa {
+namespace {
+
+std::vector<double> m_sequence_pattern(unsigned width) {
+  sequence::Lfsr lfsr(width, sequence::maximal_taps(width), 1);
+  std::vector<double> p((1u << width) - 1u);
+  for (auto& v : p) v = lfsr.step() ? 1.0 : 0.0;
+  return p;
+}
+
+/// Synthetic measurement: pattern tiled at `rotation`, amplitude a, plus
+/// Gaussian noise sigma.
+std::vector<double> synthetic(const std::vector<double>& pattern,
+                              std::size_t n, std::size_t rotation, double a,
+                              double sigma, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = a * pattern[(i + rotation) % pattern.size()] +
+           rng.gaussian(10.0, sigma);
+  }
+  return y;
+}
+
+TEST(ToModelPattern, ConvertsBits) {
+  const std::vector<bool> bits = {true, false, true};
+  const auto p = to_model_pattern(bits);
+  EXPECT_EQ(p, (std::vector<double>{1.0, 0.0, 1.0}));
+}
+
+TEST(CorrelateRotations, MethodsAgreeOnRealisticData) {
+  const auto pattern = m_sequence_pattern(8);  // P = 255
+  const auto y = synthetic(pattern, 5000, 100, 0.5, 1.0, 9);
+  const auto naive =
+      correlate_rotations(y, pattern, CorrelationMethod::kNaive);
+  const auto folded =
+      correlate_rotations(y, pattern, CorrelationMethod::kFolded);
+  const auto fft = correlate_rotations(y, pattern, CorrelationMethod::kFft);
+  for (std::size_t r = 0; r < pattern.size(); ++r) {
+    EXPECT_NEAR(naive[r], folded[r], 1e-9);
+    EXPECT_NEAR(naive[r], fft[r], 1e-9);
+  }
+}
+
+TEST(CorrelateAt, MatchesSweepValue) {
+  const auto pattern = m_sequence_pattern(7);
+  const auto y = synthetic(pattern, 3000, 50, 0.4, 1.0, 11);
+  const auto sweep = correlate_rotations(y, pattern);
+  EXPECT_NEAR(correlate_at(y, pattern, 50), sweep[50], 1e-9);
+  EXPECT_NEAR(correlate_at(y, pattern, 0), sweep[0], 1e-9);
+}
+
+struct SnrCase {
+  double amplitude;
+  double sigma;
+  bool should_detect;
+};
+
+class DetectionVsSnr : public ::testing::TestWithParam<SnrCase> {};
+
+TEST_P(DetectionVsSnr, DetectorFollowsSnr) {
+  const auto& sc = GetParam();
+  const auto pattern = m_sequence_pattern(10);  // P = 1023
+  const std::size_t truth = 321;
+  const auto y =
+      synthetic(pattern, 60000, truth, sc.amplitude, sc.sigma, 13);
+  const Detector detector;
+  const auto result = detector.detect(y, pattern);
+  EXPECT_EQ(result.detected, sc.should_detect)
+      << "a=" << sc.amplitude << " sigma=" << sc.sigma << ": "
+      << result.reason;
+  if (sc.should_detect) {
+    EXPECT_EQ(result.spectrum.peak_rotation, truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SnrSweep, DetectionVsSnr,
+    ::testing::Values(SnrCase{0.5, 1.0, true},    // strong
+                      SnrCase{0.1, 1.0, true},    // paper-like rho ~ 0.05
+                      SnrCase{0.05, 1.0, true},   // rho ~ 0.025, z ~ 6
+                      SnrCase{0.0, 1.0, false},   // no watermark at all
+                      SnrCase{0.005, 1.0, false}  // hopeless SNR
+                      ));
+
+TEST(SpreadSpectrum, StatsExcludePeakWindow) {
+  const auto pattern = m_sequence_pattern(8);
+  const auto y = synthetic(pattern, 20000, 77, 0.5, 1.0, 17);
+  const auto ss = compute_spread_spectrum(y, pattern);
+  EXPECT_EQ(ss.peak_rotation, 77u);
+  EXPECT_GT(ss.peak_value, 5.0 * ss.noise_std);
+  EXPECT_LT(std::fabs(ss.noise_mean), 3.0 * ss.noise_std);
+  EXPECT_GT(ss.isolation(), 1.5);
+  EXPECT_GT(ss.peak_z, 5.0);
+}
+
+TEST(SpreadSpectrum, NegativePeakDetectedByMagnitude) {
+  // An inverted watermark (anti-correlated) still peaks, negatively.
+  const auto pattern = m_sequence_pattern(8);
+  auto y = synthetic(pattern, 20000, 50, -0.5, 1.0, 19);
+  const auto ss = compute_spread_spectrum(y, pattern);
+  EXPECT_EQ(ss.peak_rotation, 50u);
+  EXPECT_LT(ss.peak_value, 0.0);
+  EXPECT_GT(ss.peak_z, 5.0);
+}
+
+TEST(SpreadSpectrum, EmptySweep) {
+  const auto ss = summarize_sweep({}, 8);
+  EXPECT_TRUE(ss.rho.empty());
+  EXPECT_EQ(ss.peak_value, 0.0);
+}
+
+TEST(Detector, PolicyThresholdsRespected) {
+  DetectorPolicy strict;
+  strict.min_peak_z = 50.0;  // unreachable
+  const auto pattern = m_sequence_pattern(8);
+  const auto y = synthetic(pattern, 20000, 40, 0.5, 1.0, 23);
+  const Detector detector(strict);
+  EXPECT_FALSE(detector.detect(y, pattern).detected);
+}
+
+TEST(Detector, ReasonStringExplains) {
+  const auto pattern = m_sequence_pattern(8);
+  const auto y = synthetic(pattern, 20000, 40, 0.5, 1.0, 29);
+  const Detector detector;
+  const auto result = detector.detect(y, pattern);
+  EXPECT_NE(result.reason.find("DETECTED"), std::string::npos);
+  EXPECT_NE(result.reason.find("rotation 40"), std::string::npos);
+}
+
+TEST(Detector, NoiseFloorMaxZIsBelowThreshold) {
+  // Pure noise across many trials: the detector must stay quiet.
+  const auto pattern = m_sequence_pattern(8);
+  const Detector detector;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const auto y = synthetic(pattern, 20000, 0, 0.0, 1.0, seed);
+    EXPECT_FALSE(detector.detect(y, pattern).detected)
+        << "false positive at seed " << seed;
+  }
+}
+
+TEST(Repeatability, CollectsInAndOffPhase) {
+  const auto pattern = m_sequence_pattern(8);
+  const Detector detector;
+  const auto result = run_repeatability(
+      20,
+      [&](std::size_t rep) {
+        const std::size_t truth = (rep * 37) % pattern.size();
+        const auto y =
+            synthetic(pattern, 20000, truth, 0.5, 1.0, 1000 + rep);
+        RepetitionOutcome out;
+        out.spectrum = compute_spread_spectrum(y, pattern);
+        out.true_rotation = truth;
+        out.detected = detector.decide(out.spectrum).detected;
+        return out;
+      });
+  EXPECT_EQ(result.repetitions, 20u);
+  EXPECT_EQ(result.detections, 20u);
+  // In-phase correlations are clearly separated from the off-phase box.
+  EXPECT_GT(result.in_phase.median, 5.0 * result.off_phase.q_high);
+  EXPECT_NEAR(result.off_phase.median, 0.0, 0.01);
+  EXPECT_EQ(result.samples.size(), 20u);
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.in_phase_rho, s.max_off_phase);
+  }
+}
+
+TEST(Repeatability, InactiveWatermarkNeverDetects) {
+  const auto pattern = m_sequence_pattern(8);
+  const Detector detector;
+  const auto result = run_repeatability(
+      10,
+      [&](std::size_t rep) {
+        const auto y = synthetic(pattern, 20000, 0, 0.0, 1.0, 2000 + rep);
+        RepetitionOutcome out;
+        out.spectrum = compute_spread_spectrum(y, pattern);
+        out.true_rotation = 0;
+        out.detected = detector.decide(out.spectrum).detected;
+        return out;
+      });
+  EXPECT_EQ(result.detections, 0u);
+  EXPECT_NEAR(result.in_phase.median, 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace clockmark::cpa

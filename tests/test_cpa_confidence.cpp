@@ -1,0 +1,93 @@
+#include "cpa/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace clockmark::cpa {
+namespace {
+
+TEST(NormalTail, KnownValues) {
+  EXPECT_NEAR(normal_tail(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_tail(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_tail(3.0), 1.35e-3, 1e-4);
+  EXPECT_LT(normal_tail(6.0), 1e-8);
+  EXPECT_NEAR(normal_tail(-1.0) + normal_tail(1.0), 1.0, 1e-12);
+}
+
+TEST(FalsePositive, MonotoneInZ) {
+  double prev = 1.0;
+  for (double z = 0.0; z < 8.0; z += 0.5) {
+    const double p = false_positive_probability(z, 4095);
+    EXPECT_LE(p, prev + 1e-15);
+    prev = p;
+  }
+}
+
+TEST(FalsePositive, GrowsWithRotations) {
+  EXPECT_GT(false_positive_probability(4.0, 4095),
+            false_positive_probability(4.0, 255));
+}
+
+TEST(FalsePositive, PaperScaleThreshold) {
+  // At the paper's P = 4095: z = 4 is not yet significant (noise peaks
+  // that high), z = 5.5 — the detector default — is.
+  EXPECT_GT(false_positive_probability(4.0, 4095), 0.1);
+  EXPECT_LT(false_positive_probability(5.5, 4095), 1e-3);
+}
+
+TEST(FalsePositive, EdgeCases) {
+  EXPECT_EQ(false_positive_probability(5.0, 0), 0.0);
+  EXPECT_EQ(false_positive_probability(0.0, 100), 1.0);  // p >= 1 clamps
+}
+
+TEST(ExpectedNoisePeak, MatchesSqrtLog) {
+  EXPECT_NEAR(expected_noise_peak_z(4095),
+              std::sqrt(2.0 * std::log(4095.0)), 1e-12);
+  EXPECT_EQ(expected_noise_peak_z(1), 0.0);
+}
+
+TEST(ExpectedNoisePeak, EmpiricalAgreement) {
+  // Max |z| of 4095 standard normal draws lands near sqrt(2 ln P).
+  util::Pcg32 rng(3);
+  double acc = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    double peak = 0.0;
+    for (int i = 0; i < 4095; ++i) {
+      peak = std::max(peak, std::fabs(rng.gaussian()));
+    }
+    acc += peak;
+  }
+  EXPECT_NEAR(acc / trials, expected_noise_peak_z(4095), 0.35);
+}
+
+TEST(ZThreshold, InvertsFalsePositive) {
+  for (const double alpha : {0.05, 0.01, 1e-4}) {
+    const double z = z_threshold_for_alpha(alpha, 4095);
+    EXPECT_LE(false_positive_probability(z, 4095), alpha * 1.01);
+    EXPECT_GE(false_positive_probability(z - 0.05, 4095), alpha * 0.99);
+  }
+}
+
+TEST(ZThreshold, DegenerateInputs) {
+  EXPECT_EQ(z_threshold_for_alpha(0.0, 4095), 0.0);
+  EXPECT_EQ(z_threshold_for_alpha(0.5, 0), 0.0);
+}
+
+TEST(DetectionConfidence, FromSpectrum) {
+  SpreadSpectrum ss;
+  ss.rho.assign(4095, 0.0);
+  ss.noise_std = 0.0018;
+  ss.peak_z = 10.0;
+  EXPECT_GT(detection_confidence(ss), 0.999999);
+  ss.peak_z = 2.0;
+  EXPECT_LT(detection_confidence(ss), 0.01);
+  SpreadSpectrum empty;
+  EXPECT_EQ(detection_confidence(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace clockmark::cpa

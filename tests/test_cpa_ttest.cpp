@@ -1,0 +1,113 @@
+#include "cpa/ttest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpa/correlation.h"
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "util/rng.h"
+
+namespace clockmark::cpa {
+namespace {
+
+std::vector<double> pattern_of_width(unsigned width) {
+  sequence::Lfsr lfsr(width, sequence::maximal_taps(width), 1);
+  std::vector<double> p((1u << width) - 1u);
+  for (auto& v : p) v = lfsr.step() ? 1.0 : 0.0;
+  return p;
+}
+
+std::vector<double> synthetic(const std::vector<double>& pattern,
+                              std::size_t n, std::size_t rot, double a,
+                              double sigma, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = a * pattern[(i + rot) % pattern.size()] +
+           rng.gaussian(5.0, sigma);
+  }
+  return y;
+}
+
+TEST(WelchTTest, SeparatesGroupsAtTrueRotation) {
+  const auto pattern = pattern_of_width(8);
+  const auto y = synthetic(pattern, 20000, 99, 0.5, 1.0, 1);
+  const auto r = welch_t_test(y, pattern, 99);
+  EXPECT_GT(r.t, 10.0);
+  EXPECT_NEAR(r.mean_high - r.mean_low, 0.5, 0.05);
+  EXPECT_GT(r.n_high, 9000u);
+  EXPECT_GT(r.n_low, 9000u);
+}
+
+TEST(WelchTTest, NearZeroAtWrongRotation) {
+  const auto pattern = pattern_of_width(8);
+  const auto y = synthetic(pattern, 20000, 99, 0.5, 1.0, 2);
+  const auto r = welch_t_test(y, pattern, 150);
+  EXPECT_LT(std::fabs(r.t), 5.0);
+}
+
+TEST(WelchTTest, SweepMatchesPerRotationTest) {
+  const auto pattern = pattern_of_width(6);
+  const auto y = synthetic(pattern, 3000, 17, 0.3, 1.0, 3);
+  const auto sweep = t_sweep(y, pattern);
+  ASSERT_EQ(sweep.size(), pattern.size());
+  for (const std::size_t r : {0u, 5u, 17u, 42u, 62u}) {
+    const auto direct = welch_t_test(y, pattern, r);
+    EXPECT_NEAR(sweep[r], std::fabs(direct.t), 1e-9) << "rotation " << r;
+  }
+  // Peak of the sweep is at the true rotation.
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < sweep.size(); ++r) {
+    if (sweep[r] > sweep[best]) best = r;
+  }
+  EXPECT_EQ(best, 17u);
+}
+
+TEST(WelchTTest, EquivalentToPearsonInformation) {
+  // For a binary model: t == rho * sqrt((N-2)/(1-rho^2)).
+  const auto pattern = pattern_of_width(8);
+  const auto y = synthetic(pattern, 30000, 40, 0.2, 1.0, 4);
+  const double rho = correlate_at(y, pattern, 40);
+  const auto t = welch_t_test(y, pattern, 40);
+  // Welch vs pooled t differ slightly when group variances differ; the
+  // agreement is within a couple of percent here.
+  EXPECT_NEAR(t.t, t_from_rho(rho, y.size()),
+              0.03 * std::fabs(t_from_rho(rho, y.size())));
+}
+
+TEST(WelchTTest, DegenerateGroupsGiveZero) {
+  // All-ones pattern: the low group is empty.
+  const std::vector<double> pattern(31, 1.0);
+  std::vector<double> y(1000, 1.0);
+  const auto r = welch_t_test(y, pattern, 0);
+  EXPECT_EQ(r.t, 0.0);
+  EXPECT_EQ(r.n_low, 0u);
+}
+
+TEST(WelchTTest, ConstantMeasurementGivesZero) {
+  const auto pattern = pattern_of_width(6);
+  const std::vector<double> y(2000, 3.0);
+  EXPECT_EQ(welch_t_test(y, pattern, 0).t, 0.0);
+  for (const double t : t_sweep(y, pattern)) EXPECT_EQ(t, 0.0);
+}
+
+TEST(WelchTTest, EmptyPatternThrows) {
+  const std::vector<double> y(10, 1.0);
+  const std::vector<double> empty;
+  EXPECT_THROW(welch_t_test(y, empty, 0), std::invalid_argument);
+  EXPECT_THROW(t_sweep(y, empty), std::invalid_argument);
+}
+
+TEST(TFromRho, KnownValues) {
+  EXPECT_EQ(t_from_rho(0.0, 1000), 0.0);
+  EXPECT_GT(t_from_rho(0.1, 1000), 3.0);
+  EXPECT_EQ(t_from_rho(1.0, 1000), 0.0);  // guarded
+  EXPECT_EQ(t_from_rho(0.5, 2), 0.0);     // too few samples
+  // Monotone in N.
+  EXPECT_GT(t_from_rho(0.05, 300000), t_from_rho(0.05, 30000));
+}
+
+}  // namespace
+}  // namespace clockmark::cpa

@@ -1,0 +1,236 @@
+#include "cpu/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/decoder.h"
+#include "cpu/programs.h"
+
+namespace clockmark::cpu {
+namespace {
+
+TEST(Assembler, BasicInstructions) {
+  const auto r = assemble(R"(
+      nop
+      mov r1, #42
+      add r2, r1, r1
+      halt)");
+  ASSERT_EQ(r.image.words.size(), 4u);
+  const auto i1 = decode(r.image.words[1]);
+  ASSERT_TRUE(i1.has_value());
+  EXPECT_EQ(i1->opcode, Opcode::kMovImm);
+  EXPECT_EQ(i1->rd, 1);
+  EXPECT_EQ(i1->imm, 42);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  const auto r = assemble(R"(
+  top:
+      b   skip
+      nop
+  skip:
+      b   top
+      )");
+  const auto fwd = decode(r.image.words[0]);
+  const auto bwd = decode(r.image.words[2]);
+  ASSERT_TRUE(fwd.has_value());
+  ASSERT_TRUE(bwd.has_value());
+  EXPECT_EQ(fwd->imm, 1);   // skip one word
+  EXPECT_EQ(bwd->imm, -3);  // back to address 0 from next-pc 12
+  EXPECT_EQ(r.symbols.at("top"), 0u);
+  EXPECT_EQ(r.symbols.at("skip"), 8u);
+}
+
+TEST(Assembler, LiExpandsToTwoWords) {
+  const auto r = assemble("    li r3, 0xdeadbeef\n    halt\n");
+  ASSERT_EQ(r.image.words.size(), 3u);
+  const auto lo = decode(r.image.words[0]);
+  const auto hi = decode(r.image.words[1]);
+  EXPECT_EQ(lo->opcode, Opcode::kMovImm);
+  EXPECT_EQ(lo->imm, 0xbeef);
+  EXPECT_EQ(hi->opcode, Opcode::kMovTop);
+  EXPECT_EQ(hi->imm, 0xdead);
+}
+
+TEST(Assembler, LiWithLabelAddress) {
+  const auto r = assemble(R"(
+      li r0, data
+      halt
+  data:
+      .word 7
+      )");
+  const auto lo = decode(r.image.words[0]);
+  EXPECT_EQ(lo->imm, 12);  // data sits after li (2 words) + halt
+}
+
+TEST(Assembler, EquConstants) {
+  const auto r = assemble(R"(
+  .equ MAGIC, 0x1234
+      mov r0, #MAGIC
+      halt)");
+  const auto i = decode(r.image.words[0]);
+  EXPECT_EQ(i->imm, 0x1234);
+}
+
+TEST(Assembler, WordDirectiveMultipleValues) {
+  const auto r = assemble(".word 1, 2, 0xff\n");
+  ASSERT_EQ(r.image.words.size(), 3u);
+  EXPECT_EQ(r.image.words[0], 1u);
+  EXPECT_EQ(r.image.words[2], 0xffu);
+}
+
+TEST(Assembler, SpaceDirectiveReservesZeroedWords) {
+  const auto r = assemble(".space 10\n.word 5\n");
+  ASSERT_EQ(r.image.words.size(), 4u);  // ceil(10/4)=3 zeros + 1 word
+  EXPECT_EQ(r.image.words[0], 0u);
+  EXPECT_EQ(r.image.words[3], 5u);
+}
+
+TEST(Assembler, RegisterAliases) {
+  const auto r = assemble("    mov sp, #16\n    bx lr\n");
+  const auto mov = decode(r.image.words[0]);
+  EXPECT_EQ(mov->rd, kSp);
+  const auto bx = decode(r.image.words[1]);
+  EXPECT_EQ(bx->rn, kLr);
+}
+
+TEST(Assembler, RegisterRangesInLists) {
+  const auto r = assemble("    push {r4-r7, lr}\n");
+  const auto p = decode(r.image.words[0]);
+  EXPECT_EQ(p->imm, 0x80f0);
+}
+
+TEST(Assembler, MemoryOperandForms) {
+  const auto r = assemble(R"(
+      ldr  r0, [r1]
+      ldr  r0, [r1, #8]
+      str  r0, [sp, #-4]
+      )");
+  EXPECT_EQ(decode(r.image.words[0])->imm, 0);
+  EXPECT_EQ(decode(r.image.words[1])->imm, 8);
+  EXPECT_EQ(decode(r.image.words[2])->imm, -4);
+  EXPECT_EQ(decode(r.image.words[2])->rn, kSp);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto r = assemble(R"(
+  ; full line comment
+      mov r0, #1   ; trailing comment
+      // c++ style
+      halt // done
+      )");
+  EXPECT_EQ(r.image.words.size(), 2u);
+}
+
+TEST(Assembler, BaseAddressOffsetsLabels) {
+  const auto r = assemble("start:\n    b start\n", 0x1000);
+  EXPECT_EQ(r.symbols.at("start"), 0x1000u);
+  EXPECT_EQ(r.image.base_address, 0x1000u);
+  EXPECT_EQ(decode(r.image.words[0])->imm, -1);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble("    frobnicate r0\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, UnknownLabel) {
+  EXPECT_THROW(assemble("    b nowhere\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("x:\nx:\n    nop\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("    add r0, r1\n"), AssemblyError);
+  EXPECT_THROW(assemble("    mov r0\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_THROW(assemble("    mov r16, #1\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, MessageIncludesLineNumber) {
+  try {
+    assemble("    nop\n    bogus r1\n");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Disassembler, RoundTripListing) {
+  const auto r = assemble(R"(
+      mov r1, #10
+      add r2, r1, r1
+      b   end
+      nop
+  end:
+      halt
+      )");
+  const std::string listing = disassemble(r.image);
+  EXPECT_NE(listing.find("mov r1, #10"), std::string::npos);
+  EXPECT_NE(listing.find("add r2, r1, r1"), std::string::npos);
+  EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(Validator, CleanProgramHasNoIssues) {
+  const auto r = assemble(R"(
+  loop:
+      add r0, r0, #1
+      b loop
+      )");
+  EXPECT_TRUE(validate(r.image).empty());
+}
+
+TEST(Validator, BranchOutsideImageFlagged) {
+  // Hand-craft a branch beyond the image end.
+  ProgramImage img;
+  img.words.push_back(encode({Opcode::kB, 0, 0, 0, 100, Cond::kAl}));
+  const auto issues = validate(img);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("outside"), std::string::npos);
+}
+
+TEST(Validator, DataWordsReportedAsUndecodable) {
+  ProgramImage img;
+  img.words.push_back(0xff000000u);
+  const auto issues = validate(img);
+  ASSERT_EQ(issues.size(), 1u);
+}
+
+TEST(BundledPrograms, AllAssembleAndValidate) {
+  for (const auto& src :
+       {dhrystone_like_source(), fibonacci_source(), memcpy_source(),
+        hello_uart_source()}) {
+    const auto r = assemble_program(src);
+    EXPECT_GT(r.image.words.size(), 0u);
+    // Code sections must have in-range branches; data words legitimately
+    // fail to decode, so only check branch issues.
+    for (const auto& issue : validate(r.image)) {
+      EXPECT_EQ(issue.message.find("branch"), std::string::npos)
+          << "at 0x" << std::hex << issue.address;
+    }
+  }
+}
+
+TEST(WorkloadGenerator, GeneratesValidProgram) {
+  WorkloadMix mix;
+  mix.seed = 99;
+  const auto r = assemble_program(generate_workload_source(mix));
+  EXPECT_GT(r.image.words.size(), mix.block_instructions);
+  for (const auto& issue : validate(r.image)) {
+    EXPECT_EQ(issue.message.find("branch"), std::string::npos);
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicPerSeed) {
+  WorkloadMix mix;
+  mix.seed = 7;
+  EXPECT_EQ(generate_workload_source(mix), generate_workload_source(mix));
+  WorkloadMix other = mix;
+  other.seed = 8;
+  EXPECT_NE(generate_workload_source(mix), generate_workload_source(other));
+}
+
+}  // namespace
+}  // namespace clockmark::cpu

@@ -1,0 +1,182 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace clockmark::dsp {
+namespace {
+
+TEST(FftHelpers, PowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(4095));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(4096), 4096u);
+  EXPECT_EQ(next_power_of_two(4097), 8192u);
+}
+
+TEST(FftPow2, RejectsNonPowerOfTwo) {
+  std::vector<cplx> data(6);
+  EXPECT_THROW(fft_pow2(data, false), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(16, cplx(0, 0));
+  x[0] = cplx(1, 0);
+  const auto spec = fft(x);
+  for (const auto& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<cplx> x(32, cplx(1, 0));
+  const auto spec = fft(x);
+  EXPECT_NEAR(spec[0].real(), 32.0, 1e-9);
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  util::Pcg32 rng(n);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(rng.gaussian(), rng.gaussian());
+  const auto back = ifft(fft(x));
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+// Mix of power-of-two sizes (radix-2 path) and awkward sizes including the
+// watermark period 4095 (Bluestein path).
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 3, 5, 7, 12,
+                                           100, 127, 1000, 4095));
+
+TEST(Fft, BluesteinMatchesDirectDft) {
+  // Exactness of the arbitrary-N path against the O(n^2) definition.
+  for (const std::size_t n : {5u, 12u, 63u, 130u}) {
+    util::Pcg32 rng(n);
+    std::vector<cplx> x(n);
+    for (auto& v : x) v = cplx(rng.gaussian(), rng.gaussian());
+    const auto fast = fft(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      cplx direct(0.0, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double angle = -2.0 * std::numbers::pi *
+                             static_cast<double>(k * i) /
+                             static_cast<double>(n);
+        direct += x[i] * cplx(std::cos(angle), std::sin(angle));
+      }
+      EXPECT_NEAR(fast[k].real(), direct.real(), 1e-8)
+          << "n=" << n << " k=" << k;
+      EXPECT_NEAR(fast[k].imag(), direct.imag(), 1e-8);
+    }
+  }
+}
+
+TEST(Fft, SinusoidLandsInCorrectBin) {
+  const std::size_t n = 128;
+  const std::size_t k0 = 5;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * k0 * i / n;
+    x[i] = cplx(std::cos(phase), 0.0);
+  }
+  const auto spec = fft(x);
+  // Real cosine: energy in bins k0 and n - k0.
+  EXPECT_NEAR(std::abs(spec[k0]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[n - k0]), n / 2.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != k0 && k != n - k0) {
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  util::Pcg32 rng(77);
+  const std::size_t n = 300;  // non power of two
+  std::vector<cplx> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = cplx(rng.gaussian(), 0.0);
+    time_energy += std::norm(v);
+  }
+  const auto spec = fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6);
+}
+
+TEST(PowerSpectrum, HalfSpectrumLength) {
+  std::vector<double> x(64, 1.0);
+  const auto p = power_spectrum(x);
+  EXPECT_EQ(p.size(), 33u);
+  EXPECT_NEAR(p[0], 64.0 * 64.0, 1e-6);
+}
+
+class CircCorr : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CircCorr, FftMatchesDirect) {
+  const std::size_t n = GetParam();
+  util::Pcg32 rng(n * 31 + 1);
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.gaussian();
+    b[i] = rng.gaussian();
+  }
+  const auto fast = circular_cross_correlation(a, b);
+  const auto slow = circular_cross_correlation_direct(a, b);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-7 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CircCorr,
+                         ::testing::Values(1, 2, 3, 8, 31, 63, 100, 255,
+                                           511, 1023));
+
+TEST(CircCorr, ShiftRecovery) {
+  // Correlating a sequence against a rotated copy peaks at the rotation.
+  const std::size_t n = 128;
+  util::Pcg32 rng(5);
+  std::vector<double> a(n);
+  for (auto& v : a) v = rng.gaussian();
+  const std::size_t shift = 37;
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = a[(i + shift) % n];
+  // r[k] = sum a[i] * a[(i + k + shift) % n]; peak where k + shift = 0 mod n.
+  const auto r = circular_cross_correlation(b, a);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (r[k] > r[best]) best = k;
+  }
+  EXPECT_EQ(best, shift);
+}
+
+TEST(CircCorr, MismatchedLengthsThrow) {
+  std::vector<double> a(4), b(5);
+  EXPECT_THROW(circular_cross_correlation(a, b), std::invalid_argument);
+  EXPECT_THROW(circular_cross_correlation_direct(a, b),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clockmark::dsp

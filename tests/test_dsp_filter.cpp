@@ -1,0 +1,144 @@
+#include "dsp/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace clockmark::dsp {
+namespace {
+
+TEST(OnePoleLowPass, RejectsBadCutoff) {
+  EXPECT_THROW(OnePoleLowPass(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(OnePoleLowPass(60.0, 100.0), std::invalid_argument);
+}
+
+TEST(OnePoleLowPass, DcPassesThrough) {
+  OnePoleLowPass lp(1000.0, 1e6);
+  double y = 0.0;
+  for (int i = 0; i < 20000; ++i) y = lp.step(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(OnePoleLowPass, AttenuatesHighFrequency) {
+  const double fs = 1e6;
+  OnePoleLowPass lp(1000.0, fs);
+  // 100 kHz square wave: 100x above cutoff, amplitude should collapse.
+  double min_out = 1e9, max_out = -1e9;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = ((i / 5) % 2 == 0) ? 1.0 : -1.0;
+    const double y = lp.step(x);
+    if (i > 50000) {
+      min_out = std::min(min_out, y);
+      max_out = std::max(max_out, y);
+    }
+  }
+  EXPECT_LT(max_out - min_out, 0.1);  // >20x attenuation
+}
+
+TEST(OnePoleLowPass, ResetPrimesState) {
+  OnePoleLowPass lp(1000.0, 1e6);
+  lp.reset(5.0);
+  // First output stays near the primed level for a DC input of 5.
+  EXPECT_NEAR(lp.step(5.0), 5.0, 1e-9);
+}
+
+TEST(OnePoleLowPass, MinusThreeDbAtCutoff) {
+  const double fs = 1e6;
+  const double fc = 10e3;
+  OnePoleLowPass lp(fc, fs);
+  // Drive with a sinusoid at fc and measure output RMS after settling.
+  double sum_sq = 0.0;
+  int count = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x =
+        std::sin(2.0 * std::numbers::pi * fc * i / fs);
+    const double y = lp.step(x);
+    if (i > 100000) {
+      sum_sq += y * y;
+      ++count;
+    }
+  }
+  const double rms = std::sqrt(sum_sq / count);
+  // Input RMS is 1/sqrt(2); at cutoff output is ~3 dB below input.
+  EXPECT_NEAR(rms / (1.0 / std::sqrt(2.0)), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Biquad, LowPassDcGainIsUnity) {
+  Biquad bq = Biquad::low_pass(10e3, 0.707, 1e6);
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = bq.step(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-3);
+}
+
+TEST(Biquad, PeakingBoostsAtCenter) {
+  const double fs = 1e6;
+  const double f0 = 50e3;
+  Biquad bq = Biquad::peaking(f0, 2.0, 12.0, fs);
+  double sum_sq_in = 0.0, sum_sq_out = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = std::sin(2.0 * std::numbers::pi * f0 * i / fs);
+    const double y = bq.step(x);
+    if (i > 100000) {
+      sum_sq_in += x * x;
+      sum_sq_out += y * y;
+    }
+  }
+  const double gain_db =
+      10.0 * std::log10(sum_sq_out / sum_sq_in);
+  EXPECT_NEAR(gain_db, 12.0, 0.5);
+}
+
+TEST(Biquad, ResetClearsState) {
+  Biquad bq = Biquad::low_pass(10e3, 0.707, 1e6);
+  for (int i = 0; i < 100; ++i) bq.step(1.0);
+  bq.reset();
+  // After reset, an impulse response starts from scratch (first output is
+  // just b0 * x).
+  Biquad fresh = Biquad::low_pass(10e3, 0.707, 1e6);
+  EXPECT_DOUBLE_EQ(bq.step(1.0), fresh.step(1.0));
+}
+
+TEST(BlockAverage, ExactBlocks) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  const auto y = block_average(x, 2);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.5);
+  EXPECT_DOUBLE_EQ(y[1], 3.5);
+  EXPECT_DOUBLE_EQ(y[2], 5.5);
+}
+
+TEST(BlockAverage, DropsPartialTail) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const auto y = block_average(x, 2);
+  EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(BlockAverage, FactorOneIsIdentity) {
+  const std::vector<double> x = {1.5, -2.5, 3.5};
+  const auto y = block_average(x, 1);
+  EXPECT_EQ(y, x);
+}
+
+TEST(BlockAverage, ZeroFactorThrows) {
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW(block_average(x, 0), std::invalid_argument);
+}
+
+TEST(BlockAverage, FiftySamplesPerCycleLikeThePaper) {
+  // 500 MS/s over a 10 MHz clock: 50 samples per cycle.
+  std::vector<double> samples(50 * 10);
+  for (std::size_t c = 0; c < 10; ++c) {
+    for (std::size_t i = 0; i < 50; ++i) {
+      samples[c * 50 + i] = static_cast<double>(c);  // flat per cycle
+    }
+  }
+  const auto y = block_average(samples, 50);
+  ASSERT_EQ(y.size(), 10u);
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_DOUBLE_EQ(y[c], static_cast<double>(c));
+  }
+}
+
+}  // namespace
+}  // namespace clockmark::dsp

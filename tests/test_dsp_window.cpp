@@ -1,0 +1,80 @@
+#include "dsp/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clockmark::dsp {
+namespace {
+
+class WindowTest : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowTest, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 101);
+  ASSERT_EQ(w.size(), 101u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "asymmetric at " << i;
+  }
+}
+
+TEST_P(WindowTest, PeakAtCentre) {
+  const auto w = make_window(GetParam(), 101);
+  EXPECT_NEAR(w[50], GetParam() == WindowKind::kRectangular ? 1.0 : w[50],
+              1e-12);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(w[i], w[50] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WindowTest,
+                         ::testing::Values(WindowKind::kRectangular,
+                                           WindowKind::kHann,
+                                           WindowKind::kHamming,
+                                           WindowKind::kBlackman));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 10);
+  for (const double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndsAtZero) {
+  const auto w = make_window(WindowKind::kHann, 11);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[5], 1.0, 1e-12);
+}
+
+TEST(Window, CoherentGains) {
+  EXPECT_NEAR(coherent_gain(make_window(WindowKind::kRectangular, 1000)),
+              1.0, 1e-12);
+  EXPECT_NEAR(coherent_gain(make_window(WindowKind::kHann, 100001)), 0.5,
+              1e-4);
+  EXPECT_NEAR(coherent_gain(make_window(WindowKind::kHamming, 100001)),
+              0.54, 1e-4);
+}
+
+TEST(Window, ApplyMultipliesInPlace) {
+  std::vector<double> signal(11, 2.0);
+  const auto w = make_window(WindowKind::kHann, 11);
+  apply_window(signal, w);
+  EXPECT_NEAR(signal[5], 2.0, 1e-12);
+  EXPECT_NEAR(signal[0], 0.0, 1e-12);
+}
+
+TEST(Window, ApplySizeMismatchThrows) {
+  std::vector<double> signal(5, 1.0);
+  const auto w = make_window(WindowKind::kHann, 6);
+  EXPECT_THROW(apply_window(signal, w), std::invalid_argument);
+}
+
+TEST(Window, DegenerateLengths) {
+  EXPECT_EQ(make_window(WindowKind::kHann, 0).size(), 0u);
+  const auto w1 = make_window(WindowKind::kHann, 1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_DOUBLE_EQ(w1[0], 1.0);
+}
+
+}  // namespace
+}  // namespace clockmark::dsp

@@ -1,0 +1,182 @@
+#include "measure/acquisition.h"
+#include "measure/oscilloscope.h"
+#include "measure/probe.h"
+#include "measure/shunt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace clockmark::measure {
+namespace {
+
+TEST(Shunt, OhmsLaw) {
+  const ShuntResistor shunt(0.270);
+  EXPECT_DOUBLE_EQ(shunt.voltage(1.0), 0.270);
+  EXPECT_NEAR(shunt.current(0.270), 1.0, 1e-12);
+  const std::vector<double> i = {1.0, 2.0};
+  const auto v = shunt.sense(i);
+  EXPECT_DOUBLE_EQ(v[1], 0.540);
+}
+
+TEST(Shunt, NonPositiveResistanceThrows) {
+  EXPECT_THROW(ShuntResistor(0.0), std::invalid_argument);
+  EXPECT_THROW(ShuntResistor(-1.0), std::invalid_argument);
+}
+
+TEST(Probe, AppliesGainAndNoise) {
+  ProbeConfig cfg;
+  cfg.gain = 2.0;
+  cfg.noise_v_rms = 0.0;
+  cfg.bandwidth_hz = 200e6;
+  Probe probe(cfg, util::Pcg32(1));
+  std::vector<double> v(10000, 1.0);
+  probe.process(v);
+  // After the filter settles, output = gain * input.
+  EXPECT_NEAR(v.back(), 2.0, 1e-6);
+}
+
+TEST(Probe, NoiseHasConfiguredSigma) {
+  ProbeConfig cfg;
+  cfg.noise_v_rms = 5e-3;
+  Probe probe(cfg, util::Pcg32(2));
+  std::vector<double> v(50000, 0.0);
+  probe.process(v);
+  EXPECT_NEAR(util::stddev(v), 5e-3, 0.3e-3);
+}
+
+TEST(Oscilloscope, LsbAndQuantisation) {
+  OscilloscopeConfig cfg;
+  cfg.resolution_bits = 8;
+  cfg.full_scale_v = 2.56;
+  cfg.noise_v_rms = 0.0;
+  Oscilloscope scope(cfg, util::Pcg32(3));
+  EXPECT_DOUBLE_EQ(scope.lsb_v(), 0.01);
+  // All quantised outputs land on code centres: (k + 0.5) * lsb - 1.28.
+  std::vector<double> v = {0.0, 0.004, 0.013, -0.5};
+  const auto q = scope.acquire(v);
+  for (const double out : q) {
+    const double code = (out + 1.28) / 0.01 - 0.5;
+    EXPECT_NEAR(code, std::round(code), 1e-9);
+  }
+  // Quantisation error bounded by LSB/2.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - v[i]), 0.005 + 1e-12);
+  }
+}
+
+TEST(Oscilloscope, ClipsAtFullScale) {
+  OscilloscopeConfig cfg;
+  cfg.full_scale_v = 1.0;
+  cfg.noise_v_rms = 0.0;
+  Oscilloscope scope(cfg, util::Pcg32(4));
+  std::vector<double> v = {10.0, -10.0};
+  const auto q = scope.acquire(v);
+  EXPECT_LE(q[0], 0.5);
+  EXPECT_GE(q[1], -0.5);
+}
+
+TEST(Oscilloscope, AutoRangeCentresWaveform) {
+  OscilloscopeConfig cfg;
+  cfg.noise_v_rms = 0.0;
+  Oscilloscope scope(cfg, util::Pcg32(5));
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 3.0 + 0.1 * std::sin(static_cast<double>(i));
+  }
+  scope.auto_range(v);
+  EXPECT_NEAR(scope.config().offset_v, 3.0, 0.01);
+  EXPECT_NEAR(scope.config().full_scale_v, 0.2 / 0.8, 0.01);
+  const auto q = scope.acquire(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(q[i], v[i], scope.lsb_v());
+  }
+}
+
+TEST(Oscilloscope, InvalidConfigThrows) {
+  OscilloscopeConfig bad;
+  bad.resolution_bits = 1;
+  EXPECT_THROW(Oscilloscope(bad, util::Pcg32(1)), std::invalid_argument);
+  OscilloscopeConfig neg;
+  neg.full_scale_v = -1.0;
+  EXPECT_THROW(Oscilloscope(neg, util::Pcg32(1)), std::invalid_argument);
+}
+
+power::PowerTrace flat_trace(double watts, std::size_t cycles) {
+  return power::PowerTrace(std::vector<double>(cycles, watts), 10e6,
+                           "flat");
+}
+
+TEST(Acquisition, RecoversPerCycleVectorLength) {
+  AcquisitionConfig cfg;
+  AcquisitionChain chain(cfg);
+  const auto acq = chain.measure(flat_trace(2e-3, 200));
+  EXPECT_EQ(acq.per_cycle_power_w.size(), 200u);
+}
+
+TEST(Acquisition, MeanPowerApproximatelyPreserved) {
+  AcquisitionConfig cfg;
+  cfg.probe.noise_v_rms = 0.0;
+  cfg.scope.noise_v_rms = 0.0;
+  AcquisitionChain chain(cfg);
+  const auto acq = chain.measure(flat_trace(2e-3, 500));
+  // Quantisation + ranging bias stays within a few percent.
+  EXPECT_NEAR(acq.mean_power_w, 2e-3, 0.15e-3);
+}
+
+TEST(Acquisition, NoiseSeedReproducible) {
+  AcquisitionConfig cfg;
+  cfg.noise_seed = 77;
+  AcquisitionChain a(cfg);
+  AcquisitionChain b(cfg);
+  const auto trace = flat_trace(2e-3, 100);
+  EXPECT_EQ(a.measure(trace).per_cycle_power_w,
+            b.measure(trace).per_cycle_power_w);
+}
+
+TEST(Acquisition, DifferentSeedsDiffer) {
+  AcquisitionConfig ca;
+  ca.noise_seed = 1;
+  AcquisitionConfig cb;
+  cb.noise_seed = 2;
+  const auto trace = flat_trace(2e-3, 100);
+  EXPECT_NE(AcquisitionChain(ca).measure(trace).per_cycle_power_w,
+            AcquisitionChain(cb).measure(trace).per_cycle_power_w);
+}
+
+TEST(Acquisition, PdnFilterSmoothsModulation) {
+  // A square-modulated trace keeps less cycle-to-cycle variance with the
+  // PDN filter enabled than without.
+  std::vector<double> p(400);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = (i % 2 == 0) ? 3e-3 : 1e-3;
+  }
+  const power::PowerTrace trace(p, 10e6);
+  AcquisitionConfig with;
+  with.probe.noise_v_rms = 0.0;
+  with.scope.noise_v_rms = 0.0;
+  AcquisitionConfig without = with;
+  without.enable_pdn_filter = false;
+  const auto yw = AcquisitionChain(with).measure(trace).per_cycle_power_w;
+  const auto yo =
+      AcquisitionChain(without).measure(trace).per_cycle_power_w;
+  EXPECT_LT(util::stddev(yw), 0.5 * util::stddev(yo));
+}
+
+TEST(Acquisition, MismatchedSampleRatesThrow) {
+  AcquisitionConfig cfg;
+  cfg.probe.sample_rate_hz = 1e9;
+  EXPECT_THROW(AcquisitionChain chain(cfg), std::invalid_argument);
+}
+
+TEST(Acquisition, LsbPowerReported) {
+  AcquisitionConfig cfg;
+  AcquisitionChain chain(cfg);
+  const auto acq = chain.measure(flat_trace(2e-3, 100));
+  EXPECT_GT(acq.lsb_power_w, 0.0);
+}
+
+}  // namespace
+}  // namespace clockmark::measure

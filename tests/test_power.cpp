@@ -1,0 +1,187 @@
+#include "power/estimator.h"
+#include "power/tech65.h"
+#include "power/trace.h"
+#include "power/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace clockmark::power {
+namespace {
+
+TEST(TechLibrary, PaperCalibrationConstants) {
+  const TechLibrary lib = tsmc65lp_like();
+  // The paper's two measured constants, as powers at 10 MHz.
+  EXPECT_NEAR(lib.clock_buffer_power_w(1), 1.476e-6, 1e-12);
+  EXPECT_NEAR(lib.data_switching_power_w(1), 1.126e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(lib.vdd_v, 1.2);
+  EXPECT_DOUBLE_EQ(lib.clock_hz, 10.0e6);
+}
+
+TEST(TechLibrary, TableOneClockBufferRows) {
+  // Table I dynamic power: 1024 clock buffers = 1.51 mW; adding 256 / 512
+  // / 1024 switching registers gives 1.80 / 2.09 / 2.66 mW.
+  const TechLibrary lib = tsmc65lp_like();
+  const double buffers = lib.clock_buffer_power_w(1024);
+  EXPECT_NEAR(buffers, 1.51e-3, 0.01e-3);
+  EXPECT_NEAR(buffers + lib.data_switching_power_w(256), 1.80e-3, 0.01e-3);
+  EXPECT_NEAR(buffers + lib.data_switching_power_w(512), 2.09e-3, 0.01e-3);
+  EXPECT_NEAR(buffers + lib.data_switching_power_w(1024), 2.66e-3,
+              0.01e-3);
+}
+
+struct TableTwoRow {
+  double p_load_mw;
+  std::size_t expected_registers;
+  double expected_overhead_pct;
+};
+
+class TableTwo : public ::testing::TestWithParam<TableTwoRow> {};
+
+TEST_P(TableTwo, RegistersAndOverheadMatchPaper) {
+  const auto row = GetParam();
+  const TechLibrary lib = tsmc65lp_like();
+  const std::size_t n =
+      load_circuit_registers_for_power(lib, row.p_load_mw * 1e-3);
+  EXPECT_EQ(n, row.expected_registers);
+  // WGC = 12 registers (the chips' 12-bit LFSR).
+  const double overhead = area_overhead_increase(n, 12) * 100.0;
+  // The paper truncates rather than rounds some rows (e.g. 96.97 -> 96.9),
+  // so allow a tenth of a percent.
+  EXPECT_NEAR(overhead, row.expected_overhead_pct, 0.1);
+}
+
+// The six rows of paper Table II.
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableTwo,
+    ::testing::Values(TableTwoRow{0.25, 96, 88.9},
+                      TableTwoRow{0.5, 192, 94.1},
+                      TableTwoRow{1.0, 384, 96.9},
+                      TableTwoRow{1.5, 576, 98.0},
+                      TableTwoRow{5.0, 1921, 99.4},
+                      TableTwoRow{10.0, 3843, 99.7}));
+
+TEST(TechLibrary, LeakageMatchesTableOneStatic) {
+  // Table I static: ~0.404 uW for the 1024-register block.
+  const TechLibrary lib = tsmc65lp_like();
+  EXPECT_NEAR(1024 * lib.leakage_w(rtl::CellKind::kDff), 0.404e-6,
+              0.01e-6);
+}
+
+TEST(TechLibrary, EdgeCases) {
+  const TechLibrary lib = tsmc65lp_like();
+  EXPECT_EQ(load_circuit_registers_for_power(lib, 0.0), 0u);
+  EXPECT_EQ(load_circuit_registers_for_power(lib, -1.0), 0u);
+  EXPECT_EQ(area_overhead_increase(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(area_overhead_increase(100, 0), 1.0);
+}
+
+TEST(PowerEstimator, DynamicEnergyFromActivity) {
+  rtl::Netlist nl;
+  const PowerEstimator est(nl, tsmc65lp_like());
+  rtl::ModuleActivity a;
+  a.active_buffers = 10;
+  a.flop_toggles = 5;
+  a.active_icgs = 2;
+  a.gated_icgs = 3;
+  a.comb_toggles = 7;
+  const TechLibrary& lib = est.library();
+  const double expected = 10 * lib.clock_buffer_cycle_j +
+                          5 * lib.flop_data_toggle_j +
+                          2 * lib.icg_active_cycle_j +
+                          3 * lib.icg_idle_cycle_j + 7 * lib.comb_toggle_j;
+  EXPECT_NEAR(est.dynamic_cycle_energy(a), expected, 1e-21);
+}
+
+TEST(PowerEstimator, LeakageCensus) {
+  rtl::Netlist nl;
+  const auto m = nl.module("blk");
+  const rtl::NetId clk = nl.add_net("clk");
+  const rtl::NetId d = nl.add_net("d");
+  const rtl::NetId q = nl.add_net("q");
+  const rtl::NetId o = nl.add_net("o");
+  nl.add_flop(rtl::CellKind::kDff, "f", m, {d}, q, clk);
+  nl.add_gate(rtl::CellKind::kInv, "i", m, {q}, o);
+  const PowerEstimator est(nl, tsmc65lp_like());
+  const TechLibrary& lib = est.library();
+  EXPECT_NEAR(est.leakage_power("blk"), lib.flop_leak_w + lib.comb_leak_w,
+              1e-18);
+  EXPECT_NEAR(est.leakage_power("other"), 0.0, 1e-18);
+  EXPECT_GT(est.area("blk"), 0.0);
+}
+
+TEST(PowerTrace, ArithmeticAndStats) {
+  PowerTrace a({1e-3, 2e-3, 3e-3}, 10e6, "a");
+  PowerTrace b({1e-3, 1e-3, 1e-3}, 10e6, "b");
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 2e-3);
+  EXPECT_DOUBLE_EQ(a.average_w(), 3e-3);
+  EXPECT_DOUBLE_EQ(a.peak_w(), 4e-3);
+  a.add_constant(1e-3);
+  EXPECT_DOUBLE_EQ(a[0], 3e-3);
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a[0], 6e-3);
+  const auto i = a.current_a(1.2);
+  EXPECT_NEAR(i[0], 6e-3 / 1.2, 1e-12);
+}
+
+TEST(PowerTrace, MismatchedAddThrows) {
+  PowerTrace a({1.0, 2.0}, 10e6);
+  PowerTrace b({1.0}, 10e6);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  PowerTrace c({1.0, 2.0}, 20e6);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(PowerTrace, InvalidConstruction) {
+  EXPECT_THROW(PowerTrace({1.0}, 0.0), std::invalid_argument);
+  PowerTrace t({1.0}, 10e6);
+  EXPECT_THROW(t.current_a(0.0), std::invalid_argument);
+}
+
+TEST(Waveform, TemplateSumsToOne) {
+  WaveformOptions opt;
+  const auto tpl = cycle_pulse_template(opt);
+  ASSERT_EQ(tpl.size(), opt.samples_per_cycle);
+  EXPECT_NEAR(std::accumulate(tpl.begin(), tpl.end(), 0.0), 1.0, 1e-12);
+  for (const double v : tpl) EXPECT_GE(v, 0.0);
+}
+
+TEST(Waveform, TemplateHasTwoEdgePulses) {
+  WaveformOptions opt;
+  const auto tpl = cycle_pulse_template(opt);
+  // Peak at rising edge (sample 0) and another local rise at mid-cycle.
+  EXPECT_GT(tpl[0], tpl[opt.samples_per_cycle / 4]);
+  EXPECT_GT(tpl[opt.samples_per_cycle / 2],
+            tpl[opt.samples_per_cycle / 2 - 1]);
+}
+
+TEST(Waveform, ExpansionPreservesPerCycleMeanCurrent) {
+  WaveformOptions opt;
+  const PowerTrace trace({1.2e-3, 2.4e-3, 0.6e-3}, 10e6);
+  const auto wave = expand_to_current_waveform(trace, 1.2, opt);
+  ASSERT_EQ(wave.size(), 3 * opt.samples_per_cycle);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < opt.samples_per_cycle; ++i) {
+      mean += wave[c * opt.samples_per_cycle + i];
+    }
+    mean /= static_cast<double>(opt.samples_per_cycle);
+    EXPECT_NEAR(mean, trace[c] / 1.2, 1e-12) << "cycle " << c;
+  }
+}
+
+TEST(Waveform, InvalidOptionsThrow) {
+  WaveformOptions opt;
+  opt.samples_per_cycle = 0;
+  EXPECT_THROW(cycle_pulse_template(opt), std::invalid_argument);
+  const PowerTrace trace({1e-3}, 10e6);
+  WaveformOptions ok;
+  EXPECT_THROW(expand_to_current_waveform(trace, 0.0, ok),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clockmark::power

@@ -1,0 +1,55 @@
+#include "power/report.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/simulator.h"
+#include "watermark/clock_modulation.h"
+
+namespace clockmark::power {
+namespace {
+
+TEST(PowerReport, ContainsModulesAndTotals) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  watermark::ClockModConfig cfg;
+  cfg.wgc.width = 6;
+  cfg.words = 2;
+  cfg.bits_per_word = 8;
+  build_clock_modulation_watermark(nl, "soc/watermark", clk, cfg);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  const auto cycles = sim.run(63);
+  const PowerEstimator est(nl, tsmc65lp_like());
+  ReportOptions opts;
+  opts.title = "test report";
+  const std::string report = format_power_report(est, cycles, opts);
+  EXPECT_NE(report.find("test report"), std::string::npos);
+  EXPECT_NE(report.find("soc/watermark"), std::string::npos);
+  EXPECT_NE(report.find("TOTAL"), std::string::npos);
+  EXPECT_NE(report.find("dynamic[uW]"), std::string::npos);
+  EXPECT_NE(report.find("area[um2]"), std::string::npos);
+}
+
+TEST(PowerReport, AreaColumnOptional) {
+  rtl::Netlist nl;
+  const PowerEstimator est(nl, tsmc65lp_like());
+  ReportOptions opts;
+  opts.show_area = false;
+  const std::string report =
+      format_power_report(est, std::vector<rtl::CycleActivity>{}, opts);
+  EXPECT_EQ(report.find("area"), std::string::npos);
+}
+
+TEST(PowerReport, EmptyRunIsLeakageOnly) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  const rtl::NetId q = nl.add_net("q");
+  nl.add_flop(rtl::CellKind::kDff, "f", nl.module("m"), {q}, q, clk);
+  const PowerEstimator est(nl, tsmc65lp_like());
+  const std::string report =
+      format_power_report(est, std::vector<rtl::CycleActivity>{});
+  EXPECT_NE(report.find("m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clockmark::power

@@ -1,0 +1,113 @@
+#include "rtl/connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace clockmark::rtl {
+namespace {
+
+// Fixture: a live path (in -> inv -> out) plus a dangling two-cell island.
+class ConnectivityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    in_ = nl_.add_net("in");
+    mid_ = nl_.add_net("mid");
+    out_ = nl_.add_net("out");
+    island_a_ = nl_.add_net("ia");
+    island_b_ = nl_.add_net("ib");
+    island_c_ = nl_.add_net("ic");
+    nl_.mark_input(in_);
+    nl_.mark_output(out_);
+    live1_ = nl_.add_gate(CellKind::kInv, "live1", 0, {in_}, mid_);
+    live2_ = nl_.add_gate(CellKind::kInv, "live2", 0, {mid_}, out_);
+    dead1_ = nl_.add_gate(CellKind::kInv, "dead1", 0, {island_a_}, island_b_);
+    dead2_ = nl_.add_gate(CellKind::kInv, "dead2", 0, {island_b_}, island_c_);
+  }
+
+  Netlist nl_;
+  NetId in_ = 0, mid_ = 0, out_ = 0;
+  NetId island_a_ = 0, island_b_ = 0, island_c_ = 0;
+  CellId live1_ = 0, live2_ = 0, dead1_ = 0, dead2_ = 0;
+};
+
+TEST_F(ConnectivityFixture, ReachesPrimaryOutput) {
+  const ConnectivityGraph g(nl_);
+  const auto reaches = g.reaches_primary_output();
+  EXPECT_TRUE(reaches[live1_]);
+  EXPECT_TRUE(reaches[live2_]);
+  EXPECT_FALSE(reaches[dead1_]);
+  EXPECT_FALSE(reaches[dead2_]);
+}
+
+TEST_F(ConnectivityFixture, ReachableFromInputs) {
+  const ConnectivityGraph g(nl_);
+  const auto reachable = g.reachable_from_primary_inputs();
+  EXPECT_TRUE(reachable[live1_]);
+  EXPECT_TRUE(reachable[live2_]);
+  EXPECT_FALSE(reachable[dead1_]);
+}
+
+TEST_F(ConnectivityFixture, FaninFanoutCones) {
+  const ConnectivityGraph g(nl_);
+  const auto fanin = g.fanin_cone({live2_});
+  EXPECT_TRUE(fanin[live1_]);
+  EXPECT_TRUE(fanin[live2_]);  // roots included
+  EXPECT_FALSE(fanin[dead1_]);
+  const auto fanout = g.fanout_cone({live1_});
+  EXPECT_TRUE(fanout[live2_]);
+  EXPECT_FALSE(fanout[dead2_]);
+}
+
+TEST_F(ConnectivityFixture, WeaklyConnectedComponents) {
+  const ConnectivityGraph g(nl_);
+  std::size_t count = 0;
+  const auto comp = g.weakly_connected_components(&count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(comp[live1_], comp[live2_]);
+  EXPECT_EQ(comp[dead1_], comp[dead2_]);
+  EXPECT_NE(comp[live1_], comp[dead1_]);
+}
+
+TEST(Connectivity, ClockPinCreatesEdge) {
+  // A flop is reachable from the ICG driving its clock — clock cells are
+  // part of the influence graph (removing them breaks the flop).
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId en = nl.add_net("en");
+  const NetId gclk = nl.add_net("gclk");
+  const NetId d = nl.add_net("d");
+  const NetId q = nl.add_net("q");
+  nl.mark_output(q);
+  const CellId icg = nl.add_icg("icg", 0, clk, en, gclk);
+  const CellId ff = nl.add_flop(CellKind::kDff, "ff", 0, {d}, q, gclk);
+  const ConnectivityGraph g(nl);
+  const auto fanout = g.fanout_cone({icg});
+  EXPECT_TRUE(fanout[ff]);
+  // And therefore the ICG reaches the primary output through the flop.
+  const auto reaches = g.reaches_primary_output();
+  EXPECT_TRUE(reaches[icg]);
+}
+
+TEST(Connectivity, EmptyNetlist) {
+  Netlist nl;
+  const ConnectivityGraph g(nl);
+  std::size_t count = 99;
+  const auto comp = g.weakly_connected_components(&count);
+  EXPECT_EQ(count, 0u);
+  EXPECT_TRUE(comp.empty());
+  EXPECT_TRUE(g.reaches_primary_output().empty());
+}
+
+TEST(Connectivity, SuccessorsDeduplicated) {
+  // One cell feeding both inputs of another produces a single edge.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o = nl.add_net("o");
+  const CellId src = nl.add_gate(CellKind::kInv, "src", 0, {a}, b);
+  nl.add_gate(CellKind::kAnd2, "dst", 0, {b, b}, o);
+  const ConnectivityGraph g(nl);
+  EXPECT_EQ(g.successors()[src].size(), 1u);
+}
+
+}  // namespace
+}  // namespace clockmark::rtl

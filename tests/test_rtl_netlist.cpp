@@ -1,0 +1,166 @@
+#include "rtl/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace clockmark::rtl {
+namespace {
+
+TEST(Netlist, NetsHaveStableNamesAndIds) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(nl.net_name(a), "a");
+  EXPECT_EQ(nl.net_name(b), "b");
+  EXPECT_EQ(nl.net_count(), 2u);
+  EXPECT_EQ(nl.find_net("a"), a);
+  EXPECT_FALSE(nl.find_net("missing").has_value());
+}
+
+TEST(Netlist, DuplicateNetNameThrows) {
+  Netlist nl;
+  nl.add_net("x");
+  EXPECT_THROW(nl.add_net("x"), std::invalid_argument);
+}
+
+TEST(Netlist, ModulesInterned) {
+  Netlist nl;
+  const auto m1 = nl.module("soc/wm");
+  const auto m2 = nl.module("soc/wm");
+  const auto m3 = nl.module("soc/ip");
+  EXPECT_EQ(m1, m2);
+  EXPECT_NE(m1, m3);
+  EXPECT_EQ(nl.module_path(m1), "soc/wm");
+  EXPECT_EQ(nl.module_path(0), "");  // root module exists by default
+}
+
+TEST(Netlist, AddGateValidatesInputCount) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  EXPECT_THROW(nl.add_gate(CellKind::kAnd2, "g", 0, {a}, o),
+               std::invalid_argument);
+  EXPECT_NO_THROW(nl.add_gate(CellKind::kInv, "g", 0, {a}, o));
+}
+
+TEST(Netlist, AddGateRejectsSequentialKinds) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  EXPECT_THROW(nl.add_gate(CellKind::kDff, "ff", 0, {a}, o),
+               std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(CellKind::kIcg, "icg", 0, {a}, o),
+               std::invalid_argument);
+}
+
+TEST(Netlist, DriversAndLoads) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o = nl.add_net("o");
+  const CellId inv = nl.add_gate(CellKind::kInv, "inv", 0, {a}, b);
+  const CellId and2 = nl.add_gate(CellKind::kAnd2, "and", 0, {a, b}, o);
+  EXPECT_EQ(nl.drivers_of(b), std::vector<CellId>{inv});
+  const auto loads_a = nl.loads_of(a);
+  EXPECT_EQ(loads_a.size(), 2u);
+  EXPECT_EQ(nl.loads_of(b), std::vector<CellId>{and2});
+  EXPECT_TRUE(nl.drivers_of(a).empty());
+}
+
+TEST(Netlist, ClockPinCountsAsLoad) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId d = nl.add_net("d");
+  const NetId q = nl.add_net("q");
+  const CellId ff = nl.add_flop(CellKind::kDff, "ff", 0, {d}, q, clk);
+  EXPECT_EQ(nl.loads_of(clk), std::vector<CellId>{ff});
+}
+
+TEST(Netlist, CensusAndRegisterCount) {
+  Netlist nl;
+  const auto wm = nl.module("wm");
+  const auto ip = nl.module("ip");
+  const NetId clk = nl.add_net("clk");
+  const NetId d = nl.add_net("d");
+  const NetId q1 = nl.add_net("q1");
+  const NetId q2 = nl.add_net("q2");
+  const NetId n1 = nl.add_net("n1");
+  nl.add_flop(CellKind::kDff, "f1", wm, {d}, q1, clk);
+  nl.add_flop(CellKind::kDff, "f2", ip, {d}, q2, clk);
+  nl.add_gate(CellKind::kInv, "i1", ip, {q2}, n1);
+  EXPECT_EQ(nl.register_count(), 2u);
+  EXPECT_EQ(nl.register_count("wm"), 1u);
+  EXPECT_EQ(nl.register_count("ip"), 1u);
+  const auto census = nl.census("ip");
+  EXPECT_EQ(census.at(CellKind::kDff), 1u);
+  EXPECT_EQ(census.at(CellKind::kInv), 1u);
+  EXPECT_EQ(census.count(CellKind::kAnd2), 0u);
+}
+
+TEST(Netlist, ModulePrefixMatching) {
+  Netlist nl;
+  const auto a = nl.module("soc/watermark");
+  const NetId n = nl.add_net("n");
+  const NetId o = nl.add_net("o");
+  const CellId c = nl.add_gate(CellKind::kInv, "i", a, {n}, o);
+  EXPECT_TRUE(nl.cell_in_module(c, "soc"));
+  EXPECT_TRUE(nl.cell_in_module(c, "soc/watermark"));
+  EXPECT_FALSE(nl.cell_in_module(c, "soc/ip"));
+  EXPECT_TRUE(nl.cell_in_module(c, ""));  // everything matches the root
+}
+
+TEST(Netlist, RemoveCellsCompacts) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  const CellId g1 = nl.add_gate(CellKind::kInv, "g1", 0, {a}, b);
+  nl.add_gate(CellKind::kInv, "g2", 0, {b}, c);
+  nl.remove_cells({g1});
+  EXPECT_EQ(nl.cell_count(), 1u);
+  EXPECT_EQ(nl.cell(0).name, "g2");
+  EXPECT_TRUE(nl.drivers_of(b).empty());  // b is now undriven
+}
+
+TEST(Netlist, RemoveIgnoresOutOfRangeIds) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_gate(CellKind::kInv, "g", 0, {a}, b);
+  nl.remove_cells({42});
+  EXPECT_EQ(nl.cell_count(), 1u);
+}
+
+TEST(Netlist, PrimaryPorts) {
+  Netlist nl;
+  const NetId in = nl.add_net("in");
+  const NetId out = nl.add_net("out");
+  nl.mark_input(in);
+  nl.mark_output(out);
+  EXPECT_EQ(nl.primary_inputs(), std::vector<NetId>{in});
+  EXPECT_EQ(nl.primary_outputs(), std::vector<NetId>{out});
+}
+
+TEST(CellKinds, InputCounts) {
+  EXPECT_EQ(input_count(CellKind::kConst0), 0u);
+  EXPECT_EQ(input_count(CellKind::kInv), 1u);
+  EXPECT_EQ(input_count(CellKind::kAnd2), 2u);
+  EXPECT_EQ(input_count(CellKind::kMux2), 3u);
+  EXPECT_EQ(input_count(CellKind::kDff), 1u);
+  EXPECT_EQ(input_count(CellKind::kDffEn), 2u);
+  EXPECT_EQ(input_count(CellKind::kIcg), 1u);
+}
+
+TEST(CellKinds, Classification) {
+  EXPECT_TRUE(is_clock_cell(CellKind::kClockBuffer));
+  EXPECT_TRUE(is_clock_cell(CellKind::kIcg));
+  EXPECT_FALSE(is_clock_cell(CellKind::kDff));
+  EXPECT_TRUE(is_sequential(CellKind::kDff));
+  EXPECT_TRUE(is_sequential(CellKind::kDffEn));
+  EXPECT_FALSE(is_sequential(CellKind::kIcg));
+  EXPECT_EQ(kind_name(CellKind::kIcg), "ICG");
+  EXPECT_EQ(kind_name(CellKind::kDff), "DFF");
+}
+
+}  // namespace
+}  // namespace clockmark::rtl

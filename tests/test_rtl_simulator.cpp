@@ -1,0 +1,299 @@
+#include "rtl/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace clockmark::rtl {
+namespace {
+
+// Builds "out = <kind>(a, b)" and evaluates it for all input pairs.
+struct GateCase {
+  CellKind kind;
+  // Truth table indexed [a][b].
+  bool table[2][2];
+};
+
+class GateEval : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(GateEval, TruthTable) {
+  const GateCase& gc = GetParam();
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o = nl.add_net("o");
+  nl.mark_input(a);
+  nl.mark_input(b);
+  nl.add_gate(gc.kind, "g", 0, {a, b}, o);
+  Simulator sim(nl);
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      sim.set_input(a, av != 0);
+      sim.set_input(b, bv != 0);
+      sim.settle();
+      EXPECT_EQ(sim.net_value(o), gc.table[av][bv])
+          << kind_name(gc.kind) << "(" << av << ", " << bv << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoInputGates, GateEval,
+    ::testing::Values(
+        GateCase{CellKind::kAnd2, {{false, false}, {false, true}}},
+        GateCase{CellKind::kOr2, {{false, true}, {true, true}}},
+        GateCase{CellKind::kXor2, {{false, true}, {true, false}}},
+        GateCase{CellKind::kNand2, {{true, true}, {true, false}}},
+        GateCase{CellKind::kNor2, {{true, false}, {false, false}}}));
+
+TEST(Simulator, InverterBufferConst) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId inv_o = nl.add_net("inv_o");
+  const NetId buf_o = nl.add_net("buf_o");
+  const NetId c0 = nl.add_net("c0");
+  const NetId c1 = nl.add_net("c1");
+  nl.mark_input(a);
+  nl.add_gate(CellKind::kInv, "i", 0, {a}, inv_o);
+  nl.add_gate(CellKind::kBuf, "b", 0, {a}, buf_o);
+  nl.add_gate(CellKind::kConst0, "z", 0, {}, c0);
+  nl.add_gate(CellKind::kConst1, "o", 0, {}, c1);
+  Simulator sim(nl);
+  sim.set_input(a, true);
+  sim.settle();
+  EXPECT_FALSE(sim.net_value(inv_o));
+  EXPECT_TRUE(sim.net_value(buf_o));
+  EXPECT_FALSE(sim.net_value(c0));
+  EXPECT_TRUE(sim.net_value(c1));
+}
+
+TEST(Simulator, MuxSelects) {
+  Netlist nl;
+  const NetId s = nl.add_net("s");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o = nl.add_net("o");
+  nl.mark_input(s);
+  nl.mark_input(a);
+  nl.mark_input(b);
+  nl.add_gate(CellKind::kMux2, "m", 0, {s, a, b}, o);
+  Simulator sim(nl);
+  sim.set_input(a, true);
+  sim.set_input(b, false);
+  sim.set_input(s, false);
+  sim.settle();
+  EXPECT_TRUE(sim.net_value(o));  // sel=0 -> a
+  sim.set_input(s, true);
+  sim.settle();
+  EXPECT_FALSE(sim.net_value(o));  // sel=1 -> b
+}
+
+TEST(Simulator, CombinationalChainOrderIndependent) {
+  // Cells added in reverse dependency order must still settle correctly.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId m = nl.add_net("m");
+  const NetId o = nl.add_net("o");
+  nl.mark_input(a);
+  nl.add_gate(CellKind::kInv, "late", 0, {m}, o);   // depends on m
+  nl.add_gate(CellKind::kInv, "early", 0, {a}, m);  // produces m
+  Simulator sim(nl);
+  sim.set_input(a, true);
+  sim.settle();
+  EXPECT_TRUE(sim.net_value(o));  // ~~a
+}
+
+TEST(Simulator, CombinationalLoopThrows) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_gate(CellKind::kInv, "g1", 0, {a}, b);
+  nl.add_gate(CellKind::kInv, "g2", 0, {b}, a);
+  EXPECT_THROW(Simulator sim(nl), std::invalid_argument);
+}
+
+TEST(Simulator, MultiplyDrivenNetThrows) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  nl.add_gate(CellKind::kInv, "g1", 0, {a}, o);
+  nl.add_gate(CellKind::kBuf, "g2", 0, {a}, o);
+  EXPECT_THROW(Simulator sim(nl), std::invalid_argument);
+}
+
+TEST(Simulator, DffShiftChain) {
+  // 3-stage shift register fed by a constant 1: ones march through.
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId one = nl.add_net("one");
+  nl.add_gate(CellKind::kConst1, "c1", 0, {}, one);
+  const NetId q0 = nl.add_net("q0");
+  const NetId q1 = nl.add_net("q1");
+  const NetId q2 = nl.add_net("q2");
+  nl.add_flop(CellKind::kDff, "f0", 0, {one}, q0, clk, false);
+  nl.add_flop(CellKind::kDff, "f1", 0, {q0}, q1, clk, false);
+  nl.add_flop(CellKind::kDff, "f2", 0, {q1}, q2, clk, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  EXPECT_FALSE(sim.net_value(q2));
+  sim.step();
+  EXPECT_TRUE(sim.net_value(q0));
+  EXPECT_FALSE(sim.net_value(q2));
+  sim.step();
+  EXPECT_TRUE(sim.net_value(q1));
+  EXPECT_FALSE(sim.net_value(q2));
+  sim.step();
+  EXPECT_TRUE(sim.net_value(q2));
+}
+
+TEST(Simulator, DffInitState) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId q = nl.add_net("q");
+  nl.add_flop(CellKind::kDff, "f", 0, {q}, q, clk, true);  // D = Q hold
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  EXPECT_TRUE(sim.net_value(q));
+  sim.step();
+  EXPECT_TRUE(sim.net_value(q));  // holds its init value
+}
+
+TEST(Simulator, DffEnHoldsWhenDisabled) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId en = nl.add_net("en");
+  const NetId one = nl.add_net("one");
+  nl.add_gate(CellKind::kConst1, "c1", 0, {}, one);
+  const NetId q = nl.add_net("q");
+  nl.mark_input(en);
+  nl.add_flop(CellKind::kDffEn, "f", 0, {one, en}, q, clk, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  sim.set_input(en, false);
+  sim.step();
+  EXPECT_FALSE(sim.net_value(q));  // held
+  sim.set_input(en, true);
+  sim.step();
+  EXPECT_TRUE(sim.net_value(q));  // loaded
+}
+
+TEST(Simulator, IcgGatesClockAndActivity) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId en = nl.add_net("en");
+  const NetId gclk = nl.add_net("gclk");
+  const NetId one = nl.add_net("one");
+  const NetId q = nl.add_net("q");
+  nl.mark_input(en);
+  nl.add_gate(CellKind::kConst1, "c1", 0, {}, one);
+  nl.add_icg("icg", 0, clk, en, gclk);
+  nl.add_flop(CellKind::kDff, "f", 0, {one}, q, gclk, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+
+  sim.set_input(en, false);
+  auto act = sim.step();
+  EXPECT_FALSE(sim.net_value(q));           // no clock, no load
+  EXPECT_EQ(act.total.clocked_flops, 0u);
+  EXPECT_EQ(act.total.active_icgs, 0u);
+  EXPECT_EQ(act.total.gated_icgs, 1u);
+  EXPECT_FALSE(sim.clock_active(gclk));
+
+  sim.set_input(en, true);
+  act = sim.step();
+  EXPECT_TRUE(sim.net_value(q));
+  EXPECT_EQ(act.total.clocked_flops, 1u);
+  EXPECT_EQ(act.total.flop_toggles, 1u);
+  EXPECT_EQ(act.total.active_icgs, 1u);
+  EXPECT_TRUE(sim.clock_active(gclk));
+}
+
+TEST(Simulator, ClockBufferChainActivity) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId b1 = nl.add_net("b1");
+  const NetId b2 = nl.add_net("b2");
+  nl.add_clock_buffer("cb1", 0, clk, b1);
+  nl.add_clock_buffer("cb2", 0, b1, b2);
+  const NetId q = nl.add_net("q");
+  const NetId one = nl.add_net("one");
+  nl.add_gate(CellKind::kConst1, "c1", 0, {}, one);
+  nl.add_flop(CellKind::kDff, "f", 0, {one}, q, b2, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  const auto act = sim.step();
+  EXPECT_EQ(act.total.active_buffers, 2u);
+  EXPECT_EQ(act.total.clocked_flops, 1u);
+}
+
+TEST(Simulator, UnclockedDesignIsStatic) {
+  // No clock source declared: nothing is clocked, nothing toggles.
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId one = nl.add_net("one");
+  nl.add_gate(CellKind::kConst1, "c1", 0, {}, one);
+  const NetId q = nl.add_net("q");
+  nl.add_flop(CellKind::kDff, "f", 0, {one}, q, clk, false);
+  Simulator sim(nl);
+  const auto act = sim.step();
+  EXPECT_EQ(act.total.clocked_flops, 0u);
+  EXPECT_FALSE(sim.net_value(q));
+}
+
+TEST(Simulator, CombToggleCounting) {
+  // A flop toggling every cycle drives an inverter: one comb toggle per
+  // cycle after the first.
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId q = nl.add_net("q");
+  const NetId nq = nl.add_net("nq");
+  nl.add_gate(CellKind::kInv, "i", 0, {q}, nq);
+  nl.add_flop(CellKind::kDff, "f", 0, {nq}, q, clk, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  sim.step();  // q: 0 -> 1
+  const auto act = sim.step();  // q: 1 -> 0, nq toggles
+  EXPECT_EQ(act.total.flop_toggles, 1u);
+  EXPECT_EQ(act.total.comb_toggles, 1u);
+}
+
+TEST(Simulator, PerModuleActivitySplit) {
+  Netlist nl;
+  const auto ma = nl.module("a");
+  const auto mb = nl.module("b");
+  const NetId clk = nl.add_net("clk");
+  const NetId qa = nl.add_net("qa");
+  const NetId qb = nl.add_net("qb");
+  const NetId na = nl.add_net("na");
+  const NetId nb = nl.add_net("nb");
+  nl.add_gate(CellKind::kInv, "ia", ma, {qa}, na);
+  nl.add_gate(CellKind::kInv, "ib", mb, {qb}, nb);
+  nl.add_flop(CellKind::kDff, "fa", ma, {na}, qa, clk, false);
+  nl.add_flop(CellKind::kDff, "fb", mb, {nb}, qb, clk, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  const auto act = sim.step();
+  ASSERT_GE(act.per_module.size(), 3u);
+  EXPECT_EQ(act.per_module[ma].clocked_flops, 1u);
+  EXPECT_EQ(act.per_module[mb].clocked_flops, 1u);
+  EXPECT_EQ(act.total.clocked_flops, 2u);
+}
+
+TEST(Simulator, RunAccumulatesCycles) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk");
+  const NetId q = nl.add_net("q");
+  const NetId nq = nl.add_net("nq");
+  nl.add_gate(CellKind::kInv, "i", 0, {q}, nq);
+  nl.add_flop(CellKind::kDff, "f", 0, {nq}, q, clk, false);
+  Simulator sim(nl);
+  sim.set_clock_source(clk);
+  const auto history = sim.run(10);
+  EXPECT_EQ(history.size(), 10u);
+  EXPECT_EQ(sim.cycle(), 10u);
+  for (const auto& act : history) {
+    EXPECT_EQ(act.total.clocked_flops, 1u);
+    EXPECT_EQ(act.total.flop_toggles, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace clockmark::rtl

@@ -1,0 +1,96 @@
+#include "sequence/berlekamp.h"
+
+#include <gtest/gtest.h>
+
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "util/rng.h"
+
+namespace clockmark::sequence {
+namespace {
+
+TEST(BerlekampMassey, ConstantSequences) {
+  EXPECT_EQ(berlekamp_massey(std::vector<bool>(20, false)).length, 0u);
+  // All-ones has linear complexity 1 (s_t = s_{t-1}).
+  EXPECT_EQ(berlekamp_massey(std::vector<bool>(20, true)).length, 1u);
+}
+
+TEST(BerlekampMassey, AlternatingSequence) {
+  // 1010... satisfies the homogeneous recurrence s_t = s_{t-2}; the
+  // inhomogeneous s_t = s_{t-1} XOR 1 is not expressible, so the linear
+  // complexity is 2.
+  std::vector<bool> s(20);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = (i % 2) == 0;
+  EXPECT_EQ(berlekamp_massey(s).length, 2u);
+}
+
+class RecoverWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RecoverWidth, LinearComplexityEqualsWidth) {
+  const unsigned w = GetParam();
+  Lfsr lfsr(w, maximal_taps(w), 1);
+  const auto bits = lfsr.generate(4 * w);  // 2w suffices; use 4w
+  const auto desc = berlekamp_massey(bits);
+  EXPECT_EQ(desc.length, w);
+}
+
+TEST_P(RecoverWidth, PredictsContinuationPerfectly) {
+  const unsigned w = GetParam();
+  Lfsr lfsr(w, maximal_taps(w), 0x3);
+  const auto all = lfsr.generate(6 * w + 50);
+  const std::vector<bool> train(all.begin(), all.begin() + 4 * w);
+  const auto desc = berlekamp_massey(train);
+  const auto predicted =
+      predict_continuation(desc, train, all.size() - train.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ASSERT_EQ(predicted[i], all[train.size() + i]) << "bit " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RecoverWidth,
+                         ::testing::Values(4u, 7u, 9u, 12u, 16u));
+
+TEST(KeyRecovery, CleanStreamIsBroken) {
+  // The attacker's ideal case: a perfectly clean WMARK stream. 2L bits
+  // break the key — this is why the WMARK net must never be observable.
+  Lfsr lfsr(12, maximal_taps(12), 1);
+  const auto observed = lfsr.generate(500);
+  const auto result = attempt_key_recovery(observed, 100, 12);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.recovered.length, 12u);
+  EXPECT_DOUBLE_EQ(result.prediction_accuracy, 1.0);
+}
+
+TEST(KeyRecovery, NoisyStreamDefeatsRecovery) {
+  // Even 2 % bit-flip noise destroys the linear structure: the measured
+  // linear complexity explodes and prediction collapses to chance.
+  Lfsr lfsr(12, maximal_taps(12), 1);
+  auto observed = lfsr.generate(2000);
+  util::Pcg32 rng(5);
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (rng.bernoulli(0.02)) observed[i] = !observed[i];
+  }
+  const auto result = attempt_key_recovery(observed, 1000, 12);
+  EXPECT_FALSE(result.exact);
+  EXPECT_GT(result.recovered.length, 100u);  // complexity blow-up
+  EXPECT_LT(result.prediction_accuracy, 0.7);
+}
+
+TEST(KeyRecovery, TooFewBitsCannotIdentify) {
+  Lfsr lfsr(16, maximal_taps(16), 1);
+  const auto observed = lfsr.generate(40);
+  // Fewer than 2L bits: BM returns a shorter (wrong) register.
+  const auto result = attempt_key_recovery(observed, 20, 16);
+  EXPECT_FALSE(result.exact);
+}
+
+TEST(PredictContinuation, ZeroLengthLfsrPredictsZeros) {
+  LfsrDescription d;
+  d.length = 0;
+  d.connection = {true};
+  const auto p = predict_continuation(d, {true, false}, 4);
+  EXPECT_EQ(p, std::vector<bool>(4, false));
+}
+
+}  // namespace
+}  // namespace clockmark::sequence

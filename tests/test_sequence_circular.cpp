@@ -1,0 +1,65 @@
+#include "sequence/circular.h"
+
+#include <gtest/gtest.h>
+
+namespace clockmark::sequence {
+namespace {
+
+TEST(Circular, EmitsPatternRepeatedly) {
+  // Pattern 0b1011 (LSB first: 1,1,0,1) repeats with period 4.
+  CircularShiftRegister csr(4, 0b1011u);
+  const auto bits = csr.generate(12);
+  const std::vector<bool> expected = {true, true, false, true,
+                                      true, true, false, true,
+                                      true, true, false, true};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(Circular, StatePreservedOverFullRotation) {
+  CircularShiftRegister csr(8, 0xa5u);
+  for (int i = 0; i < 8; ++i) csr.step();
+  EXPECT_EQ(csr.state(), 0xa5u);
+}
+
+TEST(Circular, WidthOneConstant) {
+  CircularShiftRegister one(1, 1u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(one.step());
+  CircularShiftRegister zero(1, 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(zero.step());
+}
+
+TEST(Circular, Width32FullMask) {
+  CircularShiftRegister csr(32, 0xffffffffu);
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(csr.step());
+}
+
+TEST(Circular, ResetReplacesPattern) {
+  CircularShiftRegister csr(4, 0b1111u);
+  csr.reset(0b0001u);
+  EXPECT_TRUE(csr.step());
+  EXPECT_FALSE(csr.step());
+  EXPECT_FALSE(csr.step());
+  EXPECT_FALSE(csr.step());
+  EXPECT_TRUE(csr.step());  // wrapped
+}
+
+TEST(Circular, PatternMaskedToWidth) {
+  CircularShiftRegister csr(4, 0xf0u);
+  EXPECT_EQ(csr.state(), 0u);
+}
+
+TEST(Circular, BadWidthThrows) {
+  EXPECT_THROW(CircularShiftRegister(0, 1), std::invalid_argument);
+  EXPECT_THROW(CircularShiftRegister(33, 1), std::invalid_argument);
+}
+
+TEST(Circular, OutputMatchesLsb) {
+  CircularShiftRegister csr(6, 0b101010u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(csr.output(), (csr.state() & 1u) != 0u);
+    csr.step();
+  }
+}
+
+}  // namespace
+}  // namespace clockmark::sequence

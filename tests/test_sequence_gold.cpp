@@ -1,0 +1,93 @@
+#include "sequence/gold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sequence/polynomials.h"
+#include "sequence/properties.h"
+
+namespace clockmark::sequence {
+namespace {
+
+class PreferredPairTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PreferredPairTest, BothPolynomialsAreMaximal) {
+  const unsigned w = GetParam();
+  const auto pair = preferred_pair(w);
+  Lfsr a(w, pair.taps_a, 1);
+  Lfsr b(w, pair.taps_b, 1);
+  const auto expected = static_cast<std::size_t>(maximal_period(w));
+  EXPECT_EQ(a.measure_period(), expected);
+  EXPECT_EQ(b.measure_period(), expected);
+}
+
+TEST_P(PreferredPairTest, CrossCorrelationWithinGoldBound) {
+  const unsigned w = GetParam();
+  const auto pair = preferred_pair(w);
+  const std::size_t p = (1u << w) - 1u;
+  const auto sa = Lfsr(w, pair.taps_a, 0xffffffffu).generate(p);
+  const auto sb = Lfsr(w, pair.taps_b, 0xffffffffu).generate(p);
+  // Gold bound t(n): 2^((n+2)/2)+1 for even n, 2^((n+1)/2)+1 for odd n.
+  const double bound =
+      (w % 2 == 1) ? static_cast<double>(1u << ((w + 1) / 2)) + 1.0
+                   : static_cast<double>(1u << ((w + 2) / 2)) + 1.0;
+  EXPECT_LE(peak_cross_correlation(sa, sb), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PreferredPairTest,
+                         ::testing::Values(5u, 6u, 7u, 9u, 10u));
+
+TEST(PreferredPair, UnsupportedWidthThrows) {
+  EXPECT_THROW(preferred_pair(4), std::out_of_range);
+  EXPECT_THROW(preferred_pair(8), std::out_of_range);
+  EXPECT_THROW(preferred_pair(12), std::out_of_range);
+}
+
+TEST(GoldCode, DistinctShiftsGiveDistinctCodes) {
+  const std::size_t p = 127;
+  std::set<std::vector<bool>> codes;
+  for (std::uint32_t shift = 0; shift < 10; ++shift) {
+    codes.insert(gold_code(7, shift, p));
+  }
+  EXPECT_EQ(codes.size(), 10u);
+}
+
+TEST(GoldCode, PairwiseCrossCorrelationBounded) {
+  // Any two members of the Gold family stay within t(n) of each other.
+  const unsigned w = 7;
+  const std::size_t p = 127;
+  const double bound = static_cast<double>(1u << ((w + 1) / 2)) + 1.0;
+  const auto g0 = gold_code(w, 0, p);
+  for (std::uint32_t shift : {1u, 5u, 60u, 126u}) {
+    const auto g = gold_code(w, shift, p);
+    EXPECT_LE(peak_cross_correlation(g0, g), bound) << "shift " << shift;
+  }
+}
+
+TEST(GoldCode, IsBalancedEnoughForWatermarking) {
+  // Gold codes are not perfectly balanced like m-sequences, but the
+  // imbalance is bounded by t(n); the watermark duty cycle stays ~50 %.
+  const auto g = gold_code(9, 3, 511);
+  long ones = 0;
+  for (const bool b : g) ones += b ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / 511.0, 0.5, 0.07);
+}
+
+TEST(PeakCrossCorrelation, IdenticalSequencesPeakAtLength) {
+  Lfsr l(7, maximal_taps(7), 1);
+  const auto s = l.generate(127);
+  EXPECT_DOUBLE_EQ(peak_cross_correlation(s, s), 127.0);
+}
+
+TEST(PeakCrossCorrelation, MismatchedThrows) {
+  std::vector<bool> a(4), b(5);
+  EXPECT_THROW(peak_cross_correlation(a, b), std::invalid_argument);
+  std::vector<bool> empty;
+  EXPECT_THROW(peak_cross_correlation(empty, empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clockmark::sequence

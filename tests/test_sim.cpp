@@ -1,0 +1,128 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace clockmark::sim {
+namespace {
+
+ScenarioConfig fast_config(ChipModel chip) {
+  ScenarioConfig cfg =
+      chip == ChipModel::kChip1 ? chip1_default() : chip2_default();
+  cfg.trace_cycles = 20000;
+  // Short traces need a crisper measurement to keep tests deterministic.
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  return cfg;
+}
+
+TEST(Scenario, CharacterisationHasPaperAmplitude) {
+  Scenario sc(fast_config(ChipModel::kChip1));
+  const auto& ch = sc.characterization();
+  EXPECT_EQ(ch.period, 4095u);
+  // Watermark block active power ~1.57 mW, idle ~0.03 mW.
+  EXPECT_NEAR(ch.mean_active_w, 1.57e-3, 0.1e-3);
+  EXPECT_LT(ch.mean_idle_w, 0.1e-3);
+}
+
+TEST(Scenario, ResultShapes) {
+  auto cfg = fast_config(ChipModel::kChip1);
+  Scenario sc(cfg);
+  const auto r = sc.run(0);
+  EXPECT_EQ(r.pattern.size(), 4095u);
+  EXPECT_EQ(r.background_power.cycles(), cfg.trace_cycles);
+  EXPECT_EQ(r.watermark_power.cycles(), cfg.trace_cycles);
+  EXPECT_EQ(r.total_power.cycles(), cfg.trace_cycles);
+  EXPECT_EQ(r.acquisition.per_cycle_power_w.size(), cfg.trace_cycles);
+  EXPECT_EQ(r.true_rotation, 3800u);  // pinned by chip1_default
+}
+
+TEST(Scenario, TotalIsBackgroundPlusWatermark) {
+  Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(r.total_power[i],
+                r.background_power[i] + r.watermark_power[i], 1e-12);
+  }
+}
+
+TEST(Scenario, InactiveWatermarkOnlyLeaks) {
+  auto cfg = fast_config(ChipModel::kChip1);
+  cfg.watermark_active = false;
+  Scenario sc(cfg);
+  const auto r = sc.run(0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_LT(r.watermark_power[i], 1e-6);  // leakage only
+  }
+}
+
+TEST(Scenario, WatermarkPowerFollowsPattern) {
+  Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const auto& ch = sc.characterization();
+  for (std::size_t i = 0; i < 500; ++i) {
+    const bool bit =
+        ch.wmark_bits[(i + r.true_rotation) % ch.period];
+    if (bit) {
+      EXPECT_GT(r.watermark_power[i], 1e-3) << "cycle " << i;
+    } else {
+      EXPECT_LT(r.watermark_power[i], 0.2e-3) << "cycle " << i;
+    }
+  }
+}
+
+TEST(Scenario, UnpinnedPhaseVariesAcrossRepetitions) {
+  auto cfg = fast_config(ChipModel::kChip1);
+  cfg.phase_offset.reset();
+  Scenario sc(cfg);
+  const auto r0 = sc.run(0);
+  const auto r1 = sc.run(1);
+  EXPECT_NE(r0.true_rotation, r1.true_rotation);
+  EXPECT_LT(r0.true_rotation, 4095u);
+}
+
+TEST(Scenario, RepetitionsChangeNoiseNotBackgroundChip1) {
+  Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r0 = sc.run(0);
+  const auto r1 = sc.run(1);
+  // Chip 1 background is deterministic (same program, same chip)...
+  EXPECT_EQ(r0.background_power.values(), r1.background_power.values());
+  // ...but the measurement noise differs per repetition.
+  EXPECT_NE(r0.acquisition.per_cycle_power_w,
+            r1.acquisition.per_cycle_power_w);
+}
+
+TEST(Scenario, Chip2BackgroundVariesPerRepetition) {
+  Scenario sc(fast_config(ChipModel::kChip2));
+  const auto r0 = sc.run(0);
+  const auto r1 = sc.run(1);
+  EXPECT_NE(r0.background_power.values(), r1.background_power.values());
+}
+
+TEST(Scenario, Chip2HasHigherBackground) {
+  Scenario s1(fast_config(ChipModel::kChip1));
+  Scenario s2(fast_config(ChipModel::kChip2));
+  const auto r1 = s1.run(0);
+  const auto r2 = s2.run(0);
+  EXPECT_GT(r2.background_power.average_w(),
+            3.0 * r1.background_power.average_w());
+}
+
+TEST(Scenario, DefaultsMatchPaperSetup) {
+  const auto c1 = chip1_default();
+  EXPECT_EQ(c1.trace_cycles, 300000u);  // paper: 300,000 cycles per rho
+  EXPECT_EQ(c1.watermark.words, 32u);
+  EXPECT_EQ(c1.watermark.bits_per_word, 32u);
+  EXPECT_EQ(c1.watermark.wgc.width, 12u);
+  EXPECT_EQ(c1.acquisition.waveform.samples_per_cycle, 50u);  // 500 MS/s
+  EXPECT_NEAR(c1.acquisition.shunt.resistance_ohm(), 0.270, 1e-9);
+  EXPECT_EQ(c1.phase_offset, 3800u);
+  const auto c2 = chip2_default();
+  EXPECT_EQ(c2.phase_offset, 2400u);
+  EXPECT_GT(c2.acquisition.scope.noise_v_rms,
+            c1.acquisition.scope.noise_v_rms);
+}
+
+}  // namespace
+}  // namespace clockmark::sim

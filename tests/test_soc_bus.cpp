@@ -1,0 +1,109 @@
+#include "soc/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/memory.h"
+#include "soc/peripherals.h"
+
+namespace clockmark::soc {
+namespace {
+
+TEST(Bus, RoutesToMappedDevice) {
+  Bus bus;
+  auto ram = std::make_shared<Ram>(0x100);
+  bus.map(0x1000, 0x100, ram);
+  auto w = bus.write(0x1010, 0xabcd1234, 4);
+  EXPECT_FALSE(w.fault);
+  auto r = bus.read(0x1010, 4);
+  EXPECT_FALSE(r.fault);
+  EXPECT_EQ(r.data, 0xabcd1234u);
+  EXPECT_EQ(ram->peek(0x10), 0x34);
+}
+
+TEST(Bus, UnmappedAddressFaults) {
+  Bus bus;
+  bus.map(0x1000, 0x100, std::make_shared<Ram>(0x100));
+  EXPECT_TRUE(bus.read(0x0, 4).fault);
+  EXPECT_TRUE(bus.read(0x1100, 4).fault);
+  EXPECT_EQ(bus.stats().faults, 2u);
+}
+
+TEST(Bus, RegionBoundaryAccess) {
+  Bus bus;
+  bus.map(0x1000, 0x100, std::make_shared<Ram>(0x100));
+  EXPECT_FALSE(bus.read(0x10fc, 4).fault);  // last word
+  EXPECT_TRUE(bus.read(0x10fe, 4).fault);   // would straddle the edge
+}
+
+TEST(Bus, MisalignedAccessFaults) {
+  Bus bus;
+  bus.map(0, 0x100, std::make_shared<Ram>(0x100));
+  EXPECT_TRUE(bus.read(1, 4).fault);
+  EXPECT_TRUE(bus.read(2, 4).fault);
+  EXPECT_TRUE(bus.read(1, 2).fault);
+  EXPECT_FALSE(bus.read(1, 1).fault);
+  EXPECT_FALSE(bus.read(2, 2).fault);
+}
+
+TEST(Bus, BadSizeFaults) {
+  Bus bus;
+  bus.map(0, 0x100, std::make_shared<Ram>(0x100));
+  EXPECT_TRUE(bus.read(0, 3).fault);
+  EXPECT_TRUE(bus.read(0, 8).fault);
+}
+
+TEST(Bus, OverlappingRegionRejected) {
+  Bus bus;
+  bus.map(0x1000, 0x100, std::make_shared<Ram>(0x100));
+  EXPECT_THROW(bus.map(0x10f0, 0x100, std::make_shared<Ram>(0x100)),
+               std::invalid_argument);
+  // Adjacent is fine.
+  EXPECT_NO_THROW(bus.map(0x1100, 0x100, std::make_shared<Ram>(0x100)));
+}
+
+TEST(Bus, EmptyRegionRejected) {
+  Bus bus;
+  EXPECT_THROW(bus.map(0, 0, std::make_shared<Ram>(0x100)),
+               std::invalid_argument);
+  EXPECT_THROW(bus.map(0, 0x100, nullptr), std::invalid_argument);
+}
+
+TEST(Bus, WaitStatesAccumulate) {
+  Bus bus;
+  bus.map(0, 0x100, std::make_shared<Ram>(0x100), /*extra_wait_states=*/2);
+  const auto acc = bus.read(0, 4);
+  EXPECT_EQ(acc.wait_cycles, 2u);
+  EXPECT_EQ(bus.stats().wait_cycles, 2u);
+}
+
+TEST(Bus, StatsCountReadsAndWrites) {
+  Bus bus;
+  bus.map(0, 0x100, std::make_shared<Ram>(0x100));
+  bus.read(0, 4);
+  bus.read(4, 4);
+  bus.write(8, 1, 4);
+  EXPECT_EQ(bus.stats().reads, 2u);
+  EXPECT_EQ(bus.stats().writes, 1u);
+  bus.reset_stats();
+  EXPECT_EQ(bus.stats().reads, 0u);
+}
+
+TEST(Bus, CycleTransactionsDrained) {
+  Bus bus;
+  bus.map(0, 0x100, std::make_shared<Ram>(0x100));
+  bus.read(0, 4);
+  bus.write(4, 2, 4);
+  EXPECT_EQ(bus.take_cycle_transactions(), 2u);
+  EXPECT_EQ(bus.take_cycle_transactions(), 0u);  // drained
+}
+
+TEST(Bus, TickReachesDevices) {
+  Bus bus;
+  auto timer = std::make_shared<Timer>();
+  bus.map(0x4000, 0x100, timer);
+  for (int i = 0; i < 5; ++i) bus.tick();
+  EXPECT_EQ(timer->count(), 5u);
+}
+
+}  // namespace
+}  // namespace clockmark::soc

@@ -1,0 +1,124 @@
+#include "soc/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace clockmark::soc {
+namespace {
+
+TEST(Cache, GeometryDerivation) {
+  Cache c(CacheConfig{16 * 1024, 32, 4});
+  EXPECT_EQ(c.sets(), 128u);  // 16K / (32 * 4)
+}
+
+TEST(Cache, InvalidGeometryThrows) {
+  EXPECT_THROW(Cache(CacheConfig{16 * 1024, 33, 4}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{16 * 1024, 32, 3}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{1000, 32, 4}), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(CacheConfig{1024, 32, 2});
+  EXPECT_FALSE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x104, false));  // same line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, line 32: lines mapping to the same set evict least recent.
+  Cache c(CacheConfig{1024, 32, 2});  // 16 sets
+  const std::uint32_t set_stride = 16 * 32;  // same set every 512 bytes
+  c.access(0 * set_stride, false);  // A miss
+  c.access(1 * set_stride, false);  // B miss
+  c.access(0 * set_stride, false);  // A hit (B becomes LRU)
+  c.access(2 * set_stride, false);  // C miss, evicts B
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_TRUE(c.access(0 * set_stride, false));   // A still present
+  EXPECT_FALSE(c.access(1 * set_stride, false));  // B was evicted
+}
+
+TEST(Cache, DirtyWritebackCounted) {
+  Cache c(CacheConfig{1024, 32, 2});
+  const std::uint32_t set_stride = 16 * 32;
+  c.access(0, true);               // dirty A
+  c.access(set_stride, false);     // B
+  c.access(2 * set_stride, false); // evicts A (LRU) -> writeback
+  c.access(3 * set_stride, false); // evicts B -> clean, no writeback
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  EXPECT_EQ(c.stats().evictions, 2u);
+}
+
+TEST(Cache, DirtyStickyOnHit) {
+  Cache c(CacheConfig{1024, 32, 2});
+  const std::uint32_t set_stride = 16 * 32;
+  c.access(0, false);
+  c.access(0, true);   // hit marks dirty
+  c.access(set_stride, false);
+  c.access(2 * set_stride, false);  // evicts line 0 -> must write back
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, InvalidateClears) {
+  Cache c(CacheConfig{1024, 32, 2});
+  c.access(0, false);
+  c.invalidate();
+  EXPECT_FALSE(c.access(0, false));
+}
+
+TEST(Cache, HitRateStat) {
+  Cache c(CacheConfig{1024, 32, 2});
+  EXPECT_EQ(c.stats().hit_rate(), 0.0);
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, false);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.75);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+struct Geometry {
+  std::uint32_t size;
+  std::uint32_t line;
+  std::uint32_t ways;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometry, SequentialScanHitRate) {
+  // Scanning a working set that fits entirely: first pass misses per
+  // line, later passes hit 100 %.
+  const auto g = GetParam();
+  Cache c(CacheConfig{g.size, g.line, g.ways});
+  const std::uint32_t working_set = g.size / 2;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint32_t a = 0; a < working_set; a += 4) {
+      c.access(a, false);
+    }
+  }
+  const auto& st = c.stats();
+  EXPECT_EQ(st.misses, working_set / g.line);
+  EXPECT_EQ(st.evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometry,
+    ::testing::Values(Geometry{1024, 16, 1}, Geometry{4096, 32, 2},
+                      Geometry{16384, 32, 4}, Geometry{32768, 64, 8}));
+
+TEST(Cache, ThrashingWorkingSetEvicts) {
+  // Working set = 2x capacity with a pathological stride: every access
+  // misses after warmup in a direct-mapped cache.
+  Cache c(CacheConfig{1024, 32, 1});
+  util::Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    c.access((rng.bounded(64)) * 1024, false);  // 64 lines, all set 0
+  }
+  EXPECT_GT(c.stats().misses, 900u);
+}
+
+}  // namespace
+}  // namespace clockmark::soc

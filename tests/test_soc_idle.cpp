@@ -1,0 +1,88 @@
+// Idle-window mechanics: the timer-wake model, the duty-cycled workload
+// and the schedule built from the SoC's own idle mask (the end-to-end
+// path for the paper's "watermark active while the system is inactive"
+// usage).
+#include <gtest/gtest.h>
+
+#include "cpu/programs.h"
+#include "soc/chip1.h"
+#include "watermark/scheduler.h"
+
+namespace clockmark::soc {
+namespace {
+
+Chip1Config duty_config(std::uint32_t wake_period) {
+  Chip1Config cfg;
+  cfg.program = cpu::duty_cycled_workload_source();
+  cfg.timer_wake_period = wake_period;
+  return cfg;
+}
+
+TEST(IdleWindows, WorkloadSleepsAndWakes) {
+  Chip1Soc chip(duty_config(2000));
+  const auto run = chip.run_with_idle(20000);
+  const double idle_frac = watermark::effective_duty(run.idle);
+  // The burst takes ~1.3k cycles, then WFI until the next 2k boundary:
+  // a meaningful fraction of both states must appear.
+  EXPECT_GT(idle_frac, 0.05);
+  EXPECT_LT(idle_frac, 0.95);
+  EXPECT_FALSE(chip.core().faulted());
+}
+
+TEST(IdleWindows, NoWakeMeansPermanentSleep) {
+  Chip1Soc chip(duty_config(0));  // timer wake disabled
+  const auto run = chip.run_with_idle(20000);
+  // Once the first WFI is reached the core never wakes again.
+  EXPECT_TRUE(run.idle.back());
+  EXPECT_TRUE(chip.core().sleeping());
+}
+
+TEST(IdleWindows, IdleCyclesAreCheap) {
+  Chip1Soc chip(duty_config(2000));
+  const auto run = chip.run_with_idle(20000);
+  double idle_sum = 0.0, busy_sum = 0.0;
+  std::size_t idle_n = 0, busy_n = 0;
+  for (std::size_t i = 0; i < run.idle.size(); ++i) {
+    if (run.idle[i]) {
+      idle_sum += run.power[i];
+      ++idle_n;
+    } else {
+      busy_sum += run.power[i];
+      ++busy_n;
+    }
+  }
+  ASSERT_GT(idle_n, 0u);
+  ASSERT_GT(busy_n, 0u);
+  EXPECT_LT(idle_sum / static_cast<double>(idle_n),
+            0.5 * busy_sum / static_cast<double>(busy_n));
+}
+
+TEST(IdleWindows, ScheduleFollowsSocIdleMask) {
+  Chip1Soc chip(duty_config(2000));
+  const auto run = chip.run_with_idle(10000);
+  watermark::ScheduleConfig cfg;
+  cfg.policy = watermark::SchedulePolicy::kIdleWindows;
+  const auto enabled =
+      watermark::build_schedule(cfg, run.idle.size(), run.idle);
+  EXPECT_EQ(enabled, run.idle);
+  // The watermark would then only burn power inside idle windows.
+  const std::vector<double> wm(run.idle.size(), 1.5e-3);
+  const auto gated = watermark::apply_schedule(wm, enabled, 0.0);
+  for (std::size_t i = 0; i < gated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(gated[i], run.idle[i] ? 1.5e-3 : 0.0);
+  }
+}
+
+TEST(IdleWindows, WakePeriodControlsDuty) {
+  Chip1Soc fast(duty_config(1600));
+  Chip1Soc slow(duty_config(6400));
+  const double duty_fast =
+      watermark::effective_duty(fast.run_with_idle(30000).idle);
+  const double duty_slow =
+      watermark::effective_duty(slow.run_with_idle(30000).idle);
+  // Longer wake period -> more sleep per window.
+  EXPECT_GT(duty_slow, duty_fast);
+}
+
+}  // namespace
+}  // namespace clockmark::soc

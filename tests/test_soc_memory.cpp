@@ -1,0 +1,109 @@
+#include "soc/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "soc/peripherals.h"
+
+namespace clockmark::soc {
+namespace {
+
+TEST(Ram, ReadWriteAllWidths) {
+  Ram ram(0x100);
+  ram.write(0, 0x11223344, 4);
+  EXPECT_EQ(ram.read(0, 4).data, 0x11223344u);
+  EXPECT_EQ(ram.read(0, 2).data, 0x3344u);
+  EXPECT_EQ(ram.read(2, 2).data, 0x1122u);
+  EXPECT_EQ(ram.read(3, 1).data, 0x11u);
+  ram.write(1, 0xee, 1);
+  EXPECT_EQ(ram.read(0, 4).data, 0x1122ee44u);
+}
+
+TEST(Ram, OutOfBoundsFaults) {
+  Ram ram(0x10);
+  EXPECT_TRUE(ram.read(0x10, 1).fault);
+  EXPECT_TRUE(ram.read(0xe, 4).fault);
+  EXPECT_TRUE(ram.write(0x10, 0, 1).fault);
+}
+
+TEST(Ram, StatsCount) {
+  Ram ram(0x10);
+  ram.read(0, 4);
+  ram.write(0, 1, 4);
+  ram.write(4, 2, 4);
+  EXPECT_EQ(ram.stats().reads, 1u);
+  EXPECT_EQ(ram.stats().writes, 2u);
+}
+
+TEST(Ram, BackdoorPeekPoke) {
+  Ram ram(0x10);
+  ram.poke(3, 0x5a);
+  EXPECT_EQ(ram.peek(3), 0x5a);
+  EXPECT_EQ(ram.read(0, 4).data, 0x5a000000u);
+}
+
+TEST(Rom, LoadsImageAndReads) {
+  Rom rom(0x100);
+  cpu::ProgramImage img;
+  img.words = {0x12345678u, 0x9abcdef0u};
+  rom.load(img);
+  EXPECT_EQ(rom.read(0, 4).data, 0x12345678u);
+  EXPECT_EQ(rom.read(4, 4).data, 0x9abcdef0u);
+}
+
+TEST(Rom, LoadAtOffset) {
+  Rom rom(0x100);
+  cpu::ProgramImage img;
+  img.words = {0xaabbccddu};
+  rom.load(img, 0x40);
+  EXPECT_EQ(rom.read(0x40, 4).data, 0xaabbccddu);
+}
+
+TEST(Rom, WriteFaults) {
+  Rom rom(0x100);
+  EXPECT_TRUE(rom.write(0, 1, 4).fault);
+}
+
+TEST(Rom, OversizeImageThrows) {
+  Rom rom(0x8);
+  cpu::ProgramImage img;
+  img.words = {1, 2, 3};
+  EXPECT_THROW(rom.load(img), std::out_of_range);
+}
+
+TEST(Uart, CollectsBytes) {
+  Uart uart;
+  uart.write(0, 'H', 1);
+  uart.write(0, 'i', 1);
+  EXPECT_EQ(uart.output(), "Hi");
+  uart.clear();
+  EXPECT_TRUE(uart.output().empty());
+  // Status register always reports ready.
+  EXPECT_EQ(uart.read(4, 4).data, 1u);
+}
+
+TEST(Uart, BadOffsetWriteFaults) {
+  Uart uart;
+  EXPECT_TRUE(uart.write(0x8, 1, 4).fault);
+}
+
+TEST(Timer, CountsWhenEnabled) {
+  Timer timer;
+  for (int i = 0; i < 3; ++i) timer.tick();
+  EXPECT_EQ(timer.read(0, 4).data, 3u);
+  timer.write(4, 0, 4);  // disable
+  timer.tick();
+  EXPECT_EQ(timer.count(), 3u);
+  timer.write(4, 1, 4);  // enable
+  timer.tick();
+  EXPECT_EQ(timer.count(), 4u);
+}
+
+TEST(Timer, CountWritable) {
+  Timer timer;
+  timer.write(0, 100, 4);
+  EXPECT_EQ(timer.count(), 100u);
+}
+
+}  // namespace
+}  // namespace clockmark::soc

@@ -1,0 +1,66 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace clockmark::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, EqualsForm) {
+  const Args a = make({"prog", "--cycles=500", "--label=hello"});
+  EXPECT_EQ(a.get_int("cycles", 0), 500);
+  EXPECT_EQ(a.get("label", ""), "hello");
+}
+
+TEST(Args, SpaceForm) {
+  const Args a = make({"prog", "--cycles", "500", "--rate", "2.5"});
+  EXPECT_EQ(a.get_int("cycles", 0), 500);
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Args, BareFlagIsTrue) {
+  const Args a = make({"prog", "--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_TRUE(a.get_bool("verbose", false));
+}
+
+TEST(Args, BoolValues) {
+  const Args a = make({"prog", "--x=true", "--y=0", "--z=no"});
+  EXPECT_TRUE(a.get_bool("x", false));
+  EXPECT_FALSE(a.get_bool("y", true));
+  EXPECT_FALSE(a.get_bool("z", true));
+}
+
+TEST(Args, FallbacksWhenMissing) {
+  const Args a = make({"prog"});
+  EXPECT_EQ(a.get("missing", "def"), "def");
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(a.get_bool("missing", false));
+  EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(Args, PositionalArguments) {
+  const Args a = make({"prog", "one", "--flag", "two"});
+  // "two" is consumed as the value of --flag (space form).
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "one");
+  EXPECT_EQ(a.get("flag", ""), "two");
+}
+
+TEST(Args, HexIntegers) {
+  const Args a = make({"prog", "--seed=0xff"});
+  EXPECT_EQ(a.get_int("seed", 0), 255);
+}
+
+TEST(Args, ProgramName) {
+  const Args a = make({"myprog"});
+  EXPECT_EQ(a.program(), "myprog");
+}
+
+}  // namespace
+}  // namespace clockmark::util

@@ -1,0 +1,101 @@
+#include "util/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clockmark::util {
+namespace {
+
+TEST(LineChart, EmptySeries) {
+  ChartOptions opts;
+  const std::string s = line_chart(std::vector<double>{}, opts);
+  EXPECT_NE(s.find("empty"), std::string::npos);
+}
+
+TEST(LineChart, ContainsTitleAndAxis) {
+  ChartOptions opts;
+  opts.title = "My Chart";
+  opts.x_label = "rotation";
+  std::vector<double> y(200, 0.0);
+  const std::string s = line_chart(y, opts);
+  EXPECT_NE(s.find("My Chart"), std::string::npos);
+  EXPECT_NE(s.find("rotation"), std::string::npos);
+}
+
+TEST(LineChart, SingleSpikeSurvivesDownsampling) {
+  // 4095 points, one spike — min/max binning must keep it visible.
+  std::vector<double> y(4095, 0.0);
+  y[2400] = 1.0;
+  ChartOptions opts;
+  opts.width = 80;
+  opts.height = 10;
+  const std::string s = line_chart(y, opts);
+  // The top row must contain a mark (the spike reaches the max row).
+  const auto first_newline = s.find('\n');
+  (void)first_newline;
+  std::size_t stars = 0;
+  for (const char c : s) {
+    if (c == '*' || c == '|') ++stars;
+  }
+  EXPECT_GE(stars, 1u);
+}
+
+TEST(MultiPanel, OnePanelPerSeries) {
+  std::vector<std::pair<std::string, std::vector<double>>> series = {
+      {"alpha", {1, 2, 3}}, {"beta", {3, 2, 1}}};
+  ChartOptions opts;
+  const std::string s = multi_panel_chart(series, opts);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(DigitalWaveform, RendersLevelsAndEdges) {
+  std::vector<std::pair<std::string, std::vector<bool>>> signals = {
+      {"CLK", {true, false, true, false}},
+      {"WMARK", {false, false, true, true}},
+  };
+  const std::string s = digital_waveform(signals);
+  EXPECT_NE(s.find("CLK"), std::string::npos);
+  EXPECT_NE(s.find("WMARK"), std::string::npos);
+  EXPECT_NE(s.find('~'), std::string::npos);  // high level
+  EXPECT_NE(s.find('_'), std::string::npos);  // low level
+  EXPECT_NE(s.find('|'), std::string::npos);  // an edge
+}
+
+TEST(DigitalWaveform, TruncatesToMaxCycles) {
+  std::vector<std::pair<std::string, std::vector<bool>>> signals = {
+      {"S", std::vector<bool>(1000, true)}};
+  const std::string s = digital_waveform(signals, 10);
+  // 10 cycles * 3 chars + label; certainly below 100 chars per line.
+  EXPECT_LT(s.size(), 100u);
+}
+
+TEST(BoxPlotRow, MarksMedianAndBox) {
+  BoxPlot bp;
+  bp.median = 0.5;
+  bp.q_low = 0.3;
+  bp.q_high = 0.7;
+  bp.whisker_low = 0.1;
+  bp.whisker_high = 0.9;
+  const std::string s = box_plot_row("test", bp, 0.0, 1.0, 60);
+  EXPECT_NE(s.find('M'), std::string::npos);
+  EXPECT_NE(s.find('='), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+  EXPECT_NE(s.find("test"), std::string::npos);
+}
+
+TEST(BoxPlotRow, OutliersRendered) {
+  BoxPlot bp;
+  bp.median = 0.5;
+  bp.q_low = 0.45;
+  bp.q_high = 0.55;
+  bp.whisker_low = 0.45;
+  bp.whisker_high = 0.55;
+  bp.outliers = {0.05, 0.95};
+  const std::string s = box_plot_row("o", bp, 0.0, 1.0, 60);
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clockmark::util

@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace clockmark::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "cm_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_);
+    w.header({"a", "b", "c"});
+    w.row({1.0, 2.5, 3.0});
+    w.row({4.0, 5.0, 6.0});
+  }
+  EXPECT_EQ(slurp(path_), "a,b,c\n1,2.5,3\n4,5,6\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_);
+    w.text_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  }
+  EXPECT_EQ(slurp(path_),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST_F(CsvTest, VectorOverloads) {
+  {
+    CsvWriter w(path_);
+    w.header(std::vector<std::string>{"x", "y"});
+    w.row(std::vector<double>{1.5, -2.25});
+  }
+  EXPECT_EQ(slurp(path_), "x,y\n1.5,-2.25\n");
+}
+
+TEST(CsvWriterErrors, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadSeriesRoundTrip) {
+  {
+    std::ofstream out(path_);
+    out << "# header comment\n1.5\n2.5, extra, columns\n\n-3e-3 # note\n";
+  }
+  const auto v = read_series(path_);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+  EXPECT_DOUBLE_EQ(v[2], -3e-3);
+}
+
+TEST(ReadSeries, MissingFileThrows) {
+  EXPECT_THROW(read_series("/nonexistent_xyz/a.csv"), std::runtime_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1.23456789, 3), "1.23");
+  EXPECT_EQ(format_double(1476e-9, 4), "1.476e-06");
+}
+
+}  // namespace
+}  // namespace clockmark::util

@@ -1,0 +1,139 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace clockmark::util {
+namespace {
+
+TEST(Pcg32, SameSeedSameSequence) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(42, 7);
+  Pcg32 b(43, 7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(1);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 4095u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, BoundedCoversRange) {
+  Pcg32 rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, UniformRangeRespectsBounds) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Pcg32, GaussianMoments) {
+  Pcg32 rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Pcg32, GaussianScaled) {
+  Pcg32 rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Pcg32, BernoulliRate) {
+  Pcg32 rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Pcg32, ForkIsIndependentOfParentConsumption) {
+  // Forking with the same salt from the same state gives the same child.
+  Pcg32 parent1(23, 5);
+  Pcg32 parent2(23, 5);
+  Pcg32 child1 = parent1.fork(99);
+  Pcg32 child2 = parent2.fork(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1(), child2());
+  }
+}
+
+TEST(Pcg32, ForkDifferentSaltsDiffer) {
+  Pcg32 parent(23, 5);
+  Pcg32 a = parent.fork(1);
+  Pcg32 b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Splitmix64, AdvancesAndMixes) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);  // deterministic
+}
+
+}  // namespace
+}  // namespace clockmark::util

@@ -1,0 +1,143 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace clockmark::util {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+  double var = 0.0;
+  for (const double x : xs) var += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(rs.variance(), var / 5.0, 1e-12);
+  EXPECT_NEAR(rs.sample_variance(), var / 4.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Pcg32 rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(5.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant) {
+  Pcg32 rng(7);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.gaussian();
+    y[i] = rng.gaussian();
+  }
+  const double base = pearson(x, y);
+  std::vector<double> y2(y);
+  for (auto& v : y2) v = 3.0 * v + 100.0;
+  EXPECT_NEAR(pearson(x, y2), base, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, LengthMismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(pearson(x, y), std::invalid_argument);
+}
+
+TEST(Pearson, UncorrelatedNoiseIsSmall) {
+  Pcg32 rng(11);
+  std::vector<double> x(10000), y(10000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.gaussian();
+    y[i] = rng.gaussian();
+  }
+  EXPECT_LT(std::fabs(pearson(x, y)), 0.05);
+}
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> s = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(s, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(s, 0.5), 5.5);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> s = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(s, 0.5), 5.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  const std::vector<double> s;
+  EXPECT_THROW(quantile(s, 0.5), std::invalid_argument);
+}
+
+TEST(BoxPlotStats, CoversNinetyFivePercent) {
+  Pcg32 rng(13);
+  std::vector<double> s(20000);
+  for (auto& v : s) v = rng.gaussian();
+  const BoxPlot bp = box_plot(s);
+  EXPECT_NEAR(bp.median, 0.0, 0.05);
+  EXPECT_NEAR(bp.q_low, -1.96, 0.1);   // 2.5th pct of N(0,1)
+  EXPECT_NEAR(bp.q_high, 1.96, 0.1);   // 97.5th pct
+  // ~5 % of samples are outliers by construction.
+  EXPECT_NEAR(static_cast<double>(bp.outliers.size()) / s.size(), 0.05,
+              0.01);
+  EXPECT_LE(bp.whisker_low, bp.q_low);
+  EXPECT_GE(bp.whisker_high, bp.q_high);
+}
+
+TEST(MeanStddev, Basics) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_DOUBLE_EQ(z_score(9.0, v), 2.0);
+}
+
+TEST(MeanStddev, EmptySafe) {
+  const std::vector<double> v;
+  EXPECT_EQ(mean(v), 0.0);
+  EXPECT_EQ(stddev(v), 0.0);
+}
+
+}  // namespace
+}  // namespace clockmark::util

@@ -1,0 +1,305 @@
+#include "watermark/clock_modulation.h"
+#include "watermark/embedder.h"
+#include "watermark/load_circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "power/estimator.h"
+#include "rtl/simulator.h"
+
+namespace clockmark::watermark {
+namespace {
+
+wgc::WgcConfig small_wgc() {
+  wgc::WgcConfig cfg;
+  cfg.width = 6;  // period 63, fast gate-level runs
+  return cfg;
+}
+
+TEST(LoadCircuit, RegistersToggleOnlyWhenWmarkHigh) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  LoadCircuitConfig cfg;
+  cfg.wgc = small_wgc();
+  cfg.load_registers = 16;
+  const auto wm = build_load_circuit_watermark(nl, "wm", clk, cfg);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  for (int i = 0; i < 130; ++i) {
+    const bool wmark = sim.net_value(wm.wmark);
+    const auto& act = sim.step();
+    const auto& mod = act.per_module[nl.module("wm")];
+    if (wmark) {
+      // All 16 load registers toggle (1010... ring) + WGC activity.
+      EXPECT_GE(mod.flop_toggles, 16u) << "cycle " << i;
+      EXPECT_GE(mod.active_icgs, 1u);
+    } else {
+      // Only the WGC's own registers may toggle (6 stages max).
+      EXPECT_LE(mod.flop_toggles, 6u) << "cycle " << i;
+      EXPECT_GE(mod.gated_icgs, 1u);
+    }
+  }
+}
+
+TEST(LoadCircuit, AreaAccounting) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  LoadCircuitConfig cfg;
+  cfg.wgc = small_wgc();
+  cfg.load_registers = 576;  // the paper's 1.5 mW equivalent
+  const auto wm = build_load_circuit_watermark(nl, "wm", clk, cfg);
+  EXPECT_EQ(wm.total_registers, 576u + 6u);
+  EXPECT_EQ(nl.register_count("wm"), 582u);
+}
+
+TEST(LoadCircuit, TooFewRegistersThrows) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  LoadCircuitConfig cfg;
+  cfg.load_registers = 1;
+  EXPECT_THROW(build_load_circuit_watermark(nl, "wm", clk, cfg),
+               std::invalid_argument);
+}
+
+TEST(ClockModulation, PaperGeometryCounts) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig cfg;  // defaults: 32x32, 12-bit WGC
+  const auto wm = build_clock_modulation_watermark(nl, "wm", clk, cfg);
+  EXPECT_EQ(wm.flops.size(), 1024u);
+  EXPECT_EQ(wm.total_registers, 1024u + 12u);
+  EXPECT_EQ(wm.wgc_registers, 12u);
+  EXPECT_EQ(wm.bank.words.size(), 32u);
+  EXPECT_TRUE(wm.inverters.empty());  // no switching registers by default
+}
+
+TEST(ClockModulation, InvalidConfigThrows) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig zero;
+  zero.words = 0;
+  EXPECT_THROW(build_clock_modulation_watermark(nl, "wm", clk, zero),
+               std::invalid_argument);
+  ClockModConfig too_many;
+  too_many.switching_registers = 1025;
+  EXPECT_THROW(build_clock_modulation_watermark(nl, "wm", clk, too_many),
+               std::invalid_argument);
+}
+
+TEST(ClockModulation, HoldRegistersNeverToggle) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig cfg;
+  cfg.wgc = small_wgc();
+  cfg.words = 2;
+  cfg.bits_per_word = 8;
+  cfg.switching_registers = 0;
+  build_clock_modulation_watermark(nl, "wm", clk, cfg);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  for (int i = 0; i < 130; ++i) {
+    const auto& act = sim.step();
+    // D = Q: bank flops are clocked but never change value; WGC flops
+    // are the only togglers (<= 6).
+    EXPECT_LE(act.total.flop_toggles, 6u);
+  }
+}
+
+TEST(ClockModulation, SwitchingRegistersToggleWhenClocked) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig cfg;
+  cfg.wgc = small_wgc();
+  cfg.words = 2;
+  cfg.bits_per_word = 8;
+  cfg.switching_registers = 8;
+  const auto wm = build_clock_modulation_watermark(nl, "wm", clk, cfg);
+  EXPECT_EQ(wm.inverters.size(), 8u);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  for (int i = 0; i < 130; ++i) {
+    const bool wmark = sim.net_value(wm.wmark);
+    const auto& act = sim.step();
+    if (wmark) {
+      EXPECT_GE(act.total.flop_toggles, 8u) << "cycle " << i;
+    }
+  }
+}
+
+TEST(ClockModulation, ClockBuffersFollowWmark) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig cfg;
+  cfg.wgc = small_wgc();
+  cfg.words = 4;
+  cfg.bits_per_word = 8;
+  const auto wm = build_clock_modulation_watermark(nl, "wm", clk, cfg);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  for (int i = 0; i < 130; ++i) {
+    const bool wmark = sim.net_value(wm.wmark);
+    const auto& act = sim.step();
+    if (wmark) {
+      // 32 bank leaves + 6 WGC leaves all switch.
+      EXPECT_EQ(act.total.active_buffers, 38u) << "cycle " << i;
+      EXPECT_EQ(act.total.active_icgs, 4u);
+    } else {
+      // Only the WGC's own clock leaves switch.
+      EXPECT_EQ(act.total.active_buffers, 6u) << "cycle " << i;
+      EXPECT_EQ(act.total.gated_icgs, 4u);
+    }
+  }
+}
+
+TEST(Characterization, MatchesTableOneAmplitude) {
+  // Full paper geometry: active power ~1.51 mW above idle, entirely from
+  // clock buffers.
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig cfg;  // 32x32, 12-bit WGC, no switching registers
+  const auto wm = build_clock_modulation_watermark(nl, "wm", clk, cfg);
+  const auto ch = characterize_watermark(nl, clk, wm.wmark, "wm", 4095,
+                                         power::TechLibrary{});
+  const double amplitude = ch.mean_active_w - ch.mean_idle_w;
+  // 1024 buffers + 32 ICGs: 1.51 mW + 32 * (icg_active - icg_idle).
+  EXPECT_NEAR(amplitude, 1.51e-3 + 32 * (120e-15 - 12e-15) * 10e6,
+              0.05e-3);
+  // Leakage ~0.4 uW for the block (Table I static column).
+  EXPECT_NEAR(ch.leakage_w, 0.41e-6, 0.05e-6);
+}
+
+TEST(Characterization, BitsMatchBehaviouralSequence) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  ClockModConfig cfg;
+  cfg.wgc = small_wgc();
+  cfg.words = 1;
+  cfg.bits_per_word = 4;
+  const auto wm = build_clock_modulation_watermark(nl, "wm", clk, cfg);
+  const auto ch = characterize_watermark(nl, clk, wm.wmark, "wm", 63,
+                                         power::TechLibrary{});
+  wgc::WgcSequence seq(cfg.wgc);
+  const auto expected = seq.generate(63);
+  EXPECT_EQ(ch.wmark_bits, expected);
+  // Power is bimodal: every active cycle costs more than every idle one.
+  double min_active = 1e9, max_idle = 0.0;
+  for (std::size_t i = 0; i < 63; ++i) {
+    if (ch.wmark_bits[i]) {
+      min_active = std::min(min_active, ch.power_w[i]);
+    } else {
+      max_idle = std::max(max_idle, ch.power_w[i]);
+    }
+  }
+  EXPECT_GT(min_active, max_idle);
+}
+
+TEST(Characterization, TilingWrapsPhase) {
+  WatermarkCharacterization ch;
+  ch.period = 4;
+  ch.power_w = {1.0, 2.0, 3.0, 4.0};
+  ch.wmark_bits = {true, false, true, false};
+  const auto tiled = tile_watermark_power(ch, 10, 2);
+  const std::vector<double> expected = {3, 4, 1, 2, 3, 4, 1, 2, 3, 4};
+  EXPECT_EQ(tiled, expected);
+  const auto bits = tile_wmark_bits(ch, 5, 1);
+  const std::vector<bool> eb = {false, true, false, true, false};
+  EXPECT_EQ(bits, eb);
+}
+
+TEST(Characterization, ZeroPeriodThrows) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  EXPECT_THROW(characterize_watermark(nl, clk, clk, "", 0,
+                                      power::TechLibrary{}),
+               std::invalid_argument);
+}
+
+TEST(DemoIp, BuildsAndTicksWithGatedGroups) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  DemoIpConfig cfg;
+  cfg.groups = 4;
+  cfg.registers_per_group = 16;
+  const auto ip = build_demo_ip_block(nl, "ip", clk, cfg);
+  EXPECT_EQ(ip.icgs.size(), 4u);
+  EXPECT_EQ(ip.ctrl_nets.size(), 4u);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  // Functional enables must vary over time (the counter decodes).
+  std::size_t active_seen = 0, gated_seen = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto& act = sim.step();
+    active_seen += act.total.active_icgs;
+    gated_seen += act.total.gated_icgs;
+  }
+  EXPECT_GT(active_seen, 0u);
+  EXPECT_GT(gated_seen, 0u);
+}
+
+TEST(Embedder, RewiresEnablesThroughAnd) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  const auto ip = build_demo_ip_block(nl, "ip", clk, {2, 8});
+  const auto embed = embed_clock_modulation(nl, "wm", clk, small_wgc(),
+                                            ip.icgs);
+  EXPECT_EQ(embed.and_gates.size(), 2u);
+  // Each ICG's enable is now the AND output, not the original ctrl net.
+  for (std::size_t i = 0; i < ip.icgs.size(); ++i) {
+    const auto& icg = nl.cell(ip.icgs[i]);
+    EXPECT_EQ(icg.inputs[0], nl.cell(embed.and_gates[i]).output);
+  }
+}
+
+TEST(Embedder, WmarkGatesFunctionalClocks) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  const auto ip = build_demo_ip_block(nl, "ip", clk, {2, 8});
+  embed_clock_modulation(nl, "wm", clk, small_wgc(), ip.icgs);
+
+  // Compare against an unmodified twin: whenever WMARK = 0, the embedded
+  // design must clock strictly fewer flops.
+  rtl::Netlist ref;
+  const rtl::NetId rclk = ref.add_net("clk");
+  build_demo_ip_block(ref, "ip", rclk, {2, 8});
+
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  rtl::Simulator rsim(ref);
+  rsim.set_clock_source(rclk);
+  wgc::WgcSequence seq(small_wgc());
+  bool saw_gating = false;
+  for (int i = 0; i < 63; ++i) {
+    const bool wmark = seq.step();
+    const auto& act = sim.step();
+    const auto& ract = rsim.step();
+    if (!wmark && ract.total.clocked_flops > 6) {
+      // Embedded design: only the 3-bit counter and the 6 WGC stages may
+      // clock — every functional group is cut off by WMARK.
+      EXPECT_LE(act.total.clocked_flops, 9u) << "cycle " << i;
+      saw_gating = true;
+    }
+  }
+  EXPECT_TRUE(saw_gating);
+}
+
+TEST(Embedder, NoTargetsThrows) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  EXPECT_THROW(
+      embed_clock_modulation(nl, "wm", clk, small_wgc(), {}),
+      std::invalid_argument);
+}
+
+TEST(Embedder, NonIcgTargetThrows) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  const rtl::NetId a = nl.add_net("a");
+  const rtl::NetId b = nl.add_net("b");
+  const rtl::CellId inv = nl.add_gate(rtl::CellKind::kInv, "i", 0, {a}, b);
+  const std::vector<rtl::CellId> targets = {inv};
+  EXPECT_THROW(embed_clock_modulation(nl, "wm", clk, small_wgc(), targets),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clockmark::watermark

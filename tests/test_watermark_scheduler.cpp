@@ -1,0 +1,80 @@
+#include "watermark/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace clockmark::watermark {
+namespace {
+
+TEST(Scheduler, AlwaysOn) {
+  ScheduleConfig cfg;
+  const auto s = build_schedule(cfg, 100);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_DOUBLE_EQ(effective_duty(s), 1.0);
+}
+
+TEST(Scheduler, DutyCycledWindows) {
+  ScheduleConfig cfg;
+  cfg.policy = SchedulePolicy::kDutyCycled;
+  cfg.window_cycles = 10;
+  cfg.duty = 0.3;
+  const auto s = build_schedule(cfg, 100);
+  EXPECT_NEAR(effective_duty(s), 0.3, 1e-12);
+  // Pattern within each window: first 3 on, rest off.
+  for (std::size_t w = 0; w < 10; ++w) {
+    EXPECT_TRUE(s[w * 10 + 0]);
+    EXPECT_TRUE(s[w * 10 + 2]);
+    EXPECT_FALSE(s[w * 10 + 3]);
+    EXPECT_FALSE(s[w * 10 + 9]);
+  }
+}
+
+TEST(Scheduler, DutyClamped) {
+  ScheduleConfig cfg;
+  cfg.policy = SchedulePolicy::kDutyCycled;
+  cfg.window_cycles = 8;
+  cfg.duty = 2.0;  // clamped to 1
+  EXPECT_DOUBLE_EQ(effective_duty(build_schedule(cfg, 64)), 1.0);
+  cfg.duty = -1.0;  // clamped to 0
+  EXPECT_DOUBLE_EQ(effective_duty(build_schedule(cfg, 64)), 0.0);
+}
+
+TEST(Scheduler, ZeroWindowThrows) {
+  ScheduleConfig cfg;
+  cfg.policy = SchedulePolicy::kDutyCycled;
+  cfg.window_cycles = 0;
+  EXPECT_THROW(build_schedule(cfg, 10), std::invalid_argument);
+}
+
+TEST(Scheduler, IdleWindowsFollowMask) {
+  ScheduleConfig cfg;
+  cfg.policy = SchedulePolicy::kIdleWindows;
+  std::vector<bool> idle = {true, false, false, true, true};
+  const auto s = build_schedule(cfg, 5, idle);
+  EXPECT_EQ(s, idle);
+}
+
+TEST(Scheduler, ShortIdleMaskThrows) {
+  ScheduleConfig cfg;
+  cfg.policy = SchedulePolicy::kIdleWindows;
+  EXPECT_THROW(build_schedule(cfg, 10, std::vector<bool>(5)),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, ApplyFallsBackToIdlePower) {
+  const std::vector<double> wm = {5.0, 5.0, 5.0, 5.0};
+  const std::vector<bool> enabled = {true, false, true, false};
+  const auto out = apply_schedule(wm, enabled, 0.5);
+  EXPECT_EQ(out, (std::vector<double>{5.0, 0.5, 5.0, 0.5}));
+}
+
+TEST(Scheduler, ApplyLengthMismatchThrows) {
+  EXPECT_THROW(apply_schedule({1.0}, {true, false}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, EffectiveDutyEmpty) {
+  EXPECT_EQ(effective_duty({}), 0.0);
+}
+
+}  // namespace
+}  // namespace clockmark::watermark

@@ -1,0 +1,137 @@
+#include "wgc/wgc.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/simulator.h"
+
+namespace clockmark::wgc {
+namespace {
+
+TEST(WgcSequence, PaperConfiguration) {
+  WgcConfig cfg;  // defaults: 12-bit maximal LFSR
+  WgcSequence seq(cfg);
+  EXPECT_EQ(seq.period(), 4095u);
+  const auto period = seq.one_period();
+  EXPECT_EQ(period.size(), 4095u);
+  // Balanced: 2048 ones, 2047 zeros.
+  std::size_t ones = 0;
+  for (const bool b : period) ones += b ? 1 : 0;
+  EXPECT_EQ(ones, 2048u);
+}
+
+TEST(WgcSequence, CircularMode) {
+  WgcConfig cfg;
+  cfg.mode = WgcMode::kCircular;
+  cfg.width = 8;
+  cfg.seed = 0b10110001u;
+  WgcSequence seq(cfg);
+  EXPECT_EQ(seq.period(), 8u);
+  const auto bits = seq.generate(16);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(bits[i], bits[i + 8]) << "not periodic at " << i;
+  }
+}
+
+TEST(WgcSequence, OnePeriodDoesNotAdvanceState) {
+  WgcConfig cfg;
+  WgcSequence seq(cfg);
+  const auto before = seq.one_period();
+  const auto stream = seq.generate(4095);
+  EXPECT_EQ(before, stream);  // one_period used a fresh copy
+}
+
+struct GateLevelCase {
+  WgcMode mode;
+  unsigned width;
+  std::uint32_t seed;
+};
+
+class GateLevelEquivalence : public ::testing::TestWithParam<GateLevelCase> {
+};
+
+TEST_P(GateLevelEquivalence, HardwareMatchesBehavioural) {
+  const auto& pc = GetParam();
+  WgcConfig cfg;
+  cfg.mode = pc.mode;
+  cfg.width = pc.width;
+  cfg.seed = pc.seed;
+
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  const auto hw = build_wgc(nl, nl.module("wgc"), clk, cfg);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+
+  WgcSequence behavioural(cfg);
+  const std::size_t cycles = 3 * behavioural.period() + 7;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const bool hw_bit = sim.net_value(hw.wmark);
+    const bool sw_bit = behavioural.step();
+    ASSERT_EQ(hw_bit, sw_bit) << "cycle " << i;
+    sim.step();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GateLevelEquivalence,
+    ::testing::Values(GateLevelCase{WgcMode::kLfsr, 5, 1},
+                      GateLevelCase{WgcMode::kLfsr, 8, 0xa5},
+                      GateLevelCase{WgcMode::kLfsr, 12, 1},
+                      GateLevelCase{WgcMode::kLfsr, 12, 0x7ff},
+                      GateLevelCase{WgcMode::kCircular, 8, 0b1100101},
+                      GateLevelCase{WgcMode::kCircular, 12, 0x001}));
+
+TEST(BuildWgc, RegisterCountMatchesWidth) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  WgcConfig cfg;
+  cfg.width = 12;
+  const auto hw = build_wgc(nl, nl.module("wgc"), clk, cfg);
+  EXPECT_EQ(hw.register_count, 12u);
+  EXPECT_EQ(hw.flops.size(), 12u);
+  EXPECT_EQ(nl.register_count("wgc"), 12u);
+  // 12-bit polynomial with 4 tap exponents + x^0 = 5 terms -> 4 XOR
+  // inputs -> 3 XOR gates.
+  EXPECT_EQ(hw.xor_gates.size(), 3u);
+  // One leaf clock buffer per stage.
+  EXPECT_EQ(hw.clock_cells.size(), 12u);
+}
+
+TEST(BuildWgc, InvalidConfigThrows) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  WgcConfig bad;
+  bad.width = 1;
+  EXPECT_THROW(build_wgc(nl, 0, clk, bad), std::invalid_argument);
+  WgcConfig zero_seed;
+  zero_seed.seed = 0;
+  EXPECT_THROW(build_wgc(nl, 0, clk, zero_seed), std::invalid_argument);
+}
+
+TEST(BuildWgc, RunsForeverWithoutLockup) {
+  rtl::Netlist nl;
+  const rtl::NetId clk = nl.add_net("clk");
+  WgcConfig cfg;
+  cfg.width = 6;
+  const auto hw = build_wgc(nl, nl.module("wgc"), clk, cfg);
+  rtl::Simulator sim(nl);
+  sim.set_clock_source(clk);
+  // Count WMARK=1 cycles over two periods: must be 2 * 32 for 6-bit.
+  std::size_t ones = 0;
+  for (int i = 0; i < 126; ++i) {
+    ones += sim.net_value(hw.wmark) ? 1 : 0;
+    sim.step();
+  }
+  EXPECT_EQ(ones, 64u);
+}
+
+TEST(WgcConfig, EffectiveTapsDefaultsToMaximal) {
+  WgcConfig cfg;
+  cfg.width = 12;
+  EXPECT_EQ(cfg.effective_taps(), sequence::maximal_taps(12));
+  cfg.taps = 0x53;
+  EXPECT_EQ(cfg.effective_taps(), 0x53u);
+}
+
+}  // namespace
+}  // namespace clockmark::wgc
