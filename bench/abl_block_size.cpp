@@ -12,13 +12,12 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  const bench::Cli cli(argc, argv, {.cycles = 300000});
+  const std::size_t cycles = cli.cycles();
   bench::print_header("abl_block_size — rho vs modulated registers",
                       "quantifies paper Sec. II sizing remark");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_block_size.csv");
+  util::CsvWriter csv(cli.out_file("abl_block_size.csv"));
   csv.text_row({"registers", "wm_active_mw", "peak_rho", "peak_z",
                 "detected"});
 

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cpa/correlation.h"
+#include "runtime/executor.h"
 #include "sequence/lfsr.h"
 #include "sequence/polynomials.h"
 #include "util/rng.h"
@@ -51,11 +52,35 @@ void BM_Folded(benchmark::State& state) {
 }
 void BM_Fft(benchmark::State& state) { run(state, CorrelationMethod::kFft); }
 
+// The naive sweep again, chunked over a thread pool (rotations are
+// independent). Thread count = range(2).
+void BM_NaiveParallel(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto cycles = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  const auto pattern = make_pattern(width);
+  const auto trace = make_trace(cycles);
+  clockmark::runtime::Executor executor(threads);
+  for (auto _ : state) {
+    auto rho = clockmark::cpa::correlate_rotations(
+        trace, pattern, CorrelationMethod::kNaive, &executor);
+    benchmark::DoNotOptimize(rho.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cycles));
+}
+
 }  // namespace
 
 // Naive only at reduced scale (the full paper-size naive sweep takes
 // seconds per iteration).
 BENCHMARK(BM_Naive)->Args({10, 30000})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NaiveParallel)
+    ->Args({10, 30000, 2})
+    ->Args({10, 30000, 4})
+    ->Args({10, 30000, 8})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Folded)
     ->Args({10, 30000})
     ->Args({12, 300000})

@@ -32,9 +32,8 @@ std::vector<double> tile_power(const std::vector<bool>& code,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 150000));
+  const bench::Cli cli(argc, argv, {.cycles = 150000});
+  const std::size_t cycles = cli.cycles();
   const unsigned width = 10;           // Gold family width (period 1023)
   const std::size_t period = 1023;
   const double amplitude = 1.5e-3;     // per-watermark modulated power
@@ -63,7 +62,7 @@ int main(int argc, char** argv) {
   const auto y = measure::AcquisitionChain(acq).measure(total);
 
   const cpa::Detector detector;
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_dual_watermark.csv");
+  util::CsvWriter csv(cli.out_file("abl_dual_watermark.csv"));
   csv.text_row({"key", "embedded", "peak_rho", "peak_rotation", "z",
                 "detected"});
 

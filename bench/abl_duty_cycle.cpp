@@ -15,9 +15,8 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  const bench::Cli cli(argc, argv, {.cycles = 300000});
+  const std::size_t cycles = cli.cycles();
   bench::print_header("abl_duty_cycle — partially active watermark",
                       "extends paper Sec. II synchronization remark");
 
@@ -25,7 +24,7 @@ int main(int argc, char** argv) {
   cfg.trace_cycles = cycles;
   sim::Scenario scenario(cfg);
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_duty_cycle.csv");
+  util::CsvWriter csv(cli.out_file("abl_duty_cycle.csv"));
   csv.text_row({"duty", "peak_rho", "peak_z", "detected"});
 
   std::cout << "\n" << std::setw(8) << "duty" << std::setw(12)

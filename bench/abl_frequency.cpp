@@ -13,13 +13,12 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  const bench::Cli cli(argc, argv, {.cycles = 300000});
+  const std::size_t cycles = cli.cycles();
   bench::print_header("abl_frequency — operating-point sweep",
                       "extends paper Sec. IV (10 MHz / 1.2 V fixed)");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_frequency.csv");
+  util::CsvWriter csv(cli.out_file("abl_frequency.csv"));
   csv.text_row({"clock_mhz", "vdd_v", "samples_per_cycle", "wm_active_mw",
                 "peak_rho", "peak_z", "detected"});
 

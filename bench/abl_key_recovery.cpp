@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "bench_common.h"
 #include "sequence/berlekamp.h"
@@ -16,14 +18,12 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 60000));
+  const bench::Cli cli(argc, argv, {.cycles = 60000});
   bench::print_header(
       "abl_key_recovery — Berlekamp-Massey vs the power side channel",
       "extends paper Sec. VI (key secrecy under measurement)");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_key_recovery.csv");
+  util::CsvWriter csv(cli.out_file("abl_key_recovery.csv"));
   csv.text_row({"probe", "scope_noise_mv", "bit_error_rate",
                 "linear_complexity", "prediction_accuracy",
                 "key_recovered"});
@@ -46,9 +46,19 @@ int main(int argc, char** argv) {
                         {"board", true, 1.0},
                         {"board", true, 4.0},
                         {"board", true, 9.0}};
-  for (const auto& [probe, pdn, noise_mv] : cases) {
+
+  struct Row {
+    double ber = 0.0;
+    std::size_t linear_complexity = 0;
+    double prediction_accuracy = 0.0;
+    bool exact = false;
+  };
+  // Each case is an independent capture + demodulation + Berlekamp-
+  // Massey attack: fan them out over the worker threads.
+  const auto attack_case = [&](std::size_t index) -> Row {
+    const auto& [probe, pdn, noise_mv] = cases[index];
     auto cfg = sim::chip1_default();
-    cfg.trace_cycles = cycles;
+    cli.apply(cfg);
     cfg.acquisition.enable_pdn_filter = pdn;
     cfg.acquisition.scope.noise_v_rms = noise_mv * 1e-3;
     cfg.acquisition.probe.noise_v_rms = 0.0;
@@ -58,7 +68,7 @@ int main(int argc, char** argv) {
     }
     // The attacker's best case: they even know the phase is 0.
     cfg.phase_offset = 0;
-    sim::Scenario scenario(cfg);
+    const sim::Scenario scenario(cfg);
     const auto r = scenario.run(0);
 
     // Demodulate with the attacker's best strategy: fold the trace by
@@ -90,23 +100,34 @@ int main(int argc, char** argv) {
     for (std::size_t p = 0; p < period; ++p) {
       if (demodulated[p] != ch.wmark_bits[p]) ++errors;
     }
-    const double ber =
-        static_cast<double>(errors) / static_cast<double>(period);
+    Row row;
+    row.ber = static_cast<double>(errors) / static_cast<double>(period);
 
     const auto recovery = sequence::attempt_key_recovery(
         demodulated, period / 2, cfg.watermark.wgc.width);
+    row.linear_complexity = recovery.recovered.length;
+    row.prediction_accuracy = recovery.prediction_accuracy;
+    row.exact = recovery.exact;
+    return row;
+  };
 
+  const std::vector<Row> rows = cli.executor()->parallel_map<Row>(
+      std::size(cases), attack_case);
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [probe, pdn, noise_mv] = cases[i];
+    const Row& row = rows[i];
     std::cout << std::setw(14) << probe << std::setw(12) << std::fixed
               << std::setprecision(2) << noise_mv << std::setw(10)
-              << std::setprecision(3) << ber << std::setw(14)
-              << recovery.recovered.length << std::setw(12)
-              << std::setprecision(3) << recovery.prediction_accuracy
-              << std::setw(14) << (recovery.exact ? "YES" : "no") << "\n";
+              << std::setprecision(3) << row.ber << std::setw(14)
+              << row.linear_complexity << std::setw(12)
+              << std::setprecision(3) << row.prediction_accuracy
+              << std::setw(14) << (row.exact ? "YES" : "no") << "\n";
     csv.text_row({probe, util::format_double(noise_mv, 4),
-                  util::format_double(ber, 6),
-                  std::to_string(recovery.recovered.length),
-                  util::format_double(recovery.prediction_accuracy, 6),
-                  recovery.exact ? "1" : "0"});
+                  util::format_double(row.ber, 6),
+                  std::to_string(row.linear_complexity),
+                  util::format_double(row.prediction_accuracy, 6),
+                  row.exact ? "1" : "0"});
   }
 
   std::cout

@@ -11,13 +11,12 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 150000));
+  const bench::Cli cli(argc, argv, {.cycles = 150000});
+  const std::size_t cycles = cli.cycles();
   bench::print_header("abl_noise_sweep — rho vs scope noise",
                       "stress test of paper Sec. III-IV detection");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_noise_sweep.csv");
+  util::CsvWriter csv(cli.out_file("abl_noise_sweep.csv"));
   csv.text_row({"scope_noise_mv", "peak_rho", "peak_z", "detected"});
 
   std::cout << "\n" << std::setw(16) << "scope noise[mV]" << std::setw(12)

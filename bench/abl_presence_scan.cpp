@@ -41,23 +41,21 @@ std::uint32_t find_alternate_taps(unsigned width) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 150000));
+  const bench::Cli cli(argc, argv, {.cycles = 150000});
   bench::print_header("abl_presence_scan — key-space enumeration attack",
                       "extends paper Sec. VI (detectability by others)");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_presence_scan.csv");
+  util::CsvWriter csv(cli.out_file("abl_presence_scan.csv"));
   csv.text_row({"experiment", "width", "peak_z", "found"});
 
   // --- 1. default key: the scan wins -----------------------------------
   {
     auto cfg = sim::chip1_default();
-    cfg.trace_cycles = cycles;
+    cli.apply(cfg);
     sim::Scenario scenario(cfg);
     const auto r = scenario.run(0);
-    const auto scan =
-        attack::scan_for_watermark(r.acquisition.per_cycle_power_w, 7, 14);
+    const auto scan = attack::scan_for_watermark(
+        r.acquisition.per_cycle_power_w, 7, 14, {}, cli.executor());
     std::cout << "\n[1] watermark keyed with the table polynomial of "
                  "width 12:\n";
     for (const auto& c : scan.candidates) {
@@ -80,12 +78,12 @@ int main(int argc, char** argv) {
   // --- 2. rotated key: the table scan loses ----------------------------
   {
     auto cfg = sim::chip1_default();
-    cfg.trace_cycles = cycles;
+    cli.apply(cfg);
     cfg.watermark.wgc.taps = find_alternate_taps(12);
     sim::Scenario scenario(cfg);
     const auto r = scenario.run(0);
-    const auto scan =
-        attack::scan_for_watermark(r.acquisition.per_cycle_power_w, 7, 14);
+    const auto scan = attack::scan_for_watermark(
+        r.acquisition.per_cycle_power_w, 7, 14, {}, cli.executor());
     std::cout << "\n[2] defender rotates to alternate primitive "
                  "polynomial 0x"
               << std::hex << cfg.watermark.wgc.taps << std::dec

@@ -13,13 +13,12 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 120000));
+  const bench::Cli cli(argc, argv, {.cycles = 120000});
+  const std::size_t cycles = cli.cycles();
   bench::print_header("abl_sequence_width — WGC LFSR width sweep",
                       "extends paper Sec. IV (12-bit LFSR on the chips)");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_sequence_width.csv");
+  util::CsvWriter csv(cli.out_file("abl_sequence_width.csv"));
   csv.text_row({"width", "period", "peak_rho", "peak_z", "isolation",
                 "detected"});
 

@@ -35,13 +35,12 @@ std::vector<double> spectrum_db(const std::vector<double>& trace) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 32768));
+  const bench::Cli cli(argc, argv, {.cycles = 32768});
+  const std::size_t cycles = cli.cycles();
   bench::print_header("abl_spectrum — supply-current spectra",
                       "spread-spectrum view of the Sec. III embedding");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_spectrum.csv");
+  util::CsvWriter csv(cli.out_file("abl_spectrum.csv"));
   csv.text_row({"bin", "active_db", "inactive_db"});
 
   std::vector<std::vector<double>> spectra;

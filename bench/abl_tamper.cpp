@@ -33,16 +33,16 @@ Design make_ip(std::size_t groups, std::size_t regs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto groups = static_cast<std::size_t>(args.get_int("groups", 6));
-  const auto regs = static_cast<std::size_t>(args.get_int("regs", 48));
+  const bench::Cli cli(argc, argv);
+  const auto groups = static_cast<std::size_t>(cli.args().get_int("groups", 6));
+  const auto regs = static_cast<std::size_t>(cli.args().get_int("regs", 48));
   bench::print_header("abl_tamper — bypass attack vs embeddings",
                       "extends paper Sec. VI (tampering, not removal)");
 
   wgc::WgcConfig key;
   key.width = 12;
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_tamper.csv");
+  util::CsvWriter csv(cli.out_file("abl_tamper.csv"));
   csv.text_row({"embedding", "suspects", "bypassed", "function_restored",
                 "watermark_still_wired"});
 

@@ -12,14 +12,14 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+  const bench::Cli cli(argc, argv);
   bench::print_header("abl_trace_length — rho/z vs number of cycles",
                       "extends paper Sec. IV (fixed 300k cycles)");
 
   const std::size_t lengths[] = {8190,   16380,  40950,  81900,
                                  163800, 300000, 600000};
 
-  util::CsvWriter csv(bench::output_dir(args) + "/abl_trace_length.csv");
+  util::CsvWriter csv(cli.out_file("abl_trace_length.csv"));
   csv.text_row({"cycles", "peak_rho", "peak_z", "noise_std", "detected"});
 
   std::cout << "\n" << std::setw(10) << "cycles" << std::setw(12)

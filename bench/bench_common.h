@@ -1,22 +1,92 @@
-// Shared helpers for the bench binaries: output directory handling and a
-// uniform header print.
+// Shared CLI layer for the bench binaries. Every bench accepts the same
+// core flags, parsed once here instead of per binary:
+//
+//   --threads=N   worker threads for parallel stages (0 = one per
+//                 hardware thread; 1 = serial). Parallel runs are
+//                 bit-identical to serial ones (runtime/seed.h).
+//   --reps=N      repetitions where the bench repeats an experiment
+//   --seed=S      master-seed override (0 = keep the scenario default)
+//   --cycles=N    trace length per captured repetition
+//   --out=DIR     CSV output directory (created on startup)
+//
+// Bench-specific flags remain available through args().
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <system_error>
 
+#include "runtime/executor.h"
+#include "sim/scenario.h"
 #include "util/args.h"
 
 namespace clockmark::bench {
 
-/// Resolves (and creates) the CSV output directory. Default:
-/// ./bench_results, override with --out=<dir>.
-inline std::string output_dir(const util::Args& args) {
-  const std::string dir = args.get("out", "bench_results");
-  std::filesystem::create_directories(dir);
-  return dir;
-}
+/// Per-bench defaults for the shared flags (the paper's parameters).
+struct CliDefaults {
+  std::size_t reps = 1;
+  std::size_t cycles = 300000;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  std::string out = "bench_results";
+};
+
+class Cli {
+ public:
+  Cli(int argc, char** argv, const CliDefaults& defaults = {})
+      : args_(argc, argv),
+        reps_(static_cast<std::size_t>(args_.get_int(
+            "reps", static_cast<std::int64_t>(defaults.reps)))),
+        cycles_(static_cast<std::size_t>(args_.get_int(
+            "cycles", static_cast<std::int64_t>(defaults.cycles)))),
+        seed_(static_cast<std::uint64_t>(args_.get_int(
+            "seed", static_cast<std::int64_t>(defaults.seed)))),
+        out_dir_(args_.get("out", defaults.out)),
+        executor_(std::make_unique<runtime::Executor>(
+            static_cast<std::size_t>(args_.get_int(
+                "threads", static_cast<std::int64_t>(defaults.threads))))) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir_, ec);
+    if (ec) {
+      std::cerr << "error: cannot create --out directory '" << out_dir_
+                << "': " << ec.message() << "\n";
+      std::exit(2);
+    }
+  }
+
+  const util::Args& args() const { return args_; }
+  std::size_t reps() const { return reps_; }
+  std::size_t cycles() const { return cycles_; }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t threads() const { return executor_->thread_count(); }
+  const std::string& out_dir() const { return out_dir_; }
+  std::string out_file(const std::string& name) const {
+    return out_dir_ + "/" + name;
+  }
+
+  /// Shared executor for the bench's parallel stages; single-threaded
+  /// executors run everything inline, so passing this is always safe.
+  runtime::Executor* executor() const { return executor_.get(); }
+
+  /// Applies the shared flags to a scenario configuration: the trace
+  /// length always, the master seed only when --seed was given.
+  void apply(sim::ScenarioConfig& cfg) const {
+    cfg.trace_cycles = cycles_;
+    if (seed_ != 0) cfg.seed = seed_;
+  }
+
+ private:
+  util::Args args_;
+  std::size_t reps_;
+  std::size_t cycles_;
+  std::uint64_t seed_;
+  std::string out_dir_;
+  std::unique_ptr<runtime::Executor> executor_;
+};
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {

@@ -108,13 +108,13 @@ void print_capture(const std::string& name, const WaveCapture& cap) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles = static_cast<std::size_t>(args.get_int("cycles", 32));
+  const bench::Cli cli(argc, argv, {.cycles = 32});
+  const std::size_t cycles = cli.cycles();
 
   bench::print_header("fig2_waveforms — functional simulation",
                       "paper Fig. 2 (load circuit vs clock modulation)");
 
-  const std::string vcd_path = bench::output_dir(args) + "/fig2_cm.vcd";
+  const std::string vcd_path = cli.out_file("fig2_cm.vcd");
   const auto lc = run_load_circuit(cycles);
   const auto cm = run_clock_modulation(cycles, vcd_path);
   std::cout << "(gate-level VCD written to " << vcd_path << ")\n";
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
             << "\n(clock buffers switch on both clock edges — the higher "
                "switching activity of Fig. 2)\n";
 
-  util::CsvWriter csv(bench::output_dir(args) + "/fig2_waveforms.csv");
+  util::CsvWriter csv(cli.out_file("fig2_waveforms.csv"));
   csv.header({"cycle", "wmark", "lc_data_toggles", "lc_buffer_edges",
               "cm_data_toggles", "cm_buffer_edges"});
   for (std::size_t i = 0; i < cycles; ++i) {

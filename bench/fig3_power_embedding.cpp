@@ -12,8 +12,8 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto window = static_cast<std::size_t>(args.get_int("cycles", 400));
+  const bench::Cli cli(argc, argv, {.cycles = 400});
+  const std::size_t window = cli.cycles();
 
   bench::print_header("fig3_power_embedding — power trace composition",
                       "paper Fig. 3 (system / watermark / total power)");
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
             << " mW (ratio " << wm_amp / r.background_power.average_w()
             << ") — a weak but deterministic signal, as in the paper\n";
 
-  util::CsvWriter csv(bench::output_dir(args) + "/fig3_power_embedding.csv");
+  util::CsvWriter csv(cli.out_file("fig3_power_embedding.csv"));
   csv.header({"cycle", "system_w", "watermark_w", "total_w"});
   for (std::size_t i = 0; i < window; ++i) {
     csv.row({static_cast<double>(i), r.background_power[i],

@@ -25,9 +25,8 @@ struct Panel {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  const bench::Cli cli(argc, argv, {.cycles = 300000});
+  const std::size_t cycles = cli.cycles();
 
   bench::print_header("fig5_spread_spectra — CPA spread spectra",
                       "paper Fig. 5(a-d), 300,000 cycles per rho");
@@ -44,7 +43,7 @@ int main(int argc, char** argv) {
        sim::ChipModel::kChip2, false},
   };
 
-  util::CsvWriter csv(bench::output_dir(args) + "/fig5_spread_spectra.csv");
+  util::CsvWriter csv(cli.out_file("fig5_spread_spectra.csv"));
   csv.text_row({"panel", "rotation", "rho"});
 
   for (const auto& p : panels) {

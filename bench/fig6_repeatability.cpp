@@ -12,33 +12,33 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
-  const auto reps = static_cast<std::size_t>(args.get_int("reps", 100));
-  const auto cycles =
-      static_cast<std::size_t>(args.get_int("cycles", 300000));
+  const bench::Cli cli(argc, argv, {.reps = 100});
+  const std::size_t reps = cli.reps();
 
   bench::print_header(
       "fig6_repeatability — detection repeated " + std::to_string(reps) +
-          " times per chip",
+          " times per chip (" + std::to_string(cli.threads()) +
+          " worker threads)",
       "paper Fig. 6(a,b): 100 repetitions, 95% boxes, all detected");
 
-  util::CsvWriter csv(bench::output_dir(args) + "/fig6_repeatability.csv");
+  util::CsvWriter csv(cli.out_file("fig6_repeatability.csv"));
   csv.text_row({"chip", "rep", "in_phase_rho", "max_off_phase_rho",
                 "detected"});
 
   for (const bool chip2 : {false, true}) {
     auto cfg = chip2 ? sim::chip2_default() : sim::chip1_default();
-    cfg.trace_cycles = cycles;
+    cli.apply(cfg);
     // Each capture has its own trigger alignment in the lab: let the
     // phase vary per repetition (the paper's Fig. 6 aggregates the peak
     // wherever it lands).
     cfg.phase_offset.reset();
     sim::Scenario scenario(cfg);
-    const auto result = sim::run_repeatability_study(scenario, reps);
+    const auto result =
+        sim::run_repeatability_study(scenario, reps, {}, cli.executor());
 
     const std::string chip = chip2 ? "chip II" : "chip I";
     std::cout << "\n--- " << chip << " (" << reps << " repetitions, "
-              << cycles << " cycles each) ---\n";
+              << cli.cycles() << " cycles each) ---\n";
     const double lo = std::min(result.off_phase.whisker_low, -0.005);
     const double hi = std::max(result.in_phase.whisker_high, 0.02);
     std::cout << util::box_plot_row("in-phase rho", result.in_phase, lo, hi)

@@ -11,18 +11,18 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+  const bench::Cli cli(argc, argv);
   bench::print_header("sec6_robustness — removal attack study",
                       "paper Section VI (improved robustness)");
 
   attack::RobustnessStudyConfig cfg;
-  cfg.ip.groups = static_cast<std::size_t>(args.get_int("groups", 4));
+  cfg.ip.groups = static_cast<std::size_t>(cli.args().get_int("groups", 4));
   cfg.ip.registers_per_group =
-      static_cast<std::size_t>(args.get_int("regs", 64));
+      static_cast<std::size_t>(cli.args().get_int("regs", 64));
   cfg.load_registers =
-      static_cast<std::size_t>(args.get_int("load_regs", 576));
+      static_cast<std::size_t>(cli.args().get_int("load_regs", 576));
   cfg.compare_cycles =
-      static_cast<std::size_t>(args.get_int("compare_cycles", 256));
+      static_cast<std::size_t>(cli.args().get_int("compare_cycles", 256));
 
   const auto report = attack::run_robustness_study(cfg);
   std::cout << "\n" << attack::to_string(report);
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                                                                         : " ")
             << "] removing it greatly impairs the system's functionality\n";
 
-  util::CsvWriter csv(bench::output_dir(args) + "/sec6_robustness.csv");
+  util::CsvWriter csv(cli.out_file("sec6_robustness.csv"));
   csv.text_row({"architecture", "wm_cells", "wm_registers",
                 "attacker_recall", "unclocked_regs_after_removal",
                 "output_mismatch_cycles", "functionally_intact"});

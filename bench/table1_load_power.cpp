@@ -31,7 +31,7 @@ struct Measured {
   double share_pct = 0.0;   // of total watermark dynamic power
 };
 
-Measured measure(std::size_t switching_registers) {
+Measured measure_row(std::size_t switching_registers) {
   rtl::Netlist nl;
   const rtl::NetId clk = nl.add_net("clk");
   watermark::ClockModConfig cfg;  // 32 x 32, 12-bit WGC
@@ -96,7 +96,7 @@ Measured measure(std::size_t switching_registers) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+  const bench::Cli cli(argc, argv);
   bench::print_header("table1_load_power — placed-and-routed load power",
                       "paper Table I");
 
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
        98.0},
   };
 
-  util::CsvWriter csv(bench::output_dir(args) + "/table1_load_power.csv");
+  util::CsvWriter csv(cli.out_file("table1_load_power.csv"));
   csv.text_row({"implementation", "dynamic_mw_measured",
                 "dynamic_mw_paper", "static_uw_measured",
                 "share_pct_measured", "share_pct_paper"});
@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
             << "paper" << std::setw(11) << "stat[uW]" << std::setw(9)
             << "share%" << std::setw(9) << "paper%" << "\n";
   for (const auto& row : rows) {
-    const Measured m = measure(row.switching);
+    const Measured m = measure_row(row.switching);
     std::cout << std::left << std::setw(55) << row.label << std::right
               << std::setw(10) << m.dynamic_w * 1e3 << std::setw(10)
               << row.paper_dynamic_mw << std::setw(11) << m.static_w * 1e6

@@ -13,13 +13,13 @@
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+  const bench::Cli cli(argc, argv);
   bench::print_header("table2_area_overhead — load circuit sizing",
                       "paper Table II");
 
   const power::TechLibrary lib = power::tsmc65lp_like();
   const std::size_t wgc_registers =
-      static_cast<std::size_t>(args.get_int("wgc", 12));
+      static_cast<std::size_t>(cli.args().get_int("wgc", 12));
 
   struct Row {
     double p_load_mw;
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
             << per_register_uw << " uW;  WGC = " << wgc_registers
             << " registers\n\n";
 
-  util::CsvWriter csv(bench::output_dir(args) + "/table2_area_overhead.csv");
+  util::CsvWriter csv(cli.out_file("table2_area_overhead.csv"));
   csv.text_row({"p_load_mw", "registers_measured", "registers_paper",
                 "overhead_pct_measured", "overhead_pct_paper"});
 

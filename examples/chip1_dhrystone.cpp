@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   config.trace_cycles =
       static_cast<std::size_t>(args.get_int("cycles", 300000));
 
-  sim::Scenario scenario(config);
+  const sim::Scenario scenario(config);
   const auto& ch = scenario.characterization();
   std::cout << "chip I setup (paper Sec. IV):\n"
             << "  watermark: 32 words x 32 registers behind WMARK-gated "

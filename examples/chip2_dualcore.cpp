@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   config.trace_cycles =
       static_cast<std::size_t>(args.get_int("cycles", 300000));
 
-  sim::Scenario scenario(config);
+  const sim::Scenario scenario(config);
   const auto exp = sim::run_detection(scenario);
 
   std::cout << "chip II setup (paper Sec. IV):\n"
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   // Side-by-side with chip I at the same settings.
   sim::ScenarioConfig c1 = sim::chip1_default();
   c1.trace_cycles = config.trace_cycles;
-  sim::Scenario s1(c1);
+  const sim::Scenario s1(c1);
   const auto e1 = sim::run_detection(s1);
   std::cout << "\ncomparison:  chip I peak rho = "
             << e1.detection.spectrum.peak_value

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::cout << "[lab] measuring " << cycles
             << " clock cycles of supply current (500 MS/s, 270 mOhm "
                "shunt)...\n";
-  sim::Scenario device(product);
+  const sim::Scenario device(product);
   const auto capture = device.run(/*repetition=*/1);
 
   std::cout << "[lab] device mean power: "

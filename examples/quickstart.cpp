@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   // 2. Build the scenario. This constructs the watermark at gate level
   //    and characterises its power over one full WMARK period.
-  sim::Scenario scenario(config);
+  const sim::Scenario scenario(config);
   std::cout << "watermark block: "
             << scenario.watermark().total_registers << " registers, "
             << "active power "

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test sweep, then a ThreadSanitizer
+# pass over the concurrency-sensitive binaries (the cm_runtime primitives
+# and the sim/experiment drivers that fan repetitions out over them).
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${SKIP_TSAN}" == "1" ]]; then
+  echo "=== tier-1: TSan pass skipped (--skip-tsan) ==="
+  exit 0
+fi
+
+echo "=== tier-1: TSan pass (runtime + sim tests) ==="
+cmake -B build-tsan -S . -DCLOCKMARK_SANITIZE=thread
+cmake --build build-tsan -j --target test_runtime test_integration
+(cd build-tsan && ctest --output-on-failure -j \
+  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|EndToEnd)\.')
+
+echo "=== tier-1: OK ==="

@@ -32,13 +32,21 @@ std::uint64_t primitive_polynomial_count(unsigned width) {
 PresenceScanResult scan_for_watermark(std::span<const double> measurement,
                                       unsigned min_width,
                                       unsigned max_width,
-                                      const cpa::DetectorPolicy& policy) {
+                                      const cpa::DetectorPolicy& policy,
+                                      runtime::Executor* executor) {
   PresenceScanResult result;
   const cpa::Detector detector(policy);
+  std::vector<unsigned> widths;
   for (unsigned w = std::max(2u, min_width);
        w <= std::min(20u, max_width); ++w) {
     const std::size_t period = (1u << w) - 1u;
     if (measurement.size() < period) continue;  // cannot resolve rotations
+    widths.push_back(w);
+  }
+
+  const auto evaluate = [&](std::size_t i) -> PresenceCandidate {
+    const unsigned w = widths[i];
+    const std::size_t period = (1u << w) - 1u;
     sequence::Lfsr lfsr(w, sequence::maximal_taps(w), 1);
     std::vector<double> pattern(period);
     for (auto& v : pattern) v = lfsr.step() ? 1.0 : 0.0;
@@ -51,7 +59,17 @@ PresenceScanResult scan_for_watermark(std::span<const double> measurement,
     c.peak_z = verdict.spectrum.peak_z;
     c.peak_rotation = verdict.spectrum.peak_rotation;
     c.detected = verdict.detected;
-    result.candidates.push_back(c);
+    return c;
+  };
+
+  if (executor != nullptr && executor->thread_count() > 1) {
+    result.candidates = executor->parallel_map<PresenceCandidate>(
+        widths.size(), evaluate);
+  } else {
+    result.candidates.reserve(widths.size());
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      result.candidates.push_back(evaluate(i));
+    }
   }
   std::sort(result.candidates.begin(), result.candidates.end(),
             [](const PresenceCandidate& a, const PresenceCandidate& b) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cpa/detector.h"
+#include "runtime/executor.h"
 
 namespace clockmark::attack {
 
@@ -40,10 +41,13 @@ struct PresenceScanResult {
 /// width in [min_width, max_width] (one representative primitive
 /// polynomial per width — the library's table; a determined attacker
 /// would enumerate all of them, which scales the cost by ~phi(2^w-1)/w).
+/// Each width hypothesis is an independent CPA sweep; a non-null
+/// executor evaluates them concurrently with identical results.
 PresenceScanResult scan_for_watermark(std::span<const double> measurement,
                                       unsigned min_width,
                                       unsigned max_width,
-                                      const cpa::DetectorPolicy& policy = {});
+                                      const cpa::DetectorPolicy& policy = {},
+                                      runtime::Executor* executor = nullptr);
 
 /// Number of primitive polynomials of degree w over GF(2):
 /// phi(2^w - 1) / w. The attacker's full enumeration cost per width.

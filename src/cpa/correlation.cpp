@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dsp/correlate.h"
+#include "runtime/executor.h"
 #include "util/stats.h"
 
 namespace clockmark::cpa {
@@ -15,9 +16,21 @@ std::vector<double> to_model_pattern(const std::vector<bool>& bits) {
 
 std::vector<double> correlate_rotations(std::span<const double> measurement,
                                         std::span<const double> pattern,
-                                        CorrelationMethod method) {
+                                        CorrelationMethod method,
+                                        runtime::Executor* executor) {
   switch (method) {
     case CorrelationMethod::kNaive:
+      if (executor != nullptr && executor->thread_count() > 1 &&
+          !pattern.empty() && measurement.size() >= pattern.size()) {
+        // Chunked rotations: correlate_at reproduces exactly one row of
+        // the naive sweep, so filling rho[r] per index in parallel gives
+        // a bit-identical result.
+        std::vector<double> rho(pattern.size(), 0.0);
+        executor->parallel_for(pattern.size(), [&](std::size_t r) {
+          rho[r] = correlate_at(measurement, pattern, r);
+        });
+        return rho;
+      }
       return dsp::rotation_correlation_naive(measurement, pattern);
     case CorrelationMethod::kFolded:
       return dsp::rotation_correlation_folded(measurement, pattern);

@@ -11,6 +11,10 @@
 #include <span>
 #include <vector>
 
+namespace clockmark::runtime {
+class Executor;
+}
+
 namespace clockmark::cpa {
 
 enum class CorrelationMethod { kNaive, kFolded, kFft };
@@ -19,10 +23,14 @@ enum class CorrelationMethod { kNaive, kFolded, kFft };
 std::vector<double> to_model_pattern(const std::vector<bool>& bits);
 
 /// rho[r] for r = 0 .. pattern.size()-1, rotating the periodic pattern
-/// against the measurement.
+/// against the measurement. A non-null executor parallelises the O(N*P)
+/// naive sweep by chunking rotations across its threads (each rho[r] is
+/// independent, so the output stays bit-identical to the serial sweep);
+/// the folded/FFT methods are already O(N + P log P) and run serially.
 std::vector<double> correlate_rotations(
     std::span<const double> measurement, std::span<const double> pattern,
-    CorrelationMethod method = CorrelationMethod::kFft);
+    CorrelationMethod method = CorrelationMethod::kFft,
+    runtime::Executor* executor = nullptr);
 
 /// Single-rotation Pearson correlation (model = pattern rotated by r,
 /// tiled over the measurement length).

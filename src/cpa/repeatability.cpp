@@ -4,18 +4,15 @@
 
 namespace clockmark::cpa {
 
-RepeatabilityResult run_repeatability(
-    std::size_t repetitions,
-    const std::function<RepetitionOutcome(std::size_t)>& experiment,
-    std::size_t guard) {
+RepeatabilityResult summarize_repetitions(
+    std::span<const RepetitionOutcome> outcomes, std::size_t guard) {
   RepeatabilityResult result;
-  result.repetitions = repetitions;
+  result.repetitions = outcomes.size();
   std::vector<double> in_phase;
   std::vector<double> off_phase;
-  in_phase.reserve(repetitions);
+  in_phase.reserve(outcomes.size());
 
-  for (std::size_t rep = 0; rep < repetitions; ++rep) {
-    const RepetitionOutcome outcome = experiment(rep);
+  for (const RepetitionOutcome& outcome : outcomes) {
     const auto& rho = outcome.spectrum.rho;
     RepetitionSample sample;
     if (!rho.empty()) {
@@ -39,6 +36,18 @@ RepeatabilityResult run_repeatability(
   result.in_phase = util::box_plot(in_phase);
   result.off_phase = util::box_plot(off_phase);
   return result;
+}
+
+RepeatabilityResult run_repeatability(
+    std::size_t repetitions,
+    const std::function<RepetitionOutcome(std::size_t)>& experiment,
+    std::size_t guard) {
+  std::vector<RepetitionOutcome> outcomes;
+  outcomes.reserve(repetitions);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    outcomes.push_back(experiment(rep));
+  }
+  return summarize_repetitions(outcomes, guard);
 }
 
 }  // namespace clockmark::cpa

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "cpa/spread_spectrum.h"
@@ -42,5 +43,13 @@ RepeatabilityResult run_repeatability(
     std::size_t repetitions,
     const std::function<RepetitionOutcome(std::size_t)>& experiment,
     std::size_t guard = 8);
+
+/// Folds already-computed repetition outcomes (ordered by repetition
+/// index) into the box-plot summary. This is the sequential tail of
+/// run_repeatability, split out so outcomes may be produced in parallel
+/// (sim::run_repeatability_study with an Executor) and still summarise
+/// identically to the serial loop.
+RepeatabilityResult summarize_repetitions(
+    std::span<const RepetitionOutcome> outcomes, std::size_t guard = 8);
 
 }  // namespace clockmark::cpa

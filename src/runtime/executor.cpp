@@ -1,0 +1,110 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "runtime/thread_pool.h"
+
+namespace clockmark::runtime {
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Shared state of one parallel_for call: a dynamic chunk cursor plus
+/// the lowest-index exception seen so far.
+struct ForLoop {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending_workers = 0;
+  std::exception_ptr error;
+  std::size_t error_index = 0;
+  std::atomic<bool> cancelled{false};
+
+  void record_error(std::size_t index, std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!error || index < error_index) {
+      error = std::move(e);
+      error_index = index;
+    }
+    cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// Claims and runs chunks until the range is exhausted (or an error
+  /// cancelled the loop).
+  void drain() {
+    for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          record_error(i, std::current_exception());
+          return;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Executor::Executor(std::size_t threads)
+    : threads_(resolve_threads(threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+Executor::~Executor() = default;
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!pool_ || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ForLoop loop;
+  loop.n = n;
+  loop.fn = &fn;
+  // Dynamic chunks: ~8 per worker balances uneven item costs while
+  // keeping cursor contention negligible.
+  loop.chunk = std::max<std::size_t>(1, n / (threads_ * 8));
+
+  // One helper task per pool worker; the calling thread drains too.
+  const std::size_t helpers = std::min(threads_ - 1, n - 1);
+  {
+    const std::lock_guard<std::mutex> lock(loop.mutex);
+    loop.pending_workers = helpers;
+  }
+  for (std::size_t w = 0; w < helpers; ++w) {
+    pool_->submit([&loop] {
+      loop.drain();
+      const std::lock_guard<std::mutex> lock(loop.mutex);
+      if (--loop.pending_workers == 0) loop.done_cv.notify_all();
+    });
+  }
+
+  loop.drain();
+  std::unique_lock<std::mutex> lock(loop.mutex);
+  loop.done_cv.wait(lock, [&loop] { return loop.pending_workers == 0; });
+  if (loop.error) std::rethrow_exception(loop.error);
+}
+
+}  // namespace clockmark::runtime

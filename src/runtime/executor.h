@@ -1,0 +1,66 @@
+// Parallel execution of independent experiment repetitions.
+//
+// The Executor owns a fixed-size ThreadPool and exposes two primitives:
+//
+//   parallel_for(n, fn)  — invoke fn(i) for every i in [0, n)
+//   parallel_map<T>(n, fn) — out[i] = fn(i), results ordered by index
+//
+// Determinism contract: work items receive only their index; every
+// result is written to the slot addressed by that index. Combined with
+// the seed-derivation rules in runtime/seed.h this makes a parallel run
+// bit-identical to the serial one at any thread count or schedule.
+//
+// Exceptions thrown by work items cancel the remaining work; after all
+// workers have wound down, the captured exception with the lowest index
+// is rethrown from the calling thread.
+//
+// Calls are not reentrant: invoking parallel_for from inside a work item
+// deadlocks. None of the library's parallel consumers nest.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace clockmark::runtime {
+
+class ThreadPool;
+
+class Executor {
+ public:
+  /// threads == 0 picks one worker per hardware thread. An Executor with
+  /// a single thread runs everything inline on the calling thread (no
+  /// pool is created), which is the deterministic serial fallback.
+  explicit Executor(std::size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Invokes fn(i) for every i in [0, n), distributing index chunks over
+  /// the pool; the calling thread participates in the work. Blocks until
+  /// every item has finished. If items throw, the captured exception
+  /// with the lowest index is rethrown here.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Deterministically ordered map: returns {fn(0), ..., fn(n-1)}. T
+  /// must be default-constructible. Do not use T = bool (std::vector
+  /// packs bools into shared words, which races).
+  template <typename T>
+  std::vector<T> parallel_map(std::size_t n,
+                              const std::function<T(std::size_t)>& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when threads_ == 1
+};
+
+}  // namespace clockmark::runtime

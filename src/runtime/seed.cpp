@@ -1,0 +1,26 @@
+#include "runtime/seed.h"
+
+#include "util/rng.h"
+
+namespace clockmark::runtime {
+
+std::uint64_t derive_phase_seed(std::uint64_t master,
+                                std::size_t repetition) noexcept {
+  std::uint64_t state =
+      master ^ (0xdeadbeefULL +
+                static_cast<std::uint64_t>(repetition) * 0x9e37ULL);
+  return util::splitmix64(state);
+}
+
+std::uint64_t derive_acquisition_seed(std::uint64_t master,
+                                      std::size_t repetition) noexcept {
+  return master * 0x100000001b3ULL +
+         static_cast<std::uint64_t>(repetition) * 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t derive_background_seed(std::uint64_t master,
+                                     std::size_t repetition) noexcept {
+  return master * 0x9e3779b9ULL + static_cast<std::uint64_t>(repetition);
+}
+
+}  // namespace clockmark::runtime

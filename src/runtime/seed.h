@@ -1,0 +1,35 @@
+// Seed derivation for parallel repetitions.
+//
+// Contract: every stochastic stream consumed while producing repetition
+// i of an experiment must be seeded by a pure function of
+// (master seed, i) — never by a shared RNG, a thread id, or anything
+// order-dependent. Under that rule a repetition's output is bit-exact
+// regardless of which thread runs it or how repetitions interleave,
+// which is what lets runtime::Executor fan experiments out without
+// changing a single figure.
+//
+// The three derivations below are the canonical streams of a Scenario
+// repetition. Their formulas are frozen: changing a constant re-rolls
+// every regenerated figure in EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clockmark::runtime {
+
+/// Seed of the pseudo-random trigger phase (where the correlation peak
+/// lands when ScenarioConfig::phase_offset is not pinned).
+std::uint64_t derive_phase_seed(std::uint64_t master,
+                                std::size_t repetition) noexcept;
+
+/// Seed of the measurement-chain noise (probe + scope) for a repetition.
+std::uint64_t derive_acquisition_seed(std::uint64_t master,
+                                      std::size_t repetition) noexcept;
+
+/// Seed of the chip background-noise model (chip II fabric/idle-core
+/// jitter) for a repetition.
+std::uint64_t derive_background_seed(std::uint64_t master,
+                                     std::size_t repetition) noexcept;
+
+}  // namespace clockmark::runtime

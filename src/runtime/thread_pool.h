@@ -1,0 +1,45 @@
+// Fixed-size worker pool underlying runtime::Executor. Tasks are plain
+// closures pushed to a shared queue; workers pop and run them until the
+// pool is destroyed. The pool itself imposes no ordering — deterministic
+// result ordering is the Executor's job (every result is written to a
+// slot chosen by its index, never by arrival time).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clockmark::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue and joins all workers. Tasks already submitted are
+  /// completed before destruction returns.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the queue is unbounded).
+  void submit(std::function<void()> task);
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace clockmark::runtime

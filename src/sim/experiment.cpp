@@ -1,8 +1,12 @@
 #include "sim/experiment.h"
 
+#include <utility>
+#include <vector>
+
 namespace clockmark::sim {
 
-DetectionExperiment run_detection(Scenario& scenario, std::size_t repetition,
+DetectionExperiment run_detection(const Scenario& scenario,
+                                  std::size_t repetition,
                                   const cpa::DetectorPolicy& policy) {
   DetectionExperiment exp;
   exp.scenario = scenario.run(repetition);
@@ -13,22 +17,32 @@ DetectionExperiment run_detection(Scenario& scenario, std::size_t repetition,
 }
 
 cpa::RepeatabilityResult run_repeatability_study(
-    Scenario& scenario, std::size_t repetitions,
-    const cpa::DetectorPolicy& policy) {
+    const Scenario& scenario, std::size_t repetitions,
+    const cpa::DetectorPolicy& policy, runtime::Executor* executor) {
   const cpa::Detector detector(policy);
-  return cpa::run_repeatability(
-      repetitions,
-      [&](std::size_t rep) {
-        const ScenarioResult r = scenario.run(rep);
-        cpa::RepetitionOutcome outcome;
-        outcome.spectrum = cpa::compute_spread_spectrum(
-            r.acquisition.per_cycle_power_w, r.pattern,
-            cpa::CorrelationMethod::kFft, policy.guard);
-        outcome.true_rotation = r.true_rotation;
-        outcome.detected = detector.decide(outcome.spectrum).detected;
-        return outcome;
-      },
-      policy.guard);
+  const auto one_repetition =
+      [&](std::size_t rep) -> cpa::RepetitionOutcome {
+    const ScenarioResult r = scenario.run(rep);
+    cpa::RepetitionOutcome outcome;
+    outcome.spectrum = cpa::compute_spread_spectrum(
+        r.acquisition.per_cycle_power_w, r.pattern,
+        cpa::CorrelationMethod::kFft, policy.guard);
+    outcome.true_rotation = r.true_rotation;
+    outcome.detected = detector.decide(outcome.spectrum).detected;
+    return outcome;
+  };
+
+  std::vector<cpa::RepetitionOutcome> outcomes;
+  if (executor != nullptr && executor->thread_count() > 1) {
+    outcomes = executor->parallel_map<cpa::RepetitionOutcome>(
+        repetitions, one_repetition);
+  } else {
+    outcomes.reserve(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      outcomes.push_back(one_repetition(rep));
+    }
+  }
+  return cpa::summarize_repetitions(outcomes, policy.guard);
 }
 
 }  // namespace clockmark::sim

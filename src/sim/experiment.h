@@ -1,11 +1,17 @@
 // High-level experiment drivers used by the benches and examples: one
 // detection run (Fig. 5 panels) and the 100-repetition study (Fig. 6).
+//
+// Both take the scenario by const reference — Scenario::run is
+// thread-safe — and the repeatability study optionally fans repetitions
+// out over a runtime::Executor. Parallel and serial runs are bit-exact
+// (see runtime/seed.h for the derivation contract).
 #pragma once
 
 #include <cstddef>
 
 #include "cpa/detector.h"
 #include "cpa/repeatability.h"
+#include "runtime/executor.h"
 #include "sim/scenario.h"
 
 namespace clockmark::sim {
@@ -16,14 +22,18 @@ struct DetectionExperiment {
 };
 
 /// Runs one scenario repetition and the CPA detector on its Y vector.
-DetectionExperiment run_detection(Scenario& scenario,
+DetectionExperiment run_detection(const Scenario& scenario,
                                   std::size_t repetition = 0,
                                   const cpa::DetectorPolicy& policy = {});
 
 /// Runs the paper's Fig. 6 study: `repetitions` independent runs of the
-/// scenario, box-plotting in-phase vs off-phase correlation.
+/// scenario, box-plotting in-phase vs off-phase correlation. When
+/// `executor` is non-null the repetitions execute concurrently; nullptr
+/// (or a single-thread executor) is the serial fallback. The result is
+/// byte-identical either way.
 cpa::RepeatabilityResult run_repeatability_study(
-    Scenario& scenario, std::size_t repetitions,
-    const cpa::DetectorPolicy& policy = {});
+    const Scenario& scenario, std::size_t repetitions,
+    const cpa::DetectorPolicy& policy = {},
+    runtime::Executor* executor = nullptr);
 
 }  // namespace clockmark::sim

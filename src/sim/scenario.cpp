@@ -1,7 +1,7 @@
 #include "sim/scenario.h"
 
 #include "cpu/programs.h"
-#include "util/rng.h"
+#include "runtime/seed.h"
 
 namespace clockmark::sim {
 
@@ -21,7 +21,7 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
       config_.tech);
 }
 
-power::PowerTrace Scenario::run_background(std::size_t repetition) {
+power::PowerTrace Scenario::run_background(std::size_t repetition) const {
   soc::Chip1Config m0;
   m0.program = config_.program;
   m0.tech = config_.tech;
@@ -34,18 +34,18 @@ power::PowerTrace Scenario::run_background(std::size_t repetition) {
   c2.a5_core = config_.a5_core;
   c2.fabric_power_w = config_.fabric_power_w;
   c2.fabric_jitter = config_.fabric_jitter;
-  c2.noise_seed = config_.seed * 0x9e3779b9ULL + repetition;
+  c2.noise_seed = runtime::derive_background_seed(config_.seed, repetition);
   soc::Chip2Soc chip(c2);
   return chip.run(config_.trace_cycles, "chip2-background");
 }
 
-ScenarioResult Scenario::run(std::size_t repetition) {
+ScenarioResult Scenario::run(std::size_t repetition) const {
   ScenarioResult result;
   const std::size_t period = characterization_.period;
 
   // Phase: pinned or derived from (seed, repetition).
-  std::uint64_t state = config_.seed ^ (0xdeadbeefULL + repetition * 0x9e37ULL);
-  const std::uint64_t derived = util::splitmix64(state);
+  const std::uint64_t derived =
+      runtime::derive_phase_seed(config_.seed, repetition);
   result.true_rotation =
       config_.phase_offset.value_or(static_cast<std::size_t>(
           derived % static_cast<std::uint64_t>(period)));
@@ -78,7 +78,7 @@ ScenarioResult Scenario::run(std::size_t repetition) {
   measure::AcquisitionConfig acq = config_.acquisition;
   acq.vdd_v = config_.tech.vdd_v;
   acq.noise_seed =
-      config_.seed * 0x100000001b3ULL + repetition * 0x9e3779b97f4a7c15ULL;
+      runtime::derive_acquisition_seed(config_.seed, repetition);
   measure::AcquisitionChain chain(acq);
   result.acquisition = chain.measure(result.total_power);
   return result;

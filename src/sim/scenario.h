@@ -64,8 +64,13 @@ class Scenario {
   explicit Scenario(const ScenarioConfig& config);
 
   /// Runs one repetition. Noise streams, and the phase if not pinned,
-  /// derive from (config.seed, repetition).
-  ScenarioResult run(std::size_t repetition = 0);
+  /// derive from (config.seed, repetition) via runtime/seed.h.
+  ///
+  /// Thread-safe: `run` is const, keeps all per-repetition state (chip
+  /// model, RNG streams, measurement chain) in locals, and only reads
+  /// the shared gate-level characterisation — concurrent calls with
+  /// distinct repetitions on one Scenario are race-free and bit-exact.
+  ScenarioResult run(std::size_t repetition = 0) const;
 
   /// The gate-level characterisation (computed once in the constructor).
   const watermark::WatermarkCharacterization& characterization() const {
@@ -81,8 +86,10 @@ class Scenario {
   const ScenarioConfig& config() const noexcept { return config_; }
 
  private:
-  power::PowerTrace run_background(std::size_t repetition);
+  power::PowerTrace run_background(std::size_t repetition) const;
 
+  // All members are written once in the constructor and read-only
+  // afterwards (the thread-safety contract of run()).
   ScenarioConfig config_;
   rtl::Netlist netlist_;
   watermark::ClockModWatermark watermark_;

@@ -1,0 +1,221 @@
+// cm_runtime: thread pool and Executor basics (completion, ordering,
+// exception propagation), the frozen seed-derivation formulas, and the
+// headline determinism guarantee — a parallel repeatability study is
+// bit-identical to the serial one on both chip configurations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "cpa/correlation.h"
+#include "runtime/executor.h"
+#include "runtime/seed.h"
+#include "runtime/thread_pool.h"
+#include "sim/experiment.h"
+#include "util/rng.h"
+
+namespace clockmark {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    runtime::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  {
+    runtime::ThreadPool p(1);
+    p.submit([&ran] { ran = true; });
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::Executor executor(8);
+  EXPECT_EQ(executor.thread_count(), 8u);
+  std::vector<std::atomic<int>> hits(1000);
+  executor.parallel_for(hits.size(),
+                        [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, ParallelMapPreservesIndexOrder) {
+  runtime::Executor executor(8);
+  const auto out = executor.parallel_map<std::size_t>(
+      777, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 777u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Executor, SingleThreadRunsInline) {
+  runtime::Executor executor(1);
+  EXPECT_EQ(executor.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  executor.parallel_for(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(Executor, ZeroAndOneItemAreFine) {
+  runtime::Executor executor(4);
+  executor.parallel_for(0, [](std::size_t) { FAIL(); });
+  int calls = 0;
+  executor.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Executor, PropagatesExceptions) {
+  runtime::Executor executor(4);
+  EXPECT_THROW(
+      executor.parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error("item 37 failed");
+                              }
+                            }),
+      std::runtime_error);
+  try {
+    executor.parallel_for(10, [](std::size_t i) {
+      if (i >= 5) throw std::invalid_argument("late item");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "late item");
+  }
+  // The pool survives a failed loop and keeps working.
+  std::atomic<int> count{0};
+  executor.parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(SeedDerive, MatchesFrozenFormulas) {
+  // These formulas are the seed-derivation contract: changing them
+  // re-rolls every regenerated figure (see runtime/seed.h).
+  const std::uint64_t master = 0xC51;
+  for (const std::size_t rep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{99}}) {
+    std::uint64_t state =
+        master ^ (0xdeadbeefULL + static_cast<std::uint64_t>(rep) * 0x9e37ULL);
+    EXPECT_EQ(runtime::derive_phase_seed(master, rep),
+              util::splitmix64(state));
+    EXPECT_EQ(runtime::derive_acquisition_seed(master, rep),
+              master * 0x100000001b3ULL +
+                  static_cast<std::uint64_t>(rep) * 0x9e3779b97f4a7c15ULL);
+    EXPECT_EQ(runtime::derive_background_seed(master, rep),
+              master * 0x9e3779b9ULL + static_cast<std::uint64_t>(rep));
+  }
+}
+
+TEST(SeedDerive, RepetitionsGetDistinctStreams) {
+  const std::uint64_t a0 = runtime::derive_acquisition_seed(0xC51, 0);
+  const std::uint64_t a1 = runtime::derive_acquisition_seed(0xC51, 1);
+  EXPECT_NE(a0, a1);
+  EXPECT_NE(runtime::derive_phase_seed(0xC51, 0),
+            runtime::derive_phase_seed(0xC51, 1));
+  EXPECT_NE(runtime::derive_acquisition_seed(0xC51, 0),
+            runtime::derive_acquisition_seed(0xC52, 0));
+}
+
+TEST(ParallelCorrelation, NaiveSweepIsBitIdentical) {
+  util::Pcg32 rng(7);
+  std::vector<double> pattern(127);
+  for (auto& v : pattern) v = rng.bernoulli(0.5) ? 1.0 : 0.0;
+  std::vector<double> y(4000);
+  for (auto& v : y) v = rng.gaussian(2e-3, 1e-4);
+
+  const auto serial = cpa::correlate_rotations(
+      y, pattern, cpa::CorrelationMethod::kNaive);
+  runtime::Executor executor(8);
+  const auto parallel = cpa::correlate_rotations(
+      y, pattern, cpa::CorrelationMethod::kNaive, &executor);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r], parallel[r]) << "rotation " << r;
+  }
+}
+
+// --- parallel experiment determinism --------------------------------
+
+sim::ScenarioConfig fast(sim::ChipModel chip) {
+  sim::ScenarioConfig cfg = chip == sim::ChipModel::kChip1
+                                ? sim::chip1_default()
+                                : sim::chip2_default();
+  cfg.trace_cycles = 20000;
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  cfg.phase_offset.reset();  // exercise per-repetition phase derivation
+  return cfg;
+}
+
+void expect_identical(const cpa::RepeatabilityResult& a,
+                      const cpa::RepeatabilityResult& b) {
+  EXPECT_EQ(a.repetitions, b.repetitions);
+  EXPECT_EQ(a.detections, b.detections);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].in_phase_rho, b.samples[i].in_phase_rho);
+    EXPECT_EQ(a.samples[i].max_off_phase, b.samples[i].max_off_phase);
+    EXPECT_EQ(a.samples[i].detected, b.samples[i].detected);
+  }
+  EXPECT_EQ(a.in_phase.median, b.in_phase.median);
+  EXPECT_EQ(a.in_phase.q_low, b.in_phase.q_low);
+  EXPECT_EQ(a.in_phase.q_high, b.in_phase.q_high);
+  EXPECT_EQ(a.in_phase.whisker_low, b.in_phase.whisker_low);
+  EXPECT_EQ(a.in_phase.whisker_high, b.in_phase.whisker_high);
+  EXPECT_EQ(a.in_phase.outliers, b.in_phase.outliers);
+  EXPECT_EQ(a.off_phase.median, b.off_phase.median);
+  EXPECT_EQ(a.off_phase.q_low, b.off_phase.q_low);
+  EXPECT_EQ(a.off_phase.q_high, b.off_phase.q_high);
+  EXPECT_EQ(a.off_phase.whisker_low, b.off_phase.whisker_low);
+  EXPECT_EQ(a.off_phase.whisker_high, b.off_phase.whisker_high);
+  EXPECT_EQ(a.off_phase.outliers, b.off_phase.outliers);
+}
+
+TEST(ParallelStudy, Chip1BitIdenticalToSerial) {
+  const sim::Scenario scenario(fast(sim::ChipModel::kChip1));
+  const auto serial = sim::run_repeatability_study(scenario, 4);
+  runtime::Executor executor(4);
+  const auto parallel =
+      sim::run_repeatability_study(scenario, 4, {}, &executor);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelStudy, Chip2BitIdenticalToSerial) {
+  const sim::Scenario scenario(fast(sim::ChipModel::kChip2));
+  const auto serial = sim::run_repeatability_study(scenario, 4);
+  runtime::Executor executor(8);
+  const auto parallel =
+      sim::run_repeatability_study(scenario, 4, {}, &executor);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelStudy, ThreadCountDoesNotChangeResults) {
+  const sim::Scenario scenario(fast(sim::ChipModel::kChip1));
+  runtime::Executor two(2);
+  runtime::Executor five(5);
+  const auto a = sim::run_repeatability_study(scenario, 3, {}, &two);
+  const auto b = sim::run_repeatability_study(scenario, 3, {}, &five);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace clockmark
