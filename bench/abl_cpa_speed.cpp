@@ -5,6 +5,11 @@
 // FFT form O(N + P log P).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "cpa/correlation.h"
 #include "runtime/executor.h"
 #include "sequence/lfsr.h"
@@ -71,6 +76,40 @@ void BM_NaiveParallel(benchmark::State& state) {
       static_cast<std::int64_t>(cycles));
 }
 
+// Captures per-benchmark results alongside the normal console output so
+// --json=PATH can record them (cpu time per iteration, items/sec).
+class JsonCapture : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double cpu_s_per_iter = 0.0;
+    double items_per_sec = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.cpu_s_per_iter =
+          run.iterations > 0
+              ? run.cpu_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        e.items_per_sec = static_cast<double>(it->second);
+      }
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
 // Naive only at reduced scale (the full paper-size naive sweep takes
@@ -91,4 +130,37 @@ BENCHMARK(BM_Fft)
     ->Args({16, 300000})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips our --json=PATH flag
+// before google-benchmark parses the remaining arguments, then writes
+// the captured results as a BenchJson perf record.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonCapture reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    clockmark::bench::BenchJson json("abl_cpa_speed", /*threads=*/1);
+    for (const auto& e : reporter.entries()) {
+      auto& rec = json.add_record(e.name);
+      clockmark::bench::BenchJson::add_metric(rec, "cpu_s_per_iter",
+                                              e.cpu_s_per_iter);
+      clockmark::bench::BenchJson::add_metric(rec, "items_per_sec",
+                                              e.items_per_sec);
+    }
+    json.write(json_path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

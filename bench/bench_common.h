@@ -8,17 +8,23 @@
 //   --seed=S      master-seed override (0 = keep the scenario default)
 //   --cycles=N    trace length per captured repetition
 //   --out=DIR     CSV output directory (created on startup)
+//   --json=PATH   machine-readable perf record (BenchJson below); empty
+//                 (the default) writes nothing
 //
 // Bench-specific flags remain available through args().
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <system_error>
+#include <utility>
+#include <vector>
 
 #include "runtime/executor.h"
 #include "sim/scenario.h"
@@ -46,6 +52,7 @@ class Cli {
         seed_(static_cast<std::uint64_t>(args_.get_int(
             "seed", static_cast<std::int64_t>(defaults.seed)))),
         out_dir_(args_.get("out", defaults.out)),
+        json_path_(args_.get("json", "")),
         executor_(std::make_unique<runtime::Executor>(
             static_cast<std::size_t>(args_.get_int(
                 "threads", static_cast<std::int64_t>(defaults.threads))))) {
@@ -68,6 +75,9 @@ class Cli {
     return out_dir_ + "/" + name;
   }
 
+  /// Where --json asked for the perf record; empty = not requested.
+  const std::string& json_path() const { return json_path_; }
+
   /// Shared executor for the bench's parallel stages; single-threaded
   /// executors run everything inline, so passing this is always safe.
   runtime::Executor* executor() const { return executor_.get(); }
@@ -85,7 +95,69 @@ class Cli {
   std::size_t cycles_;
   std::uint64_t seed_;
   std::string out_dir_;
+  std::string json_path_;
   std::unique_ptr<runtime::Executor> executor_;
+};
+
+/// Machine-readable perf record written by the --json flag. One record
+/// per measured sub-benchmark; each record is a flat map of metric name
+/// to double (items/sec, cpu-seconds per repetition, speedups, ...), so
+/// the perf trajectory can be tracked across PRs without parsing bench
+/// stdout.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, std::size_t threads)
+      : bench_(std::move(bench)), threads_(threads) {}
+
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  Record& add_record(const std::string& name) {
+    records_.push_back(Record{name, {}});
+    return records_.back();
+  }
+
+  static void add_metric(Record& record, const std::string& key,
+                         double value) {
+    record.metrics.emplace_back(key, value);
+  }
+
+  /// Writes the record to `path` (parent directories created). Returns
+  /// false (after printing to stderr) if the file cannot be written.
+  bool write(const std::string& path) const {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write --json file '" << path << "'\n";
+      return false;
+    }
+    out << "{\n"
+        << "  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"threads\": " << threads_ << ",\n"
+        << "  \"records\": [\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << "    {\"name\": \"" << records_[r].name << "\"";
+      for (const auto& [key, value] : records_[r].metrics) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out << ", \"" << key << "\": " << buf;
+      }
+      out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  std::string bench_;
+  std::size_t threads_;
+  std::vector<Record> records_;
 };
 
 inline void print_header(const std::string& title,

@@ -2,18 +2,56 @@
 // per chip; box plots (95 % boxes, as in the paper) of the correlation at
 // the true phase vs all off-phase rotations. The paper's finding: the
 // peak is present in all 100 repetitions on both chips.
+#include <algorithm>
+#include <ctime>
 #include <iostream>
 
 #include "bench_common.h"
+#include "cpa/detector.h"
+#include "cpa/spread_spectrum.h"
 #include "sim/experiment.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
 
 using namespace clockmark;
 
+namespace {
+
+double cpu_seconds() {
+  return static_cast<double>(std::clock()) /
+         static_cast<double>(CLOCKS_PER_SEC);
+}
+
+// One full repetition on the planless reference path (run_uncached +
+// CPA sweep + decision): the baseline the memoized study is compared
+// against in the --json perf record. Returns CPU seconds per rep.
+double time_uncached_reps(const sim::Scenario& scenario, std::size_t k,
+                          const cpa::DetectorPolicy& policy) {
+  const cpa::Detector detector(policy);
+  const double t0 = cpu_seconds();
+  for (std::size_t rep = 0; rep < k; ++rep) {
+    const sim::ScenarioResult r = scenario.run_uncached(rep);
+    const auto spectrum = cpa::compute_spread_spectrum(
+        r.acquisition.per_cycle_power_w, r.pattern,
+        cpa::CorrelationMethod::kFft, policy.guard);
+    (void)detector.decide(spectrum);
+  }
+  return (cpu_seconds() - t0) / static_cast<double>(k);
+}
+
+template <typename F>
+double time_synthesis_reps(F&& synthesize, std::size_t k) {
+  const double t0 = cpu_seconds();
+  for (std::size_t rep = 0; rep < k; ++rep) synthesize(rep);
+  return (cpu_seconds() - t0) / static_cast<double>(k);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.reps = 100});
   const std::size_t reps = cli.reps();
+  bench::BenchJson json("fig6_repeatability", cli.threads());
 
   bench::print_header(
       "fig6_repeatability — detection repeated " + std::to_string(reps) +
@@ -33,8 +71,11 @@ int main(int argc, char** argv) {
     // wherever it lands).
     cfg.phase_offset.reset();
     sim::Scenario scenario(cfg);
+    const double study_t0 = cpu_seconds();
     const auto result =
         sim::run_repeatability_study(scenario, reps, {}, cli.executor());
+    const double cached_s_per_rep =
+        (cpu_seconds() - study_t0) / static_cast<double>(reps);
 
     const std::string chip = chip2 ? "chip II" : "chip I";
     std::cout << "\n--- " << chip << " (" << reps << " repetitions, "
@@ -66,6 +107,54 @@ int main(int argc, char** argv) {
                     util::format_double(s.max_off_phase, 8),
                     s.detected ? "1" : "0"});
     }
+
+    // --json: measure the planless reference in the same process so the
+    // perf record compares memoized and uncached repetitions under
+    // identical conditions (CPU-time basis; valid on a 1-core box).
+    if (!cli.json_path().empty()) {
+      const std::size_t k_full = std::min<std::size_t>(reps, 3);
+      const std::size_t k_syn = std::min<std::size_t>(reps, 10);
+      const double uncached_s_per_rep =
+          time_uncached_reps(scenario, k_full, {});
+      const double syn_s_per_rep = time_synthesis_reps(
+          [&](std::size_t rep) { (void)scenario.synthesize(rep); }, k_syn);
+      const double uncached_syn_s_per_rep = time_synthesis_reps(
+          [&](std::size_t rep) { (void)scenario.synthesize_uncached(rep); },
+          k_syn);
+
+      auto& rec = json.add_record(chip2 ? "chip2" : "chip1");
+      bench::BenchJson::add_metric(rec, "repetitions",
+                                   static_cast<double>(reps));
+      bench::BenchJson::add_metric(rec, "cycles",
+                                   static_cast<double>(cli.cycles()));
+      bench::BenchJson::add_metric(rec, "cpu_s_per_rep", cached_s_per_rep);
+      bench::BenchJson::add_metric(
+          rec, "items_per_sec",
+          cached_s_per_rep > 0.0 ? 1.0 / cached_s_per_rep : 0.0);
+      bench::BenchJson::add_metric(rec, "uncached_cpu_s_per_rep",
+                                   uncached_s_per_rep);
+      bench::BenchJson::add_metric(
+          rec, "full_pipeline_speedup",
+          cached_s_per_rep > 0.0 ? uncached_s_per_rep / cached_s_per_rep
+                                 : 0.0);
+      bench::BenchJson::add_metric(rec, "synthesis_cpu_s_per_rep",
+                                   syn_s_per_rep);
+      bench::BenchJson::add_metric(rec, "uncached_synthesis_cpu_s_per_rep",
+                                   uncached_syn_s_per_rep);
+      bench::BenchJson::add_metric(
+          rec, "synthesis_speedup",
+          syn_s_per_rep > 0.0 ? uncached_syn_s_per_rep / syn_s_per_rep
+                              : 0.0);
+      std::cout << "  [perf] cached " << cached_s_per_rep
+                << " cpu-s/rep, uncached " << uncached_s_per_rep
+                << " cpu-s/rep; synthesis " << syn_s_per_rep << " vs "
+                << uncached_syn_s_per_rep << " cpu-s/rep ("
+                << (syn_s_per_rep > 0.0
+                        ? uncached_syn_s_per_rep / syn_s_per_rep
+                        : 0.0)
+                << "x)\n";
+    }
   }
+  if (!cli.json_path().empty()) json.write(cli.json_path());
   return 0;
 }

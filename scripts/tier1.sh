@@ -15,15 +15,41 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "=== tier-1: bench smoke (perf binaries + --json records) ==="
+# Optimized-build smoke of the perf-tracking binaries: a minimal
+# google-benchmark sweep and the fig6 JSON writer, so the bench targets
+# and their machine-readable output can't silently rot.
+SMOKE_DIR=build/bench_smoke
+rm -rf "${SMOKE_DIR}"
+mkdir -p "${SMOKE_DIR}"
+./build/bench/abl_cpa_speed --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_Fft/10/30000' \
+  --json="${SMOKE_DIR}/BENCH_cpa_speed.json" > "${SMOKE_DIR}/cpa_speed.log"
+./build/bench/fig6_repeatability --reps=2 --cycles=20000 --threads=2 \
+  --out="${SMOKE_DIR}/fig6" \
+  --json="${SMOKE_DIR}/BENCH_fig6.json" > "${SMOKE_DIR}/fig6.log"
+for f in BENCH_cpa_speed.json BENCH_fig6.json; do
+  if [[ ! -s "${SMOKE_DIR}/${f}" ]]; then
+    echo "bench smoke: missing or empty ${SMOKE_DIR}/${f}" >&2
+    exit 1
+  fi
+  grep -q '"records"' "${SMOKE_DIR}/${f}" || {
+    echo "bench smoke: ${SMOKE_DIR}/${f} has no records" >&2
+    exit 1
+  }
+done
+
 if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "=== tier-1: TSan pass skipped (--skip-tsan) ==="
   exit 0
 fi
 
-echo "=== tier-1: TSan pass (runtime + sim tests) ==="
+echo "=== tier-1: TSan pass (runtime + dsp + sim tests) ==="
 cmake -B build-tsan -S . -DCLOCKMARK_SANITIZE=thread
-cmake --build build-tsan -j --target test_runtime test_integration
-(cd build-tsan && ctest --output-on-failure -j \
-  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|EndToEnd)\.')
+cmake --build build-tsan -j --target test_runtime test_dsp test_integration
+# Note: -j needs an explicit value here — a bare `-j` would consume the
+# following -R as its argument and run the whole (partially built) list.
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd)\.')
 
 echo "=== tier-1: OK ==="

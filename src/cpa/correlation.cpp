@@ -1,10 +1,10 @@
 #include "cpa/correlation.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "dsp/correlate.h"
 #include "runtime/executor.h"
-#include "util/stats.h"
 
 namespace clockmark::cpa {
 
@@ -42,12 +42,38 @@ std::vector<double> correlate_rotations(std::span<const double> measurement,
 
 double correlate_at(std::span<const double> measurement,
                     std::span<const double> pattern, std::size_t rotation) {
+  const std::size_t n = measurement.size();
+  if (n == 0) return 0.0;
   const std::size_t p = pattern.size();
-  std::vector<double> model(measurement.size());
-  for (std::size_t i = 0; i < measurement.size(); ++i) {
-    model[i] = pattern[(i + rotation) % p];
+  // Streaming two-pass Pearson over the virtual model vector
+  // model[i] = pattern[(i + rotation) % p]: the same accumulation order
+  // as util::pearson on a materialised model (bit-identical result),
+  // without the O(N) allocation per rotation the parallel naive sweep
+  // used to pay.
+  double mx = 0.0;
+  double my = 0.0;
+  std::size_t j = rotation % p;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += pattern[j];
+    my += measurement[i];
+    if (++j == p) j = 0;
   }
-  return util::pearson(model, measurement);
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  j = rotation % p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = pattern[j] - mx;
+    const double dy = measurement[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+    if (++j == p) j = 0;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
 }
 
 }  // namespace clockmark::cpa

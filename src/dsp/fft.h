@@ -25,11 +25,21 @@ std::size_t next_power_of_two(std::size_t n) noexcept;
 void fft_pow2(std::span<cplx> data, bool inverse);
 
 /// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
-/// otherwise). Returns a new vector of the same length.
+/// otherwise). Returns a new vector of the same length. Sizes up to
+/// dsp::kMaxPlannedFftSize run through the cached plan registry
+/// (dsp/fft_plan.h) — bit-identical to the planless path, without
+/// re-deriving twiddles/chirp tables per call.
 std::vector<cplx> fft(std::span<const cplx> input);
 
-/// Inverse DFT of arbitrary length, normalised by 1/N.
+/// Inverse DFT of arbitrary length, normalised by 1/N. Planned like
+/// fft().
 std::vector<cplx> ifft(std::span<const cplx> input);
+
+/// Planless reference DFT (twiddles and Bluestein tables recomputed
+/// inline, no caches). The planned transforms are bit-identical to this;
+/// exposed so tests and benches can assert/measure that. The inverse
+/// direction is unnormalised (like fft_pow2).
+std::vector<cplx> fft_unplanned(std::span<const cplx> input, bool inverse);
 
 /// Forward DFT of a real signal; returns full complex spectrum.
 std::vector<cplx> fft_real(std::span<const double> input);

@@ -1,11 +1,24 @@
 #include "sim/scenario.h"
 
+#include <algorithm>
+
 #include "cpu/programs.h"
 #include "runtime/seed.h"
 
 namespace clockmark::sim {
+namespace {
 
-Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+/// Cached tiled-watermark rotations per scenario. Pinned-phase studies
+/// only ever see one rotation; unpinned studies draw a fresh rotation
+/// per repetition, and an unbounded cache would grow by trace_cycles
+/// doubles each time. Beyond the cap the tiling is computed per call
+/// (identical values either way — tiling is deterministic).
+constexpr std::size_t kTiledCacheCap = 8;
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config), cache_(std::make_unique<TraceCache>()) {
   if (config_.program.empty()) {
     config_.program = cpu::dhrystone_like_source();
   }
@@ -19,18 +32,29 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   characterization_ = watermark::characterize_watermark(
       netlist_, root_clock, watermark_.wmark, "watermark", seq.period(),
       config_.tech);
+
+  // CPA model pattern: one canonical period of WMARK, built once here
+  // instead of per repetition (no call site mutates result.pattern).
+  model_pattern_.resize(characterization_.period);
+  for (std::size_t i = 0; i < model_pattern_.size(); ++i) {
+    model_pattern_[i] = characterization_.wmark_bits[i] ? 1.0 : 0.0;
+  }
 }
 
-power::PowerTrace Scenario::run_background(std::size_t repetition) const {
+soc::Chip1Config Scenario::m0_config() const {
   soc::Chip1Config m0;
   m0.program = config_.program;
   m0.tech = config_.tech;
+  return m0;
+}
+
+power::PowerTrace Scenario::run_background(std::size_t repetition) const {
   if (config_.chip == ChipModel::kChip1) {
-    soc::Chip1Soc chip(m0);
+    soc::Chip1Soc chip(m0_config());
     return chip.run(config_.trace_cycles, "chip1-background");
   }
   soc::Chip2Config c2;
-  c2.m0_soc = m0;
+  c2.m0_soc = m0_config();
   c2.a5_core = config_.a5_core;
   c2.fabric_power_w = config_.fabric_power_w;
   c2.fabric_jitter = config_.fabric_jitter;
@@ -39,7 +63,45 @@ power::PowerTrace Scenario::run_background(std::size_t repetition) const {
   return chip.run(config_.trace_cycles, "chip2-background");
 }
 
-ScenarioResult Scenario::run(std::size_t repetition) const {
+const Scenario::TraceCache& Scenario::cached_deterministic_traces() const {
+  std::call_once(cache_->background_once, [this] {
+    // The deterministic base is the M0 SoC trace for both chips: chip I
+    // uses it as the whole background, chip II overlays the seeded
+    // A5/fabric noise on top (soc::Chip2NoiseOverlay). A fresh Chip1Soc
+    // produces the same trace every time (no RNG anywhere in it).
+    soc::Chip1Soc chip(m0_config());
+    const auto trace = chip.run(config_.trace_cycles, "m0-base");
+    cache_->background = trace.values();
+    cache_->clock_hz = trace.clock_hz();
+  });
+  return *cache_;
+}
+
+std::shared_ptr<const std::vector<double>> Scenario::tiled_watermark(
+    std::size_t rotation) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_->tiled_mutex);
+    for (const auto& [rot, trace] : cache_->tiled) {
+      if (rot == rotation) return trace;
+    }
+  }
+  // Tile outside the lock; a racing thread may tile the same rotation,
+  // first insert wins and the values are identical.
+  auto tiled = std::make_shared<const std::vector<double>>(
+      watermark::tile_watermark_power(characterization_,
+                                      config_.trace_cycles, rotation));
+  std::lock_guard<std::mutex> lock(cache_->tiled_mutex);
+  for (const auto& [rot, trace] : cache_->tiled) {
+    if (rot == rotation) return trace;
+  }
+  if (cache_->tiled.size() < kTiledCacheCap) {
+    cache_->tiled.emplace_back(rotation, tiled);
+  }
+  return tiled;
+}
+
+ScenarioResult Scenario::run_impl(std::size_t repetition, bool use_cache,
+                                  bool acquire) const {
   ScenarioResult result;
   const std::size_t period = characterization_.period;
 
@@ -51,17 +113,46 @@ ScenarioResult Scenario::run(std::size_t repetition) const {
           derived % static_cast<std::uint64_t>(period)));
 
   // CPA model pattern: one canonical period of WMARK.
-  result.pattern.resize(period);
-  for (std::size_t i = 0; i < period; ++i) {
-    result.pattern[i] = characterization_.wmark_bits[i] ? 1.0 : 0.0;
+  if (use_cache) {
+    result.pattern = model_pattern_;
+  } else {
+    result.pattern.resize(period);
+    for (std::size_t i = 0; i < period; ++i) {
+      result.pattern[i] = characterization_.wmark_bits[i] ? 1.0 : 0.0;
+    }
   }
 
-  // Background + watermark power.
-  result.background_power = run_background(repetition);
+  // Background power: deterministic pieces from the cache, the chip II
+  // noise overlay replayed with this repetition's seed.
+  if (use_cache) {
+    const TraceCache& cache = cached_deterministic_traces();
+    if (config_.chip == ChipModel::kChip1) {
+      result.background_power = power::PowerTrace(
+          cache.background, cache.clock_hz, "chip1-background");
+    } else {
+      soc::Chip2Config c2;
+      c2.a5_core = config_.a5_core;
+      c2.fabric_power_w = config_.fabric_power_w;
+      c2.fabric_jitter = config_.fabric_jitter;
+      c2.noise_seed =
+          runtime::derive_background_seed(config_.seed, repetition);
+      soc::Chip2NoiseOverlay overlay(c2, config_.tech);
+      result.background_power = overlay.apply(
+          cache.background, cache.clock_hz, "chip2-background");
+    }
+  } else {
+    result.background_power = run_background(repetition);
+  }
+
+  // Watermark power.
   std::vector<double> wm_power(config_.trace_cycles, 0.0);
   if (config_.watermark_active) {
-    wm_power = watermark::tile_watermark_power(
-        characterization_, config_.trace_cycles, result.true_rotation);
+    if (use_cache) {
+      wm_power = *tiled_watermark(result.true_rotation);
+    } else {
+      wm_power = watermark::tile_watermark_power(
+          characterization_, config_.trace_cycles, result.true_rotation);
+    }
   } else {
     // Disabled watermark: the hard-macro domain only leaks.
     std::fill(wm_power.begin(), wm_power.end(),
@@ -73,15 +164,33 @@ ScenarioResult Scenario::run(std::size_t repetition) const {
   result.total_power = result.background_power;
   result.total_power += result.watermark_power;
 
-  // Measurement with repetition-unique noise, at the scenario's
-  // operating voltage.
-  measure::AcquisitionConfig acq = config_.acquisition;
-  acq.vdd_v = config_.tech.vdd_v;
-  acq.noise_seed =
-      runtime::derive_acquisition_seed(config_.seed, repetition);
-  measure::AcquisitionChain chain(acq);
-  result.acquisition = chain.measure(result.total_power);
+  if (acquire) {
+    // Measurement with repetition-unique noise, at the scenario's
+    // operating voltage.
+    measure::AcquisitionConfig acq = config_.acquisition;
+    acq.vdd_v = config_.tech.vdd_v;
+    acq.noise_seed =
+        runtime::derive_acquisition_seed(config_.seed, repetition);
+    measure::AcquisitionChain chain(acq);
+    result.acquisition = chain.measure(result.total_power);
+  }
   return result;
+}
+
+ScenarioResult Scenario::run(std::size_t repetition) const {
+  return run_impl(repetition, /*use_cache=*/true, /*acquire=*/true);
+}
+
+ScenarioResult Scenario::run_uncached(std::size_t repetition) const {
+  return run_impl(repetition, /*use_cache=*/false, /*acquire=*/true);
+}
+
+ScenarioResult Scenario::synthesize(std::size_t repetition) const {
+  return run_impl(repetition, /*use_cache=*/true, /*acquire=*/false);
+}
+
+ScenarioResult Scenario::synthesize_uncached(std::size_t repetition) const {
+  return run_impl(repetition, /*use_cache=*/false, /*acquire=*/false);
 }
 
 ScenarioConfig chip1_default() {

@@ -2,25 +2,44 @@
 
 namespace clockmark::soc {
 
-Chip2Soc::Chip2Soc(const Chip2Config& config)
-    : config_(config), rng_(config.noise_seed, 0xa5a5a5a5u) {
-  m0_ = std::make_unique<Chip1Soc>(config_.m0_soc);
-  IdleCoreConfig c0 = config_.a5_core;
+Chip2NoiseOverlay::Chip2NoiseOverlay(const Chip2Config& config,
+                                     const power::TechLibrary& tech)
+    : fabric_power_w_(config.fabric_power_w),
+      fabric_jitter_(config.fabric_jitter),
+      rng_(config.noise_seed, 0xa5a5a5a5u) {
+  // Same core setup (names, fork salts, fork order) as the monolithic
+  // Chip2Soc always did; Pcg32::fork does not advance rng_, so the
+  // fabric-jitter stream is also unchanged.
+  IdleCoreConfig c0 = config.a5_core;
   c0.name = "a5_core0";
-  IdleCoreConfig c1 = config_.a5_core;
+  IdleCoreConfig c1 = config.a5_core;
   c1.name = "a5_core1";
-  a5_[0] = std::make_unique<IdleCore>(c0, m0_->tech(), rng_.fork(0));
-  a5_[1] = std::make_unique<IdleCore>(c1, m0_->tech(), rng_.fork(1));
+  a5_[0] = std::make_unique<IdleCore>(c0, tech, rng_.fork(0));
+  a5_[1] = std::make_unique<IdleCore>(c1, tech, rng_.fork(1));
 }
 
-double Chip2Soc::step() {
-  double p = m0_->step();
+double Chip2NoiseOverlay::step(double base_power_w) {
+  double p = base_power_w;
   p += a5_[0]->step();
   p += a5_[1]->step();
-  p += config_.fabric_power_w *
-       (1.0 + config_.fabric_jitter * rng_.gaussian());
+  p += fabric_power_w_ * (1.0 + fabric_jitter_ * rng_.gaussian());
   return p;
 }
+
+power::PowerTrace Chip2NoiseOverlay::apply(std::span<const double> base,
+                                           double clock_hz,
+                                           const std::string& label) {
+  std::vector<double> power(base.size(), 0.0);
+  for (std::size_t i = 0; i < base.size(); ++i) power[i] = step(base[i]);
+  return power::PowerTrace(std::move(power), clock_hz, label);
+}
+
+Chip2Soc::Chip2Soc(const Chip2Config& config)
+    : config_(config),
+      m0_(std::make_unique<Chip1Soc>(config.m0_soc)),
+      overlay_(config, m0_->tech()) {}
+
+double Chip2Soc::step() { return overlay_.step(m0_->step()); }
 
 power::PowerTrace Chip2Soc::run(std::size_t n, const std::string& label) {
   std::vector<double> power(n, 0.0);

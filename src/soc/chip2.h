@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "soc/chip1.h"
@@ -23,6 +24,37 @@ struct Chip2Config {
   std::uint64_t noise_seed = 0x5eedc0de;
 };
 
+/// The seeded, repetition-variant part of chip II's background power:
+/// the two idle A5-class cores plus the jittering fabric. Split from
+/// Chip2Soc so the deterministic M0 base trace — a pure function of the
+/// scenario config — can be memoized across repetitions (sim::Scenario)
+/// and only this overlay replayed per repetition. An overlay built from
+/// a given config draws exactly the RNG stream the monolithic Chip2Soc
+/// would, and step() adds its terms in the same order, so
+///   overlay.step(m0.step())  ==  Chip2Soc::step()
+/// bit for bit, cycle by cycle.
+class Chip2NoiseOverlay {
+ public:
+  Chip2NoiseOverlay(const Chip2Config& config,
+                    const power::TechLibrary& tech);
+
+  /// One cycle: the deterministic base power plus this cycle's A5 and
+  /// fabric contributions.
+  double step(double base_power_w);
+
+  /// Overlays a whole precomputed base trace (one step() per sample).
+  power::PowerTrace apply(std::span<const double> base, double clock_hz,
+                          const std::string& label);
+
+  const IdleCore& a5(unsigned index) const { return *a5_[index & 1]; }
+
+ private:
+  double fabric_power_w_;
+  double fabric_jitter_;
+  util::Pcg32 rng_;
+  std::unique_ptr<IdleCore> a5_[2];
+};
+
 class Chip2Soc {
  public:
   explicit Chip2Soc(const Chip2Config& config);
@@ -34,14 +66,13 @@ class Chip2Soc {
 
   Chip1Soc& m0_soc() noexcept { return *m0_; }
   const Chip1Soc& m0_soc() const noexcept { return *m0_; }
-  const IdleCore& a5(unsigned index) const { return *a5_[index & 1]; }
+  const IdleCore& a5(unsigned index) const { return overlay_.a5(index); }
   const power::TechLibrary& tech() const noexcept { return m0_->tech(); }
 
  private:
   Chip2Config config_;
   std::unique_ptr<Chip1Soc> m0_;
-  std::unique_ptr<IdleCore> a5_[2];
-  util::Pcg32 rng_;
+  Chip2NoiseOverlay overlay_;
 };
 
 }  // namespace clockmark::soc

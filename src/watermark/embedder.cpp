@@ -1,5 +1,6 @@
 #include "watermark/embedder.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "clocktree/tree.h"
@@ -242,8 +243,16 @@ std::vector<double> tile_watermark_power(
     const WatermarkCharacterization& ch, std::size_t n,
     std::size_t phase_offset) {
   std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = ch.power_w[(i + phase_offset) % ch.period];
+  // Tiling is a pure copy, so chunked copies (one per period wrap)
+  // replace the per-element modulo of the naive loop.
+  std::size_t src = phase_offset % ch.period;
+  std::size_t dst = 0;
+  while (dst < n) {
+    const std::size_t len = std::min(n - dst, ch.period - src);
+    std::copy_n(ch.power_w.begin() + static_cast<std::ptrdiff_t>(src), len,
+                out.begin() + static_cast<std::ptrdiff_t>(dst));
+    dst += len;
+    src = 0;
   }
   return out;
 }
@@ -251,8 +260,14 @@ std::vector<double> tile_watermark_power(
 std::vector<bool> tile_wmark_bits(const WatermarkCharacterization& ch,
                                   std::size_t n, std::size_t phase_offset) {
   std::vector<bool> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = ch.wmark_bits[(i + phase_offset) % ch.period];
+  std::size_t src = phase_offset % ch.period;
+  std::size_t dst = 0;
+  while (dst < n) {
+    const std::size_t len = std::min(n - dst, ch.period - src);
+    std::copy_n(ch.wmark_bits.begin() + static_cast<std::ptrdiff_t>(src),
+                len, out.begin() + static_cast<std::ptrdiff_t>(dst));
+    dst += len;
+    src = 0;
   }
   return out;
 }

@@ -1,0 +1,120 @@
+// Scenario memoization: run() (cached deterministic traces, shared
+// model pattern, tiled-watermark cache) must be bit-identical to
+// run_uncached() — the planless reference that recomputes everything —
+// for both chips, pinned and unpinned phases, and under concurrent
+// access (TSan covers this suite in scripts/tier1.sh).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace clockmark::sim {
+namespace {
+
+ScenarioConfig fast_config(ChipModel chip) {
+  ScenarioConfig cfg =
+      chip == ChipModel::kChip1 ? chip1_default() : chip2_default();
+  cfg.trace_cycles = 20000;
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  return cfg;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+void expect_results_equal(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.true_rotation, b.true_rotation);
+  expect_bitwise_equal(a.pattern, b.pattern);
+  expect_bitwise_equal(a.background_power.values(),
+                       b.background_power.values());
+  expect_bitwise_equal(a.watermark_power.values(),
+                       b.watermark_power.values());
+  expect_bitwise_equal(a.total_power.values(), b.total_power.values());
+  expect_bitwise_equal(a.acquisition.per_cycle_power_w,
+                       b.acquisition.per_cycle_power_w);
+  EXPECT_EQ(a.background_power.clock_hz(), b.background_power.clock_hz());
+}
+
+TEST(ScenarioMemo, RunMatchesUncachedChip1) {
+  Scenario sc(fast_config(ChipModel::kChip1));
+  for (const std::size_t rep : {0u, 1u, 7u}) {
+    expect_results_equal(sc.run(rep), sc.run_uncached(rep));
+  }
+}
+
+TEST(ScenarioMemo, RunMatchesUncachedChip2) {
+  Scenario sc(fast_config(ChipModel::kChip2));
+  for (const std::size_t rep : {0u, 1u, 7u}) {
+    expect_results_equal(sc.run(rep), sc.run_uncached(rep));
+  }
+}
+
+TEST(ScenarioMemo, RunMatchesFreshScenario) {
+  // The cache never leaks state between repetitions: a warm Scenario
+  // must reproduce what a cold one computes.
+  const auto cfg = fast_config(ChipModel::kChip1);
+  Scenario warm(cfg);
+  (void)warm.run(0);
+  (void)warm.run(1);
+  Scenario cold(cfg);
+  expect_results_equal(warm.run(2), cold.run_uncached(2));
+}
+
+TEST(ScenarioMemo, UnpinnedPhaseMatchesUncached) {
+  // Unpinned phase draws a fresh rotation per repetition, exercising
+  // the per-rotation tiled-watermark cache (and its size cap).
+  auto cfg = fast_config(ChipModel::kChip1);
+  cfg.phase_offset.reset();
+  Scenario sc(cfg);
+  for (std::size_t rep = 0; rep < 10; ++rep) {
+    expect_results_equal(sc.run(rep), sc.run_uncached(rep));
+  }
+}
+
+TEST(ScenarioMemo, InactiveWatermarkMatchesUncached) {
+  auto cfg = fast_config(ChipModel::kChip2);
+  cfg.watermark_active = false;
+  Scenario sc(cfg);
+  expect_results_equal(sc.run(0), sc.run_uncached(0));
+}
+
+TEST(ScenarioMemo, SynthesizeMatchesRunWithoutAcquisition) {
+  Scenario sc(fast_config(ChipModel::kChip1));
+  const auto full = sc.run(3);
+  const auto syn = sc.synthesize(3);
+  EXPECT_EQ(syn.true_rotation, full.true_rotation);
+  expect_bitwise_equal(syn.total_power.values(), full.total_power.values());
+  EXPECT_TRUE(syn.acquisition.per_cycle_power_w.empty());
+  const auto syn_ref = sc.synthesize_uncached(3);
+  expect_bitwise_equal(syn.total_power.values(),
+                       syn_ref.total_power.values());
+}
+
+TEST(ScenarioMemo, ConcurrentRunsHitCacheConsistently) {
+  // First touch of the cache races between threads (call_once for the
+  // background, mutex + compute-outside-lock for the tiled watermark);
+  // every repetition must still match the serial uncached reference.
+  Scenario sc(fast_config(ChipModel::kChip2));
+  constexpr std::size_t kThreads = 4;
+  std::vector<ScenarioResult> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[t] = sc.run(t); });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    expect_results_equal(results[t], sc.run_uncached(t));
+  }
+}
+
+}  // namespace
+}  // namespace clockmark::sim
