@@ -13,6 +13,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 300000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   bench::print_header("abl_block_size — rho vs modulated registers",
                       "quantifies paper Sec. II sizing remark");

@@ -33,6 +33,7 @@ std::vector<double> tile_power(const std::vector<bool>& code,
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 150000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   const unsigned width = 10;           // Gold family width (period 1023)
   const std::size_t period = 1023;

@@ -16,6 +16,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 300000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   bench::print_header("abl_duty_cycle — partially active watermark",
                       "extends paper Sec. II synchronization remark");

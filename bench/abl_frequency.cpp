@@ -14,6 +14,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 300000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   bench::print_header("abl_frequency — operating-point sweep",
                       "extends paper Sec. IV (10 MHz / 1.2 V fixed)");

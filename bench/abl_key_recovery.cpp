@@ -19,6 +19,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 60000});
+  cli.reject_unknown();
   bench::print_header(
       "abl_key_recovery — Berlekamp-Massey vs the power side channel",
       "extends paper Sec. VI (key secrecy under measurement)");

@@ -12,6 +12,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 150000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   bench::print_header("abl_noise_sweep — rho vs scope noise",
                       "stress test of paper Sec. III-IV detection");

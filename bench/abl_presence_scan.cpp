@@ -42,6 +42,7 @@ std::uint32_t find_alternate_taps(unsigned width) {
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 150000});
+  cli.reject_unknown();
   bench::print_header("abl_presence_scan — key-space enumeration attack",
                       "extends paper Sec. VI (detectability by others)");
 

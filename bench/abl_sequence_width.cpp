@@ -14,6 +14,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 120000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   bench::print_header("abl_sequence_width — WGC LFSR width sweep",
                       "extends paper Sec. IV (12-bit LFSR on the chips)");

@@ -36,6 +36,7 @@ std::vector<double> spectrum_db(const std::vector<double>& trace) {
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 32768});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
   bench::print_header("abl_spectrum — supply-current spectra",
                       "spread-spectrum view of the Sec. III embedding");

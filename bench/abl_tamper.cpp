@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   const auto groups = static_cast<std::size_t>(cli.args().get_int("groups", 6));
   const auto regs = static_cast<std::size_t>(cli.args().get_int("regs", 48));
+  cli.reject_unknown();
   bench::print_header("abl_tamper — bypass attack vs embeddings",
                       "extends paper Sec. VI (tampering, not removal)");
 

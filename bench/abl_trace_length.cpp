@@ -13,6 +13,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
+  cli.reject_unknown();
   bench::print_header("abl_trace_length — rho/z vs number of cycles",
                       "extends paper Sec. IV (fixed 300k cycles)");
 

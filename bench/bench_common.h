@@ -66,6 +66,12 @@ class Cli {
   }
 
   const util::Args& args() const { return args_; }
+
+  /// Call after the last bench-specific args() read: exits with an error
+  /// (and a did-you-mean hint) on any flag nobody asked about, so a typo
+  /// like --thread=8 cannot silently run with defaults.
+  void reject_unknown() const { args_.reject_unknown(); }
+
   std::size_t reps() const { return reps_; }
   std::size_t cycles() const { return cycles_; }
   std::uint64_t seed() const { return seed_; }

@@ -109,6 +109,7 @@ void print_capture(const std::string& name, const WaveCapture& cap) {
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 32});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
 
   bench::print_header("fig2_waveforms — functional simulation",

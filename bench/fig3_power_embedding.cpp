@@ -13,6 +13,7 @@ using namespace clockmark;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 400});
+  cli.reject_unknown();
   const std::size_t window = cli.cycles();
 
   bench::print_header("fig3_power_embedding — power trace composition",

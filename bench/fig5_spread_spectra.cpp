@@ -26,6 +26,7 @@ struct Panel {
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.cycles = 300000});
+  cli.reject_unknown();
   const std::size_t cycles = cli.cycles();
 
   bench::print_header("fig5_spread_spectra — CPA spread spectra",

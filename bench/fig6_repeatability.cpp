@@ -50,6 +50,7 @@ double time_synthesis_reps(F&& synthesize, std::size_t k) {
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv, {.reps = 100});
+  cli.reject_unknown();
   const std::size_t reps = cli.reps();
   bench::BenchJson json("fig6_repeatability", cli.threads());
 

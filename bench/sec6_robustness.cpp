@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.args().get_int("load_regs", 576));
   cfg.compare_cycles =
       static_cast<std::size_t>(cli.args().get_int("compare_cycles", 256));
+  cli.reject_unknown();
 
   const auto report = attack::run_robustness_study(cfg);
   std::cout << "\n" << attack::to_string(report);

@@ -97,6 +97,7 @@ Measured measure_row(std::size_t switching_registers) {
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
+  cli.reject_unknown();
   bench::print_header("table1_load_power — placed-and-routed load power",
                       "paper Table I");
 

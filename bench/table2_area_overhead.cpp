@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const power::TechLibrary lib = power::tsmc65lp_like();
   const std::size_t wgc_registers =
       static_cast<std::size_t>(cli.args().get_int("wgc", 12));
+  cli.reject_unknown();
 
   struct Row {
     double p_load_mw;

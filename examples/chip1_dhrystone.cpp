@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   sim::ScenarioConfig config = sim::chip1_default();
   config.trace_cycles =
       static_cast<std::size_t>(args.get_int("cycles", 300000));
+  args.reject_unknown();
 
   const sim::Scenario scenario(config);
   const auto& ch = scenario.characterization();

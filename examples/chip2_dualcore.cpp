@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   sim::ScenarioConfig config = sim::chip2_default();
   config.trace_cycles =
       static_cast<std::size_t>(args.get_int("cycles", 300000));
+  args.reject_unknown();
 
   const sim::Scenario scenario(config);
   const auto exp = sim::run_detection(scenario);

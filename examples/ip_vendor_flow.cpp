@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const auto cycles =
       static_cast<std::size_t>(args.get_int("cycles", 120000));
   const bool pirate = args.has("pirate");
+  args.reject_unknown();
 
   // ------------------------------------------------------------------
   // Design time (vendor side): pick a secret watermark key — LFSR width,

@@ -20,6 +20,7 @@ using namespace clockmark;
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const std::string path = args.get("out", "ip_deliverable.netlist");
+  args.reject_unknown();
 
   // ---- vendor side -------------------------------------------------
   rtl::Netlist vendor_nl;

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   config.trace_cycles =
       static_cast<std::size_t>(args.get_int("cycles", 200000));
   config.watermark_active = !args.has("inactive");
+  args.reject_unknown();
 
   // 2. Build the scenario. This constructs the watermark at gate level
   //    and characterises its power over one full WMARK period.

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto load_regs =
       static_cast<std::size_t>(args.get_int("load_regs", 576));
+  args.reject_unknown();
   wgc::WgcConfig wgc_cfg;  // 12-bit LFSR as on the chips
 
   {

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   const std::string m = args.get("method", "fft");
   if (m == "folded") method = cpa::CorrelationMethod::kFolded;
   if (m == "naive") method = cpa::CorrelationMethod::kNaive;
+  args.reject_unknown();
 
   try {
     const auto y = util::read_series(path);

@@ -28,7 +28,10 @@ mkdir -p "${SMOKE_DIR}"
 ./build/bench/fig6_repeatability --reps=2 --cycles=20000 --threads=2 \
   --out="${SMOKE_DIR}/fig6" \
   --json="${SMOKE_DIR}/BENCH_fig6.json" > "${SMOKE_DIR}/fig6.log"
-for f in BENCH_cpa_speed.json BENCH_fig6.json; do
+./build/bench/abl_stream_latency --cycles=32768 --chunk=2048 --threads=2 \
+  --out="${SMOKE_DIR}/stream" \
+  --json="${SMOKE_DIR}/BENCH_stream.json" > "${SMOKE_DIR}/stream.log"
+for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json; do
   if [[ ! -s "${SMOKE_DIR}/${f}" ]]; then
     echo "bench smoke: missing or empty ${SMOKE_DIR}/${f}" >&2
     exit 1
@@ -44,12 +47,13 @@ if [[ "${SKIP_TSAN}" == "1" ]]; then
   exit 0
 fi
 
-echo "=== tier-1: TSan pass (runtime + dsp + sim tests) ==="
+echo "=== tier-1: TSan pass (runtime + dsp + sim + stream tests) ==="
 cmake -B build-tsan -S . -DCLOCKMARK_SANITIZE=thread
-cmake --build build-tsan -j --target test_runtime test_dsp test_integration
+cmake --build build-tsan -j --target test_runtime test_dsp test_integration \
+  test_stream
 # Note: -j needs an explicit value here — a bare `-j` would consume the
 # following -R as its argument and run the whole (partially built) list.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd)\.')
+  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads)')
 
 echo "=== tier-1: OK ==="

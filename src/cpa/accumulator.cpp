@@ -1,0 +1,65 @@
+#include "cpa/accumulator.h"
+
+#include <stdexcept>
+
+#include "runtime/executor.h"
+
+namespace clockmark::cpa {
+
+RotationAccumulator::RotationAccumulator(std::vector<double> pattern)
+    : pattern_(std::move(pattern)) {
+  if (pattern_.empty()) {
+    throw std::invalid_argument("RotationAccumulator: empty pattern");
+  }
+  fold_.sums.assign(pattern_.size(), 0.0);
+  fold_.counts.assign(pattern_.size(), 0);
+}
+
+void RotationAccumulator::add(std::span<const double> y) {
+  dsp::fold_extend(fold_, y, pattern_.size());
+}
+
+std::vector<double> RotationAccumulator::correlations(
+    CorrelationMethod method, runtime::Executor* executor) const {
+  switch (method) {
+    case CorrelationMethod::kNaive:
+      throw std::invalid_argument(
+          "RotationAccumulator: the naive sweep needs the materialised "
+          "trace; use kFolded or kFft");
+    case CorrelationMethod::kFolded: {
+      if (executor != nullptr && executor->thread_count() > 1) {
+        // Same per-rotation inner loop as the serial from-fold sweep,
+        // one rotation per work item writing its own slots, then the
+        // shared assemble stage — bit-identical at any thread count.
+        const std::size_t period = pattern_.size();
+        if (fold_.n < period) {
+          throw std::invalid_argument(
+              "rotation_correlation: trace shorter than one pattern period");
+        }
+        std::vector<double> sxy(period, 0.0);
+        std::vector<double> sx(period, 0.0);
+        std::vector<double> sxx(period, 0.0);
+        executor->parallel_for(period, [&](std::size_t r) {
+          const dsp::RotationModelSums s =
+              dsp::rotation_model_sums_at(fold_, pattern_, r);
+          sxy[r] = s.sxy;
+          sx[r] = s.sx;
+          sxx[r] = s.sxx;
+        });
+        return dsp::assemble_rotation_correlations(fold_, sxy, sx, sxx);
+      }
+      return dsp::rotation_correlation_folded_from_fold(fold_, pattern_);
+    }
+    case CorrelationMethod::kFft:
+      return dsp::rotation_correlation_fft_from_fold(fold_, pattern_);
+  }
+  throw std::invalid_argument("RotationAccumulator: bad method");
+}
+
+SpreadSpectrum RotationAccumulator::spread_spectrum(
+    CorrelationMethod method, std::size_t guard,
+    runtime::Executor* executor) const {
+  return summarize_sweep(correlations(method, executor), guard);
+}
+
+}  // namespace clockmark::cpa

@@ -19,12 +19,70 @@ void check_inputs(std::span<const double> y, std::span<const double> pattern) {
   }
 }
 
-// Assembles Pearson coefficients for every rotation from the per-rotation
-// model sums. sxy/sx/sxx are indexed by rotation r.
-std::vector<double> assemble(const PhaseFold& fold,
-                             std::span<const double> sxy,
-                             std::span<const double> sx,
-                             std::span<const double> sxx) {
+void check_fold(const PhaseFold& fold, std::span<const double> pattern) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("rotation_correlation: empty pattern");
+  }
+  if (fold.sums.size() != pattern.size()) {
+    throw std::invalid_argument(
+        "rotation_correlation: fold period does not match pattern");
+  }
+  if (fold.n < pattern.size()) {
+    throw std::invalid_argument(
+        "rotation_correlation: trace shorter than one pattern period");
+  }
+}
+
+}  // namespace
+
+PhaseFold fold_by_phase(std::span<const double> y, std::size_t period) {
+  PhaseFold fold;
+  fold_extend(fold, y, period);
+  return fold;
+}
+
+void fold_extend(PhaseFold& fold, std::span<const double> y,
+                 std::size_t period) {
+  if (period == 0) {
+    throw std::invalid_argument("fold_by_phase: period must be > 0");
+  }
+  if (fold.sums.empty()) {
+    fold.sums.assign(period, 0.0);
+    fold.counts.assign(period, 0);
+  } else if (fold.sums.size() != period) {
+    throw std::invalid_argument("fold_extend: period changed mid-stream");
+  }
+  // The phase cursor is implied by how many samples the fold has seen;
+  // chunk boundaries therefore cannot desynchronise the fold.
+  std::size_t p = fold.n % period;
+  fold.n += y.size();
+  for (const double v : y) {
+    fold.sums[p] += v;
+    ++fold.counts[p];
+    fold.total += v;
+    fold.total_sq += v * v;
+    if (++p == period) p = 0;
+  }
+}
+
+RotationModelSums rotation_model_sums_at(const PhaseFold& fold,
+                                         std::span<const double> pattern,
+                                         std::size_t rotation) {
+  const std::size_t period = pattern.size();
+  RotationModelSums s;
+  for (std::size_t p = 0; p < period; ++p) {
+    const double xv = pattern[(p + rotation) % period];
+    s.sxy += xv * fold.sums[p];
+    const auto cnt = static_cast<double>(fold.counts[p]);
+    s.sx += xv * cnt;
+    s.sxx += xv * xv * cnt;
+  }
+  return s;
+}
+
+std::vector<double> assemble_rotation_correlations(
+    const PhaseFold& fold, std::span<const double> sxy,
+    std::span<const double> sx, std::span<const double> sxx) {
   const auto n = static_cast<double>(fold.n);
   const double sy = fold.total;
   const double syy = fold.total_sq;
@@ -40,58 +98,26 @@ std::vector<double> assemble(const PhaseFold& fold,
   return rho;
 }
 
-}  // namespace
-
-PhaseFold fold_by_phase(std::span<const double> y, std::size_t period) {
-  if (period == 0) {
-    throw std::invalid_argument("fold_by_phase: period must be > 0");
-  }
-  PhaseFold fold;
-  fold.sums.assign(period, 0.0);
-  fold.counts.assign(period, 0);
-  fold.n = y.size();
-  std::size_t p = 0;
-  for (const double v : y) {
-    fold.sums[p] += v;
-    ++fold.counts[p];
-    fold.total += v;
-    fold.total_sq += v * v;
-    if (++p == period) p = 0;
-  }
-  return fold;
-}
-
-std::vector<double> rotation_correlation_folded(
-    std::span<const double> y, std::span<const double> pattern) {
-  check_inputs(y, pattern);
+std::vector<double> rotation_correlation_folded_from_fold(
+    const PhaseFold& fold, std::span<const double> pattern) {
+  check_fold(fold, pattern);
   const std::size_t period = pattern.size();
-  const PhaseFold fold = fold_by_phase(y, period);
-
   std::vector<double> sxy(period, 0.0);
   std::vector<double> sx(period, 0.0);
   std::vector<double> sxx(period, 0.0);
   for (std::size_t r = 0; r < period; ++r) {
-    double a = 0.0, b = 0.0, c = 0.0;
-    for (std::size_t p = 0; p < period; ++p) {
-      const double xv = pattern[(p + r) % period];
-      a += xv * fold.sums[p];
-      const auto cnt = static_cast<double>(fold.counts[p]);
-      b += xv * cnt;
-      c += xv * xv * cnt;
-    }
-    sxy[r] = a;
-    sx[r] = b;
-    sxx[r] = c;
+    const RotationModelSums s = rotation_model_sums_at(fold, pattern, r);
+    sxy[r] = s.sxy;
+    sx[r] = s.sx;
+    sxx[r] = s.sxx;
   }
-  return assemble(fold, sxy, sx, sxx);
+  return assemble_rotation_correlations(fold, sxy, sx, sxx);
 }
 
-std::vector<double> rotation_correlation_fft(std::span<const double> y,
-                                             std::span<const double> pattern) {
-  check_inputs(y, pattern);
+std::vector<double> rotation_correlation_fft_from_fold(
+    const PhaseFold& fold, std::span<const double> pattern) {
+  check_fold(fold, pattern);
   const std::size_t period = pattern.size();
-  const PhaseFold fold = fold_by_phase(y, period);
-
   std::vector<double> counts_d(period);
   std::vector<double> pattern_sq(period);
   for (std::size_t p = 0; p < period; ++p) {
@@ -102,7 +128,21 @@ std::vector<double> rotation_correlation_fft(std::span<const double> y,
   const auto sxy = circular_cross_correlation(fold.sums, pattern);
   const auto sx = circular_cross_correlation(counts_d, pattern);
   const auto sxx = circular_cross_correlation(counts_d, pattern_sq);
-  return assemble(fold, sxy, sx, sxx);
+  return assemble_rotation_correlations(fold, sxy, sx, sxx);
+}
+
+std::vector<double> rotation_correlation_folded(
+    std::span<const double> y, std::span<const double> pattern) {
+  check_inputs(y, pattern);
+  return rotation_correlation_folded_from_fold(
+      fold_by_phase(y, pattern.size()), pattern);
+}
+
+std::vector<double> rotation_correlation_fft(std::span<const double> y,
+                                             std::span<const double> pattern) {
+  check_inputs(y, pattern);
+  return rotation_correlation_fft_from_fold(fold_by_phase(y, pattern.size()),
+                                            pattern);
 }
 
 std::vector<double> rotation_correlation_naive(

@@ -24,6 +24,44 @@ struct PhaseFold {
 
 PhaseFold fold_by_phase(std::span<const double> y, std::size_t period);
 
+/// Extends a fold with further samples in stream order. A fold built by
+/// feeding a vector's chunks through fold_extend (in order, starting from
+/// a default-constructed PhaseFold with sums/counts sized to `period`) is
+/// bit-identical to fold_by_phase over the whole vector: the accumulation
+/// loop body and its order are the same, the chunk boundaries only decide
+/// where the loop pauses. This is what makes online CPA exact.
+void fold_extend(PhaseFold& fold, std::span<const double> y,
+                 std::size_t period);
+
+/// One rotation's model sums against a fold — the inner loop of the
+/// folded sweep, exposed so callers can parallelise the O(P^2) sweep one
+/// rotation per work item without changing a single floating-point
+/// operation (each rotation's sums are computed by the same sequence).
+struct RotationModelSums {
+  double sxy = 0.0;  ///< sum of model * y  (via per-phase sums)
+  double sx = 0.0;   ///< sum of model values
+  double sxx = 0.0;  ///< sum of squared model values
+};
+RotationModelSums rotation_model_sums_at(const PhaseFold& fold,
+                                         std::span<const double> pattern,
+                                         std::size_t rotation);
+
+/// Assembles Pearson coefficients for every rotation from the
+/// per-rotation model sums — the shared final stage of the folded and
+/// FFT paths (sxy/sx/sxx are indexed by rotation).
+std::vector<double> assemble_rotation_correlations(
+    const PhaseFold& fold, std::span<const double> sxy,
+    std::span<const double> sx, std::span<const double> sxx);
+
+/// Folded / FFT finalisation from an already-computed fold. The batch
+/// sweeps below are exactly fold_by_phase + these functions, so a fold
+/// accumulated chunk-by-chunk with fold_extend yields bit-identical
+/// correlations to the batch sweep over the concatenated trace.
+std::vector<double> rotation_correlation_folded_from_fold(
+    const PhaseFold& fold, std::span<const double> pattern);
+std::vector<double> rotation_correlation_fft_from_fold(
+    const PhaseFold& fold, std::span<const double> pattern);
+
 /// Pearson correlation of y against every rotation r of the periodic
 /// binary pattern x (length P), where the model vector is
 ///   X_r[i] = x[(i + r) mod P], i = 0..N-1.

@@ -1,0 +1,87 @@
+// Chunked (bounded-memory) variant of the acquisition pipeline. The
+// batch AcquisitionChain expands the whole trace to a sample-rate
+// waveform — 50 doubles per cycle, the dominant allocation of a
+// repetition — before filtering and digitising it. This chain processes
+// one whole-cycle chunk at a time and carries the analog state (PDN and
+// probe filter registers, probe/scope RNG streams, ADC range) across
+// chunks, so memory stays O(chunk * samples_per_cycle).
+//
+// Exactness contract: feeding the same per-cycle power trace chunk by
+// chunk, in order, produces per-cycle Y values bit-identical to
+// AcquisitionChain::measure on the whole trace. Every filter, RNG and
+// quantiser consumes its samples in the same order; chunk boundaries
+// only decide where the loops pause (asserted in tests).
+//
+// Two passes, mirroring the operator's workflow: the scope's vertical
+// range depends on the full waveform (auto_range takes its min/max), so
+// when scope_auto_range is set the caller streams the trace once through
+// the range pass, then again through the acquire pass. Both passes seed
+// their analog chains identically, so the acquire pass sees the exact
+// waveform the range was chosen from. This trades ~2x synthesis compute
+// for O(N) less memory — the streaming bargain.
+//
+// Not supported: simulate_trigger_offset (it drops a random sub-cycle
+// sample prefix, which breaks the whole-cycle chunk contract); the batch
+// chain remains the path for that study.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "measure/acquisition.h"
+
+namespace clockmark::measure {
+
+class StreamingAcquisitionChain {
+ public:
+  /// `clock_hz` is the chip clock of the incoming per-cycle trace (the
+  /// batch chain reads it from the PowerTrace).
+  StreamingAcquisitionChain(const AcquisitionConfig& config, double clock_hz);
+  ~StreamingAcquisitionChain();
+
+  /// True when the scope range must be learned from a first full pass
+  /// (config.scope_auto_range); otherwise acquire_feed may be called
+  /// directly.
+  bool needs_range_pass() const noexcept;
+
+  /// Range pass: feed every chunk in order, then fix_range().
+  void range_feed(std::span<const double> cycle_power_w);
+  void fix_range();
+
+  /// Acquire pass: feed the same chunks in the same order. Returns this
+  /// chunk's per-cycle Y values (chunk length preserved).
+  std::vector<double> acquire_feed(std::span<const double> cycle_power_w);
+
+  struct Summary {
+    std::size_t cycles = 0;     ///< Y values produced so far
+    double mean_power_w = 0.0;  ///< running mean of Y
+    double lsb_power_w = 0.0;   ///< one ADC code as chip power
+  };
+  /// Valid after the last acquire_feed; matches the batch Acquisition
+  /// metadata bit for bit.
+  Summary summary() const;
+
+  const AcquisitionConfig& config() const noexcept { return config_; }
+
+ private:
+  struct AnalogPass;
+
+  std::vector<double> run_analog(AnalogPass& pass,
+                                 std::span<const double> cycle_power_w);
+
+  AcquisitionConfig config_;
+  double clock_hz_;
+  std::unique_ptr<AnalogPass> range_pass_;
+  std::unique_ptr<AnalogPass> acquire_pass_;
+  std::unique_ptr<Oscilloscope> scope_;
+  bool range_fixed_ = false;
+  double volts_min_ = 0.0;
+  double volts_max_ = 0.0;
+  bool volts_seen_ = false;
+  double sum_power_w_ = 0.0;
+  std::size_t cycles_out_ = 0;
+};
+
+}  // namespace clockmark::measure

@@ -1,0 +1,118 @@
+#include "measure/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace clockmark::measure {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+
+// Raw doubles / u64 are written in host byte order; every platform this
+// simulator targets is little-endian, and the magic check rejects files
+// that are not CMTRACE1 at all.
+
+}  // namespace
+
+void write_trace_csv(const std::string& path, std::span<const double> y) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_trace_csv: cannot open " + path);
+  }
+  out << "# clockmark per-cycle power trace (W), one cycle per line\n";
+  char buf[64];
+  for (const double v : y) {
+    std::snprintf(buf, sizeof(buf), "%.17g\n", v);
+    out << buf;
+  }
+  if (!out.good()) {
+    throw std::runtime_error("write_trace_csv: write failed for " + path);
+  }
+}
+
+void write_trace_binary(const std::string& path, std::span<const double> y) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("write_trace_binary: cannot open " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = y.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(y.data()),
+            static_cast<std::streamsize>(y.size() * sizeof(double)));
+  if (!out.good()) {
+    throw std::runtime_error("write_trace_binary: write failed for " + path);
+  }
+}
+
+TraceFileReader::TraceFileReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw std::runtime_error("TraceFileReader: cannot open " + path);
+  }
+  char magic[sizeof(kMagic)] = {};
+  in_.read(magic, sizeof(magic));
+  if (in_.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    binary_ = true;
+    std::uint64_t count = 0;
+    in_.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (in_.gcount() != sizeof(count)) {
+      throw std::runtime_error("TraceFileReader: truncated header in " +
+                               path);
+    }
+    total_ = static_cast<std::size_t>(count);
+  } else {
+    // CSV: rewind and parse line by line.
+    in_.clear();
+    in_.seekg(0);
+  }
+}
+
+std::size_t TraceFileReader::read(std::span<double> out) {
+  if (out.empty()) return 0;
+  if (binary_) {
+    std::size_t want = out.size();
+    if (total_) want = std::min(want, *total_ - produced_);
+    if (want == 0) return 0;
+    in_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(want * sizeof(double)));
+    const auto got = static_cast<std::size_t>(in_.gcount()) / sizeof(double);
+    if (got < want && produced_ + got < *total_) {
+      throw std::runtime_error("TraceFileReader: file shorter than header");
+    }
+    produced_ += got;
+    return got;
+  }
+  // CSV path: same per-line rules as util::read_series ('#' comments,
+  // first comma-separated field, blank lines skipped).
+  std::size_t got = 0;
+  std::string line;
+  while (got < out.size() && std::getline(in_, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto comma = line.find(',');
+    if (comma != std::string::npos) line.resize(comma);
+    std::istringstream ls(line);
+    double v = 0.0;
+    if (ls >> v) out[got++] = v;
+  }
+  produced_ += got;
+  return got;
+}
+
+std::vector<double> read_trace(const std::string& path) {
+  TraceFileReader reader(path);
+  std::vector<double> values;
+  double buf[4096];
+  for (;;) {
+    const std::size_t got = reader.read(std::span<double>(buf, 4096));
+    if (got == 0) break;
+    values.insert(values.end(), buf, buf + got);
+  }
+  return values;
+}
+
+}  // namespace clockmark::measure

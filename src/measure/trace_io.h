@@ -1,0 +1,56 @@
+// Trace export / replay formats for the streaming subsystem: a measured
+// per-cycle power vector Y can be written to disk and later replayed
+// chunk by chunk (stream::ReplaySource) without loading the whole file.
+//
+// Two formats:
+//   CSV    one value per line, '#' comments — the same shape
+//          util::read_series and examples/trace_detect already consume.
+//   binary "CMTRACE1" magic, little-endian u64 cycle count, then raw
+//          little-endian doubles. Compact and self-describing enough for
+//          resume (the reader knows the total up front).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clockmark::measure {
+
+/// Writes Y as CSV (one value per line, %.17g so the replay is
+/// bit-exact). Throws std::runtime_error if the file cannot be written.
+void write_trace_csv(const std::string& path, std::span<const double> y);
+
+/// Writes Y in the binary CMTRACE1 format. Throws on I/O failure.
+void write_trace_binary(const std::string& path, std::span<const double> y);
+
+/// Incremental reader for both formats (auto-detected from the first
+/// bytes). read() fills at most out.size() values and returns how many
+/// were produced; 0 means end of file.
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::string& path);
+
+  std::size_t read(std::span<double> out);
+
+  /// Total cycle count when the format records it (binary); nullopt for
+  /// CSV, whose length is only known once the file has been drained.
+  std::optional<std::size_t> total_cycles() const noexcept { return total_; }
+
+  bool binary() const noexcept { return binary_; }
+
+ private:
+  std::ifstream in_;
+  bool binary_ = false;
+  std::optional<std::size_t> total_;
+  std::size_t produced_ = 0;
+};
+
+/// Convenience: drains a TraceFileReader into one vector (tests, and the
+/// batch half of the stream_detect example).
+std::vector<double> read_trace(const std::string& path);
+
+}  // namespace clockmark::measure

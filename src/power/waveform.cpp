@@ -43,23 +43,29 @@ std::vector<double> cycle_pulse_template(const WaveformOptions& options) {
 }
 
 std::vector<double> expand_to_current_waveform(
-    const PowerTrace& trace, double vdd_v, const WaveformOptions& options) {
+    std::span<const double> cycle_power_w, double vdd_v,
+    const WaveformOptions& options) {
   if (vdd_v <= 0.0) {
     throw std::invalid_argument("expand_to_current_waveform: vdd must be > 0");
   }
   const auto tpl = cycle_pulse_template(options);
   const std::size_t s = options.samples_per_cycle;
-  std::vector<double> wave(trace.cycles() * s, 0.0);
-  for (std::size_t c = 0; c < trace.cycles(); ++c) {
+  std::vector<double> wave(cycle_power_w.size() * s, 0.0);
+  for (std::size_t c = 0; c < cycle_power_w.size(); ++c) {
     // Cycle average current; template sums to 1, so multiplying by
     // (avg_current * s) preserves the per-cycle mean exactly.
-    const double avg_current = trace[c] / vdd_v;
+    const double avg_current = cycle_power_w[c] / vdd_v;
     const double scale = avg_current * static_cast<double>(s);
     for (std::size_t i = 0; i < s; ++i) {
       wave[c * s + i] = scale * tpl[i];
     }
   }
   return wave;
+}
+
+std::vector<double> expand_to_current_waveform(
+    const PowerTrace& trace, double vdd_v, const WaveformOptions& options) {
+  return expand_to_current_waveform(trace.span(), vdd_v, options);
 }
 
 }  // namespace clockmark::power

@@ -36,6 +36,13 @@ std::vector<double> expand_to_current_waveform(const PowerTrace& trace,
                                                double vdd_v,
                                                const WaveformOptions& options);
 
+/// Span overload: the expansion is per-cycle pure, so expanding a chunk
+/// of a trace equals the matching slice of the whole-trace expansion —
+/// the property the streaming acquisition chain relies on.
+std::vector<double> expand_to_current_waveform(
+    std::span<const double> cycle_power_w, double vdd_v,
+    const WaveformOptions& options);
+
 /// The normalised per-cycle pulse template used by the expansion (sums
 /// to 1 over one cycle). Exposed for tests and for Fig. 3 rendering.
 std::vector<double> cycle_pulse_template(const WaveformOptions& options);

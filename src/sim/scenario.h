@@ -27,6 +27,8 @@
 
 namespace clockmark::sim {
 
+class ScenarioTraceStream;
+
 enum class ChipModel { kChip1, kChip2 };
 
 struct ScenarioConfig {
@@ -94,6 +96,17 @@ class Scenario {
   ScenarioResult synthesize(std::size_t repetition = 0) const;
   ScenarioResult synthesize_uncached(std::size_t repetition = 0) const;
 
+  /// Chunked synthesis + acquisition of one repetition: Y delivered in
+  /// whole-cycle chunks with bounded memory (no sample-rate waveform or
+  /// full Y vector is ever held). Concatenating the chunks reproduces
+  /// run(repetition).acquisition.per_cycle_power_w bit for bit; see
+  /// sim/trace_stream.h for the contract and its limits (the batch-only
+  /// simulate_trigger_offset study throws here). Thread-safe like run():
+  /// each stream owns its per-repetition state and only reads the shared
+  /// caches.
+  std::unique_ptr<ScenarioTraceStream> open_stream(
+      std::size_t repetition = 0, std::size_t chunk_cycles = 4096) const;
+
   /// The gate-level characterisation (computed once in the constructor).
   const watermark::WatermarkCharacterization& characterization() const {
     return characterization_;
@@ -108,6 +121,8 @@ class Scenario {
   const ScenarioConfig& config() const noexcept { return config_; }
 
  private:
+  friend class ScenarioTraceStream;  ///< reads the deterministic caches
+
   /// Repetition-invariant state computed lazily on first use. The
   /// background trace is the deterministic part of the chip's power —
   /// the full trace for chip I, the M0 base (before the seeded A5/fabric

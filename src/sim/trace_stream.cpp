@@ -1,0 +1,112 @@
+#include "sim/trace_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/seed.h"
+
+namespace clockmark::sim {
+
+ScenarioTraceStream::ScenarioTraceStream(const Scenario& scenario,
+                                         std::size_t repetition,
+                                         std::size_t chunk_cycles)
+    : scenario_(scenario),
+      repetition_(repetition),
+      chunk_cycles_(chunk_cycles),
+      total_cycles_(scenario.config().trace_cycles) {
+  if (chunk_cycles_ == 0) {
+    throw std::invalid_argument(
+        "ScenarioTraceStream: chunk_cycles must be > 0");
+  }
+  if (chunk_cycles_ < 8 && total_cycles_ > chunk_cycles_) {
+    throw std::invalid_argument(
+        "ScenarioTraceStream: chunk_cycles must cover the 8-cycle PDN "
+        "priming window");
+  }
+  const ScenarioConfig& cfg = scenario_.config_;
+  const std::size_t period = scenario_.characterization_.period;
+
+  // Phase and pattern: the same derivation as Scenario::run_impl.
+  const std::uint64_t derived =
+      runtime::derive_phase_seed(cfg.seed, repetition_);
+  true_rotation_ = cfg.phase_offset.value_or(static_cast<std::size_t>(
+      derived % static_cast<std::uint64_t>(period)));
+  pattern_ = scenario_.model_pattern_;
+
+  // Deterministic base trace from the shared per-Scenario cache — the
+  // one O(trace) allocation of the stream, shared with every batch run().
+  const Scenario::TraceCache& cache = scenario_.cached_deterministic_traces();
+  background_ = &cache.background;
+
+  measure::AcquisitionConfig acq = cfg.acquisition;
+  acq.vdd_v = cfg.tech.vdd_v;
+  acq.noise_seed = runtime::derive_acquisition_seed(cfg.seed, repetition_);
+  chain_ = std::make_unique<measure::StreamingAcquisitionChain>(
+      acq, cache.clock_hz);
+
+  // Range pass: stream the analog chain once so the scope range is
+  // chosen from the full waveform, exactly as the batch auto-range does.
+  if (chain_->needs_range_pass()) {
+    SynthCursor range_cursor;
+    range_cursor.overlay = make_overlay();
+    while (range_cursor.position < total_cycles_) {
+      const std::size_t n =
+          std::min(chunk_cycles_, total_cycles_ - range_cursor.position);
+      chain_->range_feed(synthesize(range_cursor, n));
+    }
+    chain_->fix_range();
+  }
+  acquire_cursor_.overlay = make_overlay();
+}
+
+std::unique_ptr<soc::Chip2NoiseOverlay> ScenarioTraceStream::make_overlay()
+    const {
+  const ScenarioConfig& cfg = scenario_.config_;
+  if (cfg.chip != ChipModel::kChip2) return nullptr;
+  soc::Chip2Config c2;
+  c2.a5_core = cfg.a5_core;
+  c2.fabric_power_w = cfg.fabric_power_w;
+  c2.fabric_jitter = cfg.fabric_jitter;
+  c2.noise_seed = runtime::derive_background_seed(cfg.seed, repetition_);
+  return std::make_unique<soc::Chip2NoiseOverlay>(c2, cfg.tech);
+}
+
+std::vector<double> ScenarioTraceStream::synthesize(SynthCursor& cursor,
+                                                    std::size_t n) const {
+  const ScenarioConfig& cfg = scenario_.config_;
+  const auto& ch = scenario_.characterization_;
+  const std::vector<double>& base = *background_;
+  std::vector<double> total(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = cursor.position + i;
+    // Background: the cached deterministic trace, with the chip II noise
+    // overlay stepped in cycle order (the same draws the batch overlay
+    // makes). Then the watermark tile — total[c] = bg[c] + wm[c], the
+    // operator+= order of the batch path.
+    const double bg =
+        cursor.overlay ? cursor.overlay->step(base[c]) : base[c];
+    const double wm = cfg.watermark_active
+                          ? ch.power_w[(true_rotation_ + c) % ch.period]
+                          : ch.leakage_w;
+    total[i] = bg + wm;
+  }
+  cursor.position += n;
+  return total;
+}
+
+std::vector<double> ScenarioTraceStream::next() {
+  if (position_ >= total_cycles_) return {};
+  const std::size_t n = std::min(chunk_cycles_, total_cycles_ - position_);
+  std::vector<double> y =
+      chain_->acquire_feed(synthesize(acquire_cursor_, n));
+  position_ += n;
+  return y;
+}
+
+std::unique_ptr<ScenarioTraceStream> Scenario::open_stream(
+    std::size_t repetition, std::size_t chunk_cycles) const {
+  return std::make_unique<ScenarioTraceStream>(*this, repetition,
+                                               chunk_cycles);
+}
+
+}  // namespace clockmark::sim

@@ -1,0 +1,75 @@
+// Chunked synthesis of a Scenario repetition: the per-cycle CPA
+// measurement Y produced one whole-cycle chunk at a time, without ever
+// materialising the sample-rate waveform or the full Y vector — the
+// bounded-memory producer behind stream::ScenarioSource.
+//
+// Exactness: concatenating every chunk of a stream reproduces
+// Scenario::run(repetition).acquisition.per_cycle_power_w bit for bit
+// (asserted in tests). The deterministic background comes from the same
+// per-Scenario cache run() uses; the chip II noise overlay and the
+// measurement chain consume their seeded RNG streams sample by sample in
+// the same order as the batch path, and the scope's auto-range is learned
+// by streaming the analog chain once before the acquire pass (see
+// measure/streaming.h), so chunk boundaries never shift a single draw.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "measure/streaming.h"
+#include "sim/scenario.h"
+#include "soc/chip2.h"
+
+namespace clockmark::sim {
+
+class ScenarioTraceStream {
+ public:
+  /// Build via Scenario::open_stream.
+  ScenarioTraceStream(const Scenario& scenario, std::size_t repetition,
+                      std::size_t chunk_cycles);
+
+  /// Next chunk of per-cycle Y values (up to chunk_cycles; empty once the
+  /// trace is exhausted). Chunks are contiguous from cycle 0.
+  std::vector<double> next();
+
+  /// Absolute cycle offset of the next chunk (== cycles emitted so far).
+  std::size_t position() const noexcept { return position_; }
+  std::size_t total_cycles() const noexcept { return total_cycles_; }
+  std::size_t chunk_cycles() const noexcept { return chunk_cycles_; }
+
+  /// One period of the CPA model pattern and where its peak should land —
+  /// the same values ScenarioResult carries.
+  const std::vector<double>& pattern() const noexcept { return pattern_; }
+  std::size_t true_rotation() const noexcept { return true_rotation_; }
+
+  /// Acquisition metadata once the stream has been drained.
+  measure::StreamingAcquisitionChain::Summary summary() const {
+    return chain_->summary();
+  }
+
+ private:
+  /// Synthesises total device power for cycles [position, position+n) in
+  /// stream order; one instance per pass so the chip II overlay RNG
+  /// replays identically in the range and acquire passes.
+  struct SynthCursor {
+    std::size_t position = 0;
+    std::unique_ptr<soc::Chip2NoiseOverlay> overlay;  ///< chip II only
+  };
+
+  std::vector<double> synthesize(SynthCursor& cursor, std::size_t n) const;
+  std::unique_ptr<soc::Chip2NoiseOverlay> make_overlay() const;
+
+  const Scenario& scenario_;
+  std::size_t repetition_;
+  std::size_t chunk_cycles_;
+  std::size_t total_cycles_;
+  std::size_t true_rotation_ = 0;
+  std::vector<double> pattern_;
+  const std::vector<double>* background_ = nullptr;  ///< cached base trace
+  SynthCursor acquire_cursor_;
+  std::unique_ptr<measure::StreamingAcquisitionChain> chain_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace clockmark::sim

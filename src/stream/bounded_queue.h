@@ -1,0 +1,149 @@
+// Bounded MPMC queue with backpressure — the coupling between the
+// acquisition producer and the detection consumer. Mutex + two condition
+// variables, all state behind one lock (TSan-clean by construction; the
+// tier-1 TSan pass exercises it under contention).
+//
+// Lifecycle:
+//   push()    blocks while full; returns false once the queue is closed
+//             or poisoned (the item is dropped — producers stop).
+//   pop()     blocks while empty and open; after close() the remaining
+//             items drain in FIFO order, then nullopt signals the end.
+//   close()   producer is done; consumers drain what is buffered.
+//   poison()  producer failed; buffered items are discarded, waiters are
+//             woken, and every subsequent pop() throws QueuePoisoned so
+//             the failure propagates instead of looking like a clean end.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace clockmark::stream {
+
+class QueuePoisoned : public std::runtime_error {
+ public:
+  explicit QueuePoisoned(const std::string& reason)
+      : std::runtime_error("stream queue poisoned: " + reason) {}
+};
+
+/// Per-stage counters surfaced in the pipeline's StreamReport.
+struct QueueStats {
+  std::size_t capacity = 0;
+  std::size_t pushes = 0;      ///< items accepted
+  std::size_t pops = 0;        ///< items delivered
+  std::size_t push_waits = 0;  ///< producer blocked on a full queue
+  std::size_t pop_waits = 0;   ///< consumer blocked on an empty queue
+  std::size_t high_water = 0;  ///< max buffered items observed
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns true when the item was
+  /// enqueued, false when the queue was closed or poisoned meanwhile.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_ && !poisoned_) {
+      ++stats_.push_waits;
+      not_full_.wait(lock, [&] {
+        return items_.size() < capacity_ || closed_ || poisoned_;
+      });
+    }
+    if (closed_ || poisoned_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushes;
+    stats_.high_water = std::max(stats_.high_water, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. nullopt = closed and
+  /// drained. Throws QueuePoisoned after poison().
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty() && !closed_ && !poisoned_) {
+      ++stats_.pop_waits;
+      not_empty_.wait(lock,
+                      [&] { return !items_.empty() || closed_ || poisoned_; });
+    }
+    if (poisoned_) throw QueuePoisoned(poison_reason_);
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes; buffered items remain poppable (drain semantics).
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Producer failure: discard buffered items and fail every waiter.
+  void poison(std::string reason) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (poisoned_) return;  // first failure wins
+      poisoned_ = true;
+      poison_reason_ = std::move(reason);
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  bool poisoned() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return poisoned_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  QueueStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QueueStats s = stats_;
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+  QueueStats stats_;
+};
+
+}  // namespace clockmark::stream

@@ -1,0 +1,92 @@
+#include "stream/online_detector.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "cpa/confidence.h"
+
+namespace clockmark::stream {
+
+OnlineDetector::OnlineDetector(std::vector<double> pattern,
+                               OnlineDetectorConfig config)
+    : config_(config),
+      accumulator_(std::move(pattern)),
+      detector_(config.policy),
+      min_cycles_(config.min_cycles == 0 ? accumulator_.pattern().size()
+                                         : config.min_cycles) {
+  if (config_.method == cpa::CorrelationMethod::kNaive) {
+    throw std::invalid_argument(
+        "OnlineDetector: kNaive needs the materialised trace and cannot "
+        "be streamed; use kFolded or kFft");
+  }
+  if (config_.consecutive_evaluations == 0) {
+    config_.consecutive_evaluations = 1;
+  }
+  if (config_.evaluate_every_chunks == 0) {
+    config_.evaluate_every_chunks = 1;
+  }
+}
+
+bool OnlineDetector::ingest(const Chunk& chunk,
+                            runtime::Executor* executor) {
+  if (finalized_) {
+    throw std::logic_error("OnlineDetector: ingest after finalize");
+  }
+  if (chunk.start_cycle != accumulator_.cycles()) {
+    throw std::invalid_argument(
+        "OnlineDetector: chunk out of order (expected start_cycle " +
+        std::to_string(accumulator_.cycles()) + ", got " +
+        std::to_string(chunk.start_cycle) + ")");
+  }
+  accumulator_.add(chunk.values);
+  ++decision_.chunks;
+  decision_.cycles = accumulator_.cycles();
+  if (decision_.decided) return true;
+  if (!config_.early_stop) return false;
+  if (!accumulator_.ready() || accumulator_.cycles() < min_cycles_) {
+    return false;
+  }
+  if (decision_.chunks % config_.evaluate_every_chunks != 0) return false;
+  evaluate(executor);
+  if (decision_.result.detected &&
+      decision_.confidence >= config_.confidence_threshold) {
+    if (++streak_ >= config_.consecutive_evaluations) {
+      decision_.decided = true;
+      decision_.detected = true;
+      decision_.decision_cycles = accumulator_.cycles();
+    }
+  } else {
+    streak_ = 0;
+  }
+  return decision_.decided;
+}
+
+const OnlineDecision& OnlineDetector::finalize(runtime::Executor* executor) {
+  if (finalized_) return decision_;
+  finalized_ = true;
+  decision_.cycles = accumulator_.cycles();
+  if (decision_.decided) return decision_;
+  if (!accumulator_.ready()) {
+    // Shorter than one pattern period: no sweep is defined, not detected.
+    decision_.result = cpa::DetectionResult{};
+    decision_.result.reason =
+        "trace shorter than one pattern period; no decision possible";
+    decision_.detected = false;
+    decision_.decision_cycles = accumulator_.cycles();
+    return decision_;
+  }
+  evaluate(executor);
+  decision_.detected = decision_.result.detected;
+  decision_.decision_cycles = accumulator_.cycles();
+  return decision_;
+}
+
+void OnlineDetector::evaluate(runtime::Executor* executor) {
+  cpa::SpreadSpectrum ss = accumulator_.spread_spectrum(
+      config_.method, config_.policy.guard, executor);
+  decision_.confidence = cpa::detection_confidence(ss);
+  decision_.result = detector_.decide(std::move(ss));
+  ++decision_.evaluations;
+}
+
+}  // namespace clockmark::stream

@@ -1,0 +1,104 @@
+// Online CPA watermark detection: the examiner watching a live supply
+// current deciding "watermark present?" as early as the correlation peak
+// resolves (paper §IV frames detection over a captured trace; this is
+// the same decision made incrementally). Per-rotation statistics live in
+// a cpa::RotationAccumulator, so memory is O(P + chunk) instead of the
+// batch path's O(N).
+//
+// Exactness: run to trace end, finalize() produces a DetectionResult
+// whose rho sweep and decision are bit-identical to
+// cpa::Detector::detect(Y, pattern, method) over the concatenated trace
+// (the accumulator shares the batch sweep's finalisation — see
+// cpa/accumulator.h). Asserted in tests for chips I and II at 1 and 8
+// executor threads.
+//
+// Early-stop policy: after every evaluate_every_chunks-th chunk the
+// current spread spectrum is summarised; when the detector policy is
+// satisfied AND cpa::detection_confidence exceeds confidence_threshold
+// for consecutive_evaluations evaluations in a row, the decision fires
+// and decision_cycles records how much trace it took. Disabling
+// early_stop turns the detector into a pure streaming replacement for
+// the batch sweep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cpa/accumulator.h"
+#include "cpa/detector.h"
+#include "stream/chunk.h"
+
+namespace clockmark::runtime {
+class Executor;
+}
+
+namespace clockmark::stream {
+
+struct OnlineDetectorConfig {
+  cpa::DetectorPolicy policy;  ///< decision thresholds (z, isolation, guard)
+  /// Finalisation of the incremental sweep; kNaive is rejected (needs
+  /// the materialised trace). kFft matches the batch detect default.
+  cpa::CorrelationMethod method = cpa::CorrelationMethod::kFft;
+  bool early_stop = true;
+  /// Early stop when detection_confidence >= this ...
+  double confidence_threshold = 0.999;
+  /// ... for this many consecutive evaluations.
+  std::size_t consecutive_evaluations = 3;
+  /// Evaluate after every K-th ingested chunk (1 = every chunk).
+  std::size_t evaluate_every_chunks = 1;
+  /// No evaluation before this many cycles; 0 = one pattern period (the
+  /// sweep is undefined on shorter traces).
+  std::size_t min_cycles = 0;
+};
+
+struct OnlineDecision {
+  bool decided = false;   ///< the early-stop decision fired mid-stream
+  bool detected = false;
+  std::size_t decision_cycles = 0;  ///< cycles consumed when decided
+  std::size_t cycles = 0;           ///< total cycles consumed
+  std::size_t chunks = 0;
+  std::size_t evaluations = 0;
+  double confidence = 0.0;          ///< of the latest evaluation
+  cpa::DetectionResult result;      ///< latest full detection result
+};
+
+class OnlineDetector {
+ public:
+  OnlineDetector(std::vector<double> pattern,
+                 OnlineDetectorConfig config = {});
+
+  /// Ingests the next chunk. Chunks must be contiguous and in order
+  /// (chunk.start_cycle == cycles_consumed()); anything else throws —
+  /// a resumed stream must re-attach exactly where it left off. Returns
+  /// true once the early-stop decision has fired (the caller can stop
+  /// feeding). A non-null executor parallelises the per-rotation sweep
+  /// of the evaluations with bit-identical output.
+  bool ingest(const Chunk& chunk, runtime::Executor* executor = nullptr);
+
+  /// Final decision over everything ingested. If the early stop already
+  /// fired, returns that decision; otherwise evaluates the full-stream
+  /// spectrum — bit-identical to the batch detector (see header).
+  const OnlineDecision& finalize(runtime::Executor* executor = nullptr);
+
+  std::size_t cycles_consumed() const noexcept {
+    return accumulator_.cycles();
+  }
+  const cpa::RotationAccumulator& accumulator() const noexcept {
+    return accumulator_;
+  }
+  const OnlineDecision& decision() const noexcept { return decision_; }
+  const OnlineDetectorConfig& config() const noexcept { return config_; }
+
+ private:
+  void evaluate(runtime::Executor* executor);
+
+  OnlineDetectorConfig config_;
+  cpa::RotationAccumulator accumulator_;
+  cpa::Detector detector_;
+  OnlineDecision decision_;
+  std::size_t min_cycles_;
+  std::size_t streak_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace clockmark::stream

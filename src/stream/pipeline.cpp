@@ -1,0 +1,68 @@
+#include "stream/pipeline.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace clockmark::stream {
+
+StreamPipeline::StreamPipeline(StreamPipelineConfig config)
+    : config_(std::move(config)) {}
+
+StreamReport StreamPipeline::run(TraceSource& source,
+                                 std::vector<double> pattern,
+                                 runtime::Executor* executor) const {
+  StreamReport report;
+  BoundedQueue<Chunk> queue(config_.queue_capacity);
+  std::atomic<std::size_t> produced{0};
+
+  std::thread producer([&] {
+    try {
+      while (auto chunk = source.next()) {
+        produced.fetch_add(1, std::memory_order_relaxed);
+        if (!queue.push(std::move(*chunk))) break;  // consumer stopped
+      }
+      queue.close();
+    } catch (const std::exception& e) {
+      queue.poison(e.what());
+    } catch (...) {
+      queue.poison("unknown source failure");
+    }
+  });
+
+  OnlineDetector detector(std::move(pattern), config_.detector);
+  std::size_t max_chunk_bytes = 0;
+  try {
+    while (auto chunk = queue.pop()) {
+      max_chunk_bytes =
+          std::max(max_chunk_bytes, chunk->values.size() * sizeof(double));
+      const bool decided = detector.ingest(*chunk, executor);
+      ++report.chunks_consumed;
+      if (decided) {
+        queue.close();  // stops the producer at its next push
+        break;
+      }
+    }
+  } catch (const QueuePoisoned& e) {
+    report.source_failed = true;
+    report.error = e.what();
+  } catch (...) {
+    // Detector failure: stop the producer before rethrowing.
+    queue.poison("consumer failed");
+    producer.join();
+    throw;
+  }
+
+  producer.join();
+  report.decision = detector.finalize(executor);
+  report.queue = queue.stats();
+  report.chunks_produced = produced.load(std::memory_order_relaxed);
+  // +1: the chunk in the consumer's hands while the queue sits at its
+  // high-water mark.
+  report.peak_buffered_bytes =
+      (report.queue.high_water + 1) * max_chunk_bytes;
+  return report;
+}
+
+}  // namespace clockmark::stream

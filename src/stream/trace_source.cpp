@@ -1,0 +1,76 @@
+#include "stream/trace_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace clockmark::stream {
+
+std::vector<Chunk> chop(std::span<const double> y, std::size_t chunk_cycles) {
+  if (chunk_cycles == 0) {
+    throw std::invalid_argument("chop: chunk_cycles must be > 0");
+  }
+  std::vector<Chunk> chunks;
+  chunks.reserve((y.size() + chunk_cycles - 1) / chunk_cycles);
+  for (std::size_t start = 0; start < y.size(); start += chunk_cycles) {
+    const std::size_t len = std::min(chunk_cycles, y.size() - start);
+    Chunk c;
+    c.index = chunks.size();
+    c.start_cycle = start;
+    c.values.assign(y.begin() + static_cast<std::ptrdiff_t>(start),
+                    y.begin() + static_cast<std::ptrdiff_t>(start + len));
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+CallbackSource::CallbackSource(std::function<std::optional<Chunk>()> fn,
+                               std::size_t total_cycles)
+    : fn_(std::move(fn)), total_(total_cycles) {
+  if (!fn_) {
+    throw std::invalid_argument("CallbackSource: null callback");
+  }
+}
+
+std::optional<Chunk> CallbackSource::next() { return fn_(); }
+
+ScenarioSource::ScenarioSource(const sim::Scenario& scenario,
+                               std::size_t repetition,
+                               std::size_t chunk_cycles)
+    : stream_(scenario.open_stream(repetition, chunk_cycles)) {}
+
+std::optional<Chunk> ScenarioSource::next() {
+  Chunk chunk;
+  chunk.start_cycle = stream_->position();
+  chunk.values = stream_->next();
+  if (chunk.values.empty()) return std::nullopt;
+  chunk.index = index_++;
+  return chunk;
+}
+
+std::size_t ScenarioSource::total_cycles() const {
+  return stream_->total_cycles();
+}
+
+ReplaySource::ReplaySource(const std::string& path, std::size_t chunk_cycles)
+    : reader_(path),
+      chunk_cycles_(chunk_cycles),
+      total_(reader_.total_cycles().value_or(0)) {
+  if (chunk_cycles_ == 0) {
+    throw std::invalid_argument("ReplaySource: chunk_cycles must be > 0");
+  }
+}
+
+std::optional<Chunk> ReplaySource::next() {
+  Chunk chunk;
+  chunk.values.resize(chunk_cycles_);
+  const std::size_t got = reader_.read(chunk.values);
+  if (got == 0) return std::nullopt;
+  chunk.values.resize(got);
+  chunk.index = index_++;
+  chunk.start_cycle = position_;
+  position_ += got;
+  return chunk;
+}
+
+}  // namespace clockmark::stream

@@ -1,9 +1,31 @@
 #include "util/args.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace clockmark::util {
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t prev = row[0];  // d[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];  // d[i-1][j]
+      const std::size_t sub = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+      prev = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -26,13 +48,54 @@ Args::Args(int argc, const char* const* argv) {
 }
 
 bool Args::has(const std::string& name) const {
+  recognised_.insert(name);
   return named_.count(name) > 0;
 }
 
 std::optional<std::string> Args::lookup(const std::string& name) const {
+  recognised_.insert(name);
   const auto it = named_.find(name);
   if (it == named_.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<std::string> Args::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : named_) {
+    (void)value;
+    if (recognised_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Args::suggestion(const std::string& name) const {
+  std::string best;
+  std::size_t best_dist = 3;  // hint only within edit distance 2
+  for (const auto& candidate : recognised_) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_dist && d * 2 <= std::max(name.size(), candidate.size())) {
+      best_dist = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+void Args::reject_unknown() const {
+  const std::vector<std::string> bad = unknown();
+  if (bad.empty()) return;
+  for (const auto& name : bad) {
+    const std::string hint = suggestion(name);
+    if (hint.empty()) {
+      std::fprintf(stderr, "%s: unrecognized option '--%s'\n",
+                   program_.c_str(), name.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "%s: unrecognized option '--%s' (did you mean '--%s'?)\n",
+                   program_.c_str(), name.c_str(), hint.c_str());
+    }
+  }
+  std::exit(2);
 }
 
 std::string Args::get(const std::string& name,

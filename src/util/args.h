@@ -1,10 +1,16 @@
 // Tiny command-line argument parser for the example and bench binaries.
 // Supports --name=value and --name value forms plus boolean flags.
+//
+// Every get/has call registers the flag name as recognised; after the
+// last such call, reject_unknown() turns any leftover --flag into a
+// fatal error with a "did you mean --threads?" hint — a typo like
+// --thread=8 must not silently run with defaults.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +28,20 @@ class Args {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Flags passed on the command line that no get/has call ever asked
+  /// about — i.e. flags the program does not understand.
+  std::vector<std::string> unknown() const;
+
+  /// For each unknown flag, the closest recognised name (edit distance
+  /// <= 2 and at most half the name's length), or "" when nothing is
+  /// plausibly close.
+  std::string suggestion(const std::string& name) const;
+
+  /// Call after the last get/has: prints an error (plus a did-you-mean
+  /// hint when a recognised flag is close) for every unknown flag and
+  /// exits with status 2. No-op when every flag was recognised.
+  void reject_unknown() const;
+
   /// Positional (non --flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -34,6 +54,8 @@ class Args {
   std::string program_;
   std::map<std::string, std::string> named_;
   std::vector<std::string> positional_;
+  /// Names the program asked about — the de-facto set of valid flags.
+  mutable std::set<std::string> recognised_;
 };
 
 }  // namespace clockmark::util

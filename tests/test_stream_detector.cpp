@@ -1,0 +1,213 @@
+// OnlineDetector and the chunked acquisition path against the batch
+// reference: the streamed spread spectrum must equal cpa::detect over
+// the materialised trace bit for bit — for chip I and chip II, at one
+// and at eight executor threads — and the early stop must decide well
+// before the trace ends on a detectable chip I run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpa/accumulator.h"
+#include "cpa/detector.h"
+#include "runtime/executor.h"
+#include "sim/scenario.h"
+#include "stream/online_detector.h"
+#include "stream/trace_source.h"
+
+namespace {
+
+using namespace clockmark;
+using sim::ChipModel;
+using sim::Scenario;
+using sim::ScenarioConfig;
+using stream::Chunk;
+using stream::OnlineDetector;
+using stream::OnlineDetectorConfig;
+
+ScenarioConfig fast_config(ChipModel chip, std::size_t cycles = 20000) {
+  ScenarioConfig cfg = chip == ChipModel::kChip1 ? sim::chip1_default()
+                                                 : sim::chip2_default();
+  cfg.trace_cycles = cycles;
+  // Short traces need a crisper measurement to keep tests deterministic.
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  return cfg;
+}
+
+/// Streams Y into an online detector (early stop off) and returns the
+/// final decision, asserting the whole trace was consumed.
+stream::OnlineDecision stream_all(const std::vector<double>& y,
+                                  const std::vector<double>& pattern,
+                                  std::size_t chunk_cycles,
+                                  cpa::CorrelationMethod method,
+                                  runtime::Executor* executor) {
+  OnlineDetectorConfig cfg;
+  cfg.early_stop = false;
+  cfg.method = method;
+  OnlineDetector det(pattern, cfg);
+  for (const Chunk& c : stream::chop(y, chunk_cycles)) {
+    det.ingest(c, executor);
+  }
+  EXPECT_EQ(det.cycles_consumed(), y.size());
+  return det.finalize(executor);
+}
+
+void expect_identical(const cpa::DetectionResult& online,
+                      const cpa::DetectionResult& batch) {
+  EXPECT_EQ(online.detected, batch.detected);
+  EXPECT_EQ(online.spectrum.rho, batch.spectrum.rho);  // bit-identical
+  EXPECT_EQ(online.spectrum.peak_rotation, batch.spectrum.peak_rotation);
+  EXPECT_EQ(online.spectrum.peak_value, batch.spectrum.peak_value);
+  EXPECT_EQ(online.spectrum.peak_z, batch.spectrum.peak_z);
+}
+
+class OnlineDetectorChips
+    : public ::testing::TestWithParam<std::tuple<ChipModel, std::size_t>> {};
+
+TEST_P(OnlineDetectorChips, BitIdenticalToBatchDetect) {
+  const auto [chip, threads] = GetParam();
+  const Scenario sc(fast_config(chip));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+
+  runtime::Executor executor(threads);
+  const cpa::DetectionResult batch =
+      cpa::Detector().detect(y, r.pattern, cpa::CorrelationMethod::kFft);
+
+  // Uneven chunking (last chunk short, chunk not a divisor of the
+  // period) must not matter.
+  const auto online = stream_all(y, r.pattern, /*chunk_cycles=*/1234,
+                                 cpa::CorrelationMethod::kFft, &executor);
+  EXPECT_FALSE(online.decided);  // early stop was off
+  expect_identical(online.result, batch);
+
+  // The folded finalisation shares the identity guarantee.
+  const auto folded = stream_all(y, r.pattern, 4096,
+                                 cpa::CorrelationMethod::kFolded, &executor);
+  const cpa::DetectionResult batch_folded =
+      cpa::Detector().detect(y, r.pattern, cpa::CorrelationMethod::kFolded);
+  expect_identical(folded.result, batch_folded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipsAndThreads, OnlineDetectorChips,
+    ::testing::Combine(::testing::Values(ChipModel::kChip1,
+                                         ChipModel::kChip2),
+                       ::testing::Values(std::size_t{1}, std::size_t{8})));
+
+TEST(OnlineDetector, ScenarioSourceMatchesBatchAcquisition) {
+  // The chunked synthesis + acquisition path reproduces the batch Y
+  // vector bit for bit (chip II exercises the seeded noise overlay).
+  for (const ChipModel chip : {ChipModel::kChip1, ChipModel::kChip2}) {
+    const Scenario sc(fast_config(chip));
+    const auto batch = sc.run(0);
+    stream::ScenarioSource source(sc, 0, /*chunk_cycles=*/1536);
+    std::vector<double> streamed;
+    while (auto c = source.next()) {
+      ASSERT_EQ(c->start_cycle, streamed.size());
+      streamed.insert(streamed.end(), c->values.begin(), c->values.end());
+    }
+    EXPECT_EQ(streamed, batch.acquisition.per_cycle_power_w);
+    EXPECT_EQ(source.pattern(), batch.pattern);
+    EXPECT_EQ(source.true_rotation(), batch.true_rotation);
+  }
+}
+
+TEST(OnlineDetector, EarlyStopDecidesWithinHalfTheTraceOnChip1) {
+  // Acceptance criterion: at the default confidence threshold, a
+  // detectable chip I trace is decided from at most 50% of its cycles.
+  const Scenario sc(fast_config(ChipModel::kChip1, 32768));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+
+  OnlineDetector det(r.pattern, OnlineDetectorConfig{});  // defaults
+  bool decided = false;
+  for (const Chunk& c : stream::chop(y, 2048)) {
+    if (det.ingest(c)) {
+      decided = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(decided);
+  const auto& d = det.finalize();
+  EXPECT_TRUE(d.detected);
+  EXPECT_LE(d.decision_cycles, y.size() / 2);
+  EXPECT_LT(d.decision_cycles, d.cycles + 1);  // recorded at decision time
+  EXPECT_GE(d.confidence, 0.999);
+  EXPECT_EQ(d.result.spectrum.peak_rotation, r.true_rotation);
+}
+
+TEST(OnlineDetector, EarlyStopNeverFiresOnInactiveWatermark) {
+  auto cfg = fast_config(ChipModel::kChip1);
+  cfg.watermark_active = false;
+  const Scenario sc(cfg);
+  const auto r = sc.run(0);
+
+  OnlineDetector det(r.pattern, OnlineDetectorConfig{});
+  for (const Chunk& c : stream::chop(r.acquisition.per_cycle_power_w, 2048)) {
+    EXPECT_FALSE(det.ingest(c));
+  }
+  const auto& d = det.finalize();
+  EXPECT_FALSE(d.decided);
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(OnlineDetector, OutOfOrderChunkThrows) {
+  OnlineDetector det(std::vector<double>(63, 1.0), OnlineDetectorConfig{});
+  Chunk c;
+  c.values.assign(10, 0.5);
+  det.ingest(c);
+  Chunk gap;
+  gap.start_cycle = 11;  // skips cycle 10
+  gap.values.assign(5, 0.5);
+  EXPECT_THROW(det.ingest(gap), std::invalid_argument);
+  Chunk replay;  // replays cycles already consumed
+  replay.start_cycle = 0;
+  replay.values.assign(5, 0.5);
+  EXPECT_THROW(det.ingest(replay), std::invalid_argument);
+}
+
+TEST(OnlineDetector, NaiveMethodRejected) {
+  OnlineDetectorConfig cfg;
+  cfg.method = cpa::CorrelationMethod::kNaive;
+  EXPECT_THROW(OnlineDetector(std::vector<double>(63, 1.0), cfg),
+               std::invalid_argument);
+}
+
+TEST(OnlineDetector, TraceShorterThanPeriodIsNotDetected) {
+  OnlineDetector det(std::vector<double>(4095, 1.0), OnlineDetectorConfig{});
+  Chunk c;
+  c.values.assign(100, 1e-3);
+  det.ingest(c);
+  const auto& d = det.finalize();
+  EXPECT_FALSE(d.detected);
+  EXPECT_EQ(d.cycles, 100u);
+  EXPECT_NE(d.result.reason.find("shorter"), std::string::npos);
+}
+
+TEST(RotationAccumulator, MatchesBatchCorrelationsChunkwise) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+
+  const std::vector<double> batch = cpa::correlate_rotations(
+      y, r.pattern, cpa::CorrelationMethod::kFft);
+
+  cpa::RotationAccumulator acc(r.pattern);
+  for (const Chunk& c : stream::chop(y, 777)) acc.add(c.values);
+  EXPECT_EQ(acc.cycles(), y.size());
+  EXPECT_TRUE(acc.ready());
+  EXPECT_EQ(acc.correlations(cpa::CorrelationMethod::kFft), batch);
+
+  // Folded path, serial and parallel, equals its batch counterpart.
+  const std::vector<double> batch_folded = cpa::correlate_rotations(
+      y, r.pattern, cpa::CorrelationMethod::kFolded);
+  EXPECT_EQ(acc.correlations(cpa::CorrelationMethod::kFolded), batch_folded);
+  runtime::Executor executor(8);
+  EXPECT_EQ(acc.correlations(cpa::CorrelationMethod::kFolded, &executor),
+            batch_folded);
+  EXPECT_THROW(acc.correlations(cpa::CorrelationMethod::kNaive),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// StreamPipeline end to end: producer/queue/detector wiring, early-stop
+// cancellation of the producer, failure propagation via queue poisoning,
+// and the trace export / replay loop (write_trace_* -> ReplaySource).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cpa/detector.h"
+#include "measure/trace_io.h"
+#include "runtime/executor.h"
+#include "sim/scenario.h"
+#include "stream/pipeline.h"
+
+namespace {
+
+using namespace clockmark;
+using stream::CallbackSource;
+using stream::Chunk;
+using stream::StreamPipeline;
+using stream::StreamPipelineConfig;
+
+sim::ScenarioConfig fast_config(sim::ChipModel chip,
+                                std::size_t cycles = 20000) {
+  sim::ScenarioConfig cfg = chip == sim::ChipModel::kChip1
+                                ? sim::chip1_default()
+                                : sim::chip2_default();
+  cfg.trace_cycles = cycles;
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  return cfg;
+}
+
+/// CallbackSource replaying pre-chopped chunks (the test seam).
+class ChunkReplay {
+ public:
+  explicit ChunkReplay(std::vector<Chunk> chunks)
+      : chunks_(std::move(chunks)) {}
+  std::optional<Chunk> operator()() {
+    if (next_ >= chunks_.size()) return std::nullopt;
+    return chunks_[next_++];
+  }
+
+ private:
+  std::vector<Chunk> chunks_;
+  std::size_t next_ = 0;
+};
+
+TEST(StreamPipeline, FullRunMatchesBatchDetect) {
+  const sim::Scenario sc(fast_config(sim::ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+  const auto batch = cpa::Detector().detect(y, r.pattern);
+
+  StreamPipelineConfig cfg;
+  cfg.detector.early_stop = false;
+  CallbackSource source(ChunkReplay(stream::chop(y, 2048)), y.size());
+  runtime::Executor executor(4);
+  const auto report =
+      StreamPipeline(cfg).run(source, r.pattern, &executor);
+
+  EXPECT_FALSE(report.source_failed);
+  EXPECT_EQ(report.chunks_produced, report.chunks_consumed);
+  EXPECT_EQ(report.decision.cycles, y.size());
+  EXPECT_EQ(report.decision.result.spectrum.rho, batch.spectrum.rho);
+  EXPECT_EQ(report.decision.detected, batch.detected);
+  EXPECT_EQ(report.queue.pushes, report.chunks_consumed);
+  EXPECT_GE(report.queue.high_water, 1u);
+  EXPECT_GT(report.peak_buffered_bytes, 0u);
+}
+
+TEST(StreamPipeline, EarlyStopHaltsProducer) {
+  // A long, clean trace: the decision fires mid-stream and the producer
+  // must stop early instead of pushing every chunk.
+  const sim::Scenario sc(fast_config(sim::ChipModel::kChip1, 32768));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+
+  StreamPipelineConfig cfg;
+  cfg.queue_capacity = 2;
+  CallbackSource source(ChunkReplay(stream::chop(y, 1024)), y.size());
+  const auto report = StreamPipeline(cfg).run(source, r.pattern);
+
+  EXPECT_TRUE(report.decision.decided);
+  EXPECT_TRUE(report.decision.detected);
+  EXPECT_LE(report.decision.decision_cycles, y.size() / 2);
+  // Not every chunk was consumed — acquisition genuinely ended early.
+  EXPECT_LT(report.chunks_consumed, y.size() / 1024);
+}
+
+TEST(StreamPipeline, SourceFailurePoisonsInsteadOfCleanEnd) {
+  int calls = 0;
+  CallbackSource source([&]() -> std::optional<Chunk> {
+    if (++calls == 3) throw std::runtime_error("probe detached");
+    Chunk c;
+    c.index = static_cast<std::size_t>(calls - 1);
+    c.start_cycle = static_cast<std::size_t>(calls - 1) * 64;
+    c.values.assign(64, 1e-3);
+    return c;
+  });
+  StreamPipelineConfig cfg;
+  const auto report =
+      StreamPipeline(cfg).run(source, std::vector<double>(63, 1.0));
+  EXPECT_TRUE(report.source_failed);
+  EXPECT_NE(report.error.find("probe detached"), std::string::npos);
+  EXPECT_FALSE(report.decision.detected);
+}
+
+TEST(TraceIo, CsvRoundTripThroughReplaySource) {
+  const std::vector<double> y = {1.25e-3, -2.0e-3, 3.75e-3, 0.0,
+                                 5.5e-4,  6.25e-5, 7.0e-3};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cm_trace_rt.csv").string();
+  measure::write_trace_csv(path, y);
+
+  stream::ReplaySource source(path, /*chunk_cycles=*/3);
+  std::vector<double> back;
+  while (auto c = source.next()) {
+    EXPECT_EQ(c->start_cycle, back.size());
+    back.insert(back.end(), c->values.begin(), c->values.end());
+  }
+  EXPECT_EQ(back, y);  // %.17g survives the round trip exactly
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryRoundTripThroughReplaySource) {
+  std::vector<double> y(1000);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 1e-3 * static_cast<double>(i) / 7.0;
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cm_trace_rt.bin").string();
+  measure::write_trace_binary(path, y);
+
+  stream::ReplaySource source(path, 128);
+  EXPECT_EQ(source.total_cycles(), y.size());  // header carries the count
+  std::vector<double> back;
+  while (auto c = source.next()) {
+    back.insert(back.end(), c->values.begin(), c->values.end());
+  }
+  EXPECT_EQ(back, y);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayedScenarioTraceDetectsLikeBatch) {
+  // Export a batch trace, stream it back from disk through the full
+  // pipeline: the decision equals the batch detector's.
+  const sim::Scenario sc(fast_config(sim::ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+  const auto batch = cpa::Detector().detect(y, r.pattern);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cm_trace_replay.bin")
+          .string();
+  measure::write_trace_binary(path, y);
+
+  stream::ReplaySource source(path, 4096);
+  StreamPipelineConfig cfg;
+  cfg.detector.early_stop = false;
+  const auto report = StreamPipeline(cfg).run(source, r.pattern);
+  EXPECT_EQ(report.decision.result.spectrum.rho, batch.spectrum.rho);
+  EXPECT_EQ(report.decision.detected, batch.detected);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(measure::TraceFileReader("/nonexistent/cm_trace.bin"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// BoundedQueue: lifecycle, blocking behaviour, poisoning, and FIFO order
+// under producer/consumer contention. The same suites run in the tier-1
+// TSan pass.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "stream/bounded_queue.h"
+
+namespace {
+
+using clockmark::stream::BoundedQueue;
+using clockmark::stream::QueuePoisoned;
+
+TEST(BoundedQueue, PushPopFifoSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  ASSERT_TRUE(q.push(8));
+  q.close();
+  EXPECT_FALSE(q.push(9));  // no pushes after close
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_FALSE(q.pop().has_value());  // drained -> end of stream
+  EXPECT_FALSE(q.pop().has_value());  // stays ended
+}
+
+TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_EQ(q.stats().capacity, 1u);
+  EXPECT_EQ(q.pop().value(), 1);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> got_end{false};
+  std::thread consumer([&] {
+    const auto v = q.pop();  // blocks: queue empty and open
+    got_end = !v.has_value();
+  });
+  // Give the consumer time to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_end);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));  // queue now full
+  std::atomic<bool> push_rejected{false};
+  std::thread producer([&] {
+    push_rejected = !q.push(2);  // blocks on full queue
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(push_rejected);
+  // The item buffered before close still drains.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PoisonDiscardsItemsAndThrowsOnPop) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.poison("source exploded");
+  EXPECT_TRUE(q.poisoned());
+  EXPECT_EQ(q.size(), 0u);  // buffered items discarded
+  EXPECT_FALSE(q.push(3));
+  EXPECT_THROW(q.pop(), QueuePoisoned);
+  EXPECT_THROW(q.pop(), QueuePoisoned);  // every subsequent pop fails
+}
+
+TEST(BoundedQueue, PoisonWakesBlockedConsumerWithThrow) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> threw{false};
+  std::thread consumer([&] {
+    try {
+      q.pop();
+    } catch (const QueuePoisoned& e) {
+      threw = std::string(e.what()).find("broken probe") !=
+              std::string::npos;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.poison("broken probe");
+  consumer.join();
+  EXPECT_TRUE(threw);
+}
+
+TEST(BoundedQueue, FirstPoisonReasonWins) {
+  BoundedQueue<int> q(2);
+  q.poison("first");
+  q.poison("second");
+  try {
+    q.pop();
+    FAIL() << "expected QueuePoisoned";
+  } catch (const QueuePoisoned& e) {
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+    EXPECT_EQ(std::string(e.what()).find("second"), std::string::npos);
+  }
+}
+
+TEST(BoundedQueue, FifoOrderUnderContention) {
+  // One producer, one consumer, a queue far smaller than the item count:
+  // every item arrives exactly once, in order, with backpressure engaged.
+  constexpr int kItems = 10000;
+  BoundedQueue<int> q(3);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(q.push(int(i)));
+    }
+    q.close();
+  });
+  std::vector<int> received;
+  received.reserve(kItems);
+  while (auto v = q.pop()) received.push_back(*v);
+  producer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  std::vector<int> expected(kItems);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(received, expected);
+
+  const auto stats = q.stats();
+  EXPECT_EQ(stats.pushes, static_cast<std::size_t>(kItems));
+  EXPECT_EQ(stats.pops, static_cast<std::size_t>(kItems));
+  EXPECT_LE(stats.high_water, 3u);
+  EXPECT_GE(stats.high_water, 1u);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  // MPMC smoke: 4 producers, 4 consumers, per-producer subsequences must
+  // stay ordered (FIFO is per queue; interleaving across producers is
+  // arbitrary).
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 4;
+  BoundedQueue<std::pair<int, int>> q(5);
+
+  std::vector<std::thread> producers;
+  std::atomic<int> live_producers{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push({p, i}));
+      }
+      if (live_producers.fetch_sub(1) == 1) q.close();
+    });
+  }
+
+  std::mutex sink_mutex;
+  std::vector<std::vector<int>> per_producer(kProducers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        const std::lock_guard<std::mutex> lock(sink_mutex);
+        per_producer[static_cast<std::size_t>(v->first)].push_back(
+            v->second);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  for (int p = 0; p < kProducers; ++p) {
+    // Each producer's items all arrived; order within a consumer is
+    // FIFO but consumers interleave, so only check the multiset.
+    auto got = per_producer[static_cast<std::size_t>(p)];
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected(kPerProducer);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(got, expected) << "producer " << p;
+  }
+}
+
+}  // namespace

@@ -62,5 +62,65 @@ TEST(Args, ProgramName) {
   EXPECT_EQ(a.program(), "myprog");
 }
 
+TEST(Args, UnknownTracksFlagsNobodyAskedAbout) {
+  const Args a = make({"prog", "--cycles=500", "--thread=8"});
+  EXPECT_EQ(a.get_int("cycles", 0), 500);
+  EXPECT_EQ(a.get_int("threads", 1), 1);  // the typo fell back silently...
+  const auto bad = a.unknown();            // ...but is not forgotten
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "thread");
+}
+
+TEST(Args, UnknownEmptyWhenEverythingRecognised) {
+  const Args a = make({"prog", "--cycles=500", "--verbose"});
+  (void)a.get_int("cycles", 0);
+  (void)a.has("verbose");
+  EXPECT_TRUE(a.unknown().empty());
+}
+
+TEST(Args, SuggestionFindsCloseFlag) {
+  const Args a = make({"prog", "--thread=8", "--repz=3"});
+  (void)a.get_int("threads", 0);
+  (void)a.get_int("reps", 0);
+  (void)a.get_int("cycles", 0);
+  EXPECT_EQ(a.suggestion("thread"), "threads");  // distance 1
+  EXPECT_EQ(a.suggestion("repz"), "reps");       // distance 1
+  EXPECT_EQ(a.suggestion("wildly-different"), "");
+}
+
+TEST(Args, SuggestionRequiresPlausibleDistance) {
+  const Args a = make({"prog", "--z=1"});
+  (void)a.get_int("out", 0);
+  // "z" -> "out" is edit distance 3 and longer than half the name: no hint.
+  EXPECT_EQ(a.suggestion("z"), "");
+}
+
+TEST(Args, RejectUnknownExitsWithStatus2) {
+  EXPECT_EXIT(
+      {
+        const Args a = make({"prog", "--thread=8"});
+        (void)a.get_int("threads", 0);
+        a.reject_unknown();
+      },
+      ::testing::ExitedWithCode(2), "unrecognized option '--thread'");
+}
+
+TEST(Args, RejectUnknownPrintsDidYouMeanHint) {
+  EXPECT_EXIT(
+      {
+        const Args a = make({"prog", "--cycels=100"});
+        (void)a.get_int("cycles", 0);
+        a.reject_unknown();
+      },
+      ::testing::ExitedWithCode(2), "did you mean '--cycles'");
+}
+
+TEST(Args, RejectUnknownIsNoOpWhenClean) {
+  const Args a = make({"prog", "--cycles=100"});
+  (void)a.get_int("cycles", 0);
+  a.reject_unknown();  // must not exit
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace clockmark::util
