@@ -1,0 +1,155 @@
+// Design-rule lint driver: builds every watermark embedding the repo can
+// construct (no simulation) and runs the cm_lint rule catalog over it.
+//
+//   lint_design                      # chip/embedding presets, text report
+//   lint_design --designs=all        # presets + the removable baseline
+//   lint_design --sweep              # add a WGC key sweep
+//   lint_design --json               # cm-lint-1 JSON document on stdout
+//   lint_design --rules=wgc-primitivity,sequence-balance
+//   lint_design --list-rules
+//
+// Exits 1 when any error-severity finding survives (CI gate), 2 on bad
+// usage. The "presets" group is expected to lint clean; the stand-alone
+// load-circuit baseline is expected to fail (paper Sec. VI).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.h"
+#include "lint/design.h"
+#include "lint/report.h"
+#include "lint/rule.h"
+#include "sequence/gold.h"
+#include "sim/scenario.h"
+#include "util/args.h"
+#include "wgc/wgc.h"
+
+namespace {
+
+using namespace clockmark;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<lint::Design> build_presets() {
+  std::vector<lint::Design> designs;
+  designs.push_back(
+      lint::design_from_scenario_config("chip1", sim::chip1_default()));
+  designs.push_back(
+      lint::design_from_scenario_config("chip2", sim::chip2_default()));
+  designs.push_back(lint::design_embedded_demo("embedded_ip", {}));
+  designs.push_back(lint::design_diversified_demo("diversified_ip", {}));
+  const sequence::PreferredPair pair = sequence::preferred_pair(7);
+  wgc::WgcConfig key_a{wgc::WgcMode::kLfsr, 7, pair.taps_a, 0x55};
+  wgc::WgcConfig key_b{wgc::WgcMode::kLfsr, 7, pair.taps_b, 0x2A};
+  designs.push_back(
+      lint::design_dual_embedded_demo("dual_ip", key_a, key_b));
+  return designs;
+}
+
+std::vector<lint::Design> build_sweep() {
+  std::vector<lint::Design> designs;
+  for (const unsigned width : {8u, 12u, 16u}) {
+    wgc::WgcConfig key{wgc::WgcMode::kLfsr, width, 0, 0x1};
+    designs.push_back(lint::design_embedded_demo(
+        "sweep_lfsr_w" + std::to_string(width), key));
+  }
+  wgc::WgcConfig circular{wgc::WgcMode::kCircular, 12, 0, 0xAAA};
+  designs.push_back(
+      lint::design_embedded_demo("sweep_circular_w12", circular));
+  return designs;
+}
+
+void list_rules(const lint::RuleRegistry& registry) {
+  for (const lint::Rule* rule : registry.rules()) {
+    const lint::RuleInfo& info = rule->info();
+    std::cout << info.id << " (" << info.paper_ref << "): " << info.title
+              << "\n    " << info.description << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const std::string group = args.get("designs", "presets");
+  const bool sweep = args.get_bool("sweep", false);
+  const bool json = args.has("json");
+  const std::string out_path = args.get("out", "");
+  const std::string rules_csv = args.get("rules", "");
+  const bool quiet = args.get_bool("quiet", false);
+  const bool show_rules = args.get_bool("list-rules", false);
+  args.reject_unknown();
+
+  const lint::RuleRegistry registry = lint::builtin_rules();
+  if (show_rules) {
+    list_rules(registry);
+    return 0;
+  }
+
+  std::vector<lint::Design> designs;
+  if (group == "presets" || group == "all") {
+    designs = build_presets();
+  }
+  if (group == "load_circuit" || group == "all") {
+    designs.push_back(lint::design_load_circuit_demo("load_circuit_ip", {}));
+  }
+  if (designs.empty()) {
+    std::cerr << "error: unknown --designs group '" << group
+              << "' (expected presets, load_circuit or all)\n";
+    return 2;
+  }
+  if (sweep) {
+    for (lint::Design& d : build_sweep()) designs.push_back(std::move(d));
+  }
+
+  lint::AnalyzerOptions options;
+  options.enabled_rules = split_csv(rules_csv);
+  if (quiet) options.min_severity = lint::Severity::kWarning;
+
+  std::vector<lint::LintReport> reports;
+  try {
+    const lint::Analyzer analyzer(registry, options);
+    reports.reserve(designs.size());
+    for (const lint::Design& design : designs) {
+      reports.push_back(analyzer.run(design));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "error: cannot open --out file '" << out_path << "'\n";
+      return 2;
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : file;
+
+  std::size_t errors = 0;
+  for (const lint::LintReport& report : reports) {
+    errors += report.counts.errors;
+  }
+  if (json) {
+    lint::JsonReporter reporter;
+    reporter.write_all(reports, os);
+  } else {
+    lint::TextReporter reporter({/*hints=*/!quiet});
+    reporter.write_all(reports, os);
+    os << (errors == 0 ? "lint clean: " : "lint FAILED: ") << errors
+       << " error(s) across " << reports.size() << " design(s)\n";
+  }
+  return errors == 0 ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + test sweep, then a ThreadSanitizer
-# pass over the concurrency-sensitive binaries (the cm_runtime primitives
-# and the sim/experiment drivers that fan repetitions out over them).
+# Tier-1 verification: the full build + test sweep, the cm_lint design-rule
+# gate, then sanitizer passes — ThreadSanitizer over the concurrency-
+# sensitive binaries (the cm_runtime primitives and the sim/experiment
+# drivers that fan repetitions out over them) and UBSan over the
+# arithmetic-heavy sequence/dsp/cpa tests.
 #
 # Usage: scripts/tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -42,8 +44,37 @@ for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json; do
   }
 done
 
+echo "=== tier-1: design-rule lint gate (cm_lint) ==="
+LINT_DIR=build/lint_smoke
+rm -rf "${LINT_DIR}"
+mkdir -p "${LINT_DIR}"
+# The chip/embedding presets plus the WGC key sweep must lint clean.
+./build/examples/lint_design --sweep > "${LINT_DIR}/presets.txt"
+./build/examples/lint_design --sweep --json --out="${LINT_DIR}/presets.json"
+if [[ ! -s "${LINT_DIR}/presets.json" ]]; then
+  echo "lint gate: missing or empty ${LINT_DIR}/presets.json" >&2
+  exit 1
+fi
+grep -q '"schema": "cm-lint-1"' "${LINT_DIR}/presets.json" || {
+  echo "lint gate: presets.json lacks the cm-lint-1 schema marker" >&2
+  exit 1
+}
+if grep -q '"severity": "error"' "${LINT_DIR}/presets.json"; then
+  echo "lint gate: error-severity finding in the preset designs" >&2
+  exit 1
+fi
+# The stand-alone load-circuit baseline must be rejected (paper Sec. VI).
+if ./build/examples/lint_design --designs=load_circuit \
+    > "${LINT_DIR}/load_circuit.txt"; then
+  echo "lint gate: load-circuit baseline was not rejected" >&2
+  exit 1
+fi
+
+echo "=== tier-1: clang-tidy (skipped when unavailable) ==="
+scripts/lint.sh build
+
 if [[ "${SKIP_TSAN}" == "1" ]]; then
-  echo "=== tier-1: TSan pass skipped (--skip-tsan) ==="
+  echo "=== tier-1: sanitizer passes skipped (--skip-tsan) ==="
   exit 0
 fi
 
@@ -55,5 +86,14 @@ cmake --build build-tsan -j --target test_runtime test_dsp test_integration \
 # following -R as its argument and run the whole (partially built) list.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
   -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads)')
+
+echo "=== tier-1: UBSan pass (sequence + dsp + cpa tests) ==="
+# -fno-sanitize-recover=all: any triggered check aborts the binary, so a
+# plain run is the gate — no log scraping.
+cmake -B build-ubsan -S . -DCLOCKMARK_SANITIZE=undefined
+cmake --build build-ubsan -j --target test_sequence test_dsp test_cpa
+./build-ubsan/tests/test_sequence
+./build-ubsan/tests/test_dsp
+./build-ubsan/tests/test_cpa
 
 echo "=== tier-1: OK ==="

@@ -1,0 +1,48 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lint/design.h"
+
+namespace clockmark::lint {
+
+Analyzer::Analyzer(const RuleRegistry& registry, AnalyzerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  for (const std::string& id : options_.enabled_rules) {
+    if (registry_.find(id) == nullptr) {
+      throw std::invalid_argument("Analyzer: unknown rule id '" + id + "'");
+    }
+  }
+}
+
+LintReport Analyzer::run(const Design& design) const {
+  LintReport report;
+  report.design = design.name();
+  for (const Rule* rule : registry_.rules()) {
+    if (!options_.enabled_rules.empty() &&
+        std::find(options_.enabled_rules.begin(),
+                  options_.enabled_rules.end(),
+                  rule->info().id) == options_.enabled_rules.end()) {
+      continue;
+    }
+    rule->run(design, report.diagnostics);
+  }
+  std::erase_if(report.diagnostics, [&](const Diagnostic& d) {
+    return static_cast<int>(d.severity) <
+           static_cast<int>(options_.min_severity);
+  });
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.location < b.location;
+                   });
+  report.counts = count_diagnostics(report.diagnostics);
+  return report;
+}
+
+}  // namespace clockmark::lint

@@ -1,0 +1,47 @@
+// The analysis driver: runs a rule set over a lint::Design and collects
+// the findings into a LintReport, sorted most-severe-first for stable
+// text/JSON output. Rule selection and a severity floor are options so
+// CI gates and interactive runs can share one registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/rule.h"
+
+namespace clockmark::lint {
+
+class Design;
+
+struct LintReport {
+  std::string design;
+  std::vector<Diagnostic> diagnostics;  ///< severity-sorted, errors first
+  DiagnosticCounts counts;
+
+  bool clean() const noexcept { return counts.errors == 0; }
+  bool operator==(const LintReport&) const = default;
+};
+
+struct AnalyzerOptions {
+  /// Rule ids to run; empty = every rule in the registry. Unknown ids
+  /// throw at construction (a typo must not silently skip a gate).
+  std::vector<std::string> enabled_rules;
+  /// Findings below this severity are dropped from the report.
+  Severity min_severity = Severity::kInfo;
+};
+
+class Analyzer {
+ public:
+  /// The registry is borrowed and must outlive the analyzer.
+  explicit Analyzer(const RuleRegistry& registry,
+                    AnalyzerOptions options = {});
+
+  LintReport run(const Design& design) const;
+
+ private:
+  const RuleRegistry& registry_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace clockmark::lint

@@ -1,0 +1,401 @@
+#include "lint/design.h"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "watermark/load_circuit.h"
+
+namespace clockmark::lint {
+namespace {
+
+std::vector<rtl::CellId> collect_wgc_cells(const wgc::WgcHardware& hw) {
+  std::vector<rtl::CellId> cells;
+  cells.reserve(hw.flops.size() + hw.xor_gates.size() +
+                hw.clock_cells.size());
+  cells.insert(cells.end(), hw.flops.begin(), hw.flops.end());
+  cells.insert(cells.end(), hw.xor_gates.begin(), hw.xor_gates.end());
+  cells.insert(cells.end(), hw.clock_cells.begin(), hw.clock_cells.end());
+  return cells;
+}
+
+/// The experiment context every demo design is audited against: the
+/// paper's measurement setup (trace length, acquisition chain, 65 nm
+/// operating point), so the signal-level rules have something to check.
+void set_paper_context(Design& design) {
+  design.set_trace_cycles(300000);
+  design.set_acquisition(measure::AcquisitionConfig{});
+  design.set_tech(power::TechLibrary{});
+}
+
+}  // namespace
+
+Design::Design(std::string name, std::shared_ptr<const rtl::Netlist> netlist,
+               rtl::NetId root_clock)
+    : name_(std::move(name)),
+      netlist_(std::move(netlist)),
+      root_clock_(root_clock) {
+  if (!netlist_) {
+    throw std::invalid_argument("lint::Design: null netlist");
+  }
+}
+
+void Design::add_watermark(WatermarkView watermark) {
+  watermarks_.push_back(std::move(watermark));
+  gating_icgs_.clear();
+}
+
+void Design::declare_functional(const std::vector<rtl::CellId>& flops) {
+  declared_functional_.insert(declared_functional_.end(), flops.begin(),
+                              flops.end());
+  functional_state_.reset();
+  load_bearing_.reset();
+}
+
+const rtl::ConnectivityGraph& Design::connectivity() const {
+  if (!connectivity_) {
+    connectivity_ = std::make_unique<rtl::ConnectivityGraph>(*netlist_);
+  }
+  return *connectivity_;
+}
+
+const std::vector<std::vector<rtl::CellId>>& Design::drivers_by_net() const {
+  if (!net_maps_built_) {
+    drivers_by_net_.assign(netlist_->net_count(), {});
+    loads_by_net_.assign(netlist_->net_count(), {});
+    for (std::size_t i = 0; i < netlist_->cell_count(); ++i) {
+      const auto id = static_cast<rtl::CellId>(i);
+      const rtl::Cell& cell = netlist_->cell(id);
+      if (cell.output != rtl::kInvalidNet) {
+        drivers_by_net_[cell.output].push_back(id);
+      }
+      for (const rtl::NetId net : cell.inputs) {
+        if (net != rtl::kInvalidNet) loads_by_net_[net].push_back(id);
+      }
+      if (cell.clock != rtl::kInvalidNet) {
+        loads_by_net_[cell.clock].push_back(id);
+      }
+    }
+    net_maps_built_ = true;
+  }
+  return drivers_by_net_;
+}
+
+const std::vector<std::vector<rtl::CellId>>& Design::loads_by_net() const {
+  drivers_by_net();  // builds both maps
+  return loads_by_net_;
+}
+
+const std::vector<rtl::CellId>& Design::gating_icgs(std::size_t index) const {
+  if (gating_icgs_.size() != watermarks_.size()) {
+    gating_icgs_.assign(watermarks_.size(), std::nullopt);
+  }
+  auto& slot = gating_icgs_.at(index);
+  if (slot) return *slot;
+
+  const std::unordered_set<rtl::CellId> wgc_set(
+      watermarks_[index].wgc_cells.begin(),
+      watermarks_[index].wgc_cells.end());
+  const auto& drivers = drivers_by_net();
+
+  std::vector<rtl::CellId> result;
+  for (std::size_t i = 0; i < netlist_->cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    const rtl::Cell& icg = netlist_->cell(id);
+    if (icg.kind != rtl::CellKind::kIcg || icg.inputs.empty()) continue;
+
+    // Walk the enable's combinational fan-in; registers and clock cells
+    // are cone boundaries (WMARK itself is driven by a WGC stage flop,
+    // which the membership test catches before the walk stops there).
+    std::queue<rtl::NetId> work;
+    std::unordered_set<rtl::NetId> seen;
+    work.push(icg.inputs[0]);
+    seen.insert(icg.inputs[0]);
+    bool gated_by_wgc = false;
+    while (!work.empty() && !gated_by_wgc) {
+      const rtl::NetId net = work.front();
+      work.pop();
+      for (const rtl::CellId driver_id : drivers[net]) {
+        if (wgc_set.count(driver_id) > 0) {
+          gated_by_wgc = true;
+          break;
+        }
+        const rtl::Cell& driver = netlist_->cell(driver_id);
+        if (rtl::is_sequential(driver.kind) ||
+            rtl::is_clock_cell(driver.kind)) {
+          continue;
+        }
+        for (const rtl::NetId in : driver.inputs) {
+          if (in != rtl::kInvalidNet && seen.insert(in).second) {
+            work.push(in);
+          }
+        }
+      }
+    }
+    if (gated_by_wgc) result.push_back(id);
+  }
+  slot = std::move(result);
+  return *slot;
+}
+
+const std::vector<bool>& Design::functional_state_mask() const {
+  if (!functional_state_) {
+    std::vector<bool> mask = connectivity().reaches_primary_output();
+    for (const rtl::CellId id : declared_functional_) {
+      mask.at(id) = true;
+    }
+    functional_state_ = std::move(mask);
+  }
+  return *functional_state_;
+}
+
+const std::vector<bool>& Design::load_bearing_mask() const {
+  if (!load_bearing_) {
+    const std::vector<bool>& functional = functional_state_mask();
+    std::vector<rtl::CellId> roots;
+    for (std::size_t i = 0; i < functional.size(); ++i) {
+      if (functional[i]) roots.push_back(static_cast<rtl::CellId>(i));
+    }
+    load_bearing_ = connectivity().fanin_cone(roots);
+  }
+  return *load_bearing_;
+}
+
+std::vector<rtl::CellId> Design::clocked_flops_under(rtl::CellId cell) const {
+  const auto& loads = loads_by_net();
+  std::vector<rtl::CellId> flops;
+  const rtl::NetId start = netlist_->cell(cell).output;
+  if (start == rtl::kInvalidNet) return flops;
+
+  std::queue<rtl::NetId> work;
+  std::unordered_set<rtl::NetId> seen;
+  work.push(start);
+  seen.insert(start);
+  while (!work.empty()) {
+    const rtl::NetId net = work.front();
+    work.pop();
+    for (const rtl::CellId load_id : loads[net]) {
+      const rtl::Cell& load = netlist_->cell(load_id);
+      if (load.clock != net) continue;  // data use of a clock net
+      if (rtl::is_sequential(load.kind)) {
+        flops.push_back(load_id);
+      } else if (rtl::is_clock_cell(load.kind) &&
+                 load.output != rtl::kInvalidNet &&
+                 seen.insert(load.output).second) {
+        work.push(load.output);
+      }
+    }
+  }
+  return flops;
+}
+
+std::vector<rtl::CellId> Design::ungated_clocked_flops() const {
+  const auto& loads = loads_by_net();
+  std::vector<rtl::CellId> flops;
+  if (root_clock_ == rtl::kInvalidNet) return flops;
+
+  // Breadth-first over the clock network, refusing to cross ICGs: any
+  // flop collected here has a buffer-only path from the root clock.
+  std::queue<rtl::NetId> work;
+  std::unordered_set<rtl::NetId> seen;
+  work.push(root_clock_);
+  seen.insert(root_clock_);
+  while (!work.empty()) {
+    const rtl::NetId net = work.front();
+    work.pop();
+    for (const rtl::CellId load_id : loads[net]) {
+      const rtl::Cell& load = netlist_->cell(load_id);
+      if (load.clock != net) continue;
+      if (rtl::is_sequential(load.kind)) {
+        flops.push_back(load_id);
+      } else if (load.kind == rtl::CellKind::kClockBuffer &&
+                 load.output != rtl::kInvalidNet &&
+                 seen.insert(load.output).second) {
+        work.push(load.output);
+      }
+    }
+  }
+  return flops;
+}
+
+std::vector<rtl::CellId> Design::watermark_cells(std::size_t index) const {
+  const std::string& prefix = watermarks_.at(index).module_path;
+  std::vector<rtl::CellId> cells;
+  for (std::size_t i = 0; i < netlist_->cell_count(); ++i) {
+    const auto id = static_cast<rtl::CellId>(i);
+    if (netlist_->cell_in_module(id, prefix)) cells.push_back(id);
+  }
+  return cells;
+}
+
+std::size_t Design::nominal_period(const wgc::WgcConfig& config) noexcept {
+  if (config.mode == wgc::WgcMode::kCircular) return config.width;
+  if (config.width < 2 || config.width > 32) return 0;
+  return static_cast<std::size_t>((std::uint64_t{1} << config.width) - 1);
+}
+
+Design design_from_scenario_config(const std::string& name,
+                                   const sim::ScenarioConfig& config) {
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId root_clock = netlist->add_net("clk");
+  const auto wm = watermark::build_clock_modulation_watermark(
+      *netlist, "watermark", root_clock, config.watermark);
+
+  Design design(name, netlist, root_clock);
+  WatermarkView view;
+  view.name = "watermark";
+  view.module_path = "watermark";
+  view.wgc = config.watermark.wgc;
+  view.wmark = wm.wmark;
+  view.wgc_cells = collect_wgc_cells(wm.wgc);
+  design.add_watermark(std::move(view));
+  // The redundant bank emulates the protected IP's register file on the
+  // real device (Fig. 4(a)); audit it as functional state.
+  design.declare_functional(wm.flops);
+
+  design.set_trace_cycles(config.trace_cycles);
+  measure::AcquisitionConfig acq = config.acquisition;
+  acq.vdd_v = config.tech.vdd_v;  // as sim::Scenario::run does
+  design.set_acquisition(acq);
+  design.set_tech(config.tech);
+  return design;
+}
+
+Design design_from_scenario(const std::string& name,
+                            const sim::Scenario& scenario) {
+  const sim::ScenarioConfig& config = scenario.config();
+  // Alias the scenario-owned netlist (non-owning shared_ptr).
+  std::shared_ptr<const rtl::Netlist> netlist(
+      std::shared_ptr<const rtl::Netlist>{}, &scenario.watermark_netlist());
+  const auto root = netlist->find_net("clk");
+  if (!root) {
+    throw std::invalid_argument(
+        "design_from_scenario: scenario netlist has no 'clk' net");
+  }
+  Design design(name, netlist, *root);
+  const watermark::ClockModWatermark& wm = scenario.watermark();
+  WatermarkView view;
+  view.name = "watermark";
+  view.module_path = "watermark";
+  view.wgc = config.watermark.wgc;
+  view.wmark = wm.wmark;
+  view.wgc_cells = collect_wgc_cells(wm.wgc);
+  design.add_watermark(std::move(view));
+  design.declare_functional(wm.flops);
+
+  design.set_trace_cycles(config.trace_cycles);
+  measure::AcquisitionConfig acq = config.acquisition;
+  acq.vdd_v = config.tech.vdd_v;
+  design.set_acquisition(acq);
+  design.set_tech(config.tech);
+  return design;
+}
+
+Design design_load_circuit_demo(const std::string& name,
+                                const wgc::WgcConfig& key,
+                                std::size_t load_registers,
+                                const watermark::DemoIpConfig& ip) {
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId clk = netlist->add_net("clk");
+  watermark::build_demo_ip_block(*netlist, "soc/ip", clk, ip);
+  watermark::LoadCircuitConfig lc;
+  lc.wgc = key;
+  lc.load_registers = load_registers;
+  const auto wm =
+      build_load_circuit_watermark(*netlist, "soc/watermark", clk, lc);
+
+  Design design(name, netlist, clk);
+  WatermarkView view;
+  view.name = "load-circuit";
+  view.module_path = "soc/watermark";
+  view.wgc = key;
+  view.wmark = wm.wmark;
+  view.wgc_cells = collect_wgc_cells(wm.wgc);
+  design.add_watermark(std::move(view));
+  set_paper_context(design);
+  return design;
+}
+
+Design design_embedded_demo(const std::string& name,
+                            const wgc::WgcConfig& key,
+                            const watermark::DemoIpConfig& ip) {
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId clk = netlist->add_net("clk");
+  const auto block = watermark::build_demo_ip_block(*netlist, "soc/ip", clk, ip);
+  const auto embed = watermark::embed_clock_modulation(
+      *netlist, "soc/watermark", clk, key, block.icgs);
+
+  Design design(name, netlist, clk);
+  WatermarkView view;
+  view.name = "clock-modulation";
+  view.module_path = "soc/watermark";
+  view.wgc = key;
+  view.wmark = embed.wmark;
+  view.wgc_cells = collect_wgc_cells(embed.wgc);
+  design.add_watermark(std::move(view));
+  set_paper_context(design);
+  return design;
+}
+
+Design design_diversified_demo(const std::string& name,
+                               const wgc::WgcConfig& key,
+                               const watermark::DemoIpConfig& ip) {
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId clk = netlist->add_net("clk");
+  const auto block = watermark::build_demo_ip_block(*netlist, "soc/ip", clk, ip);
+  const auto embed = watermark::embed_clock_modulation_diversified(
+      *netlist, "soc/watermark", clk, key, block.icgs);
+
+  Design design(name, netlist, clk);
+  WatermarkView view;
+  view.name = "clock-modulation-diversified";
+  view.module_path = "soc/watermark";
+  view.wgc = key;
+  // No single WMARK net exists by design; stage 0 stands in for reports.
+  view.wmark = netlist->cell(embed.wgc.flops.front()).output;
+  view.wgc_cells = collect_wgc_cells(embed.wgc);
+  design.add_watermark(std::move(view));
+  set_paper_context(design);
+  return design;
+}
+
+Design design_dual_embedded_demo(const std::string& name,
+                                 const wgc::WgcConfig& key_a,
+                                 const wgc::WgcConfig& key_b,
+                                 const watermark::DemoIpConfig& ip) {
+  if (ip.groups < 2) {
+    throw std::invalid_argument(
+        "design_dual_embedded_demo: need at least 2 clock-gate groups");
+  }
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId clk = netlist->add_net("clk");
+  const auto block = watermark::build_demo_ip_block(*netlist, "soc/ip", clk, ip);
+  std::vector<rtl::CellId> even, odd;
+  for (std::size_t g = 0; g < block.icgs.size(); ++g) {
+    (g % 2 == 0 ? even : odd).push_back(block.icgs[g]);
+  }
+  const auto embed_a = watermark::embed_clock_modulation(
+      *netlist, "soc/wm_a", clk, key_a, even);
+  const auto embed_b = watermark::embed_clock_modulation(
+      *netlist, "soc/wm_b", clk, key_b, odd);
+
+  Design design(name, netlist, clk);
+  WatermarkView view_a;
+  view_a.name = "watermark-a";
+  view_a.module_path = "soc/wm_a";
+  view_a.wgc = key_a;
+  view_a.wmark = embed_a.wmark;
+  view_a.wgc_cells = collect_wgc_cells(embed_a.wgc);
+  design.add_watermark(std::move(view_a));
+  WatermarkView view_b;
+  view_b.name = "watermark-b";
+  view_b.module_path = "soc/wm_b";
+  view_b.wgc = key_b;
+  view_b.wmark = embed_b.wmark;
+  view_b.wgc_cells = collect_wgc_cells(embed_b.wgc);
+  design.add_watermark(std::move(view_b));
+  set_paper_context(design);
+  return design;
+}
+
+}  // namespace clockmark::lint

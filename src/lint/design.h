@@ -1,0 +1,176 @@
+// The analyzer's view of one watermarked design: the constructed netlist
+// (clock tree, ICGs, WGC, payload registers), which registers carry
+// functional state, and the experiment context (trace length, acquisition
+// chain, operating point) when the design comes from a sim::Scenario
+// preset. Rules read this view only — nothing here runs the simulator.
+//
+// Builders are provided for every embedding the repo can construct:
+//  * design_from_scenario_config(): the test-chip register-bank presets
+//    (chip I / chip II). The redundant bank emulates a processor register
+//    file on the real device, so its flops are declared functional state.
+//  * design_load_circuit_demo(): the Becker/Ziener-style stand-alone
+//    baseline (paper Fig. 1(a)) next to a demo IP block.
+//  * design_embedded_demo() / design_diversified_demo(): the proposed
+//    clock-modulation embedding into the demo IP's own clock gates
+//    (Fig. 1(b)), plain or fan-out-diversified.
+//  * design_dual_embedded_demo(): two differently-keyed watermarks in one
+//    IP (Gold-code coexistence, Sec. III's two sequence generators).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/acquisition.h"
+#include "power/tech65.h"
+#include "rtl/connectivity.h"
+#include "rtl/netlist.h"
+#include "sim/scenario.h"
+#include "watermark/embedder.h"
+#include "wgc/wgc.h"
+
+namespace clockmark::lint {
+
+/// One embedded watermark as the analyzer sees it.
+struct WatermarkView {
+  std::string name;         ///< display name, e.g. "watermark"
+  std::string module_path;  ///< cells under this prefix belong to it
+  wgc::WgcConfig wgc;       ///< the key (mode, width, taps, seed)
+  rtl::NetId wmark = rtl::kInvalidNet;      ///< WMARK output net
+  std::vector<rtl::CellId> wgc_cells;       ///< the WGC proper (stages,
+                                            ///< feedback, clock leaves)
+};
+
+/// Immutable-after-setup design view with lazily derived connectivity.
+/// Not thread-safe: the derived caches fill in on first use.
+class Design {
+ public:
+  Design(std::string name, std::shared_ptr<const rtl::Netlist> netlist,
+         rtl::NetId root_clock);
+
+  const std::string& name() const noexcept { return name_; }
+  const rtl::Netlist& netlist() const noexcept { return *netlist_; }
+  rtl::NetId root_clock() const noexcept { return root_clock_; }
+
+  void add_watermark(WatermarkView watermark);
+  const std::vector<WatermarkView>& watermarks() const noexcept {
+    return watermarks_;
+  }
+
+  /// Declares flops that hold functional state even though no primary
+  /// output depends on them in this netlist (the scenario presets'
+  /// register bank stands in for a processor register file).
+  void declare_functional(const std::vector<rtl::CellId>& flops);
+  const std::vector<rtl::CellId>& declared_functional() const noexcept {
+    return declared_functional_;
+  }
+
+  void set_trace_cycles(std::size_t cycles) { trace_cycles_ = cycles; }
+  std::optional<std::size_t> trace_cycles() const noexcept {
+    return trace_cycles_;
+  }
+  void set_acquisition(const measure::AcquisitionConfig& acq) {
+    acquisition_ = acq;
+  }
+  const std::optional<measure::AcquisitionConfig>& acquisition()
+      const noexcept {
+    return acquisition_;
+  }
+  void set_tech(const power::TechLibrary& tech) { tech_ = tech; }
+  const std::optional<power::TechLibrary>& tech() const noexcept {
+    return tech_;
+  }
+
+  // --- derived views (lazily cached) ---------------------------------
+
+  const rtl::ConnectivityGraph& connectivity() const;
+
+  /// ICGs whose enable's combinational fan-in contains a WGC cell of
+  /// watermark `index` — the gates WMARK actually modulates.
+  const std::vector<rtl::CellId>& gating_icgs(std::size_t index) const;
+
+  /// Per-cell mask: true for cells that hold or compute functional
+  /// state — declared-functional flops plus every cell that transitively
+  /// reaches a primary output.
+  const std::vector<bool>& functional_state_mask() const;
+
+  /// Per-cell mask: true for cells an attacker must keep — the fan-in
+  /// cone (through data *and* clock pins) of the functional state above.
+  /// Everything outside this mask is excisable without observable effect.
+  const std::vector<bool>& load_bearing_mask() const;
+
+  /// Flops whose clock pin is reachable from `cell`'s output through
+  /// clock buffers and further ICGs (the registers `cell` gates).
+  std::vector<rtl::CellId> clocked_flops_under(rtl::CellId cell) const;
+
+  /// Flops reachable from the root clock along a buffer-only path (no
+  /// ICG in between) — their clock is never modulated or gated.
+  std::vector<rtl::CellId> ungated_clocked_flops() const;
+
+  /// All cells under watermark `index`'s module path.
+  std::vector<rtl::CellId> watermark_cells(std::size_t index) const;
+
+  /// Nominal WMARK period of a key without constructing a generator:
+  /// 2^width - 1 for an LFSR, width for a circular register.
+  static std::size_t nominal_period(const wgc::WgcConfig& config) noexcept;
+
+ private:
+  const std::vector<std::vector<rtl::CellId>>& drivers_by_net() const;
+  const std::vector<std::vector<rtl::CellId>>& loads_by_net() const;
+
+  std::string name_;
+  std::shared_ptr<const rtl::Netlist> netlist_;
+  rtl::NetId root_clock_ = rtl::kInvalidNet;
+  std::vector<WatermarkView> watermarks_;
+  std::vector<rtl::CellId> declared_functional_;
+  std::optional<std::size_t> trace_cycles_;
+  std::optional<measure::AcquisitionConfig> acquisition_;
+  std::optional<power::TechLibrary> tech_;
+
+  mutable std::unique_ptr<rtl::ConnectivityGraph> connectivity_;
+  mutable std::vector<std::vector<rtl::CellId>> drivers_by_net_;
+  mutable std::vector<std::vector<rtl::CellId>> loads_by_net_;
+  mutable bool net_maps_built_ = false;
+  mutable std::vector<std::optional<std::vector<rtl::CellId>>> gating_icgs_;
+  mutable std::optional<std::vector<bool>> functional_state_;
+  mutable std::optional<std::vector<bool>> load_bearing_;
+};
+
+/// Builds the test-chip register-bank design (paper Fig. 4(a)) exactly as
+/// sim::Scenario's constructor does — but without the gate-level power
+/// characterisation — and fills in the experiment context from `config`.
+Design design_from_scenario_config(const std::string& name,
+                                   const sim::ScenarioConfig& config);
+
+/// Views an already-constructed Scenario. The Design aliases the
+/// scenario's netlist; the scenario must outlive the returned Design.
+Design design_from_scenario(const std::string& name,
+                            const sim::Scenario& scenario);
+
+/// Demo IP + stand-alone load-circuit watermark (paper Fig. 1(a), the
+/// removal_attack example's design A).
+Design design_load_circuit_demo(const std::string& name,
+                                const wgc::WgcConfig& key,
+                                std::size_t load_registers = 576,
+                                const watermark::DemoIpConfig& ip = {});
+
+/// Demo IP with the WGC woven into its own clock gates (Fig. 1(b)).
+Design design_embedded_demo(const std::string& name,
+                            const wgc::WgcConfig& key,
+                            const watermark::DemoIpConfig& ip = {});
+
+/// Fan-out-diversified variant (one WGC stage per ICG).
+Design design_diversified_demo(const std::string& name,
+                               const wgc::WgcConfig& key,
+                               const watermark::DemoIpConfig& ip = {});
+
+/// Two differently-keyed watermarks sharing one demo IP: key_a modulates
+/// the even clock-gate groups, key_b the odd ones.
+Design design_dual_embedded_demo(const std::string& name,
+                                 const wgc::WgcConfig& key_a,
+                                 const wgc::WgcConfig& key_b,
+                                 const watermark::DemoIpConfig& ip = {});
+
+}  // namespace clockmark::lint

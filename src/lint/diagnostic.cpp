@@ -1,0 +1,37 @@
+#include "lint/diagnostic.h"
+
+#include <stdexcept>
+
+namespace clockmark::lint {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+Severity parse_severity(std::string_view name) {
+  if (name == "info") return Severity::kInfo;
+  if (name == "warning") return Severity::kWarning;
+  if (name == "error") return Severity::kError;
+  throw std::invalid_argument("parse_severity: unknown severity '" +
+                              std::string(name) + "'");
+}
+
+DiagnosticCounts count_diagnostics(
+    const std::vector<Diagnostic>& diagnostics) noexcept {
+  DiagnosticCounts counts;
+  for (const Diagnostic& d : diagnostics) {
+    switch (d.severity) {
+      case Severity::kError: ++counts.errors; break;
+      case Severity::kWarning: ++counts.warnings; break;
+      case Severity::kInfo: ++counts.infos; break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace clockmark::lint

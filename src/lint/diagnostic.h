@@ -1,0 +1,44 @@
+// Typed findings of the design-rule analyzer (cm_lint). A Diagnostic
+// names the violated rule, a severity, a design-graph location (module
+// path, net or cell name) and a fix hint, so reports stay actionable
+// whether they are rendered as text or machine-read as JSON.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clockmark::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+/// "info" / "warning" / "error".
+std::string_view severity_name(Severity severity) noexcept;
+
+/// Inverse of severity_name(); throws std::invalid_argument on anything
+/// else (the JSON round-trip must not silently downgrade findings).
+Severity parse_severity(std::string_view name);
+
+struct Diagnostic {
+  std::string rule;      ///< rule id, e.g. "removable-watermark"
+  Severity severity = Severity::kWarning;
+  std::string location;  ///< design-graph location (module/net/cell)
+  std::string message;   ///< what is wrong
+  std::string hint;      ///< how to fix it (may be empty)
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+struct DiagnosticCounts {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+
+  bool operator==(const DiagnosticCounts&) const = default;
+};
+
+DiagnosticCounts count_diagnostics(
+    const std::vector<Diagnostic>& diagnostics) noexcept;
+
+}  // namespace clockmark::lint

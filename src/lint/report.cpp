@@ -1,0 +1,420 @@
+#include "lint/report.h"
+
+#include <cctype>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace clockmark::lint {
+
+void Reporter::write_all(std::span<const LintReport> reports,
+                         std::ostream& os) const {
+  for (const LintReport& report : reports) write(report, os);
+}
+
+void TextReporter::write(const LintReport& report, std::ostream& os) const {
+  os << "design " << report.design << ": " << report.counts.errors
+     << " error(s), " << report.counts.warnings << " warning(s), "
+     << report.counts.infos << " info(s)\n";
+  for (const Diagnostic& d : report.diagnostics) {
+    os << "  [" << severity_name(d.severity) << "] " << d.rule << " @ "
+       << d.location << "\n      " << d.message << "\n";
+    if (options_.hints && !d.hint.empty()) {
+      os << "      hint: " << d.hint << "\n";
+    }
+  }
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_summary(std::ostream& os, const DiagnosticCounts& counts) {
+  os << "{\"errors\": " << counts.errors
+     << ", \"warnings\": " << counts.warnings
+     << ", \"infos\": " << counts.infos << "}";
+}
+
+void write_design_object(std::ostream& os, const LintReport& report,
+                         const std::string& indent) {
+  os << indent << "{\n"
+     << indent << "  \"design\": \"" << json_escape(report.design)
+     << "\",\n"
+     << indent << "  \"summary\": ";
+  write_summary(os, report.counts);
+  os << ",\n" << indent << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n") << indent << "    {\"rule\": \""
+       << json_escape(d.rule) << "\", \"severity\": \""
+       << severity_name(d.severity) << "\", \"location\": \""
+       << json_escape(d.location) << "\", \"message\": \""
+       << json_escape(d.message) << "\", \"hint\": \""
+       << json_escape(d.hint) << "\"}";
+  }
+  if (!report.diagnostics.empty()) os << "\n" << indent << "  ";
+  os << "]\n" << indent << "}";
+}
+
+}  // namespace
+
+void JsonReporter::write(const LintReport& report, std::ostream& os) const {
+  write_design_object(os, report, "");
+  os << "\n";
+}
+
+void JsonReporter::write_all(std::span<const LintReport> reports,
+                             std::ostream& os) const {
+  DiagnosticCounts total;
+  for (const LintReport& r : reports) {
+    total.errors += r.counts.errors;
+    total.warnings += r.counts.warnings;
+    total.infos += r.counts.infos;
+  }
+  os << "{\n  \"schema\": \"cm-lint-1\",\n  \"designs\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_design_object(os, reports[i], "    ");
+  }
+  if (!reports.empty()) os << "\n  ";
+  os << "],\n  \"summary\": ";
+  write_summary(os, total);
+  os << "\n}\n";
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser — just enough for the cm-lint-1 schema round-trip
+// (objects, arrays, strings with escapes, numbers, booleans, null).
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("parse_json_reports: " + what +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue value;
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.str = parse_string();
+        return value;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = false;
+        return value;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return value;
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return value;
+      if (next != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return value;
+      if (next != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t code = parse_hex4();
+          if (code >= 0xd800 && code <= 0xdbff &&
+              text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) fail("bad surrogate pair");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    try {
+      value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& object, std::string_view key,
+                         JsonValue::Kind kind) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->kind != kind) {
+    throw std::invalid_argument("parse_json_reports: missing or mistyped "
+                                "key '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+std::size_t require_count(const JsonValue& summary, std::string_view key) {
+  const JsonValue& value = require(summary, key, JsonValue::Kind::kNumber);
+  if (value.number < 0) {
+    throw std::invalid_argument("parse_json_reports: negative count");
+  }
+  return static_cast<std::size_t>(value.number);
+}
+
+LintReport report_from_object(const JsonValue& object) {
+  LintReport report;
+  report.design = require(object, "design", JsonValue::Kind::kString).str;
+  const JsonValue& diags =
+      require(object, "diagnostics", JsonValue::Kind::kArray);
+  for (const JsonValue& entry : diags.array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      throw std::invalid_argument(
+          "parse_json_reports: diagnostic is not an object");
+    }
+    Diagnostic d;
+    d.rule = require(entry, "rule", JsonValue::Kind::kString).str;
+    d.severity = parse_severity(
+        require(entry, "severity", JsonValue::Kind::kString).str);
+    d.location = require(entry, "location", JsonValue::Kind::kString).str;
+    d.message = require(entry, "message", JsonValue::Kind::kString).str;
+    d.hint = require(entry, "hint", JsonValue::Kind::kString).str;
+    report.diagnostics.push_back(std::move(d));
+  }
+  report.counts = count_diagnostics(report.diagnostics);
+  const JsonValue& summary =
+      require(object, "summary", JsonValue::Kind::kObject);
+  const DiagnosticCounts declared{require_count(summary, "errors"),
+                                  require_count(summary, "warnings"),
+                                  require_count(summary, "infos")};
+  if (declared != report.counts) {
+    throw std::invalid_argument(
+        "parse_json_reports: summary counts disagree with the "
+        "diagnostics of design '" + report.design + "'");
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<LintReport> parse_json_reports(std::string_view json) {
+  JsonParser parser(json);
+  const JsonValue root = parser.parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("parse_json_reports: root is not an object");
+  }
+  // A bare design object (JsonReporter::write output).
+  if (root.find("design") != nullptr) {
+    return {report_from_object(root)};
+  }
+  const JsonValue& schema = require(root, "schema", JsonValue::Kind::kString);
+  if (schema.str != "cm-lint-1") {
+    throw std::invalid_argument("parse_json_reports: unknown schema '" +
+                                schema.str + "'");
+  }
+  const JsonValue& designs =
+      require(root, "designs", JsonValue::Kind::kArray);
+  std::vector<LintReport> reports;
+  reports.reserve(designs.array.size());
+  for (const JsonValue& entry : designs.array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      throw std::invalid_argument(
+          "parse_json_reports: design entry is not an object");
+    }
+    reports.push_back(report_from_object(entry));
+  }
+  return reports;
+}
+
+}  // namespace clockmark::lint

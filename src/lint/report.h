@@ -1,0 +1,63 @@
+// Pluggable report renderers for LintReports: a human-readable text form
+// and a machine-readable JSON form (schema "cm-lint-1") with a matching
+// parser, so CI tooling can round-trip findings without regexes.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/analyzer.h"
+
+namespace clockmark::lint {
+
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+  virtual void write(const LintReport& report, std::ostream& os) const = 0;
+  /// Default: write each report in sequence; JSON overrides this with an
+  /// enclosing document.
+  virtual void write_all(std::span<const LintReport> reports,
+                         std::ostream& os) const;
+};
+
+class TextReporter final : public Reporter {
+ public:
+  struct Options {
+    bool hints = true;  ///< print fix hints under each finding
+  };
+  TextReporter() = default;
+  explicit TextReporter(Options options) : options_(options) {}
+
+  void write(const LintReport& report, std::ostream& os) const override;
+
+ private:
+  Options options_;
+};
+
+/// Emits schema "cm-lint-1":
+///   { "schema": "cm-lint-1",
+///     "designs": [ { "design": ..., "summary": {"errors": ...},
+///                    "diagnostics": [ {"rule": ..., "severity": ...,
+///                      "location": ..., "message": ..., "hint": ...} ] } ],
+///     "summary": { "errors": ..., "warnings": ..., "infos": ... } }
+/// write() emits one bare design object.
+class JsonReporter final : public Reporter {
+ public:
+  void write(const LintReport& report, std::ostream& os) const override;
+  void write_all(std::span<const LintReport> reports,
+                 std::ostream& os) const override;
+};
+
+/// Parses JsonReporter output back into reports. Accepts either a full
+/// "cm-lint-1" document or one bare design object; throws
+/// std::invalid_argument on malformed input or an unknown schema.
+std::vector<LintReport> parse_json_reports(std::string_view json);
+
+/// JSON string escaping ('"', '\\' and control characters), exposed for
+/// tests and for other JSON writers in the repo.
+std::string json_escape(std::string_view raw);
+
+}  // namespace clockmark::lint

@@ -1,0 +1,43 @@
+#include "lint/rule.h"
+
+#include <stdexcept>
+
+#include "lint/rules_internal.h"
+
+namespace clockmark::lint {
+
+RuleRegistry& RuleRegistry::add(std::unique_ptr<Rule> rule) {
+  if (!rule) {
+    throw std::invalid_argument("RuleRegistry::add: null rule");
+  }
+  if (find(rule->info().id) != nullptr) {
+    throw std::invalid_argument("RuleRegistry::add: duplicate rule id '" +
+                                rule->info().id + "'");
+  }
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+const Rule* RuleRegistry::find(std::string_view id) const noexcept {
+  for (const auto& rule : rules_) {
+    if (rule->info().id == id) return rule.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Rule*> RuleRegistry::rules() const {
+  std::vector<const Rule*> out;
+  out.reserve(rules_.size());
+  for (const auto& rule : rules_) out.push_back(rule.get());
+  return out;
+}
+
+RuleRegistry builtin_rules() {
+  RuleRegistry registry;
+  register_structure_rules(registry);
+  register_sequence_rules(registry);
+  register_acquisition_rules(registry);
+  return registry;
+}
+
+}  // namespace clockmark::lint

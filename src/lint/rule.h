@@ -1,0 +1,59 @@
+// Design-rule interface and registry. Each rule audits one structural or
+// signal-level property the paper relies on (removability, m-sequence
+// quality, sampling sanity, ...) against a lint::Design view — no
+// simulation is ever run. Rules are registered by id in a RuleRegistry;
+// builtin_rules() returns the full paper-grounded catalog, and callers
+// can add their own Rule subclasses alongside it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace clockmark::lint {
+
+class Design;
+
+struct RuleInfo {
+  std::string id;           ///< stable kebab-case id ("wgc-primitivity")
+  std::string title;        ///< one-line summary for catalogs
+  std::string paper_ref;    ///< grounding, e.g. "Sec. VI" or "Fig. 1(b)"
+  std::string description;  ///< what it checks and why it matters
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const RuleInfo& info() const noexcept = 0;
+  /// Appends findings for `design` to `out`. Must not mutate the design.
+  virtual void run(const Design& design,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+/// Ordered, id-unique collection of rules. Value type so experiments can
+/// assemble custom rule sets; the analyzer borrows it by reference.
+class RuleRegistry {
+ public:
+  /// Registers a rule; throws std::invalid_argument on a duplicate id.
+  RuleRegistry& add(std::unique_ptr<Rule> rule);
+
+  /// Rule with the given id, or nullptr.
+  const Rule* find(std::string_view id) const noexcept;
+
+  /// All rules in registration (catalog) order.
+  std::vector<const Rule*> rules() const;
+
+  std::size_t size() const noexcept { return rules_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// The built-in catalog: every design rule shipped with cm_lint, in the
+/// order documented in DESIGN.md §9.
+RuleRegistry builtin_rules();
+
+}  // namespace clockmark::lint

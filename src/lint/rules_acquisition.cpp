@@ -1,0 +1,156 @@
+// Measurement-context design rules (paper Sec. V): a structurally sound
+// watermark is still undetectable if the capture is shorter than one
+// WMARK period, the scope undersamples the clock, or the synthesis and
+// acquisition settings disagree about samples per cycle.
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/design.h"
+#include "lint/rules_internal.h"
+
+namespace clockmark::lint {
+namespace {
+
+/// trace-covers-period: the rotation correlator folds the trace by the
+/// WMARK period; with less than one period there is no fold, and with
+/// only a few the averaging gain the paper relies on never materialises.
+class TraceCoversPeriodRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "trace-covers-period",
+        "the capture must span several WMARK periods",
+        "Sec. V",
+        "Errors when the configured trace is shorter than one WMARK "
+        "period (phase becomes ambiguous) and warns below four periods "
+        "(noise averaging is marginal). The paper uses 300,000 cycles "
+        "against a 4095-cycle period."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    if (!design.trace_cycles()) return;
+    const std::size_t trace = *design.trace_cycles();
+    for (const WatermarkView& wm : design.watermarks()) {
+      const std::size_t period = Design::nominal_period(wm.wgc);
+      if (period == 0) continue;  // wgc-primitivity flags the bad width
+      if (trace < period) {
+        out.push_back(
+            {info().id, Severity::kError, wm.name,
+             "trace of " + std::to_string(trace) +
+                 " cycles covers less than one WMARK period (" +
+                 std::to_string(period) +
+                 "): the rotation correlator cannot resolve the phase",
+             "capture at least one period — ideally dozens (the paper "
+             "uses ~73 periods)"});
+      } else if (trace < 4 * period) {
+        out.push_back(
+            {info().id, Severity::kWarning, wm.name,
+             "trace of " + std::to_string(trace) + " cycles spans only " +
+                 std::to_string(trace / period) +
+                 " full WMARK period(s): averaging gain over the noise "
+                 "floor is marginal",
+             "lengthen the capture or shorten the WGC period"});
+      }
+    }
+  }
+};
+
+/// sampling-aliasing: Nyquist and bookkeeping checks between the scope,
+/// the waveform synthesis and the operating point, plus a sanity bound
+/// on the PDN low-pass that already costs the paper an order of
+/// magnitude of signal.
+class SamplingAliasingRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "sampling-aliasing",
+        "scope rate, clock and waveform synthesis must agree",
+        "Sec. V",
+        "Errors when the scope samples below 2x the clock (the "
+        "cycle-rate modulation aliases), warns when samples-per-cycle is "
+        "fractional or disagrees with the waveform synthesis, and warns "
+        "when the PDN cutoff attenuates the watermark far beyond the "
+        "paper's 25x."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    if (!design.acquisition() || !design.tech()) return;
+    const measure::AcquisitionConfig& acq = *design.acquisition();
+    const power::TechLibrary& tech = *design.tech();
+    const std::string loc = design.name();
+    if (tech.clock_hz <= 0.0 || acq.scope.sample_rate_hz <= 0.0) {
+      out.push_back({info().id, Severity::kError, loc,
+                     "non-positive clock or scope sample rate",
+                     "set tech.clock_hz and scope.sample_rate_hz"});
+      return;
+    }
+    const double ratio = acq.scope.sample_rate_hz / tech.clock_hz;
+    std::ostringstream rates;
+    rates.precision(6);
+    rates << "scope at " << acq.scope.sample_rate_hz / 1e6
+          << " MS/s against a " << tech.clock_hz / 1e6 << " MHz clock";
+    if (ratio < 2.0) {
+      out.push_back(
+          {info().id, Severity::kError, loc,
+           rates.str() + " gives " + std::to_string(ratio) +
+               " samples per cycle: the cycle-rate WMARK modulation "
+               "aliases below Nyquist and per-cycle averaging is "
+               "impossible",
+           "sample at >= 2x the clock (the paper uses 50x: 500 MS/s at "
+           "10 MHz)"});
+    } else {
+      const double rounded = std::round(ratio);
+      if (std::fabs(ratio - rounded) > 1e-6) {
+        out.push_back(
+            {info().id, Severity::kWarning, loc,
+             rates.str() + " gives a fractional " +
+                 std::to_string(ratio) +
+                 " samples per cycle: per-cycle averaging windows drift "
+                 "across cycle boundaries",
+             "pick an integer scope-rate-to-clock ratio"});
+      } else if (acq.waveform.samples_per_cycle !=
+                 static_cast<std::size_t>(rounded)) {
+        out.push_back(
+            {info().id, Severity::kWarning, loc,
+             "waveform synthesis assumes " +
+                 std::to_string(acq.waveform.samples_per_cycle) +
+                 " samples per cycle but " + rates.str() + " gives " +
+                 std::to_string(static_cast<std::size_t>(rounded)) +
+                 ": Y is averaged over misaligned windows",
+             "set acquisition.waveform.samples_per_cycle = "
+             "scope_rate / clock_hz"});
+      }
+    }
+    if (acq.enable_pdn_filter) {
+      if (acq.pdn_cutoff_hz <= 0.0) {
+        out.push_back({info().id, Severity::kError, loc,
+                       "PDN filter enabled with non-positive cutoff",
+                       "set pdn_cutoff_hz or disable the filter"});
+      } else if (tech.clock_hz / acq.pdn_cutoff_hz > 250.0) {
+        std::ostringstream msg;
+        msg.precision(4);
+        msg << "PDN cutoff " << acq.pdn_cutoff_hz / 1e3
+            << " kHz sits " << tech.clock_hz / acq.pdn_cutoff_hz
+            << "x below the clock: the cycle-rate watermark is "
+               "attenuated an order of magnitude beyond the paper's "
+               "25x and may sink under the ADC noise";
+        out.push_back({info().id, Severity::kWarning, loc, msg.str(),
+                       "reduce board decoupling between shunt and die, "
+                       "or lower the clock for detection runs"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_acquisition_rules(RuleRegistry& registry) {
+  registry.add(std::make_unique<TraceCoversPeriodRule>());
+  registry.add(std::make_unique<SamplingAliasingRule>());
+}
+
+}  // namespace clockmark::lint

@@ -1,0 +1,22 @@
+// Internal registration hooks for the built-in rule catalog; each
+// translation unit contributes one family of rules. Not installed as a
+// public header — include lint/rule.h and call builtin_rules() instead.
+#pragma once
+
+#include "lint/rule.h"
+
+namespace clockmark::lint {
+
+/// Netlist/connectivity rules: removable-watermark, standalone-component,
+/// unmodulated-clock (paper Sec. VI, Fig. 1).
+void register_structure_rules(RuleRegistry& registry);
+
+/// WGC sequence rules: wgc-primitivity, wgc-degenerate-state,
+/// sequence-balance, sequence-runs, gold-cross-correlation (Sec. III/IV).
+void register_sequence_rules(RuleRegistry& registry);
+
+/// Measurement-context rules: trace-covers-period, sampling-aliasing
+/// (Sec. V).
+void register_acquisition_rules(RuleRegistry& registry);
+
+}  // namespace clockmark::lint

@@ -1,0 +1,335 @@
+// WGC sequence design rules — the signal-quality half of the catalog.
+// The paper's detection (Sec. III-IV) leans on m-sequence properties:
+// maximal period, +1 balance, short runs and the two-valued
+// autocorrelation that keeps the CPA off-peak floor at -1/P; Gold codes
+// from the WGC's second generator bound cross-correlation between
+// coexisting watermarks.
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/design.h"
+#include "lint/rules_internal.h"
+#include "sequence/gold.h"
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "sequence/properties.h"
+
+namespace clockmark::lint {
+namespace {
+
+/// Widths up to this are cheap to verify by direct period measurement
+/// (at most ~1M LFSR steps).
+constexpr unsigned kSimulatedWidthLimit = 20;
+
+/// Periods up to this are cheap to cross-correlate pairwise.
+constexpr std::size_t kCrossCorrelationLimit = 1u << 14;
+
+std::uint32_t width_mask(unsigned width) {
+  return width >= 32 ? 0xffffffffu
+                     : ((std::uint32_t{1} << width) - 1u);
+}
+
+std::string hex(std::uint32_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+/// True when the generator can never leave a constant output: LFSR in
+/// the all-zero lock-up state, or a circular register whose pattern is
+/// all zeros / all ones.
+bool degenerate_state(const wgc::WgcConfig& config) {
+  const std::uint32_t mask = width_mask(config.width);
+  const std::uint32_t state = config.seed & mask;
+  if (config.mode == wgc::WgcMode::kLfsr) return state == 0;
+  return state == 0 || state == mask;
+}
+
+bool valid_width(const wgc::WgcConfig& config) {
+  return config.width >= 2 && config.width <= 32;
+}
+
+/// One nominal period of WMARK bits; callers must have screened out
+/// invalid widths and degenerate states first.
+std::vector<bool> one_period(const wgc::WgcConfig& config) {
+  return wgc::WgcSequence(config).one_period();
+}
+
+/// wgc-primitivity: a non-primitive feedback polynomial collapses the
+/// period, shrinking the unambiguous phase range and raising the
+/// autocorrelation floor the CPA noise margin is computed against.
+class WgcPrimitivityRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "wgc-primitivity",
+        "LFSR feedback polynomial must be primitive (maximal period)",
+        "Sec. III",
+        "Measures the actual LFSR period for widths up to 20 (table "
+        "lookup beyond) and errors when it falls short of 2^width - 1; "
+        "circular-register mode is flagged as a weaker carrier."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    for (const WatermarkView& wm : design.watermarks()) {
+      const wgc::WgcConfig& cfg = wm.wgc;
+      if (!valid_width(cfg)) {
+        out.push_back({info().id, Severity::kError, wm.name,
+                       "WGC width " + std::to_string(cfg.width) +
+                           " is outside the buildable range [2, 32]",
+                       "use a register width between 2 and 32"});
+        continue;
+      }
+      if (cfg.mode == wgc::WgcMode::kCircular) {
+        out.push_back(
+            {info().id, Severity::kWarning, wm.name,
+             "circular shift register carrier: period is only " +
+                 std::to_string(cfg.width) +
+                 " and the autocorrelation is not two-valued, so the CPA "
+                 "off-peak floor is far above the m-sequence's -1/P",
+             "prefer the maximal-length LFSR mode (paper configuration)"});
+        continue;
+      }
+      const std::uint32_t taps = cfg.effective_taps();
+      const std::size_t maximal = Design::nominal_period(cfg);
+      if (cfg.width <= kSimulatedWidthLimit) {
+        const std::uint32_t seed =
+            (cfg.seed & width_mask(cfg.width)) != 0 ? cfg.seed : 1u;
+        sequence::Lfsr lfsr(cfg.width, taps, seed);
+        const std::size_t period = lfsr.measure_period();
+        if (period != maximal) {
+          out.push_back(
+              {info().id, Severity::kError, wm.name,
+               "feedback polynomial " + hex(taps) + " at width " +
+                   std::to_string(cfg.width) +
+                   " is not primitive: the period collapses to " +
+                   std::to_string(period) + " instead of " +
+                   std::to_string(maximal),
+               "use sequence::maximal_taps(" + std::to_string(cfg.width) +
+                   ") = " + hex(sequence::maximal_taps(cfg.width))});
+        }
+      } else if (taps != sequence::maximal_taps(cfg.width)) {
+        out.push_back(
+            {info().id, Severity::kWarning, wm.name,
+             "custom feedback polynomial " + hex(taps) + " at width " +
+                 std::to_string(cfg.width) +
+                 " cannot be verified statically (period up to " +
+                 std::to_string(maximal) + ")",
+             "use the table polynomial " +
+                 hex(sequence::maximal_taps(cfg.width)) +
+                 " or verify primitivity offline"});
+      }
+    }
+  }
+};
+
+/// wgc-degenerate-state: a generator stuck at a constant output emits no
+/// modulation at all — the watermark exists on paper only.
+class WgcDegenerateStateRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "wgc-degenerate-state",
+        "the WGC must not start in a lock-up state",
+        "Sec. III",
+        "An all-zero LFSR seed (or an all-equal circular pattern) keeps "
+        "WMARK constant forever: the clock is never modulated and CPA "
+        "has nothing to correlate against."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    for (const WatermarkView& wm : design.watermarks()) {
+      if (!valid_width(wm.wgc) || !degenerate_state(wm.wgc)) continue;
+      const bool lfsr = wm.wgc.mode == wgc::WgcMode::kLfsr;
+      out.push_back(
+          {info().id, Severity::kError, wm.name,
+           lfsr ? "LFSR seed " + hex(wm.wgc.seed) + " masks to the "
+                      "all-zero lock-up state: WMARK is constant 0 and "
+                      "the watermark never modulates the clock"
+                : "circular pattern " + hex(wm.wgc.seed) + " is constant "
+                      "after masking: WMARK never toggles",
+           "seed the generator with any nonzero (non-all-ones for "
+           "circular) state"});
+    }
+  }
+};
+
+/// sequence-balance: an unbalanced WMARK stream shifts mean power and
+/// correlates with DC/workload drift instead of averaging out, degrading
+/// the Pearson peak the detector thresholds on.
+class SequenceBalanceRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "sequence-balance",
+        "WMARK duty cycle must stay near 50 %",
+        "Sec. IV",
+        "Checks the one-period duty cycle: beyond ±10 % of balanced the "
+        "CPA model starts correlating with slow power drift (warning), "
+        "beyond ±25 % detectability is structurally impaired (error)."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    for (const WatermarkView& wm : design.watermarks()) {
+      if (!valid_width(wm.wgc) || degenerate_state(wm.wgc)) continue;
+      const auto bits = one_period(wm.wgc);
+      if (bits.empty()) continue;
+      std::size_t ones = 0;
+      for (const bool b : bits) ones += b ? 1u : 0u;
+      const double duty =
+          static_cast<double>(ones) / static_cast<double>(bits.size());
+      const double off = duty > 0.5 ? duty - 0.5 : 0.5 - duty;
+      if (off <= 0.1) continue;
+      std::ostringstream msg;
+      msg.precision(3);
+      msg << "WMARK duty cycle of watermark '" << wm.name << "' is "
+          << duty << " (balance " << sequence::balance(bits)
+          << " over period " << bits.size()
+          << "): the modulation no longer averages out against slow "
+             "power drift";
+      out.push_back({info().id,
+                     off > 0.25 ? Severity::kError : Severity::kWarning,
+                     wm.name, msg.str(),
+                     "use a maximal-length LFSR (duty (P+1)/2P) or a "
+                     "balanced circular pattern"});
+    }
+  }
+};
+
+/// sequence-runs: a long constant stretch is a DC segment after the PDN
+/// low-pass — within it there is no modulation detail to correlate.
+class SequenceRunsRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "sequence-runs",
+        "no constant stretch may dominate the WMARK period",
+        "Sec. IV-V",
+        "Flags sequences whose longest run of equal bits exceeds a "
+        "quarter of the period: the board's decoupling low-passes such "
+        "stretches into DC and the effective correlation length shrinks. "
+        "m-sequences pass by construction (longest run = width)."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    for (const WatermarkView& wm : design.watermarks()) {
+      if (!valid_width(wm.wgc) || degenerate_state(wm.wgc)) continue;
+      const auto bits = one_period(wm.wgc);
+      if (bits.size() <= 8) continue;
+      const auto runs = sequence::run_lengths(bits);
+      std::size_t longest = 0;
+      for (const std::size_t r : runs) longest = std::max(longest, r);
+      if (longest * 4 <= bits.size()) continue;
+      out.push_back(
+          {info().id, Severity::kWarning, wm.name,
+           "longest constant WMARK stretch of watermark '" + wm.name +
+               "' is " + std::to_string(longest) + " of a " +
+               std::to_string(bits.size()) +
+               "-cycle period: the PDN low-pass flattens it into DC and "
+               "that fraction of the period carries no modulation",
+           "pick a carrier whose longest run stays below a quarter of "
+           "the period (an m-sequence's is its register width)"});
+    }
+  }
+};
+
+/// gold-cross-correlation: coexisting watermarks must use keys whose
+/// cross-correlation is bounded, or each detector fires on the other.
+class GoldCrossCorrelationRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "gold-cross-correlation",
+        "coexisting watermark keys need bounded cross-correlation",
+        "Sec. III",
+        "For every pair of watermarks of equal width, measures the peak "
+        "periodic cross-correlation of their WMARK streams against the "
+        "Gold bound t(w) = 2^floor((w+2)/2) + 1; shifts of one "
+        "m-sequence correlate fully and are rejected."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    const auto& wms = design.watermarks();
+    for (std::size_t a = 0; a < wms.size(); ++a) {
+      for (std::size_t b = a + 1; b < wms.size(); ++b) {
+        check_pair(wms[a], wms[b], out);
+      }
+    }
+  }
+
+ private:
+  void check_pair(const WatermarkView& wa, const WatermarkView& wb,
+                  std::vector<Diagnostic>& out) const {
+    const std::string pair = wa.name + " / " + wb.name;
+    if (!valid_width(wa.wgc) || !valid_width(wb.wgc) ||
+        degenerate_state(wa.wgc) || degenerate_state(wb.wgc)) {
+      return;  // the primitivity/degenerate rules already fired
+    }
+    if (wa.wgc.mode != wb.wgc.mode || wa.wgc.width != wb.wgc.width) {
+      out.push_back(
+          {info().id, Severity::kInfo, pair,
+           "watermarks use different generator widths/modes (periods " +
+               std::to_string(Design::nominal_period(wa.wgc)) + " and " +
+               std::to_string(Design::nominal_period(wb.wgc)) +
+               "): the Gold bound does not apply, verify coexistence "
+               "with the dual-watermark bench",
+           ""});
+      return;
+    }
+    const std::size_t period = Design::nominal_period(wa.wgc);
+    if (period > kCrossCorrelationLimit) {
+      out.push_back({info().id, Severity::kInfo, pair,
+                     "period " + std::to_string(period) +
+                         " is too long to cross-correlate statically",
+                     "check the pair with bench/abl_dual_watermark"});
+      return;
+    }
+    const auto bits_a = one_period(wa.wgc);
+    const auto bits_b = one_period(wb.wgc);
+    const double peak = sequence::peak_cross_correlation(bits_a, bits_b);
+    const double gold_bound =
+        static_cast<double>(
+            (std::uint64_t{1} << ((wa.wgc.width + 2) / 2)) + 1);
+    std::ostringstream msg;
+    msg << "peak cross-correlation between '" << wa.name << "' and '"
+        << wb.name << "' is " << peak << " over period " << period
+        << " (Gold bound t = " << gold_bound << ")";
+    if (peak >= static_cast<double>(period) - 0.5) {
+      out.push_back(
+          {info().id, Severity::kError, pair,
+           msg.str() + ": the keys are shifts of one sequence, so each "
+                       "detector fires on the other watermark",
+           "derive the keys from a preferred pair "
+           "(sequence::preferred_pair) or use distinct primitive "
+           "polynomials"});
+    } else if (peak > 2.0 * gold_bound) {
+      out.push_back(
+          {info().id, Severity::kWarning, wa.name + " / " + wb.name,
+           msg.str() + ": mutual interference raises each detector's "
+                       "noise floor",
+           "prefer a Gold preferred pair for coexisting watermarks"});
+    } else {
+      out.push_back({info().id, Severity::kInfo, pair, msg.str(), ""});
+    }
+  }
+};
+
+}  // namespace
+
+void register_sequence_rules(RuleRegistry& registry) {
+  registry.add(std::make_unique<WgcPrimitivityRule>());
+  registry.add(std::make_unique<WgcDegenerateStateRule>());
+  registry.add(std::make_unique<SequenceBalanceRule>());
+  registry.add(std::make_unique<SequenceRunsRule>());
+  registry.add(std::make_unique<GoldCrossCorrelationRule>());
+}
+
+}  // namespace clockmark::lint

@@ -1,0 +1,250 @@
+// Netlist/connectivity design rules — the static form of the paper's
+// Section VI robustness argument: a clock-modulation watermark survives
+// RTL inspection because its WGC drives *functional* clock gating, while
+// a Fig. 1(a) load circuit is a stand-alone subcircuit an attacker can
+// excise without observable effect.
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/design.h"
+#include "lint/rules_internal.h"
+
+namespace clockmark::lint {
+namespace {
+
+std::size_t count_registers(const rtl::Netlist& netlist,
+                            const std::vector<rtl::CellId>& cells) {
+  std::size_t registers = 0;
+  for (const rtl::CellId id : cells) {
+    if (rtl::is_sequential(netlist.cell(id).kind)) ++registers;
+  }
+  return registers;
+}
+
+/// removable-watermark: every WMARK-modulated ICG must gate functional
+/// state somewhere in its clock subtree, otherwise the watermark is a
+/// dedicated power burner the attacker can cut at a single net.
+class RemovableWatermarkRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "removable-watermark",
+        "WMARK must modulate functional clock gating",
+        "Sec. VI, Fig. 1",
+        "Flags watermarks whose WGC gates only dedicated load registers "
+        "(the Becker/Ziener load-circuit architecture) or no ICG at all; "
+        "the clock-modulation embedding passes because severing WMARK "
+        "also severs the IP's own clocks."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    const std::vector<bool>& functional = design.functional_state_mask();
+    for (std::size_t w = 0; w < design.watermarks().size(); ++w) {
+      const WatermarkView& wm = design.watermarks()[w];
+      const auto& icgs = design.gating_icgs(w);
+      if (icgs.empty()) {
+        out.push_back({info().id, Severity::kError, wm.module_path,
+                       "watermark '" + wm.name +
+                           "' gates no integrated clock gate: WMARK has no "
+                           "power path, so the WGC is dead logic an "
+                           "attacker deletes for free",
+                       "wire WMARK into ICG enables (enable = CLK_CTRL AND "
+                       "WMARK; watermark/embedder.h)"});
+        continue;
+      }
+      std::size_t functional_subtrees = 0;
+      std::size_t standalone_subtrees = 0;
+      std::size_t standalone_registers = 0;
+      std::size_t total_registers = 0;
+      for (const rtl::CellId icg : icgs) {
+        const auto flops = design.clocked_flops_under(icg);
+        total_registers += flops.size();
+        bool gates_functional = false;
+        for (const rtl::CellId flop : flops) {
+          if (functional[flop]) {
+            gates_functional = true;
+            break;
+          }
+        }
+        if (gates_functional) {
+          ++functional_subtrees;
+        } else {
+          ++standalone_subtrees;
+          standalone_registers += flops.size();
+        }
+      }
+      if (functional_subtrees == 0) {
+        out.push_back(
+            {info().id, Severity::kError, wm.module_path,
+             "watermark '" + wm.name + "' gates only dedicated load "
+                 "registers (" + std::to_string(standalone_registers) +
+                 " registers behind " + std::to_string(icgs.size()) +
+                 " ICG(s)) — a stand-alone Fig. 1(a) load circuit; cutting "
+                 "the WMARK net removes it without functional effect",
+             "modulate the IP's existing clock gates instead (enable = "
+             "CLK_CTRL AND WMARK; watermark/embedder.h) so removal severs "
+             "functional clocks"});
+      } else if (standalone_subtrees > 0) {
+        out.push_back(
+            {info().id, Severity::kWarning, wm.module_path,
+             std::to_string(standalone_subtrees) + " of " +
+                 std::to_string(icgs.size()) + " WMARK-gated clock "
+                 "subtrees of watermark '" + wm.name + "' clock only "
+                 "non-functional registers and could be excised "
+                 "individually",
+             "fold the dedicated subtrees into functional clock groups or "
+             "drop them"});
+      } else {
+        out.push_back(
+            {info().id, Severity::kInfo, wm.module_path,
+             "watermark '" + wm.name + "' modulates " +
+                 std::to_string(functional_subtrees) +
+                 " functional clock subtree(s) (" +
+                 std::to_string(total_registers) +
+                 " registers): removal severs the IP's own clocks",
+             ""});
+      }
+    }
+  }
+};
+
+/// standalone-component: the attacker's connectivity scan. Watermark
+/// cells outside the fan-in cone of every observable signal (primary
+/// outputs and declared functional state) can be deleted wholesale.
+class StandaloneComponentRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "standalone-component",
+        "watermark cells must be load-bearing for observable logic",
+        "Sec. VI",
+        "Replays the RTL-inspection attack statically: any watermark cell "
+        "outside the fan-in cone (through data and clock pins) of every "
+        "primary output or declared functional register is excisable."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    const std::vector<bool>& functional = design.functional_state_mask();
+    bool any_root = false;
+    for (const bool f : functional) {
+      if (f) {
+        any_root = true;
+        break;
+      }
+    }
+    if (!any_root) {
+      out.push_back(
+          {info().id, Severity::kError, design.name(),
+           "design exposes no primary output and declares no functional "
+           "register: every cell (watermark included) is excisable and "
+           "the removability analysis is vacuous",
+           "mark primary outputs (rtl::Netlist::mark_output) or declare "
+           "the functional registers in the lint::Design view"});
+      return;
+    }
+    const std::vector<bool>& load_bearing = design.load_bearing_mask();
+    for (std::size_t w = 0; w < design.watermarks().size(); ++w) {
+      const WatermarkView& wm = design.watermarks()[w];
+      const auto cells = design.watermark_cells(w);
+      if (cells.empty()) continue;
+      std::vector<rtl::CellId> excisable;
+      for (const rtl::CellId id : cells) {
+        if (!load_bearing[id]) excisable.push_back(id);
+      }
+      if (excisable.size() == cells.size()) {
+        out.push_back(
+            {info().id, Severity::kError, wm.module_path,
+             "entire watermark '" + wm.name + "' (" +
+                 std::to_string(cells.size()) + " cells, " +
+                 std::to_string(count_registers(design.netlist(), cells)) +
+                 " registers) lies outside the fan-in cone of every "
+                 "observable signal — an RTL stand-alone-circuit scan "
+                 "deletes it without breaking the design",
+             "entangle the watermark with functional logic: gate existing "
+             "clock groups instead of a dedicated load ring"});
+      } else if (!excisable.empty()) {
+        out.push_back(
+            {info().id, Severity::kWarning, wm.module_path,
+             std::to_string(excisable.size()) + " of " +
+                 std::to_string(cells.size()) + " cells of watermark '" +
+                 wm.name + "' are excisable without observable effect "
+                 "(first: " +
+                 design.netlist().cell(excisable.front()).name + ")",
+             "remove the dead cells or wire them into functional paths"});
+      } else {
+        out.push_back({info().id, Severity::kInfo, wm.module_path,
+                       "watermark '" + wm.name + "' is fully entangled: "
+                       "all " + std::to_string(cells.size()) +
+                           " cells are load-bearing for observable logic",
+                       ""});
+      }
+    }
+  }
+};
+
+/// unmodulated-clock: registers clocked straight from the root with no
+/// ICG burn constant clock power — pure background that dilutes the
+/// watermark's share of the supply current.
+class UnmodulatedClockRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "unmodulated-clock",
+        "clock subtrees without any ICG dilute the watermark SNR",
+        "Sec. II-III",
+        "Finds flops whose clock path from the root contains no ICG "
+        "(the free-running WGC itself is exempt); their buffers switch "
+        "every cycle and only add background power."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    std::unordered_set<rtl::CellId> exempt;
+    for (const WatermarkView& wm : design.watermarks()) {
+      exempt.insert(wm.wgc_cells.begin(), wm.wgc_cells.end());
+    }
+    std::vector<rtl::CellId> ungated;
+    for (const rtl::CellId id : design.ungated_clocked_flops()) {
+      if (exempt.count(id) == 0) ungated.push_back(id);
+    }
+    if (ungated.empty()) return;
+
+    std::size_t total_flops = 0;
+    for (const rtl::Cell& cell : design.netlist().cells()) {
+      if (rtl::is_sequential(cell.kind)) ++total_flops;
+    }
+    const double fraction =
+        total_flops == 0
+            ? 0.0
+            : static_cast<double>(ungated.size()) /
+                  static_cast<double>(total_flops);
+    std::string examples = design.netlist().cell(ungated.front()).name;
+    if (ungated.size() > 1) {
+      examples += ", " + design.netlist().cell(ungated[1]).name;
+      if (ungated.size() > 2) examples += ", ...";
+    }
+    out.push_back(
+        {info().id, fraction > 0.5 ? Severity::kWarning : Severity::kInfo,
+         design.netlist().net_name(design.root_clock()),
+         std::to_string(ungated.size()) + " of " +
+             std::to_string(total_flops) + " registers (" + examples +
+             ") are clocked with no ICG on the path: their clock buffers "
+             "switch every cycle as unmodulated background power",
+         "gate these sinks behind ICGs (clocktree::build_gated_group) or "
+         "accept them as background load"});
+  }
+};
+
+}  // namespace
+
+void register_structure_rules(RuleRegistry& registry) {
+  registry.add(std::make_unique<RemovableWatermarkRule>());
+  registry.add(std::make_unique<StandaloneComponentRule>());
+  registry.add(std::make_unique<UnmodulatedClockRule>());
+}
+
+}  // namespace clockmark::lint

@@ -1,0 +1,154 @@
+// The lint::Design view: derived connectivity (gating ICGs, clock
+// subtrees, load-bearing masks) plus the end-to-end acceptance cases —
+// the paper's chip I / chip II presets lint clean while the load-circuit
+// baseline is rejected.
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "lint/analyzer.h"
+#include "lint/design.h"
+#include "lint/rule.h"
+#include "sequence/gold.h"
+#include "sim/scenario.h"
+
+namespace clockmark::lint {
+namespace {
+
+bool has_rule_at(const LintReport& report, const std::string& rule,
+                 Severity severity) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.rule == rule && d.severity == severity;
+                     });
+}
+
+TEST(LintDesign, RejectsNullNetlist) {
+  EXPECT_THROW(Design("bad", nullptr, rtl::kInvalidNet),
+               std::invalid_argument);
+}
+
+TEST(LintDesign, NominalPeriodMatchesGeneratorMode) {
+  EXPECT_EQ(Design::nominal_period({wgc::WgcMode::kLfsr, 12, 0, 1}),
+            4095u);
+  EXPECT_EQ(Design::nominal_period({wgc::WgcMode::kCircular, 12, 0, 1}),
+            12u);
+  EXPECT_EQ(Design::nominal_period({wgc::WgcMode::kLfsr, 1, 0, 1}), 0u);
+  EXPECT_EQ(Design::nominal_period({wgc::WgcMode::kLfsr, 33, 0, 1}), 0u);
+}
+
+TEST(LintDesign, ScenarioConfigViewCarriesExperimentContext) {
+  const sim::ScenarioConfig config = sim::chip1_default();
+  const Design design = design_from_scenario_config("chip1", config);
+  ASSERT_EQ(design.watermarks().size(), 1u);
+  EXPECT_EQ(design.watermarks()[0].wgc.seed, config.watermark.wgc.seed);
+  ASSERT_TRUE(design.trace_cycles().has_value());
+  EXPECT_EQ(*design.trace_cycles(), config.trace_cycles);
+  ASSERT_TRUE(design.acquisition().has_value());
+  EXPECT_DOUBLE_EQ(design.acquisition()->vdd_v, config.tech.vdd_v);
+  ASSERT_TRUE(design.tech().has_value());
+  EXPECT_FALSE(design.declared_functional().empty());
+}
+
+TEST(LintDesign, GatingIcgsFollowCombinationalEnableFanIn) {
+  // enable = CLK_CTRL AND WMARK: every demo-IP group ICG must be found.
+  const watermark::DemoIpConfig ip{4, 8};
+  const Design design =
+      design_embedded_demo("emb", {wgc::WgcMode::kLfsr, 12, 0, 1}, ip);
+  const auto& icgs = design.gating_icgs(0);
+  EXPECT_EQ(icgs.size(), ip.groups);
+  for (const rtl::CellId icg : icgs) {
+    EXPECT_EQ(design.netlist().cell(icg).kind, rtl::CellKind::kIcg);
+    // Each gated subtree clocks that group's pipeline registers.
+    EXPECT_EQ(design.clocked_flops_under(icg).size(),
+              ip.registers_per_group);
+  }
+}
+
+TEST(LintDesign, UngatedWalkStopsAtIcgs) {
+  const watermark::DemoIpConfig ip{4, 8};
+  const Design design =
+      design_embedded_demo("emb", {wgc::WgcMode::kLfsr, 12, 0, 1}, ip);
+  const auto ungated = design.ungated_clocked_flops();
+  // The WGC stages free-run and the demo IP's mode counter (3 flops) is
+  // deliberately ungated; the gated pipelines must not appear.
+  EXPECT_EQ(ungated.size(), 12u + 3u);
+  const auto& wgc_cells = design.watermarks()[0].wgc_cells;
+  const std::unordered_set<rtl::CellId> wgc_set(wgc_cells.begin(),
+                                                wgc_cells.end());
+  std::size_t wgc_flops = 0;
+  for (const rtl::CellId id : ungated) {
+    if (wgc_set.count(id) > 0) ++wgc_flops;
+  }
+  EXPECT_EQ(wgc_flops, 12u);
+}
+
+TEST(LintDesign, LoadCircuitCellsAreOutsideTheLoadBearingCone) {
+  const Design design =
+      design_load_circuit_demo("lc", {wgc::WgcMode::kLfsr, 12, 0, 1}, 32);
+  const auto& load_bearing = design.load_bearing_mask();
+  const auto cells = design.watermark_cells(0);
+  ASSERT_FALSE(cells.empty());
+  for (const rtl::CellId id : cells) {
+    EXPECT_FALSE(load_bearing[id])
+        << design.netlist().cell(id).name << " should be excisable";
+  }
+  // The demo IP itself is load-bearing (its parity reaches data_out).
+  const auto& functional = design.functional_state_mask();
+  EXPECT_TRUE(std::any_of(functional.begin(), functional.end(),
+                          [](bool f) { return f; }));
+}
+
+TEST(LintDesign, ScenarioViewAliasesTheLiveNetlist) {
+  sim::ScenarioConfig config = sim::chip1_default();
+  config.trace_cycles = 50000;
+  const sim::Scenario scenario(config);
+  const Design design = design_from_scenario("chip1-live", scenario);
+  EXPECT_EQ(&design.netlist(), &scenario.watermark_netlist());
+  EXPECT_FALSE(design.gating_icgs(0).empty());
+}
+
+// --- end-to-end acceptance (ISSUE.md) ---------------------------------
+
+TEST(LintEndToEnd, ChipPresetsLintClean) {
+  const RuleRegistry registry = builtin_rules();
+  const Analyzer analyzer(registry);
+  for (const auto* name : {"chip1", "chip2"}) {
+    const sim::ScenarioConfig config = std::string(name) == "chip1"
+                                           ? sim::chip1_default()
+                                           : sim::chip2_default();
+    const LintReport report =
+        analyzer.run(design_from_scenario_config(name, config));
+    EXPECT_TRUE(report.clean()) << name;
+    EXPECT_EQ(report.counts.errors, 0u) << name;
+    EXPECT_EQ(report.counts.warnings, 0u) << name;
+  }
+}
+
+TEST(LintEndToEnd, LoadCircuitBaselineIsRejected) {
+  const RuleRegistry registry = builtin_rules();
+  const LintReport report = Analyzer(registry).run(
+      design_load_circuit_demo("lc", {wgc::WgcMode::kLfsr, 12, 0, 1}));
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_rule_at(report, "removable-watermark", Severity::kError));
+  EXPECT_TRUE(
+      has_rule_at(report, "standalone-component", Severity::kError));
+}
+
+TEST(LintEndToEnd, DualWatermarkWithPreferredPairCoexists) {
+  const sequence::PreferredPair pair = sequence::preferred_pair(7);
+  const Design design = design_dual_embedded_demo(
+      "dual", {wgc::WgcMode::kLfsr, 7, pair.taps_a, 0x55},
+      {wgc::WgcMode::kLfsr, 7, pair.taps_b, 0x2A});
+  const RuleRegistry registry = builtin_rules();
+  const LintReport report = Analyzer(registry).run(design);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(
+      has_rule_at(report, "gold-cross-correlation", Severity::kInfo));
+}
+
+}  // namespace
+}  // namespace clockmark::lint

@@ -1,0 +1,146 @@
+// Diagnostics, reporters and the cm-lint-1 JSON round-trip.
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/report.h"
+
+namespace clockmark::lint {
+namespace {
+
+Diagnostic make_diag(std::string rule, Severity severity,
+                     std::string location, std::string message,
+                     std::string hint = "") {
+  return Diagnostic{std::move(rule), severity, std::move(location),
+                    std::move(message), std::move(hint)};
+}
+
+LintReport make_report() {
+  LintReport report;
+  report.design = "unit \"design\"";
+  report.diagnostics = {
+      make_diag("removable-watermark", Severity::kError, "soc/watermark",
+                "line one\nline two\ttabbed", "cut the \\ escape"),
+      make_diag("sequence-balance", Severity::kWarning, "wm", "duty 0.9"),
+      make_diag("unmodulated-clock", Severity::kInfo, "clk",
+                "3 flops, control char \x01 included"),
+  };
+  report.counts = count_diagnostics(report.diagnostics);
+  return report;
+}
+
+TEST(LintSeverity, NamesRoundTrip) {
+  for (const Severity s :
+       {Severity::kInfo, Severity::kWarning, Severity::kError}) {
+    EXPECT_EQ(parse_severity(severity_name(s)), s);
+  }
+  EXPECT_THROW((void)parse_severity("fatal"), std::invalid_argument);
+  EXPECT_THROW((void)parse_severity(""), std::invalid_argument);
+}
+
+TEST(LintSeverity, CountsBySeverity) {
+  const auto counts = count_diagnostics(make_report().diagnostics);
+  EXPECT_EQ(counts.errors, 1u);
+  EXPECT_EQ(counts.warnings, 1u);
+  EXPECT_EQ(counts.infos, 1u);
+}
+
+TEST(LintJsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(LintTextReporter, ShowsRuleLocationAndHint) {
+  std::ostringstream os;
+  TextReporter().write(make_report(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("1 error(s), 1 warning(s), 1 info(s)"),
+            std::string::npos);
+  EXPECT_NE(text.find("[error] removable-watermark @ soc/watermark"),
+            std::string::npos);
+  EXPECT_NE(text.find("hint: cut the \\ escape"), std::string::npos);
+}
+
+TEST(LintTextReporter, HintsCanBeSuppressed) {
+  std::ostringstream os;
+  TextReporter({/*hints=*/false}).write(make_report(), os);
+  EXPECT_EQ(os.str().find("hint:"), std::string::npos);
+}
+
+TEST(LintJsonReporter, RoundTripsFullDocument) {
+  LintReport empty;
+  empty.design = "clean";
+  const std::vector<LintReport> reports = {make_report(), empty};
+  std::ostringstream os;
+  JsonReporter().write_all(reports, os);
+
+  const std::vector<LintReport> parsed = parse_json_reports(os.str());
+  ASSERT_EQ(parsed.size(), reports.size());
+  EXPECT_EQ(parsed[0], reports[0]);
+  EXPECT_EQ(parsed[1], reports[1]);
+}
+
+TEST(LintJsonReporter, RoundTripsBareDesignObject) {
+  const LintReport report = make_report();
+  std::ostringstream os;
+  JsonReporter().write(report, os);
+  const std::vector<LintReport> parsed = parse_json_reports(os.str());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], report);
+}
+
+TEST(LintJsonReporter, DocumentCarriesSchemaAndAggregateSummary) {
+  std::ostringstream os;
+  JsonReporter().write_all(std::vector<LintReport>{make_report()}, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"cm-lint-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+}
+
+TEST(LintJsonParser, AcceptsUnicodeEscapes) {
+  const std::string doc =
+      "{\"design\": \"d\\u0041\\ud83d\\ude00\", \"summary\": "
+      "{\"errors\": 0, \"warnings\": 0, \"infos\": 0}, "
+      "\"diagnostics\": []}";
+  const auto parsed = parse_json_reports(doc);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].design, "dA\xf0\x9f\x98\x80");
+}
+
+TEST(LintJsonParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json_reports("not json"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_json_reports("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json_reports("{\"schema\": \"cm-lint-1\""),
+               std::invalid_argument);
+  // Unknown schema versions must not be silently accepted.
+  EXPECT_THROW((void)parse_json_reports(
+                   "{\"schema\": \"cm-lint-99\", \"designs\": [], "
+                   "\"summary\": {\"errors\": 0, \"warnings\": 0, "
+                   "\"infos\": 0}}"),
+               std::invalid_argument);
+}
+
+TEST(LintJsonParser, RejectsSummaryDisagreeingWithDiagnostics) {
+  const std::string doc =
+      "{\"design\": \"d\", \"summary\": {\"errors\": 2, \"warnings\": 0, "
+      "\"infos\": 0}, \"diagnostics\": []}";
+  EXPECT_THROW((void)parse_json_reports(doc), std::invalid_argument);
+}
+
+TEST(LintJsonParser, RejectsUnknownSeverity) {
+  const std::string doc =
+      "{\"design\": \"d\", \"summary\": {\"errors\": 0, \"warnings\": 0, "
+      "\"infos\": 1}, \"diagnostics\": [{\"rule\": \"r\", \"severity\": "
+      "\"fatal\", \"location\": \"l\", \"message\": \"m\", "
+      "\"hint\": \"\"}]}";
+  EXPECT_THROW((void)parse_json_reports(doc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clockmark::lint

@@ -1,0 +1,349 @@
+// One positive (fires) and one negative (clean) case per design rule,
+// plus analyzer option handling. Sequence/acquisition rules run against
+// a minimal netlist-free design view; structural rules use the demo
+// embeddings from lint/design.h.
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/analyzer.h"
+#include "lint/design.h"
+#include "lint/rule.h"
+#include "sequence/gold.h"
+#include "sequence/polynomials.h"
+
+namespace clockmark::lint {
+namespace {
+
+const RuleRegistry& registry() {
+  static const RuleRegistry kRegistry = builtin_rules();
+  return kRegistry;
+}
+
+std::vector<Diagnostic> run_rule(const std::string& id,
+                                 const Design& design) {
+  const Rule* rule = registry().find(id);
+  EXPECT_NE(rule, nullptr) << "unknown rule " << id;
+  std::vector<Diagnostic> out;
+  if (rule != nullptr) rule->run(design, out);
+  return out;
+}
+
+std::size_t count_severity(const std::vector<Diagnostic>& diags,
+                           Severity severity) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+/// A design carrying only watermark key views — enough for the sequence
+/// and acquisition rules, which never touch the netlist.
+Design keys_only_design(const std::vector<wgc::WgcConfig>& keys) {
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId clk = netlist->add_net("clk");
+  Design design("unit", netlist, clk);
+  std::size_t index = 0;
+  for (const wgc::WgcConfig& key : keys) {
+    WatermarkView view;
+    view.name = "wm" + std::to_string(index++);
+    view.module_path = view.name;
+    view.wgc = key;
+    design.add_watermark(std::move(view));
+  }
+  return design;
+}
+
+wgc::WgcConfig lfsr_key(unsigned width, std::uint32_t taps = 0,
+                        std::uint32_t seed = 1) {
+  return {wgc::WgcMode::kLfsr, width, taps, seed};
+}
+
+wgc::WgcConfig circular_key(unsigned width, std::uint32_t pattern) {
+  return {wgc::WgcMode::kCircular, width, 0, pattern};
+}
+
+// --- structural rules -------------------------------------------------
+
+TEST(LintRemovableWatermark, FlagsLoadCircuitAtErrorSeverity) {
+  const Design design = design_load_circuit_demo("lc", lfsr_key(12));
+  const auto diags = run_rule("removable-watermark", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("load registers"), std::string::npos);
+  EXPECT_FALSE(diags[0].hint.empty());
+}
+
+TEST(LintRemovableWatermark, PassesClockModulationEmbedding) {
+  const Design design = design_embedded_demo("emb", lfsr_key(12));
+  const auto diags = run_rule("removable-watermark", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);
+}
+
+TEST(LintStandaloneComponent, FlagsExcisableLoadCircuit) {
+  const Design design = design_load_circuit_demo("lc", lfsr_key(12));
+  const auto diags = run_rule("standalone-component", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("outside the fan-in cone"),
+            std::string::npos);
+}
+
+TEST(LintStandaloneComponent, PassesEntangledEmbedding) {
+  const Design design = design_embedded_demo("emb", lfsr_key(12));
+  const auto diags = run_rule("standalone-component", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);
+}
+
+TEST(LintStandaloneComponent, ErrorsWhenDesignHasNoObservableRoots) {
+  const Design design = keys_only_design({lfsr_key(12)});
+  const auto diags = run_rule("standalone-component", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("no primary output"), std::string::npos);
+}
+
+TEST(LintUnmodulatedClock, ReportsTheDemoIpFreeRunningCounter) {
+  const Design design = design_embedded_demo("emb", lfsr_key(12));
+  const auto diags = run_rule("unmodulated-clock", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);  // 3 of 271 registers
+  EXPECT_NE(diags[0].message.find("no ICG"), std::string::npos);
+}
+
+TEST(LintUnmodulatedClock, SilentWhenEveryFunctionalFlopIsGated) {
+  // The chip presets gate the whole bank; only the exempt WGC free-runs.
+  const Design design =
+      design_from_scenario_config("chip1", sim::chip1_default());
+  EXPECT_TRUE(run_rule("unmodulated-clock", design).empty());
+}
+
+// --- sequence rules ---------------------------------------------------
+
+TEST(LintWgcPrimitivity, FlagsNonPrimitivePolynomial) {
+  // x^4 + x^3 + x^2 + x + 1 has order 5, not 15.
+  const Design design = keys_only_design({lfsr_key(4, 0xF)});
+  const auto diags = run_rule("wgc-primitivity", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("collapses to 5"), std::string::npos);
+}
+
+TEST(LintWgcPrimitivity, PassesTablePolynomialsAndFlagsBadWidth) {
+  EXPECT_TRUE(
+      run_rule("wgc-primitivity", keys_only_design({lfsr_key(12)}))
+          .empty());
+  const auto wide = run_rule("wgc-primitivity",
+                             keys_only_design({lfsr_key(33)}));
+  ASSERT_EQ(wide.size(), 1u);
+  EXPECT_EQ(wide[0].severity, Severity::kError);
+}
+
+TEST(LintWgcPrimitivity, WarnsOnCircularCarrier) {
+  const auto diags = run_rule(
+      "wgc-primitivity", keys_only_design({circular_key(12, 0xAAA)}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(LintWgcDegenerateState, FlagsLockUpSeeds) {
+  const auto lfsr = run_rule("wgc-degenerate-state",
+                             keys_only_design({lfsr_key(12, 0, 0)}));
+  ASSERT_EQ(lfsr.size(), 1u);
+  EXPECT_EQ(lfsr[0].severity, Severity::kError);
+  // The seed is masked to the register width: 0x1000 & 0xFFF == 0.
+  EXPECT_EQ(run_rule("wgc-degenerate-state",
+                     keys_only_design({lfsr_key(12, 0, 0x1000)}))
+                .size(),
+            1u);
+  const auto circular = run_rule(
+      "wgc-degenerate-state", keys_only_design({circular_key(12, 0xFFF)}));
+  ASSERT_EQ(circular.size(), 1u);
+  EXPECT_EQ(circular[0].severity, Severity::kError);
+}
+
+TEST(LintWgcDegenerateState, PassesLiveSeeds) {
+  EXPECT_TRUE(run_rule("wgc-degenerate-state",
+                       keys_only_design({lfsr_key(12, 0, 0xC51),
+                                         circular_key(12, 0xAAA)}))
+                  .empty());
+}
+
+TEST(LintSequenceBalance, FlagsSkewedDutyCycle) {
+  // One set bit in twelve: duty 1/12, 42 % off balanced.
+  const auto diags = run_rule("sequence-balance",
+                              keys_only_design({circular_key(12, 0x001)}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(LintSequenceBalance, PassesMSequenceDuty) {
+  EXPECT_TRUE(
+      run_rule("sequence-balance", keys_only_design({lfsr_key(12)}))
+          .empty());
+}
+
+TEST(LintSequenceRuns, FlagsLongConstantStretch) {
+  // Pattern 0x00F: a run of 8 zeros in a 12-cycle period.
+  const auto diags = run_rule("sequence-runs",
+                              keys_only_design({circular_key(12, 0x00F)}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(LintSequenceRuns, PassesMSequenceRuns) {
+  // Longest m-sequence run is the register width: 12 << 4095 / 4.
+  EXPECT_TRUE(run_rule("sequence-runs", keys_only_design({lfsr_key(12)}))
+                  .empty());
+}
+
+TEST(LintGoldCrossCorrelation, RejectsShiftedCopiesOfOneSequence) {
+  const auto diags = run_rule(
+      "gold-cross-correlation",
+      keys_only_design({lfsr_key(7, 0, 0x55), lfsr_key(7, 0, 0x2A)}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("shifts of one sequence"),
+            std::string::npos);
+}
+
+TEST(LintGoldCrossCorrelation, AcceptsPreferredPairs) {
+  const sequence::PreferredPair pair = sequence::preferred_pair(7);
+  const auto diags = run_rule(
+      "gold-cross-correlation",
+      keys_only_design({lfsr_key(7, pair.taps_a, 0x55),
+                        lfsr_key(7, pair.taps_b, 0x2A)}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);
+}
+
+TEST(LintGoldCrossCorrelation, MixedWidthsAreInformationalOnly) {
+  const auto diags =
+      run_rule("gold-cross-correlation",
+               keys_only_design({lfsr_key(7), lfsr_key(9)}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);
+  EXPECT_NE(diags[0].message.find("does not apply"), std::string::npos);
+}
+
+// --- acquisition rules ------------------------------------------------
+
+TEST(LintTraceCoversPeriod, ErrorsBelowOnePeriodWarnsBelowFour) {
+  Design design = keys_only_design({lfsr_key(12)});
+  design.set_trace_cycles(1000);  // < 4095
+  auto diags = run_rule("trace-covers-period", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+
+  design.set_trace_cycles(10000);  // 2 periods
+  diags = run_rule("trace-covers-period", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(LintTraceCoversPeriod, PassesPaperTraceLength) {
+  Design design = keys_only_design({lfsr_key(12)});
+  design.set_trace_cycles(300000);  // ~73 periods
+  EXPECT_TRUE(run_rule("trace-covers-period", design).empty());
+}
+
+TEST(LintSamplingAliasing, ErrorsBelowNyquist) {
+  Design design = keys_only_design({lfsr_key(12)});
+  measure::AcquisitionConfig acq;
+  acq.scope.sample_rate_hz = 15e6;  // 1.5 samples per 10 MHz cycle
+  design.set_acquisition(acq);
+  design.set_tech(power::TechLibrary{});
+  const auto diags = run_rule("sampling-aliasing", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("Nyquist"), std::string::npos);
+}
+
+TEST(LintSamplingAliasing, WarnsOnSynthesisMismatchAndDeepPdnCutoff) {
+  Design design = keys_only_design({lfsr_key(12)});
+  measure::AcquisitionConfig acq;
+  acq.waveform.samples_per_cycle = 40;  // scope says 50
+  acq.pdn_cutoff_hz = 20e3;             // 500x below the clock
+  design.set_acquisition(acq);
+  design.set_tech(power::TechLibrary{});
+  const auto diags = run_rule("sampling-aliasing", design);
+  EXPECT_EQ(count_severity(diags, Severity::kWarning), 2u);
+  EXPECT_EQ(count_severity(diags, Severity::kError), 0u);
+}
+
+TEST(LintSamplingAliasing, PassesThePaperSetup) {
+  Design design = keys_only_design({lfsr_key(12)});
+  design.set_acquisition(measure::AcquisitionConfig{});
+  design.set_tech(power::TechLibrary{});  // 500 MS/s at 10 MHz = 50x
+  EXPECT_TRUE(run_rule("sampling-aliasing", design).empty());
+}
+
+// --- registry and analyzer plumbing -----------------------------------
+
+TEST(LintRegistry, CatalogIsCompleteAndIdUnique) {
+  const RuleRegistry& reg = registry();
+  EXPECT_EQ(reg.size(), 10u);
+  for (const Rule* rule : reg.rules()) {
+    EXPECT_EQ(reg.find(rule->info().id), rule);
+    EXPECT_FALSE(rule->info().paper_ref.empty());
+    EXPECT_FALSE(rule->info().description.empty());
+  }
+  EXPECT_EQ(reg.find("no-such-rule"), nullptr);
+}
+
+TEST(LintRegistry, RejectsDuplicateIds) {
+  class DummyRule final : public Rule {
+   public:
+    const RuleInfo& info() const noexcept override {
+      static const RuleInfo kInfo{"dummy", "t", "r", "d"};
+      return kInfo;
+    }
+    void run(const Design&, std::vector<Diagnostic>&) const override {}
+  };
+  RuleRegistry reg;
+  reg.add(std::make_unique<DummyRule>());
+  EXPECT_THROW(reg.add(std::make_unique<DummyRule>()),
+               std::invalid_argument);
+}
+
+TEST(LintAnalyzer, UnknownRuleIdThrows) {
+  AnalyzerOptions options;
+  options.enabled_rules = {"wgc-primitivity", "tpyo-rule"};
+  EXPECT_THROW(Analyzer(registry(), options), std::invalid_argument);
+}
+
+TEST(LintAnalyzer, RuleSelectionAndSeverityFloorApply) {
+  const Design design = design_load_circuit_demo("lc", lfsr_key(12));
+  AnalyzerOptions options;
+  options.enabled_rules = {"removable-watermark"};
+  const LintReport only_removable =
+      Analyzer(registry(), options).run(design);
+  ASSERT_EQ(only_removable.diagnostics.size(), 1u);
+  EXPECT_EQ(only_removable.diagnostics[0].rule, "removable-watermark");
+
+  AnalyzerOptions floor;
+  floor.min_severity = Severity::kError;
+  const LintReport errors_only = Analyzer(registry(), floor).run(design);
+  EXPECT_EQ(errors_only.counts.errors, errors_only.diagnostics.size());
+  EXPECT_EQ(errors_only.counts.warnings, 0u);
+  EXPECT_EQ(errors_only.counts.infos, 0u);
+}
+
+TEST(LintAnalyzer, SortsMostSevereFirst) {
+  const Design design = design_load_circuit_demo("lc", lfsr_key(12));
+  const LintReport report = Analyzer(registry()).run(design);
+  for (std::size_t i = 1; i < report.diagnostics.size(); ++i) {
+    EXPECT_GE(static_cast<int>(report.diagnostics[i - 1].severity),
+              static_cast<int>(report.diagnostics[i].severity));
+  }
+  EXPECT_FALSE(report.clean());
+}
+
+}  // namespace
+}  // namespace clockmark::lint
