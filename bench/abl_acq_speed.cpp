@@ -1,0 +1,114 @@
+// Ablation: fused acquisition kernel vs the per-sample reference chain.
+// Measures one full acquisition (waveform synthesis -> PDN -> shunt ->
+// probe -> ADC -> per-cycle averaging) of a realistic chip trace on both
+// paths and reports the speedup. The two paths are bit-identical
+// (tests/test_measure_kernel.cpp); this bench tracks only the time.
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+#include "bench_common.h"
+#include "measure/acquisition.h"
+#include "sim/scenario.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+double cpu_seconds() {
+  return static_cast<double>(std::clock()) /
+         static_cast<double>(CLOCKS_PER_SEC);
+}
+
+template <typename F>
+double time_reps(F&& fn, std::size_t reps) {
+  const double t0 = cpu_seconds();
+  for (std::size_t rep = 0; rep < reps; ++rep) fn();
+  return (cpu_seconds() - t0) / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv, {.reps = 3});
+  cli.reject_unknown();
+  const std::size_t reps = cli.reps();
+  bench::BenchJson json("abl_acq_speed", cli.threads());
+
+  bench::print_header(
+      "abl_acq_speed — fused acquisition kernel vs per-sample reference (" +
+          std::to_string(cli.cycles()) + " cycles, " + std::to_string(reps) +
+          " reps)",
+      "perf ablation: same chain as paper Fig. 4(b), fused block kernel");
+
+  util::CsvWriter csv(cli.out_file("abl_acq_speed.csv"));
+  csv.text_row({"chip", "cycles", "samples_per_cycle", "ref_cpu_s_per_rep",
+                "fused_cpu_s_per_rep", "speedup"});
+
+  bool all_identical = true;
+  for (const bool chip2 : {false, true}) {
+    auto cfg = chip2 ? sim::chip2_default() : sim::chip1_default();
+    cli.apply(cfg);
+    cfg.phase_offset = 0;  // acquisition cost is phase-independent
+    const sim::Scenario scenario(cfg);
+    // One realistic device trace; the bench times acquisition only.
+    const power::PowerTrace trace = scenario.synthesize(0).total_power;
+
+    measure::AcquisitionChain chain(cfg.acquisition);
+    const auto ref = chain.acquire_reference(trace);
+    const auto fused = chain.measure(trace);
+    const bool identical =
+        ref.per_cycle_power_w == fused.per_cycle_power_w &&
+        ref.mean_power_w == fused.mean_power_w &&
+        ref.lsb_power_w == fused.lsb_power_w;
+    all_identical = all_identical && identical;
+
+    const double ref_s = time_reps(
+        [&] { (void)chain.acquire_reference(trace).mean_power_w; }, reps);
+    const double fused_s =
+        time_reps([&] { (void)chain.measure(trace).mean_power_w; }, reps);
+    const double speedup = fused_s > 0.0 ? ref_s / fused_s : 0.0;
+    const auto spc = cfg.acquisition.waveform.samples_per_cycle;
+    const double samples =
+        static_cast<double>(trace.cycles()) * static_cast<double>(spc);
+
+    const std::string chip = chip2 ? "chip II" : "chip I";
+    std::cout << "\n--- " << chip << " (" << trace.cycles() << " cycles x "
+              << spc << " samples/cycle) ---\n"
+              << "  reference: " << ref_s << " cpu-s/rep\n"
+              << "  fused:     " << fused_s << " cpu-s/rep  (" << speedup
+              << "x, "
+              << (fused_s > 0.0 ? samples / fused_s : 0.0) / 1.0e6
+              << " Msamples/s)\n"
+              << "  outputs bit-identical: " << (identical ? "yes" : "NO")
+              << "\n";
+
+    csv.text_row({chip, std::to_string(trace.cycles()), std::to_string(spc),
+                  util::format_double(ref_s, 6),
+                  util::format_double(fused_s, 6),
+                  util::format_double(speedup, 4)});
+
+    auto& rec = json.add_record(chip2 ? "chip2" : "chip1");
+    bench::BenchJson::add_metric(rec, "cycles",
+                                 static_cast<double>(trace.cycles()));
+    bench::BenchJson::add_metric(rec, "samples_per_cycle",
+                                 static_cast<double>(spc));
+    bench::BenchJson::add_metric(rec, "ref_cpu_s_per_rep", ref_s);
+    bench::BenchJson::add_metric(rec, "fused_cpu_s_per_rep", fused_s);
+    bench::BenchJson::add_metric(rec, "speedup", speedup);
+    bench::BenchJson::add_metric(
+        rec, "items_per_sec", fused_s > 0.0 ? 1.0 / fused_s : 0.0);
+    bench::BenchJson::add_metric(
+        rec, "samples_per_sec", fused_s > 0.0 ? samples / fused_s : 0.0);
+    bench::BenchJson::add_metric(rec, "bit_identical",
+                                 identical ? 1.0 : 0.0);
+  }
+
+  if (!cli.json_path().empty()) json.write(cli.json_path());
+  if (!all_identical) {
+    std::cerr << "abl_acq_speed: fused and reference outputs differ\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BenchJson records.
+
+Compares a freshly produced bench --json record against the committed
+baseline in bench_results/ and fails (exit 1) when any tracked throughput
+metric regressed by more than the allowed fraction.
+
+Usage:
+  scripts/perf_gate.py --baseline bench_results/BENCH_acq.json \
+      --current build/bench_smoke/BENCH_acq.json [--max-regression 0.25]
+
+Comparison rules (kept deliberately small):
+  * records are matched by "name"; a record present only on one side is
+    reported but never fails the gate (benches grow new cases),
+  * higher-is-better metrics (anything ending in "_per_sec" or named
+    "speedup") fail when current < baseline * (1 - max_regression),
+  * lower-is-better timing metrics (anything ending in "_s_per_rep" or
+    "_s_per_iter") fail when current > baseline * (1 + max_regression),
+  * other metrics (cycles, thresholds, flags) are ignored.
+
+Baselines are recorded on the reference box (single core, gcc -O3); the
+default 25 % margin absorbs normal scheduler/turbo noise there. On
+different hardware the absolute numbers shift together, so the gate
+stays meaningful as long as baseline and current come from the same
+machine — regenerate the baselines (see README) after intentional perf
+changes or when moving the reference box.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER_SUFFIXES = ("_per_sec",)
+HIGHER_IS_BETTER_NAMES = ("speedup", "items_per_sec", "samples_per_sec")
+LOWER_IS_BETTER_SUFFIXES = ("_s_per_rep", "_s_per_iter")
+
+
+def classify(metric):
+    """Returns 'higher', 'lower' or None (untracked)."""
+    if metric in HIGHER_IS_BETTER_NAMES or metric.endswith(
+        HIGHER_IS_BETTER_SUFFIXES
+    ):
+        return "higher"
+    if metric.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    records = {}
+    for record in doc.get("records", []):
+        name = record.get("name")
+        if name is None:
+            raise ValueError(f"{path}: record without a name")
+        metrics = {
+            k: v
+            for k, v in record.items()
+            if k != "name" and isinstance(v, (int, float))
+        }
+        records[name] = metrics
+    return doc.get("bench", "?"), records
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail when a bench --json record regressed vs baseline."
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed BenchJson baseline"
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly produced BenchJson record"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    bench_base, baseline = load_records(args.baseline)
+    bench_cur, current = load_records(args.current)
+    if bench_base != bench_cur:
+        print(
+            f"perf gate: comparing different benches "
+            f"('{bench_base}' baseline vs '{bench_cur}' current)",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    compared = 0
+    for name, base_metrics in sorted(baseline.items()):
+        if name not in current:
+            print(f"  [skip] record '{name}' missing from current run")
+            continue
+        cur_metrics = current[name]
+        for metric, base_value in sorted(base_metrics.items()):
+            direction = classify(metric)
+            if direction is None or metric not in cur_metrics:
+                continue
+            cur_value = cur_metrics[metric]
+            if base_value <= 0.0:
+                continue
+            compared += 1
+            change = cur_value / base_value - 1.0
+            if direction == "higher":
+                bad = change < -args.max_regression
+            else:
+                bad = change > args.max_regression
+            marker = "FAIL" if bad else "ok"
+            print(
+                f"  [{marker}] {name}.{metric}: baseline {base_value:.6g}, "
+                f"current {cur_value:.6g} ({change:+.1%})"
+            )
+            if bad:
+                failures.append(f"{name}.{metric} ({change:+.1%})")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  [new]  record '{name}' has no baseline yet")
+
+    if compared == 0:
+        print(
+            f"perf gate: no comparable metrics between {args.baseline} and "
+            f"{args.current}",
+            file=sys.stderr,
+        )
+        return 1
+    if failures:
+        print(
+            f"perf gate: {bench_cur}: {len(failures)} metric(s) regressed "
+            f"more than {args.max_regression:.0%}: " + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf gate: {bench_cur}: {compared} metric(s) within "
+        f"{args.max_regression:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

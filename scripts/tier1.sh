@@ -19,21 +19,37 @@ cmake --build build -j
 
 echo "=== tier-1: bench smoke (perf binaries + --json records) ==="
 # Optimized-build smoke of the perf-tracking binaries: a minimal
-# google-benchmark sweep and the fig6 JSON writer, so the bench targets
-# and their machine-readable output can't silently rot.
+# google-benchmark sweep plus the fig6/stream/acquisition JSON writers,
+# so the bench targets and their machine-readable output can't silently
+# rot. Thread counts come from the box itself (clamped to >= 1) rather
+# than assuming a multi-core host; steps that *measure* parallel scaling
+# self-skip below when only one hardware thread exists.
 SMOKE_DIR=build/bench_smoke
+SMOKE_THREADS="$(nproc)"
+[[ "${SMOKE_THREADS}" -ge 1 ]] || SMOKE_THREADS=1
 rm -rf "${SMOKE_DIR}"
 mkdir -p "${SMOKE_DIR}"
 ./build/bench/abl_cpa_speed --benchmark_min_time=0.01 \
   --benchmark_filter='BM_Fft/10/30000' \
   --json="${SMOKE_DIR}/BENCH_cpa_speed.json" > "${SMOKE_DIR}/cpa_speed.log"
-./build/bench/fig6_repeatability --reps=2 --cycles=20000 --threads=2 \
-  --out="${SMOKE_DIR}/fig6" \
+if [[ "${SMOKE_THREADS}" -gt 1 ]]; then
+  ./build/bench/abl_cpa_speed --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_NaiveParallel/10/30000/2' \
+    > "${SMOKE_DIR}/cpa_parallel.log"
+else
+  echo "bench smoke: 1 hardware thread — skipping parallel-scaling smoke"
+fi
+./build/bench/fig6_repeatability --reps=2 --cycles=20000 \
+  --threads="${SMOKE_THREADS}" --out="${SMOKE_DIR}/fig6" \
   --json="${SMOKE_DIR}/BENCH_fig6.json" > "${SMOKE_DIR}/fig6.log"
-./build/bench/abl_stream_latency --cycles=32768 --chunk=2048 --threads=2 \
-  --out="${SMOKE_DIR}/stream" \
+./build/bench/abl_stream_latency --cycles=32768 --chunk=2048 \
+  --threads="${SMOKE_THREADS}" --out="${SMOKE_DIR}/stream" \
   --json="${SMOKE_DIR}/BENCH_stream.json" > "${SMOKE_DIR}/stream.log"
-for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json; do
+./build/bench/abl_acq_speed --reps=2 --cycles=60000 \
+  --out="${SMOKE_DIR}/acq" \
+  --json="${SMOKE_DIR}/BENCH_acq.json" > "${SMOKE_DIR}/acq.log"
+for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json \
+    BENCH_acq.json; do
   if [[ ! -s "${SMOKE_DIR}/${f}" ]]; then
     echo "bench smoke: missing or empty ${SMOKE_DIR}/${f}" >&2
     exit 1
@@ -43,6 +59,16 @@ for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json; do
     exit 1
   }
 done
+
+echo "=== tier-1: perf-regression gate ==="
+# Compares the smoke-run BenchJson records against the committed
+# baselines (recorded with the same flags on the reference box); any
+# tracked throughput metric more than 25 % below baseline fails. See
+# scripts/perf_gate.py and README "Performance tracking".
+scripts/perf_gate.py --baseline bench_results/BENCH_acq.json \
+  --current "${SMOKE_DIR}/BENCH_acq.json"
+scripts/perf_gate.py --baseline bench_results/BENCH_cpa_speed.json \
+  --current "${SMOKE_DIR}/BENCH_cpa_speed.json"
 
 echo "=== tier-1: design-rule lint gate (cm_lint) ==="
 LINT_DIR=build/lint_smoke

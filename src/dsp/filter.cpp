@@ -17,15 +17,6 @@ OnePoleLowPass::OnePoleLowPass(double cutoff_hz, double sample_rate_hz) {
   alpha_ = dt / (rc + dt);
 }
 
-double OnePoleLowPass::step(double x) noexcept {
-  y_ += alpha_ * (x - y_);
-  return y_;
-}
-
-void OnePoleLowPass::process(std::span<double> signal) noexcept {
-  for (auto& v : signal) v = step(v);
-}
-
 Biquad Biquad::low_pass(double f0_hz, double q, double sample_rate_hz) {
   const double w0 = 2.0 * std::numbers::pi * f0_hz / sample_rate_hz;
   const double cw = std::cos(w0);

@@ -3,6 +3,7 @@
 // stages; a biquad is provided for board-level supply resonances.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -16,11 +17,29 @@ class OnePoleLowPass {
   /// cutoff_hz must be in (0, sample_rate_hz / 2).
   OnePoleLowPass(double cutoff_hz, double sample_rate_hz);
 
-  double step(double x) noexcept;
+  /// y[n] = y[n-1] + alpha * (x[n] - y[n-1]), evaluated as a single fused
+  /// multiply-add. Inline (and branch-free) because this recurrence is the
+  /// serial backbone of the acquisition hot loops; std::fma is correctly
+  /// rounded whether it lowers to an FMA instruction or to libm, so every
+  /// build produces the same bits.
+  double step(double x) noexcept {
+    y_ = std::fma(alpha_, x - y_, y_);
+    return y_;
+  }
   void reset(double state = 0.0) noexcept { y_ = state; }
-  void process(std::span<double> signal) noexcept;
+  /// In-place filtering. Inline so it compiles in the caller's TU: the
+  /// acquisition hot paths build with FMA enabled, and an out-of-line
+  /// copy in cm_dsp would run step()'s std::fma through the (correctly
+  /// rounded but slow) libm fallback instead. Same bits either way.
+  void process(std::span<double> signal) noexcept {
+    for (double& x : signal) x = step(x);
+  }
 
   double alpha() const noexcept { return alpha_; }
+  /// Current filter state (the last output). Lets block-processing
+  /// callers pull the recurrence into a register-resident local loop and
+  /// write the state back afterwards.
+  double state() const noexcept { return y_; }
 
  private:
   double alpha_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "measure/kernel.h"
 #include "measure/trigger.h"
 #include "util/rng.h"
 
@@ -17,6 +18,27 @@ AcquisitionChain::AcquisitionChain(const AcquisitionConfig& config)
 }
 
 Acquisition AcquisitionChain::measure(const power::PowerTrace& device_power) {
+  if (config_.simulate_trigger_offset) {
+    // The random capture-start prefix breaks the kernel's whole-cycle
+    // block contract; that study keeps the reference path.
+    return acquire_reference(device_power);
+  }
+  AcquisitionKernel kernel(config_, device_power.clock_hz());
+  const auto cycles = device_power.span();
+  if (kernel.needs_range_pass()) {
+    kernel.range_feed(cycles);
+    kernel.fix_range();
+  }
+  Acquisition result;
+  kernel.acquire_feed(cycles, result.per_cycle_power_w);
+  const auto s = kernel.summary();
+  result.mean_power_w = s.mean_power_w;
+  result.lsb_power_w = s.lsb_power_w;
+  return result;
+}
+
+Acquisition AcquisitionChain::acquire_reference(
+    const power::PowerTrace& device_power) {
   const std::size_t spc = config_.waveform.samples_per_cycle;
   const double fs = device_power.clock_hz() * static_cast<double>(spc);
 

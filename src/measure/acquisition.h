@@ -54,8 +54,18 @@ class AcquisitionChain {
 
   /// Measures a device power trace: expands to a sample-rate current
   /// waveform, runs the analog chain + ADC, block-averages back to one
-  /// power value per clock cycle.
+  /// power value per clock cycle. Routed through the fused
+  /// measure::AcquisitionKernel (see kernel.h); simulate_trigger_offset
+  /// falls back to acquire_reference, the only path that drops a
+  /// sub-cycle sample prefix.
   Acquisition measure(const power::PowerTrace& device_power);
+
+  /// The original materialise-then-filter-then-quantise pipeline, kept
+  /// as the per-sample reference implementation. The fused kernel is
+  /// bit-identical to it (asserted in tests/test_measure_kernel.cpp);
+  /// this path also remains the reference-vs-fused baseline for
+  /// bench/abl_acq_speed.
+  Acquisition acquire_reference(const power::PowerTrace& device_power);
 
   const AcquisitionConfig& config() const noexcept { return config_; }
 

@@ -1,0 +1,322 @@
+#include "measure/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace clockmark::measure {
+
+namespace {
+/// Block sizing target: a block of ~4096 samples keeps the five scratch
+/// walks (synthesize, noise, filter, quantise, average) inside L1/L2.
+constexpr std::size_t kBlockSamplesTarget = 4096;
+}  // namespace
+
+// One pass's analog chain state. The waveform expansion is per-cycle
+// pure, but the PDN low-pass, the probe filter and the two noise streams
+// all carry state from sample to sample — exactly the state the
+// reference path threads implicitly by processing the whole waveform in
+// one call. Both noise streams fork from the same base stream (and with
+// the same salts) as the reference path, so the draw sequences are
+// identical.
+struct AcquisitionKernel::Pass {
+  Pass(const AcquisitionConfig& config, double fs)
+      : probe_filter(config.probe.bandwidth_hz, config.probe.sample_rate_hz),
+        probe_rng(0, 0),
+        scope_rng(0, 0) {
+    if (config.enable_pdn_filter) pdn.emplace(config.pdn_cutoff_hz, fs);
+    util::Pcg32 base(config.noise_seed, 0x0b5e7fa11ULL);
+    probe_rng = base.fork(1);
+    scope_rng = base.fork(2);
+  }
+
+  std::optional<dsp::OnePoleLowPass> pdn;
+  dsp::OnePoleLowPass probe_filter;
+  util::Pcg32 probe_rng;
+  util::Pcg32 scope_rng;
+  bool primed = false;
+  std::size_t prime_samples = 0;  ///< samples the DC priming averaged
+};
+
+AcquisitionKernel::AcquisitionKernel(const AcquisitionConfig& config,
+                                     double clock_hz,
+                                     std::size_t block_cycles)
+    : config_(config), clock_hz_(clock_hz) {
+  if (config_.probe.sample_rate_hz != config_.scope.sample_rate_hz) {
+    throw std::invalid_argument(
+        "AcquisitionKernel: probe/scope sample rates must match");
+  }
+  if (clock_hz_ <= 0.0) {
+    throw std::invalid_argument("AcquisitionKernel: clock_hz must be > 0");
+  }
+  if (config_.simulate_trigger_offset) {
+    throw std::invalid_argument(
+        "AcquisitionKernel: simulate_trigger_offset drops a sub-cycle "
+        "sample prefix and is only supported by the reference path");
+  }
+  // Same front-door validation the reference path's Oscilloscope
+  // constructor performs before any range decision.
+  if (config_.scope.resolution_bits < 2 || config_.scope.resolution_bits > 16) {
+    throw std::invalid_argument(
+        "AcquisitionKernel: resolution must be 2..16 bit");
+  }
+  if (config_.scope.full_scale_v <= 0.0) {
+    throw std::invalid_argument("AcquisitionKernel: full scale must be > 0");
+  }
+  template_ = power::cycle_pulse_template(config_.waveform);  // throws on spc=0
+
+  const std::size_t spc = config_.waveform.samples_per_cycle;
+  block_cycles_ = block_cycles > 0
+                      ? block_cycles
+                      : std::max<std::size_t>(8, kBlockSamplesTarget / spc);
+  wave_.resize(block_cycles_ * spc);
+  noise_.resize(block_cycles_ * spc);
+}
+
+AcquisitionKernel::~AcquisitionKernel() = default;
+
+bool AcquisitionKernel::needs_range_pass() const noexcept {
+  return config_.scope_auto_range;
+}
+
+void AcquisitionKernel::prime_pdn(Pass& pass,
+                                  std::span<const double> cycle_power_w) {
+  const std::size_t spc = config_.waveform.samples_per_cycle;
+  if (!pass.pdn || cycle_power_w.empty()) return;
+  if (pass.primed) {
+    if (pass.prime_samples < spc * 8) {
+      throw std::invalid_argument(
+          "AcquisitionKernel: first chunk must span at least 8 cycles "
+          "(PDN priming window)");
+    }
+    return;
+  }
+  // The reference path primes the filter with the DC level of the first
+  // min(trace, 8 cycles) samples. Accumulate the synthesized samples in
+  // the exact order the reference sums them — no buffer needed, the
+  // expansion is recomputed per sample.
+  const std::size_t settle_cycles =
+      std::min<std::size_t>(cycle_power_w.size(), 8);
+  const std::size_t settle = settle_cycles * spc;
+  double dc = 0.0;
+  for (std::size_t c = 0; c < settle_cycles; ++c) {
+    const double avg_current = cycle_power_w[c] / config_.vdd_v;
+    const double scale =
+        avg_current * static_cast<double>(spc);
+    for (std::size_t i = 0; i < spc; ++i) dc += scale * template_[i];
+  }
+  pass.pdn->reset(dc / static_cast<double>(settle));
+  pass.primed = true;
+  pass.prime_samples = settle;
+}
+
+void AcquisitionKernel::run_pass(Pass& pass,
+                                 std::span<const double> cycle_power_w,
+                                 bool acquire, std::vector<double>* y_out) {
+  const std::size_t spc = config_.waveform.samples_per_cycle;
+  const double spc_d = static_cast<double>(spc);
+  const double vdd = config_.vdd_v;
+  const double r_shunt = config_.shunt.resistance_ohm();
+  const double gain = config_.probe.gain;
+  const double probe_noise = config_.probe.noise_v_rms;
+
+  // ADC grid (acquire pass only; config_.scope holds the fixed range).
+  const double lsb =
+      config_.scope.full_scale_v /
+      static_cast<double>(1u << config_.scope.resolution_bits);
+  const double half_scale = config_.scope.full_scale_v / 2.0;
+  const double offset_v = config_.scope.offset_v;
+  const double scope_noise = config_.scope.noise_v_rms;
+  const double max_code =
+      static_cast<double>((1u << config_.scope.resolution_bits) - 1u);
+
+  prime_pdn(pass, cycle_power_w);
+
+  const double* tpl = template_.data();
+  double* wave = wave_.data();
+  double* noise = noise_.data();
+
+  // The two one-pole recurrences are the serial backbone of the pipeline
+  // (everything else is an independent-per-sample array pass). Pull
+  // their state into locals for the block loop — through the Pass
+  // pointer gcc must assume the wave stores could alias the filter
+  // object and would reload the state every sample — and fuse
+  // PDN -> shunt -> probe into one loop so the two dependency chains
+  // overlap instead of paying their latency twice. The per-sample
+  // dataflow (and thus every bit) is unchanged: each recurrence sees
+  // exactly the inputs and state it saw as separate passes.
+  const bool use_pdn = pass.pdn.has_value();
+  const double pdn_alpha = use_pdn ? pass.pdn->alpha() : 0.0;
+  double pdn_y = use_pdn ? pass.pdn->state() : 0.0;
+  const double probe_alpha = pass.probe_filter.alpha();
+  double probe_y = pass.probe_filter.state();
+
+  for (std::size_t start = 0; start < cycle_power_w.size();
+       start += block_cycles_) {
+    const std::size_t bc =
+        std::min(block_cycles_, cycle_power_w.size() - start);
+    const std::size_t sc = bc * spc;
+
+    // 1. Chip current at sample rate (same ops as
+    //    power::expand_to_current_waveform, block-resident).
+    for (std::size_t c = 0; c < bc; ++c) {
+      const double avg_current = cycle_power_w[start + c] / vdd;
+      const double scale = avg_current * spc_d;
+      double* w = wave + c * spc;
+      for (std::size_t i = 0; i < spc; ++i) w[i] = scale * tpl[i];
+    }
+
+    // 2.-4. PDN low-pass -> shunt voltage -> probe bandwidth + gain +
+    //    batched noise, fused. The noise block is drawn up front — same
+    //    stream, same order as the per-sample reference — so the serial
+    //    loop carries only the filter states.
+    pass.probe_rng.fill_gaussian(std::span<double>(noise, sc), 0.0,
+                                 probe_noise);
+
+    if (!acquire) {
+      // Range pass: accumulate the exact min/max the reference scope's
+      // auto_range would see over the full waveform. The per-sample
+      // volts value is consumed by the min/max right away — nothing is
+      // stored. Seeding with +/-inf is exact: min(inf, w) == w for the
+      // first finite sample, so the result equals the reference's
+      // first-element initialisation.
+      double mn = volts_seen_ ? volts_min_
+                              : std::numeric_limits<double>::infinity();
+      double mx = volts_seen_ ? volts_max_
+                              : -std::numeric_limits<double>::infinity();
+      if (sc > 0) volts_seen_ = true;
+      if (use_pdn) {
+        for (std::size_t j = 0; j < sc; ++j) {
+          pdn_y = std::fma(pdn_alpha, wave[j] - pdn_y, pdn_y);
+          const double v = pdn_y * r_shunt;
+          probe_y = std::fma(probe_alpha, v - probe_y, probe_y);
+          const double w = probe_y * gain + noise[j];
+          mn = std::min(mn, w);
+          mx = std::max(mx, w);
+        }
+      } else {
+        for (std::size_t j = 0; j < sc; ++j) {
+          const double v = wave[j] * r_shunt;
+          probe_y = std::fma(probe_alpha, v - probe_y, probe_y);
+          const double w = probe_y * gain + noise[j];
+          mn = std::min(mn, w);
+          mx = std::max(mx, w);
+        }
+      }
+      volts_min_ = mn;
+      volts_max_ = mx;
+      continue;
+    }
+
+    if (use_pdn) {
+      for (std::size_t j = 0; j < sc; ++j) {
+        pdn_y = std::fma(pdn_alpha, wave[j] - pdn_y, pdn_y);
+        const double v = pdn_y * r_shunt;
+        probe_y = std::fma(probe_alpha, v - probe_y, probe_y);
+        wave[j] = probe_y * gain + noise[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < sc; ++j) {
+        const double v = wave[j] * r_shunt;
+        probe_y = std::fma(probe_alpha, v - probe_y, probe_y);
+        wave[j] = probe_y * gain + noise[j];
+      }
+    }
+
+    // 5. Oscilloscope: batched front-end noise, clip, quantise,
+    //    reconstruct. All in the double domain so the loop vectorizes:
+    //    the code values are small integers, for which floor/clamp on
+    //    doubles is bit-identical to the reference's long round-trip.
+    pass.scope_rng.fill_gaussian(std::span<double>(noise, sc), 0.0,
+                                 scope_noise);
+    for (std::size_t j = 0; j < sc; ++j) {
+      const double noisy = wave[j] + noise[j] - offset_v;
+      const double clipped =
+          std::clamp(noisy, -half_scale, half_scale - lsb);
+      double code = std::floor((clipped + half_scale) / lsb);
+      code = std::clamp(code, 0.0, max_code);
+      wave[j] = (code + 0.5) * lsb - half_scale + offset_v;
+    }
+
+    // 6. Back to chip power, averaged per clock cycle (Y vector). The
+    //    running sum crosses block boundaries in cycle order, so the
+    //    mean matches the reference's single accumulation chain.
+    for (std::size_t c = 0; c < bc; ++c) {
+      const double* w = wave + c * spc;
+      double s = 0.0;
+      for (std::size_t i = 0; i < spc; ++i) s += w[i];
+      const double averaged = s / spc_d;
+      const double current_a = (averaged / gain) / r_shunt;
+      const double y = current_a * vdd;
+      y_out->push_back(y);
+      sum_power_w_ += y;
+    }
+    cycles_out_ += bc;
+  }
+
+  // Hand the register-resident recurrence states back to the pass so the
+  // next feed resumes exactly where this one stopped.
+  if (use_pdn) pass.pdn->reset(pdn_y);
+  pass.probe_filter.reset(probe_y);
+}
+
+void AcquisitionKernel::range_feed(std::span<const double> cycle_power_w) {
+  if (range_fixed_) {
+    throw std::logic_error("AcquisitionKernel: range already fixed");
+  }
+  if (!range_pass_) {
+    range_pass_ = std::make_unique<Pass>(
+        config_, clock_hz_ * static_cast<double>(
+                                 config_.waveform.samples_per_cycle));
+  }
+  run_pass(*range_pass_, cycle_power_w, /*acquire=*/false, nullptr);
+}
+
+void AcquisitionKernel::fix_range() {
+  if (range_fixed_) return;
+  // Same arithmetic as Oscilloscope::auto_range over the full waveform —
+  // the chunk-wise min/max is exact, so the chosen range is identical.
+  if (volts_seen_) {
+    const double span = std::max(volts_max_ - volts_min_, 1e-9);
+    config_.scope.offset_v = (volts_max_ + volts_min_) / 2.0;
+    config_.scope.full_scale_v = span / 0.8;
+  }
+  range_fixed_ = true;
+  range_pass_.reset();  // the acquire pass re-creates the analog chain
+}
+
+void AcquisitionKernel::acquire_feed(std::span<const double> cycle_power_w,
+                                     std::vector<double>& y_out) {
+  if (needs_range_pass() && !range_fixed_) {
+    throw std::logic_error(
+        "AcquisitionKernel: run the range pass (range_feed + fix_range) "
+        "before acquiring");
+  }
+  if (!acquire_pass_) {
+    acquire_pass_ = std::make_unique<Pass>(
+        config_, clock_hz_ * static_cast<double>(
+                                 config_.waveform.samples_per_cycle));
+  }
+  y_out.reserve(y_out.size() + cycle_power_w.size());
+  run_pass(*acquire_pass_, cycle_power_w, /*acquire=*/true, &y_out);
+}
+
+AcquisitionKernel::Summary AcquisitionKernel::summary() const {
+  Summary s;
+  s.cycles = cycles_out_;
+  s.mean_power_w =
+      cycles_out_ > 0 ? sum_power_w_ / static_cast<double>(cycles_out_)
+                      : 0.0;
+  const double lsb_v =
+      config_.scope.full_scale_v /
+      static_cast<double>(1u << config_.scope.resolution_bits);
+  s.lsb_power_w = lsb_v / config_.shunt.resistance_ohm() /
+                  config_.probe.gain * config_.vdd_v;
+  return s;
+}
+
+}  // namespace clockmark::measure

@@ -1,0 +1,105 @@
+// Fused, block-processed acquisition kernel — the performance core of the
+// Fig. 4(b) test-bench model. The original pipeline materialises the full
+// sample-rate waveform (50 doubles per cycle, the dominant allocation and
+// memory traffic of a repetition) and walks it once per analog stage with
+// one scalar Gaussian call per sample. This kernel processes fixed-size
+// whole-cycle blocks that stay L1/L2-resident: per block it synthesizes
+// the sub-cycle waveform, pulls probe/scope noise from the batched
+// generator (util::Pcg32::fill_gaussian), runs the PDN + probe one-pole
+// cascade, quantises, and accumulates straight into the per-cycle Y
+// averages — the full sample-rate vector is never materialised.
+//
+// Exactness contract (asserted in tests/test_measure_kernel.cpp):
+//  - synthesis, noise generation and quantisation perform the exact
+//    per-element op sequence of the reference path
+//    (AcquisitionChain::acquire_reference), so those stages — and with
+//    the shared inline filter step, the whole pipeline — are
+//    bit-identical to the reference;
+//  - block boundaries only decide where loops pause, never the FP
+//    evaluation order, so results are independent of the block length;
+//  - detection decisions (peak rotation, presence verdict) on the chip
+//    I/II presets are identical to the reference path.
+//
+// Auto-range keeps the streaming chain's two-pass shape: the scope range
+// depends on the whole waveform's min/max, so the caller runs a range
+// pass (range_feed + fix_range) and then the acquire pass, both seeded
+// identically. That mirrors what StreamingAcquisitionChain always did —
+// the kernel is now the single implementation behind both the batch and
+// the streaming front-ends.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "measure/acquisition.h"
+
+namespace clockmark::measure {
+
+class AcquisitionKernel {
+ public:
+  /// `clock_hz` is the chip clock of the incoming per-cycle trace.
+  /// `block_cycles` overrides the block length (0 = pick a block of
+  /// ~4096 samples, at least 8 cycles); exposed for the block-size
+  /// invariance tests.
+  AcquisitionKernel(const AcquisitionConfig& config, double clock_hz,
+                    std::size_t block_cycles = 0);
+  ~AcquisitionKernel();
+
+  AcquisitionKernel(const AcquisitionKernel&) = delete;
+  AcquisitionKernel& operator=(const AcquisitionKernel&) = delete;
+
+  /// True when the scope range must be learned from a first full pass
+  /// (config.scope_auto_range); otherwise acquire_feed may be called
+  /// directly.
+  bool needs_range_pass() const noexcept;
+
+  /// Range pass: feed every whole-cycle chunk in order, then fix_range().
+  void range_feed(std::span<const double> cycle_power_w);
+  void fix_range();
+
+  /// Acquire pass: feed the same chunks in the same order. Appends this
+  /// chunk's per-cycle Y values (one per input cycle) to `y_out`.
+  void acquire_feed(std::span<const double> cycle_power_w,
+                    std::vector<double>& y_out);
+
+  struct Summary {
+    std::size_t cycles = 0;     ///< Y values produced so far
+    double mean_power_w = 0.0;  ///< running mean of Y
+    double lsb_power_w = 0.0;   ///< one ADC code as chip power
+  };
+  /// Valid after the last acquire_feed; matches the batch Acquisition
+  /// metadata bit for bit.
+  Summary summary() const;
+
+  const AcquisitionConfig& config() const noexcept { return config_; }
+  std::size_t block_cycles() const noexcept { return block_cycles_; }
+
+ private:
+  struct Pass;  // per-pass analog state (filters + noise streams)
+
+  void run_pass(Pass& pass, std::span<const double> cycle_power_w,
+                bool acquire, std::vector<double>* y_out);
+  void prime_pdn(Pass& pass, std::span<const double> cycle_power_w);
+
+  AcquisitionConfig config_;
+  double clock_hz_;
+  std::size_t block_cycles_;
+  std::vector<double> template_;  ///< per-cycle pulse template (sums to 1)
+
+  std::unique_ptr<Pass> range_pass_;
+  std::unique_ptr<Pass> acquire_pass_;
+  bool range_fixed_ = false;
+  double volts_min_ = 0.0;
+  double volts_max_ = 0.0;
+  bool volts_seen_ = false;
+  double sum_power_w_ = 0.0;
+  std::size_t cycles_out_ = 0;
+
+  // Block-resident scratch, reused across feeds (no per-block allocation).
+  std::vector<double> wave_;   ///< synthesized current, one block
+  std::vector<double> noise_;  ///< batched Gaussian draws, one block
+};
+
+}  // namespace clockmark::measure

@@ -1,175 +1,37 @@
 #include "measure/streaming.h"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "util/rng.h"
-
 namespace clockmark::measure {
-
-// One pass's analog chain state: the waveform expansion is per-cycle
-// pure, but the PDN low-pass, the probe filter and the probe noise RNG
-// all carry state from sample to sample — exactly the state the batch
-// chain threads implicitly by processing the whole waveform in one call.
-struct StreamingAcquisitionChain::AnalogPass {
-  AnalogPass(const AcquisitionConfig& config, double fs)
-      : pdn(config.pdn_cutoff_hz, fs),
-        base_rng(config.noise_seed, 0x0b5e7fa11ULL),
-        probe(config.probe, base_rng.fork(1)) {}
-
-  dsp::OnePoleLowPass pdn;
-  util::Pcg32 base_rng;  ///< never drawn from directly; fork source only
-  Probe probe;
-  bool primed = false;
-  std::size_t prime_samples = 0;  ///< samples the DC priming averaged
-};
 
 StreamingAcquisitionChain::StreamingAcquisitionChain(
     const AcquisitionConfig& config, double clock_hz)
-    : config_(config), clock_hz_(clock_hz) {
-  if (config_.probe.sample_rate_hz != config_.scope.sample_rate_hz) {
-    throw std::invalid_argument(
-        "StreamingAcquisitionChain: probe/scope sample rates must match");
-  }
-  if (clock_hz_ <= 0.0) {
-    throw std::invalid_argument(
-        "StreamingAcquisitionChain: clock_hz must be > 0");
-  }
-  if (config_.simulate_trigger_offset) {
-    throw std::invalid_argument(
-        "StreamingAcquisitionChain: simulate_trigger_offset drops a "
-        "sub-cycle sample prefix and is only supported by the batch chain");
-  }
-}
-
-StreamingAcquisitionChain::~StreamingAcquisitionChain() = default;
+    : kernel_(config, clock_hz) {}
 
 bool StreamingAcquisitionChain::needs_range_pass() const noexcept {
-  return config_.scope_auto_range;
-}
-
-std::vector<double> StreamingAcquisitionChain::run_analog(
-    AnalogPass& pass, std::span<const double> cycle_power_w) {
-  const std::size_t spc = config_.waveform.samples_per_cycle;
-
-  // 1. Chip current at sample rate (per-cycle pure: a chunk's expansion
-  //    equals the matching slice of the batch waveform).
-  std::vector<double> current = power::expand_to_current_waveform(
-      cycle_power_w, config_.vdd_v, config_.waveform);
-
-  // 2. PDN decoupling low-pass. The batch chain primes the filter with
-  //    the DC level of the first spc*8 samples of the whole waveform;
-  //    the first chunk must cover them (or be the entire trace) for the
-  //    priming to match.
-  if (config_.enable_pdn_filter && !current.empty()) {
-    if (!pass.primed) {
-      const std::size_t settle = std::min<std::size_t>(current.size(),
-                                                       spc * 8);
-      double dc = 0.0;
-      for (std::size_t i = 0; i < settle; ++i) dc += current[i];
-      pass.pdn.reset(dc / static_cast<double>(settle));
-      pass.primed = true;
-      pass.prime_samples = settle;
-    } else if (pass.prime_samples < spc * 8) {
-      throw std::invalid_argument(
-          "StreamingAcquisitionChain: first chunk must span at least 8 "
-          "cycles (PDN priming window)");
-    }
-    pass.pdn.process(current);
-  }
-
-  // 3. Shunt voltage (per-sample pure).
-  std::vector<double> volts = config_.shunt.sense(current);
-
-  // 4. Probe: bandwidth + gain + noise (stateful, carried across chunks).
-  pass.probe.process(volts);
-  return volts;
+  return kernel_.needs_range_pass();
 }
 
 void StreamingAcquisitionChain::range_feed(
     std::span<const double> cycle_power_w) {
-  if (range_fixed_) {
-    throw std::logic_error(
-        "StreamingAcquisitionChain: range already fixed");
-  }
-  if (!range_pass_) {
-    range_pass_ = std::make_unique<AnalogPass>(
-        config_, clock_hz_ * static_cast<double>(
-                                 config_.waveform.samples_per_cycle));
-  }
-  const auto volts = run_analog(*range_pass_, cycle_power_w);
-  for (const double v : volts) {
-    if (!volts_seen_) {
-      volts_min_ = volts_max_ = v;
-      volts_seen_ = true;
-    } else {
-      volts_min_ = std::min(volts_min_, v);
-      volts_max_ = std::max(volts_max_, v);
-    }
-  }
+  kernel_.range_feed(cycle_power_w);
 }
 
-void StreamingAcquisitionChain::fix_range() {
-  if (range_fixed_) return;
-  // Same arithmetic as Oscilloscope::auto_range over the full waveform —
-  // the chunk-wise min/max is exact, so the chosen range is identical.
-  if (volts_seen_) {
-    const double span = std::max(volts_max_ - volts_min_, 1e-9);
-    config_.scope.offset_v = (volts_max_ + volts_min_) / 2.0;
-    config_.scope.full_scale_v = span / 0.8;
-  }
-  range_fixed_ = true;
-  range_pass_.reset();  // the acquire pass re-creates the analog chain
-}
+void StreamingAcquisitionChain::fix_range() { kernel_.fix_range(); }
 
 std::vector<double> StreamingAcquisitionChain::acquire_feed(
     std::span<const double> cycle_power_w) {
-  if (needs_range_pass() && !range_fixed_) {
-    throw std::logic_error(
-        "StreamingAcquisitionChain: run the range pass (range_feed + "
-        "fix_range) before acquiring");
-  }
-  if (!acquire_pass_) {
-    acquire_pass_ = std::make_unique<AnalogPass>(
-        config_, clock_hz_ * static_cast<double>(
-                                 config_.waveform.samples_per_cycle));
-    // The scope draws from fork(2) of the same base stream the batch
-    // chain uses, so its noise/quantisation sequence is identical.
-    scope_ = std::make_unique<Oscilloscope>(
-        config_.scope, acquire_pass_->base_rng.fork(2));
-  }
-  const std::size_t spc = config_.waveform.samples_per_cycle;
-  const auto volts = run_analog(*acquire_pass_, cycle_power_w);
-  const std::vector<double> acquired = scope_->acquire(volts);
-
-  // Back to chip power, averaged per clock cycle. Chunks hold whole
-  // cycles, so the block boundaries match the batch block_average.
-  const auto averaged = dsp::block_average(acquired, spc);
-  std::vector<double> y(averaged.size());
-  for (std::size_t i = 0; i < averaged.size(); ++i) {
-    const double current_a =
-        config_.shunt.current(averaged[i] / config_.probe.gain);
-    y[i] = current_a * config_.vdd_v;
-    sum_power_w_ += y[i];
-  }
-  cycles_out_ += y.size();
+  std::vector<double> y;
+  kernel_.acquire_feed(cycle_power_w, y);
   return y;
 }
 
 StreamingAcquisitionChain::Summary StreamingAcquisitionChain::summary()
     const {
-  Summary s;
-  s.cycles = cycles_out_;
-  s.mean_power_w =
-      cycles_out_ > 0 ? sum_power_w_ / static_cast<double>(cycles_out_)
-                      : 0.0;
-  const double lsb_v =
-      scope_ ? scope_->lsb_v()
-             : config_.scope.full_scale_v /
-                   static_cast<double>(1u << config_.scope.resolution_bits);
-  s.lsb_power_w = lsb_v / config_.shunt.resistance_ohm() /
-                  config_.probe.gain * config_.vdd_v;
-  return s;
+  const AcquisitionKernel::Summary s = kernel_.summary();
+  Summary out;
+  out.cycles = s.cycles;
+  out.mean_power_w = s.mean_power_w;
+  out.lsb_power_w = s.lsb_power_w;
+  return out;
 }
 
 }  // namespace clockmark::measure

@@ -20,17 +20,22 @@
 // waveform the range was chosen from. This trades ~2x synthesis compute
 // for O(N) less memory — the streaming bargain.
 //
+// Since the fused-kernel refactor this class is a thin front-end over
+// measure::AcquisitionKernel, which implements the chunked two-pass
+// pipeline for both the batch and the streaming entry points (see
+// kernel.h for the exactness contract).
+//
 // Not supported: simulate_trigger_offset (it drops a random sub-cycle
 // sample prefix, which breaks the whole-cycle chunk contract); the batch
-// chain remains the path for that study.
+// chain's reference path remains the path for that study.
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "measure/acquisition.h"
+#include "measure/kernel.h"
 
 namespace clockmark::measure {
 
@@ -39,7 +44,6 @@ class StreamingAcquisitionChain {
   /// `clock_hz` is the chip clock of the incoming per-cycle trace (the
   /// batch chain reads it from the PowerTrace).
   StreamingAcquisitionChain(const AcquisitionConfig& config, double clock_hz);
-  ~StreamingAcquisitionChain();
 
   /// True when the scope range must be learned from a first full pass
   /// (config.scope_auto_range); otherwise acquire_feed may be called
@@ -63,25 +67,12 @@ class StreamingAcquisitionChain {
   /// metadata bit for bit.
   Summary summary() const;
 
-  const AcquisitionConfig& config() const noexcept { return config_; }
+  const AcquisitionConfig& config() const noexcept {
+    return kernel_.config();
+  }
 
  private:
-  struct AnalogPass;
-
-  std::vector<double> run_analog(AnalogPass& pass,
-                                 std::span<const double> cycle_power_w);
-
-  AcquisitionConfig config_;
-  double clock_hz_;
-  std::unique_ptr<AnalogPass> range_pass_;
-  std::unique_ptr<AnalogPass> acquire_pass_;
-  std::unique_ptr<Oscilloscope> scope_;
-  bool range_fixed_ = false;
-  double volts_min_ = 0.0;
-  double volts_max_ = 0.0;
-  bool volts_seen_ = false;
-  double sum_power_w_ = 0.0;
-  std::size_t cycles_out_ = 0;
+  AcquisitionKernel kernel_;
 };
 
 }  // namespace clockmark::measure

@@ -1,0 +1,136 @@
+// Deterministic, vectorization-friendly transcendental kernels for the
+// measurement-noise hot path (util::Pcg32 Box-Muller draws).
+//
+// Why not libm: a repetition pushes ~30 M Gaussian draws through the
+// acquisition chain, and glibc's scalar log/sincos calls are both the
+// dominant cost and impossible to batch — the vectorizer cannot touch a
+// loop whose body is an opaque PLT call. These kernels are branch-free
+// straight-line polynomial code, so gcc unrolls/vectorizes the batched
+// fill loops in util::Pcg32::fill_gaussian, while the per-sample
+// reference path calls the *same* inline functions scalar. One shared
+// implementation is what makes the fused acquisition kernel bit-identical
+// to the per-sample reference path: every lane of the vectorized loop
+// performs exactly the op sequence written here, and IEEE-754 ops are
+// deterministic per element regardless of how they are scheduled.
+//
+// Determinism across builds: all polynomial steps go through std::fma,
+// which is correctly rounded whether it lowers to a hardware FMA
+// (-mfma builds) or to the exact libm soft implementation (baseline
+// x86-64). No step depends on the compiler contracting or reassociating
+// anything, so a SSE2 build, an AVX2+FMA build, and any scalar/vector mix
+// all produce the same bits.
+//
+// Accuracy: these are noise-synthesis kernels, not a libm replacement.
+// Relative error is < 1e-15 over the documented domains (asserted
+// against std::log / std::sin / std::cos in tests/test_util_rng.cpp),
+// which is far below the physical noise parameters (1e-3 V rms) they
+// feed; they are NOT guaranteed to round identically to glibc.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace clockmark::util {
+
+/// Natural logarithm for finite normal x in (0, inf). The Box-Muller
+/// inputs are uniforms in (0, 1), i.e. >= 2^-32, so subnormals, zero,
+/// infinities and NaN are outside the contract (garbage in, garbage
+/// out — no checks on the hot path).
+inline double fast_log(double x) noexcept {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  // Split x = m * 2^e with m in [1, 2), then renormalise m into
+  // [sqrt(2)/2, sqrt(2)) so the atanh argument below stays small. The
+  // exponent stays in 32-bit lanes: AVX2 has no int64->double convert,
+  // and a 32-bit exponent is what keeps this function vectorizable.
+  const auto e_raw = static_cast<std::int32_t>(bits >> 52);
+  double m = std::bit_cast<double>((bits & 0x000fffffffffffffULL) |
+                                   0x3ff0000000000000ULL);
+  const bool shift = m > 1.4142135623730951;  // sqrt(2)
+  m = shift ? 0.5 * m : m;
+  const std::int32_t e = e_raw - 1023 + (shift ? 1 : 0);
+
+  // log(m) = 2 atanh(z) with z = (m-1)/(m+1), |z| <= 0.1716. The odd
+  // series in z converges by a factor z^2 < 0.0295 per term; truncating
+  // after z^17 leaves < 2e-16 relative error.
+  const double z = (m - 1.0) / (m + 1.0);
+  const double w = z * z;
+  double q = 2.0 / 17.0;
+  q = std::fma(q, w, 2.0 / 15.0);
+  q = std::fma(q, w, 2.0 / 13.0);
+  q = std::fma(q, w, 2.0 / 11.0);
+  q = std::fma(q, w, 2.0 / 9.0);
+  q = std::fma(q, w, 2.0 / 7.0);
+  q = std::fma(q, w, 2.0 / 5.0);
+  q = std::fma(q, w, 2.0 / 3.0);
+  const double log_m = std::fma(z * w, q, 2.0 * z);
+
+  // log(x) = e * ln2 + log(m), with ln2 split so the (exact) integer
+  // multiple of the high part does not swallow log(m)'s low bits.
+  constexpr double kLn2Hi = 0x1.62e42fefa38p-1;   // high 44 bits of ln 2
+  constexpr double kLn2Lo = 0x1.ef35793c7673p-45; // ln 2 - kLn2Hi
+  const double e_d = static_cast<double>(e);
+  return std::fma(e_d, kLn2Hi, log_m) + e_d * kLn2Lo;
+}
+
+/// sin(2*pi*u) and cos(2*pi*u) for u in [0, 1) — the Box-Muller angle is
+/// always a fraction of a full turn, so the quadrant reduction is exact
+/// fixed-point arithmetic on u instead of a Payne-Hanek reduction of the
+/// rounded product 2*pi*u.
+inline void fast_sincos_2pi(double u, double& sin_out,
+                            double& cos_out) noexcept {
+  // Quarter turns: x in [0, 4). Nearest quadrant k in {0..4} via
+  // truncation (x + 0.5 is non-negative, so trunc == floor); the
+  // remainder g = x - k in [-1/2, 1/2] is exact (both operands are
+  // <= 4.5 and k is an integer).
+  const double x = 4.0 * u;
+  const int k = static_cast<int>(x + 0.5);
+  const double g = x - static_cast<double>(k);
+
+  // z = g * pi/2 in [-pi/4, pi/4]; Taylor series there need 8 (sin,
+  // through z^15) / 9 (cos, through z^16) terms for < 1e-16 absolute
+  // error.
+  const double z = g * 1.5707963267948966;
+  const double t = z * z;
+  double sp = -7.6471637318198164759e-13;           // -1/15!
+  sp = std::fma(sp, t, 1.6059043836821614599e-10);  //  1/13!
+  sp = std::fma(sp, t, -2.5052108385441718775e-8);  // -1/11!
+  sp = std::fma(sp, t, 2.7557319223985890653e-6);   //  1/9!
+  sp = std::fma(sp, t, -1.9841269841269841270e-4);  // -1/7!
+  sp = std::fma(sp, t, 8.3333333333333333333e-3);   //  1/5!
+  sp = std::fma(sp, t, -1.6666666666666666667e-1);  // -1/3!
+  sp = std::fma(sp * t, z, z);                      // z + z^3 * S(z^2)
+
+  double cp = 4.7794773323873852974e-14;            //  1/16!
+  cp = std::fma(cp, t, -1.1470745597729724714e-11); // -1/14!
+  cp = std::fma(cp, t, 2.0876756987868098979e-9);   //  1/12!
+  cp = std::fma(cp, t, -2.7557319223985890653e-7);  // -1/10!
+  cp = std::fma(cp, t, 2.4801587301587301587e-5);   //  1/8!
+  cp = std::fma(cp, t, -1.3888888888888888889e-3);  // -1/6!
+  cp = std::fma(cp, t, 4.1666666666666666667e-2);   //  1/4!
+  cp = std::fma(cp, t, -5.0e-1);                    // -1/2!
+  cp = std::fma(cp, t, 1.0);                        // 1 + t * C(t)
+
+  // Rotate by k quarter turns (k == 4 wraps to 0), branch-free so the
+  // vectorizer turns the selects into blends.
+  const int m = k & 3;
+  const bool swap = (m & 1) != 0;
+  const double s1 = swap ? cp : sp;
+  const double c1 = swap ? sp : cp;
+  sin_out = (m >= 2) ? -s1 : s1;
+  cos_out = (m == 1 || m == 2) ? -c1 : c1;
+}
+
+/// One Box-Muller pair: two standard normal variates from two uniforms,
+/// u1 in (0, 1], u2 in [0, 1). first/second is the draw order of the
+/// sequential generator (cos first, sin cached).
+inline void fast_gaussian_pair(double u1, double u2, double& first,
+                               double& second) noexcept {
+  const double r = std::sqrt(-2.0 * fast_log(u1));
+  double s, c;
+  fast_sincos_2pi(u2, s, c);
+  first = r * c;
+  second = r * s;
+}
+
+}  // namespace clockmark::util

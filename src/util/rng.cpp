@@ -1,9 +1,23 @@
 #include "util/rng.h"
 
-#include <cmath>
-#include <numbers>
+#include <algorithm>
+#include <cstddef>
+
+#include "util/fastmath.h"
 
 namespace clockmark::util {
+
+namespace {
+/// The PCG-XSH-RR output permutation of one raw state word — the same
+/// computation Pcg32::operator() applies before advancing. Factored out
+/// so the batched fill can emit draws from jump-ahead lane states.
+inline std::uint32_t pcg_output(std::uint64_t old) noexcept {
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+}  // namespace
 
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
     : state_(0u), inc_((stream << 1u) | 1u) {
@@ -49,21 +63,102 @@ double Pcg32::gaussian() noexcept {
     has_cached_gaussian_ = false;
     return cached_gaussian_;
   }
-  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  // Box-Muller; u1 is kept away from zero to avoid log(0). The
+  // transcendentals come from fastmath.h — the same inline kernels the
+  // batched fill_gaussian vectorizes — so the scalar and batched draws
+  // are bit-identical by construction.
   double u1 = 0.0;
   do {
     u1 = uniform();
   } while (u1 <= 0.0);
   const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
-  cached_gaussian_ = r * std::sin(theta);
+  double first = 0.0;
+  double second = 0.0;
+  fast_gaussian_pair(u1, u2, first, second);
+  cached_gaussian_ = second;
   has_cached_gaussian_ = true;
-  return r * std::cos(theta);
+  return first;
 }
 
 double Pcg32::gaussian(double mean, double sigma) noexcept {
   return mean + sigma * gaussian();
+}
+
+void Pcg32::fill_gaussian(std::span<double> out, double mean,
+                          double sigma) noexcept {
+  std::size_t i = 0;
+  if (has_cached_gaussian_ && i < out.size()) {
+    has_cached_gaussian_ = false;
+    out[i++] = mean + sigma * cached_gaussian_;
+  }
+
+  // Staged array passes over a stack-resident batch: the uniform fill is
+  // a serial RNG walk, but the log/sqrt/sincos transforms and the final
+  // scale are independent per pair, so gcc vectorizes each pass. The
+  // per-element op sequence (and thus every output bit) matches the
+  // scalar gaussian() exactly — see fast_gaussian_pair.
+  constexpr std::size_t kPairs = 512;
+  double u1[kPairs];
+  double u2[kPairs];
+  double rr[kPairs];
+  double sn[kPairs];
+  double cs[kPairs];
+  while (out.size() - i >= 2) {
+    const std::size_t pairs = std::min(kPairs, (out.size() - i) / 2);
+
+    // Uniform fill. The sequential generator consumes exactly two draws
+    // per pair unless a u1 draw lands on exactly zero (probability
+    // 2^-32 per draw). Exploit that: advance two jump-ahead lanes —
+    // even-index and odd-index states of the *same* stream — so the two
+    // 64-bit multiply chains overlap, and fall back to the plain
+    // rejection loop for the whole batch in the astronomically rare
+    // zero case. Draw values and the final generator state are
+    // bit-identical to the sequential walk either way.
+    bool no_zero = true;
+    {
+      constexpr std::uint64_t kMult = 6364136223846793005ULL;
+      constexpr std::uint64_t kMult2 = kMult * kMult;  // two-step multiplier
+      const std::uint64_t inc2 = inc_ * (kMult + 1ULL);
+      std::uint64_t sa = state_;                 // states s0, s2, s4, ...
+      std::uint64_t sb = state_ * kMult + inc_;  // states s1, s3, s5, ...
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const std::uint32_t ra = pcg_output(sa);
+        const std::uint32_t rb = pcg_output(sb);
+        sa = sa * kMult2 + inc2;
+        sb = sb * kMult2 + inc2;
+        u1[p] = static_cast<double>(ra) * 0x1p-32;
+        u2[p] = static_cast<double>(rb) * 0x1p-32;
+        no_zero = no_zero && (ra != 0u);
+      }
+      if (no_zero) state_ = sa;  // sa has advanced to s_{2*pairs}
+    }
+    if (!no_zero) {
+      // state_ was not advanced above, so this replays the whole batch
+      // with the sequential rejection semantics.
+      for (std::size_t p = 0; p < pairs; ++p) {
+        double a = 0.0;
+        do {
+          a = uniform();
+        } while (a <= 0.0);
+        u1[p] = a;
+        u2[p] = uniform();
+      }
+    }
+    for (std::size_t p = 0; p < pairs; ++p) rr[p] = -2.0 * fast_log(u1[p]);
+    for (std::size_t p = 0; p < pairs; ++p) rr[p] = std::sqrt(rr[p]);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      fast_sincos_2pi(u2[p], sn[p], cs[p]);
+    }
+    for (std::size_t p = 0; p < pairs; ++p) {
+      out[i + 2 * p] = mean + sigma * (rr[p] * cs[p]);
+      out[i + 2 * p + 1] = mean + sigma * (rr[p] * sn[p]);
+    }
+    i += 2 * pairs;
+  }
+
+  // Odd tail: one more sequential draw, which leaves its sine partner in
+  // the cache exactly as the scalar loop would.
+  if (i < out.size()) out[i] = gaussian(mean, sigma);
 }
 
 bool Pcg32::bernoulli(double p) noexcept { return uniform() < p; }

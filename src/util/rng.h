@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace clockmark::util {
 
@@ -43,6 +44,16 @@ class Pcg32 {
 
   /// Normal variate with the given mean and standard deviation.
   double gaussian(double mean, double sigma) noexcept;
+
+  /// Fills `out` with normal variates, equivalent to calling
+  /// gaussian(mean, sigma) out.size() times: the same uniforms are
+  /// consumed in the same order, the Box-Muller pair cache participates
+  /// at both ends, and each value is bit-identical to the sequential
+  /// draw. The batch form exists so the acquisition hot path can amortise
+  /// the transcendentals over vectorizable array passes (fastmath.h)
+  /// instead of one scalar call per sample.
+  void fill_gaussian(std::span<double> out, double mean,
+                     double sigma) noexcept;
 
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) noexcept;

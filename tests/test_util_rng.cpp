@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <set>
+#include <vector>
+
+#include "util/fastmath.h"
 
 namespace clockmark::util {
 namespace {
@@ -124,6 +129,76 @@ TEST(Pcg32, ForkDifferentSaltsDiffer) {
     if (a() == b()) ++same;
   }
   EXPECT_LT(same, 3);
+}
+
+TEST(FillGaussian, MatchesSequentialDrawsBitExact) {
+  // The batched fill is a reordering of the same arithmetic, not a new
+  // generator: every output bit and the final generator state must match
+  // scalar gaussian() draws, across batch boundaries (kPairs = 512) and
+  // for odd lengths that leave a cached partner behind.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                              std::size_t{17}, std::size_t{1024},
+                              std::size_t{1025}, std::size_t{5000}}) {
+    Pcg32 scalar(123, 9);
+    Pcg32 batched(123, 9);
+    std::vector<double> expect(n);
+    for (auto& v : expect) v = scalar.gaussian(0.25, 1.5);
+    std::vector<double> got(n);
+    batched.fill_gaussian(got, 0.25, 1.5);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(expect[i], got[i]) << "n=" << n << " i=" << i;
+    }
+    // Both generators (including the pair cache) must be in the same
+    // state afterwards: the continuation sequences coincide.
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(scalar.gaussian(), batched.gaussian()) << "n=" << n;
+    }
+  }
+}
+
+TEST(FillGaussian, ConsumesPendingCachedPartner) {
+  // A scalar draw leaves the Box-Muller partner cached; a following fill
+  // must emit it first, exactly as continued scalar draws would.
+  Pcg32 scalar(77, 3);
+  Pcg32 batched(77, 3);
+  ASSERT_EQ(scalar.gaussian(), batched.gaussian());
+  std::vector<double> expect(33);
+  for (auto& v : expect) v = scalar.gaussian(-1.0, 0.5);
+  std::vector<double> got(33);
+  batched.fill_gaussian(got, -1.0, 0.5);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(expect[i], got[i]) << i;
+  }
+}
+
+TEST(FastMath, LogMatchesLibmClosely) {
+  // fastmath.h promises near-correctly-rounded accuracy over the
+  // Box-Muller input domain (0, 1).
+  Pcg32 rng(11, 1);
+  double worst = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    double u = rng.uniform();
+    if (u <= 0.0) continue;
+    const double got = fast_log(u);
+    const double ref = std::log(u);
+    worst = std::max(worst, std::abs(got - ref) / std::abs(ref));
+  }
+  EXPECT_LT(worst, 1e-13);
+}
+
+TEST(FastMath, SinCosMatchesLibmClosely) {
+  Pcg32 rng(12, 1);
+  double worst = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    double s = 0.0;
+    double c = 0.0;
+    fast_sincos_2pi(u, s, c);
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    worst = std::max(worst, std::abs(s - std::sin(two_pi * u)));
+    worst = std::max(worst, std::abs(c - std::cos(two_pi * u)));
+  }
+  EXPECT_LT(worst, 1e-14);
 }
 
 TEST(Splitmix64, AdvancesAndMixes) {
