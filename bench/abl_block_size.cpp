@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/csv.h"
 
 using namespace clockmark;
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     cfg.trace_cycles = cycles;
     cfg.watermark.words = words;
     sim::Scenario scenario(cfg);
-    const auto exp = sim::run_detection(scenario, 0);
+    const detect::Report exp = detect::Session().run(scenario, 0);
     const auto& ss = exp.detection.spectrum;
     const double amp = scenario.characterization().mean_active_w;
     std::cout << std::setw(11) << words * 32 << std::setw(14) << std::fixed

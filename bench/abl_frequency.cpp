@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/csv.h"
 
 using namespace clockmark;
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     cfg.acquisition.waveform.samples_per_cycle = std::max<std::size_t>(
         2, static_cast<std::size_t>(scope_rate / (pt.mhz * 1e6)));
     sim::Scenario scenario(cfg);
-    const auto exp = sim::run_detection(scenario, 0);
+    const detect::Report exp = detect::Session().run(scenario, 0);
     const auto& ss = exp.detection.spectrum;
     const double wm_mw = scenario.characterization().mean_active_w * 1e3;
     std::cout << std::setw(7) << std::fixed << std::setprecision(0)

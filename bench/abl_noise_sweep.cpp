@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/csv.h"
 
 using namespace clockmark;
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     cfg.trace_cycles = cycles;
     cfg.acquisition.scope.noise_v_rms = noise_mv * 1e-3;
     sim::Scenario scenario(cfg);
-    const auto exp = sim::run_detection(scenario, 0);
+    const detect::Report exp = detect::Session().run(scenario, 0);
     const auto& ss = exp.detection.spectrum;
     std::cout << std::setw(16) << std::fixed << std::setprecision(1)
               << noise_mv << std::setw(12) << std::setprecision(4)

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/csv.h"
 
 using namespace clockmark;
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     cfg.watermark.wgc.width = width;
     cfg.phase_offset = (1u << width) / 2;  // mid-period peak
     sim::Scenario scenario(cfg);
-    const auto exp = sim::run_detection(scenario, 0);
+    const detect::Report exp = detect::Session().run(scenario, 0);
     const auto& ss = exp.detection.spectrum;
     std::cout << std::setw(7) << width << std::setw(9)
               << ((1u << width) - 1) << std::setw(12) << std::fixed

@@ -13,7 +13,7 @@
 
 #include "bench_common.h"
 #include "cpa/detector.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "stream/pipeline.h"
 #include "util/csv.h"
 
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   // ---- batch: materialise everything, then sweep -------------------
   const auto t_batch = std::chrono::steady_clock::now();
-  const auto batch = sim::run_detection(scenario);
+  const detect::Report batch = detect::Session().run(scenario);
   const double batch_s = seconds_since(t_batch);
   // Peak trace data held: the sample-rate waveform plus Y.
   const std::size_t batch_bytes =

@@ -1,0 +1,139 @@
+// Ablation: the blind synchronisation search (sync/search.h). For every
+// repetition the bench captures a chip I trace, desynchronises it with
+// each attack in the standard suite (attack/desync.h), and runs the
+// coarse-to-fine blind lock. Reported per attack and aggregated:
+//
+//   lock rate      fraction of (rep, attack) runs where the search
+//                  locked (peak z over the min_lock_z bar),
+//   time to lock   wall-clock seconds per find_sync call,
+//   margin         blind-synced peak z / cycle-aligned peak z — how much
+//                  of the triggered detection margin the lock buys back
+//                  (the PR acceptance bar is >= 0.9 on the paper-length
+//                  captures; short smoke runs report what they see).
+//
+// --json=PATH writes a BenchJson record (BENCH_sync.json): lock_rate,
+// locks_per_sec and sync_search_s_per_rep feed scripts/perf_gate.py in
+// the tier-1 smoke, margin_vs_aligned tracks detection quality.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "attack/desync.h"
+#include "bench_common.h"
+#include "cpa/detector.h"
+#include "sync/search.h"
+#include "sync/warp.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliDefaults defaults;
+  defaults.reps = 3;
+  defaults.cycles = 120000;
+  const bench::Cli cli(argc, argv, defaults);
+  cli.reject_unknown();
+  bench::print_header("abl_sync_search — blind synchronisation lock",
+                      "extends paper Sec. IV (untriggered capture)");
+
+  sim::ScenarioConfig cfg = sim::chip1_default();
+  cli.apply(cfg);
+  const sim::Scenario scenario(cfg);
+  const cpa::Detector detector;
+
+  std::cout << "chip I, " << cli.cycles() << " cycles, " << cli.reps()
+            << " repetitions x " << attack::default_desync_suite().size()
+            << " desync attacks\n\n"
+            << std::setw(5) << "rep" << std::setw(20) << "attack"
+            << std::setw(9) << "locked" << std::setw(11) << "aligned_z"
+            << std::setw(10) << "naive_z" << std::setw(11) << "synced_z"
+            << std::setw(9) << "margin" << std::setw(10) << "lock_s"
+            << "\n";
+
+  util::CsvWriter csv(cli.out_file("abl_sync_search.csv"));
+  csv.text_row({"rep", "attack", "locked", "aligned_peak_z", "naive_peak_z",
+                "synced_peak_z", "margin", "lock_seconds", "evaluations"});
+
+  std::size_t locks = 0, runs = 0;
+  double search_s = 0.0, margin_sum = 0.0;
+  for (std::size_t rep = 0; rep < cli.reps(); ++rep) {
+    const sim::ScenarioResult r = scenario.run(rep);
+    const double aligned_z =
+        detector.detect(r.acquisition.per_cycle_power_w, r.pattern)
+            .spectrum.peak_z;
+    for (const attack::DesyncAttack& a :
+         attack::default_desync_suite(cfg.seed + rep)) {
+      const std::vector<double> attacked =
+          attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+      const double naive_z =
+          detector.detect(attacked, r.pattern).spectrum.peak_z;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const sync::SyncEstimate est =
+          sync::find_sync(attacked, r.pattern, {}, cli.executor());
+      const double lock_s = seconds_since(t0);
+
+      const std::vector<double> corrected =
+          est.correction.is_identity()
+              ? attacked
+              : sync::warp_trace(attacked, est.correction);
+      const double synced_z =
+          detector.detect(corrected, r.pattern).spectrum.peak_z;
+      const double margin = aligned_z > 0.0 ? synced_z / aligned_z : 0.0;
+
+      ++runs;
+      locks += est.locked ? 1 : 0;
+      search_s += lock_s;
+      margin_sum += margin;
+
+      std::cout << std::setw(5) << rep << std::setw(20) << a.name
+                << std::setw(9) << (est.locked ? "yes" : "no")
+                << std::setw(11) << std::fixed << std::setprecision(2)
+                << aligned_z << std::setw(10) << naive_z << std::setw(11)
+                << synced_z << std::setw(9) << std::setprecision(3) << margin
+                << std::setw(10) << lock_s << "\n";
+      csv.text_row({std::to_string(rep), a.name, est.locked ? "1" : "0",
+                    util::format_double(aligned_z, 4),
+                    util::format_double(naive_z, 4),
+                    util::format_double(synced_z, 4),
+                    util::format_double(margin, 4),
+                    util::format_double(lock_s, 6),
+                    std::to_string(est.evaluations)});
+    }
+  }
+
+  const double lock_rate =
+      runs ? static_cast<double>(locks) / static_cast<double>(runs) : 0.0;
+  const double locks_per_sec =
+      search_s > 0.0 ? static_cast<double>(runs) / search_s : 0.0;
+  const double mean_margin =
+      runs ? margin_sum / static_cast<double>(runs) : 0.0;
+  std::cout << "\nlock rate " << std::setprecision(3) << lock_rate << " ("
+            << locks << "/" << runs << "), " << locks_per_sec
+            << " locks/sec, mean margin vs aligned " << mean_margin << "\n";
+
+  if (!cli.json_path().empty()) {
+    bench::BenchJson json("abl_sync_search", cli.threads());
+    auto& rec = json.add_record("blind_lock");
+    bench::BenchJson::add_metric(rec, "lock_rate", lock_rate);
+    bench::BenchJson::add_metric(rec, "locks_per_sec", locks_per_sec);
+    bench::BenchJson::add_metric(
+        rec, "sync_search_s_per_rep",
+        cli.reps() ? search_s / static_cast<double>(cli.reps()) : 0.0);
+    bench::BenchJson::add_metric(rec, "margin_vs_aligned", mean_margin);
+    bench::BenchJson::add_metric(rec, "runs", static_cast<double>(runs));
+    json.write(cli.json_path());
+  }
+  return lock_rate == 1.0 ? 0 : 1;
+}

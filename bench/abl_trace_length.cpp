@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/csv.h"
 
 using namespace clockmark;
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     auto cfg = sim::chip1_default();
     cfg.trace_cycles = n;
     sim::Scenario scenario(cfg);
-    const auto exp = sim::run_detection(scenario, 0);
+    const detect::Report exp = detect::Session().run(scenario, 0);
     const auto& ss = exp.detection.spectrum;
     std::cout << std::setw(10) << n << std::setw(12) << std::setprecision(4)
               << std::fixed << ss.peak_value << std::setw(10)

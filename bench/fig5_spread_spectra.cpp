@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
 
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     cfg.trace_cycles = cycles;
     cfg.watermark_active = p.active;
     sim::Scenario scenario(cfg);
-    const auto exp = sim::run_detection(scenario, 0);
+    const detect::Report exp = detect::Session().run(scenario, 0);
     const auto& ss = exp.detection.spectrum;
 
     util::ChartOptions opts;

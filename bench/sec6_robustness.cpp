@@ -2,17 +2,27 @@
 // functional IP protected by (a) the stand-alone load-circuit watermark
 // and (b) the embedded clock-modulation watermark, then runs the
 // attacker's stand-alone-circuit analysis and the removal attack on both.
+//
+// Extended with the zero-area attack the paper does not model: trace
+// desynchronisation (attack/desync.h). For each attack in the standard
+// suite the bench reports the naive (triggered) detector's margin on the
+// attacked capture against the blind-synchronised detector's — the
+// robustness the sync subsystem buys back.
 #include <iostream>
 
+#include "attack/desync.h"
 #include "attack/report.h"
 #include "bench_common.h"
+#include "sim/scenario.h"
 #include "util/csv.h"
 
 using namespace clockmark;
 
 int main(int argc, char** argv) {
-  const bench::Cli cli(argc, argv);
-  bench::print_header("sec6_robustness — removal attack study",
+  bench::CliDefaults defaults;
+  defaults.cycles = 120000;  // enough margin for the blind-sync study
+  const bench::Cli cli(argc, argv, defaults);
+  bench::print_header("sec6_robustness — removal + desync attack study",
                       "paper Section VI (improved robustness)");
 
   attack::RobustnessStudyConfig cfg;
@@ -56,5 +66,49 @@ int main(int argc, char** argv) {
                   std::to_string(a->removal.output_mismatch_cycles),
                   a->removal.functionally_intact() ? "yes" : "no"});
   }
+
+  // --- Desynchronisation study: chip I capture, standard attack suite.
+  std::cout << "\ndesynchronisation attacks (chip I, " << cli.cycles()
+            << " cycles):\n"
+            << "  attack             naive_z  synced_z  aligned_z  margin  "
+               "locked\n";
+  sim::ScenarioConfig scenario_cfg = sim::chip1_default();
+  cli.apply(scenario_cfg);
+  const sim::Scenario scenario(scenario_cfg);
+  const sim::ScenarioResult rep0 = scenario.run(0);
+
+  util::CsvWriter desync_csv(cli.out_file("sec6_desync.csv"));
+  desync_csv.text_row({"attack", "naive_peak_z", "naive_detected",
+                       "synced_peak_z", "synced_detected", "aligned_peak_z",
+                       "recovered_margin", "sync_locked",
+                       "sync_offset_cycles", "sync_ratio", "sync_drift"});
+  bool all_recovered = true;
+  for (const attack::DesyncAttack& a :
+       attack::default_desync_suite(scenario_cfg.seed)) {
+    const attack::DesyncOutcome out = attack::run_desync_attack(
+        rep0.acquisition.per_cycle_power_w, rep0.pattern, a, {}, {},
+        cli.executor());
+    std::printf("  %-18s %7.2f  %8.2f  %9.2f  %5.1f%%  %s\n",
+                a.name.c_str(), out.naive.spectrum.peak_z,
+                out.synced.spectrum.peak_z, out.baseline_peak_z,
+                100.0 * out.recovered_margin(),
+                out.sync.locked ? "yes" : "no");
+    all_recovered = all_recovered && out.synced.detected &&
+                    out.recovered_margin() >= 0.9;
+    desync_csv.text_row(
+        {a.name, util::format_double(out.naive.spectrum.peak_z, 3),
+         out.naive.detected ? "yes" : "no",
+         util::format_double(out.synced.spectrum.peak_z, 3),
+         out.synced.detected ? "yes" : "no",
+         util::format_double(out.baseline_peak_z, 3),
+         util::format_double(out.recovered_margin(), 4),
+         out.sync.locked ? "yes" : "no",
+         util::format_double(out.sync.correction.offset_cycles, 6),
+         util::format_double(out.sync.correction.ratio, 9),
+         util::format_double(out.sync.correction.drift, 12)});
+  }
+  std::cout << "  [" << (all_recovered ? "x" : " ")
+            << "] blind sync recovers >= 90% of the aligned margin under "
+               "every desync attack\n";
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "cpu/decoder.h"
 #include "cpu/programs.h"
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/args.h"
 #include "util/ascii_chart.h"
 
@@ -42,10 +42,11 @@ int main(int argc, char** argv) {
             << "  scope: 500 MS/s, 8 bit; shunt 270 mOhm; clock 10 MHz "
                "(50 samples per cycle)\n\n";
 
-  const auto exp = sim::run_detection(scenario);
+  const detect::Session session;
+  const detect::Report exp = session.run(scenario);
 
   std::cout << "background (M0 SoC running Dhrystone-like code): "
-            << exp.scenario.background_power.average_w() * 1e3
+            << exp.scenario->background_power.average_w() * 1e3
             << " mW mean\n";
 
   util::ChartOptions opts;

@@ -6,7 +6,7 @@
 //   $ ./chip2_dualcore [--cycles=300000]
 #include <iostream>
 
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/args.h"
 #include "util/ascii_chart.h"
 
@@ -21,14 +21,15 @@ int main(int argc, char** argv) {
   args.reject_unknown();
 
   const sim::Scenario scenario(config);
-  const auto exp = sim::run_detection(scenario);
+  const detect::Session session;
+  const detect::Report exp = session.run(scenario);
 
   std::cout << "chip II setup (paper Sec. IV):\n"
             << "  dual A5-class cores: clocked, executing nothing — "
             << 2 * config.a5_core.register_count
             << " registers of idle clock tree + cache housekeeping\n"
             << "  background: "
-            << exp.scenario.background_power.average_w() * 1e3
+            << exp.scenario->background_power.average_w() * 1e3
             << " mW (vs ~1.3 mW on chip I) — the significant portion of "
                "background noise the paper mentions\n\n";
 
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   sim::ScenarioConfig c1 = sim::chip1_default();
   c1.trace_cycles = config.trace_cycles;
   const sim::Scenario s1(c1);
-  const auto e1 = sim::run_detection(s1);
+  const detect::Report e1 = session.run(s1);
   std::cout << "\ncomparison:  chip I peak rho = "
             << e1.detection.spectrum.peak_value
             << "  |  chip II peak rho = "

@@ -5,7 +5,7 @@
 //   $ ./quickstart [--cycles=60000] [--inactive]
 #include <iostream>
 
-#include "sim/experiment.h"
+#include "detect/session.h"
 #include "util/args.h"
 
 using namespace clockmark;
@@ -35,15 +35,17 @@ int main(int argc, char** argv) {
             << " mW, period " << scenario.characterization().period
             << " cycles\n";
 
-  // 3. Run one capture and the CPA detector.
-  const sim::DetectionExperiment exp = sim::run_detection(scenario);
+  // 3. Run one capture and the CPA detector through the detection
+  //    facade (a default Request = the paper's triggered batch CPA).
+  const detect::Session session;
+  const detect::Report report = session.run(scenario);
 
   // 4. Inspect the verdict.
   std::cout << "trace: " << config.trace_cycles << " cycles, measured mean "
-            << exp.scenario.acquisition.mean_power_w * 1e3 << " mW\n";
-  std::cout << exp.detection.reason << "\n";
-  std::cout << (exp.detection.detected ? "=> watermark present"
-                                       : "=> no watermark found")
+            << report.scenario->acquisition.mean_power_w * 1e3 << " mW\n";
+  std::cout << report.detection.reason << "\n";
+  std::cout << (report.detected ? "=> watermark present"
+                                : "=> no watermark found")
             << "\n";
   return 0;
 }

@@ -1,9 +1,11 @@
 // Online detection walkthrough: chip I's Dhrystone trace streamed
 // through the acquisition → bounded queue → online CPA pipeline, decided
 // mid-stream, then compared against the batch detector over the full
-// trace. The headline numbers: the cycle count at which the streaming
-// decision fired, and that running to the end reproduces the batch
-// spread spectrum bit for bit.
+// trace. Both paths go through the detect::Session facade — the same
+// Request drives the streamed and the materialised run. The headline
+// numbers: the cycle count at which the streaming decision fired, and
+// that running to the end reproduces the batch spread spectrum bit for
+// bit.
 //
 //   $ ./stream_detect [--cycles=300000] [--chunk=4096] [--threads=0]
 //                     [--no-early-stop]
@@ -11,9 +13,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "detect/session.h"
 #include "runtime/executor.h"
-#include "sim/experiment.h"
-#include "stream/pipeline.h"
 #include "util/args.h"
 
 using namespace clockmark;
@@ -28,8 +29,9 @@ int main(int argc, char** argv) {
   runtime::Executor executor(
       static_cast<std::size_t>(args.get_int("threads", 0)));
 
-  stream::StreamPipelineConfig pipe_cfg;
-  pipe_cfg.detector.early_stop = !args.has("no-early-stop");
+  detect::Request request;
+  request.streaming.chunk_cycles = chunk_cycles;
+  request.streaming.early_stop = !args.has("no-early-stop");
   args.reject_unknown();
 
   const sim::Scenario scenario(config);
@@ -40,13 +42,12 @@ int main(int argc, char** argv) {
   // Streaming: chunks come straight out of the chunked synthesis +
   // acquisition path; no full trace is ever materialised.
   stream::ScenarioSource source(scenario, /*repetition=*/0, chunk_cycles);
-  const std::vector<double> pattern = source.pattern();
-  const stream::StreamPipeline pipeline(pipe_cfg);
-  const stream::StreamReport report =
-      pipeline.run(source, pattern, &executor);
+  const detect::Session session(request, source.pattern());
+  const detect::Report streamed = session.run(source, &executor);
+  const stream::StreamReport& report = *streamed.stream;
 
-  std::cout << "streaming: " << (report.decision.detected ? "DETECTED"
-                                                          : "not detected");
+  std::cout << "streaming: " << (streamed.detected ? "DETECTED"
+                                                   : "not detected");
   if (report.decision.decided) {
     std::cout << " after " << report.decision.decision_cycles << " of "
               << config.trace_cycles << " cycles ("
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   } else {
     std::cout << " (full trace, " << report.decision.cycles << " cycles)";
   }
-  std::cout << "\n  " << report.decision.result.reason << "\n"
+  std::cout << "\n  " << streamed.detection.reason << "\n"
             << "  chunks " << report.chunks_consumed << "/"
             << report.chunks_produced
             << " consumed/produced, queue high-water "
@@ -65,17 +66,17 @@ int main(int argc, char** argv) {
             << ", peak buffered " << report.peak_buffered_bytes
             << " bytes\n\n";
 
-  // Batch reference: the classic detect over the fully materialised
-  // trace (what every other example does).
-  const auto batch = sim::run_detection(scenario);
+  // Batch reference: the same Session deciding over the fully
+  // materialised trace (what every other example does).
+  const detect::Report batch = session.run(scenario, /*repetition=*/0);
   std::cout << "batch:     "
-            << (batch.detection.detected ? "DETECTED" : "not detected")
+            << (batch.detected ? "DETECTED" : "not detected")
             << " on the full " << config.trace_cycles << "-cycle trace\n"
             << "  " << batch.detection.reason << "\n\n";
 
   // When the stream ran to the end (early stop off or never fired), the
   // two spread spectra agree bit for bit — same decision, same peak.
-  const auto& s = report.decision.result.spectrum;
+  const auto& s = streamed.detection.spectrum;
   const auto& b = batch.detection.spectrum;
   if (!report.decision.decided) {
     const bool identical = s.rho == b.rho && s.peak_rotation == b.peak_rotation;
@@ -87,5 +88,5 @@ int main(int argc, char** argv) {
               << " (batch peak " << b.peak_rotation << ", expected "
               << source.true_rotation() << ")\n";
   }
-  return report.decision.detected == batch.detection.detected ? 0 : 1;
+  return streamed.detected == batch.detected ? 0 : 1;
 }

@@ -1,16 +1,26 @@
 // Standalone trace auditor: runs CPA watermark detection on a measured
 // per-cycle power trace loaded from a CSV/plain-text file (one value per
-// line, '#' comments allowed) — the tool an IP vendor would point at a
-// scope export. The watermark key is given on the command line.
+// line, '#' comments allowed) or a CMTRACE binary written by
+// measure::write_trace_* — the tool an IP vendor would point at a scope
+// export. The watermark key is given on the command line; alignment
+// handling goes through the detect::Session facade.
 //
 //   $ ./trace_detect --trace=y.csv --width=12 [--taps=0x53] [--seed=1]
 //                    [--z=5.5] [--method=fft|folded|naive]
+//                    [--sync=triggered|known|blind] [--offset=F]
+//
+// --sync=triggered (default) trusts the capture alignment, but a
+// trigger offset recorded in the file's metadata ("# meta" lines /
+// CMTRACE2 header) still gets corrected. --sync=known applies --offset
+// (or the file metadata) as a known warp; --sync=blind runs the
+// coarse-to-fine search and reports what it locked onto.
 //
 // Exit code: 0 = watermark detected, 1 = not detected, 2 = usage error.
 #include <iostream>
 
 #include "cpa/confidence.h"
-#include "cpa/detector.h"
+#include "detect/session.h"
+#include "measure/trace_io.h"
 #include "util/args.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
@@ -24,7 +34,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::cerr << "usage: " << args.program()
               << " --trace=<file> --width=<bits> [--taps=0x..] [--seed=N]"
-                 " [--z=5.5] [--method=fft]\n";
+                 " [--z=5.5] [--method=fft] [--sync=triggered|known|blind]"
+                 " [--offset=F]\n";
     return 2;
   }
 
@@ -33,17 +44,19 @@ int main(int argc, char** argv) {
   key.taps = static_cast<std::uint32_t>(args.get_int("taps", 0));
   key.seed = static_cast<std::uint32_t>(args.get_int("seed", 1));
 
-  cpa::DetectorPolicy policy;
-  policy.min_peak_z = args.get_double("z", policy.min_peak_z);
-
-  cpa::CorrelationMethod method = cpa::CorrelationMethod::kFft;
+  detect::Request request;
+  request.policy.min_peak_z = args.get_double("z", request.policy.min_peak_z);
   const std::string m = args.get("method", "fft");
-  if (m == "folded") method = cpa::CorrelationMethod::kFolded;
-  if (m == "naive") method = cpa::CorrelationMethod::kNaive;
+  if (m == "folded") request.method = cpa::CorrelationMethod::kFolded;
+  if (m == "naive") request.method = cpa::CorrelationMethod::kNaive;
+
+  const std::string sync_mode = args.get("sync", "triggered");
+  const double cli_offset = args.get_double("offset", 0.0);
   args.reject_unknown();
 
   try {
-    const auto y = util::read_series(path);
+    measure::TraceMeta meta;
+    const auto y = measure::read_trace(path, &meta);
     wgc::WgcSequence seq(key);
     if (y.size() < seq.period()) {
       std::cerr << "trace has " << y.size()
@@ -56,24 +69,58 @@ int main(int argc, char** argv) {
               << key.effective_taps() << ", seed=0x" << key.seed
               << std::dec << " (period " << seq.period() << ")\n";
 
-    const cpa::Detector detector(policy);
-    const auto result = detector.detect(
-        y, cpa::to_model_pattern(seq.one_period()), method);
+    if (sync_mode == "blind") {
+      request.sync = sync::SyncPolicy::kBlind;
+    } else if (sync_mode == "known") {
+      request.sync = sync::SyncPolicy::kKnownOffset;
+      request.known_warp.offset_cycles =
+          cli_offset != 0.0 ? cli_offset : meta.trigger_offset_cycles;
+    } else if (sync_mode == "triggered") {
+      // Same upgrade rule as Session::run_file: recorded misalignment
+      // beats the trusted-trigger assumption.
+      if (meta.trigger_offset_cycles != 0.0) {
+        request.sync = sync::SyncPolicy::kKnownOffset;
+        request.known_warp.offset_cycles = meta.trigger_offset_cycles;
+        std::cout << "file metadata records trigger offset "
+                  << meta.trigger_offset_cycles
+                  << " cycles — applying it before CPA\n";
+      }
+    } else {
+      std::cerr << "unknown --sync mode '" << sync_mode << "'\n";
+      return 2;
+    }
+
+    const detect::Session session(
+        request, cpa::to_model_pattern(seq.one_period()));
+    const detect::Report report = session.run(y);
+    if (report.sync) {
+      std::cout << "sync:  offset " << report.sync->correction.offset_cycles
+                << " cycles, ratio " << report.sync->correction.ratio
+                << ", drift " << report.sync->correction.drift;
+      if (request.sync == sync::SyncPolicy::kBlind) {
+        std::cout << " (blind lock "
+                  << (report.sync->locked ? "locked" : "NOT locked")
+                  << ", peak z " << report.sync->peak_z << ", "
+                  << report.sync->evaluations << " evaluations)";
+      }
+      std::cout << "\n";
+    }
 
     util::ChartOptions opts;
     opts.width = 100;
     opts.height = 10;
     opts.title = "spread spectrum";
     opts.x_label = "rotation";
-    std::cout << util::line_chart(result.spectrum.rho, opts);
-    std::cout << result.reason << "\n";
-    if (result.detected) {
+    std::cout << util::line_chart(report.detection.spectrum.rho, opts);
+    std::cout << report.detection.reason << "\n";
+    if (report.detected) {
       std::cout << "false-positive probability of this peak: "
                 << cpa::false_positive_probability(
-                       result.spectrum.peak_z, result.spectrum.rho.size())
+                       report.detection.spectrum.peak_z,
+                       report.detection.spectrum.rho.size())
                 << "\n";
     }
-    return result.detected ? 0 : 1;
+    return report.detected ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

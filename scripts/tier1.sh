@@ -48,8 +48,11 @@ fi
 ./build/bench/abl_acq_speed --reps=2 --cycles=60000 \
   --out="${SMOKE_DIR}/acq" \
   --json="${SMOKE_DIR}/BENCH_acq.json" > "${SMOKE_DIR}/acq.log"
+./build/bench/abl_sync_search --reps=2 --cycles=60000 \
+  --threads="${SMOKE_THREADS}" --out="${SMOKE_DIR}/sync" \
+  --json="${SMOKE_DIR}/BENCH_sync.json" > "${SMOKE_DIR}/sync.log"
 for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json \
-    BENCH_acq.json; do
+    BENCH_acq.json BENCH_sync.json; do
   if [[ ! -s "${SMOKE_DIR}/${f}" ]]; then
     echo "bench smoke: missing or empty ${SMOKE_DIR}/${f}" >&2
     exit 1
@@ -69,6 +72,8 @@ scripts/perf_gate.py --baseline bench_results/BENCH_acq.json \
   --current "${SMOKE_DIR}/BENCH_acq.json"
 scripts/perf_gate.py --baseline bench_results/BENCH_cpa_speed.json \
   --current "${SMOKE_DIR}/BENCH_cpa_speed.json"
+scripts/perf_gate.py --baseline bench_results/BENCH_sync.json \
+  --current "${SMOKE_DIR}/BENCH_sync.json"
 
 echo "=== tier-1: design-rule lint gate (cm_lint) ==="
 LINT_DIR=build/lint_smoke
@@ -104,14 +109,14 @@ if [[ "${SKIP_TSAN}" == "1" ]]; then
   exit 0
 fi
 
-echo "=== tier-1: TSan pass (runtime + dsp + sim + stream tests) ==="
+echo "=== tier-1: TSan pass (runtime + dsp + sim + stream + sync tests) ==="
 cmake -B build-tsan -S . -DCLOCKMARK_SANITIZE=thread
 cmake --build build-tsan -j --target test_runtime test_dsp test_integration \
-  test_stream
+  test_stream test_sync test_detect
 # Note: -j needs an explicit value here — a bare `-j` would consume the
 # following -R as its argument and run the whole (partially built) list.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads)')
+  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads|Warp|BlindSync|Chips/BlindSyncChips|DetectFacade|DetectFile)')
 
 echo "=== tier-1: UBSan pass (sequence + dsp + cpa tests) ==="
 # -fno-sanitize-recover=all: any triggered check aborts the binary, so a

@@ -1,0 +1,123 @@
+#include "attack/desync.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "sync/search.h"
+#include "sync/warp.h"
+#include "util/rng.h"
+
+namespace clockmark::attack {
+namespace {
+
+// Clamped linear interpolation at a fractional position — the same
+// sampling rule sync::warp_trace applies, reproduced here for the
+// stochastic (jitter) positions a WarpSpec cannot express.
+double sample_clamped(std::span<const double> y, double pos) {
+  if (pos <= 0.0) return y.front();
+  const double last = static_cast<double>(y.size() - 1);
+  if (pos >= last) return y.back();
+  const double base = std::floor(pos);
+  const auto q = static_cast<std::size_t>(base);
+  const double frac = pos - base;
+  return y[q] + frac * (y[q + 1] - y[q]);
+}
+
+}  // namespace
+
+sync::WarpSpec desync_warp(const DesyncAttack& attack) {
+  sync::WarpSpec spec;
+  switch (attack.kind) {
+    case DesyncKind::kFixedOffset:
+      spec.offset_cycles = attack.offset_cycles;
+      break;
+    case DesyncKind::kResample:
+      spec.ratio = attack.ratio;
+      break;
+    case DesyncKind::kDrift:
+      spec.ratio = attack.ratio;
+      spec.drift = attack.drift;
+      break;
+    case DesyncKind::kJitter:
+      break;  // identity: jitter is not a time-base change
+  }
+  return spec;
+}
+
+std::vector<double> apply_desync(std::span<const double> y,
+                                 const DesyncAttack& attack) {
+  if (y.empty()) return {};
+  if (attack.kind != DesyncKind::kJitter) {
+    return sync::warp_trace(y, desync_warp(attack));
+  }
+  util::Pcg32 rng(attack.seed, 0xdE5C17u);
+  std::vector<double> out(y.size());
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    const double pos =
+        static_cast<double>(k) + rng.gaussian(0.0, attack.jitter_cycles);
+    out[k] = sample_clamped(y, pos);
+  }
+  return out;
+}
+
+DesyncOutcome run_desync_attack(std::span<const double> y,
+                                std::span<const double> pattern,
+                                const DesyncAttack& attack,
+                                const cpa::DetectorPolicy& policy,
+                                const sync::BlindSyncConfig& blind,
+                                runtime::Executor* executor) {
+  DesyncOutcome outcome;
+  outcome.attack = attack;
+  const cpa::Detector detector(policy);
+  outcome.baseline_peak_z = detector.detect(y, pattern).spectrum.peak_z;
+
+  const std::vector<double> attacked = apply_desync(y, attack);
+  outcome.naive = detector.detect(attacked, pattern);
+
+  outcome.sync = sync::find_sync(attacked, pattern, blind, executor);
+  if (outcome.sync.correction.is_identity()) {
+    outcome.synced = detector.detect(attacked, pattern);
+  } else {
+    const std::vector<double> corrected =
+        sync::warp_trace(attacked, outcome.sync.correction);
+    outcome.synced = detector.detect(corrected, pattern);
+  }
+  return outcome;
+}
+
+std::vector<DesyncAttack> default_desync_suite(std::uint64_t seed) {
+  std::vector<DesyncAttack> suite;
+  {
+    DesyncAttack a;
+    a.kind = DesyncKind::kFixedOffset;
+    a.name = "offset+37.4cyc";
+    a.offset_cycles = 37.4;
+    suite.push_back(a);
+  }
+  {
+    DesyncAttack a;
+    a.kind = DesyncKind::kResample;
+    a.name = "resample+80ppm";
+    a.ratio = 1.0 + 80e-6;
+    suite.push_back(a);
+  }
+  {
+    DesyncAttack a;
+    a.kind = DesyncKind::kDrift;
+    a.name = "drift-40ppm+2e-9";
+    a.ratio = 1.0 - 40e-6;
+    a.drift = 2e-9;
+    suite.push_back(a);
+  }
+  {
+    DesyncAttack a;
+    a.kind = DesyncKind::kJitter;
+    a.name = "jitter0.2cyc";
+    a.jitter_cycles = 0.2;
+    a.seed = seed;
+    suite.push_back(a);
+  }
+  return suite;
+}
+
+}  // namespace clockmark::attack

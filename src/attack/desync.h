@@ -1,0 +1,96 @@
+// Desynchronisation attacks on watermark detection. The paper's examiner
+// relies on a scope trigger for cycle-aligned traces; an uncooperative
+// party (or an attacker re-publishing traces) can deny that alignment
+// without touching the silicon: start the capture at an arbitrary
+// offset, resample it at a slightly wrong clock, let the time base
+// drift, or inject per-sample timing jitter. Each smears the CPA
+// correlation peak across rotations — the cheapest "removal" attack of
+// all, because it costs zero area.
+//
+// The deterministic attacks are exactly a sync::WarpSpec applied to the
+// trace (the attacker's warp; the detector's blind search recovers the
+// approximate inverse). Jitter has no deterministic inverse — the
+// detection must average through it, which the per-cycle CPA fold
+// already does.
+//
+// run_desync_attack measures both sides: the naive (triggered) detector
+// on the desynchronised trace versus the blind-synchronised detector,
+// giving the margin the sync subsystem buys back. Wired into
+// bench/sec6_robustness alongside the structural removal study.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpa/detector.h"
+#include "sync/types.h"
+
+namespace clockmark::runtime {
+class Executor;
+}
+
+namespace clockmark::attack {
+
+enum class DesyncKind {
+  kFixedOffset,  ///< capture starts offset_cycles into the trace
+  kResample,     ///< examiner clock off by (ratio - 1), e.g. ppm error
+  kDrift,        ///< time base slope changes linearly over the capture
+  kJitter,       ///< zero-mean per-cycle sampling jitter (RMS in cycles)
+};
+
+struct DesyncAttack {
+  DesyncKind kind = DesyncKind::kFixedOffset;
+  std::string name;             ///< label for reports/CSV
+  double offset_cycles = 0.0;   ///< kFixedOffset (fractional allowed)
+  double ratio = 1.0;           ///< kResample: attacker resample step
+  double drift = 0.0;           ///< kDrift: per-cycle slope of the step
+  double jitter_cycles = 0.0;   ///< kJitter: RMS timing noise
+  std::uint64_t seed = 1;       ///< kJitter noise stream
+};
+
+/// The attacker's warp for the deterministic kinds; identity for
+/// kJitter (which is stochastic, not a time-base change).
+sync::WarpSpec desync_warp(const DesyncAttack& attack);
+
+/// Applies the attack to a cycle-aligned per-cycle trace: what the
+/// examiner actually captures. Deterministic kinds resample through
+/// desync_warp (shared arithmetic with sync::warp_trace); kJitter reads
+/// position k + N(0, jitter) per output cycle, clamped lerp like the
+/// warp.
+std::vector<double> apply_desync(std::span<const double> y,
+                                 const DesyncAttack& attack);
+
+/// Both sides of one attack: the triggered detector on the attacked
+/// trace vs the blind-synchronised detector on the same trace.
+struct DesyncOutcome {
+  DesyncAttack attack;
+  cpa::DetectionResult naive;    ///< kTriggered on the attacked trace
+  cpa::DetectionResult synced;   ///< after the blind lock's correction
+  sync::SyncEstimate sync;       ///< what the blind search recovered
+  double baseline_peak_z = 0.0;  ///< triggered detection, aligned trace
+
+  /// Fraction of the aligned peak z the blind-synced detection keeps
+  /// (1.0 = full recovery; the acceptance bar is >= 0.9).
+  double recovered_margin() const noexcept {
+    return baseline_peak_z > 0.0 ? synced.spectrum.peak_z / baseline_peak_z
+                                 : 0.0;
+  }
+};
+
+/// Runs one attack end to end on an aligned trace + pattern. The
+/// executor, when non-null, parallelises the blind search.
+DesyncOutcome run_desync_attack(std::span<const double> y,
+                                std::span<const double> pattern,
+                                const DesyncAttack& attack,
+                                const cpa::DetectorPolicy& policy = {},
+                                const sync::BlindSyncConfig& blind = {},
+                                runtime::Executor* executor = nullptr);
+
+/// The standard suite the robustness bench and tests sweep: a fixed
+/// fractional offset, a ppm-class resample, thermal-class drift, and
+/// sub-cycle jitter.
+std::vector<DesyncAttack> default_desync_suite(std::uint64_t seed = 1);
+
+}  // namespace clockmark::attack

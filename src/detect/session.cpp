@@ -1,0 +1,143 @@
+#include "detect/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "cpa/confidence.h"
+#include "sync/search.h"
+#include "sync/warp.h"
+
+namespace clockmark::detect {
+namespace {
+
+// Batch decision with the request's sync handling applied up front.
+Report run_batch(const Request& request, std::span<const double> y,
+                 std::span<const double> pattern,
+                 runtime::Executor* executor) {
+  Report report;
+  report.cycles = y.size();
+  std::vector<double> warped;
+  std::span<const double> input = y;
+  switch (request.sync) {
+    case sync::SyncPolicy::kTriggered:
+      break;
+    case sync::SyncPolicy::kKnownOffset:
+      if (!request.known_warp.is_identity()) {
+        warped = sync::warp_trace(y, request.known_warp);
+        input = warped;
+        sync::SyncEstimate applied;
+        applied.correction = request.known_warp;
+        applied.locked = true;
+        report.sync = applied;
+      }
+      break;
+    case sync::SyncPolicy::kBlind: {
+      const sync::SyncEstimate est =
+          sync::find_sync(y, pattern, request.blind, executor);
+      report.sync = est;
+      if (!est.correction.is_identity()) {
+        warped = sync::warp_trace(y, est.correction);
+        input = warped;
+      }
+      break;
+    }
+  }
+  const cpa::Detector detector(request.policy);
+  report.detection = detector.detect(input, pattern, request.method);
+  report.detected = report.detection.detected;
+  report.confidence = cpa::detection_confidence(report.detection.spectrum);
+  return report;
+}
+
+}  // namespace
+
+Session::Session(Request request, std::vector<double> pattern)
+    : request_(std::move(request)), pattern_(std::move(pattern)) {}
+
+Report Session::run(std::span<const double> y,
+                    runtime::Executor* executor) const {
+  if (pattern_.empty()) {
+    throw std::logic_error(
+        "detect::Session: no pattern bound; construct the Session with the "
+        "expected watermark pattern (or use the Scenario overload)");
+  }
+  return run_batch(request_, y, pattern_, executor);
+}
+
+Report Session::run(const sim::Scenario& scenario, std::size_t repetition,
+                    runtime::Executor* executor) const {
+  sim::ScenarioResult result = scenario.run(repetition);
+  Report report = run_batch(request_, result.acquisition.per_cycle_power_w,
+                            result.pattern, executor);
+  report.scenario = std::move(result);
+  return report;
+}
+
+stream::StreamPipelineConfig Session::pipeline_config(
+    const Request& request) const {
+  stream::StreamPipelineConfig cfg;
+  cfg.queue_capacity = request.streaming.queue_capacity;
+  stream::OnlineDetectorConfig& d = cfg.detector;
+  d.policy = request.policy;
+  d.method = request.method;
+  d.early_stop = request.streaming.early_stop;
+  d.confidence_threshold = request.streaming.confidence_threshold;
+  d.consecutive_evaluations = request.streaming.consecutive_evaluations;
+  d.evaluate_every_chunks = request.streaming.evaluate_every_chunks;
+  d.min_cycles = request.streaming.min_cycles;
+  d.sync_policy = request.sync;
+  d.known_warp = request.known_warp;
+  d.blind = request.blind;
+  d.lock_cycles = request.lock_cycles;
+  return cfg;
+}
+
+Report Session::run_stream(stream::TraceSource& source,
+                           const Request& request,
+                           runtime::Executor* executor) const {
+  if (pattern_.empty()) {
+    throw std::logic_error(
+        "detect::Session: no pattern bound; construct the Session with the "
+        "expected watermark pattern");
+  }
+  const stream::StreamPipeline pipeline(pipeline_config(request));
+  stream::StreamReport sr = pipeline.run(source, pattern_, executor);
+  Report report;
+  report.detection = sr.decision.result;
+  report.detected = sr.decision.detected;
+  report.confidence = sr.decision.confidence;
+  report.cycles = sr.decision.decided ? sr.decision.decision_cycles
+                                      : sr.decision.cycles;
+  report.sync = sr.decision.sync;
+  if (!report.sync && request.sync == sync::SyncPolicy::kKnownOffset &&
+      !request.known_warp.is_identity()) {
+    sync::SyncEstimate applied;
+    applied.correction = request.known_warp;
+    applied.locked = true;
+    report.sync = applied;
+  }
+  report.stream = std::move(sr);
+  return report;
+}
+
+Report Session::run(stream::TraceSource& source,
+                    runtime::Executor* executor) const {
+  return run_stream(source, request_, executor);
+}
+
+Report Session::run_file(const std::string& path,
+                         runtime::Executor* executor) const {
+  stream::ReplaySource source(path, request_.streaming.chunk_cycles);
+  Request effective = request_;
+  const measure::TraceMeta& meta = source.meta();
+  if (effective.use_file_meta &&
+      effective.sync == sync::SyncPolicy::kTriggered &&
+      meta.trigger_offset_cycles != 0.0) {
+    effective.sync = sync::SyncPolicy::kKnownOffset;
+    effective.known_warp = sync::WarpSpec{};
+    effective.known_warp.offset_cycles = meta.trigger_offset_cycles;
+  }
+  return run_stream(source, effective, executor);
+}
+
+}  // namespace clockmark::detect

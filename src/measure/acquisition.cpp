@@ -1,5 +1,6 @@
 #include "measure/acquisition.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "measure/kernel.h"
@@ -18,16 +19,15 @@ AcquisitionChain::AcquisitionChain(const AcquisitionConfig& config)
 }
 
 Acquisition AcquisitionChain::measure(const power::PowerTrace& device_power) {
-  if (config_.simulate_trigger_offset) {
-    // The random capture-start prefix breaks the kernel's whole-cycle
-    // block contract; that study keeps the reference path.
-    return acquire_reference(device_power);
-  }
   AcquisitionKernel kernel(config_, device_power.clock_hz());
   const auto cycles = device_power.span();
   if (kernel.needs_range_pass()) {
     kernel.range_feed(cycles);
     kernel.fix_range();
+  }
+  if (kernel.needs_trigger_pass()) {
+    kernel.trigger_feed(cycles);
+    kernel.fix_trigger();
   }
   Acquisition result;
   kernel.acquire_feed(cycles, result.per_cycle_power_w);
@@ -41,6 +41,7 @@ Acquisition AcquisitionChain::acquire_reference(
     const power::PowerTrace& device_power) {
   const std::size_t spc = config_.waveform.samples_per_cycle;
   const double fs = device_power.clock_hz() * static_cast<double>(spc);
+  const bool sim_offset = config_.trigger_sim != TriggerSim::kAligned;
 
   // 1. Chip current at sample rate.
   std::vector<double> current = power::expand_to_current_waveform(
@@ -48,9 +49,11 @@ Acquisition AcquisitionChain::acquire_reference(
 
   // Optional: the capture starts at an arbitrary point inside a cycle.
   util::Pcg32 offset_rng(config_.noise_seed ^ 0x7219a9ULL, 0x0ff5e7u);
-  if (config_.simulate_trigger_offset && spc > 1 && !current.empty()) {
-    const std::size_t offset = offset_rng.bounded(
-        static_cast<std::uint32_t>(spc));
+  if (sim_offset && spc > 1 && !current.empty()) {
+    const std::size_t offset =
+        config_.trigger_sim == TriggerSim::kRandomOffset
+            ? offset_rng.bounded(static_cast<std::uint32_t>(spc))
+            : config_.trigger_offset_samples % spc;
     current.erase(current.begin(),
                   current.begin() + static_cast<long>(
                                         std::min(offset, current.size())));
@@ -81,11 +84,13 @@ Acquisition AcquisitionChain::acquire_reference(
 
   // 5. Oscilloscope: range, noise, quantisation.
   Oscilloscope scope(config_.scope, rng.fork(2));
-  if (config_.scope_auto_range) scope.auto_range(volts);
+  if (config_.range_policy == RangePolicy::kAutoRange) {
+    scope.auto_range(volts);
+  }
   std::vector<double> acquired = scope.acquire(volts);
 
   // Recover cycle alignment with the software edge trigger.
-  if (config_.simulate_trigger_offset) {
+  if (sim_offset) {
     acquired = auto_align(acquired, spc);
   }
 

@@ -11,6 +11,7 @@
 // milliwatts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -23,6 +24,26 @@
 
 namespace clockmark::measure {
 
+/// How the scope's vertical range is chosen.
+enum class RangePolicy {
+  /// Learn the range from the full waveform's min/max before acquiring
+  /// (the two-pass operator workflow; the historical default).
+  kAutoRange,
+  /// Use OscilloscopeConfig::{full_scale_v, offset_v} as configured.
+  kFixedRange,
+};
+
+/// Whether (and how) the capture start is misaligned inside a clock
+/// cycle — the single-shot un-triggered capture study. Alignment is
+/// recovered in-pipeline by the software edge trigger (measure/
+/// trigger.h); the averaged trace then loses up to one cycle at the
+/// front and one at the back.
+enum class TriggerSim {
+  kAligned,       ///< capture starts exactly on a cycle boundary
+  kRandomOffset,  ///< offset drawn from the noise seed (the paper study)
+  kFixedOffset,   ///< offset = trigger_offset_samples (mod spc)
+};
+
 struct AcquisitionConfig {
   power::WaveformOptions waveform;  ///< sub-cycle current synthesis
   double vdd_v = 1.2;
@@ -32,12 +53,15 @@ struct AcquisitionConfig {
   ShuntResistor shunt{0.270};
   ProbeConfig probe;
   OscilloscopeConfig scope;
-  bool scope_auto_range = true;
-  /// Simulate an arbitrary capture start inside a clock cycle (as a real
-  /// un-triggered single-shot capture would have) and recover alignment
-  /// with the software edge trigger (measure/trigger.h). The averaged
-  /// trace then loses up to one cycle at the front.
-  bool simulate_trigger_offset = false;
+  RangePolicy range_policy = RangePolicy::kAutoRange;
+  TriggerSim trigger_sim = TriggerSim::kAligned;
+  /// Capture-start offset in samples for TriggerSim::kFixedOffset
+  /// (taken modulo samples_per_cycle).
+  std::size_t trigger_offset_samples = 0;
+  /// Whole-cycle block length of the fused kernel (0 = pick a block of
+  /// ~4096 samples, at least 8 cycles). Exposed for the block-size
+  /// invariance tests; results never depend on it.
+  std::size_t block_cycles = 0;
   std::uint64_t noise_seed = 1;
 };
 
@@ -54,17 +78,17 @@ class AcquisitionChain {
 
   /// Measures a device power trace: expands to a sample-rate current
   /// waveform, runs the analog chain + ADC, block-averages back to one
-  /// power value per clock cycle. Routed through the fused
-  /// measure::AcquisitionKernel (see kernel.h); simulate_trigger_offset
-  /// falls back to acquire_reference, the only path that drops a
-  /// sub-cycle sample prefix.
+  /// power value per clock cycle. Always routed through the fused
+  /// measure::AcquisitionKernel (see kernel.h), including the
+  /// trigger-offset studies (TriggerSim != kAligned), which add a
+  /// trigger pass between the range and acquire passes.
   Acquisition measure(const power::PowerTrace& device_power);
 
   /// The original materialise-then-filter-then-quantise pipeline, kept
-  /// as the per-sample reference implementation. The fused kernel is
-  /// bit-identical to it (asserted in tests/test_measure_kernel.cpp);
-  /// this path also remains the reference-vs-fused baseline for
-  /// bench/abl_acq_speed.
+  /// purely as the per-sample test oracle: the fused kernel is asserted
+  /// bit-identical to it (tests/test_measure_kernel.cpp) and it remains
+  /// the reference-vs-fused baseline for bench/abl_acq_speed. No
+  /// production path calls it.
   Acquisition acquire_reference(const power::PowerTrace& device_power);
 
   const AcquisitionConfig& config() const noexcept { return config_; }

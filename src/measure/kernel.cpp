@@ -22,7 +22,9 @@ constexpr std::size_t kBlockSamplesTarget = 4096;
 // reference path threads implicitly by processing the whole waveform in
 // one call. Both noise streams fork from the same base stream (and with
 // the same salts) as the reference path, so the draw sequences are
-// identical.
+// identical. Trigger-offset streams also carry the sample cursor, the
+// previous digitised sample (edge fold) and the partial averaging
+// window across feeds.
 struct AcquisitionKernel::Pass {
   Pass(const AcquisitionConfig& config, double fs)
       : probe_filter(config.probe.bandwidth_hz, config.probe.sample_rate_hz),
@@ -40,11 +42,16 @@ struct AcquisitionKernel::Pass {
   util::Pcg32 scope_rng;
   bool primed = false;
   std::size_t prime_samples = 0;  ///< samples the DC priming averaged
+
+  std::size_t stream_pos = 0;  ///< samples of the (offset) stream done
+  std::size_t cycles_in = 0;   ///< input cycles consumed by past feeds
+  double prev_sample = 0.0;    ///< last digitised sample (edge fold)
+  double win_sum = 0.0;        ///< partial averaging window (align pass)
+  std::size_t win_count = 0;
 };
 
 AcquisitionKernel::AcquisitionKernel(const AcquisitionConfig& config,
-                                     double clock_hz,
-                                     std::size_t block_cycles)
+                                     double clock_hz)
     : config_(config), clock_hz_(clock_hz) {
   if (config_.probe.sample_rate_hz != config_.scope.sample_rate_hz) {
     throw std::invalid_argument(
@@ -52,11 +59,6 @@ AcquisitionKernel::AcquisitionKernel(const AcquisitionConfig& config,
   }
   if (clock_hz_ <= 0.0) {
     throw std::invalid_argument("AcquisitionKernel: clock_hz must be > 0");
-  }
-  if (config_.simulate_trigger_offset) {
-    throw std::invalid_argument(
-        "AcquisitionKernel: simulate_trigger_offset drops a sub-cycle "
-        "sample prefix and is only supported by the reference path");
   }
   // Same front-door validation the reference path's Oscilloscope
   // constructor performs before any range decision.
@@ -70,17 +72,35 @@ AcquisitionKernel::AcquisitionKernel(const AcquisitionConfig& config,
   template_ = power::cycle_pulse_template(config_.waveform);  // throws on spc=0
 
   const std::size_t spc = config_.waveform.samples_per_cycle;
-  block_cycles_ = block_cycles > 0
-                      ? block_cycles
+  block_cycles_ = config_.block_cycles > 0
+                      ? config_.block_cycles
                       : std::max<std::size_t>(8, kBlockSamplesTarget / spc);
   wave_.resize(block_cycles_ * spc);
   noise_.resize(block_cycles_ * spc);
+
+  if (config_.trigger_sim != TriggerSim::kAligned) {
+    if (spc > 1) {
+      if (config_.trigger_sim == TriggerSim::kRandomOffset) {
+        // The same derivation the reference path uses, so both paths
+        // simulate the identical capture start for a given noise seed.
+        util::Pcg32 offset_rng(config_.noise_seed ^ 0x7219a9ULL, 0x0ff5e7u);
+        offset_ = offset_rng.bounded(static_cast<std::uint32_t>(spc));
+      } else {
+        offset_ = config_.trigger_offset_samples % spc;
+      }
+    }
+    edge_fold_.assign(spc, 0.0);
+  }
 }
 
 AcquisitionKernel::~AcquisitionKernel() = default;
 
 bool AcquisitionKernel::needs_range_pass() const noexcept {
-  return config_.scope_auto_range;
+  return config_.range_policy == RangePolicy::kAutoRange;
+}
+
+bool AcquisitionKernel::needs_trigger_pass() const noexcept {
+  return config_.trigger_sim != TriggerSim::kAligned;
 }
 
 void AcquisitionKernel::prime_pdn(Pass& pass,
@@ -91,23 +111,31 @@ void AcquisitionKernel::prime_pdn(Pass& pass,
     if (pass.prime_samples < spc * 8) {
       throw std::invalid_argument(
           "AcquisitionKernel: first chunk must span at least 8 cycles "
-          "(PDN priming window)");
+          "(9 with a trigger offset) — the PDN priming window");
     }
     return;
   }
   // The reference path primes the filter with the DC level of the first
-  // min(trace, 8 cycles) samples. Accumulate the synthesized samples in
-  // the exact order the reference sums them — no buffer needed, the
-  // expansion is recomputed per sample.
-  const std::size_t settle_cycles =
-      std::min<std::size_t>(cycle_power_w.size(), 8);
-  const std::size_t settle = settle_cycles * spc;
+  // min(stream, 8 cycles) samples of the (possibly offset) sample
+  // stream. Accumulate the synthesized samples in the exact order the
+  // reference sums them — no buffer needed, the expansion is recomputed
+  // per sample.
+  const std::size_t chunk_samples = cycle_power_w.size() * spc - offset_;
+  const std::size_t settle = std::min(chunk_samples, spc * 8);
   double dc = 0.0;
-  for (std::size_t c = 0; c < settle_cycles; ++c) {
-    const double avg_current = cycle_power_w[c] / config_.vdd_v;
-    const double scale =
-        avg_current * static_cast<double>(spc);
-    for (std::size_t i = 0; i < spc; ++i) dc += scale * template_[i];
+  std::size_t tpl_i = offset_;
+  std::size_t cyc = 0;
+  double scale = cycle_power_w[0] / config_.vdd_v * static_cast<double>(spc);
+  for (std::size_t i = 0; i < settle; ++i) {
+    dc += scale * template_[tpl_i];
+    if (++tpl_i == spc) {
+      tpl_i = 0;
+      ++cyc;
+      if (i + 1 < settle) {
+        scale = cycle_power_w[cyc] / config_.vdd_v *
+                static_cast<double>(spc);
+      }
+    }
   }
   pass.pdn->reset(dc / static_cast<double>(settle));
   pass.primed = true;
@@ -116,7 +144,7 @@ void AcquisitionKernel::prime_pdn(Pass& pass,
 
 void AcquisitionKernel::run_pass(Pass& pass,
                                  std::span<const double> cycle_power_w,
-                                 bool acquire, std::vector<double>* y_out) {
+                                 PassKind kind, std::vector<double>* y_out) {
   const std::size_t spc = config_.waveform.samples_per_cycle;
   const double spc_d = static_cast<double>(spc);
   const double vdd = config_.vdd_v;
@@ -124,7 +152,7 @@ void AcquisitionKernel::run_pass(Pass& pass,
   const double gain = config_.probe.gain;
   const double probe_noise = config_.probe.noise_v_rms;
 
-  // ADC grid (acquire pass only; config_.scope holds the fixed range).
+  // ADC grid (acquire/trigger passes; config_.scope holds the range).
   const double lsb =
       config_.scope.full_scale_v /
       static_cast<double>(1u << config_.scope.resolution_bits);
@@ -135,6 +163,13 @@ void AcquisitionKernel::run_pass(Pass& pass,
       static_cast<double>((1u << config_.scope.resolution_bits) - 1u);
 
   prime_pdn(pass, cycle_power_w);
+
+  // Offset streams (simulated trigger offset): the sample stream is the
+  // aligned waveform minus its first `offset_` samples, so blocks are no
+  // longer cycle-aligned — synthesis walks a (cycle, template) cursor
+  // and the acquire pass averages phase-aligned windows instead of
+  // per-input-cycle blocks.
+  const bool offset_stream = needs_trigger_pass();
 
   const double* tpl = template_.data();
   double* wave = wave_.data();
@@ -159,15 +194,35 @@ void AcquisitionKernel::run_pass(Pass& pass,
        start += block_cycles_) {
     const std::size_t bc =
         std::min(block_cycles_, cycle_power_w.size() - start);
-    const std::size_t sc = bc * spc;
+    std::size_t sc;
 
     // 1. Chip current at sample rate (same ops as
     //    power::expand_to_current_waveform, block-resident).
-    for (std::size_t c = 0; c < bc; ++c) {
-      const double avg_current = cycle_power_w[start + c] / vdd;
-      const double scale = avg_current * spc_d;
-      double* w = wave + c * spc;
-      for (std::size_t i = 0; i < spc; ++i) w[i] = scale * tpl[i];
+    if (!offset_stream) {
+      sc = bc * spc;
+      for (std::size_t c = 0; c < bc; ++c) {
+        const double avg_current = cycle_power_w[start + c] / vdd;
+        const double scale = avg_current * spc_d;
+        double* w = wave + c * spc;
+        for (std::size_t i = 0; i < spc; ++i) w[i] = scale * tpl[i];
+      }
+    } else {
+      const std::size_t g0 = pass.cycles_in + start;  // global first cycle
+      sc = (g0 + bc) * spc - offset_ - pass.stream_pos;
+      const std::size_t gp = pass.stream_pos + offset_;
+      std::size_t cyc = gp / spc;  // global cycle of the next sample
+      std::size_t tpl_i = gp % spc;
+      double scale = cycle_power_w[start + (cyc - g0)] / vdd * spc_d;
+      for (std::size_t j = 0; j < sc; ++j) {
+        wave[j] = scale * tpl[tpl_i];
+        if (++tpl_i == spc) {
+          tpl_i = 0;
+          ++cyc;
+          if (j + 1 < sc) {
+            scale = cycle_power_w[start + (cyc - g0)] / vdd * spc_d;
+          }
+        }
+      }
     }
 
     // 2.-4. PDN low-pass -> shunt voltage -> probe bandwidth + gain +
@@ -177,7 +232,7 @@ void AcquisitionKernel::run_pass(Pass& pass,
     pass.probe_rng.fill_gaussian(std::span<double>(noise, sc), 0.0,
                                  probe_noise);
 
-    if (!acquire) {
+    if (kind == PassKind::kRange) {
       // Range pass: accumulate the exact min/max the reference scope's
       // auto_range would see over the full waveform. The per-sample
       // volts value is consumed by the min/max right away — nothing is
@@ -209,6 +264,7 @@ void AcquisitionKernel::run_pass(Pass& pass,
       }
       volts_min_ = mn;
       volts_max_ = mx;
+      pass.stream_pos += sc;
       continue;
     }
 
@@ -242,21 +298,60 @@ void AcquisitionKernel::run_pass(Pass& pass,
       wave[j] = (code + 0.5) * lsb - half_scale + offset_v;
     }
 
-    // 6. Back to chip power, averaged per clock cycle (Y vector). The
-    //    running sum crosses block boundaries in cycle order, so the
-    //    mean matches the reference's single accumulation chain.
-    for (std::size_t c = 0; c < bc; ++c) {
-      const double* w = wave + c * spc;
-      double s = 0.0;
-      for (std::size_t i = 0; i < spc; ++i) s += w[i];
-      const double averaged = s / spc_d;
-      const double current_a = (averaged / gain) / r_shunt;
-      const double y = current_a * vdd;
-      y_out->push_back(y);
-      sum_power_w_ += y;
+    if (kind == PassKind::kTrigger) {
+      // Fold the positive first-differences of the digitised stream
+      // modulo spc — the exact estimate_trigger_phase accumulation, in
+      // the same sample order (the fold bins are written in increasing
+      // stream index, so the FP sums match the batch fold bit for bit).
+      for (std::size_t j = 0; j < sc; ++j) {
+        const std::size_t i = pass.stream_pos + j;
+        const double v = wave[j];
+        if (i > 0) {
+          const double d = v - pass.prev_sample;
+          if (d > 0.0) edge_fold_[i % spc] += d;
+        }
+        pass.prev_sample = v;
+      }
+    } else if (!offset_stream) {
+      // 6. Back to chip power, averaged per clock cycle (Y vector). The
+      //    running sum crosses block boundaries in cycle order, so the
+      //    mean matches the reference's single accumulation chain.
+      for (std::size_t c = 0; c < bc; ++c) {
+        const double* w = wave + c * spc;
+        double s = 0.0;
+        for (std::size_t i = 0; i < spc; ++i) s += w[i];
+        const double averaged = s / spc_d;
+        const double current_a = (averaged / gain) / r_shunt;
+        const double y = current_a * vdd;
+        y_out->push_back(y);
+        sum_power_w_ += y;
+      }
+      cycles_out_ += bc;
+    } else {
+      // 6'. Trigger-offset acquire: drop the first `phase_` samples
+      //    (align_to_trigger) and average consecutive spc-sample
+      //    windows (block_average), the partial window carried across
+      //    feeds; a trailing partial window is never emitted — exactly
+      //    the reference's trailing-drop semantics.
+      for (std::size_t j = 0; j < sc; ++j) {
+        const std::size_t i = pass.stream_pos + j;
+        if (i < phase_) continue;
+        pass.win_sum += wave[j];
+        if (++pass.win_count == spc) {
+          const double averaged = pass.win_sum / spc_d;
+          const double current_a = (averaged / gain) / r_shunt;
+          const double y = current_a * vdd;
+          y_out->push_back(y);
+          sum_power_w_ += y;
+          ++cycles_out_;
+          pass.win_sum = 0.0;
+          pass.win_count = 0;
+        }
+      }
     }
-    cycles_out_ += bc;
+    pass.stream_pos += sc;
   }
+  pass.cycles_in += cycle_power_w.size();
 
   // Hand the register-resident recurrence states back to the pass so the
   // next feed resumes exactly where this one stopped.
@@ -273,7 +368,7 @@ void AcquisitionKernel::range_feed(std::span<const double> cycle_power_w) {
         config_, clock_hz_ * static_cast<double>(
                                  config_.waveform.samples_per_cycle));
   }
-  run_pass(*range_pass_, cycle_power_w, /*acquire=*/false, nullptr);
+  run_pass(*range_pass_, cycle_power_w, PassKind::kRange, nullptr);
 }
 
 void AcquisitionKernel::fix_range() {
@@ -289,6 +384,47 @@ void AcquisitionKernel::fix_range() {
   range_pass_.reset();  // the acquire pass re-creates the analog chain
 }
 
+void AcquisitionKernel::trigger_feed(std::span<const double> cycle_power_w) {
+  if (!needs_trigger_pass()) {
+    throw std::logic_error(
+        "AcquisitionKernel: no trigger pass configured (trigger_sim is "
+        "kAligned)");
+  }
+  if (trigger_fixed_) {
+    throw std::logic_error("AcquisitionKernel: trigger already fixed");
+  }
+  if (needs_range_pass() && !range_fixed_) {
+    throw std::logic_error(
+        "AcquisitionKernel: fix the range before the trigger pass (the "
+        "edge fold runs on the digitised stream)");
+  }
+  if (!trigger_pass_) {
+    trigger_pass_ = std::make_unique<Pass>(
+        config_, clock_hz_ * static_cast<double>(
+                                 config_.waveform.samples_per_cycle));
+  }
+  run_pass(*trigger_pass_, cycle_power_w, PassKind::kTrigger, nullptr);
+}
+
+void AcquisitionKernel::fix_trigger() {
+  if (trigger_fixed_) return;
+  trigger_fixed_ = true;
+  if (!needs_trigger_pass()) return;
+  // Same decision rule as estimate_trigger_phase: streams shorter than
+  // two cycles are assumed aligned; otherwise the phase is the bin with
+  // the largest folded rising-edge energy (first maximum wins).
+  const std::size_t spc = config_.waveform.samples_per_cycle;
+  const std::size_t stream_len =
+      trigger_pass_ ? trigger_pass_->stream_pos : 0;
+  phase_ = 0;
+  if (stream_len >= 2 * spc) {
+    for (std::size_t p = 1; p < spc; ++p) {
+      if (edge_fold_[p] > edge_fold_[phase_]) phase_ = p;
+    }
+  }
+  trigger_pass_.reset();  // the acquire pass re-creates the analog chain
+}
+
 void AcquisitionKernel::acquire_feed(std::span<const double> cycle_power_w,
                                      std::vector<double>& y_out) {
   if (needs_range_pass() && !range_fixed_) {
@@ -296,13 +432,18 @@ void AcquisitionKernel::acquire_feed(std::span<const double> cycle_power_w,
         "AcquisitionKernel: run the range pass (range_feed + fix_range) "
         "before acquiring");
   }
+  if (needs_trigger_pass() && !trigger_fixed_) {
+    throw std::logic_error(
+        "AcquisitionKernel: run the trigger pass (trigger_feed + "
+        "fix_trigger) before acquiring");
+  }
   if (!acquire_pass_) {
     acquire_pass_ = std::make_unique<Pass>(
         config_, clock_hz_ * static_cast<double>(
                                  config_.waveform.samples_per_cycle));
   }
   y_out.reserve(y_out.size() + cycle_power_w.size());
-  run_pass(*acquire_pass_, cycle_power_w, /*acquire=*/true, &y_out);
+  run_pass(*acquire_pass_, cycle_power_w, PassKind::kAcquire, &y_out);
 }
 
 AcquisitionKernel::Summary AcquisitionKernel::summary() const {

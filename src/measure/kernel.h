@@ -26,6 +26,17 @@
 // identically. That mirrors what StreamingAcquisitionChain always did —
 // the kernel is now the single implementation behind both the batch and
 // the streaming front-ends.
+//
+// Trigger-offset captures (config.trigger_sim != kAligned) add a third
+// pass between range and acquire: the capture starts mid-cycle (the
+// synthesis cursor simply skips the first `offset` sub-cycle samples, so
+// nothing is materialised-and-erased), and the cycle boundary must be
+// recovered from the digitised waveform itself. The trigger pass
+// (trigger_feed + fix_trigger) replays the acquire-pass sample stream to
+// fold rising-edge energy modulo samples_per_cycle — the exact
+// estimate_trigger_phase computation — and the acquire pass then drops
+// `phase` leading samples and averages spc-sample windows, reproducing
+// auto_align + block_average of the reference path bit for bit.
 #pragma once
 
 #include <cstddef>
@@ -39,28 +50,38 @@ namespace clockmark::measure {
 
 class AcquisitionKernel {
  public:
-  /// `clock_hz` is the chip clock of the incoming per-cycle trace.
-  /// `block_cycles` overrides the block length (0 = pick a block of
-  /// ~4096 samples, at least 8 cycles); exposed for the block-size
-  /// invariance tests.
-  AcquisitionKernel(const AcquisitionConfig& config, double clock_hz,
-                    std::size_t block_cycles = 0);
+  /// `clock_hz` is the chip clock of the incoming per-cycle trace. All
+  /// remaining knobs (block length, range policy, trigger simulation)
+  /// live in the AcquisitionConfig aggregate.
+  AcquisitionKernel(const AcquisitionConfig& config, double clock_hz);
   ~AcquisitionKernel();
 
   AcquisitionKernel(const AcquisitionKernel&) = delete;
   AcquisitionKernel& operator=(const AcquisitionKernel&) = delete;
 
   /// True when the scope range must be learned from a first full pass
-  /// (config.scope_auto_range); otherwise acquire_feed may be called
-  /// directly.
+  /// (config.range_policy == kAutoRange); otherwise acquire_feed may be
+  /// called directly.
   bool needs_range_pass() const noexcept;
+
+  /// True when the capture is misaligned (config.trigger_sim !=
+  /// kAligned) and the trigger pass must run before acquiring.
+  bool needs_trigger_pass() const noexcept;
 
   /// Range pass: feed every whole-cycle chunk in order, then fix_range().
   void range_feed(std::span<const double> cycle_power_w);
   void fix_range();
 
+  /// Trigger pass (trigger_sim != kAligned only): feed the same chunks
+  /// in the same order, after the range is fixed, then fix_trigger().
+  void trigger_feed(std::span<const double> cycle_power_w);
+  void fix_trigger();
+
   /// Acquire pass: feed the same chunks in the same order. Appends this
-  /// chunk's per-cycle Y values (one per input cycle) to `y_out`.
+  /// chunk's per-cycle Y values to `y_out` — one per input cycle when
+  /// aligned; with a simulated trigger offset the pipeline loses up to
+  /// one cycle at the front (alignment) and one at the back (partial
+  /// window), so slightly fewer values than input cycles emerge overall.
   void acquire_feed(std::span<const double> cycle_power_w,
                     std::vector<double>& y_out);
 
@@ -75,12 +96,17 @@ class AcquisitionKernel {
 
   const AcquisitionConfig& config() const noexcept { return config_; }
   std::size_t block_cycles() const noexcept { return block_cycles_; }
+  /// Simulated capture-start offset in samples (0 when aligned).
+  std::size_t trigger_offset() const noexcept { return offset_; }
+  /// Recovered edge-trigger phase; valid after fix_trigger().
+  std::size_t trigger_phase() const noexcept { return phase_; }
 
  private:
   struct Pass;  // per-pass analog state (filters + noise streams)
+  enum class PassKind { kRange, kTrigger, kAcquire };
 
   void run_pass(Pass& pass, std::span<const double> cycle_power_w,
-                bool acquire, std::vector<double>* y_out);
+                PassKind kind, std::vector<double>* y_out);
   void prime_pdn(Pass& pass, std::span<const double> cycle_power_w);
 
   AcquisitionConfig config_;
@@ -89,11 +115,16 @@ class AcquisitionKernel {
   std::vector<double> template_;  ///< per-cycle pulse template (sums to 1)
 
   std::unique_ptr<Pass> range_pass_;
+  std::unique_ptr<Pass> trigger_pass_;
   std::unique_ptr<Pass> acquire_pass_;
   bool range_fixed_ = false;
+  bool trigger_fixed_ = false;
   double volts_min_ = 0.0;
   double volts_max_ = 0.0;
   bool volts_seen_ = false;
+  std::size_t offset_ = 0;  ///< capture-start offset (samples)
+  std::size_t phase_ = 0;   ///< recovered trigger phase (samples)
+  std::vector<double> edge_fold_;  ///< edge energy folded modulo spc
   double sum_power_w_ = 0.0;
   std::size_t cycles_out_ = 0;
 

@@ -17,6 +17,17 @@ void StreamingAcquisitionChain::range_feed(
 
 void StreamingAcquisitionChain::fix_range() { kernel_.fix_range(); }
 
+bool StreamingAcquisitionChain::needs_trigger_pass() const noexcept {
+  return kernel_.needs_trigger_pass();
+}
+
+void StreamingAcquisitionChain::trigger_feed(
+    std::span<const double> cycle_power_w) {
+  kernel_.trigger_feed(cycle_power_w);
+}
+
+void StreamingAcquisitionChain::fix_trigger() { kernel_.fix_trigger(); }
+
 std::vector<double> StreamingAcquisitionChain::acquire_feed(
     std::span<const double> cycle_power_w) {
   std::vector<double> y;

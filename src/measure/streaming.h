@@ -14,20 +14,19 @@
 //
 // Two passes, mirroring the operator's workflow: the scope's vertical
 // range depends on the full waveform (auto_range takes its min/max), so
-// when scope_auto_range is set the caller streams the trace once through
+// under RangePolicy::kAutoRange the caller streams the trace once through
 // the range pass, then again through the acquire pass. Both passes seed
 // their analog chains identically, so the acquire pass sees the exact
 // waveform the range was chosen from. This trades ~2x synthesis compute
 // for O(N) less memory — the streaming bargain.
 //
 // Since the fused-kernel refactor this class is a thin front-end over
-// measure::AcquisitionKernel, which implements the chunked two-pass
+// measure::AcquisitionKernel, which implements the chunked multi-pass
 // pipeline for both the batch and the streaming entry points (see
-// kernel.h for the exactness contract).
-//
-// Not supported: simulate_trigger_offset (it drops a random sub-cycle
-// sample prefix, which breaks the whole-cycle chunk contract); the batch
-// chain's reference path remains the path for that study.
+// kernel.h for the exactness contract). Trigger-offset captures
+// (config.trigger_sim != kAligned) stream a third pass — range, then
+// trigger, then acquire — because the edge-trigger phase, like the scope
+// range, is a whole-waveform statistic.
 #pragma once
 
 #include <cstddef>
@@ -46,16 +45,27 @@ class StreamingAcquisitionChain {
   StreamingAcquisitionChain(const AcquisitionConfig& config, double clock_hz);
 
   /// True when the scope range must be learned from a first full pass
-  /// (config.scope_auto_range); otherwise acquire_feed may be called
-  /// directly.
+  /// (config.range_policy == kAutoRange); otherwise acquire_feed may be
+  /// called directly.
   bool needs_range_pass() const noexcept;
 
   /// Range pass: feed every chunk in order, then fix_range().
   void range_feed(std::span<const double> cycle_power_w);
   void fix_range();
 
+  /// True when a trigger pass must stream the trace between the range
+  /// and acquire passes (config.trigger_sim != kAligned).
+  bool needs_trigger_pass() const noexcept;
+
+  /// Trigger pass: feed the same chunks in the same order, after
+  /// fix_range(), then fix_trigger().
+  void trigger_feed(std::span<const double> cycle_power_w);
+  void fix_trigger();
+
   /// Acquire pass: feed the same chunks in the same order. Returns this
-  /// chunk's per-cycle Y values (chunk length preserved).
+  /// chunk's per-cycle Y values (chunk length preserved when aligned;
+  /// a simulated trigger offset loses up to one cycle at the front and
+  /// one at the back of the whole stream).
   std::vector<double> acquire_feed(std::span<const double> cycle_power_w);
 
   struct Summary {

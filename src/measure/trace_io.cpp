@@ -8,20 +8,65 @@
 namespace clockmark::measure {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicV1[8] = {'C', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicV2[8] = {'C', 'M', 'T', 'R', 'A', 'C', 'E', '2'};
 
 // Raw doubles / u64 are written in host byte order; every platform this
 // simulator targets is little-endian, and the magic check rejects files
-// that are not CMTRACE1 at all.
+// that are not CMTRACE* at all.
+
+void write_meta_csv(std::ofstream& out, const TraceMeta& meta) {
+  char buf[96];
+  if (meta.clock_hz != 0.0) {
+    std::snprintf(buf, sizeof(buf), "# meta clock_hz=%.17g\n", meta.clock_hz);
+    out << buf;
+  }
+  if (meta.sample_rate_hz != 0.0) {
+    std::snprintf(buf, sizeof(buf), "# meta sample_rate_hz=%.17g\n",
+                  meta.sample_rate_hz);
+    out << buf;
+  }
+  if (meta.trigger_offset_cycles != 0.0) {
+    std::snprintf(buf, sizeof(buf), "# meta trigger_offset_cycles=%.17g\n",
+                  meta.trigger_offset_cycles);
+    out << buf;
+  }
+}
+
+// Parses one "meta key=value" payload (the "# " prefix already stripped)
+// into *meta. Unknown keys are ignored so newer writers stay readable.
+bool parse_meta_line(const std::string& payload, TraceMeta* meta) {
+  constexpr const char kPrefix[] = "meta ";
+  if (payload.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  const auto eq = payload.find('=', sizeof(kPrefix) - 1);
+  if (eq == std::string::npos) return false;
+  const std::string key =
+      payload.substr(sizeof(kPrefix) - 1, eq - (sizeof(kPrefix) - 1));
+  std::istringstream vs(payload.substr(eq + 1));
+  double v = 0.0;
+  if (!(vs >> v)) return false;
+  if (key == "clock_hz") {
+    meta->clock_hz = v;
+  } else if (key == "sample_rate_hz") {
+    meta->sample_rate_hz = v;
+  } else if (key == "trigger_offset_cycles") {
+    meta->trigger_offset_cycles = v;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
-void write_trace_csv(const std::string& path, std::span<const double> y) {
+void write_trace_csv(const std::string& path, std::span<const double> y,
+                     const TraceMeta& meta) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("write_trace_csv: cannot open " + path);
   }
   out << "# clockmark per-cycle power trace (W), one cycle per line\n";
+  write_meta_csv(out, meta);
   char buf[64];
   for (const double v : y) {
     std::snprintf(buf, sizeof(buf), "%.17g\n", v);
@@ -32,14 +77,20 @@ void write_trace_csv(const std::string& path, std::span<const double> y) {
   }
 }
 
-void write_trace_binary(const std::string& path, std::span<const double> y) {
+void write_trace_binary(const std::string& path, std::span<const double> y,
+                        const TraceMeta& meta) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw std::runtime_error("write_trace_binary: cannot open " + path);
   }
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
   const std::uint64_t count = y.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&meta.clock_hz), sizeof(double));
+  out.write(reinterpret_cast<const char*>(&meta.sample_rate_hz),
+            sizeof(double));
+  out.write(reinterpret_cast<const char*>(&meta.trigger_offset_cycles),
+            sizeof(double));
   out.write(reinterpret_cast<const char*>(y.data()),
             static_cast<std::streamsize>(y.size() * sizeof(double)));
   if (!out.good()) {
@@ -52,22 +103,56 @@ TraceFileReader::TraceFileReader(const std::string& path)
   if (!in_) {
     throw std::runtime_error("TraceFileReader: cannot open " + path);
   }
-  char magic[sizeof(kMagic)] = {};
+  char magic[sizeof(kMagicV1)] = {};
   in_.read(magic, sizeof(magic));
-  if (in_.gcount() == sizeof(magic) &&
-      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+  const bool v1 = in_.gcount() == sizeof(magic) &&
+                  std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  const bool v2 = in_.gcount() == sizeof(magic) &&
+                  std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (v1 || v2) {
     binary_ = true;
+    version_ = v2 ? 2 : 1;
     std::uint64_t count = 0;
     in_.read(reinterpret_cast<char*>(&count), sizeof(count));
     if (in_.gcount() != sizeof(count)) {
       throw std::runtime_error("TraceFileReader: truncated header in " +
                                path);
     }
+    if (v2) {
+      double fields[3] = {};
+      in_.read(reinterpret_cast<char*>(fields), sizeof(fields));
+      if (in_.gcount() != sizeof(fields)) {
+        throw std::runtime_error("TraceFileReader: truncated header in " +
+                                 path);
+      }
+      meta_.clock_hz = fields[0];
+      meta_.sample_rate_hz = fields[1];
+      meta_.trigger_offset_cycles = fields[2];
+    }
     total_ = static_cast<std::size_t>(count);
   } else {
-    // CSV: rewind and parse line by line.
+    // CSV: rewind, then consume the leading comment/blank block looking
+    // for "# meta key=value" lines. The scan stops at the first data
+    // line and rewinds to it, so read() sees every value exactly once.
     in_.clear();
     in_.seekg(0);
+    std::string line;
+    for (;;) {
+      const std::streampos pos = in_.tellg();
+      if (!std::getline(in_, line)) break;
+      const auto content = line.find_first_not_of(" \t\r");
+      if (content == std::string::npos) continue;  // blank line
+      if (line[content] != '#') {
+        in_.clear();
+        in_.seekg(pos);
+        break;
+      }
+      const auto payload = line.find_first_not_of(" \t", content + 1);
+      if (payload != std::string::npos &&
+          parse_meta_line(line.substr(payload), &meta_)) {
+        version_ = 2;
+      }
+    }
   }
 }
 
@@ -103,8 +188,9 @@ std::size_t TraceFileReader::read(std::span<double> out) {
   return got;
 }
 
-std::vector<double> read_trace(const std::string& path) {
+std::vector<double> read_trace(const std::string& path, TraceMeta* meta) {
   TraceFileReader reader(path);
+  if (meta != nullptr) *meta = reader.meta();
   std::vector<double> values;
   double buf[4096];
   for (;;) {

@@ -5,9 +5,19 @@
 // Two formats:
 //   CSV    one value per line, '#' comments — the same shape
 //          util::read_series and examples/trace_detect already consume.
-//   binary "CMTRACE1" magic, little-endian u64 cycle count, then raw
-//          little-endian doubles. Compact and self-describing enough for
-//          resume (the reader knows the total up front).
+//          Capture metadata rides in "# meta key=value" header comments,
+//          which v1 consumers skip as ordinary comments.
+//   binary "CMTRACE2" magic, little-endian u64 cycle count, the TraceMeta
+//          doubles, then raw little-endian doubles. Compact and
+//          self-describing enough for resume (the reader knows the total
+//          up front). v1 files ("CMTRACE1", no metadata block) are still
+//          read; writers emit v2.
+//
+// The metadata exists for desynchronised captures: a trace file recorded
+// without a cycle-aligned trigger carries its known misalignment (or
+// just its time base) so replayed detection can pick the right
+// SyncPolicy — kKnownOffset when trigger_offset_cycles is recorded,
+// kBlind when nothing is known.
 #pragma once
 
 #include <cstddef>
@@ -20,16 +30,36 @@
 
 namespace clockmark::measure {
 
-/// Writes Y as CSV (one value per line, %.17g so the replay is
-/// bit-exact). Throws std::runtime_error if the file cannot be written.
-void write_trace_csv(const std::string& path, std::span<const double> y);
+/// Capture metadata persisted alongside a trace (all optional; 0 means
+/// "not recorded" for the rates, and offsets default to aligned).
+struct TraceMeta {
+  double clock_hz = 0.0;         ///< device clock of the per-cycle trace
+  double sample_rate_hz = 0.0;   ///< scope rate the capture came from
+  /// Known capture-start misalignment in cycles (fractional part =
+  /// sub-cycle shift). 0 = cycle-aligned (triggered) capture.
+  double trigger_offset_cycles = 0.0;
 
-/// Writes Y in the binary CMTRACE1 format. Throws on I/O failure.
-void write_trace_binary(const std::string& path, std::span<const double> y);
+  bool is_default() const noexcept {
+    return clock_hz == 0.0 && sample_rate_hz == 0.0 &&
+           trigger_offset_cycles == 0.0;
+  }
+};
+
+/// Writes Y as CSV (one value per line, %.17g so the replay is
+/// bit-exact); non-default metadata becomes "# meta key=value" header
+/// lines. Throws std::runtime_error if the file cannot be written.
+void write_trace_csv(const std::string& path, std::span<const double> y,
+                     const TraceMeta& meta = {});
+
+/// Writes Y in the binary CMTRACE2 format (always v2; the metadata block
+/// is part of the fixed header). Throws on I/O failure.
+void write_trace_binary(const std::string& path, std::span<const double> y,
+                        const TraceMeta& meta = {});
 
 /// Incremental reader for both formats (auto-detected from the first
-/// bytes). read() fills at most out.size() values and returns how many
-/// were produced; 0 means end of file.
+/// bytes; CMTRACE1 and CMTRACE2 binaries both accepted). read() fills at
+/// most out.size() values and returns how many were produced; 0 means
+/// end of file.
 class TraceFileReader {
  public:
   explicit TraceFileReader(const std::string& path);
@@ -40,17 +70,26 @@ class TraceFileReader {
   /// CSV, whose length is only known once the file has been drained.
   std::optional<std::size_t> total_cycles() const noexcept { return total_; }
 
+  /// Capture metadata from the header ("# meta" lines / the CMTRACE2
+  /// block); default-constructed for v1 files and bare CSV.
+  const TraceMeta& meta() const noexcept { return meta_; }
+
   bool binary() const noexcept { return binary_; }
+  /// 1 = CMTRACE1 or bare CSV, 2 = CMTRACE2 or CSV with meta lines.
+  int format_version() const noexcept { return version_; }
 
  private:
   std::ifstream in_;
   bool binary_ = false;
+  int version_ = 1;
+  TraceMeta meta_;
   std::optional<std::size_t> total_;
   std::size_t produced_ = 0;
 };
 
 /// Convenience: drains a TraceFileReader into one vector (tests, and the
-/// batch half of the stream_detect example).
-std::vector<double> read_trace(const std::string& path);
+/// batch half of the stream_detect example). Fills *meta when non-null.
+std::vector<double> read_trace(const std::string& path,
+                               TraceMeta* meta = nullptr);
 
 }  // namespace clockmark::measure

@@ -22,6 +22,13 @@ struct DetectionExperiment {
 };
 
 /// Runs one scenario repetition and the CPA detector on its Y vector.
+///
+/// Deprecated shim: new code should use the detect::Session facade
+/// (detect/session.h), whose Scenario overload produces a bit-identical
+/// decision under the default (triggered) request and additionally
+/// supports desynchronised inputs. Kept because its output shape is
+/// baked into downstream result-parsing; no in-tree example or bench
+/// calls it anymore.
 DetectionExperiment run_detection(const Scenario& scenario,
                                   std::size_t repetition = 0,
                                   const cpa::DetectorPolicy& policy = {});

@@ -100,8 +100,9 @@ class Scenario {
   /// whole-cycle chunks with bounded memory (no sample-rate waveform or
   /// full Y vector is ever held). Concatenating the chunks reproduces
   /// run(repetition).acquisition.per_cycle_power_w bit for bit; see
-  /// sim/trace_stream.h for the contract and its limits (the batch-only
-  /// simulate_trigger_offset study throws here). Thread-safe like run():
+  /// sim/trace_stream.h for the contract (trigger-offset studies stream
+  /// an extra edge-fold pass, like the batch path). Thread-safe like
+  /// run():
   /// each stream owns its per-repetition state and only reads the shared
   /// caches.
   std::unique_ptr<ScenarioTraceStream> open_stream(

@@ -18,10 +18,15 @@ ScenarioTraceStream::ScenarioTraceStream(const Scenario& scenario,
     throw std::invalid_argument(
         "ScenarioTraceStream: chunk_cycles must be > 0");
   }
-  if (chunk_cycles_ < 8 && total_cycles_ > chunk_cycles_) {
+  const std::size_t min_first_chunk =
+      scenario.config().acquisition.trigger_sim ==
+              measure::TriggerSim::kAligned
+          ? 8    // the PDN priming window
+          : 9;   // priming window + the partial first cycle the offset eats
+  if (chunk_cycles_ < min_first_chunk && total_cycles_ > chunk_cycles_) {
     throw std::invalid_argument(
         "ScenarioTraceStream: chunk_cycles must cover the 8-cycle PDN "
-        "priming window");
+        "priming window (9 cycles with a trigger offset)");
   }
   const ScenarioConfig& cfg = scenario_.config_;
   const std::size_t period = scenario_.characterization_.period;
@@ -55,6 +60,19 @@ ScenarioTraceStream::ScenarioTraceStream(const Scenario& scenario,
       chain_->range_feed(synthesize(range_cursor, n));
     }
     chain_->fix_range();
+  }
+  // Trigger pass (trigger_sim != kAligned): stream once more so the
+  // edge-trigger phase is folded from the full digitised waveform, as
+  // the batch auto_align does.
+  if (chain_->needs_trigger_pass()) {
+    SynthCursor trigger_cursor;
+    trigger_cursor.overlay = make_overlay();
+    while (trigger_cursor.position < total_cycles_) {
+      const std::size_t n =
+          std::min(chunk_cycles_, total_cycles_ - trigger_cursor.position);
+      chain_->trigger_feed(synthesize(trigger_cursor, n));
+    }
+    chain_->fix_trigger();
   }
   acquire_cursor_.overlay = make_overlay();
 }

@@ -40,12 +40,23 @@ ScenarioSource::ScenarioSource(const sim::Scenario& scenario,
     : stream_(scenario.open_stream(repetition, chunk_cycles)) {}
 
 std::optional<Chunk> ScenarioSource::next() {
-  Chunk chunk;
-  chunk.start_cycle = stream_->position();
-  chunk.values = stream_->next();
-  if (chunk.values.empty()) return std::nullopt;
-  chunk.index = index_++;
-  return chunk;
+  // start_cycle counts emitted Y cycles, not input cycles: with a
+  // simulated trigger offset the acquisition loses up to one cycle at
+  // the front, so the two counters diverge (and a warm-up feed can even
+  // emit nothing — skip it rather than ending the stream).
+  for (;;) {
+    std::vector<double> values = stream_->next();
+    if (values.empty()) {
+      if (stream_->position() < stream_->total_cycles()) continue;
+      return std::nullopt;
+    }
+    Chunk chunk;
+    chunk.index = index_++;
+    chunk.start_cycle = emitted_;
+    emitted_ += values.size();
+    chunk.values = std::move(values);
+    return chunk;
+  }
 }
 
 std::size_t ScenarioSource::total_cycles() const {

@@ -4,9 +4,11 @@
 //   ScenarioSource  pulls chunks from a sim::Scenario repetition via its
 //                   chunked synthesis entry point (Scenario::open_stream)
 //                   — no full trace is ever materialised.
-//   ReplaySource    streams a CSV / CMTRACE1 binary trace file written by
+//   ReplaySource    streams a CSV / CMTRACE binary trace file written by
 //                   measure::write_trace_* or any scope export the
-//                   trace_detect example already reads.
+//                   trace_detect example already reads; capture metadata
+//                   (time base, known trigger offset) is exposed so
+//                   detection can pick a SyncPolicy.
 //   CallbackSource  wraps a std::function — the test seam, and the hook
 //                   for gluing in an external capture process.
 #pragma once
@@ -74,6 +76,7 @@ class ScenarioSource : public TraceSource {
  private:
   std::unique_ptr<sim::ScenarioTraceStream> stream_;
   std::size_t index_ = 0;
+  std::size_t emitted_ = 0;  ///< Y cycles handed out so far
 };
 
 class ReplaySource : public TraceSource {
@@ -83,6 +86,9 @@ class ReplaySource : public TraceSource {
 
   std::optional<Chunk> next() override;
   std::size_t total_cycles() const override { return total_; }
+
+  /// Capture metadata persisted in the file (default for v1 files).
+  const measure::TraceMeta& meta() const noexcept { return reader_.meta(); }
 
  private:
   measure::TraceFileReader reader_;

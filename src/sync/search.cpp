@@ -1,0 +1,201 @@
+#include "sync/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "cpa/confidence.h"
+#include "cpa/spread_spectrum.h"
+#include "runtime/executor.h"
+
+namespace clockmark::sync {
+namespace {
+
+/// Evaluates the lock metric for a batch of candidate warps, optionally
+/// fanned out over the executor. Scores are independent per candidate
+/// and the selection below is serial, so parallel runs are
+/// bit-identical to serial ones.
+std::vector<double> score_batch(std::span<const double> y,
+                                std::span<const double> pattern,
+                                const std::vector<WarpSpec>& specs,
+                                std::size_t guard,
+                                runtime::Executor* executor) {
+  const auto one = [&](std::size_t i) {
+    return sync_score(y, pattern, specs[i], guard);
+  };
+  if (executor != nullptr && executor->thread_count() > 1 &&
+      specs.size() > 1) {
+    return executor->parallel_map<double>(specs.size(), one);
+  }
+  std::vector<double> scores(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) scores[i] = one(i);
+  return scores;
+}
+
+std::size_t argmax(const std::vector<double>& scores) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+double sync_score(std::span<const double> y, std::span<const double> pattern,
+                  const WarpSpec& spec, std::size_t guard) {
+  const std::vector<double> warped = warp_trace(y, spec);
+  if (warped.size() < pattern.size()) return 0.0;
+  const cpa::SpreadSpectrum ss = cpa::compute_spread_spectrum(
+      warped, pattern, cpa::CorrelationMethod::kFft, guard);
+  return ss.peak_z;
+}
+
+SyncEstimate find_sync(std::span<const double> y,
+                       std::span<const double> pattern,
+                       const BlindSyncConfig& config,
+                       runtime::Executor* executor) {
+  if (pattern.empty()) {
+    throw std::invalid_argument("find_sync: empty pattern");
+  }
+  SyncEstimate est;
+  const std::size_t period = pattern.size();
+  if (y.size() < period + 1) return est;  // nothing to lock onto
+
+  std::size_t evaluations = 0;
+  const auto batch = [&](std::span<const double> trace,
+                         const std::vector<WarpSpec>& specs) {
+    evaluations += specs.size();
+    return score_batch(trace, pattern, specs, config.guard, executor);
+  };
+
+  // ---- Stage 1: coarse ratio lattice on a truncated window. A ratio
+  // error e smears the peak by window * e cycles, so stepping the
+  // lattice at 1/(2*window) bounds the worst smear to half a cycle —
+  // the true ratio's neighbour always survives the scan.
+  std::size_t window = config.coarse_window_cycles == 0
+                           ? y.size()
+                           : std::min(y.size(), config.coarse_window_cycles);
+  window = std::max(window, std::min(y.size(), 2 * period));
+  const std::span<const double> yw = y.first(window);
+  const double coarse_step = 1.0 / (2.0 * static_cast<double>(window));
+  const auto half_points = static_cast<std::size_t>(
+      std::ceil(config.max_ratio_dev / coarse_step));
+
+  std::vector<WarpSpec> lattice;
+  lattice.reserve(2 * half_points + 1);
+  for (std::size_t i = 0; i <= 2 * half_points; ++i) {
+    WarpSpec s;
+    s.ratio = 1.0 + (static_cast<double>(i) -
+                     static_cast<double>(half_points)) *
+                        coarse_step;
+    lattice.push_back(s);
+  }
+  const std::vector<double> coarse_scores = batch(yw, lattice);
+  double ratio = lattice[argmax(coarse_scores)].ratio;
+
+  // ---- Stages 2+3: grid-zoom refinement on the full trace,
+  // coordinate-descending over (ratio, drift). Each round probes a
+  // 9-point grid across the bracket and shrinks it 4x around the best.
+  double drift = 0.0;
+  const auto refine = [&](double center, double half_span,
+                          const auto& make_spec) {
+    double best = center;
+    for (std::size_t round = 0; round < config.refine_rounds; ++round) {
+      std::vector<WarpSpec> grid;
+      std::vector<double> values;
+      grid.reserve(9);
+      for (int i = -4; i <= 4; ++i) {
+        const double v =
+            best + half_span * static_cast<double>(i) / 4.0;
+        values.push_back(v);
+        grid.push_back(make_spec(v));
+      }
+      const std::vector<double> scores = batch(y, grid);
+      best = values[argmax(scores)];
+      half_span /= 4.0;
+    }
+    return best;
+  };
+
+  const std::size_t rounds = std::max<std::size_t>(1, config.descent_rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    ratio = refine(ratio, coarse_step, [&](double v) {
+      WarpSpec s;
+      s.ratio = v;
+      s.drift = drift;
+      return s;
+    });
+    if (!config.search_drift) continue;
+    if (round == 0) {
+      // Coarse drift grid: drift is invisible on the short window (its
+      // effect grows with the square of the length), so this stage
+      // always probes the full trace.
+      std::vector<WarpSpec> grid;
+      std::vector<double> values;
+      for (int i = -4; i <= 4; ++i) {
+        const double v = config.max_drift * static_cast<double>(i) / 4.0;
+        values.push_back(v);
+        WarpSpec s;
+        s.ratio = ratio;
+        s.drift = v;
+        grid.push_back(s);
+      }
+      drift = values[argmax(batch(y, grid))];
+    }
+    drift = refine(drift, config.max_drift / 4.0, [&](double v) {
+      WarpSpec s;
+      s.ratio = ratio;
+      s.drift = v;
+      return s;
+    });
+  }
+
+  // ---- Stage 4: fractional offset. Probe three sub-cycle shifts and
+  // fit a parabola through their scores; keep the vertex only when it
+  // actually beats the unshifted lock (sign- and noise-robust).
+  WarpSpec correction;
+  correction.ratio = ratio;
+  correction.drift = drift;
+  {
+    const double d = 1.0 / 3.0;
+    std::vector<WarpSpec> probes(3, correction);
+    probes[0].offset_cycles = -d;
+    probes[2].offset_cycles = d;
+    const std::vector<double> s = batch(y, probes);
+    const double denom = s[0] - 2.0 * s[1] + s[2];
+    double vertex = 0.0;
+    if (denom < 0.0) {  // concave: the parabola has a maximum
+      vertex = std::clamp(0.5 * d * (s[0] - s[2]) / denom, -0.5, 0.5);
+    }
+    if (vertex != 0.0) {
+      WarpSpec shifted = correction;
+      shifted.offset_cycles = vertex;
+      const std::vector<double> check =
+          batch(y, std::vector<WarpSpec>{shifted});
+      if (check[0] > s[1]) correction.offset_cycles = vertex;
+    }
+  }
+
+  // ---- Final lock: full spectrum under the recovered correction.
+  const std::vector<double> warped = warp_trace(y, correction);
+  est.correction = correction;
+  est.evaluations = evaluations;
+  if (warped.size() >= period) {
+    const cpa::SpreadSpectrum ss = cpa::compute_spread_spectrum(
+        warped, pattern, cpa::CorrelationMethod::kFft, config.guard);
+    est.peak_rotation = ss.peak_rotation;
+    est.peak_z = ss.peak_z;
+    est.confidence = cpa::detection_confidence(ss);
+    est.locked = ss.peak_z >= config.min_lock_z;
+    double frac = -correction.offset_cycles;
+    frac = frac - std::round(frac);  // into (-0.5, 0.5]
+    est.offset_cycles = static_cast<double>(ss.peak_rotation) + frac;
+  }
+  return est;
+}
+
+}  // namespace clockmark::sync

@@ -1,0 +1,117 @@
+// Shared vocabulary of the blind-synchronisation subsystem: how a
+// detection entry point is told about trace alignment (SyncPolicy), the
+// time-base correction applied to a per-cycle trace before CPA
+// (WarpSpec), the result of a blind lock (SyncEstimate), and the search
+// configuration (BlindSyncConfig).
+//
+// Why this exists: the paper's detection assumes the scope trigger
+// yields cycle-aligned traces. A real uncooperative capture has an
+// unknown start offset, a clock-frequency mismatch between the
+// examiner's assumed and the device's actual clock, and linear drift
+// over the capture — exactly the desynchronisation toolkit the
+// literature uses to defeat side-channel watermarks. sync/search.h
+// recovers these parameters from the trace itself; every detection
+// front door (detect::Session, stream::OnlineDetector) consumes these
+// types.
+#pragma once
+
+#include <cstddef>
+
+namespace clockmark::sync {
+
+/// How a detection run should treat trace alignment.
+enum class SyncPolicy {
+  /// Trace is cycle-aligned (scope trigger / simulator ground truth);
+  /// alignment modulo one pattern period is absorbed by the rotation
+  /// sweep. The historical behaviour of every entry point.
+  kTriggered,
+  /// The misalignment is known up front (e.g. from trace-file metadata
+  /// or a characterised capture chain); apply the given WarpSpec
+  /// correction before CPA, no search.
+  kKnownOffset,
+  /// Nothing is known: run the coarse-to-fine blind search
+  /// (sync::find_sync) and apply the recovered correction.
+  kBlind,
+};
+
+/// A time-base correction applied to a per-cycle trace by linear-
+/// interpolation resampling. Output sample k reads the input at
+///   p(k) = offset_cycles + ratio * k + 0.5 * drift * k^2
+/// so `ratio` is the examiner-cycle / trace-sample step (1.0 = no
+/// clock mismatch), `drift` its per-cycle slope (the instantaneous
+/// step at sample k is ratio + drift * k), and `offset_cycles` a
+/// fractional start shift. The same spec doubles as the attacker's
+/// desynchronisation model (attack/desync.h): a correction with
+/// ratio ~ 1/attack_ratio, drift ~ -attack_drift undoes it.
+struct WarpSpec {
+  double offset_cycles = 0.0;
+  double ratio = 1.0;
+  double drift = 0.0;
+
+  /// True when the spec is the identity (no resampling needed).
+  bool is_identity() const noexcept {
+    return offset_cycles == 0.0 && ratio == 1.0 && drift == 0.0;
+  }
+};
+
+/// Input position read by warped output sample k — the single
+/// definition both the batch warp and the streaming warper use, so
+/// their outputs are bit-identical.
+inline double warp_position(const WarpSpec& spec, std::size_t k) noexcept {
+  const double kd = static_cast<double>(k);
+  return spec.offset_cycles + spec.ratio * kd + 0.5 * spec.drift * kd * kd;
+}
+
+/// What the blind search recovered.
+struct SyncEstimate {
+  /// Correction to apply to the trace before CPA (offset holds only the
+  /// sub-cycle fraction; whole-cycle alignment is the rotation below).
+  WarpSpec correction;
+  /// Whole-cycle misalignment: the rotation at which the correlation
+  /// peak locked, in [0, P).
+  std::size_t peak_rotation = 0;
+  /// Total estimated misalignment in cycles: peak_rotation plus the
+  /// fractional part recovered by the refinement.
+  double offset_cycles = 0.0;
+  /// Peak z-score of the locked spread spectrum (the lock margin).
+  double peak_z = 0.0;
+  /// cpa::detection_confidence of the locked spectrum.
+  double confidence = 0.0;
+  /// True when the locked peak clears BlindSyncConfig::min_lock_z.
+  bool locked = false;
+  /// Spread-spectrum sweeps evaluated by the search (cost telemetry).
+  std::size_t evaluations = 0;
+};
+
+/// Coarse-to-fine search configuration. Defaults are sized for the
+/// paper's captures (P = 4095, N = 300k cycles, crystal-class clock
+/// error) — see DESIGN.md §11 for the lattice reasoning.
+struct BlindSyncConfig {
+  /// Clock-frequency mismatch search range, as a fractional deviation
+  /// of the resample ratio from 1 (200e-6 = +/-200 ppm).
+  double max_ratio_dev = 200e-6;
+  /// Linear drift search range: bound on the per-cycle slope of the
+  /// ratio. 4e-9/cycle over a 300k-cycle trace is a ~0.12% end-to-end
+  /// frequency change — generous for thermal drift.
+  double max_drift = 4e-9;
+  /// Cycles of the trace used by the coarse ratio scan (0 = whole
+  /// trace). A shorter window tolerates a coarser lattice: a ratio
+  /// error e smears the peak by window * e cycles, so the scan step is
+  /// chosen as 1 / (2 * window).
+  std::size_t coarse_window_cycles = 32768;
+  /// Grid-zoom refinement: rounds of 9-point grids per parameter, each
+  /// shrinking the bracket. More rounds = finer final resolution.
+  std::size_t refine_rounds = 3;
+  /// Coordinate-descent sweeps over (ratio, drift) after the coarse
+  /// scan; 2 is enough to decouple the two on paper-length traces.
+  std::size_t descent_rounds = 2;
+  /// Peak z-score the locked spectrum must clear for locked = true.
+  double min_lock_z = 5.0;
+  /// Rotations excluded around the peak in noise statistics.
+  std::size_t guard = 8;
+  /// Skip the drift stages entirely (cheaper when the capture is known
+  /// to be drift-free, e.g. short traces).
+  bool search_drift = true;
+};
+
+}  // namespace clockmark::sync

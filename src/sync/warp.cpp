@@ -1,0 +1,130 @@
+#include "sync/warp.h"
+
+#include <stdexcept>
+
+namespace clockmark::sync {
+namespace {
+
+void validate(const WarpSpec& spec) {
+  if (!(spec.ratio > 0.0)) {
+    throw std::invalid_argument("sync: warp ratio must be > 0");
+  }
+}
+
+/// The one interpolation expression both paths share. `pos` is assumed
+/// clamp-checked by the caller against [0, last].
+inline double lerp(double v0, double v1, double f) noexcept {
+  return v0 + f * (v1 - v0);
+}
+
+}  // namespace
+
+std::size_t warp_output_size(const WarpSpec& spec, std::size_t n) {
+  validate(spec);
+  if (n == 0) return 0;
+  const double last = static_cast<double>(n - 1);
+  // p(k) is monotone over the k range that matters (ratio ~ 1, |drift|
+  // tiny), so the first k whose position passes the end ends the output.
+  std::size_t k = 0;
+  while (warp_position(spec, k) <= last) {
+    ++k;
+    if (k > 2 * n + 16) break;  // degenerate spec guard (ratio << 1)
+  }
+  return k;
+}
+
+std::vector<double> warp_trace(std::span<const double> y,
+                               const WarpSpec& spec) {
+  validate(spec);
+  if (spec.is_identity()) return std::vector<double>(y.begin(), y.end());
+  const std::size_t n = y.size();
+  const std::size_t out_n = warp_output_size(spec, n);
+  std::vector<double> out(out_n);
+  const double last = static_cast<double>(n - 1);
+  for (std::size_t k = 0; k < out_n; ++k) {
+    const double pos = warp_position(spec, k);
+    if (pos <= 0.0) {
+      out[k] = y[0];
+    } else if (pos >= last) {
+      out[k] = y[n - 1];
+    } else {
+      const auto q = static_cast<std::size_t>(pos);
+      const double f = pos - static_cast<double>(q);
+      out[k] = lerp(y[q], y[q + 1], f);
+    }
+  }
+  return out;
+}
+
+StreamWarper::StreamWarper(const WarpSpec& spec) : spec_(spec) {
+  validate(spec);
+}
+
+double StreamWarper::sample_at(double pos, bool final_tail) const {
+  // Mirrors warp_trace exactly; `final_tail` is the only case where the
+  // end clamp can fire (the stream length is unknown before finish()).
+  if (pos <= 0.0) return buf_[0];  // base_ is still 0 for these k
+  const double last = static_cast<double>(raw_total_ - 1);
+  if (final_tail && pos >= last) return buf_[buf_.size() - 1];
+  const auto q = static_cast<std::size_t>(pos);
+  const double f = pos - static_cast<double>(q);
+  const double v0 = buf_[q - base_];
+  const double v1 = buf_[q + 1 - base_];
+  return lerp(v0, v1, f);
+}
+
+void StreamWarper::feed(std::span<const double> raw,
+                        std::vector<double>& out) {
+  if (finished_) {
+    throw std::logic_error("StreamWarper: feed after finish");
+  }
+  buf_.insert(buf_.end(), raw.begin(), raw.end());
+  raw_total_ += raw.size();
+  if (raw_total_ == 0) return;
+
+  // Emit every output sample whose interpolation window [q, q+1] is
+  // fully buffered. The end clamp (pos >= n-1) waits for finish() —
+  // until the stream ends we cannot know a sample is the last one.
+  const std::size_t avail_end = base_ + buf_.size();  // raw index bound
+  for (;;) {
+    const double pos = warp_position(spec_, next_out_);
+    if (pos <= 0.0) {
+      out.push_back(sample_at(pos, false));
+      ++next_out_;
+      continue;
+    }
+    const auto q = static_cast<std::size_t>(pos);
+    if (q + 1 >= avail_end) break;
+    out.push_back(sample_at(pos, false));
+    ++next_out_;
+  }
+
+  // Drop raw samples no longer reachable: the next output needs index
+  // floor(p(next_out_)) at minimum (positions are monotone).
+  const double next_pos = warp_position(spec_, next_out_);
+  if (next_pos > 0.0) {
+    const auto need = static_cast<std::size_t>(next_pos);
+    if (need > base_) {
+      const std::size_t drop =
+          std::min(need - base_, buf_.size());
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(drop));
+      base_ += drop;
+    }
+  }
+}
+
+void StreamWarper::finish(std::vector<double>& out) {
+  if (finished_) return;
+  finished_ = true;
+  if (raw_total_ == 0) return;
+  const double last = static_cast<double>(raw_total_ - 1);
+  for (;;) {
+    const double pos = warp_position(spec_, next_out_);
+    if (pos > last) break;
+    out.push_back(sample_at(pos, true));
+    ++next_out_;
+  }
+}
+
+}  // namespace clockmark::sync

@@ -1,0 +1,60 @@
+// Applying a WarpSpec to a per-cycle trace: batch (warp_trace) and
+// chunked (StreamWarper). Both evaluate the same position polynomial
+// (sync::warp_position) and the same clamped linear interpolation, so a
+// trace fed through a StreamWarper chunk by chunk produces exactly the
+// bytes warp_trace produces on the concatenated trace — the property
+// the chunked-blind ≡ batch-blind detection tests assert.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sync/types.h"
+
+namespace clockmark::sync {
+
+/// Number of output samples a warp of an n-sample trace produces: every
+/// k >= 0 with warp_position(spec, k) <= n - 1. Positions below zero
+/// (possible for slightly negative offsets during refinement) clamp to
+/// the first sample rather than shrinking the output.
+std::size_t warp_output_size(const WarpSpec& spec, std::size_t n);
+
+/// Resamples y through the warp: out[k] = lerp(y, p(k)) with indices
+/// clamped to [0, n-1]. Identity specs return a plain copy.
+std::vector<double> warp_trace(std::span<const double> y,
+                               const WarpSpec& spec);
+
+/// Chunked warp with bounded lookahead: buffers just enough raw samples
+/// to interpolate the next output sample. feed() appends newly
+/// computable warped samples to `out`; finish() flushes the tail once
+/// the raw stream has ended. Bit-identical to warp_trace (see header
+/// comment).
+class StreamWarper {
+ public:
+  explicit StreamWarper(const WarpSpec& spec);
+
+  /// Appends raw per-cycle samples (in stream order) and emits every
+  /// warped sample whose interpolation window is now fully available.
+  void feed(std::span<const double> raw, std::vector<double>& out);
+
+  /// Ends the raw stream: emits the remaining warped samples whose
+  /// positions land inside the stream (clamped at the last sample).
+  void finish(std::vector<double>& out);
+
+  std::size_t raw_consumed() const noexcept { return raw_total_; }
+  std::size_t emitted() const noexcept { return next_out_; }
+  const WarpSpec& spec() const noexcept { return spec_; }
+
+ private:
+  double sample_at(double pos, bool final_tail) const;
+
+  WarpSpec spec_;
+  std::vector<double> buf_;    ///< raw samples [base_, base_ + size)
+  std::size_t base_ = 0;       ///< raw index of buf_[0]
+  std::size_t raw_total_ = 0;  ///< raw samples consumed so far
+  std::size_t next_out_ = 0;   ///< next output index k
+  bool finished_ = false;
+};
+
+}  // namespace clockmark::sync

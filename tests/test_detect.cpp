@@ -1,0 +1,328 @@
+// The detect::Session facade: bit-identity against the deprecated
+// sim::run_detection shim, streamed ≡ batch under every SyncPolicy
+// (including the chunked blind lock), trace-file round trips with the v2
+// capture metadata, and v1 compatibility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "attack/desync.h"
+#include "detect/session.h"
+#include "measure/trace_io.h"
+#include "runtime/executor.h"
+#include "sim/experiment.h"
+#include "stream/trace_source.h"
+#include "sync/warp.h"
+
+namespace {
+
+using namespace clockmark;
+using sim::ChipModel;
+using sim::Scenario;
+using sim::ScenarioConfig;
+
+ScenarioConfig fast_config(ChipModel chip, std::size_t cycles = 20000) {
+  ScenarioConfig cfg = chip == ChipModel::kChip1 ? sim::chip1_default()
+                                                 : sim::chip2_default();
+  cfg.trace_cycles = cycles;
+  // Short traces need a crisper measurement to keep tests deterministic.
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  return cfg;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void expect_identical(const cpa::DetectionResult& a,
+                      const cpa::DetectionResult& b) {
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.spectrum.rho, b.spectrum.rho);  // bit-identical
+  EXPECT_EQ(a.spectrum.peak_rotation, b.spectrum.peak_rotation);
+  EXPECT_EQ(a.spectrum.peak_z, b.spectrum.peak_z);
+}
+
+TEST(DetectFacade, ScenarioRunMatchesDeprecatedShimBitExactly) {
+  for (const ChipModel chip : {ChipModel::kChip1, ChipModel::kChip2}) {
+    const Scenario sc(fast_config(chip));
+    const auto shim = sim::run_detection(sc, 0);
+    const detect::Report report = detect::Session().run(sc, 0);
+    expect_identical(report.detection, shim.detection);
+    EXPECT_EQ(report.detected, shim.detection.detected);
+    ASSERT_TRUE(report.scenario.has_value());
+    EXPECT_EQ(report.scenario->acquisition.per_cycle_power_w,
+              shim.scenario.acquisition.per_cycle_power_w);
+    EXPECT_FALSE(report.sync.has_value());  // triggered: no correction
+  }
+}
+
+TEST(DetectFacade, BatchSpanMatchesScenarioOverload) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const detect::Report via_scenario = detect::Session().run(sc, 0);
+  const detect::Session bound({}, r.pattern);
+  const detect::Report via_span = bound.run(r.acquisition.per_cycle_power_w);
+  expect_identical(via_span.detection, via_scenario.detection);
+  EXPECT_EQ(via_span.cycles, r.acquisition.per_cycle_power_w.size());
+}
+
+TEST(DetectFacade, UnboundPatternThrows) {
+  const detect::Session session;
+  const std::vector<double> y(100, 1.0);
+  EXPECT_THROW(session.run(y), std::logic_error);
+}
+
+TEST(DetectFacade, StreamedTriggeredMatchesBatchBitExactly) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+
+  detect::Request request;
+  request.streaming.early_stop = false;
+  request.streaming.chunk_cycles = 1234;
+  const detect::Session session(request, r.pattern);
+
+  const detect::Report batch = session.run(r.acquisition.per_cycle_power_w);
+  stream::ScenarioSource source(sc, 0, 1234);
+  const detect::Report streamed = session.run(source);
+
+  expect_identical(streamed.detection, batch.detection);
+  ASSERT_TRUE(streamed.stream.has_value());
+  EXPECT_FALSE(streamed.stream->decision.decided);
+}
+
+TEST(DetectFacade, StreamedKnownOffsetMatchesBatchBitExactly) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 17.3;
+  const std::vector<double> attacked = attack::apply_desync(y, a);
+
+  detect::Request request;
+  request.sync = sync::SyncPolicy::kKnownOffset;
+  request.known_warp.offset_cycles = a.offset_cycles;
+  request.streaming.early_stop = false;
+  const detect::Session session(request, r.pattern);
+
+  const detect::Report batch = session.run(attacked);
+  ASSERT_TRUE(batch.sync.has_value());
+  EXPECT_EQ(batch.sync->correction.offset_cycles, a.offset_cycles);
+
+  auto chunks = stream::chop(attacked, 999);
+  std::size_t i = 0;
+  stream::CallbackSource source(
+      [&]() -> std::optional<stream::Chunk> {
+        if (i >= chunks.size()) return std::nullopt;
+        return chunks[i++];
+      },
+      attacked.size());
+  const detect::Report streamed = session.run(source);
+  expect_identical(streamed.detection, batch.detection);
+}
+
+TEST(DetectFacade, ChunkedBlindLockMatchesBatchBlindBitExactly) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kResample;
+  a.ratio = 1.0 + 80e-6;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  detect::Request request;
+  request.sync = sync::SyncPolicy::kBlind;
+  request.streaming.early_stop = false;
+  // Lock window >= the stream: the lock runs on the full trace at
+  // finalize, which is exactly the batch blind path.
+  request.lock_cycles = attacked.size();
+  const detect::Session session(request, r.pattern);
+
+  const detect::Report batch = session.run(attacked);
+  ASSERT_TRUE(batch.sync.has_value());
+  EXPECT_TRUE(batch.sync->locked);
+
+  auto chunks = stream::chop(attacked, 2048);
+  std::size_t i = 0;
+  stream::CallbackSource source(
+      [&]() -> std::optional<stream::Chunk> {
+        if (i >= chunks.size()) return std::nullopt;
+        return chunks[i++];
+      },
+      attacked.size());
+  const detect::Report streamed = session.run(source);
+  ASSERT_TRUE(streamed.sync.has_value());
+  EXPECT_EQ(streamed.sync->correction.ratio, batch.sync->correction.ratio);
+  EXPECT_EQ(streamed.sync->peak_z, batch.sync->peak_z);
+  expect_identical(streamed.detection, batch.detection);
+}
+
+TEST(DetectFacade, MidStreamBlindLockStillDetects) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 11.6;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  detect::Request request;
+  request.sync = sync::SyncPolicy::kBlind;
+  request.streaming.early_stop = false;
+  request.lock_cycles = 2 * r.pattern.size();  // locks mid-stream
+  const detect::Session session(request, r.pattern);
+
+  auto chunks = stream::chop(attacked, 1024);
+  std::size_t i = 0;
+  stream::CallbackSource source(
+      [&]() -> std::optional<stream::Chunk> {
+        if (i >= chunks.size()) return std::nullopt;
+        return chunks[i++];
+      },
+      attacked.size());
+  const detect::Report streamed = session.run(source);
+  ASSERT_TRUE(streamed.sync.has_value());
+  EXPECT_TRUE(streamed.sync->locked);
+  EXPECT_TRUE(streamed.detected);
+}
+
+TEST(TraceIo, BinaryV2RoundTripsValuesAndMeta) {
+  const std::string path = temp_path("trace_v2.cmtrace");
+  const std::vector<double> y = {1.5, -2.25, 3.125e-3, 0.0, 7.75};
+  measure::TraceMeta meta;
+  meta.clock_hz = 1e7;
+  meta.sample_rate_hz = 5e8;
+  meta.trigger_offset_cycles = 0.375;
+  measure::write_trace_binary(path, y, meta);
+
+  measure::TraceFileReader reader(path);
+  EXPECT_TRUE(reader.binary());
+  EXPECT_EQ(reader.format_version(), 2);
+  ASSERT_TRUE(reader.total_cycles().has_value());
+  EXPECT_EQ(*reader.total_cycles(), y.size());
+  EXPECT_EQ(reader.meta().clock_hz, meta.clock_hz);
+  EXPECT_EQ(reader.meta().sample_rate_hz, meta.sample_rate_hz);
+  EXPECT_EQ(reader.meta().trigger_offset_cycles,
+            meta.trigger_offset_cycles);
+
+  measure::TraceMeta read_meta;
+  EXPECT_EQ(measure::read_trace(path, &read_meta), y);  // bit-identical
+  EXPECT_EQ(read_meta.trigger_offset_cycles, meta.trigger_offset_cycles);
+}
+
+TEST(TraceIo, CsvRoundTripsMetaAsCommentLines) {
+  const std::string path = temp_path("trace_meta.csv");
+  const std::vector<double> y = {0.25, 1.0 / 3.0, -17.5};
+  measure::TraceMeta meta;
+  meta.trigger_offset_cycles = 12.375;
+  measure::write_trace_csv(path, y, meta);
+
+  measure::TraceFileReader reader(path);
+  EXPECT_FALSE(reader.binary());
+  EXPECT_EQ(reader.format_version(), 2);
+  EXPECT_EQ(reader.meta().trigger_offset_cycles, 12.375);
+  EXPECT_EQ(reader.meta().clock_hz, 0.0);  // unset keys stay default
+  EXPECT_EQ(measure::read_trace(path), y);
+}
+
+TEST(TraceIo, ReadsLegacyV1BinaryAndBareCsv) {
+  // A CMTRACE1 file written by the previous format version.
+  const std::string bin = temp_path("trace_v1.cmtrace");
+  const std::vector<double> y = {4.5, -1.25, 0.5};
+  {
+    std::ofstream out(bin, std::ios::binary);
+    out.write("CMTRACE1", 8);
+    const std::uint64_t count = y.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(y.data()),
+              static_cast<std::streamsize>(y.size() * sizeof(double)));
+  }
+  measure::TraceFileReader reader(bin);
+  EXPECT_TRUE(reader.binary());
+  EXPECT_EQ(reader.format_version(), 1);
+  EXPECT_EQ(reader.meta().trigger_offset_cycles, 0.0);
+  EXPECT_EQ(measure::read_trace(bin), y);
+
+  // A bare CSV with ordinary comments is still version 1 / no meta.
+  const std::string csv = temp_path("trace_v1.csv");
+  {
+    std::ofstream out(csv);
+    out << "# plain comment, not metadata\n0.5\n1.5 # trailing\n\n2.5\n";
+  }
+  measure::TraceFileReader csv_reader(csv);
+  EXPECT_EQ(csv_reader.format_version(), 1);
+  const std::vector<double> expect = {0.5, 1.5, 2.5};
+  EXPECT_EQ(measure::read_trace(csv), expect);
+}
+
+TEST(DetectFile, DesyncedTraceRoundTripAndMetaDrivenCorrection) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+
+  // A capture that started 0.4 cycles late, persisted with its offset.
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 0.4;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+  measure::TraceMeta meta;
+  meta.trigger_offset_cycles = a.offset_cycles;
+  const std::string path = temp_path("desynced.cmtrace");
+  measure::write_trace_binary(path, attacked, meta);
+
+  // ReplaySource surfaces the metadata.
+  stream::ReplaySource replay(path, 512);
+  EXPECT_EQ(replay.meta().trigger_offset_cycles, a.offset_cycles);
+
+  // run_file under the default (triggered) request upgrades to the
+  // recorded known offset...
+  detect::Request request;
+  request.streaming.early_stop = false;
+  const detect::Session session(request, r.pattern);
+  const detect::Report from_file = session.run_file(path);
+  ASSERT_TRUE(from_file.sync.has_value());
+  EXPECT_EQ(from_file.sync->correction.offset_cycles, a.offset_cycles);
+
+  // ... and matches the in-memory known-offset path bit for bit.
+  detect::Request known = request;
+  known.sync = sync::SyncPolicy::kKnownOffset;
+  known.known_warp.offset_cycles = a.offset_cycles;
+  const detect::Report batch =
+      detect::Session(known, r.pattern).run(attacked);
+  expect_identical(from_file.detection, batch.detection);
+
+  // Opting out of the metadata keeps the raw triggered decision.
+  detect::Request raw = request;
+  raw.use_file_meta = false;
+  const detect::Report untouched =
+      detect::Session(raw, r.pattern).run_file(path);
+  EXPECT_FALSE(untouched.sync.has_value());
+}
+
+TEST(DetectFacade, ParallelExecutorBitIdenticalOnBlindBatch) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 25.4;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  detect::Request request;
+  request.sync = sync::SyncPolicy::kBlind;
+  const detect::Session session(request, r.pattern);
+  const detect::Report serial = session.run(attacked);
+  runtime::Executor executor(8);
+  const detect::Report parallel = session.run(attacked, &executor);
+  expect_identical(parallel.detection, serial.detection);
+  ASSERT_TRUE(parallel.sync.has_value());
+  EXPECT_EQ(parallel.sync->peak_z, serial.sync->peak_z);
+}
+
+}  // namespace

@@ -52,7 +52,7 @@ TEST(AcquisitionKernel, MatchesReferenceWithoutPdnAndFixedRange) {
   // The no-PDN fused loop and the fixed-range path (no range pass).
   AcquisitionConfig cfg;
   cfg.enable_pdn_filter = false;
-  cfg.scope_auto_range = false;
+  cfg.range_policy = RangePolicy::kFixedRange;
   cfg.scope.full_scale_v = 0.2;
   cfg.noise_seed = 99;
   AcquisitionChain chain(cfg);
@@ -77,7 +77,8 @@ TEST(AcquisitionKernel, BlockSizeInvariance) {
   const auto trace = make_trace(4000, 0xAB);
   std::vector<double> baseline;
   for (const std::size_t block : {0, 1, 13, 257, 100000}) {
-    AcquisitionKernel kernel(cfg, trace.clock_hz(), block);
+    cfg.block_cycles = block;
+    AcquisitionKernel kernel(cfg, trace.clock_hz());
     std::vector<double> y;
     kernel.range_feed(trace.span());
     kernel.fix_range();
@@ -155,19 +156,88 @@ TEST(AcquisitionKernel, StreamingChainDelegatesToKernel) {
   }
 }
 
-TEST(AcquisitionKernel, TriggerOffsetStillUsesReferencePath) {
-  // simulate_trigger_offset drops a sub-cycle sample prefix — the one
-  // transformation the block kernel does not implement. measure() must
-  // keep producing the trigger-recovered result (not throw, not ignore
-  // the flag).
+TEST(AcquisitionKernel, RandomTriggerOffsetMatchesReferenceBitExact) {
+  // A random capture-start offset drops a sub-cycle sample prefix and
+  // recovers alignment with the software edge trigger. The kernel's
+  // three-pass path (range -> trigger -> acquire) must reproduce the
+  // reference oracle bit for bit, including the recovered offset.
   AcquisitionConfig cfg;
-  cfg.simulate_trigger_offset = true;
+  cfg.trigger_sim = TriggerSim::kRandomOffset;
   cfg.noise_seed = 5;
   AcquisitionChain chain(cfg);
   const auto trace = make_trace(2000, 0x11);
   const auto got = chain.measure(trace);
   expect_bit_identical(chain.acquire_reference(trace), got);
   EXPECT_LE(got.per_cycle_power_w.size(), trace.cycles());
+}
+
+TEST(AcquisitionKernel, FixedTriggerOffsetsMatchReferenceBitExact) {
+  // Every fixed sub-cycle offset (including 0, where the prefix is
+  // empty but the edge-trigger recovery still runs) must match the
+  // reference oracle.
+  const auto trace = make_trace(1500, 0x22);
+  for (const std::size_t offset : {0, 1, 17, 25, 49}) {
+    AcquisitionConfig cfg;
+    cfg.trigger_sim = TriggerSim::kFixedOffset;
+    cfg.trigger_offset_samples = offset;
+    cfg.noise_seed = 31;
+    AcquisitionChain chain(cfg);
+    const auto got = chain.measure(trace);
+    expect_bit_identical(chain.acquire_reference(trace), got);
+  }
+}
+
+TEST(AcquisitionKernel, ChunkedTriggerOffsetFeedsMatchBatch) {
+  // The three-pass trigger pipeline is chunk-invariant like everything
+  // else: ragged whole-cycle feeds reproduce the whole-trace result.
+  AcquisitionConfig cfg;
+  cfg.trigger_sim = TriggerSim::kRandomOffset;
+  cfg.noise_seed = 77;
+  const auto trace = make_trace(5000, 0x33);
+  AcquisitionChain chain(cfg);
+  const auto whole = chain.measure(trace);
+
+  AcquisitionKernel kernel(cfg, trace.clock_hz());
+  EXPECT_TRUE(kernel.needs_trigger_pass());
+  const auto span = trace.span();
+  const std::size_t chunks[] = {64, 999, 1, 1500, 17, 2419};
+  const auto feed_all = [&](auto&& feed) {
+    std::size_t pos = 0;
+    for (const std::size_t c : chunks) {
+      feed(span.subspan(pos, c));
+      pos += c;
+    }
+    ASSERT_EQ(pos, span.size());
+  };
+  feed_all([&](auto s) { kernel.range_feed(s); });
+  kernel.fix_range();
+  feed_all([&](auto s) { kernel.trigger_feed(s); });
+  kernel.fix_trigger();
+  std::vector<double> y;
+  feed_all([&](auto s) { kernel.acquire_feed(s, y); });
+  ASSERT_EQ(y.size(), whole.per_cycle_power_w.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_EQ(y[i], whole.per_cycle_power_w[i]) << "cycle " << i;
+  }
+  EXPECT_EQ(kernel.summary().mean_power_w, whole.mean_power_w);
+}
+
+TEST(AcquisitionKernel, TriggerPassOrderingEnforced) {
+  AcquisitionConfig cfg;
+  cfg.trigger_sim = TriggerSim::kRandomOffset;
+  const auto trace = make_trace(1000, 3);
+  AcquisitionKernel kernel(cfg, trace.clock_hz());
+  std::vector<double> y;
+  // Trigger pass requires the fixed range; acquire requires the fixed
+  // trigger.
+  EXPECT_THROW(kernel.trigger_feed(trace.span()), std::logic_error);
+  kernel.range_feed(trace.span());
+  kernel.fix_range();
+  EXPECT_THROW(kernel.acquire_feed(trace.span(), y), std::logic_error);
+  kernel.trigger_feed(trace.span());
+  kernel.fix_trigger();
+  kernel.acquire_feed(trace.span(), y);
+  EXPECT_LE(y.size(), trace.cycles());
 }
 
 // End-to-end: the scenario pipeline (which routes acquisition through

@@ -90,9 +90,9 @@ TEST(Trigger, AlignedAveragingRecoversCyclePower) {
 }
 
 TEST(Trigger, AcquisitionChainRecoversAlignment) {
-  // With simulate_trigger_offset the capture starts mid-cycle; the chain
-  // re-aligns via the software edge trigger (PDN off so the edges are
-  // visible, as they would be with a die-level probe).
+  // With TriggerSim::kRandomOffset the capture starts mid-cycle; the
+  // chain re-aligns via the software edge trigger (PDN off so the edges
+  // are visible, as they would be with a die-level probe).
   std::vector<double> p(300);
   for (std::size_t i = 0; i < p.size(); ++i) {
     p[i] = (i % 3 == 0) ? 3e-3 : 1e-3;
@@ -103,7 +103,7 @@ TEST(Trigger, AcquisitionChainRecoversAlignment) {
   cfg.enable_pdn_filter = false;
   cfg.probe.noise_v_rms = 0.0;
   cfg.scope.noise_v_rms = 0.0;
-  cfg.simulate_trigger_offset = true;
+  cfg.trigger_sim = TriggerSim::kRandomOffset;
   cfg.noise_seed = 1234;  // nonzero capture offset
   const auto acq = AcquisitionChain(cfg).measure(trace);
 

@@ -1,0 +1,258 @@
+// Blind synchronisation: the warp primitives (batch ≡ streaming, round
+// trip) and the coarse-to-fine search locking onto desynchronised chip I
+// and chip II captures — recovered offset within ±1 cycle, ratio/drift
+// within the refinement lattice, and the corrected detection margin
+// within 10% of the cycle-aligned one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "attack/desync.h"
+#include "cpa/detector.h"
+#include "runtime/executor.h"
+#include "sim/scenario.h"
+#include "sync/search.h"
+#include "sync/types.h"
+#include "sync/warp.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace clockmark;
+using sim::ChipModel;
+using sim::Scenario;
+using sim::ScenarioConfig;
+
+ScenarioConfig fast_config(ChipModel chip, std::size_t cycles = 20000) {
+  ScenarioConfig cfg = chip == ChipModel::kChip1 ? sim::chip1_default()
+                                                 : sim::chip2_default();
+  cfg.trace_cycles = cycles;
+  // Short traces need a crisper measurement to keep tests deterministic.
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  return cfg;
+}
+
+std::vector<double> noise_trace(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed, 0x5eed);
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.gaussian(1.0, 0.3);
+  return y;
+}
+
+/// Misalignment (in cycles, wrapped to (-P/2, P/2]) between what the
+/// blind lock reported and the expected total offset.
+double wrapped_offset_error(double estimated, double expected, double period) {
+  double e = std::fmod(estimated - expected, period);
+  if (e > period / 2) e -= period;
+  if (e <= -period / 2) e += period;
+  return e;
+}
+
+TEST(Warp, IdentityIsACopyAndOutputSizeTracksRatio) {
+  const std::vector<double> y = noise_trace(1000, 1);
+  EXPECT_EQ(sync::warp_trace(y, sync::WarpSpec{}), y);
+  EXPECT_EQ(sync::warp_output_size(sync::WarpSpec{}, y.size()), y.size());
+
+  sync::WarpSpec faster;  // reads ahead: fewer output samples
+  faster.ratio = 1.25;
+  EXPECT_EQ(sync::warp_output_size(faster, y.size()), 800u);
+  sync::WarpSpec slower;
+  slower.ratio = 0.5;
+  EXPECT_EQ(sync::warp_output_size(slower, y.size()), 1999u);
+}
+
+TEST(Warp, StreamWarperBitIdenticalToBatchAcrossChunkings) {
+  const std::vector<double> y = noise_trace(5000, 2);
+  sync::WarpSpec spec;
+  spec.offset_cycles = 3.3;
+  spec.ratio = 1.0 + 80e-6;
+  spec.drift = 1e-9;
+  const std::vector<double> batch = sync::warp_trace(y, spec);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{997}, y.size()}) {
+    sync::StreamWarper warper(spec);
+    std::vector<double> streamed;
+    for (std::size_t start = 0; start < y.size(); start += chunk) {
+      const std::size_t len = std::min(chunk, y.size() - start);
+      warper.feed(std::span<const double>(y).subspan(start, len), streamed);
+    }
+    warper.finish(streamed);
+    EXPECT_EQ(streamed, batch) << "chunk=" << chunk;  // bit-identical
+  }
+}
+
+TEST(Warp, InverseWarpRoundTripsInteriorSamples) {
+  // Lerp error scales with signal curvature, so the round trip is only
+  // meaningful on a smooth trace (white noise is unrecoverable).
+  std::vector<double> y(4000);
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    const double t = static_cast<double>(k);
+    y[k] = std::sin(2.0 * M_PI * t / 64.0) +
+           0.25 * std::cos(2.0 * M_PI * t / 17.0);
+  }
+  sync::WarpSpec attack;
+  attack.offset_cycles = 5.4;
+  attack.ratio = 1.0 + 120e-6;
+  const std::vector<double> warped = sync::warp_trace(y, attack);
+
+  sync::WarpSpec inverse;
+  inverse.offset_cycles = -attack.offset_cycles / attack.ratio;
+  inverse.ratio = 1.0 / attack.ratio;
+  const std::vector<double> back = sync::warp_trace(warped, inverse);
+
+  ASSERT_GT(back.size(), 3000u);
+  for (std::size_t k = 10; k < 3000; ++k) {
+    EXPECT_NEAR(back[k], y[k], 0.05) << "k=" << k;
+  }
+}
+
+class BlindSyncChips : public ::testing::TestWithParam<ChipModel> {};
+
+TEST_P(BlindSyncChips, LocksOnInjectedOffsetWithinOneCycle) {
+  const Scenario sc(fast_config(GetParam()));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+  const double period = static_cast<double>(r.pattern.size());
+
+  const cpa::Detector detector;
+  const auto aligned = detector.detect(y, r.pattern);
+  const double aligned_rot =
+      static_cast<double>(aligned.spectrum.peak_rotation);
+
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 25.4;
+  const std::vector<double> attacked = attack::apply_desync(y, a);
+
+  const sync::SyncEstimate est = sync::find_sync(attacked, r.pattern);
+  EXPECT_TRUE(est.locked);
+  EXPECT_GT(est.evaluations, 0u);
+
+  // Recovered total offset = injected shift on top of the aligned
+  // capture's own (arbitrary) rotation, to within one cycle.
+  const double err = wrapped_offset_error(
+      est.offset_cycles, aligned_rot + a.offset_cycles, period);
+  EXPECT_LE(std::abs(err), 1.0) << "estimated " << est.offset_cycles
+                                << " expected about "
+                                << aligned_rot + a.offset_cycles;
+
+  // End-to-end margin: corrected detection keeps >= 90% of aligned z.
+  const std::vector<double> corrected =
+      est.correction.is_identity() ? attacked
+                                   : sync::warp_trace(attacked,
+                                                      est.correction);
+  const auto synced = detector.detect(corrected, r.pattern);
+  EXPECT_GE(synced.spectrum.peak_z, 0.9 * aligned.spectrum.peak_z);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chips, BlindSyncChips,
+                         ::testing::Values(ChipModel::kChip1,
+                                           ChipModel::kChip2));
+
+TEST(BlindSync, RecoversRatioMismatchAndDrift) {
+  const Scenario sc(fast_config(ChipModel::kChip1, 32768));
+  const auto r = sc.run(0);
+  const auto& y = r.acquisition.per_cycle_power_w;
+  const cpa::Detector detector;
+  const double aligned_z = detector.detect(y, r.pattern).spectrum.peak_z;
+
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kDrift;
+  a.ratio = 1.0 + 60e-6;
+  a.drift = 2e-9;
+  const std::vector<double> attacked = attack::apply_desync(y, a);
+
+  const sync::SyncEstimate est = sync::find_sync(attacked, r.pattern);
+  EXPECT_TRUE(est.locked);
+  EXPECT_NEAR(est.correction.ratio, 1.0 / a.ratio, 5e-5);
+
+  // Ratio and drift are only identifiable up to combinations that keep
+  // the trace aligned, so assert the composite residual: the attack time
+  // base evaluated at the correction's read positions must stay within
+  // one cycle of uniform (a constant offset is absorbed by the periodic
+  // correlation and does not count).
+  const std::size_t n = attacked.size();
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t j = 0; j <= n; j += n / 16) {
+    const double k = est.correction.offset_cycles +
+                     est.correction.ratio * static_cast<double>(j) +
+                     0.5 * est.correction.drift * static_cast<double>(j) *
+                         static_cast<double>(j);
+    const double residual =
+        a.ratio * k + 0.5 * a.drift * k * k - static_cast<double>(j);
+    lo = std::min(lo, residual);
+    hi = std::max(hi, residual);
+    if (j == 0) lo = hi = residual;
+  }
+  EXPECT_LE(hi - lo, 1.0) << "residual timing wander " << hi - lo;
+
+  const std::vector<double> corrected =
+      sync::warp_trace(attacked, est.correction);
+  EXPECT_GE(detector.detect(corrected, r.pattern).spectrum.peak_z,
+            0.9 * aligned_z);
+}
+
+TEST(BlindSync, ParallelSearchBitIdenticalToSerial) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kResample;
+  a.ratio = 1.0 + 80e-6;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  const sync::SyncEstimate serial = sync::find_sync(attacked, r.pattern);
+  runtime::Executor executor(8);
+  const sync::SyncEstimate parallel =
+      sync::find_sync(attacked, r.pattern, {}, &executor);
+
+  EXPECT_EQ(parallel.correction.offset_cycles,
+            serial.correction.offset_cycles);
+  EXPECT_EQ(parallel.correction.ratio, serial.correction.ratio);
+  EXPECT_EQ(parallel.correction.drift, serial.correction.drift);
+  EXPECT_EQ(parallel.peak_rotation, serial.peak_rotation);
+  EXPECT_EQ(parallel.peak_z, serial.peak_z);
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+}
+
+TEST(BlindSync, ShortTraceReturnsUnlockedIdentity) {
+  const std::vector<double> pattern(4095, 1.0);
+  const std::vector<double> y = noise_trace(100, 4);
+  const sync::SyncEstimate est = sync::find_sync(y, pattern);
+  EXPECT_FALSE(est.locked);
+  EXPECT_TRUE(est.correction.is_identity());
+}
+
+TEST(BlindSync, EmptyPatternThrows) {
+  const std::vector<double> y = noise_trace(100, 5);
+  EXPECT_THROW(sync::find_sync(y, {}), std::invalid_argument);
+}
+
+TEST(BlindSync, JitterDoesNotBreakTheLock) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  const cpa::Detector detector;
+  const double aligned_z =
+      detector.detect(r.acquisition.per_cycle_power_w, r.pattern)
+          .spectrum.peak_z;
+
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kJitter;
+  a.jitter_cycles = 0.2;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  const sync::SyncEstimate est = sync::find_sync(attacked, r.pattern);
+  const std::vector<double> corrected =
+      est.correction.is_identity() ? attacked
+                                   : sync::warp_trace(attacked,
+                                                      est.correction);
+  EXPECT_GE(detector.detect(corrected, r.pattern).spectrum.peak_z,
+            0.9 * aligned_z);
+}
+
+}  // namespace
