@@ -11,9 +11,12 @@
 //
 // --sync=triggered (default) trusts the capture alignment, but a
 // trigger offset recorded in the file's metadata ("# meta" lines /
-// CMTRACE2 header) still gets corrected. --sync=known applies --offset
-// (or the file metadata) as a known warp; --sync=blind runs the
-// coarse-to-fine search and reports what it locked onto.
+// CMTRACE2 header) still gets corrected. --sync=known corrects the
+// misalignment given by --offset (or the file metadata); --sync=blind
+// runs the coarse-to-fine search and reports what it locked onto.
+// --offset=F uses the file-metadata convention: F is how many cycles
+// late the capture started (the misalignment, not the correction); the
+// tool applies the opposite warp before CPA.
 //
 // Exit code: 0 = watermark detected, 1 = not detected, 2 = usage error.
 #include <iostream>
@@ -73,17 +76,19 @@ int main(int argc, char** argv) {
       request.sync = sync::SyncPolicy::kBlind;
     } else if (sync_mode == "known") {
       request.sync = sync::SyncPolicy::kKnownOffset;
+      // --offset / the metadata record the misalignment; the warp is
+      // the correction, so negate (see detect::Session::run_file).
       request.known_warp.offset_cycles =
-          cli_offset != 0.0 ? cli_offset : meta.trigger_offset_cycles;
+          -(cli_offset != 0.0 ? cli_offset : meta.trigger_offset_cycles);
     } else if (sync_mode == "triggered") {
       // Same upgrade rule as Session::run_file: recorded misalignment
       // beats the trusted-trigger assumption.
       if (meta.trigger_offset_cycles != 0.0) {
         request.sync = sync::SyncPolicy::kKnownOffset;
-        request.known_warp.offset_cycles = meta.trigger_offset_cycles;
+        request.known_warp.offset_cycles = -meta.trigger_offset_cycles;
         std::cout << "file metadata records trigger offset "
                   << meta.trigger_offset_cycles
-                  << " cycles — applying it before CPA\n";
+                  << " cycles — correcting it before CPA\n";
       }
     } else {
       std::cerr << "unknown --sync mode '" << sync_mode << "'\n";

@@ -135,7 +135,11 @@ Report Session::run_file(const std::string& path,
       meta.trigger_offset_cycles != 0.0) {
     effective.sync = sync::SyncPolicy::kKnownOffset;
     effective.known_warp = sync::WarpSpec{};
-    effective.known_warp.offset_cycles = meta.trigger_offset_cycles;
+    // The metadata records the misalignment (a capture that started m
+    // cycles late reads y[m + k]); the warp is the correction applied on
+    // top, so it must shift the other way — the same convention as
+    // SyncEstimate, whose offset_cycles is -correction.offset_cycles.
+    effective.known_warp.offset_cycles = -meta.trigger_offset_cycles;
   }
   return run_stream(source, effective, executor);
 }

@@ -67,6 +67,11 @@ double StreamWarper::sample_at(double pos, bool final_tail) const {
   const double last = static_cast<double>(raw_total_ - 1);
   if (final_tail && pos >= last) return buf_[buf_.size() - 1];
   const auto q = static_cast<std::size_t>(pos);
+  // Only a non-monotone (degenerate) spec — a negative-drift apex inside
+  // the stream — can ask for a raw index the drop logic already
+  // discarded; clamp to the earliest buffered sample instead of
+  // underflowing q - base_. Monotone specs never take this branch.
+  if (q < base_) return buf_[0];
   const double f = pos - static_cast<double>(q);
   const double v0 = buf_[q - base_];
   const double v1 = buf_[q + 1 - base_];
@@ -85,8 +90,14 @@ void StreamWarper::feed(std::span<const double> raw,
   // Emit every output sample whose interpolation window [q, q+1] is
   // fully buffered. The end clamp (pos >= n-1) waits for finish() —
   // until the stream ends we cannot know a sample is the last one.
+  // The cap is warp_output_size's degenerate-spec guard: it bounds the
+  // pos <= 0 branch (which needs no buffered data) for specs whose
+  // positions never advance; a mid-stream break just defers emission to
+  // the next feed/finish, where the cap is larger.
   const std::size_t avail_end = base_ + buf_.size();  // raw index bound
+  const std::size_t cap = 2 * raw_total_ + 16;
   for (;;) {
+    if (next_out_ > cap || buf_.empty()) break;
     const double pos = warp_position(spec_, next_out_);
     if (pos <= 0.0) {
       out.push_back(sample_at(pos, false));
@@ -118,8 +129,12 @@ void StreamWarper::finish(std::vector<double>& out) {
   if (finished_) return;
   finished_ = true;
   if (raw_total_ == 0) return;
+  // Same iteration cap as warp_output_size: a non-monotone spec whose
+  // positions fall back below `last` would otherwise never terminate.
   const double last = static_cast<double>(raw_total_ - 1);
+  const std::size_t cap = 2 * raw_total_ + 16;
   for (;;) {
+    if (next_out_ > cap) break;
     const double pos = warp_position(spec_, next_out_);
     if (pos > last) break;
     out.push_back(sample_at(pos, true));

@@ -29,7 +29,12 @@ std::vector<double> warp_trace(std::span<const double> y,
 /// to interpolate the next output sample. feed() appends newly
 /// computable warped samples to `out`; finish() flushes the tail once
 /// the raw stream has ended. Bit-identical to warp_trace (see header
-/// comment).
+/// comment) for monotone specs — every spec within BlindSyncConfig's
+/// bounds. A degenerate non-monotone spec (negative-drift apex inside
+/// the stream) stays safe but not batch-identical: positions that fall
+/// back below already-dropped raw samples clamp to the earliest
+/// buffered one, and emission stops at warp_output_size's
+/// degenerate-spec cap.
 class StreamWarper {
  public:
   explicit StreamWarper(const WarpSpec& spec);

@@ -107,13 +107,14 @@ TEST(DetectFacade, StreamedKnownOffsetMatchesBatchBitExactly) {
 
   detect::Request request;
   request.sync = sync::SyncPolicy::kKnownOffset;
-  request.known_warp.offset_cycles = a.offset_cycles;
+  // known_warp is the correction: the inverse of the capture's shift.
+  request.known_warp.offset_cycles = -a.offset_cycles;
   request.streaming.early_stop = false;
   const detect::Session session(request, r.pattern);
 
   const detect::Report batch = session.run(attacked);
   ASSERT_TRUE(batch.sync.has_value());
-  EXPECT_EQ(batch.sync->correction.offset_cycles, a.offset_cycles);
+  EXPECT_EQ(batch.sync->correction.offset_cycles, -a.offset_cycles);
 
   auto chunks = stream::chop(attacked, 999);
   std::size_t i = 0;
@@ -265,10 +266,10 @@ TEST(DetectFile, DesyncedTraceRoundTripAndMetaDrivenCorrection) {
   const Scenario sc(fast_config(ChipModel::kChip1));
   const auto r = sc.run(0);
 
-  // A capture that started 0.4 cycles late, persisted with its offset.
+  // A capture that started 12.4 cycles late, persisted with its offset.
   attack::DesyncAttack a;
   a.kind = attack::DesyncKind::kFixedOffset;
-  a.offset_cycles = 0.4;
+  a.offset_cycles = 12.4;
   const std::vector<double> attacked =
       attack::apply_desync(r.acquisition.per_cycle_power_w, a);
   measure::TraceMeta meta;
@@ -281,18 +282,32 @@ TEST(DetectFile, DesyncedTraceRoundTripAndMetaDrivenCorrection) {
   EXPECT_EQ(replay.meta().trigger_offset_cycles, a.offset_cycles);
 
   // run_file under the default (triggered) request upgrades to the
-  // recorded known offset...
+  // recorded known offset, applied as a correction (negated: the meta
+  // records how late the capture started, the warp undoes it)...
   detect::Request request;
   request.streaming.early_stop = false;
   const detect::Session session(request, r.pattern);
   const detect::Report from_file = session.run_file(path);
   ASSERT_TRUE(from_file.sync.has_value());
-  EXPECT_EQ(from_file.sync->correction.offset_cycles, a.offset_cycles);
+  EXPECT_EQ(from_file.sync->correction.offset_cycles, -a.offset_cycles);
+
+  // ... actually realigns the trace: the corrected run recovers the
+  // aligned capture's peak rotation exactly (a wrong-signed
+  // "correction" shifts the trace by 2 * offset and moves the peak by
+  // ~25 rotations here) and keeps the aligned detection margin (same
+  // bound as the blind-sync tests)...
+  const detect::Report aligned =
+      detect::Session(request, r.pattern)
+          .run(r.acquisition.per_cycle_power_w);
+  EXPECT_EQ(from_file.detection.spectrum.peak_rotation,
+            aligned.detection.spectrum.peak_rotation);
+  EXPECT_GE(from_file.detection.spectrum.peak_z,
+            0.9 * aligned.detection.spectrum.peak_z);
 
   // ... and matches the in-memory known-offset path bit for bit.
   detect::Request known = request;
   known.sync = sync::SyncPolicy::kKnownOffset;
-  known.known_warp.offset_cycles = a.offset_cycles;
+  known.known_warp.offset_cycles = -a.offset_cycles;
   const detect::Report batch =
       detect::Session(known, r.pattern).run(attacked);
   expect_identical(from_file.detection, batch.detection);

@@ -85,6 +85,33 @@ TEST(Warp, StreamWarperBitIdenticalToBatchAcrossChunkings) {
   }
 }
 
+TEST(Warp, StreamWarperSurvivesDegenerateNonMonotoneSpec) {
+  // A negative-drift apex inside the stream makes the warp positions
+  // fall back toward zero — arbitrary public-API input the monotone
+  // drop logic must neither underflow on (reads below the dropped
+  // prefix clamp to the earliest buffered sample) nor loop forever on
+  // (feed/finish honour warp_output_size's degenerate-spec cap).
+  const std::vector<double> y = noise_trace(2000, 7);
+  sync::WarpSpec spec;
+  spec.drift = -1e-3;  // apex at k = 1000, positions decrease after
+  const std::vector<double> batch = sync::warp_trace(y, spec);
+  EXPECT_EQ(batch.size(), sync::warp_output_size(spec, y.size()));
+
+  sync::StreamWarper warper(spec);
+  std::vector<double> streamed;
+  for (std::size_t start = 0; start < y.size(); start += 128) {
+    const std::size_t len = std::min<std::size_t>(128, y.size() - start);
+    warper.feed(std::span<const double>(y).subspan(start, len), streamed);
+  }
+  warper.finish(streamed);
+  ASSERT_EQ(streamed.size(), batch.size());
+  // Up to the apex the positions are monotone and the streamed output
+  // is still bit-identical to the batch warp.
+  for (std::size_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(streamed[k], batch[k]) << "k=" << k;
+  }
+}
+
 TEST(Warp, InverseWarpRoundTripsInteriorSamples) {
   // Lerp error scales with signal curvature, so the round trip is only
   // meaningful on a smooth trace (white noise is unrecoverable).
