@@ -1,16 +1,23 @@
-// Micro-benchmark: the three CPA rotation-correlation implementations.
+// Micro-benchmark: the CPA rotation-correlation implementations.
 // Demonstrates why the folded/FFT forms matter: the paper's sweep is
 // P = 4095 rotations over N = 300,000 cycles — O(N*P) naive costs ~1.2e9
 // multiply-adds per spread spectrum, the folded form O(N + P^2), and the
-// FFT form O(N + P log P).
+// FFT form O(N + P log P). The register-blocked kernel
+// (cpa::correlate_rotations_blocked) is benched both raw (BM_Blocked)
+// and through the kNaive dispatch it now backs (BM_Naive); the
+// reference one-rotation-per-pass sweep it replaced stays measurable as
+// BM_NaiveRef.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "cpa/correlation.h"
+#include "dsp/correlate.h"
 #include "runtime/executor.h"
 #include "sequence/lfsr.h"
 #include "sequence/polynomials.h"
@@ -56,6 +63,48 @@ void BM_Folded(benchmark::State& state) {
   run(state, CorrelationMethod::kFolded);
 }
 void BM_Fft(benchmark::State& state) { run(state, CorrelationMethod::kFft); }
+
+// The pre-blocking naive sweep: one materialised model vector and one
+// Pearson pass per rotation (dsp::rotation_correlation_naive). The
+// baseline the blocked kernel is measured against.
+void BM_NaiveRef(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto cycles = static_cast<std::size_t>(state.range(1));
+  const auto pattern = make_pattern(width);
+  const auto trace = make_trace(cycles);
+  for (auto _ : state) {
+    auto rho = clockmark::dsp::rotation_correlation_naive(trace, pattern);
+    benchmark::DoNotOptimize(rho.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cycles));
+}
+
+// The raw register-blocked kernel, swept over all rotations in blocks
+// of kRotationBlockLanes — the same block partition the kNaive dispatch
+// runs, minus the dispatch itself and the rho allocation.
+void BM_Blocked(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto cycles = static_cast<std::size_t>(state.range(1));
+  const auto pattern = make_pattern(width);
+  const auto trace = make_trace(cycles);
+  const std::size_t period = pattern.size();
+  std::vector<double> rho(period, 0.0);
+  for (auto _ : state) {
+    for (std::size_t r0 = 0; r0 < period;
+         r0 += clockmark::cpa::kRotationBlockLanes) {
+      const std::size_t count =
+          std::min(clockmark::cpa::kRotationBlockLanes, period - r0);
+      clockmark::cpa::correlate_rotations_blocked(
+          trace, pattern, r0, std::span<double>(rho).subspan(r0, count));
+    }
+    benchmark::DoNotOptimize(rho.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cycles));
+}
 
 // The naive sweep again, chunked over a thread pool (rotations are
 // independent). Thread count = range(2).
@@ -113,8 +162,12 @@ class JsonCapture : public benchmark::ConsoleReporter {
 }  // namespace
 
 // Naive only at reduced scale (the full paper-size naive sweep takes
-// seconds per iteration).
+// seconds per iteration). The {5, 120000} shape is the chip-I bench
+// configuration (LFSR width 5 → P = 31 over 120k cycles) where the
+// naive-vs-blocked comparison is tracked by perf_gate.
 BENCHMARK(BM_Naive)->Args({10, 30000})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NaiveRef)->Args({5, 120000})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Blocked)->Args({5, 120000})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NaiveParallel)
     ->Args({10, 30000, 2})
     ->Args({10, 30000, 4})
@@ -122,6 +175,7 @@ BENCHMARK(BM_NaiveParallel)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Folded)
     ->Args({10, 30000})
+    ->Args({5, 120000})
     ->Args({12, 300000})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fft)

@@ -9,6 +9,16 @@ Usage:
   scripts/perf_gate.py --baseline bench_results/BENCH_acq.json \
       --current build/bench_smoke/BENCH_acq.json [--max-regression 0.25]
 
+Update mode (after an intentional perf change):
+  scripts/perf_gate.py --update --baseline bench_results/BENCH_acq.json \
+      --current build/bench_smoke/BENCH_acq.json [--build-dir build]
+copies the fresh record over the committed baseline instead of gating
+against it. As a guard against enshrining numbers from a broken tree,
+--update first runs ctest in --build-dir and refuses to touch the
+baseline when any test fails (--skip-tests for the rare emergency).
+The comparison is still printed, so the change being baked in is
+visible in the terminal.
+
 Comparison rules (kept deliberately small):
   * records are matched by "name"; a record present only on one side is
     reported but never fails the gate (benches grow new cases),
@@ -28,6 +38,9 @@ changes or when moving the reference box.
 
 import argparse
 import json
+import os
+import shutil
+import subprocess
 import sys
 
 HIGHER_IS_BETTER_SUFFIXES = ("_per_sec",)
@@ -79,10 +92,35 @@ def main(argv):
         default=0.25,
         help="allowed fractional regression (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy --current over --baseline instead of gating "
+        "(refuses when ctest fails in --build-dir)",
+    )
+    parser.add_argument(
+        "--build-dir",
+        default="build",
+        help="build tree whose ctest must pass before --update (default:"
+        " build)",
+    )
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="--update without the ctest guard (emergency use only)",
+    )
     args = parser.parse_args(argv)
 
-    bench_base, baseline = load_records(args.baseline)
     bench_cur, current = load_records(args.current)
+    if os.path.exists(args.baseline):
+        bench_base, baseline = load_records(args.baseline)
+    elif args.update:
+        # First recording of a new bench: nothing to compare against.
+        bench_base, baseline = bench_cur, {}
+    else:
+        print(f"perf gate: missing baseline {args.baseline}",
+              file=sys.stderr)
+        return 1
     if bench_base != bench_cur:
         print(
             f"perf gate: comparing different benches "
@@ -90,6 +128,23 @@ def main(argv):
             file=sys.stderr,
         )
         return 1
+
+    if args.update:
+        if args.skip_tests:
+            print("perf gate: --update with --skip-tests: ctest guard "
+                  "bypassed")
+        else:
+            print(f"perf gate: --update: running ctest in {args.build_dir}")
+            result = subprocess.run(
+                ["ctest", "--output-on-failure"], cwd=args.build_dir
+            )
+            if result.returncode != 0:
+                print(
+                    "perf gate: refusing --update: ctest failed in "
+                    f"{args.build_dir} (fix the tests or pass --skip-tests)",
+                    file=sys.stderr,
+                )
+                return 1
 
     failures = []
     compared = 0
@@ -121,6 +176,15 @@ def main(argv):
     for name in sorted(set(current) - set(baseline)):
         print(f"  [new]  record '{name}' has no baseline yet")
 
+    if args.update:
+        # The comparison above is informational; the fresh record
+        # becomes the baseline regardless of direction.
+        shutil.copyfile(args.current, args.baseline)
+        print(
+            f"perf gate: baseline {args.baseline} updated from "
+            f"{args.current} ({len(current)} record(s))"
+        )
+        return 0
     if compared == 0:
         print(
             f"perf gate: no comparable metrics between {args.baseline} and "

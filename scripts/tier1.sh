@@ -30,7 +30,7 @@ SMOKE_THREADS="$(nproc)"
 rm -rf "${SMOKE_DIR}"
 mkdir -p "${SMOKE_DIR}"
 ./build/bench/abl_cpa_speed --benchmark_min_time=0.01 \
-  --benchmark_filter='BM_Fft/10/30000' \
+  --benchmark_filter='BM_Fft/10/30000|BM_NaiveRef/5/120000|BM_Blocked/5/120000|BM_Folded/5/120000' \
   --json="${SMOKE_DIR}/BENCH_cpa_speed.json" > "${SMOKE_DIR}/cpa_speed.log"
 if [[ "${SMOKE_THREADS}" -gt 1 ]]; then
   ./build/bench/abl_cpa_speed --benchmark_min_time=0.01 \
@@ -116,7 +116,7 @@ cmake --build build-tsan -j --target test_runtime test_dsp test_integration \
 # Note: -j needs an explicit value here — a bare `-j` would consume the
 # following -R as its argument and run the whole (partially built) list.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads|Warp|BlindSync|Chips/BlindSyncChips|DetectFacade|DetectFile)')
+  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads|Warp|BlindSync|Chips/BlindSyncChips|SyncEngine|Chips/SyncEngineChips|DetectFacade|DetectFile)')
 
 echo "=== tier-1: UBSan pass (sequence + dsp + cpa tests) ==="
 # -fno-sanitize-recover=all: any triggered check aborts the binary, so a

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "sync/engine.h"
 #include "sync/search.h"
 #include "sync/warp.h"
 #include "util/rng.h"
@@ -66,6 +67,18 @@ DesyncOutcome run_desync_attack(std::span<const double> y,
                                 const cpa::DetectorPolicy& policy,
                                 const sync::BlindSyncConfig& blind,
                                 runtime::Executor* executor) {
+  const sync::CandidateEngine engine(
+      std::vector<double>(pattern.begin(), pattern.end()));
+  return run_desync_attack(engine, y, attack, policy, blind, executor);
+}
+
+DesyncOutcome run_desync_attack(const sync::CandidateEngine& engine,
+                                std::span<const double> y,
+                                const DesyncAttack& attack,
+                                const cpa::DetectorPolicy& policy,
+                                const sync::BlindSyncConfig& blind,
+                                runtime::Executor* executor) {
+  const std::span<const double> pattern = engine.pattern();
   DesyncOutcome outcome;
   outcome.attack = attack;
   const cpa::Detector detector(policy);
@@ -74,7 +87,7 @@ DesyncOutcome run_desync_attack(std::span<const double> y,
   const std::vector<double> attacked = apply_desync(y, attack);
   outcome.naive = detector.detect(attacked, pattern);
 
-  outcome.sync = sync::find_sync(attacked, pattern, blind, executor);
+  outcome.sync = sync::find_sync(engine, attacked, blind, executor);
   if (outcome.sync.correction.is_identity()) {
     outcome.synced = detector.detect(attacked, pattern);
   } else {

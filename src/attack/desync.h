@@ -31,6 +31,10 @@ namespace clockmark::runtime {
 class Executor;
 }
 
+namespace clockmark::sync {
+class CandidateEngine;
+}
+
 namespace clockmark::attack {
 
 enum class DesyncKind {
@@ -83,6 +87,18 @@ struct DesyncOutcome {
 /// executor, when non-null, parallelises the blind search.
 DesyncOutcome run_desync_attack(std::span<const double> y,
                                 std::span<const double> pattern,
+                                const DesyncAttack& attack,
+                                const cpa::DetectorPolicy& policy = {},
+                                const sync::BlindSyncConfig& blind = {},
+                                runtime::Executor* executor = nullptr);
+
+/// Same study against a prebuilt sync::CandidateEngine (which carries
+/// the pattern). Sweeping a whole attack suite repeats the blind search
+/// against one pattern per attack — the engine's cached transforms are
+/// shared across all of them. The span-pattern overload above is
+/// exactly this with a throwaway engine.
+DesyncOutcome run_desync_attack(const sync::CandidateEngine& engine,
+                                std::span<const double> y,
                                 const DesyncAttack& attack,
                                 const cpa::DetectorPolicy& policy = {},
                                 const sync::BlindSyncConfig& blind = {},

@@ -1,5 +1,7 @@
 #include "cpa/accumulator.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "runtime/executor.h"
@@ -28,9 +30,10 @@ std::vector<double> RotationAccumulator::correlations(
           "trace; use kFolded or kFft");
     case CorrelationMethod::kFolded: {
       if (executor != nullptr && executor->thread_count() > 1) {
-        // Same per-rotation inner loop as the serial from-fold sweep,
-        // one rotation per work item writing its own slots, then the
-        // shared assemble stage — bit-identical at any thread count.
+        // Same blocked inner loop and block partition as the serial
+        // from-fold sweep, one block of kRotationBlockLanes rotations
+        // per work item writing its own slots, then the shared assemble
+        // stage — bit-identical at any thread count.
         const std::size_t period = pattern_.size();
         if (fold_.n < period) {
           throw std::invalid_argument(
@@ -39,12 +42,21 @@ std::vector<double> RotationAccumulator::correlations(
         std::vector<double> sxy(period, 0.0);
         std::vector<double> sx(period, 0.0);
         std::vector<double> sxx(period, 0.0);
-        executor->parallel_for(period, [&](std::size_t r) {
-          const dsp::RotationModelSums s =
-              dsp::rotation_model_sums_at(fold_, pattern_, r);
-          sxy[r] = s.sxy;
-          sx[r] = s.sx;
-          sxx[r] = s.sxx;
+        const std::size_t blocks =
+            (period + kRotationBlockLanes - 1) / kRotationBlockLanes;
+        executor->parallel_for(blocks, [&](std::size_t b) {
+          const std::size_t r0 = b * kRotationBlockLanes;
+          const std::size_t count =
+              std::min(kRotationBlockLanes, period - r0);
+          std::array<dsp::RotationModelSums, kRotationBlockLanes> block;
+          dsp::rotation_model_sums_blocked(
+              fold_, pattern_, r0,
+              std::span<dsp::RotationModelSums>(block.data(), count));
+          for (std::size_t l = 0; l < count; ++l) {
+            sxy[r0 + l] = block[l].sxy;
+            sx[r0 + l] = block[l].sx;
+            sxx[r0 + l] = block[l].sxx;
+          }
         });
         return dsp::assemble_rotation_correlations(fold_, sxy, sx, sxx);
       }

@@ -1,6 +1,6 @@
 #include "cpa/correlation.h"
 
-#include <cmath>
+#include <algorithm>
 #include <stdexcept>
 
 #include "dsp/correlate.h"
@@ -14,24 +14,51 @@ std::vector<double> to_model_pattern(const std::vector<bool>& bits) {
   return p;
 }
 
+namespace {
+
+/// The naive sweep's shared block partition: rho[b*L, b*L + L) per
+/// block, L = kRotationBlockLanes. Serial and parallel sweeps fill the
+/// same blocks with the same kernel, so their outputs are bit-identical
+/// at any thread count.
+void naive_sweep_block(std::span<const double> measurement,
+                       std::span<const double> pattern,
+                       std::span<double> rho, std::size_t block) {
+  const std::size_t r0 = block * kRotationBlockLanes;
+  const std::size_t count =
+      std::min(kRotationBlockLanes, pattern.size() - r0);
+  correlate_rotations_blocked(measurement, pattern, r0,
+                              rho.subspan(r0, count));
+}
+
+}  // namespace
+
 std::vector<double> correlate_rotations(std::span<const double> measurement,
                                         std::span<const double> pattern,
                                         CorrelationMethod method,
                                         runtime::Executor* executor) {
   switch (method) {
-    case CorrelationMethod::kNaive:
-      if (executor != nullptr && executor->thread_count() > 1 &&
-          !pattern.empty() && measurement.size() >= pattern.size()) {
-        // Chunked rotations: correlate_at reproduces exactly one row of
-        // the naive sweep, so filling rho[r] per index in parallel gives
-        // a bit-identical result.
-        std::vector<double> rho(pattern.size(), 0.0);
-        executor->parallel_for(pattern.size(), [&](std::size_t r) {
-          rho[r] = correlate_at(measurement, pattern, r);
-        });
-        return rho;
+    case CorrelationMethod::kNaive: {
+      if (pattern.empty() || measurement.size() < pattern.size()) {
+        // Delegate the input validation (and the degenerate shapes) to
+        // the reference implementation unchanged.
+        return dsp::rotation_correlation_naive(measurement, pattern);
       }
-      return dsp::rotation_correlation_naive(measurement, pattern);
+      // Blocked sweep: kRotationBlockLanes rotations per pass over the
+      // measurement (one block per work item when parallel).
+      const std::size_t blocks =
+          (pattern.size() + kRotationBlockLanes - 1) / kRotationBlockLanes;
+      std::vector<double> rho(pattern.size(), 0.0);
+      if (executor != nullptr && executor->thread_count() > 1 && blocks > 1) {
+        executor->parallel_for(blocks, [&](std::size_t b) {
+          naive_sweep_block(measurement, pattern, rho, b);
+        });
+      } else {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          naive_sweep_block(measurement, pattern, rho, b);
+        }
+      }
+      return rho;
+    }
     case CorrelationMethod::kFolded:
       return dsp::rotation_correlation_folded(measurement, pattern);
     case CorrelationMethod::kFft:
@@ -42,38 +69,10 @@ std::vector<double> correlate_rotations(std::span<const double> measurement,
 
 double correlate_at(std::span<const double> measurement,
                     std::span<const double> pattern, std::size_t rotation) {
-  const std::size_t n = measurement.size();
-  if (n == 0) return 0.0;
-  const std::size_t p = pattern.size();
-  // Streaming two-pass Pearson over the virtual model vector
-  // model[i] = pattern[(i + rotation) % p]: the same accumulation order
-  // as util::pearson on a materialised model (bit-identical result),
-  // without the O(N) allocation per rotation the parallel naive sweep
-  // used to pay.
-  double mx = 0.0;
-  double my = 0.0;
-  std::size_t j = rotation % p;
-  for (std::size_t i = 0; i < n; ++i) {
-    mx += pattern[j];
-    my += measurement[i];
-    if (++j == p) j = 0;
-  }
-  mx /= static_cast<double>(n);
-  my /= static_cast<double>(n);
-  double sxy = 0.0;
-  double sxx = 0.0;
-  double syy = 0.0;
-  j = rotation % p;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dx = pattern[j] - mx;
-    const double dy = measurement[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-    if (++j == p) j = 0;
-  }
-  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
-  return sxy / std::sqrt(sxx * syy);
+  double rho = 0.0;
+  correlate_rotations_blocked(measurement, pattern, rotation,
+                              std::span<double>(&rho, 1));
+  return rho;
 }
 
 }  // namespace clockmark::cpa

@@ -2,7 +2,9 @@
 // the Pearson correlation — equation (1) — between the measured per-cycle
 // power vector Y and every cyclic rotation of the binary watermark model
 // vector X. Three interchangeable implementations with identical output:
-//   kNaive  O(N*P)        reference, validates the fast paths
+//   kNaive  O(N*P/8)      register-blocked direct sweep (correlate_at
+//                         lanes; dsp::rotation_correlation_naive stays
+//                         the pedagogical reference)
 //   kFolded O(N + P^2)    per-phase partial sums
 //   kFft    O(N + PlogP)  folded sums correlated via FFT
 #pragma once
@@ -23,18 +25,41 @@ enum class CorrelationMethod { kNaive, kFolded, kFft };
 std::vector<double> to_model_pattern(const std::vector<bool>& bits);
 
 /// rho[r] for r = 0 .. pattern.size()-1, rotating the periodic pattern
-/// against the measurement. A non-null executor parallelises the O(N*P)
-/// naive sweep by chunking rotations across its threads (each rho[r] is
-/// independent, so the output stays bit-identical to the serial sweep);
-/// the folded/FFT methods are already O(N + P log P) and run serially.
+/// against the measurement. The naive sweep runs in blocks of
+/// kRotationBlockLanes rotations per pass over the measurement
+/// (correlate_rotations_blocked); a non-null executor fans the blocks
+/// out across its threads — the same blocks, the same kernel, so the
+/// output stays bit-identical to the serial sweep. The folded/FFT
+/// methods are already O(N + P log P) and run serially.
 std::vector<double> correlate_rotations(
     std::span<const double> measurement, std::span<const double> pattern,
     CorrelationMethod method = CorrelationMethod::kFft,
     runtime::Executor* executor = nullptr);
 
 /// Single-rotation Pearson correlation (model = pattern rotated by r,
-/// tiled over the measurement length).
+/// tiled over the measurement length). Implemented as a one-lane call
+/// of correlate_rotations_blocked, so it is bit-identical to any lane
+/// of the blocked kernel by construction.
 double correlate_at(std::span<const double> measurement,
                     std::span<const double> pattern, std::size_t rotation);
+
+/// Rotations one blocked pass of correlate_rotations_blocked computes.
+inline constexpr std::size_t kRotationBlockLanes = 8;
+
+/// Register-blocked multi-rotation Pearson: rho_out.size() consecutive
+/// rotations (first_rotation, first_rotation + 1, ... — taken mod the
+/// pattern period) of correlate_at, accumulated in a single pass over
+/// the measurement. Lane l keeps its own sxy accumulator while the
+/// trace-side statistics (my, syy) are shared — their accumulation
+/// chains are identical for every rotation — and the rotation-dependent
+/// pattern statistics (mean, sum of squares) come from period prefix
+/// sums instead of a per-rotation pass. Each lane's result is
+/// bit-identical to correlate_at for that rotation (asserted by the
+/// property tests). rho_out.size() must be <= kRotationBlockLanes;
+/// an empty measurement yields all-zero correlations like correlate_at.
+void correlate_rotations_blocked(std::span<const double> measurement,
+                                 std::span<const double> pattern,
+                                 std::size_t first_rotation,
+                                 std::span<double> rho_out);
 
 }  // namespace clockmark::cpa

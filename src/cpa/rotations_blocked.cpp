@@ -1,0 +1,162 @@
+// Register-blocked multi-rotation CPA kernel (DESIGN.md §12). Computes
+// up to kRotationBlockLanes consecutive rotations of correlate_at in
+// one pass over the measurement: the trace is streamed once, each lane
+// keeps its sxy accumulator in a register, and the rotation-dependent
+// pattern statistics are hoisted to period prefix sums. Compiled under
+// CLOCKMARK_HOT_PATH_OPTIONS (see src/CMakeLists.txt) — the flags are
+// value-safe (-ffp-contract=off, no reassociation), so every lane's
+// accumulation chain carries exactly the bits of the scalar
+// correlate_at it replaces. This file deliberately contains no
+// std::complex arithmetic (the reason cm_cpa as a whole stays off the
+// hot-path flag list).
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "cpa/correlation.h"
+
+namespace clockmark::cpa {
+namespace {
+
+/// Sum of `len` (< 2 * period) cyclic pattern values starting at
+/// `start` (< period), from the prefix table prefix[i] = sum x[0..i).
+inline double window_sum(const std::vector<double>& prefix,
+                         std::size_t period, std::size_t start,
+                         std::size_t len) {
+  const std::size_t end = start + len;
+  if (end <= period) return prefix[end] - prefix[start];
+  return (prefix[period] - prefix[start]) + prefix[end - period];
+}
+
+/// The blocked accumulation pass. Lane l models rotation
+/// (first + l) mod p; per lane the operation sequence — dy shared,
+/// acc[l] += (x - mx[l]) * dy in trace order — is exactly the second
+/// pass of the scalar correlate_at, so lanes are bit-identical to it.
+template <std::size_t B>
+void correlate_block(const double* y, std::size_t n, const double* x,
+                     std::size_t p, std::size_t first, const double* mx,
+                     double my, double* sxy_out, double* syy_out) {
+  double acc[B];
+  for (std::size_t l = 0; l < B; ++l) acc[l] = 0.0;
+  double syy = 0.0;
+  std::size_t i = 0;
+  std::size_t j0 = first;  // lane 0's pattern index, always < p
+  while (i < n) {
+    if (j0 + B <= p) {
+      // Fast path: all lanes read the contiguous window [j0, j0 + B),
+      // which slides one slot per sample until lane B-1 would wrap —
+      // contiguous loads the compiler can vectorize across lanes.
+      const std::size_t run = std::min(n - i, p - B + 1 - j0);
+      const double* ys = y + i;
+      const double* xs = x + j0;
+      for (std::size_t s = 0; s < run; ++s) {
+        const double dy = ys[s] - my;
+        syy += dy * dy;
+        for (std::size_t l = 0; l < B; ++l) {
+          acc[l] += (xs[s + l] - mx[l]) * dy;
+        }
+      }
+      i += run;
+      j0 += run;
+      if (j0 == p) j0 = 0;
+    } else {
+      // Wrap region (the last B-1 slots of the period, or p < B):
+      // per-lane modular indexing for up to B-1 samples per period.
+      const double dy = y[i] - my;
+      syy += dy * dy;
+      for (std::size_t l = 0; l < B; ++l) {
+        acc[l] += (x[(j0 + l) % p] - mx[l]) * dy;
+      }
+      ++i;
+      if (++j0 == p) j0 = 0;
+    }
+  }
+  for (std::size_t l = 0; l < B; ++l) sxy_out[l] = acc[l];
+  *syy_out = syy;
+}
+
+using BlockFn = void (*)(const double*, std::size_t, const double*,
+                         std::size_t, std::size_t, const double*, double,
+                         double*, double*);
+
+constexpr BlockFn kBlockFns[kRotationBlockLanes] = {
+    &correlate_block<1>, &correlate_block<2>, &correlate_block<3>,
+    &correlate_block<4>, &correlate_block<5>, &correlate_block<6>,
+    &correlate_block<7>, &correlate_block<8>};
+
+}  // namespace
+
+void correlate_rotations_blocked(std::span<const double> measurement,
+                                 std::span<const double> pattern,
+                                 std::size_t first_rotation,
+                                 std::span<double> rho_out) {
+  const std::size_t lanes = rho_out.size();
+  if (lanes == 0) return;
+  if (lanes > kRotationBlockLanes) {
+    throw std::invalid_argument(
+        "correlate_rotations_blocked: more lanes than kRotationBlockLanes");
+  }
+  const std::size_t n = measurement.size();
+  if (n == 0) {
+    for (auto& v : rho_out) v = 0.0;  // correlate_at's empty-trace value
+    return;
+  }
+  const std::size_t p = pattern.size();
+  if (p == 0) {
+    throw std::invalid_argument("correlate_rotations_blocked: empty pattern");
+  }
+
+  // Rotation-invariant pattern statistics: one period of prefix sums
+  // serves every lane. For the 0/1 model patterns CPA sweeps, every
+  // partial sum is an exactly-representable integer, so the hoisted
+  // pattern mean carries the same bits as correlate_at's historical
+  // sequential first pass.
+  static thread_local std::vector<double> prefix;
+  static thread_local std::vector<double> prefix_sq;
+  prefix.assign(p + 1, 0.0);
+  prefix_sq.assign(p + 1, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    prefix[i + 1] = prefix[i] + pattern[i];
+    prefix_sq[i + 1] = prefix_sq[i] + pattern[i] * pattern[i];
+  }
+
+  // Trace mean: the same accumulation chain as correlate_at's first
+  // pass (the pattern-side accumulator it used to interleave was
+  // independent, so dropping it leaves these adds untouched).
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) my += measurement[i];
+  my /= static_cast<double>(n);
+
+  // Per-lane model statistics over n samples: `full` whole periods plus
+  // an rem-wide window starting at the lane's rotation. The centred sum
+  // of squares is sxx - mx * sx (algebraically sum (x - mx)^2 up to
+  // rounding); zero-variance windows give exactly 0 and keep
+  // correlate_at's rho = 0 guard.
+  const std::size_t full = n / p;
+  const std::size_t rem = n % p;
+  const auto fulld = static_cast<double>(full);
+  double mx[kRotationBlockLanes];
+  double sxx_c[kRotationBlockLanes];
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::size_t r = (first_rotation + l) % p;
+    const double sx = fulld * prefix[p] + window_sum(prefix, p, r, rem);
+    const double sxx =
+        fulld * prefix_sq[p] + window_sum(prefix_sq, p, r, rem);
+    mx[l] = sx / static_cast<double>(n);
+    sxx_c[l] = sxx - mx[l] * sx;
+  }
+
+  double sxy[kRotationBlockLanes];
+  double syy = 0.0;
+  kBlockFns[lanes - 1](measurement.data(), n, pattern.data(), p,
+                       first_rotation % p, mx, my, sxy, &syy);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    rho_out[l] = (sxx_c[l] <= 0.0 || syy <= 0.0)
+                     ? 0.0
+                     : sxy[l] / std::sqrt(sxx_c[l] * syy);
+  }
+}
+
+}  // namespace clockmark::cpa

@@ -5,19 +5,18 @@
 
 namespace clockmark::cpa {
 
-SpreadSpectrum summarize_sweep(std::vector<double> rho, std::size_t guard) {
-  SpreadSpectrum ss;
-  ss.rho = std::move(rho);
-  if (ss.rho.empty()) return ss;
-  const std::size_t n = ss.rho.size();
+SweepStats summarize_stats(std::span<const double> rho, std::size_t guard) {
+  SweepStats st;
+  if (rho.empty()) return st;
+  const std::size_t n = rho.size();
 
   // Peak by absolute value (an inverted watermark correlates at -1).
   std::size_t peak = 0;
   for (std::size_t i = 1; i < n; ++i) {
-    if (std::fabs(ss.rho[i]) > std::fabs(ss.rho[peak])) peak = i;
+    if (std::fabs(rho[i]) > std::fabs(rho[peak])) peak = i;
   }
-  ss.peak_rotation = peak;
-  ss.peak_value = ss.rho[peak];
+  st.peak_rotation = peak;
+  st.peak_value = rho[peak];
 
   auto in_guard = [&](std::size_t i) {
     // Circular distance to the peak.
@@ -29,21 +28,34 @@ SpreadSpectrum summarize_sweep(std::vector<double> rho, std::size_t guard) {
   std::size_t count = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (in_guard(i)) continue;
-    sum += ss.rho[i];
-    sum_sq += ss.rho[i] * ss.rho[i];
-    second = std::max(second, std::fabs(ss.rho[i]));
+    sum += rho[i];
+    sum_sq += rho[i] * rho[i];
+    second = std::max(second, std::fabs(rho[i]));
     ++count;
   }
   if (count > 0) {
-    ss.noise_mean = sum / static_cast<double>(count);
+    st.noise_mean = sum / static_cast<double>(count);
     const double var =
-        sum_sq / static_cast<double>(count) - ss.noise_mean * ss.noise_mean;
-    ss.noise_std = var > 0.0 ? std::sqrt(var) : 0.0;
+        sum_sq / static_cast<double>(count) - st.noise_mean * st.noise_mean;
+    st.noise_std = var > 0.0 ? std::sqrt(var) : 0.0;
   }
-  ss.second_peak = second;
-  ss.peak_z = ss.noise_std > 0.0
-                  ? (std::fabs(ss.peak_value) - ss.noise_mean) / ss.noise_std
+  st.second_peak = second;
+  st.peak_z = st.noise_std > 0.0
+                  ? (std::fabs(st.peak_value) - st.noise_mean) / st.noise_std
                   : 0.0;
+  return st;
+}
+
+SpreadSpectrum summarize_sweep(std::vector<double> rho, std::size_t guard) {
+  SpreadSpectrum ss;
+  ss.rho = std::move(rho);
+  const SweepStats st = summarize_stats(ss.rho, guard);
+  ss.peak_rotation = st.peak_rotation;
+  ss.peak_value = st.peak_value;
+  ss.second_peak = st.second_peak;
+  ss.noise_mean = st.noise_mean;
+  ss.noise_std = st.noise_std;
+  ss.peak_z = st.peak_z;
   return ss;
 }
 

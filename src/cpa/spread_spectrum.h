@@ -38,4 +38,19 @@ SpreadSpectrum compute_spread_spectrum(
 /// Summarises an already-computed rho sweep.
 SpreadSpectrum summarize_sweep(std::vector<double> rho, std::size_t guard);
 
+/// The summary statistics of a sweep without taking ownership of (or
+/// copying) the rho vector — the shape the sync candidate engine's
+/// scoring loop needs, where thousands of sweeps are summarised and
+/// only peak_z survives. Field meanings and arithmetic are exactly
+/// summarize_sweep's (which is implemented on top of this).
+struct SweepStats {
+  std::size_t peak_rotation = 0;
+  double peak_value = 0.0;
+  double second_peak = 0.0;
+  double noise_mean = 0.0;
+  double noise_std = 0.0;
+  double peak_z = 0.0;
+};
+SweepStats summarize_stats(std::span<const double> rho, std::size_t guard);
+
 }  // namespace clockmark::cpa

@@ -1,18 +1,34 @@
 #include "detect/session.h"
 
+#include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "cpa/confidence.h"
+#include "sync/engine.h"
 #include "sync/search.h"
 #include "sync/warp.h"
 
 namespace clockmark::detect {
+
+/// Lazily-built scoring engine for kBlind requests, shared by Session
+/// copies. The engine is keyed by the pattern it was built for —
+/// rebuilt when a run (e.g. a Scenario with its own pattern) asks for a
+/// different one.
+struct Session::EngineCache {
+  std::mutex mu;
+  std::shared_ptr<const sync::CandidateEngine> engine;
+};
+
 namespace {
 
 // Batch decision with the request's sync handling applied up front.
+// `engine` is non-null exactly when the request is kBlind (and the
+// pattern non-empty); it carries the same pattern as `pattern`.
 Report run_batch(const Request& request, std::span<const double> y,
                  std::span<const double> pattern,
+                 const sync::CandidateEngine* engine,
                  runtime::Executor* executor) {
   Report report;
   report.cycles = y.size();
@@ -33,7 +49,9 @@ Report run_batch(const Request& request, std::span<const double> y,
       break;
     case sync::SyncPolicy::kBlind: {
       const sync::SyncEstimate est =
-          sync::find_sync(y, pattern, request.blind, executor);
+          engine != nullptr
+              ? sync::find_sync(*engine, y, request.blind, executor)
+              : sync::find_sync(y, pattern, request.blind, executor);
       report.sync = est;
       if (!est.correction.is_identity()) {
         warped = sync::warp_trace(y, est.correction);
@@ -52,7 +70,26 @@ Report run_batch(const Request& request, std::span<const double> y,
 }  // namespace
 
 Session::Session(Request request, std::vector<double> pattern)
-    : request_(std::move(request)), pattern_(std::move(pattern)) {}
+    : request_(std::move(request)),
+      pattern_(std::move(pattern)),
+      engine_cache_(std::make_shared<EngineCache>()) {}
+
+std::shared_ptr<const sync::CandidateEngine> Session::engine_for(
+    std::span<const double> pattern) const {
+  if (request_.sync != sync::SyncPolicy::kBlind || pattern.empty()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(engine_cache_->mu);
+  std::shared_ptr<const sync::CandidateEngine>& engine =
+      engine_cache_->engine;
+  if (engine == nullptr ||
+      !std::equal(engine->pattern().begin(), engine->pattern().end(),
+                  pattern.begin(), pattern.end())) {
+    engine = std::make_shared<const sync::CandidateEngine>(
+        std::vector<double>(pattern.begin(), pattern.end()));
+  }
+  return engine;
+}
 
 Report Session::run(std::span<const double> y,
                     runtime::Executor* executor) const {
@@ -61,14 +98,16 @@ Report Session::run(std::span<const double> y,
         "detect::Session: no pattern bound; construct the Session with the "
         "expected watermark pattern (or use the Scenario overload)");
   }
-  return run_batch(request_, y, pattern_, executor);
+  return run_batch(request_, y, pattern_, engine_for(pattern_).get(),
+                   executor);
 }
 
 Report Session::run(const sim::Scenario& scenario, std::size_t repetition,
                     runtime::Executor* executor) const {
   sim::ScenarioResult result = scenario.run(repetition);
   Report report = run_batch(request_, result.acquisition.per_cycle_power_w,
-                            result.pattern, executor);
+                            result.pattern, engine_for(result.pattern).get(),
+                            executor);
   report.scenario = std::move(result);
   return report;
 }

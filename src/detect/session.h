@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -39,6 +40,10 @@
 
 namespace clockmark::runtime {
 class Executor;
+}
+
+namespace clockmark::sync {
+class CandidateEngine;
 }
 
 namespace clockmark::detect {
@@ -132,9 +137,17 @@ class Session {
   stream::StreamPipelineConfig pipeline_config(const Request& request) const;
   Report run_stream(stream::TraceSource& source, const Request& request,
                     runtime::Executor* executor) const;
+  /// kBlind requests only: the sync::CandidateEngine for `pattern`,
+  /// built on first use and reused across run() calls (copies of the
+  /// Session share it). nullptr for non-blind requests.
+  std::shared_ptr<const sync::CandidateEngine> engine_for(
+      std::span<const double> pattern) const;
+
+  struct EngineCache;
 
   Request request_;
   std::vector<double> pattern_;
+  std::shared_ptr<EngineCache> engine_cache_;
 };
 
 }  // namespace clockmark::detect

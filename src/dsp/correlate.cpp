@@ -1,5 +1,7 @@
 #include "dsp/correlate.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -80,22 +82,59 @@ RotationModelSums rotation_model_sums_at(const PhaseFold& fold,
   return s;
 }
 
+void rotation_model_sums_blocked(const PhaseFold& fold,
+                                 std::span<const double> pattern,
+                                 std::size_t first_rotation,
+                                 std::span<RotationModelSums> out) {
+  const std::size_t period = pattern.size();
+  if (out.empty()) return;
+  for (auto& s : out) s = RotationModelSums{};
+  // One pass over sums/counts; lane l reads the pattern at the wrapped
+  // window (p + first_rotation + l) % period. Per lane the accumulation
+  // sequence is identical to rotation_model_sums_at's.
+  for (std::size_t p = 0; p < period; ++p) {
+    const double sum = fold.sums[p];
+    const auto cnt = static_cast<double>(fold.counts[p]);
+    std::size_t j = (p + first_rotation) % period;
+    for (auto& s : out) {
+      const double xv = pattern[j];
+      s.sxy += xv * sum;
+      s.sx += xv * cnt;
+      s.sxx += xv * xv * cnt;
+      if (++j == period) j = 0;
+    }
+  }
+}
+
 std::vector<double> assemble_rotation_correlations(
     const PhaseFold& fold, std::span<const double> sxy,
     std::span<const double> sx, std::span<const double> sxx) {
+  std::vector<double> rho(sxy.size(), 0.0);
+  assemble_rotation_correlations_into(fold, sxy, sx, sxx, rho);
+  return rho;
+}
+
+void assemble_rotation_correlations_into(const PhaseFold& fold,
+                                         std::span<const double> sxy,
+                                         std::span<const double> sx,
+                                         std::span<const double> sxx,
+                                         std::span<double> rho) {
+  if (rho.size() != sxy.size()) {
+    throw std::invalid_argument(
+        "assemble_rotation_correlations: rho/sxy size mismatch");
+  }
   const auto n = static_cast<double>(fold.n);
   const double sy = fold.total;
   const double syy = fold.total_sq;
   const double denom_y = n * syy - sy * sy;
-  std::vector<double> rho(sxy.size(), 0.0);
-  if (denom_y <= 0.0) return rho;  // constant trace: no relationship
+  for (auto& v : rho) v = 0.0;
+  if (denom_y <= 0.0) return;  // constant trace: no relationship
   const double sqrt_denom_y = std::sqrt(denom_y);
   for (std::size_t r = 0; r < sxy.size(); ++r) {
     const double denom_x = n * sxx[r] - sx[r] * sx[r];
     if (denom_x <= 0.0) continue;  // constant model vector
     rho[r] = (n * sxy[r] - sx[r] * sy) / (std::sqrt(denom_x) * sqrt_denom_y);
   }
-  return rho;
 }
 
 std::vector<double> rotation_correlation_folded_from_fold(
@@ -105,11 +144,16 @@ std::vector<double> rotation_correlation_folded_from_fold(
   std::vector<double> sxy(period, 0.0);
   std::vector<double> sx(period, 0.0);
   std::vector<double> sxx(period, 0.0);
-  for (std::size_t r = 0; r < period; ++r) {
-    const RotationModelSums s = rotation_model_sums_at(fold, pattern, r);
-    sxy[r] = s.sxy;
-    sx[r] = s.sx;
-    sxx[r] = s.sxx;
+  std::array<RotationModelSums, 8> block;
+  for (std::size_t r0 = 0; r0 < period; r0 += block.size()) {
+    const std::size_t count = std::min(block.size(), period - r0);
+    rotation_model_sums_blocked(
+        fold, pattern, r0, std::span<RotationModelSums>(block.data(), count));
+    for (std::size_t l = 0; l < count; ++l) {
+      sxy[r0 + l] = block[l].sxy;
+      sx[r0 + l] = block[l].sx;
+      sxx[r0 + l] = block[l].sxx;
+    }
   }
   return assemble_rotation_correlations(fold, sxy, sx, sxx);
 }

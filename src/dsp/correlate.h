@@ -46,12 +46,33 @@ RotationModelSums rotation_model_sums_at(const PhaseFold& fold,
                                          std::span<const double> pattern,
                                          std::size_t rotation);
 
+/// Model sums for out.size() *consecutive* rotations (first_rotation,
+/// first_rotation + 1, ...) in a single traversal of the fold arrays.
+/// Each lane accumulates by exactly the per-rotation sequence of
+/// rotation_model_sums_at, so out[l] is bit-identical to
+/// rotation_model_sums_at(fold, pattern, first_rotation + l) — the
+/// blocking only changes how many rotations one pass over sums/counts
+/// serves, not a single floating-point operation.
+void rotation_model_sums_blocked(const PhaseFold& fold,
+                                 std::span<const double> pattern,
+                                 std::size_t first_rotation,
+                                 std::span<RotationModelSums> out);
+
 /// Assembles Pearson coefficients for every rotation from the
 /// per-rotation model sums — the shared final stage of the folded and
 /// FFT paths (sxy/sx/sxx are indexed by rotation).
 std::vector<double> assemble_rotation_correlations(
     const PhaseFold& fold, std::span<const double> sxy,
     std::span<const double> sx, std::span<const double> sxx);
+
+/// Same assembly into a caller-provided buffer (rho.size() must equal
+/// sxy.size()) — the allocation-free form the sync candidate engine's
+/// scoring loop uses.
+void assemble_rotation_correlations_into(const PhaseFold& fold,
+                                         std::span<const double> sxy,
+                                         std::span<const double> sx,
+                                         std::span<const double> sxx,
+                                         std::span<double> rho);
 
 /// Folded / FFT finalisation from an already-computed fold. The batch
 /// sweeps below are exactly fold_by_phase + these functions, so a fold

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cpa/confidence.h"
+#include "sync/engine.h"
 #include "sync/search.h"
 
 namespace clockmark::stream {
@@ -33,6 +34,10 @@ OnlineDetector::OnlineDetector(std::vector<double> pattern,
       !config_.known_warp.is_identity()) {
     warper_ = std::make_unique<sync::StreamWarper>(config_.known_warp);
   }
+  if (config_.sync_policy == sync::SyncPolicy::kBlind) {
+    engine_ = std::make_shared<const sync::CandidateEngine>(
+        accumulator_.pattern());
+  }
 }
 
 void OnlineDetector::feed_warped(std::span<const double> values) {
@@ -42,8 +47,8 @@ void OnlineDetector::feed_warped(std::span<const double> values) {
 }
 
 void OnlineDetector::lock(runtime::Executor* executor) {
-  sync::SyncEstimate est = sync::find_sync(
-      lock_buffer_, accumulator_.pattern(), config_.blind, executor);
+  sync::SyncEstimate est =
+      sync::find_sync(*engine_, lock_buffer_, config_.blind, executor);
   decision_.sync = est;
   locked_ = true;
   if (est.correction.is_identity()) {

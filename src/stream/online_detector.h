@@ -49,6 +49,10 @@ namespace clockmark::runtime {
 class Executor;
 }
 
+namespace clockmark::sync {
+class CandidateEngine;
+}
+
 namespace clockmark::stream {
 
 struct OnlineDetectorConfig {
@@ -139,6 +143,10 @@ class OnlineDetector {
   bool finalized_ = false;
   bool locked_ = false;                ///< the blind lock has run
   std::vector<double> lock_buffer_;    ///< raw cycles awaiting the lock
+  /// kBlind only: candidate scoring engine for the lock, built once at
+  /// construction so repeated locks (and the pattern's FFT) are paid
+  /// for once per detector, not per search.
+  std::shared_ptr<const sync::CandidateEngine> engine_;
   std::unique_ptr<sync::StreamWarper> warper_;
   std::vector<double> warp_scratch_;
 };

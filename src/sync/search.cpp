@@ -4,36 +4,17 @@
 #include <cmath>
 #include <cstddef>
 #include <functional>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "cpa/confidence.h"
 #include "cpa/spread_spectrum.h"
 #include "runtime/executor.h"
+#include "sync/engine.h"
 
 namespace clockmark::sync {
 namespace {
-
-/// Evaluates the lock metric for a batch of candidate warps, optionally
-/// fanned out over the executor. Scores are independent per candidate
-/// and the selection below is serial, so parallel runs are
-/// bit-identical to serial ones.
-std::vector<double> score_batch(std::span<const double> y,
-                                std::span<const double> pattern,
-                                const std::vector<WarpSpec>& specs,
-                                std::size_t guard,
-                                runtime::Executor* executor) {
-  const auto one = [&](std::size_t i) {
-    return sync_score(y, pattern, specs[i], guard);
-  };
-  if (executor != nullptr && executor->thread_count() > 1 &&
-      specs.size() > 1) {
-    return executor->parallel_map<double>(specs.size(), one);
-  }
-  std::vector<double> scores(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) scores[i] = one(i);
-  return scores;
-}
 
 std::size_t argmax(const std::vector<double>& scores) {
   std::size_t best = 0;
@@ -61,6 +42,16 @@ SyncEstimate find_sync(std::span<const double> y,
   if (pattern.empty()) {
     throw std::invalid_argument("find_sync: empty pattern");
   }
+  const CandidateEngine engine(
+      std::vector<double>(pattern.begin(), pattern.end()));
+  return find_sync(engine, y, config, executor);
+}
+
+SyncEstimate find_sync(const CandidateEngine& engine,
+                       std::span<const double> y,
+                       const BlindSyncConfig& config,
+                       runtime::Executor* executor) {
+  const std::vector<double>& pattern = engine.pattern();
   SyncEstimate est;
   const std::size_t period = pattern.size();
   if (y.size() < period + 1) return est;  // nothing to lock onto
@@ -69,7 +60,7 @@ SyncEstimate find_sync(std::span<const double> y,
   const auto batch = [&](std::span<const double> trace,
                          const std::vector<WarpSpec>& specs) {
     evaluations += specs.size();
-    return score_batch(trace, pattern, specs, config.guard, executor);
+    return engine.score_batch(trace, specs, config.guard, executor);
   };
 
   // ---- Stage 1: coarse ratio lattice on a truncated window. A ratio
@@ -95,14 +86,42 @@ SyncEstimate find_sync(std::span<const double> y,
     lattice.push_back(s);
   }
   const std::vector<double> coarse_scores = batch(yw, lattice);
-  double ratio = lattice[argmax(coarse_scores)].ratio;
+  std::size_t best_point = argmax(coarse_scores);
+
+  // Progressive resolution (opt-in, BlindSyncConfig::coarse_top_k): the
+  // window scores rank the lattice, the full trace decides among the
+  // top K — so only K of the 2*half_points+1 candidates ever pay a
+  // full-length sweep. With the knob off the window argmax decides
+  // alone, the historical behaviour.
+  const bool pruned = config.coarse_top_k > 0 &&
+                      config.coarse_top_k < lattice.size() &&
+                      window < y.size();
+  if (pruned) {
+    std::vector<std::size_t> order(lattice.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return coarse_scores[a] > coarse_scores[b];
+                     });  // ties keep the lower lattice index first
+    order.resize(config.coarse_top_k);
+    std::sort(order.begin(), order.end());  // deterministic batch order
+    std::vector<WarpSpec> finalists;
+    finalists.reserve(order.size());
+    for (const std::size_t i : order) finalists.push_back(lattice[i]);
+    best_point = order[argmax(batch(y, finalists))];
+  }
+  double ratio = lattice[best_point].ratio;
 
   // ---- Stages 2+3: grid-zoom refinement on the full trace,
   // coordinate-descending over (ratio, drift). Each round probes a
   // 9-point grid across the bracket and shrinks it 4x around the best.
+  // In pruned mode the ratio rounds except the last probe the window
+  // instead (a ratio error coarse enough to survive a round is visible
+  // there); drift rounds always use the full trace — drift is
+  // invisible on the short window.
   double drift = 0.0;
   const auto refine = [&](double center, double half_span,
-                          const auto& make_spec) {
+                          std::size_t window_rounds, const auto& make_spec) {
     double best = center;
     for (std::size_t round = 0; round < config.refine_rounds; ++round) {
       std::vector<WarpSpec> grid;
@@ -114,16 +133,20 @@ SyncEstimate find_sync(std::span<const double> y,
         values.push_back(v);
         grid.push_back(make_spec(v));
       }
-      const std::vector<double> scores = batch(y, grid);
+      const std::span<const double> trace =
+          round < window_rounds ? yw : std::span<const double>(y);
+      const std::vector<double> scores = batch(trace, grid);
       best = values[argmax(scores)];
       half_span /= 4.0;
     }
     return best;
   };
+  const std::size_t ratio_window_rounds =
+      pruned && config.refine_rounds > 0 ? config.refine_rounds - 1 : 0;
 
   const std::size_t rounds = std::max<std::size_t>(1, config.descent_rounds);
   for (std::size_t round = 0; round < rounds; ++round) {
-    ratio = refine(ratio, coarse_step, [&](double v) {
+    ratio = refine(ratio, coarse_step, ratio_window_rounds, [&](double v) {
       WarpSpec s;
       s.ratio = v;
       s.drift = drift;
@@ -146,7 +169,7 @@ SyncEstimate find_sync(std::span<const double> y,
       }
       drift = values[argmax(batch(y, grid))];
     }
-    drift = refine(drift, config.max_drift / 4.0, [&](double v) {
+    drift = refine(drift, config.max_drift / 4.0, 0, [&](double v) {
       WarpSpec s;
       s.ratio = ratio;
       s.drift = v;
@@ -156,7 +179,9 @@ SyncEstimate find_sync(std::span<const double> y,
 
   // ---- Stage 4: fractional offset. Probe three sub-cycle shifts and
   // fit a parabola through their scores; keep the vertex only when it
-  // actually beats the unshifted lock (sign- and noise-robust).
+  // actually beats the unshifted lock (sign- and noise-robust). The
+  // vertex probe counts toward `evaluations` whether or not it wins —
+  // the counter tracks scored candidates, not accepted ones.
   WarpSpec correction;
   correction.ratio = ratio;
   correction.drift = drift;

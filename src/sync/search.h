@@ -36,21 +36,37 @@ struct SpreadSpectrum;
 
 namespace clockmark::sync {
 
+class CandidateEngine;
+
 /// One probe of the search: warps the trace, runs the rotation sweep,
 /// and returns the peak z-score (the lock metric). Exposed for tests
-/// and for callers that want to score a known correction.
+/// and for callers that want to score a known correction. This is the
+/// reference implementation of the lock metric; the search itself
+/// probes through a CandidateEngine, which returns bit-identical scores
+/// without the per-probe setup cost (see sync/engine.h).
 double sync_score(std::span<const double> y, std::span<const double> pattern,
                   const WarpSpec& spec, std::size_t guard);
 
 /// Runs the coarse-to-fine search and returns the recovered correction
 /// plus lock statistics. `pattern` is one period of the 0/1 model
 /// vector (cpa::to_model_pattern). A non-null executor parallelises the
-/// coarse lattice scan with bit-identical results (scores are computed
+/// candidate batches with bit-identical results (scores are computed
 /// independently per candidate; the argmax is taken serially).
 /// Traces shorter than one pattern period return locked = false with an
 /// identity correction.
 SyncEstimate find_sync(std::span<const double> y,
                        std::span<const double> pattern,
+                       const BlindSyncConfig& config = {},
+                       runtime::Executor* executor = nullptr);
+
+/// Same search against a prebuilt engine (the engine carries the
+/// pattern). Callers that lock repeatedly against one pattern — the
+/// detection facade, the streaming detector, the desync-attack studies
+/// — build the engine once and reuse its cached transforms across
+/// searches. find_sync(y, pattern, ...) is exactly this with a
+/// throwaway engine.
+SyncEstimate find_sync(const CandidateEngine& engine,
+                       std::span<const double> y,
                        const BlindSyncConfig& config = {},
                        runtime::Executor* executor = nullptr);
 

@@ -79,7 +79,11 @@ struct SyncEstimate {
   double confidence = 0.0;
   /// True when the locked peak clears BlindSyncConfig::min_lock_z.
   bool locked = false;
-  /// Spread-spectrum sweeps evaluated by the search (cost telemetry).
+  /// Cost telemetry: total candidates the search scored — every spec
+  /// whose spread spectrum was evaluated, whether or not its score was
+  /// accepted. Counts coarse-window probes and full-trace probes alike,
+  /// and includes the fractional-offset stage's parabola-vertex probe
+  /// even when the vertex loses to the best grid point.
   std::size_t evaluations = 0;
 };
 
@@ -112,6 +116,16 @@ struct BlindSyncConfig {
   /// Skip the drift stages entirely (cheaper when the capture is known
   /// to be drift-free, e.g. short traces).
   bool search_drift = true;
+  /// Progressive-resolution pruning of the coarse ratio lattice.
+  /// 0 (default) = exact historical behaviour: every lattice point is
+  /// scored on the coarse window and only the argmax survives. K > 0 =
+  /// keep the top K window-scored lattice points and rescore just those
+  /// on the full trace before picking the stage-1 winner; later ratio
+  /// refinement rounds also probe the window first. This changes which
+  /// candidate stage 1 hands to refinement (scores come from different
+  /// trace lengths), so it is opt-in; on the in-tree chips it locks
+  /// onto the same peak at a fraction of the full-trace sweeps.
+  std::size_t coarse_top_k = 0;
 };
 
 }  // namespace clockmark::sync

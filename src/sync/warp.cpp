@@ -35,11 +35,21 @@ std::size_t warp_output_size(const WarpSpec& spec, std::size_t n) {
 
 std::vector<double> warp_trace(std::span<const double> y,
                                const WarpSpec& spec) {
+  std::vector<double> out;
+  warp_trace_into(y, spec, out);
+  return out;
+}
+
+std::size_t warp_trace_into(std::span<const double> y, const WarpSpec& spec,
+                            std::vector<double>& out) {
   validate(spec);
-  if (spec.is_identity()) return std::vector<double>(y.begin(), y.end());
+  if (spec.is_identity()) {
+    out.assign(y.begin(), y.end());
+    return out.size();
+  }
   const std::size_t n = y.size();
   const std::size_t out_n = warp_output_size(spec, n);
-  std::vector<double> out(out_n);
+  out.resize(out_n);
   const double last = static_cast<double>(n - 1);
   for (std::size_t k = 0; k < out_n; ++k) {
     const double pos = warp_position(spec, k);
@@ -53,7 +63,7 @@ std::vector<double> warp_trace(std::span<const double> y,
       out[k] = lerp(y[q], y[q + 1], f);
     }
   }
-  return out;
+  return out_n;
 }
 
 StreamWarper::StreamWarper(const WarpSpec& spec) : spec_(spec) {

@@ -25,6 +25,14 @@ std::size_t warp_output_size(const WarpSpec& spec, std::size_t n);
 std::vector<double> warp_trace(std::span<const double> y,
                                const WarpSpec& spec);
 
+/// warp_trace into a caller-provided buffer (resized to the output
+/// length; existing capacity is reused). Returns the output length.
+/// Bit-identical samples to warp_trace — the overload exists so batch
+/// scoring loops can warp thousands of candidates without a fresh
+/// allocation per probe.
+std::size_t warp_trace_into(std::span<const double> y, const WarpSpec& spec,
+                            std::vector<double>& out);
+
 /// Chunked warp with bounded lookahead: buffers just enough raw samples
 /// to interpolate the next output sample. feed() appends newly
 /// computable warped samples to `out`; finish() flushes the tail once

@@ -1,0 +1,144 @@
+// The register-blocked multi-rotation kernel (cpa/rotations_blocked.cpp)
+// carries a bit-identity contract: every lane must return exactly the
+// bits of the scalar correlate_at for its rotation — not merely close.
+// These tests sweep the block geometry (pattern widths around the lane
+// count, every remainder phase, every lane count) so both the contiguous
+// fast path and the wrap path are exercised, plus the degenerate inputs
+// (zero variance, short and empty measurements) where the kernel must
+// reproduce correlate_at's guards.
+#include "cpa/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sequence/lfsr.h"
+#include "sequence/polynomials.h"
+#include "util/rng.h"
+
+namespace clockmark::cpa {
+namespace {
+
+std::vector<double> m_sequence_pattern(unsigned width) {
+  sequence::Lfsr lfsr(width, sequence::maximal_taps(width), 1);
+  std::vector<double> p((1u << width) - 1u);
+  for (auto& v : p) v = lfsr.step() ? 1.0 : 0.0;
+  return p;
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.gaussian(0.0, 1.0);
+  return v;
+}
+
+/// EXPECT_EQ (exact bits) between every blocked lane and correlate_at,
+/// for all first_rotation phases and all lane counts up to the cap.
+void expect_lanes_match(const std::vector<double>& y,
+                        const std::vector<double>& pattern) {
+  const std::size_t p = pattern.size();
+  for (std::size_t first = 0; first < p; ++first) {
+    for (std::size_t lanes = 1; lanes <= kRotationBlockLanes; ++lanes) {
+      std::vector<double> rho(lanes, -2.0);
+      correlate_rotations_blocked(y, pattern, first, rho);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t r = (first + l) % p;
+        EXPECT_EQ(rho[l], correlate_at(y, pattern, r))
+            << "p=" << p << " n=" << y.size() << " first=" << first
+            << " lanes=" << lanes << " lane=" << l;
+      }
+    }
+  }
+}
+
+TEST(BlockedKernel, BitIdenticalToCorrelateAtAcrossWidthsAndPhases) {
+  // Pattern lengths bracketing the lane count (1..9 around B = 8) hit
+  // every fast-path/wrap-path split: p < B runs the wrap path only,
+  // p = B wraps every period, p > B slides the contiguous window.
+  for (std::size_t p = 1; p <= 9; ++p) {
+    const std::vector<double> pattern = random_values(p, 100 + p);
+    // Lengths cover n < p, n = p, a non-multiple and a longer tiling.
+    for (const std::size_t n :
+         {p > 1 ? p - 1 : std::size_t{1}, p, 2 * p + 3, std::size_t{57}}) {
+      expect_lanes_match(random_values(n, 200 + n), pattern);
+    }
+  }
+}
+
+TEST(BlockedKernel, MSequenceSweepMatchesCorrelateAtAndNaiveDispatch) {
+  // The chip-I shape: P = 31 m-sequence model over a realistic trace.
+  const auto pattern = m_sequence_pattern(5);
+  const std::size_t period = pattern.size();
+  std::vector<double> y = random_values(4000, 7);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] += 0.5 * pattern[(i + 11) % period];
+  }
+
+  std::vector<double> rho(period, 0.0);
+  for (std::size_t r0 = 0; r0 < period; r0 += kRotationBlockLanes) {
+    const std::size_t count = std::min(kRotationBlockLanes, period - r0);
+    correlate_rotations_blocked(y, pattern, r0,
+                                std::span<double>(rho).subspan(r0, count));
+  }
+  const auto dispatched =
+      correlate_rotations(y, pattern, CorrelationMethod::kNaive);
+  for (std::size_t r = 0; r < period; ++r) {
+    EXPECT_EQ(rho[r], correlate_at(y, pattern, r)) << "r=" << r;
+    EXPECT_EQ(rho[r], dispatched[r]) << "r=" << r;
+  }
+}
+
+TEST(BlockedKernel, ZeroVariancePatternScoresZero) {
+  // A constant pattern window has sxx_c exactly 0 for every rotation;
+  // the kernel must keep correlate_at's rho = 0 guard, not divide.
+  const std::vector<double> pattern(5, 1.0);
+  const std::vector<double> y = random_values(100, 3);
+  expect_lanes_match(y, pattern);
+  std::vector<double> rho(kRotationBlockLanes, -2.0);
+  correlate_rotations_blocked(y, pattern, 0, rho);
+  for (const double v : rho) EXPECT_EQ(v, 0.0);
+}
+
+TEST(BlockedKernel, ZeroVarianceMeasurementScoresZero) {
+  const auto pattern = m_sequence_pattern(3);
+  const std::vector<double> y(50, 2.5);  // syy = 0
+  expect_lanes_match(y, pattern);
+  std::vector<double> rho(3, -2.0);
+  correlate_rotations_blocked(y, pattern, 1, rho);
+  for (const double v : rho) EXPECT_EQ(v, 0.0);
+}
+
+TEST(BlockedKernel, MeasurementShorterThanPattern) {
+  // n < p: zero full periods, the remainder window is the whole model.
+  const auto pattern = m_sequence_pattern(5);  // P = 31
+  expect_lanes_match(random_values(7, 17), pattern);
+}
+
+TEST(BlockedKernel, EmptyMeasurementYieldsZeros) {
+  const auto pattern = m_sequence_pattern(3);
+  std::vector<double> rho(4, -2.0);
+  correlate_rotations_blocked(std::span<const double>{}, pattern, 2, rho);
+  for (const double v : rho) EXPECT_EQ(v, 0.0);
+}
+
+TEST(BlockedKernel, RejectsOversizedBlockAndEmptyPattern) {
+  const auto pattern = m_sequence_pattern(3);
+  const std::vector<double> y = random_values(10, 1);
+  std::vector<double> rho(kRotationBlockLanes + 1, 0.0);
+  EXPECT_THROW(correlate_rotations_blocked(y, pattern, 0, rho),
+               std::invalid_argument);
+  std::vector<double> one(1, 0.0);
+  EXPECT_THROW(
+      correlate_rotations_blocked(y, std::span<const double>{}, 0, one),
+      std::invalid_argument);
+  // Zero lanes is a no-op, not an error (the dispatch never emits it,
+  // but the contract is total).
+  correlate_rotations_blocked(y, pattern, 0, std::span<double>{});
+}
+
+}  // namespace
+}  // namespace clockmark::cpa
