@@ -1,0 +1,168 @@
+// Ablation: detection-service throughput under a multi-tenant job mix.
+//
+// A DetectionService with a bounded fair queue takes --jobs batch
+// detections spread round-robin over --tenants tenants. Every tenant
+// references the same small set of scenario captures, so the run shows
+// what the ResourceBroker buys: the expensive gate-level
+// characterisations are built once and every later job rides the memo.
+// Two phases are measured separately:
+//
+//   triggered   plain batch verdicts over memoized scenario traces —
+//               the scheduling + cache fast path;
+//   blind       the same captures decided with blind synchronisation,
+//               sharing one CandidateEngine across all tenants.
+//
+// --json=PATH writes jobs_per_sec / run_s_per_rep per phase
+// (BENCH_service.json in the tier-1 smoke run; the committed baseline in
+// bench_results/ was recorded with the smoke flags at --threads=1).
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/service.h"
+#include "util/csv.h"
+
+using namespace clockmark;
+
+namespace {
+
+struct PhaseResult {
+  double wall_s = 0.0;
+  double mean_run_s = 0.0;
+  std::size_t done = 0;
+  std::size_t scenario_hits = 0;
+  std::size_t engine_hits = 0;
+};
+
+PhaseResult run_phase(serve::DetectionService& service, std::size_t jobs,
+                      std::size_t tenants,
+                      const std::vector<serve::ScenarioRef>& refs,
+                      bool blind) {
+  std::vector<serve::JobTicket> tickets;
+  tickets.reserve(jobs);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < jobs; ++i) {
+    serve::JobSpec spec;
+    spec.tenant = "tenant-" + std::to_string(i % tenants);
+    spec.scenario = refs[i % refs.size()];
+    spec.scenario->repetition = i;  // distinct captures, one memo each
+    if (blind) spec.request.sync = sync::SyncPolicy::kBlind;
+    tickets.push_back(service.submit(std::move(spec)));
+  }
+  PhaseResult result;
+  for (const serve::JobTicket& ticket : tickets) {
+    const serve::JobResult r = ticket.result.get();
+    if (r.status == serve::JobStatus::kDone) ++result.done;
+    result.mean_run_s += r.timing.run_s;
+    result.scenario_hits += r.cache.scenario_hit ? 1 : 0;
+    result.engine_hits += r.cache.engine_hit ? 1 : 0;
+  }
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  if (!tickets.empty()) {
+    result.mean_run_s /= static_cast<double>(tickets.size());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Cli cli(argc, argv, {.cycles = 20000});
+  const auto jobs = static_cast<std::size_t>(cli.args().get_int("jobs", 32));
+  const auto tenants = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cli.args().get_int("tenants", 4)));
+  const auto queue_capacity =
+      static_cast<std::size_t>(cli.args().get_int("queue", 64));
+  cli.reject_unknown();
+  bench::print_header(
+      "abl_service_load — multi-tenant detection service throughput",
+      "Sec. V detection, served as scheduled jobs over shared caches");
+
+  serve::ServiceConfig config;
+  config.workers = cli.threads();
+  config.queue_capacity = queue_capacity;
+  config.executor = cli.executor();
+  serve::DetectionService service(config);
+
+  // One scenario memo per tenant (distinct seeds), every tenant's jobs
+  // cycling over all of them — cross-tenant sharing by construction.
+  std::vector<serve::ScenarioRef> refs(std::min<std::size_t>(tenants, 4));
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    refs[i].chip = 1;
+    refs[i].trace_cycles = cli.cycles();
+    refs[i].seed = cli.seed() != 0 ? cli.seed() + i : 1 + i;
+    refs[i].scope_noise_v_rms = 2e-3;
+    refs[i].probe_noise_v_rms = 0.5e-3;
+  }
+
+  const std::size_t blind_jobs = std::max<std::size_t>(2, jobs / 4);
+  std::cout << jobs << " triggered + " << blind_jobs << " blind jobs, "
+            << tenants << " tenants, " << config.workers << " worker(s), "
+            << cli.cycles() << "-cycle captures, queue " << queue_capacity
+            << "\n\n";
+
+  const PhaseResult triggered =
+      run_phase(service, jobs, tenants, refs, /*blind=*/false);
+  const PhaseResult blind =
+      run_phase(service, blind_jobs, tenants, refs, /*blind=*/true);
+  service.shutdown(/*drain_queued=*/true);
+
+  const serve::ServiceStats stats = service.stats();
+  util::CsvWriter csv(cli.out_file("abl_service_load.csv"));
+  csv.header({"phase", "jobs", "tenants", "wall_s", "jobs_per_sec",
+              "mean_run_s", "scenario_hits", "engine_hits"});
+  const auto report = [&](const char* phase, std::size_t n,
+                          const PhaseResult& r) {
+    const double per_sec =
+        r.wall_s > 0.0 ? static_cast<double>(n) / r.wall_s : 0.0;
+    std::cout << std::left << std::setw(9) << phase << ": " << r.done << "/"
+              << n << " verdicts in "
+              << r.wall_s << "s (" << per_sec << " jobs/s, mean run "
+              << r.mean_run_s << "s, scenario hits " << r.scenario_hits
+              << "/" << n << ", engine hits " << r.engine_hits << "/" << n
+              << ")\n";
+    csv.text_row({phase, std::to_string(n), std::to_string(tenants),
+                  std::to_string(r.wall_s), std::to_string(per_sec),
+                  std::to_string(r.mean_run_s),
+                  std::to_string(r.scenario_hits),
+                  std::to_string(r.engine_hits)});
+    return per_sec;
+  };
+  const double triggered_per_sec = report("triggered", jobs, triggered);
+  const double blind_per_sec = report("blind", blind_jobs, blind);
+  std::cout << "\nqueue high-water " << stats.queue.high_water << "/"
+            << stats.queue.capacity << ", broker "
+            << stats.broker.hits << " hits / " << stats.broker.misses
+            << " builds, " << stats.broker.bytes << " bytes retained\n";
+
+  if (triggered.done != jobs || blind.done != blind_jobs) {
+    std::cerr << "error: not every job produced a verdict\n";
+    return 1;
+  }
+
+  if (!cli.json_path().empty()) {
+    bench::BenchJson json("abl_service_load", cli.threads());
+    auto& t = json.add_record("triggered");
+    bench::BenchJson::add_metric(t, "jobs_per_sec", triggered_per_sec);
+    bench::BenchJson::add_metric(t, "run_s_per_rep", triggered.mean_run_s);
+    bench::BenchJson::add_metric(
+        t, "scenario_hit_rate",
+        static_cast<double>(triggered.scenario_hits) /
+            static_cast<double>(jobs));
+    auto& b = json.add_record("blind");
+    bench::BenchJson::add_metric(b, "jobs_per_sec", blind_per_sec);
+    bench::BenchJson::add_metric(b, "run_s_per_rep", blind.mean_run_s);
+    bench::BenchJson::add_metric(
+        b, "engine_hit_rate",
+        static_cast<double>(blind.engine_hits) /
+            static_cast<double>(blind_jobs));
+    if (!json.write(cli.json_path())) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// The detection daemon: a DetectionService behind a ServiceHost, serving
+// the length-prefixed binary protocol on a TCP port until a client sends
+// kShutdown. Pair it with detect_submit, or run --selftest for the
+// self-contained smoke tier-1 uses: the daemon comes up on an ephemeral
+// port, a TcpClient submits a batch chip-I scenario job and a blind-sync
+// job over a desynced CMTRACE2 file, verifies both verdicts, cancels a
+// third still-queued job, asks for shutdown, and the process exits 0
+// only if every step behaved.
+//
+//   $ ./detect_serve [--port=0] [--workers=1] [--queue=64] [--chunk=4096]
+//                    [--threads=0] [--selftest]
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "attack/desync.h"
+#include "measure/trace_io.h"
+#include "runtime/executor.h"
+#include "serve/client.h"
+#include "serve/host.h"
+#include "serve/service.h"
+#include "sim/scenario.h"
+#include "util/args.h"
+
+using namespace clockmark;
+
+namespace {
+
+const char* status_name(serve::JobStatus status) {
+  switch (status) {
+    case serve::JobStatus::kQueued: return "queued";
+    case serve::JobStatus::kRunning: return "running";
+    case serve::JobStatus::kDone: return "done";
+    case serve::JobStatus::kCancelled: return "cancelled";
+    case serve::JobStatus::kFailed: return "failed";
+    case serve::JobStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+void print_result(const char* label, const serve::WireResult& r) {
+  std::cout << "  " << label << ": job " << r.id << " [" << r.tenant << "] "
+            << status_name(r.status);
+  if (r.status == serve::JobStatus::kDone) {
+    std::cout << " — " << (r.detected ? "DETECTED" : "not detected")
+              << " over " << r.cycles << " cycles (peak z " << r.peak_z
+              << ", queue " << r.queue_s << "s, run " << r.run_s << "s"
+              << (r.scenario_hit ? ", scenario cache hit" : "")
+              << (r.engine_hit ? ", engine cache hit" : "") << ")";
+  } else if (!r.error.empty()) {
+    std::cout << " — " << r.error;
+  }
+  std::cout << "\n";
+}
+
+// The tier-1 smoke: everything a deployment does, in one process.
+int selftest(serve::DetectionService& service, runtime::Executor&) {
+  serve::ServiceHost host(service, {});  // ephemeral port
+  std::cout << "selftest: daemon on 127.0.0.1:" << host.port() << "\n";
+  serve::TcpClient client("127.0.0.1", host.port());
+
+  // Job 1 — batch detection on a chip-I scenario reference (the server
+  // synthesises and memoizes the trace; the test-suite noise overrides
+  // keep the short trace deterministic).
+  serve::JobSpec chip1;
+  chip1.tenant = "vendor-a";
+  chip1.scenario = serve::ScenarioRef{};
+  chip1.scenario->chip = 1;
+  chip1.scenario->trace_cycles = 20000;
+  chip1.scenario->scope_noise_v_rms = 2e-3;
+  chip1.scenario->probe_noise_v_rms = 0.5e-3;
+  const serve::SubmitOutcome first = client.submit(chip1);
+  if (!first.accepted()) {
+    std::cerr << "selftest: chip-I submit rejected: "
+              << first.rejected->error << "\n";
+    return 1;
+  }
+
+  // Job 2 — blind sync over a desynced CMTRACE2 file: a watermarked
+  // capture shifted 19.7 cycles with no recorded trigger offset, so only
+  // the blind lock can realign it.
+  sim::ScenarioConfig cfg = sim::chip1_default();
+  cfg.trace_cycles = 20000;
+  cfg.acquisition.scope.noise_v_rms = 2e-3;
+  cfg.acquisition.probe.noise_v_rms = 0.5e-3;
+  const sim::Scenario scenario(cfg);
+  const auto run = scenario.run(0);
+  attack::DesyncAttack attack;
+  attack.kind = attack::DesyncKind::kFixedOffset;
+  attack.offset_cycles = 19.7;
+  const std::vector<double> desynced =
+      attack::apply_desync(run.acquisition.per_cycle_power_w, attack);
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "detect_serve_selftest.cmtrace")
+          .string();
+  measure::write_trace_binary(trace_path, desynced, measure::TraceMeta{});
+
+  serve::JobSpec blind;
+  blind.tenant = "vendor-b";
+  blind.pattern = run.pattern;
+  blind.trace_file = trace_path;
+  blind.request.sync = sync::SyncPolicy::kBlind;
+  const serve::SubmitOutcome second = client.submit(blind);
+  if (!second.accepted()) {
+    std::cerr << "selftest: blind-file submit rejected: "
+              << second.rejected->error << "\n";
+    return 1;
+  }
+
+  // Job 3 — low priority, queued behind the other two (one worker), so
+  // the cancel deterministically pulls it out of the queue.
+  serve::JobSpec doomed = chip1;
+  doomed.tenant = "vendor-c";
+  doomed.priority = serve::JobPriority::kLow;
+  doomed.scenario->seed = 99;  // distinct work, never executed
+  const serve::SubmitOutcome third = client.submit(doomed);
+  if (!third.accepted()) {
+    std::cerr << "selftest: third submit rejected\n";
+    return 1;
+  }
+  if (!client.cancel(third.id)) {
+    std::cerr << "selftest: cancel of queued job " << third.id
+              << " not accepted\n";
+    return 1;
+  }
+
+  const serve::WireResult r1 = client.wait(first.id);
+  const serve::WireResult r2 = client.wait(second.id);
+  const serve::WireResult r3 = client.wait(third.id);
+  print_result("chip-I batch", r1);
+  print_result("blind file  ", r2);
+  print_result("cancelled   ", r3);
+  std::filesystem::remove(trace_path);
+
+  bool ok = true;
+  if (r1.status != serve::JobStatus::kDone || !r1.detected) {
+    std::cerr << "selftest: chip-I scenario job should detect\n";
+    ok = false;
+  }
+  if (r2.status != serve::JobStatus::kDone || !r2.detected ||
+      !r2.sync.has_value() || !r2.sync->locked) {
+    std::cerr << "selftest: blind file job should lock and detect\n";
+    ok = false;
+  }
+  if (r3.status != serve::JobStatus::kCancelled) {
+    std::cerr << "selftest: cancelled job ended " << status_name(r3.status)
+              << ", expected cancelled\n";
+    ok = false;
+  }
+
+  client.shutdown_server();
+  host.wait_for_shutdown();
+  host.stop();
+  service.shutdown(/*drain_queued=*/true);
+  const serve::ServiceStats stats = service.stats();
+  std::cout << "selftest: " << stats.completed << " done, "
+            << stats.cancelled << " cancelled, queue high-water "
+            << stats.queue.high_water << "/" << stats.queue.capacity
+            << ", clean shutdown\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  serve::ServiceConfig config;
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 64));
+  config.chunk_cycles = static_cast<std::size_t>(args.get_int("chunk", 4096));
+  serve::HostConfig host_config;
+  host_config.port =
+      static_cast<std::uint16_t>(args.get_int("port", 0));
+  const bool run_selftest = args.has("selftest");
+  runtime::Executor executor(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  config.executor = &executor;
+  args.reject_unknown();
+
+  serve::DetectionService service(config);
+  if (run_selftest) return selftest(service, executor);
+
+  serve::ServiceHost host(service, host_config);
+  std::cout << "cm_serve listening on 127.0.0.1:" << host.port() << " ("
+            << config.workers << " worker(s), queue "
+            << config.queue_capacity << ")\n"
+            << "stop with: detect_submit --port=" << host.port()
+            << " --shutdown" << std::endl;  // flush: scripts scrape the port
+  host.wait_for_shutdown();
+  host.stop();
+  service.shutdown(/*drain_queued=*/true);
+  std::cout << "cm_serve: drained and stopped\n";
+  return 0;
+}

@@ -26,7 +26,10 @@ Comparison rules (kept deliberately small):
     "speedup") fail when current < baseline * (1 - max_regression),
   * lower-is-better timing metrics (anything ending in "_s_per_rep" or
     "_s_per_iter") fail when current > baseline * (1 + max_regression),
-  * other metrics (cycles, thresholds, flags) are ignored.
+  * other metrics (cycles, thresholds, flags) are ignored,
+  * a tracked baseline metric absent from a *matched* fresh record fails
+    the gate with a pointer at --update (the bench stopped emitting a
+    number the gate was guarding).
 
 Baselines are recorded on the reference box (single core, gcc -O3); the
 default 25 % margin absorbs normal scheduler/turbo noise there. On
@@ -147,15 +150,26 @@ def main(argv):
                 return 1
 
     failures = []
+    missing = []
     compared = 0
     for name, base_metrics in sorted(baseline.items()):
         if name not in current:
+            # Not an error: smoke runs filter benches down to a subset of
+            # the baseline's records.
             print(f"  [skip] record '{name}' missing from current run")
             continue
         cur_metrics = current[name]
         for metric, base_value in sorted(base_metrics.items()):
             direction = classify(metric)
-            if direction is None or metric not in cur_metrics:
+            if direction is None:
+                continue
+            if metric not in cur_metrics:
+                # A matched record that stopped emitting a tracked metric
+                # means the bench changed shape: the gate would silently
+                # stop guarding that number. Fail with a pointer instead.
+                print(f"  [missing] {name}.{metric}: in baseline but absent "
+                      f"from the fresh record")
+                missing.append(f"{name}.{metric}")
                 continue
             cur_value = cur_metrics[metric]
             if base_value <= 0.0:
@@ -185,6 +199,15 @@ def main(argv):
             f"{args.current} ({len(current)} record(s))"
         )
         return 0
+    if missing:
+        print(
+            f"perf gate: {bench_cur}: {len(missing)} baseline metric(s) "
+            "missing from the fresh record: " + ", ".join(missing) + ". "
+            "The bench no longer emits them; if the rename/removal is "
+            "intentional, re-record the baseline with --update.",
+            file=sys.stderr,
+        )
+        return 1
     if compared == 0:
         print(
             f"perf gate: no comparable metrics between {args.baseline} and "

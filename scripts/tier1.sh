@@ -51,8 +51,14 @@ fi
 ./build/bench/abl_sync_search --reps=2 --cycles=60000 \
   --threads="${SMOKE_THREADS}" --out="${SMOKE_DIR}/sync" \
   --json="${SMOKE_DIR}/BENCH_sync.json" > "${SMOKE_DIR}/sync.log"
+# --threads=1 regardless of the box: the committed BENCH_service.json
+# baseline is a single-worker record, and service throughput scales with
+# the worker count.
+./build/bench/abl_service_load --jobs=12 --tenants=4 --threads=1 \
+  --cycles=12000 --out="${SMOKE_DIR}/service" \
+  --json="${SMOKE_DIR}/BENCH_service.json" > "${SMOKE_DIR}/service.log"
 for f in BENCH_cpa_speed.json BENCH_fig6.json BENCH_stream.json \
-    BENCH_acq.json BENCH_sync.json; do
+    BENCH_acq.json BENCH_sync.json BENCH_service.json; do
   if [[ ! -s "${SMOKE_DIR}/${f}" ]]; then
     echo "bench smoke: missing or empty ${SMOKE_DIR}/${f}" >&2
     exit 1
@@ -74,6 +80,15 @@ scripts/perf_gate.py --baseline bench_results/BENCH_cpa_speed.json \
   --current "${SMOKE_DIR}/BENCH_cpa_speed.json"
 scripts/perf_gate.py --baseline bench_results/BENCH_sync.json \
   --current "${SMOKE_DIR}/BENCH_sync.json"
+scripts/perf_gate.py --baseline bench_results/BENCH_service.json \
+  --current "${SMOKE_DIR}/BENCH_service.json"
+
+echo "=== tier-1: detection-service smoke (detect_serve --selftest) ==="
+# The daemon comes up on an ephemeral port, a TCP client submits a batch
+# chip-I scenario job and a blind-sync job over a desynced CMTRACE2
+# file, verifies both verdicts, cancels a third queued job, and asks for
+# a clean shutdown — exit 0 only if every step behaved.
+./build/examples/detect_serve --selftest > "${SMOKE_DIR}/serve_selftest.log"
 
 echo "=== tier-1: design-rule lint gate (cm_lint) ==="
 LINT_DIR=build/lint_smoke
@@ -112,11 +127,11 @@ fi
 echo "=== tier-1: TSan pass (runtime + dsp + sim + stream + sync tests) ==="
 cmake -B build-tsan -S . -DCLOCKMARK_SANITIZE=thread
 cmake --build build-tsan -j --target test_runtime test_dsp test_integration \
-  test_stream test_sync test_detect
+  test_stream test_sync test_detect test_serve
 # Note: -j needs an explicit value here — a bare `-j` would consume the
 # following -R as its argument and run the whole (partially built) list.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads|Warp|BlindSync|Chips/BlindSyncChips|SyncEngine|Chips/SyncEngineChips|DetectFacade|DetectFile)')
+  -R '^(ThreadPool|Executor|SeedDerive|ParallelCorrelation|ParallelStudy|Scenario|ScenarioMemo|FftPlan|EndToEnd|BoundedQueue|OnlineDetector|StreamPipeline|TraceIo|RotationAccumulator|ChipsAndThreads|Warp|BlindSync|Chips/BlindSyncChips|SyncEngine|Chips/SyncEngineChips|DetectFacade|DetectFile|EngineCacheLru|ServeQueue|ServeBroker|ServeService|ServeProtocol|ServeLocalClient|ServeHost)')
 
 echo "=== tier-1: UBSan pass (sequence + dsp + cpa tests) ==="
 # -fno-sanitize-recover=all: any triggered check aborts the binary, so a

@@ -1,0 +1,84 @@
+#include "detect/engine_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sync/engine.h"
+
+namespace clockmark::detect {
+
+namespace {
+
+// FNV-1a over the pattern's byte image. Cheap and good enough as a
+// first-pass discriminator; a full element compare backs it up, so a
+// hash collision costs a comparison, never a wrong engine.
+std::uint64_t pattern_key(std::span<const double> pattern) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double v : pattern) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+bool same_pattern(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
+EngineCache::EngineCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+  entries_.reserve(capacity_);
+}
+
+std::shared_ptr<const sync::CandidateEngine> EngineCache::acquire(
+    std::span<const double> pattern, bool* hit) {
+  if (pattern.empty()) {
+    if (hit != nullptr) *hit = false;
+    return nullptr;
+  }
+  const std::uint64_t key = pattern_key(pattern);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++clock_;
+  for (Entry& entry : entries_) {
+    if (entry.key == key && same_pattern(entry.engine->pattern(), pattern)) {
+      entry.last_use = clock_;
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      return entry.engine;
+    }
+  }
+  ++stats_.misses;
+  if (hit != nullptr) *hit = false;
+  auto engine = std::make_shared<const sync::CandidateEngine>(
+      std::vector<double>(pattern.begin(), pattern.end()));
+  if (entries_.size() >= capacity_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_use < b.last_use; });
+    ++stats_.evictions;
+    *victim = Entry{key, engine, clock_};
+  } else {
+    entries_.push_back(Entry{key, engine, clock_});
+  }
+  stats_.entries = entries_.size();
+  return engine;
+}
+
+EngineCacheStats EngineCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineCacheStats out = stats_;
+  out.entries = entries_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+}  // namespace clockmark::detect

@@ -1,25 +1,15 @@
 #include "detect/session.h"
 
-#include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "cpa/confidence.h"
+#include "measure/trace_io.h"
 #include "sync/engine.h"
 #include "sync/search.h"
 #include "sync/warp.h"
 
 namespace clockmark::detect {
-
-/// Lazily-built scoring engine for kBlind requests, shared by Session
-/// copies. The engine is keyed by the pattern it was built for —
-/// rebuilt when a run (e.g. a Scenario with its own pattern) asks for a
-/// different one.
-struct Session::EngineCache {
-  std::mutex mu;
-  std::shared_ptr<const sync::CandidateEngine> engine;
-};
 
 namespace {
 
@@ -69,26 +59,19 @@ Report run_batch(const Request& request, std::span<const double> y,
 
 }  // namespace
 
-Session::Session(Request request, std::vector<double> pattern)
+Session::Session(Request request, std::vector<double> pattern,
+                 std::shared_ptr<EngineCache> engines)
     : request_(std::move(request)),
       pattern_(std::move(pattern)),
-      engine_cache_(std::make_shared<EngineCache>()) {}
+      engine_cache_(engines != nullptr ? std::move(engines)
+                                       : std::make_shared<EngineCache>()) {}
 
 std::shared_ptr<const sync::CandidateEngine> Session::engine_for(
     std::span<const double> pattern) const {
   if (request_.sync != sync::SyncPolicy::kBlind || pattern.empty()) {
     return nullptr;
   }
-  std::lock_guard<std::mutex> lock(engine_cache_->mu);
-  std::shared_ptr<const sync::CandidateEngine>& engine =
-      engine_cache_->engine;
-  if (engine == nullptr ||
-      !std::equal(engine->pattern().begin(), engine->pattern().end(),
-                  pattern.begin(), pattern.end())) {
-    engine = std::make_shared<const sync::CandidateEngine>(
-        std::vector<double>(pattern.begin(), pattern.end()));
-  }
-  return engine;
+  return engine_cache_->acquire(pattern);
 }
 
 Report Session::run(std::span<const double> y,
@@ -112,11 +95,8 @@ Report Session::run(const sim::Scenario& scenario, std::size_t repetition,
   return report;
 }
 
-stream::StreamPipelineConfig Session::pipeline_config(
-    const Request& request) const {
-  stream::StreamPipelineConfig cfg;
-  cfg.queue_capacity = request.streaming.queue_capacity;
-  stream::OnlineDetectorConfig& d = cfg.detector;
+stream::OnlineDetectorConfig stream_detector_config(const Request& request) {
+  stream::OnlineDetectorConfig d;
   d.policy = request.policy;
   d.method = request.method;
   d.early_stop = request.streaming.early_stop;
@@ -128,6 +108,38 @@ stream::StreamPipelineConfig Session::pipeline_config(
   d.known_warp = request.known_warp;
   d.blind = request.blind;
   d.lock_cycles = request.lock_cycles;
+  return d;
+}
+
+Report report_from_decision(const stream::OnlineDecision& decision,
+                            const Request& request) {
+  Report report;
+  report.detection = decision.result;
+  report.detected = decision.detected;
+  report.confidence = decision.confidence;
+  report.cycles =
+      decision.decided ? decision.decision_cycles : decision.cycles;
+  report.sync = decision.sync;
+  if (!report.sync && request.sync == sync::SyncPolicy::kKnownOffset &&
+      !request.known_warp.is_identity()) {
+    sync::SyncEstimate applied;
+    applied.correction = request.known_warp;
+    applied.locked = true;
+    report.sync = applied;
+  }
+  return report;
+}
+
+stream::StreamPipelineConfig Session::pipeline_config(
+    const Request& request) const {
+  stream::StreamPipelineConfig cfg;
+  cfg.queue_capacity = request.streaming.queue_capacity;
+  cfg.detector = stream_detector_config(request);
+  // Blind streams reuse the session's cached engine for the lock; the
+  // lock itself is bit-identical either way (same pattern, same search).
+  if (request.sync == sync::SyncPolicy::kBlind) {
+    cfg.detector.engine = engine_cache_->acquire(pattern_);
+  }
   return cfg;
 }
 
@@ -141,20 +153,7 @@ Report Session::run_stream(stream::TraceSource& source,
   }
   const stream::StreamPipeline pipeline(pipeline_config(request));
   stream::StreamReport sr = pipeline.run(source, pattern_, executor);
-  Report report;
-  report.detection = sr.decision.result;
-  report.detected = sr.decision.detected;
-  report.confidence = sr.decision.confidence;
-  report.cycles = sr.decision.decided ? sr.decision.decision_cycles
-                                      : sr.decision.cycles;
-  report.sync = sr.decision.sync;
-  if (!report.sync && request.sync == sync::SyncPolicy::kKnownOffset &&
-      !request.known_warp.is_identity()) {
-    sync::SyncEstimate applied;
-    applied.correction = request.known_warp;
-    applied.locked = true;
-    report.sync = applied;
-  }
+  Report report = report_from_decision(sr.decision, request);
   report.stream = std::move(sr);
   return report;
 }
@@ -164,23 +163,26 @@ Report Session::run(stream::TraceSource& source,
   return run_stream(source, request_, executor);
 }
 
-Report Session::run_file(const std::string& path,
-                         runtime::Executor* executor) const {
-  stream::ReplaySource source(path, request_.streaming.chunk_cycles);
-  Request effective = request_;
-  const measure::TraceMeta& meta = source.meta();
-  if (effective.use_file_meta &&
-      effective.sync == sync::SyncPolicy::kTriggered &&
+Request Session::with_file_meta(Request request,
+                                const measure::TraceMeta& meta) {
+  if (request.use_file_meta && request.sync == sync::SyncPolicy::kTriggered &&
       meta.trigger_offset_cycles != 0.0) {
-    effective.sync = sync::SyncPolicy::kKnownOffset;
-    effective.known_warp = sync::WarpSpec{};
+    request.sync = sync::SyncPolicy::kKnownOffset;
+    request.known_warp = sync::WarpSpec{};
     // The metadata records the misalignment (a capture that started m
     // cycles late reads y[m + k]); the warp is the correction applied on
     // top, so it must shift the other way — the same convention as
     // SyncEstimate, whose offset_cycles is -correction.offset_cycles.
-    effective.known_warp.offset_cycles = -meta.trigger_offset_cycles;
+    request.known_warp.offset_cycles = -meta.trigger_offset_cycles;
   }
-  return run_stream(source, effective, executor);
+  return request;
+}
+
+Report Session::run_file(const std::string& path,
+                         runtime::Executor* executor) const {
+  stream::ReplaySource source(path, request_.streaming.chunk_cycles);
+  return run_stream(source, with_file_meta(request_, source.meta()),
+                    executor);
 }
 
 }  // namespace clockmark::detect

@@ -33,10 +33,15 @@
 #include <vector>
 
 #include "cpa/detector.h"
+#include "detect/engine_cache.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "stream/pipeline.h"
 #include "sync/types.h"
+
+namespace clockmark::measure {
+struct TraceMeta;
+}
 
 namespace clockmark::runtime {
 class Executor;
@@ -98,12 +103,27 @@ struct Report {
   std::optional<sim::ScenarioResult> scenario;  ///< simulated inputs
 };
 
+/// The OnlineDetector configuration a Request maps to — the single
+/// translation both Session's streaming path and external drivers (the
+/// cm_serve service runs detectors directly for cancellability) use, so
+/// their verdicts stay bit-identical to Session::run.
+stream::OnlineDetectorConfig stream_detector_config(const Request& request);
+
+/// Folds a finished OnlineDecision into a Report under `request` —
+/// verdict, confidence, cycles, and the sync echo for kKnownOffset
+/// (Report.stream / .scenario are left for the caller to attach).
+Report report_from_decision(const stream::OnlineDecision& decision,
+                            const Request& request);
+
 class Session {
  public:
   /// Binds a request and the expected watermark pattern (one period of
   /// WMARK). The pattern may be empty only if every run goes through the
-  /// Scenario overload, which carries its own pattern.
-  explicit Session(Request request = {}, std::vector<double> pattern = {});
+  /// Scenario overload, which carries its own pattern. A non-null
+  /// `engines` cache is shared (e.g. across a service's sessions);
+  /// otherwise the Session owns a private one.
+  explicit Session(Request request = {}, std::vector<double> pattern = {},
+                   std::shared_ptr<EngineCache> engines = nullptr);
 
   /// Batch detection over a materialised per-cycle power trace. The
   /// executor, when non-null, parallelises the blind search (the sweep
@@ -130,20 +150,32 @@ class Session {
   Report run_file(const std::string& path,
                   runtime::Executor* executor = nullptr) const;
 
+  /// The metadata upgrade run_file applies, exposed for callers that
+  /// stream file-shaped payloads themselves (the service receives
+  /// CMTRACE2 frames over the wire): when `request` is kTriggered, the
+  /// metadata upgrade is allowed (use_file_meta) and the capture
+  /// records a trigger offset, returns the request upgraded to
+  /// kKnownOffset with the compensating warp; otherwise returns the
+  /// request unchanged.
+  static Request with_file_meta(Request request,
+                                const measure::TraceMeta& meta);
+
   const Request& request() const noexcept { return request_; }
   const std::vector<double>& pattern() const noexcept { return pattern_; }
+  /// The shared engine cache (never null). Its stats answer "how often
+  /// did runs reuse a blind-search engine?".
+  const std::shared_ptr<EngineCache>& engines() const noexcept {
+    return engine_cache_;
+  }
 
  private:
   stream::StreamPipelineConfig pipeline_config(const Request& request) const;
   Report run_stream(stream::TraceSource& source, const Request& request,
                     runtime::Executor* executor) const;
-  /// kBlind requests only: the sync::CandidateEngine for `pattern`,
-  /// built on first use and reused across run() calls (copies of the
-  /// Session share it). nullptr for non-blind requests.
+  /// kBlind requests only: the sync::CandidateEngine for `pattern` from
+  /// the shared cache. nullptr for non-blind requests.
   std::shared_ptr<const sync::CandidateEngine> engine_for(
       std::span<const double> pattern) const;
-
-  struct EngineCache;
 
   Request request_;
   std::vector<double> pattern_;

@@ -129,6 +129,34 @@ TraceFileReader::TraceFileReader(const std::string& path)
       meta_.sample_rate_hz = fields[1];
       meta_.trigger_offset_cycles = fields[2];
     }
+    // Validate the payload size up front so a truncated or corrupt file
+    // fails at open, with a diagnosable message, instead of silently
+    // replaying a short trace (a too-short trace reads as "watermark
+    // absent" — the worst possible failure mode for a detector input).
+    const std::streamoff header_bytes = in_.tellg();
+    in_.seekg(0, std::ios::end);
+    const std::streamoff file_bytes = in_.tellg();
+    in_.seekg(header_bytes);
+    if (header_bytes < 0 || file_bytes < header_bytes || !in_.good()) {
+      throw std::runtime_error("TraceFileReader: cannot size " + path);
+    }
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(file_bytes - header_bytes);
+    if (count > payload / sizeof(double)) {
+      throw std::runtime_error(
+          "TraceFileReader: truncated trace " + path + ": header claims " +
+          std::to_string(count) + " cycles (" +
+          std::to_string(count * static_cast<std::uint64_t>(sizeof(double))) +
+          " payload bytes) but the file holds only " +
+          std::to_string(payload) + " bytes of samples");
+    }
+    if (payload != count * sizeof(double)) {
+      throw std::runtime_error(
+          "TraceFileReader: corrupt trace " + path + ": " +
+          std::to_string(payload - count * sizeof(double)) +
+          " trailing bytes after the " + std::to_string(count) +
+          " cycles the header claims");
+    }
     total_ = static_cast<std::size_t>(count);
   } else {
     // CSV: rewind, then consume the leading comment/blank block looking
@@ -166,7 +194,12 @@ std::size_t TraceFileReader::read(std::span<double> out) {
              static_cast<std::streamsize>(want * sizeof(double)));
     const auto got = static_cast<std::size_t>(in_.gcount()) / sizeof(double);
     if (got < want && produced_ + got < *total_) {
-      throw std::runtime_error("TraceFileReader: file shorter than header");
+      // The open-time size check makes this unreachable for a file that
+      // held still; it fires when the file shrank after open.
+      throw std::runtime_error(
+          "TraceFileReader: file shorter than header: got " +
+          std::to_string(produced_ + got) + " of " + std::to_string(*total_) +
+          " cycles");
     }
     produced_ += got;
     return got;

@@ -1,0 +1,119 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace clockmark::serve {
+
+SubmitOutcome interpret_submit_response(const Frame& response) {
+  if (response.type == MsgType::kSubmitAck) {
+    return SubmitOutcome{decode_submit_ack(response), std::nullopt};
+  }
+  if (response.type == MsgType::kResult) {
+    WireResult result = decode_result(response);
+    return SubmitOutcome{result.id, std::move(result)};
+  }
+  if (response.type == MsgType::kError) {
+    throw std::runtime_error("submit failed: " + decode_error(response));
+  }
+  throw ProtocolError("unexpected submit response type " +
+                      std::to_string(static_cast<int>(response.type)));
+}
+
+namespace {
+
+WireResult interpret_wait_response(const Frame& response) {
+  if (response.type == MsgType::kResult) return decode_result(response);
+  if (response.type == MsgType::kError) {
+    throw std::runtime_error("wait failed: " + decode_error(response));
+  }
+  throw ProtocolError("unexpected wait response type " +
+                      std::to_string(static_cast<int>(response.type)));
+}
+
+}  // namespace
+
+Frame LocalClient::round_trip(const Frame& request) {
+  // Pack/unpack both directions: the in-process path must not be able
+  // to pass anything the wire couldn't carry.
+  const Frame decoded_request = unpack_frame(pack_frame(request));
+  const Frame response = dispatcher_.handle(decoded_request);
+  return unpack_frame(pack_frame(response));
+}
+
+SubmitOutcome LocalClient::submit(const JobSpec& spec) {
+  return interpret_submit_response(round_trip(encode_submit(spec)));
+}
+
+WireResult LocalClient::wait(std::uint64_t id) {
+  return interpret_wait_response(round_trip(encode_wait(id)));
+}
+
+bool LocalClient::cancel(std::uint64_t id) {
+  return decode_cancel_ack(round_trip(encode_cancel(id)));
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("TcpClient: socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("TcpClient: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("TcpClient: connect to " + host + ":" +
+                             std::to_string(port) + ": " + why);
+  }
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame TcpClient::round_trip(const Frame& request) {
+  write_frame(fd_, request);
+  std::optional<Frame> response = read_frame(fd_);
+  if (!response.has_value()) {
+    throw std::runtime_error("TcpClient: server closed the connection");
+  }
+  return std::move(*response);
+}
+
+SubmitOutcome TcpClient::submit(const JobSpec& spec) {
+  return interpret_submit_response(round_trip(encode_submit(spec)));
+}
+
+WireResult TcpClient::wait(std::uint64_t id) {
+  return interpret_wait_response(round_trip(encode_wait(id)));
+}
+
+bool TcpClient::cancel(std::uint64_t id) {
+  return decode_cancel_ack(round_trip(encode_cancel(id)));
+}
+
+void TcpClient::shutdown_server() {
+  const Frame response = round_trip(encode_shutdown());
+  if (response.type != MsgType::kShutdownAck) {
+    throw ProtocolError("unexpected shutdown response type " +
+                        std::to_string(static_cast<int>(response.type)));
+  }
+}
+
+}  // namespace clockmark::serve

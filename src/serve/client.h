@@ -1,0 +1,76 @@
+// Clients for the detection service.
+//
+//   LocalClient  in-process: every request is packed to wire bytes,
+//                unpacked, dispatched, and the response packed/unpacked
+//                again — the full codec round trip with no socket, so
+//                tests and benches exercise exactly the bytes a TCP
+//                client would put on the wire.
+//   TcpClient    the real thing: a blocking connection to a
+//                ServiceHost. One request in flight at a time per
+//                client (the protocol is strictly request/response).
+//
+// Both expose the same calls; throw ProtocolError on malformed peer
+// responses and std::runtime_error on transport failure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/dispatch.h"
+#include "serve/protocol.h"
+
+namespace clockmark::serve {
+
+/// What a submit came back with: an accepted id to wait on, or the
+/// immediately-resolved rejection.
+struct SubmitOutcome {
+  std::uint64_t id = 0;
+  std::optional<WireResult> rejected;
+
+  bool accepted() const noexcept { return !rejected.has_value(); }
+};
+
+class LocalClient {
+ public:
+  explicit LocalClient(DetectionService& service) : dispatcher_(service) {}
+
+  SubmitOutcome submit(const JobSpec& spec);
+  /// Blocks until the job is terminal. The id must be one this client
+  /// submitted (per-connection ticket scoping).
+  WireResult wait(std::uint64_t id);
+  bool cancel(std::uint64_t id);
+
+ private:
+  Frame round_trip(const Frame& request);
+
+  Dispatcher dispatcher_;
+};
+
+class TcpClient {
+ public:
+  /// Connects (IPv4 dotted-quad host). Throws on refusal.
+  TcpClient(const std::string& host, std::uint16_t port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  SubmitOutcome submit(const JobSpec& spec);
+  WireResult wait(std::uint64_t id);
+  bool cancel(std::uint64_t id);
+  /// Asks the daemon to stop (acknowledged before it does).
+  void shutdown_server();
+
+ private:
+  Frame round_trip(const Frame& request);
+
+  int fd_ = -1;
+};
+
+/// Shared submit/response interpretation for both clients: kSubmitAck →
+/// accepted id, kResult → immediate rejection, kError → throws.
+SubmitOutcome interpret_submit_response(const Frame& response);
+
+}  // namespace clockmark::serve

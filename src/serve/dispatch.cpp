@@ -1,0 +1,64 @@
+#include "serve/dispatch.h"
+
+#include <chrono>
+#include <utility>
+
+namespace clockmark::serve {
+
+Frame Dispatcher::handle(const Frame& request) {
+  try {
+    switch (request.type) {
+      case MsgType::kSubmit: {
+        JobSpec spec = decode_submit(request);
+        JobTicket ticket = service_.submit(std::move(spec));
+        // A rejection resolves the future before submit() returns;
+        // answer with the result straight away instead of making the
+        // client wait on an id that may be 0.
+        if (ticket.result.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          const JobResult& result = ticket.result.get();
+          if (result.status == JobStatus::kRejected) {
+            return encode_result(to_wire(result));
+          }
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          tickets_.emplace(ticket.id, ticket);
+        }
+        return encode_submit_ack(ticket.id);
+      }
+      case MsgType::kWait: {
+        const std::uint64_t id = decode_wait(request);
+        JobTicket ticket;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          const auto it = tickets_.find(id);
+          if (it == tickets_.end()) {
+            return encode_error("unknown job id " + std::to_string(id) +
+                                " (not submitted on this connection?)");
+          }
+          ticket = it->second;
+        }
+        const JobResult& result = ticket.result.get();  // blocks
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          tickets_.erase(id);
+        }
+        return encode_result(to_wire(result));
+      }
+      case MsgType::kCancel: {
+        const std::uint64_t id = decode_cancel(request);
+        return encode_cancel_ack(service_.cancel(id));
+      }
+      case MsgType::kShutdown:
+        return encode_shutdown_ack();
+      default:
+        return encode_error("unexpected frame type " +
+                            std::to_string(static_cast<int>(request.type)));
+    }
+  } catch (const std::exception& e) {
+    return encode_error(e.what());
+  }
+}
+
+}  // namespace clockmark::serve

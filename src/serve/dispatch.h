@@ -1,0 +1,45 @@
+// Frame-level request handling, shared by every transport: the TCP host
+// hands each decoded frame to a Dispatcher, and the in-process
+// LocalClient round-trips frames through one directly — same code path,
+// so a behaviour the tests pin down in-process is the behaviour on the
+// socket.
+//
+// One Dispatcher per connection: it owns the JobTickets for the jobs
+// *this* connection submitted (a kWait can only await your own jobs —
+// ticket futures are the capability, ids alone are not).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace clockmark::serve {
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DetectionService& service) : service_(service) {}
+
+  /// Handles one request frame and returns the response frame. kWait
+  /// blocks until the awaited job is terminal. Malformed or unexpected
+  /// frames come back as kError — the connection survives; a request
+  /// that *cannot* produce a response does not exist in this protocol.
+  ///
+  /// Responses by request type:
+  ///   kSubmit   → kSubmitAck (queued) | kResult (immediate rejection)
+  ///   kWait     → kResult | kError (unknown id)
+  ///   kCancel   → kCancelAck
+  ///   kShutdown → kShutdownAck (the transport decides what "stop"
+  ///               means — see ServiceHost)
+  Frame handle(const Frame& request);
+
+ private:
+  DetectionService& service_;
+  std::mutex mu_;
+  std::map<std::uint64_t, JobTicket> tickets_;
+};
+
+}  // namespace clockmark::serve

@@ -1,0 +1,72 @@
+// Blocking-socket TCP front door for the detection service. One accept
+// thread, one thread per connection, one Dispatcher per connection —
+// plain threads over the same FairQueue backpressure the in-process
+// path has, which is all a trusted-LAN verification daemon needs (the
+// paper's workflow is an IP vendor submitting traces for verdicts, not
+// a public endpoint).
+//
+// Lifecycle: the constructor binds (port 0 = ephemeral; port() tells
+// you what the kernel picked) and starts accepting. A kShutdown frame
+// from any client acknowledges, then unblocks wait(); the daemon's main
+// thread then calls stop(), which closes the listener and every live
+// connection and joins all threads. stop() is also safe to call first
+// (Ctrl-C path) and from the destructor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace clockmark::serve {
+
+struct HostConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+  int backlog = 16;
+};
+
+class ServiceHost {
+ public:
+  /// Binds and starts the accept loop; throws std::runtime_error when
+  /// the socket can't be bound. The service must outlive the host.
+  ServiceHost(DetectionService& service, HostConfig config = {});
+  ~ServiceHost();
+
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a client sent kShutdown or stop() was called.
+  void wait_for_shutdown();
+
+  /// Closes the listener and all connections, joins every thread.
+  /// Idempotent. Does NOT shut down the DetectionService — the daemon
+  /// decides whether to drain it first.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void request_shutdown();
+
+  DetectionService& service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace clockmark::serve

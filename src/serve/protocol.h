@@ -1,0 +1,153 @@
+// The service's wire protocol: length-prefixed binary frames over a
+// byte stream.
+//
+// Frame layout (little-endian, like every on-disk format in this repo):
+//
+//   u32 length      bytes that follow (type byte + payload)
+//   u8  type        MsgType
+//   ... payload     message-specific, see the codec functions
+//
+// A kSubmit's inline trace rides inside the frame as a CMTRACE2 block —
+// byte-for-byte the header+payload measure::write_trace_binary writes
+// (magic, u64 cycle count, 3×f64 capture metadata, raw doubles) — so
+// the service speaks the same trace dialect on the wire as on disk, and
+// applies the same truncation rejection: a count that doesn't match the
+// bytes actually present is a ProtocolError, never a silently short
+// trace.
+//
+// Results cross the wire as a WireResult summary (verdict, confidence,
+// peak statistics, sync estimate, timing, cache telemetry). The full
+// rho spectrum stays server-side: it is O(pattern period) doubles per
+// job and remote callers decide on the summary; in-process callers who
+// need the spectrum hold the JobTicket future, which carries the whole
+// detect::Report.
+//
+// Every decoder validates its input and throws ProtocolError on
+// underrun, overrun, bad magic or an unknown enum value — a malformed
+// frame must fail the one request, not wedge the connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace clockmark::serve {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& reason)
+      : std::runtime_error("serve protocol: " + reason) {}
+};
+
+enum class MsgType : std::uint8_t {
+  kSubmit = 1,       ///< client → server: JobSpec
+  kSubmitAck = 2,    ///< server → client: job id
+  kWait = 3,         ///< client → server: block until job id is terminal
+  kResult = 4,       ///< server → client: WireResult
+  kCancel = 5,       ///< client → server: job id
+  kCancelAck = 6,    ///< server → client: cancellation accepted?
+  kShutdown = 7,     ///< client → server: stop the daemon
+  kShutdownAck = 8,  ///< server → client: acknowledged, closing
+  kError = 9,        ///< server → client: request failed, message
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Frames larger than this are rejected before allocation — a corrupt
+/// length prefix must not look like a 4 GiB allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28u;  // 256 MiB
+
+/// The blind-lock / known-offset estimate, flattened.
+struct WireSync {
+  double offset_cycles = 0.0;  ///< correction warp
+  double ratio = 1.0;
+  double drift = 0.0;
+  std::uint64_t peak_rotation = 0;
+  double total_offset_cycles = 0.0;  ///< SyncEstimate::offset_cycles
+  double peak_z = 0.0;
+  double confidence = 0.0;
+  bool locked = false;
+  std::uint64_t evaluations = 0;
+};
+
+/// The result summary that crosses the wire (see header comment).
+struct WireResult {
+  std::uint64_t id = 0;
+  std::string tenant;
+  JobStatus status = JobStatus::kQueued;
+  bool detected = false;
+  double confidence = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t peak_rotation = 0;
+  double peak_z = 0.0;
+  std::string reason;  ///< cpa::DetectionResult::reason
+  std::optional<WireSync> sync;
+  std::string error;
+  double queue_s = 0.0;
+  double run_s = 0.0;
+  bool engine_hit = false;
+  bool scenario_hit = false;
+  std::uint64_t broker_hits = 0;
+  std::uint64_t broker_misses = 0;
+  std::uint64_t broker_evictions = 0;
+  std::uint64_t engine_hits = 0;
+  std::uint64_t engine_misses = 0;
+  std::uint64_t engine_evictions = 0;
+};
+
+/// JobResult → wire summary.
+WireResult to_wire(const JobResult& result);
+
+// --- message codecs -------------------------------------------------
+// encode_* produce a complete Frame; decode_* validate the frame type
+// and payload and throw ProtocolError on anything malformed.
+
+Frame encode_submit(const JobSpec& spec);
+JobSpec decode_submit(const Frame& frame);
+
+Frame encode_submit_ack(std::uint64_t id);
+std::uint64_t decode_submit_ack(const Frame& frame);
+
+Frame encode_wait(std::uint64_t id);
+std::uint64_t decode_wait(const Frame& frame);
+
+Frame encode_result(const WireResult& result);
+WireResult decode_result(const Frame& frame);
+
+Frame encode_cancel(std::uint64_t id);
+std::uint64_t decode_cancel(const Frame& frame);
+
+Frame encode_cancel_ack(bool accepted);
+bool decode_cancel_ack(const Frame& frame);
+
+Frame encode_shutdown();
+Frame encode_shutdown_ack();
+
+Frame encode_error(const std::string& message);
+std::string decode_error(const Frame& frame);
+
+// --- frame I/O over a byte stream ----------------------------------
+
+/// Serialises a frame (length prefix + type + payload).
+std::vector<std::uint8_t> pack_frame(const Frame& frame);
+
+/// Parses one frame from `bytes`, which must hold exactly one packed
+/// frame (tests; socket I/O uses the fd variants below).
+Frame unpack_frame(std::span<const std::uint8_t> bytes);
+
+/// Blocking frame I/O on a connected socket / pipe fd. read_frame
+/// returns nullopt on clean EOF before any byte of a frame; a torn
+/// frame (EOF mid-frame) or oversized length throws ProtocolError.
+void write_frame(int fd, const Frame& frame);
+std::optional<Frame> read_frame(int fd);
+
+}  // namespace clockmark::serve

@@ -35,8 +35,13 @@ OnlineDetector::OnlineDetector(std::vector<double> pattern,
     warper_ = std::make_unique<sync::StreamWarper>(config_.known_warp);
   }
   if (config_.sync_policy == sync::SyncPolicy::kBlind) {
-    engine_ = std::make_shared<const sync::CandidateEngine>(
-        accumulator_.pattern());
+    if (config_.engine != nullptr &&
+        config_.engine->pattern() == accumulator_.pattern()) {
+      engine_ = config_.engine;
+    } else {
+      engine_ = std::make_shared<const sync::CandidateEngine>(
+          accumulator_.pattern());
+    }
   }
 }
 

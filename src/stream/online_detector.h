@@ -82,6 +82,12 @@ struct OnlineDetectorConfig {
   /// the lock runs on everything ingested at finalize() — which is the
   /// batch-identical configuration when set >= the stream length.
   std::size_t lock_cycles = 0;
+  /// kBlind: pre-built scoring engine to use for the lock instead of
+  /// constructing a fresh one — lets Sessions and services amortise the
+  /// engine's pattern tables across detectors (detect::EngineCache).
+  /// Used only when it was built for this detector's pattern; scores
+  /// are engine-state-independent, so sharing is bit-identical.
+  std::shared_ptr<const sync::CandidateEngine> engine;
 };
 
 struct OnlineDecision {

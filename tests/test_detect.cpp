@@ -6,8 +6,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <system_error>
+#include <thread>
 #include <vector>
 
 #include "attack/desync.h"
@@ -318,6 +322,172 @@ TEST(DetectFile, DesyncedTraceRoundTripAndMetaDrivenCorrection) {
   const detect::Report untouched =
       detect::Session(raw, r.pattern).run_file(path);
   EXPECT_FALSE(untouched.sync.has_value());
+}
+
+TEST(TraceIo, TruncatedBinaryPayloadIsRejectedAtOpen) {
+  const std::string path = temp_path("truncated.cmtrace");
+  const std::vector<double> y(64, 1.25);
+  measure::TraceMeta meta;
+  meta.trigger_offset_cycles = 2.5;
+  measure::write_trace_binary(path, y, meta);
+
+  // Hand-truncate the file: drop the last 24 samples' bytes.
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(path, full - 24 * sizeof(double), ec);
+  ASSERT_FALSE(ec);
+
+  try {
+    measure::TraceFileReader reader(path);
+    FAIL() << "truncated CMTRACE2 must be rejected at open";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("64 cycles"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  // The streaming front door rejects it identically.
+  EXPECT_THROW(stream::ReplaySource(path, 16), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedLegacyV1PayloadIsRejectedAtOpen) {
+  const std::string path = temp_path("truncated_v1.cmtrace");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("CMTRACE1", 8);
+    const std::uint64_t claimed = 100;  // header lies: only 3 samples follow
+    out.write(reinterpret_cast<const char*>(&claimed), sizeof(claimed));
+    const double samples[3] = {1.0, 2.0, 3.0};
+    out.write(reinterpret_cast<const char*>(samples), sizeof(samples));
+  }
+  EXPECT_THROW(measure::TraceFileReader{path}, std::runtime_error);
+}
+
+TEST(TraceIo, TrailingGarbageAfterPayloadIsRejected) {
+  const std::string path = temp_path("trailing.cmtrace");
+  const std::vector<double> y = {0.5, 1.5, 2.5};
+  measure::write_trace_binary(path, y, {});
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("junk", 4);  // 4 stray bytes after the payload
+  }
+  try {
+    measure::TraceFileReader reader(path);
+    FAIL() << "trailing bytes must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt"), std::string::npos) << what;
+    EXPECT_NE(what.find("4 trailing bytes"), std::string::npos) << what;
+  }
+}
+
+TEST(EngineCacheLru, HitsMissesAndPointerIdentity) {
+  detect::EngineCache cache(2);
+  const std::vector<double> a = {1.0, -1.0, 1.0, -1.0};
+  const std::vector<double> b = {1.0, 1.0, -1.0, -1.0};
+
+  bool hit = true;
+  const auto first = cache.acquire(a, &hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(hit);
+  const auto again = cache.acquire(a, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), again.get());  // same engine, not a rebuild
+  cache.acquire(b, &hit);
+  EXPECT_FALSE(hit);
+
+  const detect::EngineCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(cache.acquire({}, &hit), nullptr);  // empty pattern: no engine
+}
+
+TEST(EngineCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
+  detect::EngineCache cache(2);
+  const std::vector<double> a = {1.0, -1.0};
+  const std::vector<double> b = {2.0, -2.0};
+  const std::vector<double> c = {3.0, -3.0};
+
+  cache.acquire(a);
+  cache.acquire(b);
+  cache.acquire(a);  // refresh a: b is now the LRU
+  cache.acquire(c);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  bool hit = false;
+  cache.acquire(a, &hit);
+  EXPECT_TRUE(hit);  // a survived
+  cache.acquire(b, &hit);
+  EXPECT_FALSE(hit);  // b was the victim
+}
+
+TEST(EngineCacheLru, SharedEngineVerdictBitIdenticalToPrivateOne) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 9.8;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  detect::Request request;
+  request.sync = sync::SyncPolicy::kBlind;
+
+  // Two sessions over one cache: the second is served the first's
+  // engine, and the verdict is bit-identical to a cold session's.
+  const auto shared = std::make_shared<detect::EngineCache>();
+  const detect::Session cold(request, r.pattern, shared);
+  const detect::Report baseline = cold.run(attacked);
+  const detect::Session warm(request, r.pattern, shared);
+  const detect::Report reused = warm.run(attacked);
+  expect_identical(reused.detection, baseline.detection);
+  EXPECT_EQ(shared->stats().misses, 1u);
+  EXPECT_GE(shared->stats().hits, 1u);
+}
+
+TEST(DetectFacade, ConcurrentSessionReuseBitIdentical) {
+  // N threads hammering one Session (and through it one EngineCache /
+  // one CandidateEngine) must each produce the serial verdict bit for
+  // bit — the data-race half of that claim is what the tier-1 TSan run
+  // of this test checks.
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto r = sc.run(0);
+  attack::DesyncAttack a;
+  a.kind = attack::DesyncKind::kFixedOffset;
+  a.offset_cycles = 21.3;
+  const std::vector<double> attacked =
+      attack::apply_desync(r.acquisition.per_cycle_power_w, a);
+
+  detect::Request request;
+  request.sync = sync::SyncPolicy::kBlind;
+  const detect::Session session(request, r.pattern);
+  const detect::Report serial = session.run(attacked);
+
+  constexpr int kThreads = 4;
+  std::vector<detect::Report> reports(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&, t] { reports[static_cast<std::size_t>(t)] =
+                       session.run(attacked); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (const detect::Report& report : reports) {
+    expect_identical(report.detection, serial.detection);
+    ASSERT_TRUE(report.sync.has_value());
+    EXPECT_EQ(report.sync->peak_z, serial.sync->peak_z);
+  }
+  // One engine build total; every other run was a cache hit.
+  EXPECT_EQ(session.engines()->stats().misses, 1u);
+  EXPECT_GE(session.engines()->stats().hits,
+            static_cast<std::size_t>(kThreads));
 }
 
 TEST(DetectFacade, ParallelExecutorBitIdenticalOnBlindBatch) {
