@@ -3,9 +3,11 @@
 //
 //   lint_design                      # chip/embedding presets, text report
 //   lint_design --designs=all        # presets + the removable baseline
+//   lint_design --soc=soc.yaml       # lint a user-described clock tree
 //   lint_design --sweep              # add a WGC key sweep
 //   lint_design --json               # cm-lint-1 JSON document on stdout
 //   lint_design --rules=wgc-primitivity,sequence-balance
+//   lint_design --severity-floor=warning
 //   lint_design --list-rules
 //
 // Exits 1 when any error-severity finding survives (CI gate), 2 on bad
@@ -23,6 +25,8 @@
 #include "lint/rule.h"
 #include "sequence/gold.h"
 #include "sim/scenario.h"
+#include "socdesc/elaborate.h"
+#include "socdesc/parser.h"
 #include "util/args.h"
 #include "wgc/wgc.h"
 
@@ -81,14 +85,24 @@ void list_rules(const lint::RuleRegistry& registry) {
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
-  const std::string group = args.get("designs", "presets");
+  const std::string soc_path = args.get("soc", "");
+  // With --soc and no explicit --designs, lint just the described SoC.
+  const std::string group =
+      args.get("designs", soc_path.empty() ? "presets" : "none");
   const bool sweep = args.get_bool("sweep", false);
   const bool json = args.has("json");
   const std::string out_path = args.get("out", "");
   const std::string rules_csv = args.get("rules", "");
   const bool quiet = args.get_bool("quiet", false);
+  const std::string floor = args.get("severity-floor", "");
   const bool show_rules = args.get_bool("list-rules", false);
   args.reject_unknown();
+  args.reject_unknown_value("designs", group,
+                            {"presets", "load_circuit", "all", "none"});
+  if (!floor.empty()) {
+    args.reject_unknown_value("severity-floor", floor,
+                              {"note", "warning", "error"});
+  }
 
   const lint::RuleRegistry registry = lint::builtin_rules();
   if (show_rules) {
@@ -103,18 +117,32 @@ int main(int argc, char** argv) {
   if (group == "load_circuit" || group == "all") {
     designs.push_back(lint::design_load_circuit_demo("load_circuit_ip", {}));
   }
-  if (designs.empty()) {
-    std::cerr << "error: unknown --designs group '" << group
-              << "' (expected presets, load_circuit or all)\n";
-    return 2;
-  }
   if (sweep) {
     for (lint::Design& d : build_sweep()) designs.push_back(std::move(d));
+  }
+  if (!soc_path.empty()) {
+    try {
+      const socdesc::SocDescription soc =
+          socdesc::parse_description_file(soc_path);
+      for (const socdesc::ClockController& controller : soc.controllers) {
+        designs.push_back(std::move(socdesc::elaborate(controller).design));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: --soc: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (designs.empty()) {
+    std::cerr << "error: nothing to lint (--designs=none without --soc)\n";
+    return 2;
   }
 
   lint::AnalyzerOptions options;
   options.enabled_rules = split_csv(rules_csv);
   if (quiet) options.min_severity = lint::Severity::kWarning;
+  if (floor == "note") options.min_severity = lint::Severity::kInfo;
+  if (floor == "warning") options.min_severity = lint::Severity::kWarning;
+  if (floor == "error") options.min_severity = lint::Severity::kError;
 
   std::vector<lint::LintReport> reports;
   try {

@@ -116,6 +116,49 @@ if ./build/examples/lint_design --designs=load_circuit \
   exit 1
 fi
 
+echo "=== tier-1: SoC clock-description gate (cm_socdesc) ==="
+SOC_DIR=build/soc_smoke
+rm -rf "${SOC_DIR}"
+mkdir -p "${SOC_DIR}"
+# The committed multi-domain showcase must parse, elaborate and lint
+# clean through the user-description path.
+./build/examples/lint_design --soc=examples/socs/multi_domain.yaml \
+  > "${SOC_DIR}/showcase.txt"
+grep -q 'demo_soc: 0 error(s), 0 warning(s)' "${SOC_DIR}/showcase.txt" || {
+  echo "soc gate: showcase description did not lint clean" >&2
+  exit 1
+}
+# 100 generated designs through render -> parse -> elaborate -> lint:
+# the clean corpus carries zero errors and zero warnings, and two runs
+# from the same seed must agree byte for byte.
+./build/examples/soc_lint --count=100 --seed=1 \
+  --threads="${SMOKE_THREADS}" > "${SOC_DIR}/corpus.txt"
+grep -q '100/100 design(s) ok' "${SOC_DIR}/corpus.txt" || {
+  echo "soc gate: clean corpus did not lint clean" >&2
+  exit 1
+}
+./build/examples/soc_lint --count=100 --seed=1 \
+  --threads="${SMOKE_THREADS}" > "${SOC_DIR}/corpus2.txt"
+cmp -s "${SOC_DIR}/corpus.txt" "${SOC_DIR}/corpus2.txt" || {
+  echo "soc gate: corpus sweep is not deterministic from seed 1" >&2
+  exit 1
+}
+# Every planted defect kind must trip its multi-domain rule on every seed.
+for pair in "aliased-domain domain-aliasing" \
+    "test-bypass test-bypassable-watermark" \
+    "glitch-mux glitch-prone-mux" \
+    "key-collision cross-domain-collision"; do
+  defect="${pair%% *}"
+  rule="${pair##* }"
+  ./build/examples/soc_lint --count=16 --seed=1 \
+    --threads="${SMOKE_THREADS}" --defect="${defect}" \
+    > "${SOC_DIR}/defect_${defect}.txt"
+  grep -q -- "-> rule ${rule}" "${SOC_DIR}/defect_${defect}.txt" || {
+    echo "soc gate: defect ${defect} did not report rule ${rule}" >&2
+    exit 1
+  }
+done
+
 echo "=== tier-1: clang-tidy (skipped when unavailable) ==="
 scripts/lint.sh build
 
@@ -127,7 +170,11 @@ fi
 echo "=== tier-1: TSan pass (runtime + dsp + sim + stream + sync tests) ==="
 cmake -B build-tsan -S . -DCLOCKMARK_SANITIZE=thread
 cmake --build build-tsan -j --target test_runtime test_dsp test_integration \
-  test_stream test_sync test_detect test_serve
+  test_stream test_sync test_detect test_serve soc_lint
+# The corpus sweep fans designs out over the Executor: run it with more
+# workers than the box has cores so TSan sees real interleavings.
+./build-tsan/examples/soc_lint --count=16 --seed=1 --threads=4 \
+  > build/soc_smoke/tsan_sweep.txt
 # Note: -j needs an explicit value here — a bare `-j` would consume the
 # following -R as its argument and run the whole (partially built) list.
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
@@ -137,9 +184,11 @@ echo "=== tier-1: UBSan pass (sequence + dsp + cpa tests) ==="
 # -fno-sanitize-recover=all: any triggered check aborts the binary, so a
 # plain run is the gate — no log scraping.
 cmake -B build-ubsan -S . -DCLOCKMARK_SANITIZE=undefined
-cmake --build build-ubsan -j --target test_sequence test_dsp test_cpa
+cmake --build build-ubsan -j --target test_sequence test_dsp test_cpa \
+  test_socdesc
 ./build-ubsan/tests/test_sequence
 ./build-ubsan/tests/test_dsp
 ./build-ubsan/tests/test_cpa
+./build-ubsan/tests/test_socdesc
 
 echo "=== tier-1: OK ==="

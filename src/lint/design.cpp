@@ -45,6 +45,11 @@ void Design::add_watermark(WatermarkView watermark) {
   gating_icgs_.clear();
 }
 
+std::size_t Design::add_clock_domain(ClockDomainView domain) {
+  clock_domains_.push_back(std::move(domain));
+  return clock_domains_.size() - 1;
+}
+
 void Design::declare_functional(const std::vector<rtl::CellId>& flops) {
   declared_functional_.insert(declared_functional_.end(), flops.begin(),
                               flops.end());

@@ -41,6 +41,30 @@ struct WatermarkView {
   rtl::NetId wmark = rtl::kInvalidNet;      ///< WMARK output net
   std::vector<rtl::CellId> wgc_cells;       ///< the WGC proper (stages,
                                             ///< feedback, clock leaves)
+  /// Index into Design::clock_domains() of the domain this watermark
+  /// modulates, when the design carries multi-domain metadata (the
+  /// socdesc frontend). nullopt for the flat chip/demo presets.
+  std::optional<std::size_t> domain;
+};
+
+/// One clock domain of a multi-domain design — metadata the socdesc
+/// elaborator derives from a declarative clock-controller description.
+/// The flat presets never populate these, so the multi-domain rules
+/// skip them entirely (DESIGN.md §9's "presets lint clean" invariant).
+struct ClockDomainView {
+  std::string target;       ///< domain (clock target) name
+  std::string source;       ///< selected input clock name
+  double clock_hz = 0.0;    ///< effective sink clock frequency
+  unsigned division = 1;    ///< total division from the source input
+  bool inverted = false;    ///< net polarity flipped along the chain
+  /// The domain's gating ICG is forced on by the controller's DFT
+  /// test_enable signal (a bypass path around any modulation).
+  bool test_bypassable = false;
+  /// Domain is fed through a plain combinational mux with no reset —
+  /// qsoc's glitch-prone implementation choice.
+  bool mux_glitch_prone = false;
+  std::size_t mux_sources = 0;  ///< inputs reaching the domain's mux
+  std::size_t sinks = 0;        ///< clocked registers in the domain
 };
 
 /// Immutable-after-setup design view with lazily derived connectivity.
@@ -57,6 +81,13 @@ class Design {
   void add_watermark(WatermarkView watermark);
   const std::vector<WatermarkView>& watermarks() const noexcept {
     return watermarks_;
+  }
+
+  /// Multi-domain metadata (socdesc frontend). Returns the index of the
+  /// added domain for WatermarkView::domain back-references.
+  std::size_t add_clock_domain(ClockDomainView domain);
+  const std::vector<ClockDomainView>& clock_domains() const noexcept {
+    return clock_domains_;
   }
 
   /// Declares flops that hold functional state even though no primary
@@ -124,6 +155,7 @@ class Design {
   std::shared_ptr<const rtl::Netlist> netlist_;
   rtl::NetId root_clock_ = rtl::kInvalidNet;
   std::vector<WatermarkView> watermarks_;
+  std::vector<ClockDomainView> clock_domains_;
   std::vector<rtl::CellId> declared_functional_;
   std::optional<std::size_t> trace_cycles_;
   std::optional<measure::AcquisitionConfig> acquisition_;

@@ -209,6 +209,12 @@ class JsonParser {
     while (true) {
       if (peek() != '"') fail("expected object key");
       std::string key = parse_string();
+      // RFC 8259 leaves duplicate-key behaviour undefined; for a CI
+      // interchange format "pick one silently" can flip a verdict, so
+      // duplicates are malformed input here.
+      if (value.find(key) != nullptr) {
+        fail("duplicate object key \"" + key + "\"");
+      }
       expect(':');
       value.object.emplace_back(std::move(key), parse_value());
       const char next = peek();
@@ -296,8 +302,15 @@ class JsonParser {
         case 't': out += '\t'; break;
         case 'u': {
           std::uint32_t code = parse_hex4();
-          if (code >= 0xd800 && code <= 0xdbff &&
-              text_.substr(pos_, 2) == "\\u") {
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // A high surrogate is only valid as the first half of a
+            // pair; encoding it bare would emit invalid UTF-8.
+            if (text_.substr(pos_, 2) != "\\u") {
+              fail("unpaired high surrogate in \\u escape");
+            }
             pos_ += 2;
             const std::uint32_t low = parse_hex4();
             if (low < 0xdc00 || low > 0xdfff) fail("bad surrogate pair");
@@ -311,16 +324,38 @@ class JsonParser {
     }
   }
 
+  bool digit_at(std::size_t pos) const {
+    return pos < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos])) != 0;
+  }
+
+  /// RFC 8259 number grammar, enforced character by character:
+  /// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. Anything looser
+  /// ("+1", "01", ".5", "1.") is rejected instead of handed to stod.
   JsonValue parse_number() {
     const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' ||
-            text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E')) {
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit_at(pos_)) fail("expected a value");
+    if (text_[pos_] == '0') {
       ++pos_;
+      if (digit_at(pos_)) fail("leading zero in number");
+    } else {
+      while (digit_at(pos_)) ++pos_;
     }
-    if (pos_ == start) fail("expected a value");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) fail("expected digits after decimal point");
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit_at(pos_)) fail("expected exponent digits");
+      while (digit_at(pos_)) ++pos_;
+    }
     JsonValue value;
     value.kind = JsonValue::Kind::kNumber;
     try {

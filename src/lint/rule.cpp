@@ -37,6 +37,7 @@ RuleRegistry builtin_rules() {
   register_structure_rules(registry);
   register_sequence_rules(registry);
   register_acquisition_rules(registry);
+  register_domain_rules(registry);
   return registry;
 }
 

@@ -19,4 +19,10 @@ void register_sequence_rules(RuleRegistry& registry);
 /// (Sec. V).
 void register_acquisition_rules(RuleRegistry& registry);
 
+/// Multi-clock-domain rules over socdesc-elaborated designs (skipped
+/// entirely when the design carries no ClockDomainView metadata):
+/// domain-aliasing, test-bypassable-watermark, glitch-prone-mux,
+/// cross-domain-collision.
+void register_domain_rules(RuleRegistry& registry);
+
 }  // namespace clockmark::lint

@@ -1,0 +1,418 @@
+// Multi-clock-domain design rules — checks only a socdesc-elaborated
+// design can trigger: the flat chip/demo presets run everything from one
+// root clock and never populate ClockDomainView metadata, so every rule
+// here returns immediately on them (DESIGN.md §9's "presets lint clean"
+// invariant holds by construction).
+//
+// The domain metadata is authoritative for frequencies and chain shape
+// (the netlist realises dividers as power-of-two ripple chains; exact
+// declared ratios live only in the view).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/design.h"
+#include "lint/rules_internal.h"
+#include "sequence/gold.h"
+
+namespace clockmark::lint {
+namespace {
+
+/// Periods up to this are cheap to cross-correlate pairwise on the
+/// reference timeline (matches the sequence-rule family's limit).
+constexpr std::size_t kReferenceCorrelationLimit = 1u << 14;
+
+std::string mhz(double hz) {
+  std::ostringstream os;
+  os.precision(6);
+  os << hz / 1e6 << " MHz";
+  return os.str();
+}
+
+bool valid_width(const wgc::WgcConfig& config) {
+  return config.width >= 2 && config.width <= 32;
+}
+
+bool degenerate_state(const wgc::WgcConfig& config) {
+  const std::uint32_t mask =
+      config.width >= 32 ? 0xffffffffu
+                         : ((std::uint32_t{1} << config.width) - 1u);
+  const std::uint32_t state = config.seed & mask;
+  if (config.mode == wgc::WgcMode::kLfsr) return state == 0;
+  return state == 0 || state == mask;
+}
+
+/// The watermark modulating domain `index`, or nullptr.
+const WatermarkView* watermark_of_domain(const Design& design,
+                                         std::size_t index) {
+  for (const WatermarkView& wm : design.watermarks()) {
+    if (wm.domain && *wm.domain == index) return &wm;
+  }
+  return nullptr;
+}
+
+/// domain-aliasing: per-domain sampling sanity. The flat sampling-
+/// aliasing rule checks the scope against the *reference* clock; with
+/// dividers and multiple inputs every domain has its own rate, and a
+/// watermark embedded in a derived domain modulates at that rate — the
+/// scope, the per-cycle averaging and the trace length must all keep up
+/// with *it*, not with the reference.
+class DomainAliasingRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "domain-aliasing",
+        "sampling and trace must cover each watermarked domain's rate",
+        "Sec. V",
+        "For every watermarked clock domain: errors when the scope "
+        "samples below 2x the domain clock (the domain's cycle-rate "
+        "modulation aliases), errors when the domain runs faster than "
+        "the measurement reference (per-reference-cycle averaging folds "
+        "several WMARK bits into one Y sample), and checks the trace "
+        "against the divider-stretched WMARK period on the reference "
+        "timeline (a /8 domain's period is 8x longer than the flat "
+        "trace-covers-period rule assumes)."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    if (design.clock_domains().empty()) return;
+    const double reference_hz =
+        design.tech() ? design.tech()->clock_hz : 0.0;
+    for (const WatermarkView& wm : design.watermarks()) {
+      if (!wm.domain || *wm.domain >= design.clock_domains().size()) {
+        continue;
+      }
+      const ClockDomainView& d = design.clock_domains()[*wm.domain];
+      if (d.clock_hz <= 0.0) continue;
+      const std::string loc = "domain '" + d.target + "'";
+
+      if (design.acquisition()) {
+        const double rate = design.acquisition()->scope.sample_rate_hz;
+        if (rate > 0.0 && rate < 2.0 * d.clock_hz) {
+          out.push_back(
+              {info().id, Severity::kError, loc,
+               "scope at " + mhz(rate) + " samples the " +
+                   mhz(d.clock_hz) + " domain '" + d.target +
+                   "' below Nyquist: watermark '" + wm.name +
+                   "' aliases and cannot be recovered from Y",
+               "raise measure sample_rate above 2x the domain clock, or "
+               "embed in a slower domain"});
+        }
+      }
+
+      if (reference_hz > 0.0) {
+        if (d.clock_hz > reference_hz * (1.0 + 1e-9)) {
+          out.push_back(
+              {info().id, Severity::kError, loc,
+               "domain '" + d.target + "' runs at " + mhz(d.clock_hz) +
+                   ", above the " + mhz(reference_hz) +
+                   " measurement reference: per-reference-cycle "
+                   "averaging folds " +
+                   std::to_string(static_cast<std::size_t>(
+                       std::ceil(d.clock_hz / reference_hz))) +
+                   " WMARK bits into every Y sample and the modulation "
+                   "averages toward DC",
+               "measure against the domain's own input clock, or divide "
+               "the domain below the reference"});
+        } else if (design.trace_cycles()) {
+          // A slower domain stretches each WMARK bit over
+          // reference/domain reference cycles: the period the rotation
+          // correlator must cover grows by the same factor.
+          const double stretch = reference_hz / d.clock_hz;
+          const std::size_t period = Design::nominal_period(wm.wgc);
+          if (stretch > 1.0 + 1e-9 && period != 0) {
+            const double stretched =
+                static_cast<double>(period) * stretch;
+            const auto trace =
+                static_cast<double>(*design.trace_cycles());
+            if (trace < stretched) {
+              out.push_back(
+                  {info().id, Severity::kError, loc,
+                   "trace of " +
+                       std::to_string(*design.trace_cycles()) +
+                       " reference cycles covers less than one WMARK "
+                       "period of watermark '" +
+                       wm.name + "': the /" +
+                       std::to_string(d.division) +
+                       " divider stretches the " +
+                       std::to_string(period) + "-cycle period to " +
+                       std::to_string(
+                           static_cast<std::size_t>(stretched)) +
+                       " reference cycles",
+                   "lengthen measure trace, shorten the WGC period, or "
+                   "embed before the divider"});
+            } else if (trace < 4.0 * stretched) {
+              out.push_back(
+                  {info().id, Severity::kWarning, loc,
+                   "trace of " +
+                       std::to_string(*design.trace_cycles()) +
+                       " reference cycles spans only " +
+                       std::to_string(static_cast<std::size_t>(
+                           trace / stretched)) +
+                       " divider-stretched WMARK period(s) of "
+                       "watermark '" +
+                       wm.name + "' (period " + std::to_string(period) +
+                       " x /" + std::to_string(d.division) + ")",
+                   "lengthen the capture: averaging gain over the noise "
+                   "floor is marginal below four periods"});
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+/// test-bypassable-watermark: DFT removability. qsoc wires the
+/// controller-wide test_enable into every target ICG so scan shift can
+/// reach gated flops; for a watermarked ICG that same OR gate is a
+/// one-pin kill switch for the modulation.
+class TestBypassableWatermarkRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "test-bypassable-watermark",
+        "a watermarked ICG must not be forced open by test_enable",
+        "Sec. VI",
+        "Flags watermarks whose gating ICG participates in the "
+        "controller-wide test_enable DFT bypass: holding the test pin "
+        "high forces the gate open regardless of WMARK, so the "
+        "watermark is removable without touching a single gate — the "
+        "DFT-path variant of the removal attack."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    if (design.clock_domains().empty()) return;
+    for (const WatermarkView& wm : design.watermarks()) {
+      if (!wm.domain || *wm.domain >= design.clock_domains().size()) {
+        continue;
+      }
+      const ClockDomainView& d = design.clock_domains()[*wm.domain];
+      if (!d.test_bypassable) continue;
+      out.push_back(
+          {info().id, Severity::kError, "domain '" + d.target + "'",
+           "watermark '" + wm.name + "' modulates an ICG on the "
+               "test_enable DFT bypass: asserting the test pin forces "
+               "the gate open and stops the modulation without any "
+               "netlist edit",
+           "set `test_bypass: false` on the watermarked target's icg "
+           "(and cover it by a dedicated scan chain), or drop the "
+           "controller-wide test_enable"});
+    }
+  }
+};
+
+/// glitch-prone-mux: a plain combinational clock mux can glitch while
+/// its select changes; qsoc only instantiates the glitch-free mux when
+/// the mux has a reset. Glitches clock extra edges into every sink —
+/// and into the power trace a watermark detector correlates against.
+class GlitchProneMuxRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "glitch-prone-mux",
+        "clock muxes need the glitch-free implementation",
+        "Sec. II",
+        "Warns for every clock domain selected through a combinational "
+        "mux without a reset (qsoc's glitch-prone implementation "
+        "choice), and errors when such a domain carries a watermark: "
+        "mux glitches inject spurious clock edges whose power spikes "
+        "are uncorrelated with WMARK and raise the CPA noise floor."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    const auto& domains = design.clock_domains();
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      const ClockDomainView& d = domains[i];
+      if (!d.mux_glitch_prone) continue;
+      const WatermarkView* wm = watermark_of_domain(design, i);
+      std::string message =
+          "domain '" + d.target + "' selects among " +
+          std::to_string(d.mux_sources) +
+          " parent clocks through a plain combinational mux with no "
+          "reset: select changes can glitch the clock";
+      if (wm != nullptr) {
+        message += ", injecting power spikes uncorrelated with WMARK "
+                   "into the very domain watermark '" +
+                   wm->name + "' modulates";
+      }
+      out.push_back({info().id,
+                     wm != nullptr ? Severity::kError : Severity::kWarning,
+                     "domain '" + d.target + "'", std::move(message),
+                     "add a `reset:` to the mux block so the glitch-free "
+                     "mux is instantiated"});
+    }
+  }
+};
+
+/// cross-domain-collision: the Gold-bound check re-done on the shared
+/// measurement timeline. Two WGCs in different domains do not emit their
+/// sequences at the same bit rate — each WMARK bit of a divided domain
+/// stretches over division-many reference cycles — so the flat
+/// gold-cross-correlation verdict (same-width keys, same timeline) can
+/// be wrong in both directions.
+class CrossDomainCollisionRule final : public Rule {
+ public:
+  const RuleInfo& info() const noexcept override {
+    static const RuleInfo kInfo{
+        "cross-domain-collision",
+        "coexisting domain watermarks must separate on the reference "
+        "timeline",
+        "Sec. III",
+        "For every pair of watermarked clock domains, expands both "
+        "WMARK streams onto the measurement-reference timeline (each "
+        "bit held for reference/domain cycles) and measures their peak "
+        "periodic cross-correlation: identical keys at identical rates "
+        "are unattributable (error), near-full correlation is rejected, "
+        "and rate-mismatched pairs are reported with their measured "
+        "separation."};
+    return kInfo;
+  }
+
+  void run(const Design& design, std::vector<Diagnostic>& out) const override {
+    if (design.clock_domains().empty()) return;
+    const double reference_hz =
+        design.tech() ? design.tech()->clock_hz : 0.0;
+    if (reference_hz <= 0.0) return;
+    std::vector<const WatermarkView*> wms;
+    for (const WatermarkView& wm : design.watermarks()) {
+      if (wm.domain && *wm.domain < design.clock_domains().size()) {
+        wms.push_back(&wm);
+      }
+    }
+    for (std::size_t a = 0; a < wms.size(); ++a) {
+      for (std::size_t b = a + 1; b < wms.size(); ++b) {
+        check_pair(design, *wms[a], *wms[b], reference_hz, out);
+      }
+    }
+  }
+
+ private:
+  static std::vector<bool> expand(const std::vector<bool>& period,
+                                  std::size_t hold, std::size_t length) {
+    std::vector<bool> bits(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      bits[i] = period[(i / hold) % period.size()];
+    }
+    return bits;
+  }
+
+  void check_pair(const Design& design, const WatermarkView& wa,
+                  const WatermarkView& wb, double reference_hz,
+                  std::vector<Diagnostic>& out) const {
+    const ClockDomainView& da = design.clock_domains()[*wa.domain];
+    const ClockDomainView& db = design.clock_domains()[*wb.domain];
+    const std::string pair =
+        "domains '" + da.target + "' / '" + db.target + "'";
+    if (!valid_width(wa.wgc) || !valid_width(wb.wgc) ||
+        degenerate_state(wa.wgc) || degenerate_state(wb.wgc)) {
+      return;  // the primitivity/degenerate rules already fired
+    }
+    if (da.clock_hz <= 0.0 || db.clock_hz <= 0.0) return;
+
+    const bool same_rate =
+        std::fabs(da.clock_hz - db.clock_hz) < 1e-6 * da.clock_hz;
+    const bool same_key = wa.wgc.mode == wb.wgc.mode &&
+                          wa.wgc.width == wb.wgc.width &&
+                          wa.wgc.effective_taps() ==
+                              wb.wgc.effective_taps() &&
+                          wa.wgc.seed == wb.wgc.seed;
+    if (same_rate && same_key) {
+      out.push_back(
+          {info().id, Severity::kError, pair,
+           "watermarks '" + wa.name + "' and '" + wb.name +
+               "' use the identical WGC key at the identical " +
+               mhz(da.clock_hz) +
+               " domain rate: their power signatures coincide and a "
+               "detection verdict cannot be attributed to either domain",
+           "give each domain its own seed/polynomial — derive the keys "
+           "from a Gold preferred pair (sequence::preferred_pair)"});
+      return;
+    }
+
+    // Expand onto the reference timeline: one WMARK bit of a domain at
+    // f_d holds for f_ref / f_d reference cycles.
+    const double ratio_a = reference_hz / da.clock_hz;
+    const double ratio_b = reference_hz / db.clock_hz;
+    const auto hold_a = static_cast<std::size_t>(std::llround(ratio_a));
+    const auto hold_b = static_cast<std::size_t>(std::llround(ratio_b));
+    if (hold_a == 0 || hold_b == 0 ||
+        std::fabs(ratio_a - static_cast<double>(hold_a)) > 1e-6 ||
+        std::fabs(ratio_b - static_cast<double>(hold_b)) > 1e-6) {
+      out.push_back(
+          {info().id, Severity::kInfo, pair,
+           "domain rates are not integer divisions of the " +
+               mhz(reference_hz) +
+               " reference: static timeline expansion does not apply",
+           "verify coexistence with bench/abl_dual_watermark"});
+      return;
+    }
+    const std::size_t pa = Design::nominal_period(wa.wgc) * hold_a;
+    const std::size_t pb = Design::nominal_period(wb.wgc) * hold_b;
+    const std::size_t common = std::lcm(pa, pb);
+    if (common == 0 || common > kReferenceCorrelationLimit) {
+      out.push_back(
+          {info().id, Severity::kInfo, pair,
+           "common reference-timeline period " + std::to_string(common) +
+               " is too long to cross-correlate statically",
+           "check the pair with bench/abl_dual_watermark"});
+      return;
+    }
+    const auto bits_a =
+        expand(wgc::WgcSequence(wa.wgc).one_period(), hold_a, common);
+    const auto bits_b =
+        expand(wgc::WgcSequence(wb.wgc).one_period(), hold_b, common);
+    const double peak = sequence::peak_cross_correlation(bits_a, bits_b);
+    const double normalized = peak / static_cast<double>(common);
+    // Normalised Gold bound of the weaker (shorter-period) key.
+    const auto bound_of = [](const wgc::WgcConfig& cfg) {
+      const double t = static_cast<double>(
+          (std::uint64_t{1} << ((cfg.width + 2) / 2)) + 1);
+      return t / static_cast<double>(Design::nominal_period(cfg));
+    };
+    const double bound = std::max(bound_of(wa.wgc), bound_of(wb.wgc));
+    std::ostringstream msg;
+    msg.precision(3);
+    msg << "peak cross-correlation between '" << wa.name << "' (x"
+        << hold_a << ") and '" << wb.name << "' (x" << hold_b
+        << ") on the reference timeline is " << normalized
+        << " of the " << common << "-cycle common period";
+    if (normalized >= 1.0 - 0.5 / static_cast<double>(common)) {
+      out.push_back(
+          {info().id, Severity::kError, pair,
+           msg.str() + ": the streams coincide, so each domain's "
+                       "detector fires on the other watermark",
+           "use distinct keys from a Gold preferred pair "
+           "(sequence::preferred_pair)"});
+    } else if (normalized > 2.0 * bound) {
+      out.push_back(
+          {info().id, Severity::kWarning, pair,
+           msg.str() + " (normalised Gold bound " +
+               std::to_string(bound) +
+               "): mutual interference raises each detector's noise "
+               "floor",
+           "prefer a Gold preferred pair, or separate the domain rates "
+           "further"});
+    } else {
+      out.push_back({info().id, Severity::kInfo, pair, msg.str(), ""});
+    }
+  }
+};
+
+}  // namespace
+
+void register_domain_rules(RuleRegistry& registry) {
+  registry.add(std::make_unique<DomainAliasingRule>());
+  registry.add(std::make_unique<TestBypassableWatermarkRule>());
+  registry.add(std::make_unique<GlitchProneMuxRule>());
+  registry.add(std::make_unique<CrossDomainCollisionRule>());
+}
+
+}  // namespace clockmark::lint

@@ -1,0 +1,73 @@
+#include "socdesc/compile.h"
+
+#include <algorithm>
+
+namespace clockmark::socdesc {
+
+sim::ScenarioConfig compile_scenario(const ElaboratedSoc& soc,
+                                     const CompileOptions& options) {
+  // --- pick the watermarked domain --------------------------------------
+  const lint::Design& design = soc.design;
+  const lint::WatermarkView* chosen = nullptr;
+  for (const lint::WatermarkView& wm : design.watermarks()) {
+    if (!wm.domain) continue;
+    if (!options.target.empty() && wm.name != options.target) continue;
+    if (chosen != nullptr) {
+      throw SocError("controller '" + design.name() +
+                     "' watermarks several domains ('" + chosen->name +
+                     "', '" + wm.name +
+                     "', ...): pick one with CompileOptions::target");
+    }
+    chosen = &wm;
+  }
+  if (chosen == nullptr) {
+    throw SocError(options.target.empty()
+                       ? "controller '" + design.name() +
+                             "' declares no watermarked target"
+                       : "controller '" + design.name() +
+                             "' has no watermarked target '" +
+                             options.target + "'");
+  }
+  const lint::ClockDomainView& domain =
+      design.clock_domains().at(*chosen->domain);
+
+  // --- scenario ----------------------------------------------------------
+  sim::ScenarioConfig config;
+  config.chip = sim::ChipModel::kChip2;
+  config.watermark.wgc = chosen->wgc;
+  // Bank geometry mirrors the domain's clock tree: `sinks` registers in
+  // up-to-32-bit gated words, the shape the paper's Fig. 4(a) bank uses.
+  const std::size_t sinks = std::max<std::size_t>(domain.sinks, 1);
+  config.watermark.bits_per_word = std::min<std::size_t>(sinks, 32);
+  config.watermark.words =
+      (sinks + config.watermark.bits_per_word - 1) /
+      config.watermark.bits_per_word;
+
+  if (options.trace_cycles != 0) {
+    config.trace_cycles = options.trace_cycles;
+  } else if (design.trace_cycles()) {
+    config.trace_cycles = *design.trace_cycles();
+  }
+
+  // Operating point: the experiment runs on the domain's own timeline
+  // (one Y sample per domain cycle); the bench re-centres on it.
+  power::TechLibrary tech =
+      design.tech() ? *design.tech() : power::TechLibrary{};
+  config.tech = tech.at_operating_point(domain.clock_hz, tech.vdd_v);
+  config.acquisition.vdd_v = config.tech.vdd_v;
+  config.acquisition.scope.sample_rate_hz =
+      static_cast<double>(config.acquisition.waveform.samples_per_cycle) *
+      domain.clock_hz;
+  config.acquisition.probe.sample_rate_hz =
+      config.acquisition.scope.sample_rate_hz;
+  config.acquisition.pdn_cutoff_hz = domain.clock_hz / 25.0;
+
+  // The rest of the SoC — every non-modulated domain plus the chosen
+  // domain's always-on chain — is the deterministic background the
+  // fabric term models.
+  config.fabric_power_w = soc.power.background_w;
+  config.seed = options.seed;
+  return config;
+}
+
+}  // namespace clockmark::socdesc

@@ -1,0 +1,44 @@
+// Bridges a parsed + elaborated SoC description to the experiment layer:
+// picks one watermarked clock domain and produces the sim::ScenarioConfig
+// that models *that* domain's modulated clock tree against the rest of
+// the SoC as background power — so `detect::Session` can reach a verdict
+// on a user-described SoC exactly as it does on the chip presets.
+//
+// Mapping (DESIGN.md §14):
+//  * chip model       -> kChip2 (a watermark embedded in a live SoC);
+//                        fabric_power_w carries the elaborated power
+//                        model's non-modulated background
+//  * watermark        -> the domain's WGC key; bank geometry from the
+//                        domain's sink count (words x bits_per_word)
+//  * operating point  -> the technology library re-derived at the
+//                        domain's effective clock
+//  * acquisition      -> the paper's bench re-centred on the domain
+//                        clock (50x oversampling, PDN cutoff at 1/25)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/scenario.h"
+#include "socdesc/elaborate.h"
+
+namespace clockmark::socdesc {
+
+struct CompileOptions {
+  /// Which watermarked domain to detect. Empty = the description's only
+  /// watermarked domain (SocError if there are zero or several).
+  std::string target;
+  /// Override the measure block's trace length (domain cycles); 0 keeps
+  /// the description's value. Tests shorten this for speed.
+  std::size_t trace_cycles = 0;
+  /// Scenario master seed (noise streams, phase derivation).
+  std::uint64_t seed = 1;
+};
+
+/// Compiles one watermarked domain of an elaborated controller into a
+/// runnable scenario configuration. Throws SocError when the requested
+/// target does not exist, is not watermarked, or is ambiguous.
+sim::ScenarioConfig compile_scenario(const ElaboratedSoc& soc,
+                                     const CompileOptions& options = {});
+
+}  // namespace clockmark::socdesc

@@ -1,0 +1,197 @@
+#include "socdesc/description.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace clockmark::socdesc {
+
+double parse_frequency(const std::string& text, std::size_t line) {
+  if (text.empty()) throw SocError("empty frequency", line);
+  std::size_t pos = 0;
+  bool digits = false;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+          text[pos] == '.')) {
+    digits = digits ||
+             std::isdigit(static_cast<unsigned char>(text[pos])) != 0;
+    ++pos;
+  }
+  if (!digits) {
+    throw SocError("bad frequency '" + text + "' (expected <number><unit>)",
+                   line);
+  }
+  double value = 0.0;
+  try {
+    value = std::stod(text.substr(0, pos));
+  } catch (const std::exception&) {
+    throw SocError("bad frequency number in '" + text + "'", line);
+  }
+  std::string unit = text.substr(pos);
+  for (char& c : unit) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  double scale = 1.0;
+  if (unit.empty() || unit == "hz") {
+    scale = 1.0;
+  } else if (unit == "khz") {
+    scale = 1e3;
+  } else if (unit == "mhz") {
+    scale = 1e6;
+  } else if (unit == "ghz") {
+    scale = 1e9;
+  } else {
+    throw SocError("unknown frequency unit '" + text.substr(pos) +
+                       "' (expected Hz, kHz, MHz or GHz)",
+                   line);
+  }
+  const double hz = value * scale;
+  if (!(hz > 0.0)) {
+    throw SocError("frequency '" + text + "' is not positive", line);
+  }
+  return hz;
+}
+
+std::string format_frequency(double hz) {
+  const char* unit = "Hz";
+  double value = hz;
+  if (hz >= 1e9) {
+    unit = "GHz";
+    value = hz / 1e9;
+  } else if (hz >= 1e6) {
+    unit = "MHz";
+    value = hz / 1e6;
+  } else if (hz >= 1e3) {
+    unit = "kHz";
+    value = hz / 1e3;
+  }
+  char buf[64];
+  // Up to 6 fractional digits, trailing zeros trimmed: enough for every
+  // ratio of the generator's frequency table to round-trip exactly.
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s + unit;
+}
+
+namespace {
+
+void render_div(std::ostringstream& os, const DivSpec& div,
+                const std::string& indent) {
+  os << indent << "div:\n";
+  os << indent << "  default: " << div.ratio << "\n";
+  if (!div.reset.empty()) os << indent << "  reset: " << div.reset << "\n";
+}
+
+void render_target(std::ostringstream& os, const TargetSpec& target) {
+  os << "      " << target.name << ":\n";
+  os << "        freq: " << format_frequency(target.freq_hz) << "\n";
+  os << "        sinks: " << target.sinks << "\n";
+  os << "        link:\n";
+  for (const LinkSpec& link : target.links) {
+    os << "          " << link.input << ":\n";
+    if (link.div) render_div(os, *link.div, "            ");
+    if (link.inv) os << "            inv: true\n";
+  }
+  if (target.mux &&
+      (!target.mux->select.empty() || !target.mux->reset.empty())) {
+    os << "        mux:\n";
+    if (!target.mux->select.empty()) {
+      os << "          select: " << target.mux->select << "\n";
+    }
+    if (!target.mux->reset.empty()) {
+      os << "          reset: " << target.mux->reset << "\n";
+    }
+  }
+  if (target.icg) {
+    os << "        icg:\n";
+    os << "          enable: " << target.icg->enable << "\n";
+    if (!target.icg->test_bypass) os << "          test_bypass: false\n";
+  }
+  if (target.div) render_div(os, *target.div, "        ");
+  if (target.inv) os << "        inv: true\n";
+  if (target.watermark) {
+    const wgc::WgcConfig& key = target.watermark->wgc;
+    os << "        watermark:\n";
+    os << "          mode: "
+       << (key.mode == wgc::WgcMode::kLfsr ? "lfsr" : "circular") << "\n";
+    os << "          width: " << key.width << "\n";
+    if (key.taps != 0) os << "          taps: " << key.taps << "\n";
+    os << "          seed: " << key.seed << "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_description(const SocDescription& description) {
+  std::ostringstream os;
+  os << "clock:\n";
+  for (const ClockController& controller : description.controllers) {
+    os << "  - name: " << controller.name << "\n";
+    if (!controller.test_enable.empty()) {
+      os << "    test_enable: " << controller.test_enable << "\n";
+    }
+    os << "    input:\n";
+    for (const InputSpec& input : controller.inputs) {
+      os << "      " << input.name << ":\n";
+      os << "        freq: " << format_frequency(input.freq_hz) << "\n";
+    }
+    os << "    target:\n";
+    for (const TargetSpec& target : controller.targets) {
+      render_target(os, target);
+    }
+    os << "    measure:\n";
+    if (!controller.measure.clock.empty()) {
+      os << "      clock: " << controller.measure.clock << "\n";
+    }
+    if (controller.measure.sample_rate_hz > 0.0) {
+      os << "      sample_rate: "
+         << format_frequency(controller.measure.sample_rate_hz) << "\n";
+    }
+    os << "      trace: " << controller.measure.trace_cycles << "\n";
+  }
+  return os.str();
+}
+
+const InputSpec* ClockController::find_input(
+    const std::string& input_name) const noexcept {
+  for (const InputSpec& input : inputs) {
+    if (input.name == input_name) return &input;
+  }
+  return nullptr;
+}
+
+const TargetSpec* ClockController::find_target(
+    const std::string& target_name) const noexcept {
+  for (const TargetSpec& target : targets) {
+    if (target.name == target_name) return &target;
+  }
+  return nullptr;
+}
+
+unsigned total_division(const TargetSpec& target) noexcept {
+  unsigned ratio = 1;
+  if (!target.links.empty() && target.links.front().div) {
+    ratio *= target.links.front().div->ratio;
+  }
+  if (target.div) ratio *= target.div->ratio;
+  return ratio;
+}
+
+double effective_frequency(const ClockController& controller,
+                           const TargetSpec& target) {
+  if (target.links.empty()) {
+    throw SocError("target '" + target.name + "' has no link", target.line);
+  }
+  const LinkSpec& link = target.links.front();
+  const InputSpec* input = controller.find_input(link.input);
+  if (input == nullptr) {
+    throw SocError("target '" + target.name + "' links unknown input '" +
+                       link.input + "'",
+                   link.line);
+  }
+  return input->freq_hz / static_cast<double>(total_division(target));
+}
+
+}  // namespace clockmark::socdesc

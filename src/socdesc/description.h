@@ -1,0 +1,161 @@
+// Declarative SoC clock-controller descriptions — the ingestion frontend
+// that turns *any* user-described clock tree into a chip-I/II-class
+// experiment. The format follows qsoc's clock-controller section (two
+// processing levels: link-level div→inv, target-level mux→icg→div→inv;
+// automatic mux typing by reset presence; a controller-wide test_enable
+// DFT bypass) with two repo-specific extensions grounded in the paper:
+//
+//   * `sinks: N` per target — how many clocked registers the domain
+//     feeds, so the elaborator can build a real clock tree and the
+//     power model can account buffers per domain, and
+//   * `watermark:` per target — a WGC key (mode/width/taps/seed) to
+//     embed into that domain's clock gate, plus an optional `measure:`
+//     block per controller describing the planned acquisition
+//     (reference clock, scope rate, trace length).
+//
+// This header is the parsed data model only; parser.h builds it from
+// text, elaborate.h lowers it into lint::Design + a power model, and
+// compile.h maps a watermarked domain onto a sim::ScenarioConfig.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wgc/wgc.h"
+
+namespace clockmark::socdesc {
+
+/// Error type for everything in the frontend: parse errors carry the
+/// 1-based source line, semantic (elaboration) errors carry line 0.
+class SocError : public std::runtime_error {
+ public:
+  SocError(std::string message, std::size_t line = 0)
+      : std::runtime_error(line == 0 ? message
+                                     : "line " + std::to_string(line) +
+                                           ": " + message),
+        line_(line) {}
+
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses "24MHz" / "32.768kHz" / "1GHz" / "100Hz" / bare hertz numbers.
+/// Throws SocError on anything else (including non-positive values).
+double parse_frequency(const std::string& text, std::size_t line = 0);
+
+/// Renders a frequency the way descriptions spell it ("24MHz", "12.5MHz",
+/// "32.768kHz"). parse_frequency(format_frequency(f)) == f for the
+/// values the generator emits.
+std::string format_frequency(double hz);
+
+/// A clock divider at either processing level. qsoc spells the ratio as
+/// `default:` (static mode) or `ratio:`; both are accepted.
+struct DivSpec {
+  unsigned ratio = 1;   ///< division ratio, >= 2
+  std::string reset;    ///< optional asynchronous reset signal
+};
+
+/// One source connection of a target. Link-level processing order is
+/// div → inv (qsoc).
+struct LinkSpec {
+  std::string input;            ///< name of the controller input
+  std::optional<DivSpec> div;   ///< link-level divider
+  bool inv = false;             ///< link-level inverter
+  std::size_t line = 0;         ///< source line (diagnostics)
+};
+
+/// Target-level mux attributes. qsoc picks the mux implementation from
+/// reset presence: with `reset:` the glitch-free (ETH Zurich) mux is
+/// instantiated, without it a plain combinational mux that can glitch
+/// while the select changes.
+struct MuxSpec {
+  std::string select;   ///< select signal (defaults to <target>_sel)
+  std::string reset;    ///< empty = plain (glitch-prone) mux
+};
+
+/// Target-level ICG. `test_bypass: false` opts this gate out of the
+/// controller-wide test_enable DFT bypass (extension; qsoc wires
+/// test_enable into every target ICG).
+struct IcgSpec {
+  std::string enable;      ///< enable signal (required)
+  bool test_bypass = true; ///< forced on by test_enable in test mode
+};
+
+/// Watermark embedding point (extension): the WGC key to weave into the
+/// target's clock gate, exactly as watermark/embedder.h does.
+struct WatermarkSpec {
+  wgc::WgcConfig wgc;
+};
+
+/// One clock target (= one clock domain). Target-level processing order
+/// is mux → icg → div → inv (qsoc).
+struct TargetSpec {
+  std::string name;
+  double freq_hz = 0.0;           ///< declared effective sink frequency
+  std::size_t sinks = 32;         ///< clocked registers in the domain
+  std::vector<LinkSpec> links;    ///< >= 1; > 1 implies a mux
+  std::optional<MuxSpec> mux;
+  std::optional<IcgSpec> icg;
+  std::optional<DivSpec> div;     ///< target-level divider
+  bool inv = false;               ///< target-level inverter
+  std::optional<WatermarkSpec> watermark;
+  std::size_t line = 0;
+};
+
+/// One controller input clock.
+struct InputSpec {
+  std::string name;
+  double freq_hz = 0.0;
+  std::size_t line = 0;
+};
+
+/// Planned acquisition (extension): how the device will be measured.
+/// Defaults mirror the paper's bench: reference = the first input,
+/// scope at 50x the reference, 300,000 reference cycles.
+struct MeasureSpec {
+  std::string clock;               ///< reference input name ("" = first)
+  double sample_rate_hz = 0.0;     ///< 0 = 50x the reference clock
+  std::size_t trace_cycles = 300000;
+};
+
+/// One clock controller instance.
+struct ClockController {
+  std::string name;
+  std::string test_enable;         ///< DFT bypass signal ("" = none)
+  std::vector<InputSpec> inputs;
+  std::vector<TargetSpec> targets;
+  MeasureSpec measure;
+  std::size_t line = 0;
+
+  const InputSpec* find_input(const std::string& input_name) const noexcept;
+  const TargetSpec* find_target(
+      const std::string& target_name) const noexcept;
+};
+
+/// A parsed description: the `clock:` section's controller list.
+struct SocDescription {
+  std::vector<ClockController> controllers;
+};
+
+/// Renders a description back into the text format parser.h accepts.
+/// Deterministic (fixed key order, canonical frequency spelling), so the
+/// generator's output is byte-identical per seed and
+/// parse_description(render_description(d)) round-trips.
+std::string render_description(const SocDescription& description);
+
+/// The effective sink frequency of a target fed from its first (default-
+/// selected) link: input freq / link div / target div. Throws SocError
+/// when the link names an unknown input.
+double effective_frequency(const ClockController& controller,
+                           const TargetSpec& target);
+
+/// Total division ratio along the first link (link div * target div).
+unsigned total_division(const TargetSpec& target) noexcept;
+
+}  // namespace clockmark::socdesc

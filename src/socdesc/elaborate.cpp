@@ -1,0 +1,371 @@
+#include "socdesc/elaborate.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "clocktree/tree.h"
+#include "measure/acquisition.h"
+#include "rtl/netlist.h"
+#include "watermark/embedder.h"
+#include "wgc/wgc.h"
+
+namespace clockmark::socdesc {
+namespace {
+
+/// Scope-to-clock oversampling when the description gives no explicit
+/// sample rate (the paper's 500 MS/s against 10 MHz).
+constexpr double kDefaultOversampling = 50.0;
+/// PDN cutoff as a fraction of the reference clock (the paper's board:
+/// 400 kHz against 10 MHz).
+constexpr double kPdnCutoffRatio = 25.0;
+
+/// Finds or creates a named control/clock net; control signals the
+/// description references (enables, selects, resets, test_enable) are
+/// primary inputs of the lowered netlist and may be shared across
+/// targets by naming the same signal.
+rtl::NetId signal_net(rtl::Netlist& netlist, const std::string& name) {
+  if (const auto existing = netlist.find_net(name)) return *existing;
+  const rtl::NetId id = netlist.add_net(name);
+  netlist.mark_input(id);
+  return id;
+}
+
+std::vector<rtl::CellId> collect_wgc_cells(const wgc::WgcHardware& hw) {
+  std::vector<rtl::CellId> cells;
+  cells.reserve(hw.flops.size() + hw.xor_gates.size() +
+                hw.clock_cells.size());
+  cells.insert(cells.end(), hw.flops.begin(), hw.flops.end());
+  cells.insert(cells.end(), hw.xor_gates.begin(), hw.xor_gates.end());
+  cells.insert(cells.end(), hw.clock_cells.begin(), hw.clock_cells.end());
+  return cells;
+}
+
+/// Per-target lowering bookkeeping, fed into the power model.
+struct DomainBuild {
+  std::size_t chain_buffers = 0;   ///< dividers' re-emit + inv buffers
+  std::size_t tree_buffers = 0;    ///< sink clock-tree buffers
+  std::size_t divider_flops = 0;
+  std::size_t wgc_registers = 0;
+  std::size_t wgc_clock_cells = 0;
+  bool has_icg = false;
+  double pre_icg_hz = 0.0;         ///< rate at the ICG / WGC clock pin
+};
+
+/// Lowers a ripple divide-by-`ratio` fed from `clock`: ceil(log2 ratio)
+/// toggle stages (stage i clocked by stage i-1's Q) and a clock buffer
+/// re-emitting the last Q as a proper clock net. The netlist realises a
+/// power-of-two divider; the exact declared ratio lives in the domain
+/// metadata, which is what the frequency-sensitive rules read.
+rtl::NetId lower_divider(rtl::Netlist& netlist, std::uint32_t module,
+                         const std::string& base, rtl::NetId clock,
+                         unsigned ratio, DomainBuild& build,
+                         std::vector<rtl::CellId>& functional) {
+  unsigned stages = 0;
+  for (unsigned span = 1; span < ratio; span *= 2) ++stages;
+  rtl::NetId stage_clock = clock;
+  rtl::NetId q = rtl::kInvalidNet;
+  for (unsigned s = 0; s < stages; ++s) {
+    const std::string name = base + "_div" + std::to_string(s);
+    q = netlist.add_net(name + "_q");
+    const rtl::NetId d = netlist.add_net(name + "_d");
+    netlist.add_gate(rtl::CellKind::kInv, name + "_fb", module, {q}, d);
+    const rtl::CellId flop = netlist.add_flop(
+        rtl::CellKind::kDff, name, module, {d}, q, stage_clock, false);
+    functional.push_back(flop);  // the divide state machine is functional
+    ++build.divider_flops;
+    stage_clock = q;
+  }
+  const rtl::NetId divided = netlist.add_net(base + "_divclk");
+  netlist.add_clock_buffer(base + "_divbuf", module, q, divided);
+  ++build.chain_buffers;
+  return divided;
+}
+
+/// A clock inverter lowers to a clock buffer so the lint walks (which
+/// only traverse clock cells) stay connected; the polarity flip is
+/// carried in ClockDomainView::inverted.
+rtl::NetId lower_inverter(rtl::Netlist& netlist, std::uint32_t module,
+                          const std::string& base, rtl::NetId clock,
+                          DomainBuild& build) {
+  const rtl::NetId inverted = netlist.add_net(base + "_invclk");
+  netlist.add_clock_buffer(base + "_inv", module, clock, inverted);
+  ++build.chain_buffers;
+  return inverted;
+}
+
+}  // namespace
+
+ElaboratedSoc elaborate(const ClockController& controller,
+                        const ElaborateOptions& options) {
+  // --- reference clock ------------------------------------------------
+  const std::string reference_name = controller.measure.clock.empty()
+                                         ? controller.inputs.front().name
+                                         : controller.measure.clock;
+  const InputSpec* reference = controller.find_input(reference_name);
+  if (reference == nullptr) {
+    throw SocError("controller '" + controller.name +
+                       "' measures unknown input clock '" + reference_name +
+                       "'",
+                   controller.line);
+  }
+
+  auto netlist = std::make_shared<rtl::Netlist>();
+  for (const InputSpec& input : controller.inputs) {
+    signal_net(*netlist, input.name);
+  }
+  const rtl::NetId root_clock = *netlist->find_net(reference->name);
+  const rtl::NetId test_en =
+      controller.test_enable.empty()
+          ? rtl::kInvalidNet
+          : signal_net(*netlist, controller.test_enable);
+
+  lint::Design design(controller.name, netlist, root_clock);
+  SocPowerModel power;
+  std::vector<rtl::CellId> functional;
+
+  for (const TargetSpec& target : controller.targets) {
+    // --- consistency: declared vs. computed frequency ----------------
+    const double computed = effective_frequency(controller, target);
+    if (std::fabs(computed - target.freq_hz) >
+        options.frequency_tolerance * target.freq_hz) {
+      throw SocError("target '" + target.name + "' declares " +
+                         format_frequency(target.freq_hz) +
+                         " but its chain divides " +
+                         format_frequency(
+                             controller.find_input(target.links.front()
+                                                       .input)
+                                 ->freq_hz) +
+                         " down to " + format_frequency(computed),
+                     target.line);
+    }
+
+    const std::uint32_t module = netlist->module("soc/" + target.name);
+    const std::string base = "soc_" + target.name;
+    DomainBuild build;
+
+    // --- link-level processing (div -> inv), one chain per link ------
+    std::vector<rtl::NetId> link_nets;
+    for (std::size_t l = 0; l < target.links.size(); ++l) {
+      const LinkSpec& link = target.links[l];
+      if (controller.find_input(link.input) == nullptr) {
+        throw SocError("target '" + target.name +
+                           "' links unknown input '" + link.input + "'",
+                       link.line != 0 ? link.line : target.line);
+      }
+      rtl::NetId net = *netlist->find_net(link.input);
+      const std::string link_base = base + "_l" + std::to_string(l);
+      if (link.div) {
+        if (!link.div->reset.empty()) {
+          signal_net(*netlist, link.div->reset);
+        }
+        net = lower_divider(*netlist, module, link_base, net,
+                            link.div->ratio, build, functional);
+      }
+      if (link.inv) {
+        net = lower_inverter(*netlist, module, link_base, net, build);
+      }
+      link_nets.push_back(net);
+    }
+
+    // --- target-level mux ---------------------------------------------
+    rtl::NetId current = link_nets.front();
+    const bool has_mux = target.links.size() > 1;
+    if (has_mux) {
+      const std::string select_name =
+          target.mux && !target.mux->select.empty() ? target.mux->select
+                                                    : target.name + "_sel";
+      if (target.mux && !target.mux->reset.empty()) {
+        signal_net(*netlist, target.mux->reset);
+      }
+      for (std::size_t l = 1; l < link_nets.size(); ++l) {
+        const std::string stage = base + "_mux" + std::to_string(l - 1);
+        const rtl::NetId sel = signal_net(
+            *netlist, link_nets.size() == 2
+                          ? select_name
+                          : select_name + std::to_string(l - 1));
+        const rtl::NetId out = netlist->add_net(stage + "_clk");
+        netlist->add_gate(rtl::CellKind::kMux2, stage, module,
+                          {sel, current, link_nets[l]}, out);
+        current = out;
+      }
+    }
+
+    // The mux output (or the bare link) is what clocks the ICG and the
+    // WGC: the pre-ICG rate is the post-link-division rate.
+    const LinkSpec& active = target.links.front();
+    build.pre_icg_hz =
+        controller.find_input(active.input)->freq_hz /
+        (active.div ? static_cast<double>(active.div->ratio) : 1.0);
+
+    // --- ICG + watermark embedding ------------------------------------
+    rtl::CellId icg = 0;
+    if (target.icg) {
+      build.has_icg = true;
+      const rtl::NetId enable = signal_net(*netlist, target.icg->enable);
+      const rtl::NetId gated = netlist->add_net(base + "_gclk");
+      icg = netlist->add_icg(base + "_icg", module, current, enable,
+                             gated);
+      if (target.watermark) {
+        const wgc::WgcConfig& key = target.watermark->wgc;
+        if (key.width < 2 || key.width > 32) {
+          throw SocError("target '" + target.name +
+                             "' watermark width " +
+                             std::to_string(key.width) +
+                             " is outside the buildable range [2, 32]",
+                         target.line);
+        }
+        const std::string wgc_path = "soc/" + target.name + "/wgc";
+        const auto embed = watermark::embed_clock_modulation(
+            *netlist, wgc_path, current, key,
+            std::vector<rtl::CellId>{icg});
+        build.wgc_registers = embed.wgc.register_count;
+        build.wgc_clock_cells = embed.wgc.clock_cells.size();
+
+        lint::WatermarkView view;
+        view.name = target.name;
+        view.module_path = wgc_path;
+        view.wgc = key;
+        view.wmark = embed.wmark;
+        view.wgc_cells = collect_wgc_cells(embed.wgc);
+        // This target's ClockDomainView is appended below, at the index
+        // clock_domains() currently has.
+        view.domain = design.clock_domains().size();
+        design.add_watermark(std::move(view));
+      }
+      // DFT bypass: the controller-wide test_enable forces the gate open
+      // in test mode — *around* any watermark modulation.
+      if (test_en != rtl::kInvalidNet && target.icg->test_bypass) {
+        // Read the enable before add_gate: growing the cell vector
+        // invalidates any Cell& into it.
+        const rtl::NetId enable_in = netlist->cell(icg).inputs.at(0);
+        const rtl::NetId bypassed = netlist->add_net(base + "_ten");
+        netlist->add_gate(rtl::CellKind::kOr2, base + "_tor", module,
+                          {enable_in, test_en}, bypassed);
+        netlist->cell(icg).inputs[0] = bypassed;
+      }
+      current = gated;
+    } else if (target.watermark) {
+      // A watermark with no ICG has no power path; build the WGC anyway
+      // (clocked from the domain chain) and let removable-watermark
+      // report the architecture error — this is a lint frontend.
+      const auto hw = wgc::build_wgc(*netlist, netlist->module(
+                                                   "soc/" + target.name +
+                                                   "/wgc"),
+                                     current, target.watermark->wgc);
+      build.wgc_registers = hw.register_count;
+      build.wgc_clock_cells = hw.clock_cells.size();
+      lint::WatermarkView view;
+      view.name = target.name;
+      view.module_path = "soc/" + target.name + "/wgc";
+      view.wgc = target.watermark->wgc;
+      view.wmark = hw.wmark;
+      view.wgc_cells = collect_wgc_cells(hw);
+      view.domain = design.clock_domains().size();
+      design.add_watermark(std::move(view));
+    }
+
+    // --- target-level div -> inv ---------------------------------------
+    if (target.div) {
+      if (!target.div->reset.empty()) {
+        signal_net(*netlist, target.div->reset);
+      }
+      current = lower_divider(*netlist, module, base + "_t", current,
+                              target.div->ratio, build, functional);
+    }
+    if (target.inv) {
+      current = lower_inverter(*netlist, module, base + "_t", current,
+                               build);
+    }
+
+    // --- sink clock tree + hold registers ------------------------------
+    clocktree::ClockTreeOptions tree_options;
+    tree_options.name_prefix = base + "_ct";
+    const auto tree = clocktree::build_clock_tree(
+        *netlist, module, current, target.sinks, tree_options);
+    build.tree_buffers = tree.buffers.size();
+    for (std::size_t s = 0; s < target.sinks; ++s) {
+      const rtl::NetId q =
+          netlist->add_net(base + "_r" + std::to_string(s) + "_q");
+      functional.push_back(netlist->add_flop(
+          rtl::CellKind::kDff, base + "_r" + std::to_string(s), module,
+          {q}, q, tree.leaf_nets[s], false));
+    }
+
+    // --- domain metadata -----------------------------------------------
+    lint::ClockDomainView domain;
+    domain.target = target.name;
+    domain.source = active.input;
+    domain.clock_hz = computed;
+    domain.division = total_division(target);
+    domain.inverted = active.inv != target.inv;
+    domain.test_bypassable = test_en != rtl::kInvalidNet && target.icg &&
+                             target.icg->test_bypass;
+    domain.mux_glitch_prone =
+        has_mux && (!target.mux || target.mux->reset.empty());
+    domain.mux_sources = has_mux ? target.links.size() : 0;
+    domain.sinks = target.sinks;
+    design.add_clock_domain(std::move(domain));
+
+    // --- power accounting ----------------------------------------------
+    const power::TechLibrary& tech = options.tech;
+    DomainPower dp;
+    dp.target = target.name;
+    dp.clock_hz = computed;
+    dp.clock_buffers =
+        build.tree_buffers + build.chain_buffers + build.wgc_clock_cells;
+    dp.registers = target.sinks + build.divider_flops;
+    dp.watermarked = target.watermark.has_value();
+    // Tree buffers and any post-ICG divider run at the effective rate;
+    // the ICG and WGC at the pre-ICG rate. Hold registers burn only
+    // their (leaf-buffer) clock energy, already in tree_buffers.
+    const double tree_w =
+        tech.clock_buffer_cycle_j * static_cast<double>(build.tree_buffers) *
+        computed;
+    const double chain_w = tech.clock_buffer_cycle_j *
+                               static_cast<double>(build.chain_buffers) *
+                               build.pre_icg_hz +
+                           tech.flop_data_toggle_j *
+                               static_cast<double>(build.divider_flops) *
+                               computed;
+    const double icg_w = build.has_icg
+                             ? tech.icg_active_cycle_j * build.pre_icg_hz
+                             : 0.0;
+    const double wgc_w =
+        (tech.clock_buffer_cycle_j + 0.5 * tech.flop_data_toggle_j) *
+        static_cast<double>(build.wgc_registers) * build.pre_icg_hz;
+    dp.dynamic_w = tree_w + chain_w + icg_w + wgc_w;
+    // What the ICG gates: everything downstream of it (tree + any
+    // target-level divider); the WGC and the pre-ICG chain keep running.
+    dp.modulated_w = build.has_icg ? tree_w : 0.0;
+    power.total_w += dp.dynamic_w;
+    power.background_w +=
+        dp.watermarked ? dp.dynamic_w - dp.modulated_w : dp.dynamic_w;
+    power.domains.push_back(std::move(dp));
+  }
+
+  design.declare_functional(functional);
+
+  // --- experiment context ----------------------------------------------
+  design.set_trace_cycles(controller.measure.trace_cycles);
+  measure::AcquisitionConfig acq;
+  const double sample_rate = controller.measure.sample_rate_hz > 0.0
+                                 ? controller.measure.sample_rate_hz
+                                 : kDefaultOversampling * reference->freq_hz;
+  acq.scope.sample_rate_hz = sample_rate;
+  const double ratio = sample_rate / reference->freq_hz;
+  acq.waveform.samples_per_cycle =
+      ratio >= 1.0 ? static_cast<std::size_t>(std::llround(ratio)) : 1;
+  // Keep the paper's PDN-cutoff-to-clock ratio at any operating point.
+  acq.pdn_cutoff_hz = reference->freq_hz / kPdnCutoffRatio;
+  design.set_acquisition(acq);
+  design.set_tech(
+      options.tech.at_operating_point(reference->freq_hz,
+                                      options.tech.vdd_v));
+
+  ElaboratedSoc soc{std::move(design), std::move(power), reference->name,
+                    reference->freq_hz};
+  return soc;
+}
+
+}  // namespace clockmark::socdesc

@@ -1,0 +1,84 @@
+// Lowers a parsed clock-controller description into the repo's analysis
+// backends: a gate-level rtl::Netlist wrapped in a lint::Design (so every
+// cm_lint rule runs on it) plus an analytic clock-tree power model (so
+// compile.h can budget the watermark signal against the SoC background).
+//
+// Lowering semantics (DESIGN.md §14):
+//  * inputs        -> primary-input clock nets
+//  * link div      -> ripple toggle-flop chain (ceil(log2 ratio) stages,
+//                     exact ratio kept in ClockDomainView::division) plus
+//                     a clock buffer re-emitting the divided net
+//  * link/target inv -> a clock buffer (polarity is metadata: the walks
+//                     in lint::Design only traverse clock cells)
+//  * >1 link       -> a kMux2 chain in front of the ICG; the select and
+//                     reset become primary inputs, glitch-proneness
+//                     (no reset) is recorded in the domain view
+//  * icg           -> rtl ICG; with a controller test_enable and
+//                     test_bypass, enable is OR-ed with test_enable
+//  * watermark     -> wgc::build_wgc + watermark::embed_clock_modulation
+//                     into the domain's ICG (enable = CLK_CTRL AND WMARK)
+//  * sinks         -> clocktree::build_clock_tree + D=Q hold registers,
+//                     declared functional (they stand in for the domain's
+//                     real register file, exactly like the chip presets)
+//
+// Cross-reference and consistency checks (unknown link inputs, declared
+// vs. computed target frequency) throw SocError here, not in the parser.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/design.h"
+#include "power/tech65.h"
+#include "socdesc/description.h"
+
+namespace clockmark::socdesc {
+
+/// Analytic per-domain power accounting (clocktree buffers dominate, per
+/// the paper's Section V calibration).
+struct DomainPower {
+  std::string target;
+  double clock_hz = 0.0;          ///< effective sink clock
+  std::size_t clock_buffers = 0;  ///< tree + chain buffers in the domain
+  std::size_t registers = 0;      ///< sinks + divider stages (WGC extra)
+  bool watermarked = false;
+  /// Dynamic power with every enable high and WMARK stuck at 1.
+  double dynamic_w = 0.0;
+  /// The share the domain's ICG actually gates — the watermark signal
+  /// amplitude when WMARK modulates this domain (0 without an ICG).
+  double modulated_w = 0.0;
+};
+
+struct SocPowerModel {
+  std::vector<DomainPower> domains;
+  double total_w = 0.0;       ///< sum of dynamic_w
+  double background_w = 0.0;  ///< total_w minus watermarked modulated_w
+};
+
+/// One controller lowered into the analysis backends. The Design carries
+/// a ClockDomainView per target (and WatermarkView::domain indices), so
+/// the multi-domain lint rules have their metadata.
+struct ElaboratedSoc {
+  lint::Design design;
+  SocPowerModel power;
+  std::string reference_input;  ///< measurement reference clock name
+  double reference_hz = 0.0;
+};
+
+struct ElaborateOptions {
+  /// Technology library before re-derivation at the reference clock
+  /// (vdd is kept; clock_hz is replaced per domain for power numbers).
+  power::TechLibrary tech{};
+  /// Relative tolerance between a target's declared `freq:` and the
+  /// frequency computed along its chain before elaboration fails.
+  double frequency_tolerance = 1e-3;
+};
+
+/// Lowers one controller. Throws SocError on unknown link inputs, on a
+/// declared frequency that disagrees with the divider chain, or on a
+/// watermark key outside the buildable WGC range.
+ElaboratedSoc elaborate(const ClockController& controller,
+                        const ElaborateOptions& options = {});
+
+}  // namespace clockmark::socdesc

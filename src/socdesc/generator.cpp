@@ -1,0 +1,231 @@
+#include "socdesc/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace clockmark::socdesc {
+namespace {
+
+/// Fixed Pcg32 stream id: generation depends on nothing but the seed.
+constexpr std::uint64_t kGeneratorStream = 0x50cdecc0u;
+
+/// System-clock candidates (the measurement reference).
+constexpr double kSysFrequencies[] = {25.0e6, 48.0e6, 50.0e6, 100.0e6};
+/// Auxiliary input candidates (always slower than every sys choice).
+constexpr double kAuxFrequencies[] = {12.0e6, 24.0e6, 8.0e6, 16.0e6};
+/// WGC widths whose pairwise period LCMs exceed the static correlation
+/// limit, so clean dual-watermark corpora stay at info severity.
+constexpr unsigned kWidths[] = {7, 9, 10, 11};
+constexpr unsigned kDivRatios[] = {2, 4, 8};
+
+const char* const kRoles[] = {"core", "dsp",  "bus", "periph", "uart",
+                              "spi",  "dma",  "ddr", "gpu",    "sram"};
+constexpr std::size_t kRoleCount = sizeof(kRoles) / sizeof(kRoles[0]);
+
+WatermarkSpec make_key(util::Pcg32& rng, unsigned width) {
+  WatermarkSpec wm;
+  wm.wgc.mode = wgc::WgcMode::kLfsr;
+  wm.wgc.width = width;
+  wm.wgc.taps = 0;  // table polynomial: primitive by construction
+  const auto mask = static_cast<std::uint32_t>((1u << width) - 1u);
+  wm.wgc.seed = 1u + rng.bounded(mask - 1u);  // never the lock-up state
+  return wm;
+}
+
+/// The declared frequency a target must carry to satisfy the
+/// elaborator's consistency check.
+double declared_frequency(const ClockController& controller,
+                          const TargetSpec& target) {
+  return controller.find_input(target.links.front().input)->freq_hz /
+         static_cast<double>(total_division(target));
+}
+
+}  // namespace
+
+std::string_view defect_rule_id(DefectKind kind) noexcept {
+  switch (kind) {
+    case DefectKind::kAliasedDomain:
+      return "domain-aliasing";
+    case DefectKind::kTestBypass:
+      return "test-bypassable-watermark";
+    case DefectKind::kGlitchMux:
+      return "glitch-prone-mux";
+    case DefectKind::kKeyCollision:
+      return "cross-domain-collision";
+    case DefectKind::kNone:
+      break;
+  }
+  return "";
+}
+
+DefectKind parse_defect_kind(std::string_view name) {
+  if (name == "none") return DefectKind::kNone;
+  if (name == "aliased-domain") return DefectKind::kAliasedDomain;
+  if (name == "test-bypass") return DefectKind::kTestBypass;
+  if (name == "glitch-mux") return DefectKind::kGlitchMux;
+  if (name == "key-collision") return DefectKind::kKeyCollision;
+  throw SocError("unknown defect kind '" + std::string(name) +
+                 "' (expected none, aliased-domain, test-bypass, "
+                 "glitch-mux or key-collision)");
+}
+
+SocDescription generate_soc(const GeneratorOptions& options) {
+  util::Pcg32 rng(options.seed, kGeneratorStream);
+  const DefectKind defect = options.defect;
+
+  ClockController controller;
+  controller.name = "gen" + std::to_string(options.seed);
+
+  // --- inputs -----------------------------------------------------------
+  const double sys_hz = kSysFrequencies[rng.bounded(4)];
+  controller.inputs.push_back({"clk_sys", sys_hz, 0});
+  const double aux_hz = kAuxFrequencies[rng.bounded(4)];
+  controller.inputs.push_back({"clk_aux", aux_hz, 0});
+  if (defect == DefectKind::kAliasedDomain) {
+    // An input above the measurement reference: a watermark clocked
+    // from it modulates faster than Y is averaged.
+    controller.inputs.push_back({"clk_fast", 2.0 * sys_hz, 0});
+  }
+
+  // --- DFT bypass ---------------------------------------------------------
+  const bool has_test_enable =
+      defect == DefectKind::kTestBypass || rng.bernoulli(0.5);
+  if (has_test_enable) controller.test_enable = "test_en";
+
+  // --- targets -------------------------------------------------------------
+  const std::size_t lo = std::max<std::size_t>(options.min_targets, 2);
+  const std::size_t hi =
+      std::min<std::size_t>(std::max(options.max_targets, lo), kRoleCount);
+  const std::size_t count =
+      lo + rng.bounded(static_cast<std::uint32_t>(hi - lo + 1));
+
+  for (std::size_t i = 0; i < count; ++i) {
+    TargetSpec target;
+    target.name = std::string("t") + std::to_string(i) + "_" + kRoles[i];
+    target.sinks = 8 + rng.bounded(120);
+
+    const bool showcase = i == 0;  // always ICG-gated and watermarked
+    // Watermarked domains carry paper-scale register banks (Table I
+    // sweeps 256..1024); plain domains stay small to keep the
+    // background realistic and elaboration cheap.
+    if (showcase) target.sinks = 512 + 32 * rng.bounded(17);
+    LinkSpec link;
+    link.input = showcase || rng.bernoulli(0.7) ? "clk_sys" : "clk_aux";
+
+    // Guarantee at least one divided target (i == 1); otherwise divide
+    // at random, at link or target level.
+    const bool divided = i == 1 || rng.bernoulli(0.5);
+    if (divided) {
+      DivSpec div;
+      div.ratio = kDivRatios[rng.bounded(3)];
+      if (rng.bernoulli(0.5)) div.reset = "rst_n";
+      if (rng.bernoulli(0.5)) {
+        link.div = div;
+      } else {
+        target.div = div;
+      }
+    }
+    if (!showcase && rng.bernoulli(0.2)) link.inv = true;
+    target.links.push_back(link);
+
+    // A second parent behind a mux — glitch-free (with reset) unless the
+    // defect asks for the reset-less implementation on the showcase.
+    const bool glitch_defect =
+        showcase && defect == DefectKind::kGlitchMux;
+    if (glitch_defect || (!showcase && rng.bernoulli(0.3))) {
+      LinkSpec alt;
+      alt.input = link.input == "clk_sys" ? "clk_aux" : "clk_sys";
+      target.links.push_back(alt);
+      if (!glitch_defect) {
+        MuxSpec mux;
+        mux.select = target.name + "_sel";
+        mux.reset = "rst_n";
+        target.mux = mux;
+      }
+    }
+
+    const bool gated = showcase || rng.bernoulli(0.6);
+    if (gated) {
+      IcgSpec icg;
+      icg.enable = target.name + "_en";
+      // Clean watermarked gates opt out of the DFT bypass; the
+      // test-bypass defect leaves the showcase on it.
+      if (showcase && has_test_enable &&
+          defect != DefectKind::kTestBypass) {
+        icg.test_bypass = false;
+      }
+      target.icg = icg;
+    } else if (!divided && target.links.size() < 2) {
+      // Never a bare buffer-only domain off the reference: those sinks
+      // free-run and tilt the whole design toward background power.
+      DivSpec div;
+      div.ratio = kDivRatios[rng.bounded(3)];
+      target.div = div;
+    }
+
+    if (showcase) {
+      if (defect == DefectKind::kAliasedDomain) {
+        target.links.front().input = "clk_fast";
+        target.links.front().div.reset();
+        target.div.reset();
+      }
+      target.watermark = make_key(rng, kWidths[rng.bounded(4)]);
+    }
+
+    target.freq_hz = declared_frequency(controller, target);
+    controller.targets.push_back(std::move(target));
+  }
+
+  // --- optional second watermark ------------------------------------------
+  if (defect == DefectKind::kKeyCollision) {
+    // Same key, same rate as the showcase: unattributable by design.
+    TargetSpec& twin = controller.targets[1];
+    twin.links = controller.targets[0].links;
+    twin.div = controller.targets[0].div;
+    twin.inv = controller.targets[0].inv;
+    twin.mux.reset();
+    if (twin.links.size() > 1) twin.links.resize(1);
+    if (!twin.icg) twin.icg = IcgSpec{twin.name + "_en", true};
+    if (controller.targets[0].icg) {
+      twin.icg->test_bypass = controller.targets[0].icg->test_bypass;
+    }
+    twin.watermark = controller.targets[0].watermark;
+    twin.freq_hz = declared_frequency(controller, twin);
+  } else if (defect == DefectKind::kNone && rng.bernoulli(0.4)) {
+    // A coexisting, differently-keyed watermark in another gated domain.
+    // Restricted to single-link reference-fed targets so the stretched
+    // period stays well inside the planned trace (no warnings on the
+    // clean corpus) and the reference-timeline expansion is integral.
+    for (std::size_t i = 1; i < controller.targets.size(); ++i) {
+      TargetSpec& other = controller.targets[i];
+      if (!other.icg || other.links.size() > 1 ||
+          other.links.front().input != "clk_sys") {
+        continue;
+      }
+      std::uint32_t pick = rng.bounded(4);
+      if (kWidths[pick] == controller.targets[0].watermark->wgc.width) {
+        pick = (pick + 1) % 4;
+      }
+      other.watermark = make_key(rng, kWidths[pick]);
+      if (has_test_enable) other.icg->test_bypass = false;
+      break;
+    }
+  }
+
+  // --- measurement plan ------------------------------------------------------
+  controller.measure.clock = "clk_sys";
+  controller.measure.trace_cycles = 300000;
+
+  SocDescription description;
+  description.controllers.push_back(std::move(controller));
+  return description;
+}
+
+std::string generate_description(const GeneratorOptions& options) {
+  return render_description(generate_soc(options));
+}
+
+}  // namespace clockmark::socdesc

@@ -1,0 +1,55 @@
+// Seeded random-but-valid clock-controller topologies: an unbounded lint
+// corpus. Generation is pure in the seed (util::Pcg32, no wall-clock, no
+// global state): the same GeneratorOptions produce a byte-identical
+// description, so corpus sweeps are reproducible in CI and failures
+// replay from nothing but the seed.
+//
+// Clean topologies (DefectKind::kNone) elaborate and lint with no
+// error-severity findings; each defect kind injects exactly one class of
+// multi-domain violation with a known rule id, which the CI sweep
+// asserts on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "socdesc/description.h"
+
+namespace clockmark::socdesc {
+
+enum class DefectKind {
+  kNone,           ///< valid topology, lints with no errors
+  kAliasedDomain,  ///< watermark in a domain above the measurement
+                   ///< reference -> domain-aliasing
+  kTestBypass,     ///< watermarked ICG on the DFT bypass
+                   ///< -> test-bypassable-watermark
+  kGlitchMux,      ///< watermarked domain behind a reset-less mux
+                   ///< -> glitch-prone-mux
+  kKeyCollision,   ///< two domains with the identical key and rate
+                   ///< -> cross-domain-collision
+};
+
+/// The rule id the defect kind is expected to trip (empty for kNone).
+std::string_view defect_rule_id(DefectKind kind) noexcept;
+
+/// Parses "none" / "aliased-domain" / "test-bypass" / "glitch-mux" /
+/// "key-collision"; throws SocError on anything else.
+DefectKind parse_defect_kind(std::string_view name);
+
+struct GeneratorOptions {
+  std::uint64_t seed = 1;
+  std::size_t min_targets = 3;  ///< >= 3 keeps every SoC multi-domain
+  std::size_t max_targets = 6;
+  DefectKind defect = DefectKind::kNone;
+};
+
+/// Generates one topology as parsed structures (for direct elaboration).
+SocDescription generate_soc(const GeneratorOptions& options = {});
+
+/// render_description(generate_soc(options)) — the canonical corpus
+/// text, byte-identical per options.
+std::string generate_description(const GeneratorOptions& options = {});
+
+}  // namespace clockmark::socdesc

@@ -1,0 +1,524 @@
+#include "socdesc/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace clockmark::socdesc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Stage 1: text -> generic node tree. A Node is a scalar, a map (ordered
+// key -> Node) or a list; exactly the shapes the clock format uses.
+
+struct Node {
+  std::size_t line = 0;
+  bool is_scalar = false;
+  std::string scalar;
+  std::vector<std::pair<std::string, Node>> map;
+  std::vector<Node> items;
+
+  const Node* find(std::string_view key) const noexcept {
+    for (const auto& [k, v] : map) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct Line {
+  std::size_t number = 0;  ///< 1-based source line
+  std::size_t indent = 0;  ///< spaces before the content
+  std::string text;        ///< content, comment-stripped, right-trimmed
+};
+
+/// Strips a `#` comment. The format's scalars never contain '#', so a
+/// hash at the start of the content or preceded by a space opens a
+/// comment; anything else ("freq#x") is left for the value parser to
+/// reject downstream.
+std::string strip_comment(const std::string& raw) {
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '#') continue;
+    if (i == 0 || raw[i - 1] == ' ') return raw.substr(0, i);
+  }
+  return raw;
+}
+
+std::string rtrim(std::string s) {
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+std::vector<Line> split_lines(std::string_view text) {
+  std::vector<Line> lines;
+  std::size_t number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    ++number;
+    std::string raw(text.substr(start, end - start));
+    start = end + 1;
+    if (raw.find('\t') != std::string::npos) {
+      throw SocError("tab character in indentation or content "
+                     "(use spaces)", number);
+    }
+    std::size_t indent = 0;
+    while (indent < raw.size() && raw[indent] == ' ') ++indent;
+    std::string content = rtrim(strip_comment(raw.substr(indent)));
+    if (content.empty()) continue;  // blank or comment-only line
+    lines.push_back({number, indent, std::move(content)});
+    if (end == text.size()) break;
+  }
+  return lines;
+}
+
+class TreeParser {
+ public:
+  explicit TreeParser(std::string_view text) : lines_(split_lines(text)) {}
+
+  Node parse() {
+    if (lines_.empty()) throw SocError("empty description", 1);
+    if (lines_.front().indent != 0) {
+      throw SocError("first entry must start at column 0",
+                     lines_.front().number);
+    }
+    Node root = parse_container(0);
+    if (pos_ < lines_.size()) {
+      throw SocError("inconsistent indentation", lines_[pos_].number);
+    }
+    return root;
+  }
+
+ private:
+  static bool is_list_item(const Line& line) {
+    return line.text == "-" || line.text.rfind("- ", 0) == 0;
+  }
+
+  /// Parses the block whose entries sit at exactly `indent`. The block
+  /// is either all list items or all map entries; mixing is an error.
+  Node parse_container(std::size_t indent) {
+    Node node;
+    node.line = lines_[pos_].number;
+    const bool list = is_list_item(lines_[pos_]);
+    while (pos_ < lines_.size() && lines_[pos_].indent >= indent) {
+      if (lines_[pos_].indent != indent) {
+        throw SocError("inconsistent indentation", lines_[pos_].number);
+      }
+      if (is_list_item(lines_[pos_]) != list) {
+        throw SocError("cannot mix list items and map keys in one block",
+                       lines_[pos_].number);
+      }
+      if (list) {
+        node.items.push_back(parse_list_item(indent));
+      } else {
+        parse_map_entry(indent, node);
+      }
+    }
+    return node;
+  }
+
+  /// `- inline-content`: the item body (inline entry plus any following
+  /// lines) is a map block aligned two columns past the dash.
+  Node parse_list_item(std::size_t indent) {
+    Line& line = lines_[pos_];
+    const std::string rest =
+        line.text == "-" ? std::string() : line.text.substr(2);
+    if (rest.empty()) {
+      const std::size_t item_line = line.number;
+      ++pos_;
+      if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        return parse_container(lines_[pos_].indent);
+      }
+      Node empty;
+      empty.line = item_line;
+      return empty;
+    }
+    // Rewrite the line in place as the first entry of the item's map
+    // block, aligned where the inline content starts.
+    line.text = rest;
+    line.indent = indent + 2;
+    return parse_container(indent + 2);
+  }
+
+  void parse_map_entry(std::size_t indent, Node& parent) {
+    const Line& line = lines_[pos_];
+    const std::size_t colon = line.text.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw SocError("expected 'key:' or 'key: value', got '" + line.text +
+                         "'",
+                     line.number);
+    }
+    const std::string key = rtrim(line.text.substr(0, colon));
+    for (const char c : key) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+        throw SocError("bad key '" + key + "'", line.number);
+      }
+    }
+    if (parent.find(key) != nullptr) {
+      throw SocError("duplicate key '" + key + "'", line.number);
+    }
+    std::string value = line.text.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+
+    Node child;
+    child.line = line.number;
+    ++pos_;
+    if (!value.empty()) {
+      child.is_scalar = true;
+      child.scalar = std::move(value);
+      if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        throw SocError("scalar '" + key + "' cannot have a nested block",
+                       lines_[pos_].number);
+      }
+    } else if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+      child = parse_container(lines_[pos_].indent);
+      child.line = line.number;
+    }
+    parent.map.emplace_back(key, std::move(child));
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Stage 2: node tree -> SocDescription, with strict key checking.
+
+[[noreturn]] void unknown_key(const std::string& where,
+                              const std::string& key, std::size_t line) {
+  throw SocError("unknown key '" + key + "' in " + where, line);
+}
+
+const Node& require_key(const Node& node, std::string_view key,
+                        const std::string& where) {
+  const Node* child = node.find(key);
+  if (child == nullptr) {
+    throw SocError("missing required key '" + std::string(key) + "' in " +
+                       where,
+                   node.line);
+  }
+  return *child;
+}
+
+std::string require_scalar(const Node& node, const std::string& what) {
+  if (!node.is_scalar || node.scalar.empty()) {
+    throw SocError("expected a value for " + what, node.line);
+  }
+  return node.scalar;
+}
+
+bool parse_bool(const Node& node, const std::string& what) {
+  const std::string value = require_scalar(node, what);
+  if (value == "true") return true;
+  if (value == "false") return false;
+  throw SocError("expected true/false for " + what + ", got '" + value +
+                     "'",
+                 node.line);
+}
+
+std::uint64_t parse_uint(const Node& node, const std::string& what) {
+  const std::string value = require_scalar(node, what);
+  std::size_t used = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &used, 0);  // accepts decimal and 0x...
+  } catch (const std::exception&) {
+    throw SocError("bad number '" + value + "' for " + what, node.line);
+  }
+  if (used != value.size()) {
+    throw SocError("bad number '" + value + "' for " + what, node.line);
+  }
+  return parsed;
+}
+
+DivSpec parse_div(const Node& node, const std::string& where) {
+  DivSpec div;
+  bool have_ratio = false;
+  for (const auto& [key, child] : node.map) {
+    if (key == "default" || key == "ratio") {
+      if (have_ratio) {
+        throw SocError("both 'default' and 'ratio' given in " + where,
+                       child.line);
+      }
+      const std::uint64_t ratio = parse_uint(child, where + " ratio");
+      if (ratio < 2 || ratio > 4096) {
+        throw SocError("division ratio must be in [2, 4096], got " +
+                           std::to_string(ratio),
+                       child.line);
+      }
+      div.ratio = static_cast<unsigned>(ratio);
+      have_ratio = true;
+    } else if (key == "reset") {
+      div.reset = require_scalar(child, where + " reset");
+    } else {
+      unknown_key(where, key, child.line);
+    }
+  }
+  if (!have_ratio) {
+    throw SocError("divider in " + where +
+                       " needs a 'default:' or 'ratio:' value",
+                   node.line);
+  }
+  return div;
+}
+
+MuxSpec parse_mux(const Node& node, const std::string& where) {
+  MuxSpec mux;
+  for (const auto& [key, child] : node.map) {
+    if (key == "select") {
+      mux.select = require_scalar(child, where + " select");
+    } else if (key == "reset") {
+      mux.reset = require_scalar(child, where + " reset");
+    } else {
+      unknown_key(where, key, child.line);
+    }
+  }
+  return mux;
+}
+
+IcgSpec parse_icg(const Node& node, const std::string& where) {
+  IcgSpec icg;
+  for (const auto& [key, child] : node.map) {
+    if (key == "enable") {
+      icg.enable = require_scalar(child, where + " enable");
+    } else if (key == "test_bypass") {
+      icg.test_bypass = parse_bool(child, where + " test_bypass");
+    } else {
+      unknown_key(where, key, child.line);
+    }
+  }
+  if (icg.enable.empty()) {
+    throw SocError("icg in " + where + " needs an 'enable:' signal",
+                   node.line);
+  }
+  return icg;
+}
+
+WatermarkSpec parse_watermark(const Node& node, const std::string& where) {
+  WatermarkSpec wm;
+  for (const auto& [key, child] : node.map) {
+    if (key == "mode") {
+      const std::string mode = require_scalar(child, where + " mode");
+      if (mode == "lfsr") {
+        wm.wgc.mode = wgc::WgcMode::kLfsr;
+      } else if (mode == "circular") {
+        wm.wgc.mode = wgc::WgcMode::kCircular;
+      } else {
+        throw SocError("watermark mode must be lfsr or circular, got '" +
+                           mode + "'",
+                       child.line);
+      }
+    } else if (key == "width") {
+      wm.wgc.width = static_cast<unsigned>(
+          parse_uint(child, where + " width"));
+    } else if (key == "taps") {
+      wm.wgc.taps = static_cast<std::uint32_t>(
+          parse_uint(child, where + " taps"));
+    } else if (key == "seed") {
+      wm.wgc.seed = static_cast<std::uint32_t>(
+          parse_uint(child, where + " seed"));
+    } else {
+      unknown_key(where, key, child.line);
+    }
+  }
+  return wm;
+}
+
+LinkSpec parse_link(const std::string& input, const Node& node,
+                    const std::string& where) {
+  LinkSpec link;
+  link.input = input;
+  link.line = node.line;
+  for (const auto& [key, child] : node.map) {
+    if (key == "div") {
+      link.div = parse_div(child, where + " div");
+    } else if (key == "inv") {
+      link.inv = parse_bool(child, where + " inv");
+    } else {
+      unknown_key(where, key, child.line);
+    }
+  }
+  return link;
+}
+
+TargetSpec parse_target(const std::string& name, const Node& node) {
+  TargetSpec target;
+  target.name = name;
+  target.line = node.line;
+  const std::string where = "target '" + name + "'";
+  bool have_freq = false;
+  for (const auto& [key, child] : node.map) {
+    if (key == "freq") {
+      target.freq_hz =
+          parse_frequency(require_scalar(child, where + " freq"),
+                          child.line);
+      have_freq = true;
+    } else if (key == "sinks") {
+      const std::uint64_t sinks = parse_uint(child, where + " sinks");
+      if (sinks == 0 || sinks > 65536) {
+        throw SocError("sinks must be in [1, 65536], got " +
+                           std::to_string(sinks),
+                       child.line);
+      }
+      target.sinks = static_cast<std::size_t>(sinks);
+    } else if (key == "link") {
+      if (child.map.empty()) {
+        throw SocError(where + " 'link:' lists no inputs", child.line);
+      }
+      for (const auto& [input, attrs] : child.map) {
+        target.links.push_back(
+            parse_link(input, attrs, where + " link '" + input + "'"));
+        if (target.links.back().line == 0) {
+          target.links.back().line = child.line;
+        }
+      }
+    } else if (key == "mux") {
+      target.mux = parse_mux(child, where + " mux");
+    } else if (key == "icg") {
+      target.icg = parse_icg(child, where + " icg");
+    } else if (key == "div") {
+      target.div = parse_div(child, where + " div");
+    } else if (key == "inv") {
+      target.inv = parse_bool(child, where + " inv");
+    } else if (key == "watermark") {
+      target.watermark = parse_watermark(child, where + " watermark");
+    } else {
+      unknown_key(where, key, child.line);
+    }
+  }
+  if (!have_freq) {
+    throw SocError(where + " needs a declared 'freq:'", node.line);
+  }
+  if (target.links.empty()) {
+    throw SocError(where + " needs a 'link:' block", node.line);
+  }
+  if (target.mux && target.links.size() < 2) {
+    throw SocError(where + " declares a mux but links only one input",
+                   node.line);
+  }
+  return target;
+}
+
+MeasureSpec parse_measure(const Node& node, const std::string& where) {
+  MeasureSpec measure;
+  for (const auto& [key, child] : node.map) {
+    if (key == "clock") {
+      measure.clock = require_scalar(child, where + " measure clock");
+    } else if (key == "sample_rate") {
+      measure.sample_rate_hz = parse_frequency(
+          require_scalar(child, where + " sample_rate"), child.line);
+    } else if (key == "trace") {
+      const std::uint64_t trace = parse_uint(child, where + " trace");
+      if (trace == 0) {
+        throw SocError("measure trace must be positive", child.line);
+      }
+      measure.trace_cycles = static_cast<std::size_t>(trace);
+    } else {
+      unknown_key(where + " measure", key, child.line);
+    }
+  }
+  return measure;
+}
+
+ClockController parse_controller(const Node& node) {
+  ClockController ctrl;
+  ctrl.line = node.line;
+  for (const auto& [key, child] : node.map) {
+    if (key == "name") {
+      ctrl.name = require_scalar(child, "controller name");
+    } else if (key == "test_enable" || key == "test_en") {
+      ctrl.test_enable = require_scalar(child, "controller test_enable");
+    } else if (key == "clock") {
+      // qsoc's default synchronous clock for divider/mux control logic;
+      // carried by the format but not modelled here.
+      (void)require_scalar(child, "controller clock");
+    } else if (key == "input") {
+      for (const auto& [input, attrs] : child.map) {
+        InputSpec spec;
+        spec.name = input;
+        spec.line = attrs.line;
+        const Node& freq = require_key(attrs, "freq",
+                                       "input '" + input + "'");
+        spec.freq_hz = parse_frequency(
+            require_scalar(freq, "input '" + input + "' freq"), freq.line);
+        for (const auto& [ikey, ichild] : attrs.map) {
+          if (ikey != "freq") {
+            unknown_key("input '" + input + "'", ikey, ichild.line);
+          }
+        }
+        ctrl.inputs.push_back(std::move(spec));
+      }
+    } else if (key == "target") {
+      for (const auto& [target, attrs] : child.map) {
+        ctrl.targets.push_back(parse_target(target, attrs));
+      }
+    } else if (key == "measure") {
+      ctrl.measure = parse_measure(child, "controller");
+    } else {
+      unknown_key("clock controller", key, child.line);
+    }
+  }
+  const std::string where =
+      ctrl.name.empty() ? "clock controller" : "controller '" + ctrl.name +
+                                                   "'";
+  if (ctrl.name.empty()) {
+    throw SocError(where + " needs a 'name:'", node.line);
+  }
+  if (ctrl.inputs.empty()) {
+    throw SocError(where + " needs a nonempty 'input:' block", node.line);
+  }
+  if (ctrl.targets.empty()) {
+    throw SocError(where + " needs a nonempty 'target:' block", node.line);
+  }
+  return ctrl;
+}
+
+}  // namespace
+
+SocDescription parse_description(std::string_view text) {
+  TreeParser tree(text);
+  const Node root = tree.parse();
+  if (root.find("clock") == nullptr) {
+    throw SocError("description has no 'clock:' section", root.line);
+  }
+  SocDescription description;
+  for (const auto& [key, section] : root.map) {
+    if (key != "clock") unknown_key("description", key, section.line);
+    if (section.items.empty()) {
+      throw SocError("'clock:' section lists no controllers",
+                     section.line);
+    }
+    for (const Node& item : section.items) {
+      description.controllers.push_back(parse_controller(item));
+    }
+  }
+  // Controller names must be unique so reports are unambiguous.
+  for (std::size_t a = 0; a < description.controllers.size(); ++a) {
+    for (std::size_t b = a + 1; b < description.controllers.size(); ++b) {
+      if (description.controllers[a].name ==
+          description.controllers[b].name) {
+        throw SocError("duplicate controller name '" +
+                           description.controllers[a].name + "'",
+                       description.controllers[b].line);
+      }
+    }
+  }
+  return description;
+}
+
+SocDescription parse_description_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw SocError("cannot read description file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_description(buffer.str());
+}
+
+}  // namespace clockmark::socdesc

@@ -1,0 +1,25 @@
+// Hand-rolled parser for the declarative clock-controller format
+// (description.h). The accepted surface is the indentation-structured
+// subset qsoc's `clock:` section uses — maps of `key: value` / `key:`
+// blocks, `- ` list items, `#` comments — parsed strictly: tabs, ragged
+// indentation, duplicate keys, unknown keys and missing required keys
+// are all hard SocErrors with the offending line, never best-effort.
+#pragma once
+
+#include <string_view>
+
+#include "socdesc/description.h"
+
+namespace clockmark::socdesc {
+
+/// Parses a clock-controller description. Throws SocError (with the
+/// 1-based source line) on any syntactic or local semantic problem:
+/// the cross-reference and consistency checks (link targets exist,
+/// declared frequencies match the chain) live in elaborate.h.
+SocDescription parse_description(std::string_view text);
+
+/// Convenience: reads `path` and parses it. Throws SocError when the
+/// file cannot be read.
+SocDescription parse_description_file(const std::string& path);
+
+}  // namespace clockmark::socdesc

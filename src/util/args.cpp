@@ -25,6 +25,20 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
+template <typename Container>
+std::string closest(const std::string& name, const Container& candidates) {
+  std::string best;
+  std::size_t best_dist = 3;  // hint only within edit distance 2
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_dist && d * 2 <= std::max(name.size(), candidate.size())) {
+      best_dist = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 Args::Args(int argc, const char* const* argv) {
@@ -69,16 +83,12 @@ std::vector<std::string> Args::unknown() const {
 }
 
 std::string Args::suggestion(const std::string& name) const {
-  std::string best;
-  std::size_t best_dist = 3;  // hint only within edit distance 2
-  for (const auto& candidate : recognised_) {
-    const std::size_t d = edit_distance(name, candidate);
-    if (d < best_dist && d * 2 <= std::max(name.size(), candidate.size())) {
-      best_dist = d;
-      best = candidate;
-    }
-  }
-  return best;
+  return closest(name, recognised_);
+}
+
+std::string Args::value_suggestion(const std::string& value,
+                                   const std::vector<std::string>& allowed) {
+  return closest(value, allowed);
 }
 
 void Args::reject_unknown() const {
@@ -94,6 +104,30 @@ void Args::reject_unknown() const {
                    "%s: unrecognized option '--%s' (did you mean '--%s'?)\n",
                    program_.c_str(), name.c_str(), hint.c_str());
     }
+  }
+  std::exit(2);
+}
+
+void Args::reject_unknown_value(
+    const std::string& name, const std::string& value,
+    const std::vector<std::string>& allowed) const {
+  if (std::find(allowed.begin(), allowed.end(), value) != allowed.end()) {
+    return;
+  }
+  const std::string hint = value_suggestion(value, allowed);
+  if (!hint.empty()) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' for '--%s' (did you mean '%s'?)\n",
+                 program_.c_str(), value.c_str(), name.c_str(), hint.c_str());
+  } else {
+    std::string expected;
+    for (const auto& candidate : allowed) {
+      if (!expected.empty()) expected += ", ";
+      expected += candidate;
+    }
+    std::fprintf(stderr, "%s: invalid value '%s' for '--%s' (expected %s)\n",
+                 program_.c_str(), value.c_str(), name.c_str(),
+                 expected.c_str());
   }
   std::exit(2);
 }

@@ -42,6 +42,18 @@ class Args {
   /// exits with status 2. No-op when every flag was recognised.
   void reject_unknown() const;
 
+  /// The closest entry in `allowed` to `value` (same plausibility policy
+  /// as suggestion()), or "" when nothing is close enough to hint at.
+  static std::string value_suggestion(const std::string& value,
+                                      const std::vector<std::string>& allowed);
+
+  /// Call when an enumerated option carries a value outside its allowed
+  /// set: prints an error naming the option and the allowed values (plus
+  /// a did-you-mean hint when one is close) and exits with status 2.
+  /// No-op when `value` is in `allowed`.
+  void reject_unknown_value(const std::string& name, const std::string& value,
+                            const std::vector<std::string>& allowed) const;
+
   /// Positional (non --flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 

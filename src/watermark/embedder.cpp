@@ -116,7 +116,9 @@ EmbedResult embed_clock_modulation(rtl::Netlist& netlist,
       wgc_module_path.empty() ? std::string("embed") : wgc_module_path;
   std::size_t idx = 0;
   for (const rtl::CellId icg_id : target_icgs) {
-    rtl::Cell& icg = netlist.cell(icg_id);
+    // Copy what we need up front: add_net/add_gate below grow the
+    // netlist's cell vector, so a Cell& held across them would dangle.
+    const rtl::Cell icg = netlist.cell(icg_id);
     if (icg.kind != rtl::CellKind::kIcg) {
       throw std::invalid_argument(
           "embed_clock_modulation: target is not an ICG");
@@ -127,7 +129,7 @@ EmbedResult embed_clock_modulation(rtl::Netlist& netlist,
     result.and_gates.push_back(netlist.add_gate(
         rtl::CellKind::kAnd2, base + "_and" + std::to_string(idx),
         icg.module, {original_enable, result.wmark}, modulated));
-    icg.inputs[0] = modulated;
+    netlist.cell(icg_id).inputs[0] = modulated;
     ++idx;
   }
   return result;
@@ -151,7 +153,9 @@ DiversifiedEmbedResult embed_clock_modulation_diversified(
       wgc_module_path.empty() ? std::string("dembed") : wgc_module_path;
   std::size_t idx = 0;
   for (const rtl::CellId icg_id : target_icgs) {
-    rtl::Cell& icg = netlist.cell(icg_id);
+    // Copy, not reference: add_net/add_gate below may reallocate the
+    // cell vector and a Cell& held across them would dangle.
+    const rtl::Cell icg = netlist.cell(icg_id);
     if (icg.kind != rtl::CellKind::kIcg) {
       throw std::invalid_argument(
           "embed_clock_modulation_diversified: target is not an ICG");
@@ -165,7 +169,7 @@ DiversifiedEmbedResult embed_clock_modulation_diversified(
     result.and_gates.push_back(netlist.add_gate(
         rtl::CellKind::kAnd2, base + "_dand" + std::to_string(idx),
         icg.module, {original_enable, stage_net}, modulated));
-    icg.inputs[0] = modulated;
+    netlist.cell(icg_id).inputs[0] = modulated;
     result.stage_of_icg.push_back(stage);
     ++idx;
   }

@@ -126,6 +126,79 @@ TEST(LintJsonParser, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(LintJsonParser, RejectsTruncatedObjectsAndArrays) {
+  const char* kTruncated[] = {
+      "{",
+      "{\"design\"",
+      "{\"design\": ",
+      "{\"design\": \"d",
+      "{\"design\": \"d\", \"diagnostics\": [",
+      "{\"design\": \"d\", \"diagnostics\": [{\"rule\": \"r\"",
+      "{\"design\": \"d\", \"diagnostics\": []",
+      "{\"design\": \"d\\",
+      "{\"design\": \"d\\u00",
+  };
+  for (const char* doc : kTruncated) {
+    EXPECT_THROW((void)parse_json_reports(doc), std::invalid_argument)
+        << doc;
+  }
+}
+
+TEST(LintJsonParser, RejectsDuplicateObjectKeys) {
+  // Whichever copy a lenient parser kept could flip a CI verdict, so
+  // duplicates are malformed, not best-effort.
+  const std::string doc =
+      "{\"design\": \"a\", \"design\": \"b\", \"summary\": "
+      "{\"errors\": 0, \"warnings\": 0, \"infos\": 0}, "
+      "\"diagnostics\": []}";
+  EXPECT_THROW((void)parse_json_reports(doc), std::invalid_argument);
+  const std::string nested =
+      "{\"design\": \"d\", \"summary\": {\"errors\": 0, \"errors\": 0, "
+      "\"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}";
+  EXPECT_THROW((void)parse_json_reports(nested), std::invalid_argument);
+}
+
+TEST(LintJsonParser, RejectsBadUnicodeEscapes) {
+  const char* kBad[] = {
+      "{\"design\": \"\\uZZZZ\", \"summary\": {\"errors\": 0, "
+      "\"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}",
+      // Lone high surrogate (no low half follows).
+      "{\"design\": \"\\ud83d\", \"summary\": {\"errors\": 0, "
+      "\"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}",
+      // Lone low surrogate.
+      "{\"design\": \"\\ude00\", \"summary\": {\"errors\": 0, "
+      "\"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}",
+      // High surrogate followed by a non-surrogate escape.
+      "{\"design\": \"\\ud83d\\u0041\", \"summary\": {\"errors\": 0, "
+      "\"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}",
+      // Unknown single-character escape.
+      "{\"design\": \"\\q\", \"summary\": {\"errors\": 0, "
+      "\"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}",
+  };
+  for (const char* doc : kBad) {
+    EXPECT_THROW((void)parse_json_reports(doc), std::invalid_argument)
+        << doc;
+  }
+}
+
+TEST(LintJsonParser, EnforcesTheStrictNumberGrammar) {
+  const auto doc_with_errors = [](const char* number) {
+    return "{\"design\": \"d\", \"summary\": {\"errors\": " +
+           std::string(number) +
+           ", \"warnings\": 0, \"infos\": 0}, \"diagnostics\": []}";
+  };
+  // Valid JSON numbers parse...
+  EXPECT_NO_THROW((void)parse_json_reports(doc_with_errors("0")));
+  EXPECT_NO_THROW((void)parse_json_reports(doc_with_errors("0.0e1")));
+  // ...and the stod-permissive forms RFC 8259 forbids do not.
+  for (const char* bad : {"+1", "01", ".5", "1.", "1e", "1e+", "-",
+                          "0x10", "1..2", "nan", "inf"}) {
+    EXPECT_THROW((void)parse_json_reports(doc_with_errors(bad)),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
 TEST(LintJsonParser, RejectsSummaryDisagreeingWithDiagnostics) {
   const std::string doc =
       "{\"design\": \"d\", \"summary\": {\"errors\": 2, \"warnings\": 0, "

@@ -288,7 +288,7 @@ TEST(LintSamplingAliasing, PassesThePaperSetup) {
 
 TEST(LintRegistry, CatalogIsCompleteAndIdUnique) {
   const RuleRegistry& reg = registry();
-  EXPECT_EQ(reg.size(), 10u);
+  EXPECT_EQ(reg.size(), 14u);  // 10 flat + 4 multi-domain rules
   for (const Rule* rule : reg.rules()) {
     EXPECT_EQ(reg.find(rule->info().id), rule);
     EXPECT_FALSE(rule->info().paper_ref.empty());

@@ -1,0 +1,675 @@
+// The socdesc frontend end to end: strict parsing (positive and
+// negative), render/parse round-trips, deterministic generation, the
+// multi-domain rule catalog on both hand-built designs and generated
+// corpora, and the compile_scenario bridge into detect::Session.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/session.h"
+#include "lint/analyzer.h"
+#include "lint/design.h"
+#include "lint/report.h"
+#include "lint/rule.h"
+#include "measure/acquisition.h"
+#include "power/tech65.h"
+#include "rtl/netlist.h"
+#include "sim/scenario.h"
+#include "socdesc/compile.h"
+#include "socdesc/elaborate.h"
+#include "socdesc/generator.h"
+#include "socdesc/parser.h"
+
+namespace clockmark {
+namespace {
+
+using socdesc::ClockController;
+using socdesc::DefectKind;
+using socdesc::SocDescription;
+using socdesc::SocError;
+
+// The showcase description (mirrors examples/socs/multi_domain.yaml):
+// four domains on two inputs, one divided, one muxed, one watermarked
+// behind a bypass-hardened ICG.
+const char kShowcase[] = R"(# Multi-domain demo SoC clock controller.
+clock:
+  - name: demo_soc
+    test_enable: test_en
+    input:
+      clk_sys:
+        freq: 48MHz
+      clk_aux:
+        freq: 12MHz
+    target:
+      cpu:
+        freq: 48MHz
+        sinks: 1024   # paper Fig. 4(a): 32 words x 32 bits
+        link:
+          clk_sys:
+        icg:
+          enable: cpu_en
+          test_bypass: false   # keep the watermark off the DFT bypass
+        watermark:
+          mode: lfsr
+          width: 10
+          seed: 0x2a
+      bus:
+        freq: 24MHz
+        sinks: 32
+        link:
+          clk_sys:
+            div:
+              default: 2
+              reset: rst_n
+        icg:
+          enable: bus_en
+      uart:
+        freq: 12MHz
+        sinks: 16
+        link:
+          clk_sys:
+          clk_aux:
+        mux:
+          select: uart_sel
+          reset: rst_n
+        div:
+          default: 4
+      dsp:
+        freq: 12MHz
+        sinks: 48
+        link:
+          clk_aux:
+        icg:
+          enable: dsp_en
+    measure:
+      clock: clk_sys
+      trace: 300000
+)";
+
+const lint::RuleRegistry& registry() {
+  static const lint::RuleRegistry kRegistry = lint::builtin_rules();
+  return kRegistry;
+}
+
+lint::LintReport lint_design(const lint::Design& design) {
+  return lint::Analyzer(registry()).run(design);
+}
+
+std::string render_text(const lint::LintReport& report) {
+  std::ostringstream os;
+  lint::TextReporter().write(report, os);
+  return os.str();
+}
+
+std::vector<lint::Diagnostic> run_rule(const std::string& id,
+                                       const lint::Design& design) {
+  const lint::Rule* rule = registry().find(id);
+  EXPECT_NE(rule, nullptr) << "unknown rule " << id;
+  std::vector<lint::Diagnostic> out;
+  if (rule != nullptr) rule->run(design, out);
+  return out;
+}
+
+bool has_error(const std::vector<lint::Diagnostic>& diags,
+               const std::string& rule) {
+  for (const lint::Diagnostic& d : diags) {
+    if (d.rule == rule && d.severity == lint::Severity::kError) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+
+TEST(SocDescParser, ParsesTheShowcase) {
+  const SocDescription soc = socdesc::parse_description(kShowcase);
+  ASSERT_EQ(soc.controllers.size(), 1u);
+  const ClockController& ctrl = soc.controllers.front();
+  EXPECT_EQ(ctrl.name, "demo_soc");
+  EXPECT_EQ(ctrl.test_enable, "test_en");
+  ASSERT_EQ(ctrl.inputs.size(), 2u);
+  EXPECT_DOUBLE_EQ(ctrl.inputs[0].freq_hz, 48e6);
+  EXPECT_DOUBLE_EQ(ctrl.inputs[1].freq_hz, 12e6);
+  ASSERT_EQ(ctrl.targets.size(), 4u);
+
+  const socdesc::TargetSpec* cpu = ctrl.find_target("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->sinks, 1024u);
+  ASSERT_TRUE(cpu->icg);
+  EXPECT_EQ(cpu->icg->enable, "cpu_en");
+  EXPECT_FALSE(cpu->icg->test_bypass);
+  ASSERT_TRUE(cpu->watermark);
+  EXPECT_EQ(cpu->watermark->wgc.width, 10u);
+  EXPECT_EQ(cpu->watermark->wgc.seed, 0x2au);  // hex literal accepted
+
+  const socdesc::TargetSpec* bus = ctrl.find_target("bus");
+  ASSERT_NE(bus, nullptr);
+  ASSERT_EQ(bus->links.size(), 1u);
+  ASSERT_TRUE(bus->links[0].div);
+  EXPECT_EQ(bus->links[0].div->ratio, 2u);
+  EXPECT_EQ(bus->links[0].div->reset, "rst_n");
+  EXPECT_EQ(socdesc::total_division(*bus), 2u);
+
+  const socdesc::TargetSpec* uart = ctrl.find_target("uart");
+  ASSERT_NE(uart, nullptr);
+  ASSERT_EQ(uart->links.size(), 2u);
+  ASSERT_TRUE(uart->mux);
+  EXPECT_EQ(uart->mux->select, "uart_sel");
+  EXPECT_EQ(uart->mux->reset, "rst_n");
+  ASSERT_TRUE(uart->div);
+  EXPECT_EQ(uart->div->ratio, 4u);
+  EXPECT_DOUBLE_EQ(socdesc::effective_frequency(ctrl, *uart), 12e6);
+
+  EXPECT_EQ(ctrl.measure.clock, "clk_sys");
+  EXPECT_EQ(ctrl.measure.trace_cycles, 300000u);
+}
+
+TEST(SocDescParser, RejectsMalformedDescriptions) {
+  const struct {
+    const char* text;
+    const char* needle;
+  } kCases[] = {
+      {"", "empty description"},
+      {"clock:\n\t- name: x\n", "tab character"},
+      {"  clock:\n", "column 0"},
+      {"clock:\n  - name: a\n   input:\n", "inconsistent indentation"},
+      {"clock:\n  - name: a\n    name: b\n", "duplicate key"},
+      {"clock2:\n  x: 1\n", "no 'clock:' section"},
+      {"clock:\n  - name: a\n    bogus: 1\n", "unknown key"},
+      {"power:\n  x: 1\n", "no 'clock:' section"},
+      {"clock:\n", "lists no controllers"},
+      {"clock:\n  - input:\n      c:\n        freq: 1MHz\n", "needs a"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 0MHz\n",
+       "not positive"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 1parsec\n",
+       "unknown frequency unit"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 1MHz\n"
+       "    target:\n      t:\n        freq: 1MHz\n",
+       "needs a 'link:' block"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 1MHz\n"
+       "    target:\n      t:\n        link:\n          c:\n",
+       "needs a declared 'freq:'"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 1MHz\n"
+       "    target:\n      t:\n        freq: 1MHz\n        link:\n"
+       "          c:\n        mux:\n          reset: r\n",
+       "links only one input"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 4MHz\n"
+       "    target:\n      t:\n        freq: 4MHz\n        link:\n"
+       "          c:\n            div:\n              default: 1\n",
+       "division ratio must be in [2, 4096]"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 4MHz\n"
+       "    target:\n      t:\n        freq: 4MHz\n        link:\n"
+       "          c:\n        icg:\n          test_bypass: false\n",
+       "needs an 'enable:'"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 4MHz\n"
+       "    target:\n      t:\n        freq: 4MHz\n        link:\n"
+       "          c:\n        inv: yes\n",
+       "expected true/false"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 4MHz\n"
+       "    target:\n      t:\n        freq: 4MHz\n        link:\n"
+       "          c:\n        sinks: 1x\n",
+       "bad number"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 4MHz\n"
+       "    target:\n      t:\n        freq: 4MHz scalar\n          x: 1\n",
+       "cannot have a nested block"},
+      {"clock:\n  - name: a\n    input:\n      c:\n        freq: 4MHz\n"
+       "    target:\n      t:\n        freq: 4MHz\n        link:\n"
+       "          c:\n  - name: a\n    input:\n      c:\n"
+       "        freq: 4MHz\n    target:\n      t:\n        freq: 4MHz\n"
+       "        link:\n          c:\n",
+       "duplicate controller name"},
+  };
+  for (const auto& c : kCases) {
+    try {
+      socdesc::parse_description(c.text);
+      FAIL() << "accepted: " << c.text;
+    } catch (const SocError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "for input <" << c.text << "> got: " << e.what();
+    }
+  }
+}
+
+TEST(SocDescParser, ReportsLineNumbers) {
+  try {
+    socdesc::parse_description("clock:\n  - name: a\n    bogus: 1\n");
+    FAIL();
+  } catch (const SocError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SocDescFrequency, ParsesAndFormats) {
+  EXPECT_DOUBLE_EQ(socdesc::parse_frequency("10MHz"), 10e6);
+  EXPECT_DOUBLE_EQ(socdesc::parse_frequency("32.768kHz"), 32768.0);
+  EXPECT_DOUBLE_EQ(socdesc::parse_frequency("1GHz"), 1e9);
+  EXPECT_DOUBLE_EQ(socdesc::parse_frequency("250"), 250.0);
+  EXPECT_DOUBLE_EQ(socdesc::parse_frequency("250Hz"), 250.0);
+  EXPECT_THROW(socdesc::parse_frequency("fast"), SocError);
+  EXPECT_THROW(socdesc::parse_frequency("-1MHz"), SocError);
+
+  EXPECT_EQ(socdesc::format_frequency(48e6), "48MHz");
+  EXPECT_EQ(socdesc::format_frequency(3.125e6), "3.125MHz");
+  EXPECT_EQ(socdesc::format_frequency(32768.0), "32.768kHz");
+  EXPECT_EQ(socdesc::format_frequency(250.0), "250Hz");
+  for (const double hz : {48e6, 12.5e6, 750e3, 390.625e3, 1e9}) {
+    EXPECT_DOUBLE_EQ(socdesc::parse_frequency(socdesc::format_frequency(hz)),
+                     hz);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Renderer and generator
+
+TEST(SocDescRender, RoundTripsTheShowcase) {
+  const SocDescription parsed = socdesc::parse_description(kShowcase);
+  const std::string rendered = socdesc::render_description(parsed);
+  const SocDescription reparsed = socdesc::parse_description(rendered);
+  // Render is canonical: a second round-trip is a fixed point.
+  EXPECT_EQ(socdesc::render_description(reparsed), rendered);
+  ASSERT_EQ(reparsed.controllers.size(), 1u);
+  const ClockController& ctrl = reparsed.controllers.front();
+  EXPECT_EQ(ctrl.name, "demo_soc");
+  ASSERT_EQ(ctrl.targets.size(), 4u);
+  ASSERT_TRUE(ctrl.targets[0].watermark);
+  EXPECT_EQ(ctrl.targets[0].watermark->wgc.seed, 0x2au);
+  EXPECT_EQ(ctrl.measure.trace_cycles, 300000u);
+}
+
+TEST(SocDescGenerator, ByteIdenticalPerSeed) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234567ull}) {
+    socdesc::GeneratorOptions options;
+    options.seed = seed;
+    EXPECT_EQ(socdesc::generate_description(options),
+              socdesc::generate_description(options))
+        << "seed " << seed;
+  }
+  socdesc::GeneratorOptions a;
+  a.seed = 1;
+  socdesc::GeneratorOptions b;
+  b.seed = 2;
+  EXPECT_NE(socdesc::generate_description(a),
+            socdesc::generate_description(b));
+}
+
+TEST(SocDescGenerator, GeneratedTextRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    socdesc::GeneratorOptions options;
+    options.seed = seed;
+    const std::string text = socdesc::generate_description(options);
+    const SocDescription parsed = socdesc::parse_description(text);
+    EXPECT_EQ(socdesc::render_description(parsed), text) << "seed " << seed;
+    ASSERT_GE(parsed.controllers.front().targets.size(), 3u);
+  }
+}
+
+TEST(SocDescGenerator, DefectKindNamesRoundTrip) {
+  EXPECT_EQ(socdesc::parse_defect_kind("none"), DefectKind::kNone);
+  EXPECT_EQ(socdesc::parse_defect_kind("aliased-domain"),
+            DefectKind::kAliasedDomain);
+  EXPECT_EQ(socdesc::parse_defect_kind("test-bypass"),
+            DefectKind::kTestBypass);
+  EXPECT_EQ(socdesc::parse_defect_kind("glitch-mux"), DefectKind::kGlitchMux);
+  EXPECT_EQ(socdesc::parse_defect_kind("key-collision"),
+            DefectKind::kKeyCollision);
+  EXPECT_THROW(socdesc::parse_defect_kind("meltdown"), SocError);
+  EXPECT_EQ(socdesc::defect_rule_id(DefectKind::kNone), "");
+  EXPECT_EQ(socdesc::defect_rule_id(DefectKind::kTestBypass),
+            "test-bypassable-watermark");
+}
+
+// ---------------------------------------------------------------------
+// Elaboration
+
+TEST(SocDescElaborate, LowersTheShowcase) {
+  const SocDescription soc = socdesc::parse_description(kShowcase);
+  const socdesc::ElaboratedSoc elaborated =
+      socdesc::elaborate(soc.controllers.front());
+  EXPECT_EQ(elaborated.reference_input, "clk_sys");
+  EXPECT_DOUBLE_EQ(elaborated.reference_hz, 48e6);
+  ASSERT_EQ(elaborated.design.clock_domains().size(), 4u);
+
+  const lint::ClockDomainView& cpu = elaborated.design.clock_domains()[0];
+  EXPECT_EQ(cpu.target, "cpu");
+  EXPECT_DOUBLE_EQ(cpu.clock_hz, 48e6);
+  EXPECT_FALSE(cpu.test_bypassable);  // test_bypass: false opts out
+  const lint::ClockDomainView& bus = elaborated.design.clock_domains()[1];
+  EXPECT_EQ(bus.division, 2u);
+  EXPECT_TRUE(bus.test_bypassable);  // default bypass + test_enable
+  const lint::ClockDomainView& uart = elaborated.design.clock_domains()[2];
+  EXPECT_EQ(uart.mux_sources, 2u);
+  EXPECT_FALSE(uart.mux_glitch_prone);  // mux has a reset
+
+  ASSERT_EQ(elaborated.design.watermarks().size(), 1u);
+  const lint::WatermarkView& wm = elaborated.design.watermarks()[0];
+  EXPECT_EQ(wm.name, "cpu");
+  ASSERT_TRUE(wm.domain);
+  EXPECT_EQ(*wm.domain, 0u);
+
+  ASSERT_EQ(elaborated.power.domains.size(), 4u);
+  EXPECT_TRUE(elaborated.power.domains[0].watermarked);
+  EXPECT_GT(elaborated.power.domains[0].modulated_w, 0.0);
+  EXPECT_GT(elaborated.power.total_w, elaborated.power.background_w);
+  EXPECT_GT(elaborated.power.background_w, 0.0);
+
+  ASSERT_TRUE(elaborated.design.acquisition());
+  EXPECT_DOUBLE_EQ(elaborated.design.acquisition()->scope.sample_rate_hz,
+                   50.0 * 48e6);
+  ASSERT_TRUE(elaborated.design.tech());
+  EXPECT_DOUBLE_EQ(elaborated.design.tech()->clock_hz, 48e6);
+}
+
+TEST(SocDescElaborate, ShowcaseLintsClean) {
+  const SocDescription soc = socdesc::parse_description(kShowcase);
+  const lint::LintReport report =
+      lint_design(socdesc::elaborate(soc.controllers.front()).design);
+  EXPECT_TRUE(report.clean()) << render_text(report);
+  EXPECT_EQ(report.counts.warnings, 0u) << render_text(report);
+}
+
+TEST(SocDescElaborate, RejectsInconsistentFrequency) {
+  SocDescription soc = socdesc::parse_description(kShowcase);
+  soc.controllers.front().targets[1].freq_hz = 40e6;  // chain says 24 MHz
+  EXPECT_THROW(socdesc::elaborate(soc.controllers.front()), SocError);
+}
+
+TEST(SocDescElaborate, RejectsUnknownLinkInput) {
+  SocDescription soc = socdesc::parse_description(kShowcase);
+  soc.controllers.front().targets[0].links[0].input = "clk_ghost";
+  EXPECT_THROW(socdesc::elaborate(soc.controllers.front()), SocError);
+}
+
+TEST(SocDescElaborate, UnwatermarkedIcgSurvivesRemovableWatermarkRule) {
+  // A watermark without an ICG is the classic removable architecture:
+  // the structural rule (not the frontend) must report it.
+  SocDescription soc = socdesc::parse_description(kShowcase);
+  ClockController& ctrl = soc.controllers.front();
+  ctrl.targets[0].icg.reset();
+  const socdesc::ElaboratedSoc elaborated = socdesc::elaborate(ctrl);
+  const lint::LintReport report = lint_design(elaborated.design);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_error(report.diagnostics, "removable-watermark"))
+      << render_text(report);
+}
+
+// ---------------------------------------------------------------------
+// Multi-domain rules on hand-built designs (fixtures independent of the
+// elaborator, so rule and lowering bugs cannot mask each other).
+
+struct DomainFixture {
+  lint::ClockDomainView domain;
+  wgc::WgcConfig key;
+  bool watermarked = true;
+};
+
+lint::Design domain_design(const std::vector<DomainFixture>& fixtures,
+                           double reference_hz, double scope_rate_hz,
+                           std::size_t trace_cycles) {
+  auto netlist = std::make_shared<rtl::Netlist>();
+  const rtl::NetId clk = netlist->add_net("clk");
+  lint::Design design("unit", netlist, clk);
+  for (const DomainFixture& fx : fixtures) {
+    const std::size_t index = design.add_clock_domain(fx.domain);
+    if (!fx.watermarked) continue;
+    lint::WatermarkView view;
+    view.name = fx.domain.target;
+    view.module_path = fx.domain.target;
+    view.wgc = fx.key;
+    view.domain = index;
+    design.add_watermark(std::move(view));
+  }
+  power::TechLibrary tech;
+  design.set_tech(tech.at_operating_point(reference_hz, tech.vdd_v));
+  if (scope_rate_hz > 0.0) {
+    measure::AcquisitionConfig acq;
+    acq.scope.sample_rate_hz = scope_rate_hz;
+    design.set_acquisition(acq);
+  }
+  design.set_trace_cycles(trace_cycles);
+  return design;
+}
+
+DomainFixture fixture(const std::string& name, double clock_hz,
+                      unsigned division, unsigned width,
+                      std::uint32_t seed) {
+  DomainFixture fx;
+  fx.domain.target = name;
+  fx.domain.source = "clk_sys";
+  fx.domain.clock_hz = clock_hz;
+  fx.domain.division = division;
+  fx.domain.sinks = 32;
+  fx.key.mode = wgc::WgcMode::kLfsr;
+  fx.key.width = width;
+  fx.key.taps = 0;
+  fx.key.seed = seed;
+  return fx;
+}
+
+TEST(DomainAliasingRule, FiresBelowDomainNyquist) {
+  const auto design = domain_design({fixture("a", 24e6, 2, 7, 5)}, 48e6,
+                                    40e6, 300000);
+  EXPECT_TRUE(has_error(run_rule("domain-aliasing", design),
+                        "domain-aliasing"));
+}
+
+TEST(DomainAliasingRule, FiresAboveTheReference) {
+  const auto design = domain_design({fixture("a", 96e6, 1, 7, 5)}, 48e6,
+                                    2.4e9, 300000);
+  EXPECT_TRUE(has_error(run_rule("domain-aliasing", design),
+                        "domain-aliasing"));
+}
+
+TEST(DomainAliasingRule, ChecksTheStretchedPeriod) {
+  // /64 domain: a width-7 period stretches to 127 * 64 = 8128 reference
+  // cycles. Below one period: error; below four: warning; above: quiet.
+  const auto short_trace =
+      domain_design({fixture("a", 750e3, 64, 7, 5)}, 48e6, 2.4e9, 5000);
+  EXPECT_TRUE(has_error(run_rule("domain-aliasing", short_trace),
+                        "domain-aliasing"));
+
+  const auto marginal =
+      domain_design({fixture("a", 750e3, 64, 7, 5)}, 48e6, 2.4e9, 20000);
+  const auto warn = run_rule("domain-aliasing", marginal);
+  ASSERT_EQ(warn.size(), 1u);
+  EXPECT_EQ(warn[0].severity, lint::Severity::kWarning);
+
+  const auto covered =
+      domain_design({fixture("a", 750e3, 64, 7, 5)}, 48e6, 2.4e9, 40000);
+  EXPECT_TRUE(run_rule("domain-aliasing", covered).empty());
+}
+
+TEST(DomainAliasingRule, CleanDomainPasses) {
+  const auto design = domain_design({fixture("a", 24e6, 2, 7, 5)}, 48e6,
+                                    2.4e9, 300000);
+  EXPECT_TRUE(run_rule("domain-aliasing", design).empty());
+}
+
+TEST(TestBypassableWatermarkRule, FiresOnlyOnBypassableWatermarkedDomains) {
+  DomainFixture bad = fixture("a", 48e6, 1, 7, 5);
+  bad.domain.test_bypassable = true;
+  EXPECT_TRUE(has_error(
+      run_rule("test-bypassable-watermark",
+               domain_design({bad}, 48e6, 2.4e9, 300000)),
+      "test-bypassable-watermark"));
+
+  DomainFixture hardened = fixture("a", 48e6, 1, 7, 5);
+  hardened.domain.test_bypassable = false;
+  EXPECT_TRUE(run_rule("test-bypassable-watermark",
+                       domain_design({hardened}, 48e6, 2.4e9, 300000))
+                  .empty());
+
+  DomainFixture unwatermarked = fixture("a", 48e6, 1, 7, 5);
+  unwatermarked.domain.test_bypassable = true;
+  unwatermarked.watermarked = false;
+  EXPECT_TRUE(run_rule("test-bypassable-watermark",
+                       domain_design({unwatermarked}, 48e6, 2.4e9, 300000))
+                  .empty());
+}
+
+TEST(GlitchProneMuxRule, WarnsPlainMuxAndErrorsWhenWatermarked) {
+  DomainFixture plain = fixture("a", 48e6, 1, 7, 5);
+  plain.domain.mux_glitch_prone = true;
+  plain.domain.mux_sources = 2;
+  plain.watermarked = false;
+  const auto warn = run_rule(
+      "glitch-prone-mux", domain_design({plain}, 48e6, 2.4e9, 300000));
+  ASSERT_EQ(warn.size(), 1u);
+  EXPECT_EQ(warn[0].severity, lint::Severity::kWarning);
+
+  plain.watermarked = true;
+  EXPECT_TRUE(has_error(
+      run_rule("glitch-prone-mux",
+               domain_design({plain}, 48e6, 2.4e9, 300000)),
+      "glitch-prone-mux"));
+
+  DomainFixture glitch_free = fixture("a", 48e6, 1, 7, 5);
+  glitch_free.domain.mux_sources = 2;  // reset present -> not glitch-prone
+  EXPECT_TRUE(run_rule("glitch-prone-mux",
+                       domain_design({glitch_free}, 48e6, 2.4e9, 300000))
+                  .empty());
+}
+
+TEST(CrossDomainCollisionRule, IdenticalKeyAtIdenticalRateIsAnError) {
+  const auto design =
+      domain_design({fixture("a", 24e6, 2, 7, 5), fixture("b", 24e6, 2, 7, 5)},
+                    48e6, 2.4e9, 300000);
+  EXPECT_TRUE(has_error(run_rule("cross-domain-collision", design),
+                        "cross-domain-collision"));
+}
+
+TEST(CrossDomainCollisionRule, DistinctKeysSeparate) {
+  const auto design = domain_design(
+      {fixture("a", 48e6, 1, 5, 9), fixture("b", 48e6, 1, 7, 5)}, 48e6,
+      2.4e9, 300000);
+  const auto diags = run_rule("cross-domain-collision", design);
+  ASSERT_EQ(diags.size(), 1u);  // measured separation is reported
+  EXPECT_NE(diags[0].severity, lint::Severity::kError) << diags[0].message;
+}
+
+TEST(CrossDomainCollisionRule, LongCommonPeriodsAreDeferredToTheBench) {
+  const auto design = domain_design(
+      {fixture("a", 48e6, 1, 10, 9), fixture("b", 24e6, 2, 11, 5)}, 48e6,
+      2.4e9, 300000);
+  const auto diags = run_rule("cross-domain-collision", design);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, lint::Severity::kInfo);
+}
+
+TEST(MultiDomainRules, StayQuietWithoutDomainMetadata) {
+  // The chip presets never populate ClockDomainView: every multi-domain
+  // rule must pass through untouched (DESIGN.md section 9 invariant).
+  const lint::Design preset =
+      lint::design_from_scenario_config("chip2", sim::chip2_default());
+  for (const char* id :
+       {"domain-aliasing", "test-bypassable-watermark", "glitch-prone-mux",
+        "cross-domain-collision"}) {
+    EXPECT_TRUE(run_rule(id, preset).empty()) << id;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Generated corpus
+
+TEST(SocDescCorpus, CleanCorpusLintsCleanDeterministically) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    socdesc::GeneratorOptions options;
+    options.seed = seed;
+    const std::string text = socdesc::generate_description(options);
+    const SocDescription soc = socdesc::parse_description(text);
+    const socdesc::ElaboratedSoc elaborated =
+        socdesc::elaborate(soc.controllers.front());
+    const lint::LintReport report = lint_design(elaborated.design);
+    EXPECT_TRUE(report.clean())
+        << "seed " << seed << "\n" << render_text(report);
+    EXPECT_EQ(report.counts.warnings, 0u)
+        << "seed " << seed << "\n" << render_text(report);
+  }
+}
+
+TEST(SocDescCorpus, DefectsTripTheirRule) {
+  for (const DefectKind defect :
+       {DefectKind::kAliasedDomain, DefectKind::kTestBypass,
+        DefectKind::kGlitchMux, DefectKind::kKeyCollision}) {
+    const std::string rule(socdesc::defect_rule_id(defect));
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      socdesc::GeneratorOptions options;
+      options.seed = seed;
+      options.defect = defect;
+      const SocDescription soc =
+          socdesc::parse_description(socdesc::generate_description(options));
+      const lint::LintReport report =
+          lint_design(socdesc::elaborate(soc.controllers.front()).design);
+      EXPECT_TRUE(has_error(report.diagnostics, rule))
+          << rule << " seed " << seed << "\n" << render_text(report);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// compile_scenario -> detect::Session
+
+TEST(SocDescCompile, EndToEndDetectionOnTheShowcase) {
+  const SocDescription soc = socdesc::parse_description(kShowcase);
+  const socdesc::ElaboratedSoc elaborated =
+      socdesc::elaborate(soc.controllers.front());
+  ASSERT_TRUE(lint_design(elaborated.design).clean());
+
+  socdesc::CompileOptions options;
+  options.trace_cycles = 20000;  // plenty for a width-10 key in tests
+  const sim::ScenarioConfig config =
+      socdesc::compile_scenario(elaborated, options);
+  EXPECT_EQ(config.watermark.wgc.width, 10u);
+  EXPECT_EQ(config.watermark.wgc.seed, 0x2au);
+  EXPECT_EQ(config.trace_cycles, 20000u);
+  EXPECT_DOUBLE_EQ(config.tech.clock_hz, 48e6);
+  EXPECT_GT(config.fabric_power_w, 0.0);
+
+  const sim::Scenario scenario(config);
+  const detect::Session session;
+  const detect::Report report = session.run(scenario);
+  EXPECT_TRUE(report.detected) << report.detection.reason;
+  EXPECT_GT(report.confidence, 0.99);
+  ASSERT_TRUE(report.scenario);
+}
+
+TEST(SocDescCompile, GeneratedSocDetectsEndToEnd) {
+  socdesc::GeneratorOptions goptions;
+  goptions.seed = 3;
+  const SocDescription soc =
+      socdesc::parse_description(socdesc::generate_description(goptions));
+  const socdesc::ElaboratedSoc elaborated =
+      socdesc::elaborate(soc.controllers.front());
+  socdesc::CompileOptions options;
+  options.trace_cycles = 20000;
+  options.target = elaborated.design.watermarks().front().name;
+  const sim::Scenario scenario(
+      socdesc::compile_scenario(elaborated, options));
+  const detect::Report report = detect::Session().run(scenario);
+  EXPECT_TRUE(report.detected) << report.detection.reason;
+}
+
+TEST(SocDescCompile, RequiresAWatermarkedDomain) {
+  SocDescription soc = socdesc::parse_description(kShowcase);
+  ClockController& ctrl = soc.controllers.front();
+  ctrl.targets[0].watermark.reset();
+  const socdesc::ElaboratedSoc elaborated = socdesc::elaborate(ctrl);
+  EXPECT_THROW(socdesc::compile_scenario(elaborated), SocError);
+}
+
+TEST(SocDescCompile, RejectsUnknownTargetSelection) {
+  const SocDescription soc = socdesc::parse_description(kShowcase);
+  const socdesc::ElaboratedSoc elaborated =
+      socdesc::elaborate(soc.controllers.front());
+  socdesc::CompileOptions options;
+  options.target = "gpu";
+  EXPECT_THROW(socdesc::compile_scenario(elaborated, options), SocError);
+}
+
+}  // namespace
+}  // namespace clockmark

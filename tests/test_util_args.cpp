@@ -115,6 +115,40 @@ TEST(Args, RejectUnknownPrintsDidYouMeanHint) {
       ::testing::ExitedWithCode(2), "did you mean '--cycles'");
 }
 
+TEST(Args, ValueSuggestionFindsCloseValue) {
+  const std::vector<std::string> allowed = {"presets", "load_circuit", "all"};
+  EXPECT_EQ(Args::value_suggestion("preset", allowed), "presets");
+  EXPECT_EQ(Args::value_suggestion("load_circiut", allowed), "load_circuit");
+  EXPECT_EQ(Args::value_suggestion("everything", allowed), "");
+}
+
+TEST(Args, RejectUnknownValuePrintsDidYouMeanHint) {
+  EXPECT_EXIT(
+      {
+        const Args a = make({"prog", "--designs=preset"});
+        a.reject_unknown_value("designs", a.get("designs", ""),
+                               {"presets", "load_circuit", "all"});
+      },
+      ::testing::ExitedWithCode(2), "did you mean 'presets'");
+}
+
+TEST(Args, RejectUnknownValueListsTheAllowedSet) {
+  EXPECT_EXIT(
+      {
+        const Args a = make({"prog", "--designs=everything"});
+        a.reject_unknown_value("designs", a.get("designs", ""),
+                               {"presets", "load_circuit", "all"});
+      },
+      ::testing::ExitedWithCode(2), "expected presets, load_circuit, all");
+}
+
+TEST(Args, RejectUnknownValueIsNoOpWhenAllowed) {
+  const Args a = make({"prog", "--designs=all"});
+  a.reject_unknown_value("designs", a.get("designs", ""),
+                         {"presets", "load_circuit", "all"});
+  SUCCEED();
+}
+
 TEST(Args, RejectUnknownIsNoOpWhenClean) {
   const Args a = make({"prog", "--cycles=100"});
   (void)a.get_int("cycles", 0);
