@@ -1,14 +1,28 @@
-// Ablation: fused acquisition kernel vs the per-sample reference chain.
-// Measures one full acquisition (waveform synthesis -> PDN -> shunt ->
-// probe -> ADC -> per-cycle averaging) of a realistic chip trace on both
-// paths and reports the speedup. The two paths are bit-identical
-// (tests/test_measure_kernel.cpp); this bench tracks only the time.
+// Ablation: acquisition-chain speed, two comparisons.
+//
+//   1. Fused acquisition kernel vs the per-sample reference chain: one
+//      full acquisition (waveform synthesis -> PDN -> shunt -> probe ->
+//      ADC -> per-cycle averaging) of a realistic chip trace on both
+//      paths (records "chip1"/"chip2").
+//   2. Batched multi-repetition acquisition vs the sequential per-rep
+//      loop: R repetitions of the fig6-style study through
+//      Scenario::run_batch + the shared cpa::SpectrumEngine vs the
+//      historical run(rep) + compute_spread_spectrum loop (records
+//      "batch_rR" for R in {4, 16, 64}).
+//
+// Every pair is bit-identical (tests/test_measure_kernel.cpp,
+// tests/test_sim_batch.cpp) and additionally re-checked here before
+// timing; the bench exits non-zero on any mismatch, so a drifting
+// kernel can never publish a speedup.
 #include <cstdlib>
-#include <ctime>
 #include <iostream>
 
 #include "bench_common.h"
+#include "cpa/detector.h"
+#include "cpa/repeatability.h"
+#include "cpa/spread_spectrum.h"
 #include "measure/acquisition.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/csv.h"
 
@@ -16,16 +30,36 @@ using namespace clockmark;
 
 namespace {
 
-double cpu_seconds() {
-  return static_cast<double>(std::clock()) /
-         static_cast<double>(CLOCKS_PER_SEC);
+// The pre-batching fig6 inner loop, reproduced verbatim as the
+// sequential baseline: one memoized scenario repetition, one planless
+// spread-spectrum sweep, one detector verdict.
+cpa::RepeatabilityResult sequential_study(const sim::Scenario& scenario,
+                                          std::size_t reps,
+                                          const cpa::DetectorPolicy& policy) {
+  const cpa::Detector detector(policy);
+  std::vector<cpa::RepetitionOutcome> outcomes(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const sim::ScenarioResult r = scenario.run(rep);
+    outcomes[rep].spectrum = cpa::compute_spread_spectrum(
+        r.acquisition.per_cycle_power_w, r.pattern,
+        cpa::CorrelationMethod::kFft, policy.guard);
+    outcomes[rep].true_rotation = r.true_rotation;
+    outcomes[rep].detected = detector.decide(outcomes[rep].spectrum).detected;
+  }
+  return cpa::summarize_repetitions(outcomes, policy.guard);
 }
 
-template <typename F>
-double time_reps(F&& fn, std::size_t reps) {
-  const double t0 = cpu_seconds();
-  for (std::size_t rep = 0; rep < reps; ++rep) fn();
-  return (cpu_seconds() - t0) / static_cast<double>(reps);
+bool studies_identical(const cpa::RepeatabilityResult& a,
+                       const cpa::RepeatabilityResult& b) {
+  if (a.samples.size() != b.samples.size()) return false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    if (a.samples[i].in_phase_rho != b.samples[i].in_phase_rho ||
+        a.samples[i].max_off_phase != b.samples[i].max_off_phase ||
+        a.samples[i].detected != b.samples[i].detected) {
+      return false;
+    }
+  }
+  return a.detections == b.detections;
 }
 
 }  // namespace
@@ -64,10 +98,12 @@ int main(int argc, char** argv) {
         ref.lsb_power_w == fused.lsb_power_w;
     all_identical = all_identical && identical;
 
-    const double ref_s = time_reps(
-        [&] { (void)chain.acquire_reference(trace).mean_power_w; }, reps);
-    const double fused_s =
-        time_reps([&] { (void)chain.measure(trace).mean_power_w; }, reps);
+    const double ref_s = bench::time_reps_best(
+        [&] { (void)chain.acquire_reference(trace).mean_power_w; }, reps,
+        cli.trials());
+    const double fused_s = bench::time_reps_best(
+        [&] { (void)chain.measure(trace).mean_power_w; }, reps,
+        cli.trials());
     const double speedup = fused_s > 0.0 ? ref_s / fused_s : 0.0;
     const auto spc = cfg.acquisition.waveform.samples_per_cycle;
     const double samples =
@@ -105,9 +141,74 @@ int main(int argc, char** argv) {
                                  identical ? 1.0 : 0.0);
   }
 
+  // Batched multi-repetition acquisition: the fig6-style study (chip I,
+  // per-repetition phases) at several repetition counts. R=4 is one
+  // full SoA lane group, R=16/64 amortise the shared waveform work the
+  // way the real studies do.
+  util::CsvWriter batch_csv(cli.out_file("abl_acq_batch.csv"));
+  batch_csv.text_row({"repetitions", "cycles", "sequential_cpu_s_per_rep",
+                      "batched_cpu_s_per_rep", "speedup"});
+  for (const std::size_t batch_reps : {std::size_t{4}, std::size_t{16},
+                                       std::size_t{64}}) {
+    auto cfg = sim::chip1_default();
+    cli.apply(cfg);
+    cfg.phase_offset.reset();  // fig6: the phase varies per repetition
+    const sim::Scenario scenario(cfg);
+    const cpa::DetectorPolicy policy;
+
+    // Bit-identity gate (also warms the scenario's memoized caches so
+    // the timed passes compare steady-state against steady-state).
+    const auto seq_result = sequential_study(scenario, batch_reps, policy);
+    const auto batch_result =
+        sim::run_repeatability_study(scenario, batch_reps, policy, nullptr);
+    const bool identical = studies_identical(seq_result, batch_result);
+    all_identical = all_identical && identical;
+
+    const double seq_s =
+        bench::time_reps_best(
+            [&] { (void)sequential_study(scenario, batch_reps, policy); },
+            1, cli.trials()) /
+        static_cast<double>(batch_reps);
+    const double batch_s =
+        bench::time_reps_best(
+            [&] {
+              (void)sim::run_repeatability_study(scenario, batch_reps,
+                                                 policy, nullptr);
+            },
+            1, cli.trials()) /
+        static_cast<double>(batch_reps);
+    const double speedup = batch_s > 0.0 ? seq_s / batch_s : 0.0;
+
+    std::cout << "\n--- batched study, R=" << batch_reps << " ("
+              << cli.cycles() << " cycles/rep) ---\n"
+              << "  sequential: " << seq_s << " cpu-s/rep\n"
+              << "  batched:    " << batch_s << " cpu-s/rep  (" << speedup
+              << "x)\n"
+              << "  outputs bit-identical: " << (identical ? "yes" : "NO")
+              << "\n";
+
+    batch_csv.text_row({std::to_string(batch_reps),
+                        std::to_string(cli.cycles()),
+                        util::format_double(seq_s, 6),
+                        util::format_double(batch_s, 6),
+                        util::format_double(speedup, 4)});
+
+    auto& rec = json.add_record("batch_r" + std::to_string(batch_reps));
+    bench::BenchJson::add_metric(rec, "repetitions",
+                                 static_cast<double>(batch_reps));
+    bench::BenchJson::add_metric(rec, "cycles",
+                                 static_cast<double>(cli.cycles()));
+    bench::BenchJson::add_metric(rec, "sequential_cpu_s_per_rep", seq_s);
+    bench::BenchJson::add_metric(rec, "batched_cpu_s_per_rep", batch_s);
+    bench::BenchJson::add_metric(rec, "speedup", speedup);
+    bench::BenchJson::add_metric(
+        rec, "items_per_sec", batch_s > 0.0 ? 1.0 / batch_s : 0.0);
+    bench::BenchJson::add_metric(rec, "bit_identical", identical ? 1.0 : 0.0);
+  }
+
   if (!cli.json_path().empty()) json.write(cli.json_path());
   if (!all_identical) {
-    std::cerr << "abl_acq_speed: fused and reference outputs differ\n";
+    std::cerr << "abl_acq_speed: batched and reference outputs differ\n";
     return 1;
   }
   return 0;

@@ -7,6 +7,7 @@
 // the O(P) rotation fold, and with early stop it answers before the
 // trace ends. --json=PATH writes the comparison as a BenchJson record
 // (BENCH_stream.json in the tier-1 smoke run).
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <iostream>
@@ -46,9 +47,17 @@ int main(int argc, char** argv) {
   const std::size_t spc = cfg.acquisition.waveform.samples_per_cycle;
 
   // ---- batch: materialise everything, then sweep -------------------
+  // Every timed path below runs --trials times and keeps the fastest
+  // wall-clock pass (the reports are deterministic, only the timing
+  // varies); the tier-1 smoke uses 3 so the perf gate compares minima.
   const auto t_batch = std::chrono::steady_clock::now();
   const detect::Report batch = detect::Session().run(scenario);
-  const double batch_s = seconds_since(t_batch);
+  double batch_s = seconds_since(t_batch);
+  for (std::size_t trial = 1; trial < cli.trials(); ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)detect::Session().run(scenario);
+    batch_s = std::min(batch_s, seconds_since(t0));
+  }
   // Peak trace data held: the sample-rate waveform plus Y.
   const std::size_t batch_bytes =
       cfg.trace_cycles * (spc + 1) * sizeof(double);
@@ -62,7 +71,13 @@ int main(int argc, char** argv) {
   stream::ScenarioSource early_source(scenario, 0, chunk_cycles);
   const stream::StreamReport early =
       pipeline.run(early_source, early_source.pattern(), cli.executor());
-  const double early_s = seconds_since(t_early);
+  double early_s = seconds_since(t_early);
+  for (std::size_t trial = 1; trial < cli.trials(); ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stream::ScenarioSource source(scenario, 0, chunk_cycles);
+    (void)pipeline.run(source, source.pattern(), cli.executor());
+    early_s = std::min(early_s, seconds_since(t0));
+  }
 
   // ---- streaming, run to the trace end ------------------------------
   stream::StreamPipelineConfig full_cfg = pipe_cfg;
@@ -73,7 +88,13 @@ int main(int argc, char** argv) {
   stream::ScenarioSource full_source(scenario, 0, chunk_cycles);
   const stream::StreamReport full =
       full_pipeline.run(full_source, full_source.pattern(), cli.executor());
-  const double full_s = seconds_since(t_full);
+  double full_s = seconds_since(t_full);
+  for (std::size_t trial = 1; trial < cli.trials(); ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stream::ScenarioSource source(scenario, 0, chunk_cycles);
+    (void)full_pipeline.run(source, source.pattern(), cli.executor());
+    full_s = std::min(full_s, seconds_since(t0));
+  }
 
   // Streaming's peak: the analog window of the chunk in flight plus the
   // queue, and the O(P) fold slots.
@@ -129,6 +150,11 @@ int main(int argc, char** argv) {
     bench::BenchJson::add_metric(rec, "batch_s", batch_s);
     bench::BenchJson::add_metric(rec, "stream_early_s", early_s);
     bench::BenchJson::add_metric(rec, "stream_full_s", full_s);
+    // perf_gate-tracked aliases (the *_s names predate the gate's
+    // suffix convention and stay for downstream parsers).
+    bench::BenchJson::add_metric(rec, "batch_s_per_iter", batch_s);
+    bench::BenchJson::add_metric(rec, "stream_early_s_per_iter", early_s);
+    bench::BenchJson::add_metric(rec, "stream_full_s_per_iter", full_s);
     bench::BenchJson::add_metric(rec, "batch_bytes_held",
                                  static_cast<double>(batch_bytes));
     bench::BenchJson::add_metric(rec, "stream_bytes_held",

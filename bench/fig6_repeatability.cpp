@@ -3,7 +3,6 @@
 // the true phase vs all off-phase rotations. The paper's finding: the
 // peak is present in all 100 repetitions on both chips.
 #include <algorithm>
-#include <ctime>
 #include <iostream>
 
 #include "bench_common.h"
@@ -17,33 +16,40 @@ using namespace clockmark;
 
 namespace {
 
-double cpu_seconds() {
-  return static_cast<double>(std::clock()) /
-         static_cast<double>(CLOCKS_PER_SEC);
-}
-
 // One full repetition on the planless reference path (run_uncached +
 // CPA sweep + decision): the baseline the memoized study is compared
 // against in the --json perf record. Returns CPU seconds per rep.
 double time_uncached_reps(const sim::Scenario& scenario, std::size_t k,
-                          const cpa::DetectorPolicy& policy) {
+                          const cpa::DetectorPolicy& policy,
+                          std::size_t trials) {
   const cpa::Detector detector(policy);
-  const double t0 = cpu_seconds();
-  for (std::size_t rep = 0; rep < k; ++rep) {
-    const sim::ScenarioResult r = scenario.run_uncached(rep);
-    const auto spectrum = cpa::compute_spread_spectrum(
-        r.acquisition.per_cycle_power_w, r.pattern,
-        cpa::CorrelationMethod::kFft, policy.guard);
-    (void)detector.decide(spectrum);
-  }
-  return (cpu_seconds() - t0) / static_cast<double>(k);
+  return bench::time_reps_best(
+      [&](std::size_t rep) {
+        const sim::ScenarioResult r = scenario.run_uncached(rep);
+        const auto spectrum = cpa::compute_spread_spectrum(
+            r.acquisition.per_cycle_power_w, r.pattern,
+            cpa::CorrelationMethod::kFft, policy.guard);
+        (void)detector.decide(spectrum);
+      },
+      k, trials);
 }
 
-template <typename F>
-double time_synthesis_reps(F&& synthesize, std::size_t k) {
-  const double t0 = cpu_seconds();
-  for (std::size_t rep = 0; rep < k; ++rep) synthesize(rep);
-  return (cpu_seconds() - t0) / static_cast<double>(k);
+// The pre-batching study loop (memoized run(rep) + planless sweep), the
+// other --json baseline: what run_repeatability_study cost before the
+// batched SoA acquisition path.
+double time_sequential_reps(const sim::Scenario& scenario, std::size_t k,
+                            const cpa::DetectorPolicy& policy,
+                            std::size_t trials) {
+  const cpa::Detector detector(policy);
+  return bench::time_reps_best(
+      [&](std::size_t rep) {
+        const sim::ScenarioResult r = scenario.run(rep);
+        const auto spectrum = cpa::compute_spread_spectrum(
+            r.acquisition.per_cycle_power_w, r.pattern,
+            cpa::CorrelationMethod::kFft, policy.guard);
+        (void)detector.decide(spectrum);
+      },
+      k, trials);
 }
 
 }  // namespace
@@ -72,11 +78,22 @@ int main(int argc, char** argv) {
     // wherever it lands).
     cfg.phase_offset.reset();
     sim::Scenario scenario(cfg);
-    const double study_t0 = cpu_seconds();
+    const double study_t0 = bench::cpu_seconds();
     const auto result =
         sim::run_repeatability_study(scenario, reps, {}, cli.executor());
-    const double cached_s_per_rep =
-        (cpu_seconds() - study_t0) / static_cast<double>(reps);
+    double cached_s_per_rep =
+        (bench::cpu_seconds() - study_t0) / static_cast<double>(reps);
+    // --trials > 1 (the tier-1 smoke): re-run the study and keep the
+    // fastest pass, so the gated cpu_s_per_rep is a best-of-N minimum
+    // rather than a single noisy sample. The result itself is
+    // deterministic, so only the timing varies.
+    for (std::size_t trial = 1; trial < cli.trials(); ++trial) {
+      const double t0 = bench::cpu_seconds();
+      (void)sim::run_repeatability_study(scenario, reps, {}, cli.executor());
+      cached_s_per_rep =
+          std::min(cached_s_per_rep, (bench::cpu_seconds() - t0) /
+                                         static_cast<double>(reps));
+    }
 
     const std::string chip = chip2 ? "chip II" : "chip I";
     std::cout << "\n--- " << chip << " (" << reps << " repetitions, "
@@ -116,12 +133,21 @@ int main(int argc, char** argv) {
       const std::size_t k_full = std::min<std::size_t>(reps, 3);
       const std::size_t k_syn = std::min<std::size_t>(reps, 10);
       const double uncached_s_per_rep =
-          time_uncached_reps(scenario, k_full, {});
-      const double syn_s_per_rep = time_synthesis_reps(
-          [&](std::size_t rep) { (void)scenario.synthesize(rep); }, k_syn);
-      const double uncached_syn_s_per_rep = time_synthesis_reps(
-          [&](std::size_t rep) { (void)scenario.synthesize_uncached(rep); },
-          k_syn);
+          time_uncached_reps(scenario, k_full, {}, cli.trials());
+      const double sequential_s_per_rep =
+          time_sequential_reps(scenario, reps, {}, cli.trials());
+      // Memoized synthesis costs microseconds at smoke scale: cycle the
+      // same reps often enough that one timed pass spans milliseconds,
+      // or the gated per-call number is clock-granularity noise.
+      const std::size_t syn_calls = std::max<std::size_t>(k_syn, 32);
+      const double syn_s_per_rep = bench::time_reps_best(
+          [&](std::size_t i) { (void)scenario.synthesize(i % k_syn); },
+          syn_calls, cli.trials());
+      const double uncached_syn_s_per_rep = bench::time_reps_best(
+          [&](std::size_t i) {
+            (void)scenario.synthesize_uncached(i % k_syn);
+          },
+          syn_calls, cli.trials());
 
       auto& rec = json.add_record(chip2 ? "chip2" : "chip1");
       bench::BenchJson::add_metric(rec, "repetitions",
@@ -138,6 +164,12 @@ int main(int argc, char** argv) {
           rec, "full_pipeline_speedup",
           cached_s_per_rep > 0.0 ? uncached_s_per_rep / cached_s_per_rep
                                  : 0.0);
+      bench::BenchJson::add_metric(rec, "sequential_cpu_s_per_rep",
+                                   sequential_s_per_rep);
+      bench::BenchJson::add_metric(
+          rec, "batched_study_speedup",
+          cached_s_per_rep > 0.0 ? sequential_s_per_rep / cached_s_per_rep
+                                 : 0.0);
       bench::BenchJson::add_metric(rec, "synthesis_cpu_s_per_rep",
                                    syn_s_per_rep);
       bench::BenchJson::add_metric(rec, "uncached_synthesis_cpu_s_per_rep",
@@ -146,8 +178,13 @@ int main(int argc, char** argv) {
           rec, "synthesis_speedup",
           syn_s_per_rep > 0.0 ? uncached_syn_s_per_rep / syn_s_per_rep
                               : 0.0);
-      std::cout << "  [perf] cached " << cached_s_per_rep
-                << " cpu-s/rep, uncached " << uncached_s_per_rep
+      std::cout << "  [perf] batched " << cached_s_per_rep
+                << " cpu-s/rep, sequential " << sequential_s_per_rep
+                << " cpu-s/rep ("
+                << (cached_s_per_rep > 0.0
+                        ? sequential_s_per_rep / cached_s_per_rep
+                        : 0.0)
+                << "x), uncached " << uncached_s_per_rep
                 << " cpu-s/rep; synthesis " << syn_s_per_rep << " vs "
                 << uncached_syn_s_per_rep << " cpu-s/rep ("
                 << (syn_s_per_rep > 0.0

@@ -1,0 +1,84 @@
+// Repetition-batched CPA sweep engine: everything compute_spread_spectrum
+// recomputes per repetition, computed once per study instead.
+//
+// A repeatability study sweeps R traces against the *same* watermark
+// pattern, and most of the FFT-path sweep does not depend on the trace:
+//   * the FFT plan registry lookup (mutex + hash per transform),
+//   * the forward FFT of the pattern (the fb side of the sxy circular
+//     correlation),
+//   * the sx / sxx circular correlations, which depend only on the
+//     trace *length* — the fold's counts are n/P + (p < n mod P),
+// plus a fresh allocation for the fold, the sxy vector and the rho
+// sweep on every call. SpectrumEngine hoists all of it — the same
+// recipe sync::CandidateEngine applies to blind-sync scoring, here
+// returning the full SpreadSpectrum (rho vector included) the
+// detection path consumes. Per repetition this leaves one forward +
+// one inverse FFT instead of seven transforms.
+//
+// Bit-exactness contract (tests/test_sim_batch.cpp): sweep(y, guard)
+// returns exactly compute_spread_spectrum(y, pattern(), kFft, guard) —
+// same rho bits, same summary statistics, same validation errors. The
+// cached pattern FFT and per-length sx/sxx come from the identical
+// planned-transform arithmetic circular_cross_correlation runs inline;
+// patterns beyond the plan registry's cap fall back to the planless
+// rotation_correlation_fft_from_fold, again bit-identical.
+//
+// Thread-safety: sweep() is const and race-free — the per-length cache
+// sits behind a mutex (values are immutable once built; a duplicate
+// build under contention produces identical bits), scratch lives in
+// thread_local arenas, and the FFT plan is immutable.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cpa/spread_spectrum.h"
+#include "dsp/fft.h"
+
+namespace clockmark::dsp {
+class FftPlan;
+}
+
+namespace clockmark::cpa {
+
+class SpectrumEngine {
+ public:
+  /// Binds the watermark pattern (one period of the 0/1 model vector)
+  /// and precomputes its transform tables. Throws on an empty pattern.
+  explicit SpectrumEngine(std::vector<double> pattern);
+
+  const std::vector<double>& pattern() const noexcept { return pattern_; }
+
+  /// One repetition's sweep + summary, bit-identical to
+  /// compute_spread_spectrum(y, pattern(), CorrelationMethod::kFft,
+  /// guard) including its input validation.
+  SpreadSpectrum sweep(std::span<const double> y, std::size_t guard) const;
+
+ private:
+  /// The rotation-sweep inputs that depend only on the trace length:
+  /// sx[r] / sxx[r] as rotation_correlation_fft_from_fold computes them
+  /// from the fold's counts.
+  struct LengthStats {
+    std::vector<double> sx;
+    std::vector<double> sxx;
+  };
+  std::shared_ptr<const LengthStats> length_stats(std::size_t n) const;
+
+  std::vector<double> pattern_;
+  std::vector<double> pattern_sq_;
+  /// Plan for the period-length transforms; nullptr when the period
+  /// exceeds the registry cap (sweep() then runs the planless path).
+  std::shared_ptr<const dsp::FftPlan> plan_;
+  std::vector<dsp::cplx> fft_pattern_;  ///< forward FFT of the pattern
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::size_t,
+                             std::shared_ptr<const LengthStats>>
+      stats_;
+};
+
+}  // namespace clockmark::cpa

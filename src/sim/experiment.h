@@ -34,10 +34,14 @@ DetectionExperiment run_detection(const Scenario& scenario,
                                   const cpa::DetectorPolicy& policy = {});
 
 /// Runs the paper's Fig. 6 study: `repetitions` independent runs of the
-/// scenario, box-plotting in-phase vs off-phase correlation. When
-/// `executor` is non-null the repetitions execute concurrently; nullptr
-/// (or a single-thread executor) is the serial fallback. The result is
-/// byte-identical either way.
+/// scenario, box-plotting in-phase vs off-phase correlation. The
+/// repetitions ride the batched SoA acquisition path
+/// (Scenario::run_batch, 8 lanes per block) with the CPA sweeps served
+/// by one shared cpa::SpectrumEngine — bit-identical to running
+/// scenario.run(rep) + compute_spread_spectrum per repetition, only
+/// faster. When `executor` is non-null the repetition *blocks* execute
+/// concurrently; nullptr (or a single-thread executor) is the serial
+/// fallback. The result is byte-identical either way.
 cpa::RepeatabilityResult run_repeatability_study(
     const Scenario& scenario, std::size_t repetitions,
     const cpa::DetectorPolicy& policy = {},

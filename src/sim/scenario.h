@@ -54,6 +54,16 @@ struct ScenarioConfig {
   double fabric_jitter = 0.05;
 };
 
+/// One repetition of a batched run (Scenario::run_batch): the slim
+/// subset of ScenarioResult the repetition studies consume — the
+/// acquired Y vector and where the peak should appear. The pattern is
+/// shared (Scenario::model_pattern) and the intermediate power traces
+/// are never materialised as PowerTrace objects.
+struct BatchScenarioRepetition {
+  measure::Acquisition acquisition;
+  std::size_t true_rotation = 0;
+};
+
 /// Everything one repetition produces.
 struct ScenarioResult {
   measure::Acquisition acquisition;      ///< Y vector + metadata
@@ -84,6 +94,20 @@ class Scenario {
   /// bit-identical to run_uncached() (asserted by tests).
   ScenarioResult run(std::size_t repetition = 0) const;
 
+  /// Runs `count` consecutive repetitions [first, first + count)
+  /// through one measure::BatchAcquisitionKernel pass: the lanes share
+  /// the waveform-expansion template and travel the analog chain
+  /// interleaved (SoA), which is where the R-heavy studies spend their
+  /// time. Each element is bit-identical to run(first + i) — same
+  /// derived rotation, same acquisition bits (asserted by
+  /// tests/test_sim_batch.cpp on both chips) — the batch only changes
+  /// the speed. Configurations the batch kernel does not model
+  /// (trigger-offset capture, disabled PDN) fall back to run() per
+  /// repetition. Thread-safe like run(); distinct repetition ranges
+  /// may run concurrently.
+  std::vector<BatchScenarioRepetition> run_batch(
+      std::size_t first_repetition, std::size_t count) const;
+
   /// Reference path: recomputes everything from scratch, exactly as
   /// run() did before memoization existed. Kept for equivalence tests
   /// and as the baseline for the bench speedup measurement.
@@ -111,6 +135,14 @@ class Scenario {
   /// The gate-level characterisation (computed once in the constructor).
   const watermark::WatermarkCharacterization& characterization() const {
     return characterization_;
+  }
+
+  /// The CPA model pattern — one canonical period of WMARK as 0/1
+  /// doubles, built once in the constructor. This is exactly what run()
+  /// copies into ScenarioResult::pattern; batch callers share it
+  /// instead of carrying a copy per repetition.
+  const std::vector<double>& model_pattern() const noexcept {
+    return model_pattern_;
   }
 
   /// The watermark netlist (for area/attack analysis).

@@ -1,0 +1,179 @@
+// Scenario::run_batch and the batched repeatability study: the
+// repetition-batched path (SoA acquisition lanes + shared
+// cpa::SpectrumEngine) must be bit-identical to the historical
+// run-one-repetition-at-a-time loop — per chip, per lane, parallel or
+// serial. These are scheduling changes; the bits are pinned here.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "cpa/detector.h"
+#include "cpa/repeatability.h"
+#include "cpa/spectrum_engine.h"
+#include "cpa/spread_spectrum.h"
+#include "runtime/executor.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace clockmark::sim {
+namespace {
+
+ScenarioConfig fast_config(ChipModel chip) {
+  ScenarioConfig cfg =
+      chip == ChipModel::kChip1 ? chip1_default() : chip2_default();
+  cfg.trace_cycles = 12000;
+  return cfg;
+}
+
+void expect_rep_identical(const BatchScenarioRepetition& batched,
+                          const ScenarioResult& reference) {
+  EXPECT_EQ(batched.true_rotation, reference.true_rotation);
+  const auto& a = batched.acquisition;
+  const auto& b = reference.acquisition;
+  ASSERT_EQ(a.per_cycle_power_w.size(), b.per_cycle_power_w.size());
+  for (std::size_t i = 0; i < a.per_cycle_power_w.size(); ++i) {
+    ASSERT_EQ(a.per_cycle_power_w[i], b.per_cycle_power_w[i])
+        << "cycle " << i;
+  }
+  EXPECT_EQ(a.mean_power_w, b.mean_power_w);
+  EXPECT_EQ(a.lsb_power_w, b.lsb_power_w);
+}
+
+TEST(BatchAcquireScenario, MatchesPerRepBitExactChip1) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const auto batched = sc.run_batch(0, 6);
+  ASSERT_EQ(batched.size(), 6u);
+  for (std::size_t rep = 0; rep < 6; ++rep) {
+    SCOPED_TRACE("rep=" + std::to_string(rep));
+    expect_rep_identical(batched[rep], sc.run(rep));
+  }
+}
+
+TEST(BatchAcquireScenario, MatchesPerRepBitExactChip2) {
+  // Chip II replays the seeded A5/fabric noise overlay per lane on the
+  // cached M0 base — the serial data-dependent recurrence must land in
+  // each lane's total exactly as in run().
+  const Scenario sc(fast_config(ChipModel::kChip2));
+  const auto batched = sc.run_batch(0, 5);
+  ASSERT_EQ(batched.size(), 5u);
+  for (std::size_t rep = 0; rep < 5; ++rep) {
+    SCOPED_TRACE("rep=" + std::to_string(rep));
+    expect_rep_identical(batched[rep], sc.run(rep));
+  }
+}
+
+TEST(BatchAcquireScenario, UnpinnedPhaseAndOffsetRange) {
+  // Non-zero first repetition and derived (unpinned) phases: each lane
+  // must pick up its own repetition's seed derivations.
+  ScenarioConfig cfg = fast_config(ChipModel::kChip1);
+  cfg.phase_offset.reset();
+  const Scenario sc(cfg);
+  const auto batched = sc.run_batch(3, 5);
+  ASSERT_EQ(batched.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    SCOPED_TRACE("rep=" + std::to_string(3 + i));
+    expect_rep_identical(batched[i], sc.run(3 + i));
+  }
+}
+
+TEST(BatchAcquireScenario, InactiveWatermarkAndFallbackConfigs) {
+  // Disabled watermark batches (leakage-only add); trigger-offset and
+  // PDN-less studies take the per-repetition fallback — all bit-exact.
+  for (int variant = 0; variant < 3; ++variant) {
+    ScenarioConfig cfg = fast_config(ChipModel::kChip1);
+    cfg.trace_cycles = 8000;
+    if (variant == 0) cfg.watermark_active = false;
+    if (variant == 1) {
+      cfg.acquisition.trigger_sim = measure::TriggerSim::kRandomOffset;
+    }
+    if (variant == 2) cfg.acquisition.enable_pdn_filter = false;
+    const Scenario sc(cfg);
+    const auto batched = sc.run_batch(0, 3);
+    ASSERT_EQ(batched.size(), 3u);
+    for (std::size_t rep = 0; rep < 3; ++rep) {
+      SCOPED_TRACE("variant=" + std::to_string(variant) +
+                   " rep=" + std::to_string(rep));
+      expect_rep_identical(batched[rep], sc.run(rep));
+    }
+  }
+}
+
+TEST(BatchAcquireSpectrumEngine, SweepMatchesDirectComputation) {
+  const Scenario sc(fast_config(ChipModel::kChip1));
+  const cpa::SpectrumEngine engine(sc.model_pattern());
+  for (std::size_t rep = 0; rep < 2; ++rep) {
+    const ScenarioResult r = sc.run(rep);
+    const cpa::SpreadSpectrum direct = cpa::compute_spread_spectrum(
+        r.acquisition.per_cycle_power_w, sc.model_pattern(),
+        cpa::CorrelationMethod::kFft, 8);
+    const cpa::SpreadSpectrum cached =
+        engine.sweep(r.acquisition.per_cycle_power_w, 8);
+    ASSERT_EQ(cached.rho.size(), direct.rho.size());
+    for (std::size_t k = 0; k < direct.rho.size(); ++k) {
+      ASSERT_EQ(cached.rho[k], direct.rho[k]) << "rotation " << k;
+    }
+    EXPECT_EQ(cached.peak_rotation, direct.peak_rotation);
+    EXPECT_EQ(cached.peak_value, direct.peak_value);
+    EXPECT_EQ(cached.second_peak, direct.second_peak);
+    EXPECT_EQ(cached.noise_mean, direct.noise_mean);
+    EXPECT_EQ(cached.noise_std, direct.noise_std);
+    EXPECT_EQ(cached.peak_z, direct.peak_z);
+  }
+}
+
+void expect_study_identical(const cpa::RepeatabilityResult& a,
+                            const cpa::RepeatabilityResult& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].in_phase_rho, b.samples[i].in_phase_rho);
+    EXPECT_EQ(a.samples[i].max_off_phase, b.samples[i].max_off_phase);
+    EXPECT_EQ(a.samples[i].detected, b.samples[i].detected);
+  }
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.repetitions, b.repetitions);
+  EXPECT_EQ(a.in_phase.median, b.in_phase.median);
+  EXPECT_EQ(a.off_phase.median, b.off_phase.median);
+}
+
+TEST(BatchAcquireStudy, MatchesHistoricalPerRepLoop) {
+  // The batched study must summarise exactly what the pre-batching
+  // per-repetition loop produced: run(rep) + one spread-spectrum sweep
+  // + the detector verdict, folded by summarize_repetitions.
+  ScenarioConfig cfg = fast_config(ChipModel::kChip1);
+  cfg.trace_cycles = 8000;
+  const Scenario sc(cfg);
+  const cpa::DetectorPolicy policy;
+  const cpa::Detector detector(policy);
+  constexpr std::size_t kReps = 10;  // not a multiple of the lane block
+  std::vector<cpa::RepetitionOutcome> outcomes(kReps);
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    const ScenarioResult r = sc.run(rep);
+    outcomes[rep].spectrum = cpa::compute_spread_spectrum(
+        r.acquisition.per_cycle_power_w, r.pattern,
+        cpa::CorrelationMethod::kFft, policy.guard);
+    outcomes[rep].true_rotation = r.true_rotation;
+    outcomes[rep].detected = detector.decide(outcomes[rep].spectrum).detected;
+  }
+  const cpa::RepeatabilityResult expected =
+      cpa::summarize_repetitions(outcomes, policy.guard);
+  const cpa::RepeatabilityResult got =
+      run_repeatability_study(sc, kReps, policy, nullptr);
+  expect_study_identical(got, expected);
+}
+
+TEST(BatchAcquireStudy, ParallelMatchesSerial) {
+  ScenarioConfig cfg = fast_config(ChipModel::kChip2);
+  cfg.trace_cycles = 8000;
+  const Scenario sc(cfg);
+  const cpa::DetectorPolicy policy;
+  const cpa::RepeatabilityResult serial =
+      run_repeatability_study(sc, 20, policy, nullptr);
+  runtime::Executor executor(4);
+  const cpa::RepeatabilityResult parallel =
+      run_repeatability_study(sc, 20, policy, &executor);
+  expect_study_identical(parallel, serial);
+}
+
+}  // namespace
+}  // namespace clockmark::sim
